@@ -1,0 +1,35 @@
+//! Cache-simulator throughput (it must sustain tens of millions of accesses
+//! per second to keep the Figure 5/13/14 experiments cheap).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cache_sim::{CacheConfig, CacheHierarchy, Source};
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    group.bench_function("sequential_4k_lines", |b| {
+        let mut h = CacheHierarchy::new(CacheConfig::l1d(), CacheConfig::llc_scaled());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 64) % (4096 * 64);
+            black_box(h.access(addr, Source::App));
+        })
+    });
+    group.bench_function("random_1m_lines", |b| {
+        let mut h = CacheHierarchy::new(CacheConfig::l1d(), CacheConfig::llc_scaled());
+        let mut x = 0x9E3779B97F4A7C15u64;
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            black_box(h.access((x % 1_000_000) * 64, Source::Tiering));
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hierarchy
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end simulation throughput per policy: one compact scenario, all
+//! six systems — the wall-clock cost of a tiering decision loop.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tiering_mem::{PageSize, TierConfig, TierRatio};
+use tiering_policies::{build_policy, PolicyKind};
+use tiering_sim::{Engine, SimConfig};
+use tiering_trace::Workload;
+use tiering_workloads::ZipfPageWorkload;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_50k_ops");
+    group.sample_size(10);
+    for kind in PolicyKind::COMPARED {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut w = ZipfPageWorkload::new(5_000, 0.99, 50_000, 3);
+                let pages = w.footprint_pages(PageSize::Base4K);
+                let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+                let mut policy = build_policy(kind, &tier_cfg);
+                let cfg = SimConfig::default().with_max_ops(50_000);
+                black_box(Engine::new(cfg).run(&mut w, policy.as_mut(), tier_cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

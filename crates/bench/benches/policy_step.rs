@@ -1,0 +1,52 @@
+//! Per-sample processing cost of each tiering policy (the tiering thread's
+//! Algorithm-1 loop body).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiering_mem::{PageId, PageSize, Tier, TierConfig, TierRatio, TieredMemory};
+use tiering_policies::{build_policy, PolicyCtx, PolicyKind};
+use tiering_trace::Sample;
+
+fn bench_on_sample(c: &mut Criterion) {
+    let tier_cfg = TierConfig::for_footprint(100_000, TierRatio::OneTo8, PageSize::Base4K);
+    let mut group = c.benchmark_group("on_sample");
+    for kind in [
+        PolicyKind::HybridTier,
+        PolicyKind::HybridTierUnblocked,
+        PolicyKind::Memtis,
+        PolicyKind::Arc,
+        PolicyKind::TwoQ,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            let mut policy = build_policy(kind, &tier_cfg);
+            let mut mem = TieredMemory::new(tier_cfg);
+            for i in 0..10_000u64 {
+                mem.ensure_mapped(PageId(i), Tier::Slow);
+            }
+            let mut ctx = PolicyCtx::new();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i * 7 + 1) % 10_000;
+                policy.on_sample(
+                    Sample {
+                        page: PageId(i),
+                        addr: i << 12,
+                        tier: mem.tier_of(PageId(i)).unwrap_or(Tier::Slow),
+                        at_ns: i,
+                        is_write: false,
+                    },
+                    &mut mem,
+                    &mut ctx,
+                );
+                ctx.drain();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_on_sample
+}
+criterion_main!(benches);

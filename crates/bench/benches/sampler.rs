@@ -1,0 +1,42 @@
+//! Sampler and workload-generation throughput: the simulation's inner loop
+//! must be dominated by the system under test, not trace generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tiering_trace::{Access, Sampler, Workload};
+use tiering_workloads::{CacheLibConfig, CacheLibWorkload, ZipfPageWorkload};
+
+fn bench_sampler(c: &mut Criterion) {
+    c.bench_function("sampler_observe", |b| {
+        let mut s = Sampler::new(19);
+        let a = Access::read(0x1234);
+        b.iter(|| black_box(s.observe(&a)))
+    });
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_next_op");
+    group.bench_function("zipf_page", |b| {
+        let mut w = ZipfPageWorkload::new(100_000, 0.99, u64::MAX, 1);
+        let mut buf = Vec::with_capacity(8);
+        b.iter(|| {
+            buf.clear();
+            black_box(w.next_op(0, &mut buf));
+        })
+    });
+    group.bench_function("cachelib_cdn", |b| {
+        let mut w = CacheLibWorkload::new(CacheLibConfig::cdn());
+        let mut buf = Vec::with_capacity(64);
+        b.iter(|| {
+            buf.clear();
+            black_box(w.next_op(0, &mut buf));
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sampler, bench_workload_gen
+}
+criterion_main!(benches);

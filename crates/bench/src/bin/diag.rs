@@ -1,0 +1,121 @@
+//! Diagnostic: trace a policy's placement dynamics through the Figure 4
+//! adaptation scenario (development/tuning tool).
+//!
+//! Usage: `diag [hybridtier|memtis|autonuma|tpp|arc|twoq] [ratio]`
+
+use tiering_mem::{PageId, PageSize, Tier, TierConfig, TierRatio, TieredMemory};
+use tiering_policies::{build_policy, PolicyCtx, PolicyKind};
+use tiering_trace::{Sampler, Workload};
+use tiering_workloads::{CacheLibConfig, CacheLibWorkload};
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("memtis") => PolicyKind::Memtis,
+        Some("autonuma") => PolicyKind::AutoNuma,
+        Some("tpp") => PolicyKind::Tpp,
+        Some("arc") => PolicyKind::Arc,
+        Some("twoq") => PolicyKind::TwoQ,
+        _ => PolicyKind::HybridTier,
+    };
+    let ratio = match std::env::args().nth(2).as_deref() {
+        Some("1:8") => TierRatio::OneTo8,
+        Some("1:4") => TierRatio::OneTo4,
+        _ => TierRatio::OneTo16,
+    };
+    let shift_ns = 2_000_000_000;
+    let mut workload = CacheLibWorkload::new(
+        CacheLibConfig::cdn()
+            .with_uniform_size(16 << 10)
+            .without_churn()
+            .with_seed(0xA5F0_5EED)
+            .with_shift(shift_ns, 2.0 / 3.0),
+    );
+    let pages = workload.footprint_pages(PageSize::Base4K);
+    let tier_cfg = TierConfig::for_footprint(pages, ratio, PageSize::Base4K);
+    let mut policy = build_policy(kind, &tier_cfg);
+    let mut mem = TieredMemory::new(tier_cfg);
+    let mut sampler = Sampler::new(19);
+    let mut ctx = PolicyCtx::new();
+    let latency = tiering_mem::LatencyModel::default();
+
+    // Track which pages were fast at the shift instant ("stale set") and how
+    // quickly the policy flushes them.
+    let mut stale: Vec<PageId> = Vec::new();
+
+    let mut now = 0u64;
+    let mut next_tick = 1_000_000u64;
+    let mut next_report = 200_000_000u64;
+    let mut buf = Vec::new();
+    let mut last = mem.stats();
+    let (mut slow_hits, mut accesses, mut lat_sum, mut ops) = (0u64, 0u64, 0u64, 0u64);
+    println!(
+        "policy={} ratio={ratio} fast_cap={}",
+        kind.label(),
+        tier_cfg.fast_capacity_pages
+    );
+    println!(
+        "{:>6} {:>9} {:>9} {:>7} {:>7} {:>10}",
+        "t(s)", "mean(ns)", "slowfrac", "promo", "demo", "stale-left"
+    );
+    while now < 8_000_000_000 {
+        buf.clear();
+        let Some(op) = workload.next_op(now, &mut buf) else {
+            break;
+        };
+        let mut op_ns = op.cpu_ns;
+        for a in &buf {
+            let page = a.page(PageSize::Base4K);
+            let tier = mem.ensure_mapped(page, policy.preferred_alloc_tier());
+            accesses += 1;
+            if tier == Tier::Slow {
+                slow_hits += 1;
+            }
+            op_ns += latency.access_ns(tier);
+            if policy.wants_access_hook() {
+                op_ns += policy.on_access(page, now, &mut mem, &mut ctx);
+            }
+            if let Some(s) = sampler.observe_full(a, tier, now, PageSize::Base4K) {
+                policy.on_sample(s, &mut mem, &mut ctx);
+            }
+        }
+        if now >= next_tick {
+            policy.on_tick(now, &mut mem, &mut ctx);
+            next_tick = now + 1_000_000;
+        }
+        let s = mem.stats();
+        let moved = (s.promotions - last.promotions) + (s.demotions - last.demotions);
+        let _ = moved;
+        ctx.drain();
+        now += op_ns.max(1);
+        lat_sum += op_ns;
+        ops += 1;
+
+        if stale.is_empty() && now >= shift_ns {
+            stale = mem
+                .iter_mapped()
+                .filter(|&(_, t)| t == Tier::Fast)
+                .map(|(p, _)| p)
+                .collect();
+        }
+        if now >= next_report {
+            let s = mem.stats();
+            let stale_left = stale
+                .iter()
+                .filter(|&&p| mem.tier_of(p) == Some(Tier::Fast))
+                .count();
+            println!(
+                "{:>6.1} {:>9} {:>9.3} {:>7} {:>7} {:>10}  {}",
+                now as f64 / 1e9,
+                lat_sum / ops.max(1),
+                slow_hits as f64 / accesses.max(1) as f64,
+                s.promotions - last.promotions,
+                s.demotions - last.demotions,
+                stale_left,
+                policy.debug_state(),
+            );
+            last = s;
+            (slow_hits, accesses, lat_sum, ops) = (0, 0, 0, 0);
+            next_report += 200_000_000;
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Regenerates the HybridTier paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment-id>...   run specific experiments (fig4, table3, ...)
+//! repro all                  run everything
+//! repro list                 list experiment ids
+//! ```
+//!
+//! CSVs land in `results/`; the printed tables mirror the paper's rows.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hybridtier_bench::experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    if args[0] == "list" {
+        for (id, _, desc) in experiments::ALL {
+            println!("{id:<8} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let out = PathBuf::from(
+        std::env::var("REPRO_OUT_DIR").unwrap_or_else(|_| "results".to_string()),
+    );
+    let ids: Vec<&str> = if args[0] == "all" {
+        experiments::ALL.iter().map(|&(id, ..)| id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for id in &ids {
+        let Some(runner) = experiments::find(id) else {
+            eprintln!("unknown experiment '{id}'; try `repro list`");
+            return ExitCode::FAILURE;
+        };
+        let start = Instant::now();
+        if let Err(e) = runner(&out) {
+            eprintln!("experiment {id} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[{id} took {:.1}s]", start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() {
+    println!("usage: repro <experiment-id>... | all | list");
+    println!("experiments:");
+    for (id, _, desc) in experiments::ALL {
+        println!("  {id:<8} {desc}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Benchmark harness regenerating every table and figure of the HybridTier
+//! (ASPLOS'25) evaluation.
+//!
+//! Each `experiments::figN` / `experiments::tableN` module regenerates one
+//! paper result: it runs the relevant simulations, prints the same
+//! rows/series the paper reports, and writes a CSV under `results/`.
+//! The `repro` binary dispatches to them:
+//!
+//! ```text
+//! cargo run -p hybridtier-bench --release --bin repro -- fig4
+//! cargo run -p hybridtier-bench --release --bin repro -- all
+//! ```
+//!
+//! Absolute numbers differ from the paper (simulator vs. testbed, ~512×
+//! scaled footprints, ~1000× compressed timescale); the *shapes* — which
+//! system wins, by roughly what factor, where crossovers fall — are the
+//! reproduction targets. EXPERIMENTS.md records paper-vs-measured for every
+//! entry.
+
+pub mod experiments;
+mod output;
+
+pub use output::{print_header, CsvWriter};
+
+use tiering_sim::SimConfig;
+
+/// Operation budget for the steady-state comparison sweeps (Figures 9–12,
+/// 15): long enough for placement to converge and several churn cycles to
+/// pass, short enough that the 180-run Figure 10 sweep stays in minutes.
+pub const SWEEP_OPS: u64 = 1_200_000;
+
+/// Default seed for all experiments (results are deterministic given this).
+pub const SEED: u64 = 0xA5F0_5EED;
+
+/// Engine configuration for the steady-state sweeps.
+pub fn sweep_config() -> SimConfig {
+    SimConfig::default().with_max_ops(SWEEP_OPS)
+}
+
+/// Engine configuration for adaptation-timeline experiments (Figure 4,
+/// Table 3): finer windows, longer simulated horizon.
+pub fn adaptation_config() -> SimConfig {
+    SimConfig {
+        window_ns: 100_000_000,        // 100 ms windows
+        max_sim_ns: 8_000_000_000,     // 8 simulated seconds
+        ..SimConfig::default()
+    }
+}

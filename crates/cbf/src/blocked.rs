@@ -1,0 +1,277 @@
+//! The cache-line-blocked counting Bloom filter (paper §4.2, Figure 8).
+
+use crate::counters::CounterArray;
+use crate::hash::{reduce, PageHasher};
+use crate::sizing::CbfParams;
+use crate::AccessCounter;
+
+/// A blocked counting Bloom filter: each key maps to exactly one 64-byte
+/// block, and all `k` of its counters live within that block.
+///
+/// This guarantees every `GET`/`INCREMENT` touches exactly one cache line —
+/// at most one cache miss — versus up to `k` for [`StandardCbf`]
+/// (paper §3.3: the final piece of HybridTier's cache-overhead reduction,
+/// Figure 14). The price is a slightly higher false-positive rate because
+/// collisions concentrate within blocks; the paper finds the trade favorable,
+/// and the Table 5 experiment in this repository quantifies it.
+///
+/// With 4-bit counters a block holds 128 counter slots; with 16-bit counters,
+/// 32 slots (paper §4.2).
+///
+/// [`StandardCbf`]: crate::StandardCbf
+#[derive(Debug, Clone)]
+pub struct BlockedCbf {
+    counters: CounterArray,
+    hasher: PageHasher,
+    k: u32,
+    num_blocks: usize,
+    slots_per_block: usize,
+    base_addr: u64,
+    idx_scratch: Vec<usize>,
+}
+
+impl BlockedCbf {
+    /// Builds a blocked filter with (at least) the counter count implied by
+    /// `params`, rounded up to a whole number of 64-byte blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.k == 0`, `params.m == 0`, or `k` exceeds the number
+    /// of counter slots in one block.
+    pub fn new(params: CbfParams) -> Self {
+        assert!(params.k > 0, "k must be positive");
+        assert!(params.m > 0, "m must be positive");
+        let slots_per_block = params.width.counters_per_line();
+        assert!(
+            (params.k as usize) <= slots_per_block,
+            "k={} exceeds {} slots per block",
+            params.k,
+            slots_per_block
+        );
+        let num_blocks = params.m.div_ceil(slots_per_block);
+        Self {
+            counters: CounterArray::new(num_blocks * slots_per_block, params.width),
+            hasher: PageHasher::new(params.seed),
+            k: params.k,
+            num_blocks,
+            slots_per_block,
+            base_addr: params.base_addr,
+            idx_scratch: vec![0; params.k as usize],
+        }
+    }
+
+    /// Number of 64-byte blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Number of counters (blocks × slots per block).
+    pub fn num_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Number of hash functions.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Fraction of counters that are non-zero.
+    pub fn occupancy(&self) -> f64 {
+        self.counters.occupied() as f64 / self.counters.len() as f64
+    }
+
+    /// Index of the block `key` maps to.
+    #[inline]
+    pub fn block_of(&self, key: u64) -> usize {
+        // Probe 0 selects the block; probes 1..=k select slots inside it.
+        reduce(self.hasher.probe(key, 0), self.num_blocks)
+    }
+
+    /// Fills `idx_scratch` with the global counter indices for `key`.
+    ///
+    /// Slot selection derives each in-block slot from an independent probe.
+    /// Duplicate slots within a block are permitted (they simply behave as a
+    /// filter with fewer effective hashes for that key), matching hardware
+    /// blocked-bloom designs.
+    #[inline]
+    fn fill_indices(&mut self, key: u64) {
+        let block = self.block_of(key);
+        let base = block * self.slots_per_block;
+        for i in 0..self.k {
+            let slot = reduce(self.hasher.probe(key, i + 1), self.slots_per_block);
+            self.idx_scratch[i as usize] = base + slot;
+        }
+    }
+}
+
+impl AccessCounter for BlockedCbf {
+    fn increment(&mut self, key: u64) -> u32 {
+        self.fill_indices(key);
+        let min = self
+            .idx_scratch
+            .iter()
+            .map(|&i| self.counters.get(i))
+            .min()
+            .expect("k > 0");
+        if min >= self.counters.width().max_count() {
+            return min;
+        }
+        for j in 0..self.k as usize {
+            let i = self.idx_scratch[j];
+            if self.counters.get(i) == min {
+                self.counters.set(i, min + 1);
+            }
+        }
+        min + 1
+    }
+
+    fn estimate(&self, key: u64) -> u32 {
+        let block = self.block_of(key);
+        let base = block * self.slots_per_block;
+        (0..self.k)
+            .map(|i| {
+                let slot = reduce(self.hasher.probe(key, i + 1), self.slots_per_block);
+                self.counters.get(base + slot)
+            })
+            .min()
+            .expect("k > 0")
+    }
+
+    fn cool(&mut self) {
+        self.counters.halve_all();
+    }
+
+    fn reset(&mut self) {
+        self.counters.clear();
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.counters.storage_bytes()
+    }
+
+    fn touched_lines(&self, key: u64, out: &mut Vec<u64>) {
+        // The defining property: exactly one cache line per operation.
+        let block = self.block_of(key) as u64;
+        out.push(self.base_addr + block * crate::CACHE_LINE_BYTES as u64);
+    }
+
+    fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CounterWidth;
+
+    fn filter(cap: usize) -> BlockedCbf {
+        BlockedCbf::new(CbfParams::for_capacity(cap, 4, 0.001, CounterWidth::W8))
+    }
+
+    #[test]
+    fn counts_single_key() {
+        let mut f = filter(1000);
+        for expect in 1..=10 {
+            assert_eq!(f.increment(0x1000), expect);
+        }
+        assert_eq!(f.estimate(0x1000), 10);
+        assert_eq!(f.estimate(0x2000), 0);
+    }
+
+    #[test]
+    fn exactly_one_cache_line_per_op() {
+        let f = filter(100_000);
+        for key in 0..500u64 {
+            let mut lines = Vec::new();
+            f.touched_lines(key, &mut lines);
+            assert_eq!(lines.len(), 1, "blocked CBF must touch exactly one line");
+            assert_eq!(lines[0] % 64, 0);
+        }
+    }
+
+    #[test]
+    fn all_counters_of_a_key_are_in_its_block() {
+        let mut f = filter(10_000);
+        for key in 0..200u64 {
+            f.fill_indices(key);
+            let block = f.block_of(key);
+            for &idx in &f.idx_scratch {
+                assert_eq!(idx / f.slots_per_block, block);
+            }
+        }
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut f = filter(500);
+        let mut truth = std::collections::HashMap::new();
+        let mut state = 999u64;
+        for _ in 0..5_000 {
+            state = crate::hash::splitmix64(state);
+            let key = state % 400;
+            f.increment(key);
+            *truth.entry(key).or_insert(0u32) += 1;
+        }
+        let cap = CounterWidth::W8.max_count();
+        for (&key, &count) in &truth {
+            assert!(f.estimate(key) >= count.min(cap));
+        }
+    }
+
+    #[test]
+    fn blocked_error_worse_than_standard_but_bounded() {
+        // Insert exactly the design load once each; compare overestimates.
+        let n = 4_000;
+        let params = CbfParams::for_capacity(n, 4, 0.001, CounterWidth::W8);
+        let mut blocked = BlockedCbf::new(params.clone());
+        let mut standard = crate::StandardCbf::new(params);
+        for key in 0..n as u64 {
+            blocked.increment(key);
+            standard.increment(key);
+        }
+        let over_b = (0..n as u64).filter(|&k| blocked.estimate(k) > 1).count();
+        let over_s = (0..n as u64).filter(|&k| standard.estimate(k) > 1).count();
+        // Paper: "blocked CBF has a slightly higher false positive rate".
+        assert!(over_b >= over_s, "blocked {over_b} vs standard {over_s}");
+        assert!(
+            over_b < n / 20,
+            "blocked overestimates {over_b}/{n}, beyond the 'slight' regime"
+        );
+    }
+
+    #[test]
+    fn cool_and_reset() {
+        let mut f = filter(100);
+        for _ in 0..9 {
+            f.increment(5);
+        }
+        f.cool();
+        assert_eq!(f.estimate(5), 4);
+        f.reset();
+        assert_eq!(f.estimate(5), 0);
+    }
+
+    #[test]
+    fn whole_blocks_allocation() {
+        let f = BlockedCbf::new(CbfParams {
+            k: 4,
+            m: 130, // not a multiple of 128
+            width: CounterWidth::W4,
+            seed: 0,
+            base_addr: 0,
+        });
+        assert_eq!(f.num_blocks(), 2);
+        assert_eq!(f.num_counters(), 256);
+        assert_eq!(f.metadata_bytes(), 128);
+    }
+
+    #[test]
+    fn four_bit_saturation() {
+        let mut f = BlockedCbf::new(CbfParams::for_capacity(64, 4, 0.001, CounterWidth::W4));
+        for _ in 0..40 {
+            f.increment(3);
+        }
+        assert_eq!(f.estimate(3), 15);
+    }
+}

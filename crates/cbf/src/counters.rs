@@ -1,0 +1,268 @@
+//! Packed saturating counter arrays.
+//!
+//! HybridTier stores CBF counters at 4 bits each in base-page mode (cap 15;
+//! paper §3.2: "pages with access count ≥ 15 should all be placed in fast-tier
+//! memory, thus there is no need to differentiate between them") and 16 bits
+//! in huge-page mode (§4.4). An 8-bit width is provided for experimentation.
+
+use std::fmt;
+
+/// Width of each counter in a [`CounterArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterWidth {
+    /// 4-bit counters saturating at 15 (HybridTier base-page default).
+    W4,
+    /// 8-bit counters saturating at 255.
+    W8,
+    /// 16-bit counters saturating at 65 535 (HybridTier huge-page mode).
+    W16,
+}
+
+impl CounterWidth {
+    /// Number of bits per counter.
+    pub const fn bits(self) -> u32 {
+        match self {
+            CounterWidth::W4 => 4,
+            CounterWidth::W8 => 8,
+            CounterWidth::W16 => 16,
+        }
+    }
+
+    /// Saturation cap (maximum representable count).
+    pub const fn max_count(self) -> u32 {
+        match self {
+            CounterWidth::W4 => 15,
+            CounterWidth::W8 => 255,
+            CounterWidth::W16 => 65_535,
+        }
+    }
+
+    /// How many counters of this width fit in one 64-byte cache line.
+    pub const fn counters_per_line(self) -> usize {
+        (crate::CACHE_LINE_BYTES * 8) / self.bits() as usize
+    }
+}
+
+impl fmt::Display for CounterWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.bits())
+    }
+}
+
+/// A dense array of `len` saturating counters, packed `width.bits()` bits
+/// each into `u64` words.
+///
+/// All index arithmetic is branch-light so that the simulator can run tens of
+/// millions of updates per second.
+#[derive(Debug, Clone)]
+pub struct CounterArray {
+    width: CounterWidth,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl CounterArray {
+    /// Creates an array of `len` zeroed counters.
+    pub fn new(len: usize, width: CounterWidth) -> Self {
+        let per_word = 64 / width.bits() as usize;
+        let words = len.div_ceil(per_word);
+        Self {
+            width,
+            len,
+            words: vec![0u64; words],
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array holds zero counters.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Counter width.
+    pub fn width(&self) -> CounterWidth {
+        self.width
+    }
+
+    /// Bytes of backing storage.
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    #[inline]
+    fn slot(&self, idx: usize) -> (usize, u32) {
+        debug_assert!(idx < self.len, "counter index {idx} out of bounds {}", self.len);
+        let bits = self.width.bits();
+        let per_word = 64 / bits;
+        (idx / per_word as usize, (idx as u32 % per_word) * bits)
+    }
+
+    /// Reads counter `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `idx >= len`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u32 {
+        let (word, shift) = self.slot(idx);
+        let mask = self.width.max_count() as u64;
+        ((self.words[word] >> shift) & mask) as u32
+    }
+
+    /// Writes counter `idx`, clamping `value` to the saturation cap.
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: u32) {
+        let cap = self.width.max_count();
+        let v = value.min(cap) as u64;
+        let (word, shift) = self.slot(idx);
+        let mask = (cap as u64) << shift;
+        let w = &mut self.words[word];
+        *w = (*w & !mask) | (v << shift);
+    }
+
+    /// Increments counter `idx` by one, saturating at the cap; returns the
+    /// new value.
+    #[inline]
+    pub fn saturating_inc(&mut self, idx: usize) -> u32 {
+        let v = self.get(idx);
+        if v < self.width.max_count() {
+            self.set(idx, v + 1);
+            v + 1
+        } else {
+            v
+        }
+    }
+
+    /// Halves every counter in place (EMA decay factor 2).
+    ///
+    /// Works word-at-a-time: shifting the whole word right by one and masking
+    /// out the bit that would bleed across counter boundaries — the same
+    /// bit-trick a production implementation uses, so cooling an `m`-counter
+    /// filter is `O(m / 16)` word operations for 4-bit counters.
+    pub fn halve_all(&mut self) {
+        let bits = self.width.bits();
+        // Mask with the top bit of every counter field cleared, so a 1-bit
+        // right shift never imports the neighbour counter's low bit.
+        let field_mask: u64 = match bits {
+            4 => 0x7777_7777_7777_7777,
+            8 => 0x7F7F_7F7F_7F7F_7F7F,
+            16 => 0x7FFF_7FFF_7FFF_7FFF,
+            _ => unreachable!("unsupported width"),
+        };
+        for w in &mut self.words {
+            *w = (*w >> 1) & field_mask;
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sum of all counters (used for occupancy statistics and tests).
+    pub fn total(&self) -> u64 {
+        (0..self.len).map(|i| self.get(i) as u64).sum()
+    }
+
+    /// Number of non-zero counters.
+    pub fn occupied(&self) -> usize {
+        (0..self.len).filter(|&i| self.get(i) != 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_pack_correctly() {
+        assert_eq!(CounterWidth::W4.counters_per_line(), 128);
+        assert_eq!(CounterWidth::W8.counters_per_line(), 64);
+        assert_eq!(CounterWidth::W16.counters_per_line(), 32);
+    }
+
+    #[test]
+    fn get_set_roundtrip_all_widths() {
+        for width in [CounterWidth::W4, CounterWidth::W8, CounterWidth::W16] {
+            let mut arr = CounterArray::new(100, width);
+            for i in 0..100 {
+                arr.set(i, (i as u32 * 7) % (width.max_count() + 1));
+            }
+            for i in 0..100 {
+                assert_eq!(arr.get(i), (i as u32 * 7) % (width.max_count() + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn set_clamps_to_cap() {
+        let mut arr = CounterArray::new(4, CounterWidth::W4);
+        arr.set(2, 1000);
+        assert_eq!(arr.get(2), 15);
+        assert_eq!(arr.get(1), 0, "neighbours untouched");
+        assert_eq!(arr.get(3), 0, "neighbours untouched");
+    }
+
+    #[test]
+    fn saturating_inc_saturates() {
+        let mut arr = CounterArray::new(1, CounterWidth::W4);
+        for expect in 1..=15 {
+            assert_eq!(arr.saturating_inc(0), expect);
+        }
+        assert_eq!(arr.saturating_inc(0), 15, "stays at cap");
+    }
+
+    #[test]
+    fn halve_all_is_per_counter_floor_division() {
+        for width in [CounterWidth::W4, CounterWidth::W8, CounterWidth::W16] {
+            let mut arr = CounterArray::new(64, width);
+            let cap = width.max_count();
+            for i in 0..64 {
+                arr.set(i, (i as u32 * 3 + 1) % (cap + 1));
+            }
+            let before: Vec<u32> = (0..64).map(|i| arr.get(i)).collect();
+            arr.halve_all();
+            for i in 0..64 {
+                assert_eq!(arr.get(i), before[i] / 2, "width {width} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn halve_all_does_not_leak_across_counters() {
+        let mut arr = CounterArray::new(16, CounterWidth::W4);
+        // Alternate max/zero; halving must not bleed a bit into the zeros.
+        for i in 0..16 {
+            arr.set(i, if i % 2 == 0 { 15 } else { 0 });
+        }
+        arr.halve_all();
+        for i in 0..16 {
+            assert_eq!(arr.get(i), if i % 2 == 0 { 7 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut arr = CounterArray::new(33, CounterWidth::W16);
+        for i in 0..33 {
+            arr.set(i, 9);
+        }
+        arr.clear();
+        assert_eq!(arr.total(), 0);
+        assert_eq!(arr.occupied(), 0);
+    }
+
+    #[test]
+    fn storage_is_packed() {
+        // 128 4-bit counters = 64 bytes.
+        let arr = CounterArray::new(128, CounterWidth::W4);
+        assert_eq!(arr.storage_bytes(), 64);
+        // 100 counters round up to whole words.
+        let arr = CounterArray::new(100, CounterWidth::W4);
+        assert_eq!(arr.storage_bytes(), 56);
+    }
+}

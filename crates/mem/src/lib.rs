@@ -1,0 +1,41 @@
+//! Tiered-memory substrate: the simulated fast (local DRAM) and slow
+//! (CXL-attached) memory tiers that tiering policies manage.
+//!
+//! The paper's testbed emulates CXL with a remote NUMA node (local DRAM
+//! ≈ 80–100 ns, emulated CXL ≈ 124 ns idle; commercial parts 2–5× local
+//! latency, Figure 1). This crate models that environment:
+//!
+//! * [`TieredMemory`] — a page table mapping every application page to a
+//!   tier, with capacity accounting, first-touch allocation, and
+//!   promote/demote operations (the simulator's stand-in for
+//!   `move_pages(2)`).
+//! * [`LatencyModel`] — access and migration costs, parameterized so
+//!   experiments can sweep the fast:slow latency gap.
+//! * [`TierRatio`] — the 1:16 / 1:8 / 1:4 fast:slow capacity splits the
+//!   paper evaluates.
+//!
+//! # Example
+//!
+//! ```
+//! use tiering_mem::{PageId, PageSize, Tier, TierConfig, TieredMemory, TierRatio};
+//!
+//! let cfg = TierConfig::for_footprint(1_000, TierRatio::OneTo8, PageSize::Base4K);
+//! let mut mem = TieredMemory::new(cfg);
+//! let page = PageId(42);
+//! mem.ensure_mapped(page, Tier::Slow);
+//! assert_eq!(mem.tier_of(page), Some(Tier::Slow));
+//! mem.promote(page)?;
+//! assert_eq!(mem.tier_of(page), Some(Tier::Fast));
+//! # Ok::<(), tiering_mem::MigrationError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod latency;
+mod page;
+mod tiered;
+
+pub use latency::LatencyModel;
+pub use page::{PageId, PageSize, Tier};
+pub use tiered::{MigrationError, MigrationStats, TierConfig, TierRatio, TieredMemory};

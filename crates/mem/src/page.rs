@@ -1,0 +1,153 @@
+//! Page identifiers, page sizes, and memory tiers.
+
+use std::fmt;
+
+/// A page number in the simulated virtual address space.
+///
+/// A `PageId` is the byte address right-shifted by the page-size shift, so it
+/// is stable for a given page size regardless of tier placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The page containing `byte_addr` under the given page size.
+    #[inline]
+    pub fn containing(byte_addr: u64, size: PageSize) -> Self {
+        PageId(byte_addr >> size.shift())
+    }
+
+    /// First byte address of this page.
+    #[inline]
+    pub fn base_addr(self, size: PageSize) -> u64 {
+        self.0 << size.shift()
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+impl From<u64> for PageId {
+    fn from(v: u64) -> Self {
+        PageId(v)
+    }
+}
+
+/// Page granularity at which tracking and migration operate.
+///
+/// HybridTier supports regular 4 KiB pages and 2 MiB transparent huge pages
+/// (paper §4.4); in huge-page mode the trackers widen to 16-bit counters and
+/// shrink 512× in element count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PageSize {
+    /// Regular 4 KiB pages.
+    #[default]
+    Base4K,
+    /// 2 MiB transparent huge pages.
+    Huge2M,
+}
+
+impl PageSize {
+    /// log2 of the page size in bytes.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Base4K => 12,
+            PageSize::Huge2M => 21,
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1 << self.shift()
+    }
+
+    /// How many base (4 KiB) pages one page of this size spans.
+    #[inline]
+    pub const fn base_pages(self) -> u64 {
+        self.bytes() / PageSize::Base4K.bytes()
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Base4K => write!(f, "4KiB"),
+            PageSize::Huge2M => write!(f, "2MiB"),
+        }
+    }
+}
+
+/// A memory tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Local DRAM: low latency, limited capacity.
+    Fast,
+    /// CXL-attached memory: 2–5× latency, abundant capacity.
+    Slow,
+}
+
+impl Tier {
+    /// The other tier.
+    #[inline]
+    pub fn other(self) -> Tier {
+        match self {
+            Tier::Fast => Tier::Slow,
+            Tier::Slow => Tier::Fast,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tier::Fast => write!(f, "fast"),
+            Tier::Slow => write!(f, "slow"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_round_trips() {
+        let addr = 0x12_3456_7890u64;
+        let p = PageId::containing(addr, PageSize::Base4K);
+        assert_eq!(p.0, addr >> 12);
+        assert_eq!(p.base_addr(PageSize::Base4K), addr & !0xFFF);
+    }
+
+    #[test]
+    fn huge_pages_span_512_base_pages() {
+        assert_eq!(PageSize::Huge2M.base_pages(), 512);
+        assert_eq!(PageSize::Base4K.base_pages(), 1);
+        assert_eq!(PageSize::Huge2M.bytes(), 2 << 20);
+    }
+
+    #[test]
+    fn same_huge_page_for_nearby_addresses() {
+        let a = PageId::containing(0x20_0000, PageSize::Huge2M);
+        let b = PageId::containing(0x20_0000 + 1_000_000, PageSize::Huge2M);
+        assert_eq!(a, b);
+        let c = PageId::containing(0x40_0000, PageSize::Huge2M);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tier_other_flips() {
+        assert_eq!(Tier::Fast.other(), Tier::Slow);
+        assert_eq!(Tier::Slow.other(), Tier::Fast);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(PageId(3).to_string(), "page#3");
+        assert_eq!(PageSize::Huge2M.to_string(), "2MiB");
+        assert_eq!(Tier::Fast.to_string(), "fast");
+    }
+}

@@ -1,0 +1,453 @@
+//! The tiered page table: placement, capacity accounting, and migration.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::page::{PageId, PageSize, Tier};
+
+/// Fast:slow capacity ratios evaluated in the paper (§6.1: "the x-axis
+/// indicates the ratio between fast and slow-tier memory capacity").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TierRatio {
+    /// Fast tier is 1/16 of the slow tier (scarce fast memory).
+    OneTo16,
+    /// Fast tier is 1/8 of the slow tier.
+    OneTo8,
+    /// Fast tier is 1/4 of the slow tier (abundant fast memory).
+    OneTo4,
+}
+
+impl TierRatio {
+    /// All three ratios, in the order the paper plots them.
+    pub const ALL: [TierRatio; 3] = [TierRatio::OneTo16, TierRatio::OneTo8, TierRatio::OneTo4];
+
+    /// The slow-tier multiple (16, 8, or 4).
+    pub fn slow_multiple(self) -> u64 {
+        match self {
+            TierRatio::OneTo16 => 16,
+            TierRatio::OneTo8 => 8,
+            TierRatio::OneTo4 => 4,
+        }
+    }
+}
+
+impl fmt::Display for TierRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "1:{}", self.slow_multiple())
+    }
+}
+
+/// Capacity configuration for the two tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Pages the fast tier can hold.
+    pub fast_capacity_pages: u64,
+    /// Pages the slow tier can hold.
+    pub slow_capacity_pages: u64,
+    /// Page granularity.
+    pub page_size: PageSize,
+    /// Number of pages in the application's address space (page table span).
+    pub address_space_pages: u64,
+}
+
+impl TierConfig {
+    /// Sizes the tiers for a workload of `footprint_pages` at the given
+    /// ratio, mirroring the paper's setup: the slow tier alone can hold the
+    /// whole footprint (theirs is fixed at 512 GiB ≥ every workload), and
+    /// the fast tier is `footprint / ratio` — e.g. 1:8 gives a fast tier
+    /// holding 1/8 of the footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint_pages == 0`.
+    pub fn for_footprint(footprint_pages: u64, ratio: TierRatio, page_size: PageSize) -> Self {
+        assert!(footprint_pages > 0, "footprint must be non-empty");
+        let fast = (footprint_pages / ratio.slow_multiple()).max(1);
+        Self {
+            fast_capacity_pages: fast,
+            slow_capacity_pages: footprint_pages,
+            page_size,
+            address_space_pages: footprint_pages,
+        }
+    }
+
+    /// A configuration whose fast tier holds the entire footprint — the
+    /// all-fast-tier upper bound of paper Figure 11.
+    pub fn all_fast(footprint_pages: u64, page_size: PageSize) -> Self {
+        Self {
+            fast_capacity_pages: footprint_pages,
+            slow_capacity_pages: footprint_pages,
+            page_size,
+            address_space_pages: footprint_pages,
+        }
+    }
+
+    /// Total bytes across both tiers.
+    pub fn total_bytes(&self) -> u64 {
+        (self.fast_capacity_pages + self.slow_capacity_pages) * self.page_size.bytes()
+    }
+}
+
+/// Why a migration could not be performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationError {
+    /// The page has never been touched (no mapping exists).
+    NotMapped(PageId),
+    /// The page is already resident in the requested tier.
+    AlreadyThere(PageId, Tier),
+    /// The destination tier has no free capacity.
+    TierFull(Tier),
+}
+
+impl fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationError::NotMapped(p) => write!(f, "{p} is not mapped"),
+            MigrationError::AlreadyThere(p, t) => write!(f, "{p} is already in the {t} tier"),
+            MigrationError::TierFull(t) => write!(f, "{t} tier is full"),
+        }
+    }
+}
+
+impl Error for MigrationError {}
+
+/// Running migration/allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Pages moved slow → fast.
+    pub promotions: u64,
+    /// Pages moved fast → slow.
+    pub demotions: u64,
+    /// First-touch allocations landing in the fast tier.
+    pub allocated_fast: u64,
+    /// First-touch allocations landing in the slow tier.
+    pub allocated_slow: u64,
+    /// Promotions rejected because the fast tier was full.
+    pub failed_promotions: u64,
+}
+
+/// The tiered page table.
+///
+/// Maps every page of the application address space to its current tier and
+/// enforces tier capacities. This is the simulator's analogue of the kernel
+/// page table plus NUMA placement; policies manipulate it through
+/// [`promote`](TieredMemory::promote) / [`demote`](TieredMemory::demote)
+/// (the stand-ins for `move_pages(2)`) and read it through
+/// [`tier_of`](TieredMemory::tier_of) (the stand-in for
+/// `/proc/PID/pagemap` scans, which is how HybridTier's demotion scan walks
+/// the address space, §4.3).
+#[derive(Debug, Clone)]
+pub struct TieredMemory {
+    config: TierConfig,
+    /// Placement per page: `None` = untouched, `Some(tier)` = resident.
+    table: Vec<Option<Tier>>,
+    fast_used: u64,
+    slow_used: u64,
+    stats: MigrationStats,
+}
+
+impl TieredMemory {
+    /// Creates an empty tiered memory with the given configuration.
+    pub fn new(config: TierConfig) -> Self {
+        Self {
+            table: vec![None; config.address_space_pages as usize],
+            config,
+            fast_used: 0,
+            slow_used: 0,
+            stats: MigrationStats::default(),
+        }
+    }
+
+    /// The configuration this memory was built with.
+    pub fn config(&self) -> TierConfig {
+        self.config
+    }
+
+    /// Current tier of `page`, or `None` if never touched.
+    #[inline]
+    pub fn tier_of(&self, page: PageId) -> Option<Tier> {
+        self.table.get(page.0 as usize).copied().flatten()
+    }
+
+    /// Ensures `page` is mapped, allocating it on first touch.
+    ///
+    /// Allocation tries `preferred` first and falls back to the other tier
+    /// if full (Linux first-touch with fallback). Returns the tier the page
+    /// resides in after the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the configured address space, or if both
+    /// tiers are full (the configuration guarantees the slow tier can hold
+    /// the footprint, so this indicates a harness bug).
+    #[inline]
+    pub fn ensure_mapped(&mut self, page: PageId, preferred: Tier) -> Tier {
+        let idx = page.0 as usize;
+        assert!(
+            idx < self.table.len(),
+            "{page} outside address space of {} pages",
+            self.table.len()
+        );
+        if let Some(t) = self.table[idx] {
+            return t;
+        }
+        let tier = if self.has_free(preferred) {
+            preferred
+        } else if self.has_free(preferred.other()) {
+            preferred.other()
+        } else {
+            panic!("both tiers full; slow tier must be sized to the footprint");
+        };
+        self.table[idx] = Some(tier);
+        match tier {
+            Tier::Fast => {
+                self.fast_used += 1;
+                self.stats.allocated_fast += 1;
+            }
+            Tier::Slow => {
+                self.slow_used += 1;
+                self.stats.allocated_slow += 1;
+            }
+        }
+        tier
+    }
+
+    #[inline]
+    fn has_free(&self, tier: Tier) -> bool {
+        match tier {
+            Tier::Fast => self.fast_used < self.config.fast_capacity_pages,
+            Tier::Slow => self.slow_used < self.config.slow_capacity_pages,
+        }
+    }
+
+    /// Moves `page` slow → fast.
+    ///
+    /// # Errors
+    ///
+    /// [`MigrationError::NotMapped`] if the page was never touched,
+    /// [`MigrationError::AlreadyThere`] if it is already fast, or
+    /// [`MigrationError::TierFull`] if the fast tier has no free page (the
+    /// caller must demote first; failed promotions are counted).
+    pub fn promote(&mut self, page: PageId) -> Result<(), MigrationError> {
+        match self.tier_of(page) {
+            None => Err(MigrationError::NotMapped(page)),
+            Some(Tier::Fast) => Err(MigrationError::AlreadyThere(page, Tier::Fast)),
+            Some(Tier::Slow) => {
+                if !self.has_free(Tier::Fast) {
+                    self.stats.failed_promotions += 1;
+                    return Err(MigrationError::TierFull(Tier::Fast));
+                }
+                self.table[page.0 as usize] = Some(Tier::Fast);
+                self.slow_used -= 1;
+                self.fast_used += 1;
+                self.stats.promotions += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Moves `page` fast → slow.
+    ///
+    /// # Errors
+    ///
+    /// Mirror image of [`promote`](TieredMemory::promote).
+    pub fn demote(&mut self, page: PageId) -> Result<(), MigrationError> {
+        match self.tier_of(page) {
+            None => Err(MigrationError::NotMapped(page)),
+            Some(Tier::Slow) => Err(MigrationError::AlreadyThere(page, Tier::Slow)),
+            Some(Tier::Fast) => {
+                if !self.has_free(Tier::Slow) {
+                    return Err(MigrationError::TierFull(Tier::Slow));
+                }
+                self.table[page.0 as usize] = Some(Tier::Slow);
+                self.fast_used -= 1;
+                self.slow_used += 1;
+                self.stats.demotions += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Pages currently resident in the fast tier.
+    pub fn fast_used(&self) -> u64 {
+        self.fast_used
+    }
+
+    /// Pages currently resident in the slow tier.
+    pub fn slow_used(&self) -> u64 {
+        self.slow_used
+    }
+
+    /// Free pages remaining in the fast tier (zero when over quota after a
+    /// capacity shrink).
+    pub fn fast_free(&self) -> u64 {
+        self.config.fast_capacity_pages.saturating_sub(self.fast_used)
+    }
+
+    /// Re-sizes the fast tier (the global-tiering controller of paper §7
+    /// adjusts per-tenant quotas at runtime). Shrinking below the current
+    /// occupancy is allowed: the tier reports zero free pages until the
+    /// policy's watermark demotion drains the excess.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages == 0`.
+    pub fn set_fast_capacity(&mut self, pages: u64) {
+        assert!(pages > 0, "fast capacity must be positive");
+        self.config.fast_capacity_pages = pages;
+    }
+
+    /// Free fast-tier fraction in `[0, 1]` (watermark checks compare against
+    /// this).
+    pub fn fast_free_frac(&self) -> f64 {
+        self.fast_free() as f64 / self.config.fast_capacity_pages as f64
+    }
+
+    /// Number of pages in the address space (mapped or not).
+    pub fn address_space_pages(&self) -> u64 {
+        self.config.address_space_pages
+    }
+
+    /// Number of currently mapped pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.fast_used + self.slow_used
+    }
+
+    /// Migration statistics so far.
+    pub fn stats(&self) -> MigrationStats {
+        self.stats
+    }
+
+    /// Iterates over all mapped pages and their tiers in address order —
+    /// the simulator analogue of a linear `/proc/PID/pagemap` scan.
+    pub fn iter_mapped(&self) -> impl Iterator<Item = (PageId, Tier)> + '_ {
+        self.table
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (PageId(i as u64), t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TieredMemory {
+        TieredMemory::new(TierConfig {
+            fast_capacity_pages: 4,
+            slow_capacity_pages: 100,
+            page_size: PageSize::Base4K,
+            address_space_pages: 100,
+        })
+    }
+
+    #[test]
+    fn ratio_configs() {
+        let c = TierConfig::for_footprint(1600, TierRatio::OneTo16, PageSize::Base4K);
+        assert_eq!(c.fast_capacity_pages, 100);
+        assert_eq!(c.slow_capacity_pages, 1600);
+        let c = TierConfig::for_footprint(1600, TierRatio::OneTo4, PageSize::Base4K);
+        assert_eq!(c.fast_capacity_pages, 400);
+        assert_eq!(TierRatio::OneTo8.to_string(), "1:8");
+    }
+
+    #[test]
+    fn first_touch_allocates_preferred() {
+        let mut m = small();
+        assert_eq!(m.ensure_mapped(PageId(0), Tier::Fast), Tier::Fast);
+        assert_eq!(m.ensure_mapped(PageId(1), Tier::Slow), Tier::Slow);
+        // Idempotent: second touch does not move or re-allocate.
+        assert_eq!(m.ensure_mapped(PageId(0), Tier::Slow), Tier::Fast);
+        assert_eq!(m.stats().allocated_fast, 1);
+        assert_eq!(m.stats().allocated_slow, 1);
+    }
+
+    #[test]
+    fn fast_allocation_falls_back_when_full() {
+        let mut m = small();
+        for i in 0..4 {
+            assert_eq!(m.ensure_mapped(PageId(i), Tier::Fast), Tier::Fast);
+        }
+        // Fifth fast-preferred touch spills to slow.
+        assert_eq!(m.ensure_mapped(PageId(4), Tier::Fast), Tier::Slow);
+        assert_eq!(m.fast_free(), 0);
+    }
+
+    #[test]
+    fn promote_and_demote_move_pages() {
+        let mut m = small();
+        m.ensure_mapped(PageId(7), Tier::Slow);
+        m.promote(PageId(7)).unwrap();
+        assert_eq!(m.tier_of(PageId(7)), Some(Tier::Fast));
+        assert_eq!(m.fast_used(), 1);
+        assert_eq!(m.slow_used(), 0);
+        m.demote(PageId(7)).unwrap();
+        assert_eq!(m.tier_of(PageId(7)), Some(Tier::Slow));
+        let s = m.stats();
+        assert_eq!((s.promotions, s.demotions), (1, 1));
+    }
+
+    #[test]
+    fn promote_errors() {
+        let mut m = small();
+        assert_eq!(
+            m.promote(PageId(3)),
+            Err(MigrationError::NotMapped(PageId(3)))
+        );
+        m.ensure_mapped(PageId(3), Tier::Fast);
+        assert_eq!(
+            m.promote(PageId(3)),
+            Err(MigrationError::AlreadyThere(PageId(3), Tier::Fast))
+        );
+        // Fill the fast tier, then promotion of a slow page must fail.
+        for i in 10..13 {
+            m.ensure_mapped(PageId(i), Tier::Fast);
+        }
+        m.ensure_mapped(PageId(20), Tier::Slow);
+        assert_eq!(
+            m.promote(PageId(20)),
+            Err(MigrationError::TierFull(Tier::Fast))
+        );
+        assert_eq!(m.stats().failed_promotions, 1);
+    }
+
+    #[test]
+    fn capacity_accounting_is_conserved() {
+        let mut m = small();
+        for i in 0..50 {
+            m.ensure_mapped(PageId(i), Tier::Slow);
+        }
+        for i in 0..4 {
+            m.promote(PageId(i)).unwrap();
+        }
+        assert_eq!(m.mapped_pages(), 50);
+        assert_eq!(m.fast_used() + m.slow_used(), 50);
+        assert_eq!(m.fast_used(), 4);
+        assert!((m.fast_free_frac() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_mapped_in_address_order() {
+        let mut m = small();
+        m.ensure_mapped(PageId(9), Tier::Slow);
+        m.ensure_mapped(PageId(2), Tier::Fast);
+        let v: Vec<_> = m.iter_mapped().collect();
+        assert_eq!(
+            v,
+            vec![(PageId(2), Tier::Fast), (PageId(9), Tier::Slow)]
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MigrationError::TierFull(Tier::Fast);
+        assert_eq!(e.to_string(), "fast tier is full");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside address space")]
+    fn out_of_range_page_panics() {
+        let mut m = small();
+        m.ensure_mapped(PageId(1000), Tier::Fast);
+    }
+}

@@ -1,0 +1,120 @@
+//! Exponential-moving-average hotness scoring.
+//!
+//! Frequency-based tiering systems age their counters with an EMA of decay
+//! factor 2: every cooling period the score is halved, and accesses in the
+//! current period add 1 each (paper §2.3.2, footnote: "decay factor 2 is
+//! typically used since it can be implemented using bit shift"). This small
+//! standalone scorer reproduces the paper's Figure 3(a) lag analysis and
+//! documents the dynamics the CBF trackers implement in aggregate.
+
+/// An EMA score for a single tracked entity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmaScore {
+    score: u64,
+}
+
+impl EmaScore {
+    /// A zero score.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `accesses` new accesses.
+    pub fn record(&mut self, accesses: u64) {
+        self.score += accesses;
+    }
+
+    /// Applies one cooling event (halves the score).
+    pub fn cool(&mut self) {
+        self.score /= 2;
+    }
+
+    /// Current score.
+    pub fn score(&self) -> u64 {
+        self.score
+    }
+}
+
+/// Simulates the Figure 3(a) experiment: a page receiving
+/// `rate_per_minute` accesses per minute for `active_minutes`, then silent,
+/// with cooling every `cooling_minutes`; returns the per-minute EMA score
+/// series over `total_minutes`.
+///
+/// The paper's instance (50 accesses/min for 10 min, cooling every 2 min)
+/// shows the score staying above 10 until minute ~19 — a 9-minute lag after
+/// the page went cold.
+pub fn ema_lag_series(
+    rate_per_minute: u64,
+    active_minutes: u64,
+    cooling_minutes: u64,
+    total_minutes: u64,
+) -> Vec<u64> {
+    let mut ema = EmaScore::new();
+    let mut series = Vec::with_capacity(total_minutes as usize);
+    for minute in 0..total_minutes {
+        if minute < active_minutes {
+            ema.record(rate_per_minute);
+        }
+        if cooling_minutes > 0 && (minute + 1) % cooling_minutes == 0 {
+            ema.cool();
+        }
+        series.push(ema.score());
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_cool() {
+        let mut e = EmaScore::new();
+        e.record(10);
+        assert_eq!(e.score(), 10);
+        e.cool();
+        assert_eq!(e.score(), 5);
+        e.record(3);
+        assert_eq!(e.score(), 8);
+    }
+
+    #[test]
+    fn paper_figure_3a_lag() {
+        // 50 acc/min for 10 min, cooling every 2 min, watch 25 min.
+        let series = ema_lag_series(50, 10, 2, 25);
+        // While active the score builds up but stays bounded by cooling.
+        assert!(series[9] >= 50, "active score {}", series[9]);
+        // After going cold at minute 10, the score only halves every 2 min:
+        // it lags. It must still be above 10 at minute 14...
+        assert!(series[14] > 10, "score at 15 min: {}", series[14]);
+        // ...and only drop below 10 somewhere before minute 20 (paper: 19).
+        let drop = series.iter().position(|&s| s < 10).unwrap();
+        assert!(
+            (15..=20).contains(&drop),
+            "score dropped below 10 at minute {drop}, paper says ~19"
+        );
+    }
+
+    #[test]
+    fn lower_cooling_period_adapts_faster() {
+        let slow = ema_lag_series(50, 10, 4, 30);
+        let fast = ema_lag_series(50, 10, 1, 30);
+        let drop_at = |s: &[u64]| s.iter().position(|&v| v < 10).unwrap_or(s.len());
+        assert!(
+            drop_at(&fast) < drop_at(&slow),
+            "fast cooling should converge sooner ({} vs {})",
+            drop_at(&fast),
+            drop_at(&slow)
+        );
+    }
+
+    #[test]
+    fn steady_state_score_is_rate_times_period_bound() {
+        // Under constant rate r and cooling every c minutes, the steady
+        // score just after cooling tends to r*c (geometric series limit).
+        let series = ema_lag_series(50, 100, 2, 100);
+        let peak = *series.iter().max().unwrap();
+        assert!(peak <= 2 * 50 * 2, "peak {peak} should be bounded by 2*r*c");
+        assert!(peak >= 50, "peak {peak} should at least reach one period's mass");
+    }
+}

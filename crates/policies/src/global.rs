@@ -1,0 +1,278 @@
+//! Global (multi-tenant) tiering — the paper's §7 extension.
+//!
+//! "To support global memory tiering (e.g., multi-tenant VM, co-located
+//! applications), one could use a central HybridTier controller that
+//! coordinates with individual HybridTier instances. Each HybridTier
+//! instance would report local hot/cold items to the central controller,
+//! which makes global promotion/demotion decisions." (paper §7)
+//!
+//! This module implements that sketch: a [`GlobalController`] owns the
+//! fast-tier budget and periodically re-partitions it across tenants in
+//! proportion to each tenant's *demonstrated* hot-set size, measured by its
+//! HybridTier frequency histogram. Each tenant runs an ordinary
+//! [`HybridTierPolicy`] against its own [`TieredMemory`] whose fast
+//! capacity is the controller-assigned quota.
+
+use tiering_mem::{PageSize, TierConfig, TieredMemory};
+
+use crate::hybridtier::{HybridTierConfig, HybridTierPolicy};
+
+/// One tenant registered with the controller.
+#[derive(Debug)]
+pub struct Tenant {
+    /// Tenant name (reporting).
+    pub name: String,
+    /// The tenant's private tiering runtime.
+    pub policy: HybridTierPolicy,
+    /// The tenant's memory view; its fast capacity is the current quota.
+    pub mem: TieredMemory,
+    footprint_pages: u64,
+}
+
+impl Tenant {
+    /// Pages this tenant's address space spans.
+    pub fn footprint_pages(&self) -> u64 {
+        self.footprint_pages
+    }
+
+    /// The tenant's current fast-tier quota in pages.
+    pub fn quota(&self) -> u64 {
+        self.mem.config().fast_capacity_pages
+    }
+}
+
+/// Central coordinator that splits one physical fast tier across tenants.
+///
+/// Quotas are re-derived on [`rebalance`](GlobalController::rebalance):
+/// each tenant reports the number of pages at or above its current hotness
+/// threshold (its demonstrated hot set), and the controller assigns the
+/// global budget proportionally, with a configurable floor so an idle
+/// tenant can always warm back up.
+#[derive(Debug)]
+pub struct GlobalController {
+    fast_budget_pages: u64,
+    /// Minimum share of the budget any tenant keeps (fraction).
+    floor_frac: f64,
+    tenants: Vec<Tenant>,
+}
+
+impl GlobalController {
+    /// A controller managing `fast_budget_pages` of physical fast memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fast_budget_pages == 0` or `floor_frac` is not in
+    /// `[0, 0.5]`.
+    pub fn new(fast_budget_pages: u64, floor_frac: f64) -> Self {
+        assert!(fast_budget_pages > 0, "empty fast budget");
+        assert!(
+            (0.0..=0.5).contains(&floor_frac),
+            "floor fraction {floor_frac} out of range"
+        );
+        Self {
+            fast_budget_pages,
+            floor_frac,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Registers a tenant with an equal initial share of the budget.
+    ///
+    /// Returns the tenant's index for subsequent access.
+    pub fn add_tenant(&mut self, name: &str, footprint_pages: u64) -> usize {
+        let n = self.tenants.len() as u64 + 1;
+        let quota = (self.fast_budget_pages / n).max(1);
+        let cfg = TierConfig {
+            fast_capacity_pages: quota,
+            slow_capacity_pages: footprint_pages,
+            page_size: PageSize::Base4K,
+            address_space_pages: footprint_pages,
+        };
+        let policy = HybridTierPolicy::new(HybridTierConfig::scaled(&cfg), &cfg);
+        self.tenants.push(Tenant {
+            name: name.to_string(),
+            policy,
+            mem: TieredMemory::new(cfg),
+            footprint_pages,
+        });
+        // Shrink existing quotas to make room (applied on next rebalance).
+        self.tenants.len() - 1
+    }
+
+    /// Number of registered tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Access to a tenant.
+    pub fn tenant(&self, idx: usize) -> &Tenant {
+        &self.tenants[idx]
+    }
+
+    /// Mutable access to a tenant (drive its workload through
+    /// `tenant_mut(i).policy` / `.mem`).
+    pub fn tenant_mut(&mut self, idx: usize) -> &mut Tenant {
+        &mut self.tenants[idx]
+    }
+
+    /// Total fast pages currently assigned.
+    pub fn assigned_budget(&self) -> u64 {
+        self.tenants.iter().map(|t| t.quota()).sum()
+    }
+
+    /// Re-partitions the fast budget proportionally to each tenant's
+    /// demonstrated hot-set size (pages at or above its current frequency
+    /// threshold), with the configured floor.
+    ///
+    /// Tenants whose quota shrinks must demote down to it; the controller
+    /// forces that immediately (the demotions are ordinary migrations,
+    /// charged like any other). Returns the new quotas in tenant order.
+    pub fn rebalance(&mut self) -> Vec<u64> {
+        if self.tenants.is_empty() {
+            return Vec::new();
+        }
+        let demands: Vec<f64> = self
+            .tenants
+            .iter()
+            .map(|t| t.policy.hot_set_estimate().max(1) as f64)
+            .collect();
+        let total_demand: f64 = demands.iter().sum();
+        let floor = (self.fast_budget_pages as f64 * self.floor_frac
+            / self.tenants.len() as f64) as u64;
+        let distributable = self.fast_budget_pages - floor * self.tenants.len() as u64;
+        let mut quotas: Vec<u64> = demands
+            .iter()
+            .map(|d| floor + (distributable as f64 * d / total_demand) as u64)
+            .collect();
+        // Rounding remainder goes to the hungriest tenant.
+        let assigned: u64 = quotas.iter().sum();
+        if let Some(max_idx) = demands
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+        {
+            quotas[max_idx] += self.fast_budget_pages - assigned;
+        }
+
+        for (tenant, &quota) in self.tenants.iter_mut().zip(&quotas) {
+            tenant.mem.set_fast_capacity(quota.max(1));
+        }
+        quotas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{PolicyCtx, TieringPolicy};
+    use tiering_mem::{PageId, Tier};
+    use tiering_trace::Sample;
+
+    fn feed(tenant: &mut Tenant, pages: u64, samples_per_page: u32) {
+        let mut ctx = PolicyCtx::new();
+        for p in 0..pages {
+            tenant.mem.ensure_mapped(PageId(p), Tier::Slow);
+        }
+        for s in 0..samples_per_page {
+            for p in 0..pages {
+                tenant.policy.on_sample(
+                    Sample {
+                        page: PageId(p),
+                        addr: p << 12,
+                        tier: tenant.mem.tier_of(PageId(p)).unwrap_or(Tier::Slow),
+                        at_ns: u64::from(s) * 1_000 + p,
+                        is_write: false,
+                    },
+                    &mut tenant.mem,
+                    &mut ctx,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tenants_start_with_shares_of_the_budget() {
+        let mut g = GlobalController::new(1_000, 0.1);
+        g.add_tenant("a", 10_000);
+        g.add_tenant("b", 10_000);
+        assert_eq!(g.num_tenants(), 2);
+        assert!(g.tenant(0).quota() >= 1);
+        let quotas = g.rebalance();
+        assert_eq!(quotas.len(), 2);
+        assert_eq!(quotas.iter().sum::<u64>(), 1_000, "budget fully assigned");
+    }
+
+    #[test]
+    fn hot_tenant_receives_larger_quota() {
+        let mut g = GlobalController::new(1_000, 0.1);
+        let a = g.add_tenant("hot", 10_000);
+        let b = g.add_tenant("idle", 10_000);
+        // Tenant A demonstrates a large hot set; tenant B stays idle.
+        feed(g.tenant_mut(a), 400, 6);
+        let quotas = g.rebalance();
+        assert!(
+            quotas[a] > 2 * quotas[b],
+            "hot tenant should dominate: {quotas:?}"
+        );
+        assert_eq!(quotas.iter().sum::<u64>(), 1_000);
+    }
+
+    #[test]
+    fn floor_keeps_idle_tenants_alive() {
+        let mut g = GlobalController::new(1_000, 0.2);
+        let a = g.add_tenant("hot", 10_000);
+        let idle = g.add_tenant("idle", 10_000);
+        feed(g.tenant_mut(a), 500, 6);
+        let quotas = g.rebalance();
+        assert!(
+            quotas[idle] >= 100,
+            "idle tenant must keep its floor share, got {}",
+            quotas[idle]
+        );
+    }
+
+    #[test]
+    fn rebalance_shifts_as_demand_shifts() {
+        let mut g = GlobalController::new(2_000, 0.1);
+        let a = g.add_tenant("a", 10_000);
+        let b = g.add_tenant("b", 10_000);
+        feed(g.tenant_mut(a), 600, 6);
+        let first = g.rebalance();
+        assert!(first[a] > first[b]);
+        // Now B heats up far beyond A's earlier demand.
+        feed(g.tenant_mut(b), 3_000, 6);
+        let second = g.rebalance();
+        assert!(
+            second[b] > second[a],
+            "quota should follow demand: {second:?}"
+        );
+    }
+
+    #[test]
+    fn shrunk_quota_is_enforced_by_memory() {
+        let mut g = GlobalController::new(1_000, 0.1);
+        let a = g.add_tenant("a", 10_000);
+        // Fill A's fast tier at its initial quota (1000).
+        {
+            let t = g.tenant_mut(a);
+            for p in 0..1_000u64 {
+                t.mem.ensure_mapped(PageId(p), Tier::Fast);
+            }
+        }
+        g.add_tenant("b", 10_000);
+        feed(g.tenant_mut(1), 800, 6);
+        let quotas = g.rebalance();
+        let t = g.tenant(a);
+        assert!(t.mem.fast_used() <= quotas[a].max(t.mem.fast_used()));
+        // Over-quota state is visible so the policy's watermark demotion
+        // drains it on subsequent ticks.
+        assert!(t.mem.fast_free_frac() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fast budget")]
+    fn zero_budget_rejected() {
+        let _ = GlobalController::new(0, 0.1);
+    }
+}

@@ -1,0 +1,737 @@
+//! HybridTier: adaptive, lightweight tiering via dual CBF trackers.
+//!
+//! The paper's system (§3–§4). Two probabilistic trackers per page:
+//!
+//! * **frequency** — long-term hotness: a counting Bloom filter cooled on a
+//!   *high* period, capturing the minutes-to-hours access history;
+//! * **momentum** — short-term intensity: a 128×-smaller CBF cooled on a
+//!   *low* period, capturing access bursts within seconds.
+//!
+//! Migration follows the paper's Table 1 ([`MigrationDecision::decide`]):
+//! promote on high frequency **or** high momentum; demote on low frequency
+//! **and** low momentum; give historically-hot-but-currently-cold pages a
+//! second chance. Promotions are batched (100 000 samples per syscall at
+//! paper scale); demotion is a watermark-driven linear scan of the address
+//! space, as the userspace runtime does via `/proc/PID/pagemap` (§4.3).
+
+use std::collections::HashMap;
+
+use hybridtier_cbf::{AccessCounter, BlockedCbf, CbfParams, CounterWidth, StandardCbf};
+use tiering_mem::{PageId, PageSize, Tier, TierConfig, TieredMemory};
+use tiering_trace::Sample;
+
+use crate::histogram::HotnessHistogram;
+use crate::policy::{PolicyCtx, TieringPolicy};
+
+/// Simulated base addresses for metadata regions (cache-miss attribution).
+const FREQ_BASE: u64 = 0x7100_0000_0000;
+const MOM_BASE: u64 = 0x7200_0000_0000;
+const HIST_BASE: u64 = 0x7300_0000_0000;
+const PAGEMAP_BASE: u64 = 0x7500_0000_0000;
+
+/// Cost constants for tiering-thread work (charged via `PolicyCtx`).
+const SYSCALL_NS: u64 = 1_500;
+const SCAN_PAGE_NS: u64 = 5;
+
+/// Which CBF layout the trackers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackerLayout {
+    /// Cache-line-blocked CBF (HybridTier's default; one line per op).
+    Blocked,
+    /// Standard CBF (the Figure 14 "HybridTier-CBF" ablation; up to `k`
+    /// lines per op).
+    Standard,
+}
+
+/// The four cells of the paper's Table 1 policy matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationDecision {
+    /// Move the page to the fast tier.
+    Promote,
+    /// Leave the page where it is.
+    NoAction,
+    /// Mark for second-chance revisit (fast-tier, historically hot,
+    /// momentum-cold).
+    SecondChance,
+    /// Move the page to the slow tier.
+    Demote,
+}
+
+impl MigrationDecision {
+    /// Evaluates Table 1 for a page with the given signals.
+    ///
+    /// | frequency | momentum | slow-tier page | fast-tier page |
+    /// |---|---|---|---|
+    /// | high | high | promote | no action |
+    /// | high | low  | promote | 2nd chance |
+    /// | low  | high | promote | no action |
+    /// | low  | low  | no action | demote |
+    pub fn decide(freq_high: bool, momentum_high: bool, in_fast_tier: bool) -> Self {
+        if in_fast_tier {
+            match (freq_high, momentum_high) {
+                (true, true) | (false, true) => MigrationDecision::NoAction,
+                (true, false) => MigrationDecision::SecondChance,
+                (false, false) => MigrationDecision::Demote,
+            }
+        } else if freq_high || momentum_high {
+            MigrationDecision::Promote
+        } else {
+            MigrationDecision::NoAction
+        }
+    }
+}
+
+/// Configuration of [`HybridTierPolicy`].
+#[derive(Debug, Clone)]
+pub struct HybridTierConfig {
+    /// Number of CBF hash functions (paper: 4).
+    pub k: u32,
+    /// CBF tracking-error target (paper: 0.001).
+    pub error_rate: f64,
+    /// Tracker layout (paper default: blocked).
+    pub layout: TrackerLayout,
+    /// Explicit frequency-CBF budget in bytes; overrides formula sizing
+    /// (used by the Table 5 accuracy sweep).
+    pub cbf_budget_bytes: Option<usize>,
+    /// Whether the momentum tracker participates (Figure 15 ablation).
+    pub momentum_enabled: bool,
+    /// Momentum hotness threshold (paper: 3, set empirically; Figure 17).
+    pub momentum_threshold: u32,
+    /// Momentum CBF is `1/momentum_divisor` the size of the frequency CBF
+    /// (paper: 128).
+    pub momentum_divisor: usize,
+    /// Cooling period of the frequency tracker, in samples (high).
+    pub freq_cool_samples: u64,
+    /// Cooling period of the momentum tracker, in samples (low).
+    pub momentum_cool_samples: u64,
+    /// Samples per promotion batch (paper: 100 000 per syscall).
+    pub batch_samples: u64,
+    /// Demotion starts when free fast-tier fraction drops below this
+    /// (PROMO_WMARK, §4.3).
+    pub promo_wmark: f64,
+    /// Demotion stops once free fast-tier fraction reaches this
+    /// (DEMOTE_WMARK, §4.3).
+    pub demote_wmark: f64,
+    /// Whether second-chance demotion is enabled.
+    pub second_chance_enabled: bool,
+    /// Second-chance revisit delay (paper: 1 minute).
+    pub second_chance_revisit_ns: u64,
+    /// Lower bound on the auto-derived frequency threshold.
+    pub min_freq_threshold: u32,
+    /// Cap on pages inspected per demotion-scan invocation.
+    pub max_scan_per_call: u64,
+}
+
+impl HybridTierConfig {
+    /// The paper's full-scale parameters.
+    pub fn paper_defaults(tier_cfg: &TierConfig) -> Self {
+        let _ = tier_cfg;
+        Self {
+            k: 4,
+            error_rate: 0.001,
+            layout: TrackerLayout::Blocked,
+            cbf_budget_bytes: None,
+            momentum_enabled: true,
+            momentum_threshold: 3,
+            momentum_divisor: 128,
+            freq_cool_samples: 2_000_000,
+            momentum_cool_samples: 31_250,
+            batch_samples: 100_000,
+            promo_wmark: 0.02,
+            demote_wmark: 0.06,
+            second_chance_enabled: true,
+            second_chance_revisit_ns: 60_000_000_000,
+            min_freq_threshold: 2,
+            max_scan_per_call: 65_536,
+        }
+    }
+
+    /// Parameters scaled to this repository's ~512×-smaller footprints: the
+    /// sample-count periods shrink proportionally so cooling/batching happen
+    /// at the same *per-page* rates as at paper scale.
+    pub fn scaled(tier_cfg: &TierConfig) -> Self {
+        Self {
+            freq_cool_samples: 200_000,
+            momentum_cool_samples: 12_000,
+            batch_samples: 2_000,
+            second_chance_revisit_ns: 100_000_000, // 100 ms (paper: 1 min)
+            max_scan_per_call: 32_768,
+            ..Self::paper_defaults(tier_cfg)
+        }
+    }
+
+    /// Disables the momentum tracker (the "HybridTier-onlyFreqCBF" ablation
+    /// of Figure 15).
+    #[must_use]
+    pub fn without_momentum(mut self) -> Self {
+        self.momentum_enabled = false;
+        self
+    }
+
+    /// Selects the tracker layout.
+    #[must_use]
+    pub fn with_layout(mut self, layout: TrackerLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Overrides the momentum threshold (Figure 17 sensitivity).
+    #[must_use]
+    pub fn with_momentum_threshold(mut self, t: u32) -> Self {
+        self.momentum_threshold = t;
+        self
+    }
+
+    /// Fixes the frequency-CBF size by byte budget (Table 5 sweep).
+    #[must_use]
+    pub fn with_cbf_budget(mut self, bytes: usize) -> Self {
+        self.cbf_budget_bytes = Some(bytes);
+        self
+    }
+}
+
+fn build_tracker(
+    params: CbfParams,
+    layout: TrackerLayout,
+) -> Box<dyn AccessCounter + Send + Sync> {
+    match layout {
+        TrackerLayout::Blocked => Box::new(BlockedCbf::new(params)),
+        TrackerLayout::Standard => Box::new(StandardCbf::new(params)),
+    }
+}
+
+/// The HybridTier userspace tiering runtime.
+pub struct HybridTierPolicy {
+    config: HybridTierConfig,
+    freq: Box<dyn AccessCounter + Send + Sync>,
+    momentum: Box<dyn AccessCounter + Send + Sync>,
+    hist: HotnessHistogram,
+    freq_threshold: u32,
+    samples_seen: u64,
+    samples_since_flush: u64,
+    promo_queue: Vec<PageId>,
+    /// Number of frequency-cooling events so far; lets the second-chance
+    /// check distinguish "count decayed by cooling" from "page was
+    /// accessed" when comparing against the saved estimate.
+    cooling_epoch: u32,
+    /// page → (frequency estimate at marking, marked-at time, epoch).
+    second_chance: HashMap<u64, (u32, u64, u32)>,
+    scan_cursor: u64,
+}
+
+impl std::fmt::Debug for HybridTierPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridTierPolicy")
+            .field("freq_threshold", &self.freq_threshold)
+            .field("samples_seen", &self.samples_seen)
+            .field("promo_queued", &self.promo_queue.len())
+            .field("second_chance", &self.second_chance.len())
+            .finish()
+    }
+}
+
+impl HybridTierPolicy {
+    /// Builds the policy for the given tier configuration: the frequency
+    /// CBF is sized for the fast-tier page count (paper §4.2, `n` = number
+    /// of fast-tier pages) and the momentum CBF `momentum_divisor`× smaller.
+    pub fn new(config: HybridTierConfig, tier_cfg: &TierConfig) -> Self {
+        let width = match tier_cfg.page_size {
+            PageSize::Base4K => CounterWidth::W4,
+            PageSize::Huge2M => CounterWidth::W16,
+        };
+        // Size the frequency CBF for the fast-tier page count (paper §4.2)
+        // with a floor: at this repository's scaled-down footprints a filter
+        // sized for a few hundred pages would saturate with collisions,
+        // which at paper scale (millions of fast-tier pages) cannot happen.
+        // The floors are negligible in bytes and only bind in small runs.
+        let n_freq = (tier_cfg.fast_capacity_pages.max(1) as usize).max(16_384);
+        let freq_params = match config.cbf_budget_bytes {
+            Some(bytes) => CbfParams::for_budget_bytes(bytes, config.k, width),
+            None => CbfParams::for_capacity(n_freq, config.k, config.error_rate, width),
+        }
+        .with_base_addr(FREQ_BASE);
+        // Momentum tracker: `momentum_divisor`× smaller, same floor logic.
+        let n_mom = (n_freq / config.momentum_divisor).max(16_384);
+        let mom_params = CbfParams::for_capacity(n_mom, config.k, config.error_rate, width)
+            .with_base_addr(MOM_BASE)
+            .with_seed(0x4D4F_4D45_4E54_554D); // distinct seed for the momentum tracker
+        let counter_cap = width.max_count();
+        Self {
+            freq: build_tracker(freq_params, config.layout),
+            momentum: build_tracker(mom_params, config.layout),
+            hist: HotnessHistogram::new(counter_cap.min(63)),
+            freq_threshold: config.min_freq_threshold,
+            samples_seen: 0,
+            samples_since_flush: 0,
+            promo_queue: Vec::new(),
+            cooling_epoch: 0,
+            second_chance: HashMap::new(),
+            scan_cursor: 0,
+            config,
+        }
+    }
+
+    /// Current auto-derived frequency threshold.
+    pub fn freq_threshold(&self) -> u32 {
+        self.freq_threshold
+    }
+
+    /// Frequency estimate for a page (exposed for experiments).
+    pub fn freq_estimate(&self, page: PageId) -> u32 {
+        self.freq.estimate(page.0)
+    }
+
+    /// Momentum estimate for a page (exposed for experiments).
+    pub fn momentum_estimate(&self, page: PageId) -> u32 {
+        self.momentum.estimate(page.0)
+    }
+
+    /// Number of pages currently marked for second chance (diagnostics).
+    pub fn second_chance_len(&self) -> usize {
+        self.second_chance.len()
+    }
+
+    /// Estimated hot-set size: pages at or above the *minimum* hotness
+    /// level (used by the global controller of paper §7 to apportion fast
+    /// memory across tenants). The adaptive threshold is unsuitable here —
+    /// it rises until the hot set fits the current quota, so measuring at
+    /// it would always report "exactly my quota".
+    pub fn hot_set_estimate(&self) -> u64 {
+        self.hist.pages_at_or_above(self.config.min_freq_threshold)
+    }
+
+    fn is_freq_hot(&self, f: u32) -> bool {
+        f >= self.freq_threshold
+    }
+
+    fn is_momentum_hot(&self, m: u32) -> bool {
+        self.config.momentum_enabled && m >= self.config.momentum_threshold
+    }
+
+    /// Flushes the promotion batch with one modeled syscall (paper §4.3).
+    fn flush_promotions(&mut self, now_ns: u64, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        self.samples_since_flush = 0;
+        self.freq_threshold = self
+            .hist
+            .threshold_for(mem.config().fast_capacity_pages, self.config.min_freq_threshold);
+        if self.promo_queue.is_empty() {
+            return;
+        }
+        ctx.tiering_work_ns += SYSCALL_NS;
+        let queue = std::mem::take(&mut self.promo_queue);
+        for page in queue {
+            if mem.tier_of(page) != Some(Tier::Slow) {
+                continue;
+            }
+            if mem.fast_free() == 0 {
+                self.demote_scan(now_ns, mem, ctx);
+                if mem.fast_free() == 0 {
+                    continue; // nothing demotable right now; drop candidate
+                }
+            }
+            let _ = mem.promote(page);
+        }
+    }
+
+    /// Watermark-driven linear demotion scan (paper §4.3): walk the address
+    /// space, applying Table 1 to fast-tier pages until the free fraction
+    /// recovers to `DEMOTE_WMARK` or the scan budget is exhausted.
+    fn demote_scan(&mut self, now_ns: u64, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        let n = mem.address_space_pages();
+        if n == 0 {
+            return;
+        }
+        let mut scanned = 0u64;
+        while mem.fast_free_frac() < self.config.demote_wmark
+            && scanned < self.config.max_scan_per_call.min(n)
+        {
+            let page = PageId(self.scan_cursor);
+            self.scan_cursor = (self.scan_cursor + 1) % n;
+            scanned += 1;
+            ctx.tiering_work_ns += SCAN_PAGE_NS;
+            // One pagemap line covers 8 pages (8-byte entries).
+            if self.scan_cursor.is_multiple_of(8) {
+                ctx.metadata_lines.push(PAGEMAP_BASE + self.scan_cursor);
+            }
+            if mem.tier_of(page) != Some(Tier::Fast) {
+                continue;
+            }
+            let f = self.freq.estimate(page.0);
+            let m = self.momentum.estimate(page.0);
+            self.freq.touched_lines(page.0, &mut ctx.metadata_lines);
+            if self.config.momentum_enabled {
+                self.momentum.touched_lines(page.0, &mut ctx.metadata_lines);
+            }
+            match MigrationDecision::decide(self.is_freq_hot(f), self.is_momentum_hot(m), true) {
+                MigrationDecision::Demote => {
+                    self.second_chance.remove(&page.0);
+                    let _ = mem.demote(page);
+                }
+                MigrationDecision::SecondChance => {
+                    if !self.config.second_chance_enabled {
+                        // Ablation: without second chance, historically hot
+                        // but momentum-cold pages demote immediately.
+                        let _ = mem.demote(page);
+                        continue;
+                    }
+                    match self.second_chance.get(&page.0).copied() {
+                        None => {
+                            self.second_chance
+                                .insert(page.0, (f, now_ns, self.cooling_epoch));
+                        }
+                        Some((saved, marked_at, epoch)) => {
+                            if now_ns.saturating_sub(marked_at)
+                                >= self.config.second_chance_revisit_ns
+                            {
+                                // An un-accessed page's count can only have
+                                // decayed by cooling since marking; anything
+                                // above `saved >> coolings` means new
+                                // accesses arrived.
+                                let coolings = (self.cooling_epoch - epoch).min(31);
+                                let expected = saved >> coolings;
+                                if self.freq.estimate(page.0) <= expected {
+                                    // Not accessed since marking: demote.
+                                    self.second_chance.remove(&page.0);
+                                    let _ = mem.demote(page);
+                                } else {
+                                    // Still being accessed: re-mark.
+                                    self.second_chance
+                                        .insert(page.0, (f, now_ns, self.cooling_epoch));
+                                }
+                            }
+                        }
+                    }
+                }
+                MigrationDecision::NoAction | MigrationDecision::Promote => {}
+            }
+        }
+    }
+}
+
+impl TieringPolicy for HybridTierPolicy {
+    fn name(&self) -> &'static str {
+        if !self.config.momentum_enabled {
+            "HybridTier-onlyFreqCBF"
+        } else if self.config.layout == TrackerLayout::Standard {
+            "HybridTier-CBF"
+        } else {
+            "HybridTier"
+        }
+    }
+
+    fn on_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        self.samples_seen += 1;
+        self.samples_since_flush += 1;
+        let key = sample.page.0;
+
+        // Update both trackers (paper Figure 6, step 3). The GET+INCREMENT
+        // pair touches the same lines, reported once.
+        let old_f = self.freq.estimate(key);
+        let new_f = self.freq.increment(key);
+        self.hist.transition(old_f, new_f);
+        self.freq.touched_lines(key, &mut ctx.metadata_lines);
+        ctx.metadata_lines.push(HIST_BASE + u64::from(new_f.min(63)) / 8 * 64);
+        let new_m = if self.config.momentum_enabled {
+            let m = self.momentum.increment(key);
+            self.momentum.touched_lines(key, &mut ctx.metadata_lines);
+            m
+        } else {
+            0
+        };
+
+        // Cooling (EMA decay): high period for frequency, low for momentum.
+        if self.samples_seen.is_multiple_of(self.config.freq_cool_samples) {
+            self.freq.cool();
+            self.hist.cool();
+            self.cooling_epoch += 1;
+        }
+        if self.config.momentum_enabled
+            && self.samples_seen.is_multiple_of(self.config.momentum_cool_samples)
+        {
+            self.momentum.cool();
+        }
+
+        // Promotion candidacy (Table 1, slow-tier column).
+        if sample.tier == Tier::Slow {
+            let decision = MigrationDecision::decide(
+                self.is_freq_hot(new_f),
+                self.is_momentum_hot(new_m),
+                false,
+            );
+            if decision == MigrationDecision::Promote {
+                self.promo_queue.push(sample.page);
+            }
+        }
+
+        if self.samples_since_flush >= self.config.batch_samples {
+            self.flush_promotions(sample.at_ns, mem, ctx);
+        }
+    }
+
+    fn on_tick(&mut self, now_ns: u64, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        // Time-based flush so trailing candidates are not stranded.
+        if !self.promo_queue.is_empty() {
+            self.flush_promotions(now_ns, mem, ctx);
+        }
+        if mem.fast_free_frac() < self.config.promo_wmark {
+            self.demote_scan(now_ns, mem, ctx);
+        }
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.freq.metadata_bytes()
+            + self.momentum.metadata_bytes()
+            + self.hist.metadata_bytes()
+            + self.second_chance.len() * 24
+            + self.promo_queue.capacity() * 8
+    }
+
+    fn debug_state(&self) -> String {
+        format!(
+            "thr={} 2nd={} queue={} epoch={}",
+            self.freq_threshold,
+            self.second_chance.len(),
+            self.promo_queue.len(),
+            self.cooling_epoch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiering_mem::TierRatio;
+
+    fn setup(ratio: TierRatio) -> (HybridTierPolicy, TieredMemory) {
+        let cfg = TierConfig::for_footprint(4_096, ratio, PageSize::Base4K);
+        let mut ht_cfg = HybridTierConfig::scaled(&cfg);
+        ht_cfg.batch_samples = 16; // small batches for unit tests
+        ht_cfg.freq_cool_samples = 1_000_000;
+        ht_cfg.momentum_cool_samples = 1_000_000;
+        let policy = HybridTierPolicy::new(ht_cfg, &cfg);
+        (policy, TieredMemory::new(cfg))
+    }
+
+    fn sample(page: u64, tier: Tier, at_ns: u64) -> Sample {
+        Sample {
+            page: PageId(page),
+            addr: page << 12,
+            tier,
+            at_ns,
+            is_write: false,
+        }
+    }
+
+    #[test]
+    fn table1_decision_matrix() {
+        use MigrationDecision::*;
+        // Slow-tier column.
+        assert_eq!(MigrationDecision::decide(true, true, false), Promote);
+        assert_eq!(MigrationDecision::decide(true, false, false), Promote);
+        assert_eq!(MigrationDecision::decide(false, true, false), Promote);
+        assert_eq!(MigrationDecision::decide(false, false, false), NoAction);
+        // Fast-tier column.
+        assert_eq!(MigrationDecision::decide(true, true, true), NoAction);
+        assert_eq!(MigrationDecision::decide(true, false, true), SecondChance);
+        assert_eq!(MigrationDecision::decide(false, true, true), NoAction);
+        assert_eq!(MigrationDecision::decide(false, false, true), Demote);
+    }
+
+    #[test]
+    fn momentum_promotes_new_hot_page_quickly() {
+        let (mut p, mut mem) = setup(TierRatio::OneTo16);
+        let mut ctx = PolicyCtx::new();
+        mem.ensure_mapped(PageId(7), Tier::Slow);
+        // Burst of accesses to a brand-new page: momentum (threshold 3)
+        // should trigger promotion on the next batch flush even though
+        // frequency history is shallow.
+        for i in 0..16 {
+            p.on_sample(sample(7, Tier::Slow, i), &mut mem, &mut ctx);
+        }
+        assert_eq!(mem.tier_of(PageId(7)), Some(Tier::Fast));
+    }
+
+    #[test]
+    fn freq_only_ablation_does_not_use_momentum() {
+        let cfg = TierConfig::for_footprint(4_096, TierRatio::OneTo16, PageSize::Base4K);
+        let mut ht_cfg = HybridTierConfig::scaled(&cfg).without_momentum();
+        ht_cfg.batch_samples = 4;
+        ht_cfg.min_freq_threshold = 10; // high bar frequency can't reach fast
+        let mut p = HybridTierPolicy::new(ht_cfg, &cfg);
+        let mut mem = TieredMemory::new(cfg);
+        let mut ctx = PolicyCtx::new();
+        mem.ensure_mapped(PageId(3), Tier::Slow);
+        for i in 0..8 {
+            p.on_sample(sample(3, Tier::Slow, i), &mut mem, &mut ctx);
+        }
+        assert_eq!(
+            mem.tier_of(PageId(3)),
+            Some(Tier::Slow),
+            "without momentum, a short burst must not promote below the freq threshold"
+        );
+        assert_eq!(p.name(), "HybridTier-onlyFreqCBF");
+    }
+
+    #[test]
+    fn demotion_scan_evicts_cold_pages_under_pressure() {
+        let (mut p, mut mem) = setup(TierRatio::OneTo16);
+        let mut ctx = PolicyCtx::new();
+        let fast_cap = mem.config().fast_capacity_pages;
+        // Fill the fast tier with never-sampled (cold) pages.
+        for i in 0..fast_cap {
+            mem.ensure_mapped(PageId(i), Tier::Fast);
+        }
+        assert_eq!(mem.fast_free(), 0);
+        p.on_tick(0, &mut mem, &mut ctx);
+        assert!(
+            mem.fast_free_frac() >= 0.06,
+            "scan should demote cold pages to DEMOTE_WMARK, free frac {}",
+            mem.fast_free_frac()
+        );
+        assert!(mem.stats().demotions > 0);
+    }
+
+    #[test]
+    fn hot_fast_pages_survive_demotion_scan() {
+        let (mut p, mut mem) = setup(TierRatio::OneTo16);
+        let mut ctx = PolicyCtx::new();
+        let fast_cap = mem.config().fast_capacity_pages;
+        for i in 0..fast_cap {
+            mem.ensure_mapped(PageId(i), Tier::Fast);
+        }
+        // Make page 0 intensely hot (both trackers).
+        for i in 0..50 {
+            p.on_sample(sample(0, Tier::Fast, i), &mut mem, &mut ctx);
+        }
+        p.on_tick(100, &mut mem, &mut ctx);
+        assert_eq!(
+            mem.tier_of(PageId(0)),
+            Some(Tier::Fast),
+            "momentum-hot page must not be demoted"
+        );
+    }
+
+    #[test]
+    fn second_chance_defers_then_demotes_stale_pages() {
+        let cfg = TierConfig::for_footprint(256, TierRatio::OneTo4, PageSize::Base4K);
+        let mut ht_cfg = HybridTierConfig::scaled(&cfg);
+        ht_cfg.batch_samples = 1_000_000; // no auto flush
+        ht_cfg.momentum_cool_samples = 4; // momentum cools fast
+        ht_cfg.freq_cool_samples = 1_000_000;
+        ht_cfg.second_chance_revisit_ns = 100;
+        ht_cfg.min_freq_threshold = 2;
+        // Keep the scan always active and bounded to one wrap, so the
+        // revisit dynamics are deterministic.
+        ht_cfg.promo_wmark = 1.0;
+        ht_cfg.demote_wmark = 1.0;
+        ht_cfg.max_scan_per_call = 256;
+        let mut p = HybridTierPolicy::new(ht_cfg, &cfg);
+        let mut mem = TieredMemory::new(cfg);
+        let mut ctx = PolicyCtx::new();
+        let fast_cap = mem.config().fast_capacity_pages;
+        for i in 0..fast_cap {
+            mem.ensure_mapped(PageId(i), Tier::Fast);
+        }
+        // Page 0 historically hot: many samples...
+        for i in 0..16 {
+            p.on_sample(sample(0, Tier::Fast, i), &mut mem, &mut ctx);
+        }
+        assert!(p.freq_estimate(PageId(0)) >= 2);
+        // ...then it goes quiet while other pages keep the sampler busy, so
+        // momentum cooling (every 4 samples) erodes its burst score to 0.
+        for i in 0..16 {
+            p.on_sample(sample(1, Tier::Fast, 100 + i), &mut mem, &mut ctx);
+        }
+        assert_eq!(p.momentum_estimate(PageId(0)), 0, "momentum cooled to 0");
+        // First scan: page 0 is freq-hot/momentum-cold → marked, not demoted.
+        p.on_tick(1_000, &mut mem, &mut ctx);
+        assert_eq!(mem.tier_of(PageId(0)), Some(Tier::Fast));
+        assert!(!p.second_chance.is_empty());
+        // Second scan past the revisit window with no further accesses:
+        // demoted.
+        p.on_tick(10_000, &mut mem, &mut ctx);
+        assert_eq!(
+            mem.tier_of(PageId(0)),
+            Some(Tier::Slow),
+            "stale second-chance page should be demoted on revisit"
+        );
+    }
+
+    #[test]
+    fn batch_flush_cadence() {
+        let (mut p, mut mem) = setup(TierRatio::OneTo16);
+        let mut ctx = PolicyCtx::new();
+        for pg in 0..100u64 {
+            mem.ensure_mapped(PageId(pg), Tier::Slow);
+        }
+        // 15 samples (batch = 16): candidates queued but not flushed.
+        for i in 0..15 {
+            p.on_sample(sample(i % 5, Tier::Slow, i), &mut mem, &mut ctx);
+        }
+        assert_eq!(mem.stats().promotions, 0, "no flush before the batch fills");
+        p.on_sample(sample(0, Tier::Slow, 15), &mut mem, &mut ctx);
+        assert!(mem.stats().promotions > 0, "batch flush promotes");
+    }
+
+    #[test]
+    fn metadata_is_far_smaller_than_16b_per_page() {
+        let cfg = TierConfig::for_footprint(100_000, TierRatio::OneTo16, PageSize::Base4K);
+        let p = HybridTierPolicy::new(HybridTierConfig::scaled(&cfg), &cfg);
+        let memtis_equivalent = 100_000 * 16;
+        assert!(
+            p.metadata_bytes() * 2 < memtis_equivalent,
+            "HybridTier {}B vs Memtis-style {}B",
+            p.metadata_bytes(),
+            memtis_equivalent
+        );
+    }
+
+    #[test]
+    fn blocked_layout_touches_fewer_lines_than_standard() {
+        let cfg = TierConfig::for_footprint(50_000, TierRatio::OneTo8, PageSize::Base4K);
+        let mut blocked = HybridTierPolicy::new(HybridTierConfig::scaled(&cfg), &cfg);
+        let mut standard = HybridTierPolicy::new(
+            HybridTierConfig::scaled(&cfg).with_layout(TrackerLayout::Standard),
+            &cfg,
+        );
+        let mut mem_b = TieredMemory::new(cfg);
+        let mut mem_s = TieredMemory::new(cfg);
+        let (mut cb, mut cs) = (PolicyCtx::new(), PolicyCtx::new());
+        for pg in 0..200u64 {
+            mem_b.ensure_mapped(PageId(pg), Tier::Slow);
+            mem_s.ensure_mapped(PageId(pg), Tier::Slow);
+        }
+        for i in 0..200u64 {
+            blocked.on_sample(sample(i % 200, Tier::Slow, i), &mut mem_b, &mut cb);
+            standard.on_sample(sample(i % 200, Tier::Slow, i), &mut mem_s, &mut cs);
+        }
+        assert!(
+            cb.metadata_lines.len() < cs.metadata_lines.len(),
+            "blocked {} lines vs standard {}",
+            cb.metadata_lines.len(),
+            cs.metadata_lines.len()
+        );
+        assert_eq!(standard.name(), "HybridTier-CBF");
+    }
+
+    #[test]
+    fn threshold_adapts_to_distribution() {
+        let (mut p, mut mem) = setup(TierRatio::OneTo16);
+        let mut ctx = PolicyCtx::new();
+        for pg in 0..1_000u64 {
+            mem.ensure_mapped(PageId(pg), Tier::Slow);
+        }
+        // Make far more pages "hot at level >= 2" than fast capacity (256):
+        // threshold must rise above the minimum.
+        for round in 0..6 {
+            for pg in 0..1_000u64 {
+                p.on_sample(sample(pg, Tier::Slow, round * 1_000 + pg), &mut mem, &mut ctx);
+            }
+        }
+        assert!(
+            p.freq_threshold() > 2,
+            "threshold {} should exceed the minimum when the hot set overflows",
+            p.freq_threshold()
+        );
+    }
+}

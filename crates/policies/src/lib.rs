@@ -1,0 +1,58 @@
+//! Memory tiering policies over a common interface.
+//!
+//! This crate implements the paper's contribution and all five baselines it
+//! compares against (paper §5.2), driven by the same sampled access stream
+//! and tiered-memory substrate:
+//!
+//! * [`HybridTierPolicy`] — the paper's system: frequency + momentum
+//!   counting-Bloom-filter trackers, promote on *either* signal, demote on
+//!   *neither*, second chance in between (Table 1).
+//! * [`MemtisPolicy`] — state-of-the-art frequency-based tiering: exact
+//!   per-page counters, a hotness histogram with an auto-adjusted threshold,
+//!   and periodic cooling (Lee et al., SOSP'23).
+//! * [`AutoNumaPolicy`] — Linux NUMA balancing: hint-fault recency with a
+//!   1-second promotion threshold and MGLRU-style pressure demotion.
+//! * [`TppPolicy`] — transparent page placement (Maruf et al., ASPLOS'23):
+//!   fast-tier-first allocation, two-fault promotion filter, proactive
+//!   watermark demotion.
+//! * [`ArcPolicy`] / [`TwoQPolicy`] — classic caching algorithms adapted to
+//!   tiering, with slow-tier initial allocation as in the paper.
+//! * [`AllFastPolicy`] — the all-fast-tier upper bound of Figure 11.
+//!
+//! Policies communicate with the simulation engine through
+//! [`TieringPolicy`]: they receive PEBS-like [`Sample`]s and/or per-access
+//! fault hooks, mutate the [`TieredMemory`] page table, and report the
+//! metadata cache lines they touch (for the cache-overhead experiments) via
+//! [`PolicyCtx`].
+//!
+//! [`Sample`]: tiering_trace::Sample
+//! [`TieredMemory`]: tiering_mem::TieredMemory
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arc;
+mod autonuma;
+mod baseline;
+mod ema;
+mod global;
+mod histogram;
+mod hybridtier;
+mod list_set;
+mod memtis;
+mod policy;
+mod tpp;
+mod twoq;
+
+pub use arc::ArcPolicy;
+pub use autonuma::{AutoNumaConfig, AutoNumaPolicy};
+pub use baseline::{AllFastPolicy, FirstTouchPolicy};
+pub use ema::{ema_lag_series, EmaScore};
+pub use global::{GlobalController, Tenant};
+pub use histogram::HotnessHistogram;
+pub use hybridtier::{HybridTierConfig, HybridTierPolicy, MigrationDecision, TrackerLayout};
+pub use list_set::ListSet;
+pub use memtis::{MemtisConfig, MemtisPolicy};
+pub use policy::{build_policy, PolicyCtx, PolicyKind, TieringPolicy};
+pub use tpp::{TppConfig, TppPolicy};
+pub use twoq::TwoQPolicy;

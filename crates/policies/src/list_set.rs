@@ -1,0 +1,216 @@
+//! Dense intrusive LRU/FIFO lists over page ids.
+//!
+//! ARC and TwoQ maintain several queues whose membership is mutually
+//! exclusive (a page is in at most one list at a time). `ListSet` packs all
+//! of them into three dense arrays (prev/next/tag) indexed by page id —
+//! O(1) push/remove/pop with no per-node allocation, mirroring how such
+//! policies are implemented in kernels.
+
+/// Sentinel for "no page".
+const NIL: u32 = u32::MAX;
+/// Tag for "in no list".
+const NONE_TAG: u8 = u8::MAX;
+
+/// A family of doubly-linked lists over the dense page-id space `0..n`,
+/// where each page belongs to at most one list.
+#[derive(Debug, Clone)]
+pub struct ListSet {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    tag: Vec<u8>,
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    len: Vec<usize>,
+}
+
+impl ListSet {
+    /// Creates `lists` empty lists over pages `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lists` is 0 or ≥ 255.
+    pub fn new(n: usize, lists: usize) -> Self {
+        assert!(lists > 0 && lists < NONE_TAG as usize);
+        Self {
+            prev: vec![NIL; n],
+            next: vec![NIL; n],
+            tag: vec![NONE_TAG; n],
+            head: vec![NIL; lists],
+            tail: vec![NIL; lists],
+            len: vec![0; lists],
+        }
+    }
+
+    /// Which list `page` is in, if any.
+    #[inline]
+    pub fn which(&self, page: u32) -> Option<u8> {
+        match self.tag[page as usize] {
+            NONE_TAG => None,
+            t => Some(t),
+        }
+    }
+
+    /// Number of pages in `list`.
+    #[inline]
+    pub fn len(&self, list: u8) -> usize {
+        self.len[list as usize]
+    }
+
+    /// Whether `list` is empty.
+    pub fn is_empty(&self, list: u8) -> bool {
+        self.len(list) == 0
+    }
+
+    /// Pushes `page` at the MRU (head) end of `list`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already in some list.
+    pub fn push_mru(&mut self, list: u8, page: u32) {
+        assert_eq!(
+            self.tag[page as usize], NONE_TAG,
+            "page {page} already in list {}",
+            self.tag[page as usize]
+        );
+        let l = list as usize;
+        let old_head = self.head[l];
+        self.prev[page as usize] = NIL;
+        self.next[page as usize] = old_head;
+        if old_head != NIL {
+            self.prev[old_head as usize] = page;
+        } else {
+            self.tail[l] = page;
+        }
+        self.head[l] = page;
+        self.tag[page as usize] = list;
+        self.len[l] += 1;
+    }
+
+    /// Removes `page` from whatever list it is in; returns the list tag.
+    pub fn remove(&mut self, page: u32) -> Option<u8> {
+        let t = self.tag[page as usize];
+        if t == NONE_TAG {
+            return None;
+        }
+        let l = t as usize;
+        let (p, n) = (self.prev[page as usize], self.next[page as usize]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head[l] = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail[l] = p;
+        }
+        self.tag[page as usize] = NONE_TAG;
+        self.prev[page as usize] = NIL;
+        self.next[page as usize] = NIL;
+        self.len[l] -= 1;
+        Some(t)
+    }
+
+    /// Pops the LRU (tail) page of `list`.
+    pub fn pop_lru(&mut self, list: u8) -> Option<u32> {
+        let tail = self.tail[list as usize];
+        if tail == NIL {
+            return None;
+        }
+        self.remove(tail);
+        Some(tail)
+    }
+
+    /// The LRU (tail) page of `list` without removing it.
+    pub fn peek_lru(&self, list: u8) -> Option<u32> {
+        match self.tail[list as usize] {
+            NIL => None,
+            p => Some(p),
+        }
+    }
+
+    /// Moves `page` to the MRU end of `list` (removing it from its current
+    /// list if needed).
+    pub fn touch(&mut self, list: u8, page: u32) {
+        self.remove(page);
+        self.push_mru(list, page);
+    }
+
+    /// Approximate bytes consumed (9 bytes per page slot).
+    pub fn metadata_bytes(&self) -> usize {
+        self.prev.len() * 9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_fifo_from_tail() {
+        let mut s = ListSet::new(10, 2);
+        s.push_mru(0, 1);
+        s.push_mru(0, 2);
+        s.push_mru(0, 3);
+        assert_eq!(s.len(0), 3);
+        assert_eq!(s.pop_lru(0), Some(1));
+        assert_eq!(s.pop_lru(0), Some(2));
+        assert_eq!(s.pop_lru(0), Some(3));
+        assert_eq!(s.pop_lru(0), None);
+    }
+
+    #[test]
+    fn touch_moves_to_mru() {
+        let mut s = ListSet::new(10, 1);
+        s.push_mru(0, 1);
+        s.push_mru(0, 2);
+        s.push_mru(0, 3);
+        s.touch(0, 1); // 1 becomes MRU
+        assert_eq!(s.pop_lru(0), Some(2));
+        assert_eq!(s.pop_lru(0), Some(3));
+        assert_eq!(s.pop_lru(0), Some(1));
+    }
+
+    #[test]
+    fn remove_middle_keeps_links() {
+        let mut s = ListSet::new(10, 1);
+        for p in [5, 6, 7] {
+            s.push_mru(0, p);
+        }
+        assert_eq!(s.remove(6), Some(0));
+        assert_eq!(s.which(6), None);
+        assert_eq!(s.pop_lru(0), Some(5));
+        assert_eq!(s.pop_lru(0), Some(7));
+    }
+
+    #[test]
+    fn lists_are_independent() {
+        let mut s = ListSet::new(10, 3);
+        s.push_mru(0, 1);
+        s.push_mru(1, 2);
+        s.push_mru(2, 3);
+        assert_eq!(s.which(1), Some(0));
+        assert_eq!(s.which(2), Some(1));
+        assert_eq!(s.which(3), Some(2));
+        assert_eq!(s.len(0), 1);
+        assert_eq!(s.pop_lru(1), Some(2));
+        assert_eq!(s.len(1), 0);
+        assert_eq!(s.len(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in list")]
+    fn double_insert_panics() {
+        let mut s = ListSet::new(4, 2);
+        s.push_mru(0, 1);
+        s.push_mru(1, 1);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut s = ListSet::new(4, 1);
+        s.push_mru(0, 2);
+        assert_eq!(s.peek_lru(0), Some(2));
+        assert_eq!(s.len(0), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! TPP: Transparent Page Placement for CXL-enabled tiered memory.
+//!
+//! TPP (Maruf et al., ASPLOS'23) is the second recency-based baseline
+//! (paper §2.3.2, §5.2). Its distinguishing mechanics relative to AutoNUMA:
+//!
+//! * **top-tier-first allocation** with *proactive* demotion: a background
+//!   reclaimer keeps a free headroom in the fast tier so new allocations
+//!   and promotions never stall;
+//! * **two-touch promotion filter**: a slow-tier page is promoted only when
+//!   hint-faulted twice within a window (TPP checks whether the faulting
+//!   page is on the active LRU), filtering single-touch cold pages slightly
+//!   better than AutoNUMA;
+//! * demotion picks from the inactive LRU tail (approximated here by oldest
+//!   last-fault time, like the AutoNUMA model, but triggered proactively).
+
+use tiering_mem::{PageId, Tier, TierConfig, TieredMemory};
+
+use crate::policy::{PolicyCtx, TieringPolicy};
+
+const SCAN_PAGE_NS: u64 = 10;
+const FAULT_SERVICE_NS: u64 = 250;
+
+/// Configuration of [`TppPolicy`].
+#[derive(Debug, Clone)]
+pub struct TppConfig {
+    /// Pages unmapped per scan window.
+    pub scan_window_pages: u64,
+    /// Interval between scan windows.
+    pub scan_interval_ns: u64,
+    /// Second fault must arrive within this window of the first to count as
+    /// "active" (promotion filter).
+    pub active_window_ns: u64,
+    /// Proactive free-headroom target for the fast tier (TPP keeps
+    /// `demote_wmark` free even without promotion pressure).
+    pub demote_wmark: f64,
+    /// Pressure trigger.
+    pub promo_wmark: f64,
+    /// Max pages demoted per reclaim call.
+    pub max_demote_per_call: u64,
+}
+
+impl Default for TppConfig {
+    fn default() -> Self {
+        Self {
+            scan_window_pages: 1_024,
+            scan_interval_ns: 10_000_000, // 10 ms
+            active_window_ns: 1_500_000_000, // ~2 full scan sweeps of a typical footprint
+            demote_wmark: 0.08,
+            promo_wmark: 0.03,
+            max_demote_per_call: 4_096,
+        }
+    }
+}
+
+/// The TPP policy.
+#[derive(Debug)]
+pub struct TppPolicy {
+    config: TppConfig,
+    unmapped_at: Vec<u64>,
+    last_fault: Vec<u64>,
+    scan_cursor: u64,
+    next_scan_ns: u64,
+    demote_cursor: u64,
+}
+
+impl TppPolicy {
+    /// Builds TPP for the given address space.
+    pub fn new(mut config: TppConfig, tier_cfg: &TierConfig) -> Self {
+        let n = tier_cfg.address_space_pages as usize;
+        // Keep the full-sweep period roughly footprint-independent (~640 ms)
+        // so the two-fault window spans a constant number of sweeps.
+        config.scan_window_pages = config.scan_window_pages.max(n as u64 / 64);
+        Self {
+            config,
+            unmapped_at: vec![0; n],
+            last_fault: vec![0; n],
+            scan_cursor: 0,
+            next_scan_ns: 0,
+            demote_cursor: 0,
+        }
+    }
+
+    fn scan_window(&mut self, now_ns: u64, ctx: &mut PolicyCtx) {
+        let n = self.unmapped_at.len() as u64;
+        if n == 0 {
+            return;
+        }
+        let window = self.config.scan_window_pages.min(n);
+        for _ in 0..window {
+            self.unmapped_at[self.scan_cursor as usize] = now_ns.max(1);
+            self.scan_cursor = (self.scan_cursor + 1) % n;
+        }
+        ctx.tiering_work_ns += window * SCAN_PAGE_NS;
+    }
+
+    fn reclaim(&mut self, now_ns: u64, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        let n = mem.address_space_pages();
+        if n == 0 {
+            return;
+        }
+        let stale_cutoff = now_ns.saturating_sub(2 * self.config.scan_interval_ns);
+        for pass in 0..2 {
+            let mut scanned = 0u64;
+            while mem.fast_free_frac() < self.config.demote_wmark
+                && scanned < self.config.max_demote_per_call.min(n)
+            {
+                let page = PageId(self.demote_cursor);
+                self.demote_cursor = (self.demote_cursor + 1) % n;
+                scanned += 1;
+                ctx.tiering_work_ns += SCAN_PAGE_NS;
+                if mem.tier_of(page) != Some(Tier::Fast) {
+                    continue;
+                }
+                if pass == 1 || self.last_fault[page.0 as usize] <= stale_cutoff {
+                    let _ = mem.demote(page);
+                }
+            }
+            if mem.fast_free_frac() >= self.config.demote_wmark {
+                break;
+            }
+        }
+    }
+}
+
+impl TieringPolicy for TppPolicy {
+    fn name(&self) -> &'static str {
+        "TPP"
+    }
+
+    fn preferred_alloc_tier(&self) -> Tier {
+        Tier::Fast // top-tier-first allocation
+    }
+
+    fn wants_access_hook(&self) -> bool {
+        true
+    }
+
+    fn on_access(
+        &mut self,
+        page: PageId,
+        now_ns: u64,
+        mem: &mut TieredMemory,
+        ctx: &mut PolicyCtx,
+    ) -> u64 {
+        let idx = page.0 as usize;
+        let unmapped = self.unmapped_at[idx];
+        if unmapped == 0 {
+            return 0;
+        }
+        self.unmapped_at[idx] = 0;
+        let prev_fault = self.last_fault[idx];
+        self.last_fault[idx] = now_ns.max(1);
+        // Two-touch filter: promote only when the previous fault was recent
+        // (the page is on the active list).
+        if mem.tier_of(page) == Some(Tier::Slow)
+            && prev_fault > 0
+            && now_ns.saturating_sub(prev_fault) < self.config.active_window_ns
+        {
+            if mem.fast_free() == 0 {
+                self.reclaim(now_ns, mem, ctx);
+            }
+            let _ = mem.promote(page);
+        }
+        FAULT_SERVICE_NS
+    }
+
+    fn on_tick(&mut self, now_ns: u64, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        if now_ns >= self.next_scan_ns {
+            self.scan_window(now_ns, ctx);
+            self.next_scan_ns = now_ns + self.config.scan_interval_ns;
+        }
+        // Proactive reclaim keeps headroom even before pressure (TPP's
+        // signature behaviour).
+        if mem.fast_free_frac() < self.config.demote_wmark {
+            self.reclaim(now_ns, mem, ctx);
+        }
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.unmapped_at.len() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiering_mem::{PageSize, TierRatio};
+
+    fn setup() -> (TppPolicy, TieredMemory) {
+        let cfg = TierConfig::for_footprint(512, TierRatio::OneTo8, PageSize::Base4K);
+        (TppPolicy::new(TppConfig::default(), &cfg), TieredMemory::new(cfg))
+    }
+
+    #[test]
+    fn single_fault_does_not_promote() {
+        let (mut p, mut mem) = setup();
+        let mut ctx = PolicyCtx::new();
+        mem.ensure_mapped(PageId(1), Tier::Slow);
+        p.on_tick(0, &mut mem, &mut ctx);
+        p.on_access(PageId(1), 100, &mut mem, &mut ctx);
+        assert_eq!(
+            mem.tier_of(PageId(1)),
+            Some(Tier::Slow),
+            "TPP's two-touch filter rejects single faults"
+        );
+    }
+
+    #[test]
+    fn two_recent_faults_promote() {
+        let (mut p, mut mem) = setup();
+        let mut ctx = PolicyCtx::new();
+        mem.ensure_mapped(PageId(1), Tier::Slow);
+        p.on_tick(0, &mut mem, &mut ctx);
+        p.on_access(PageId(1), 100, &mut mem, &mut ctx);
+        // Second scan re-arms the hint fault; second access within the
+        // active window promotes.
+        p.on_tick(20_000_000, &mut mem, &mut ctx);
+        p.on_access(PageId(1), 20_000_100, &mut mem, &mut ctx);
+        // (both faults fall inside the 1.5 s active window)
+        assert_eq!(mem.tier_of(PageId(1)), Some(Tier::Fast));
+    }
+
+    #[test]
+    fn widely_spaced_faults_do_not_promote() {
+        let (mut p, mut mem) = setup();
+        let mut ctx = PolicyCtx::new();
+        mem.ensure_mapped(PageId(1), Tier::Slow);
+        p.on_tick(0, &mut mem, &mut ctx);
+        p.on_access(PageId(1), 100, &mut mem, &mut ctx);
+        let far = 10_000_000_000; // 10 s later, beyond the active window
+        p.on_tick(far, &mut mem, &mut ctx);
+        p.on_access(PageId(1), far + 100, &mut mem, &mut ctx);
+        assert_eq!(mem.tier_of(PageId(1)), Some(Tier::Slow));
+    }
+
+    #[test]
+    fn proactive_reclaim_keeps_headroom() {
+        let (mut p, mut mem) = setup();
+        let mut ctx = PolicyCtx::new();
+        let cap = mem.config().fast_capacity_pages;
+        for i in 0..cap {
+            mem.ensure_mapped(PageId(i), Tier::Fast);
+        }
+        assert_eq!(mem.fast_free(), 0);
+        p.on_tick(0, &mut mem, &mut ctx);
+        assert!(
+            mem.fast_free_frac() >= 0.08,
+            "TPP reclaims proactively to its headroom target"
+        );
+    }
+
+    #[test]
+    fn allocates_fast_first() {
+        let (p, _) = setup();
+        assert_eq!(p.preferred_alloc_tier(), Tier::Fast);
+    }
+}

@@ -1,0 +1,221 @@
+//! TwoQ (2Q) adapted to memory tiering.
+//!
+//! 2Q (Johnson & Shasha, VLDB'94) filters one-time accesses with a FIFO
+//! admission queue: pages enter `A1in`; only pages re-referenced *after*
+//! falling out of `A1in` (caught by the `A1out` ghost queue) enter the main
+//! LRU `Am`. The paper uses the original parameters `Kin = maxSize/4`,
+//! `Kout = maxSize/2` (§6.1), allocates new pages slow-tier first, and
+//! promotes on first sampled touch — sharing ARC's lenient-promotion
+//! weakness.
+
+use tiering_mem::{PageId, Tier, TierConfig, TieredMemory};
+use tiering_trace::Sample;
+
+use crate::list_set::ListSet;
+use crate::policy::{PolicyCtx, TieringPolicy};
+
+const A1IN: u8 = 0;
+const AM: u8 = 1;
+const A1OUT: u8 = 2;
+
+const LRU_NODE_NS: u64 = 8;
+const META_BASE: u64 = 0x7900_0000_0000;
+
+/// The 2Q tiering policy.
+#[derive(Debug)]
+pub struct TwoQPolicy {
+    lists: ListSet,
+    /// Fast-tier capacity in pages.
+    c: usize,
+    /// FIFO admission-queue capacity (`maxSize / 4`).
+    k_in: usize,
+    /// Ghost-queue capacity (`maxSize / 2`).
+    k_out: usize,
+}
+
+impl TwoQPolicy {
+    /// Builds 2Q with the paper's default parameters for the fast tier.
+    pub fn new(tier_cfg: &TierConfig) -> Self {
+        let c = tier_cfg.fast_capacity_pages as usize;
+        Self {
+            lists: ListSet::new(tier_cfg.address_space_pages as usize, 3),
+            c,
+            k_in: (c / 4).max(1),
+            k_out: (c / 2).max(1),
+        }
+    }
+
+    /// Resident pages under 2Q control.
+    pub fn resident(&self) -> usize {
+        self.lists.len(A1IN) + self.lists.len(AM)
+    }
+
+    /// Frees one resident slot per the 2Q reclaim rule.
+    fn reclaim_slot(&mut self, mem: &mut TieredMemory) {
+        if self.lists.len(A1IN) > self.k_in {
+            // Evict the FIFO tail into the ghost queue.
+            if let Some(victim) = self.lists.pop_lru(A1IN) {
+                let _ = mem.demote(PageId(victim as u64));
+                self.lists.push_mru(A1OUT, victim);
+                if self.lists.len(A1OUT) > self.k_out {
+                    self.lists.pop_lru(A1OUT);
+                }
+            }
+        } else if let Some(victim) = self.lists.pop_lru(AM) {
+            // Evict from the main LRU; 2Q does not remember Am evictions.
+            let _ = mem.demote(PageId(victim as u64));
+        } else if let Some(victim) = self.lists.pop_lru(A1IN) {
+            let _ = mem.demote(PageId(victim as u64));
+            self.lists.push_mru(A1OUT, victim);
+        }
+    }
+
+    fn promote(&mut self, page: PageId, mem: &mut TieredMemory) -> bool {
+        while mem.fast_free() == 0 && self.resident() > 0 {
+            self.reclaim_slot(mem);
+        }
+        mem.promote(page).is_ok()
+    }
+}
+
+impl TieringPolicy for TwoQPolicy {
+    fn name(&self) -> &'static str {
+        "TwoQ"
+    }
+
+    fn preferred_alloc_tier(&self) -> Tier {
+        Tier::Slow
+    }
+
+    fn on_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        let x = sample.page.0 as u32;
+        ctx.tiering_work_ns += LRU_NODE_NS;
+        ctx.metadata_lines.push(META_BASE + sample.page.0 * 9);
+        match self.lists.which(x) {
+            Some(AM) => {
+                self.lists.touch(AM, x);
+            }
+            Some(A1IN) => {
+                // FIFO: membership refreshes nothing.
+            }
+            Some(A1OUT) => {
+                // Re-reference after admission-queue eviction: hot enough
+                // for the main LRU.
+                self.lists.remove(x);
+                if self.promote(sample.page, mem) {
+                    self.lists.push_mru(AM, x);
+                }
+            }
+            Some(_) => unreachable!("only three lists"),
+            None => {
+                if mem.tier_of(sample.page) == Some(Tier::Slow) && self.promote(sample.page, mem) {
+                    self.lists.push_mru(A1IN, x);
+                    if self.resident() > self.c {
+                        self.reclaim_slot(mem);
+                    }
+                } else if mem.tier_of(sample.page) == Some(Tier::Fast)
+                    && self.lists.which(x).is_none()
+                {
+                    // Page arrived fast without 2Q knowing (first touch
+                    // spill): adopt it into the admission queue.
+                    self.lists.push_mru(A1IN, x);
+                }
+            }
+        }
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.lists.metadata_bytes() + 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiering_mem::{PageSize, TierRatio};
+
+    fn setup() -> (TwoQPolicy, TieredMemory) {
+        let cfg = TierConfig::for_footprint(64, TierRatio::OneTo4, PageSize::Base4K);
+        (TwoQPolicy::new(&cfg), TieredMemory::new(cfg))
+    }
+
+    fn sample(page: u64) -> Sample {
+        Sample {
+            page: PageId(page),
+            addr: page << 12,
+            tier: Tier::Slow,
+            at_ns: 0,
+            is_write: false,
+        }
+    }
+
+    #[test]
+    fn parameters_follow_the_paper() {
+        let (p, _) = setup();
+        assert_eq!(p.c, 16);
+        assert_eq!(p.k_in, 4);
+        assert_eq!(p.k_out, 8);
+    }
+
+    #[test]
+    fn first_touch_admits_to_a1in_and_promotes() {
+        let (mut p, mut mem) = setup();
+        let mut ctx = PolicyCtx::new();
+        mem.ensure_mapped(PageId(1), Tier::Slow);
+        p.on_sample(sample(1), &mut mem, &mut ctx);
+        assert_eq!(p.lists.which(1), Some(A1IN));
+        assert_eq!(mem.tier_of(PageId(1)), Some(Tier::Fast));
+    }
+
+    #[test]
+    fn one_time_pages_cycle_through_a1in_not_am() {
+        let (mut p, mut mem) = setup();
+        let mut ctx = PolicyCtx::new();
+        for i in 0..64u64 {
+            mem.ensure_mapped(PageId(i), Tier::Slow);
+        }
+        // A long one-time scan: nothing should reach Am.
+        for i in 0..60u64 {
+            p.on_sample(sample(i), &mut mem, &mut ctx);
+        }
+        assert_eq!(p.lists.len(AM), 0, "scan pages must not enter Am");
+        assert!(mem.stats().demotions > 0);
+    }
+
+    #[test]
+    fn reference_after_a1out_enters_am() {
+        let (mut p, mut mem) = setup();
+        let mut ctx = PolicyCtx::new();
+        for i in 0..64u64 {
+            mem.ensure_mapped(PageId(i), Tier::Slow);
+        }
+        // Push page 0 through A1in and out into the ghost queue: 2Q only
+        // reclaims once the cache (fast tier, 16 pages) is actually full,
+        // so stream enough distinct pages to exceed capacity.
+        p.on_sample(sample(0), &mut mem, &mut ctx);
+        for i in 1..20u64 {
+            p.on_sample(sample(i), &mut mem, &mut ctx);
+        }
+        assert_eq!(p.lists.which(0), Some(A1OUT), "page 0 should be ghosted");
+        // Re-reference: promoted into Am.
+        p.on_sample(sample(0), &mut mem, &mut ctx);
+        assert_eq!(p.lists.which(0), Some(AM));
+        assert_eq!(mem.tier_of(PageId(0)), Some(Tier::Fast));
+    }
+
+    #[test]
+    fn capacity_respected_under_churn() {
+        let (mut p, mut mem) = setup();
+        let mut ctx = PolicyCtx::new();
+        for i in 0..64u64 {
+            mem.ensure_mapped(PageId(i), Tier::Slow);
+        }
+        for round in 0..5u64 {
+            for i in 0..64u64 {
+                p.on_sample(sample((i * 11 + round * 3) % 64), &mut mem, &mut ctx);
+                assert!(mem.fast_used() <= mem.config().fast_capacity_pages);
+                assert_eq!(p.resident() as u64, mem.fast_used());
+            }
+        }
+    }
+}

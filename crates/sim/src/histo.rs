@@ -1,0 +1,213 @@
+//! Log-bucketed latency histogram (HDR-style) for exact-enough percentiles
+//! at O(1) record cost.
+
+/// Number of sub-buckets per power of two (6 mantissa bits → ≤ 1.6% value
+/// error, fine enough to resolve the 1% adaptation tolerance of Table 3).
+const SUB_BITS: u32 = 6;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// A histogram over `u64` nanosecond values with logarithmic bucketing.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            // 64 exponents × 8 sub-buckets.
+            buckets: vec![0; (64 * SUB) as usize],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        let v = value.max(1);
+        if v < SUB {
+            // Small values are represented exactly.
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros() as u64; // floor(log2 v), >= SUB_BITS
+        let mantissa = (v >> (exp - SUB_BITS as u64)) & (SUB - 1);
+        ((exp - SUB_BITS as u64 + 1) * SUB + mantissa) as usize
+    }
+
+    /// Representative (midpoint) value of bucket `idx`.
+    fn bucket_value(idx: usize) -> u64 {
+        if (idx as u64) < SUB {
+            return idx as u64;
+        }
+        let exp = idx as u64 / SUB - 1 + SUB_BITS as u64;
+        let mantissa = idx as u64 % SUB;
+        (1 << exp) + (mantissa << (exp - SUB_BITS as u64)) + (1 << (exp - SUB_BITS as u64)) / 2
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]`; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// Clears all recorded values.
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = LogHistogram::new();
+        h.record(1000);
+        let p50 = h.p50();
+        assert!((900..=1100).contains(&p50), "p50 {p50} should be ~1000");
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!((4500..=5600).contains(&p50), "p50 {p50}");
+        assert!((8200..=10_000).contains(&p90), "p90 {p90}");
+        assert!(p99 >= p90 && p99 <= 10_000, "p99 {p99}");
+        assert!((h.mean() - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn bucket_error_is_bounded() {
+        // Every value's bucket representative is within 12.5% + rounding.
+        for v in [1u64, 7, 63, 64, 100, 1000, 123_456, 1 << 40] {
+            let idx = LogHistogram::bucket_of(v);
+            let rep = LogHistogram::bucket_value(idx);
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 0.02, "value {v} rep {rep} err {err}");
+        }
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in 1..=100u64 {
+            a.record(v);
+        }
+        for v in 901..=1000u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        let p50 = a.p50();
+        assert!((64..=512).contains(&p50), "p50 {p50} should sit between ranges");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+    }
+
+    #[test]
+    fn monotone_quantiles() {
+        let mut h = LogHistogram::new();
+        let mut x = 12345u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record((x >> 33) % 1_000_000);
+        }
+        let mut prev = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The discrete-event tiered-memory simulation engine.
+//!
+//! This crate replaces the paper's two-socket emulated-CXL testbed (§5.1):
+//! it replays a [`Workload`](tiering_trace::Workload)'s operations against a
+//! [`TieredMemory`](tiering_mem::TieredMemory) managed by a
+//! [`TieringPolicy`](tiering_policies::TieringPolicy), advancing simulated
+//! time by each operation's compute time plus its memory-access latencies,
+//! and charging tiering costs where the real system pays them:
+//!
+//! * **synchronously** — hint-fault service time lands on the faulting
+//!   access (recency systems sample through faults);
+//! * **asynchronously** — a configurable fraction of migration bandwidth
+//!   and tiering-thread CPU time is charged to the application, modelling
+//!   interference from the co-located tiering runtime;
+//! * **through the cache** — when cache simulation is enabled, application
+//!   and metadata references share a simulated L1/LLC and misses are
+//!   attributed per source (paper Figures 5/13/14).
+//!
+//! Outputs are [`SimReport`]s: latency percentiles (exact, from log-bucketed
+//! histograms), a median-latency timeline (paper Figure 4), migration and
+//! cache statistics, and optional hotness probes (Figures 2 and 16).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod adaptation;
+mod engine;
+mod histo;
+mod hotness;
+mod prefetch;
+mod report;
+
+pub use adaptation::{adaptation_time_ns, steady_state_p50};
+pub use engine::{CacheSimOptions, Engine, SimConfig};
+pub use histo::LogHistogram;
+pub use hotness::{CountDistribution, RetentionConfig, RetentionProbe, COUNT_BUCKET_LABELS};
+pub use prefetch::StreamPrefetcher;
+pub use report::{CacheTimelinePoint, LatencySummary, SimReport, TimelinePoint};
+
+/// Convenience: run `policy_kind` over `workload_id` at `ratio` with default
+/// engine settings and the suite's scaled parameters.
+///
+/// This is the entry point the figure harnesses and examples use; it wires
+/// the workload footprint into a [`TierConfig`](tiering_mem::TierConfig)
+/// (using the all-fast configuration for the `AllFast` bound), builds the
+/// policy, and runs the engine.
+pub fn run_suite_experiment(
+    workload_id: tiering_workloads::WorkloadId,
+    policy_kind: tiering_policies::PolicyKind,
+    ratio: tiering_mem::TierRatio,
+    config: &SimConfig,
+    seed: u64,
+) -> SimReport {
+    use tiering_mem::{PageSize, TierConfig};
+    use tiering_policies::{build_policy, PolicyKind};
+    use tiering_workloads::build_workload;
+
+    let mut workload = build_workload(workload_id, seed);
+    let pages = workload.footprint_pages(config.page_size);
+    let tier_cfg = if policy_kind == PolicyKind::AllFast {
+        TierConfig::all_fast(pages, config.page_size)
+    } else {
+        let mut c = TierConfig::for_footprint(pages, ratio, config.page_size);
+        if config.page_size == PageSize::Huge2M {
+            c.page_size = PageSize::Huge2M;
+        }
+        c
+    };
+    let mut policy = build_policy(policy_kind, &tier_cfg);
+    Engine::new(config.clone()).run(workload.as_mut(), policy.as_mut(), tier_cfg)
+}

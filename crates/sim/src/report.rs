@@ -1,0 +1,181 @@
+//! Simulation reports.
+
+use cache_sim::HierarchyStats;
+use tiering_mem::MigrationStats;
+
+use crate::histo::LogHistogram;
+use crate::hotness::CountDistribution;
+
+/// Latency percentile summary over all operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Median operation latency (ns).
+    pub p50_ns: u64,
+    /// 90th percentile (ns).
+    pub p90_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Mean (ns).
+    pub mean_ns: f64,
+}
+
+impl LatencySummary {
+    /// Builds the summary from a histogram.
+    pub fn from_histogram(h: &LogHistogram) -> Self {
+        Self {
+            p50_ns: h.p50(),
+            p90_ns: h.quantile(0.9),
+            p99_ns: h.quantile(0.99),
+            mean_ns: h.mean(),
+        }
+    }
+}
+
+/// One point of the windowed median-latency timeline (paper Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Window end time (simulated ns).
+    pub t_ns: u64,
+    /// Median op latency within the window (ns).
+    pub p50_ns: u64,
+    /// Mean op latency within the window (ns). The adaptation analyses use
+    /// this: the simulator's discrete op shapes make windowed medians
+    /// bimodal around bucket boundaries, while the mean moves smoothly with
+    /// fast-tier hit rate (the paper's testbed medians are smooth for the
+    /// same reason real op latencies are continuous).
+    pub mean_ns: u64,
+    /// Operations completed within the window.
+    pub ops: u64,
+}
+
+/// One point of the cache-miss-attribution timeline (paper Figures 5/13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheTimelinePoint {
+    /// Window end time (simulated ns).
+    pub t_ns: u64,
+    /// Fraction of this window's L1 misses caused by tiering metadata.
+    pub l1_tiering_frac: f64,
+    /// Fraction of this window's LLC misses caused by tiering metadata.
+    pub llc_tiering_frac: f64,
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// Policy name.
+    pub policy: String,
+    /// Operations executed.
+    pub ops: u64,
+    /// Application memory accesses replayed.
+    pub accesses: u64,
+    /// PEBS samples delivered to the policy.
+    pub samples: u64,
+    /// Total simulated time.
+    pub sim_ns: u64,
+    /// Operation latency summary.
+    pub latency: LatencySummary,
+    /// Windowed median-latency series.
+    pub timeline: Vec<TimelinePoint>,
+    /// Cache-attribution series (when cache simulation was enabled).
+    pub cache_timeline: Vec<CacheTimelinePoint>,
+    /// Final cache statistics (when enabled).
+    pub cache: Option<HierarchyStats>,
+    /// Migration counters.
+    pub migrations: MigrationStats,
+    /// Fraction of application accesses served by the fast tier.
+    pub fast_hit_frac: f64,
+    /// Policy metadata footprint at end of run.
+    pub metadata_bytes: usize,
+    /// Per-page sampled-count distribution (when the count probe was on).
+    pub count_distribution: Option<CountDistribution>,
+    /// Hot-page retention series (when the retention probe was on):
+    /// `(window end ns, fraction of the initial hot set still hot)`.
+    pub retention: Option<Vec<(u64, f64)>>,
+}
+
+impl SimReport {
+    /// Throughput in million operations per simulated second.
+    pub fn throughput_mops(&self) -> f64 {
+        if self.sim_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1_000.0 / self.sim_ns as f64
+        }
+    }
+
+    /// Runtime in simulated seconds.
+    pub fn runtime_s(&self) -> f64 {
+        self.sim_ns as f64 / 1e9
+    }
+
+    /// Relative performance vs. a baseline report (baseline runtime / own
+    /// runtime, >1 means faster than baseline) — the metric of Figure 10.
+    pub fn relative_performance(&self, baseline: &SimReport) -> f64 {
+        if self.sim_ns == 0 {
+            0.0
+        } else {
+            baseline.sim_ns as f64 / self.sim_ns as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(sim_ns: u64, ops: u64) -> SimReport {
+        SimReport {
+            workload: "w".into(),
+            policy: "p".into(),
+            ops,
+            accesses: 0,
+            samples: 0,
+            sim_ns,
+            latency: LatencySummary::default(),
+            timeline: Vec::new(),
+            cache_timeline: Vec::new(),
+            cache: None,
+            migrations: MigrationStats::default(),
+            fast_hit_frac: 0.0,
+            metadata_bytes: 0,
+            count_distribution: None,
+            retention: None,
+        }
+    }
+
+    #[test]
+    fn throughput_is_ops_per_second() {
+        let r = dummy(2_000_000_000, 4_000_000);
+        assert!((r.throughput_mops() - 2.0).abs() < 1e-9);
+        assert!((r.runtime_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_performance_vs_baseline() {
+        let fast = dummy(1_000, 1);
+        let slow = dummy(2_000, 1);
+        assert!((fast.relative_performance(&slow) - 2.0).abs() < 1e-9);
+        assert!((slow.relative_performance(&fast) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_edge_cases() {
+        let r = dummy(0, 0);
+        assert_eq!(r.throughput_mops(), 0.0);
+        assert_eq!(r.relative_performance(&dummy(5, 1)), 0.0);
+    }
+
+    #[test]
+    fn summary_from_histogram() {
+        let mut h = LogHistogram::new();
+        for v in [100u64, 200, 300, 400, 500] {
+            h.record(v);
+        }
+        let s = LatencySummary::from_histogram(&h);
+        assert!(s.p50_ns >= 200 && s.p50_ns <= 400);
+        assert!(s.p99_ns >= s.p50_ns);
+        assert!((s.mean_ns - 300.0).abs() < 1.0);
+    }
+}

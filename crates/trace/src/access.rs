@@ -1,0 +1,185 @@
+//! Access records, operations, and the workload trait.
+
+use tiering_mem::{PageId, PageSize};
+
+/// One memory reference issued by the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Virtual byte address.
+    pub addr: u64,
+    /// Whether the reference is a store.
+    pub is_write: bool,
+}
+
+impl Access {
+    /// A load of `addr`.
+    #[inline]
+    pub fn read(addr: u64) -> Self {
+        Self {
+            addr,
+            is_write: false,
+        }
+    }
+
+    /// A store to `addr`.
+    #[inline]
+    pub fn write(addr: u64) -> Self {
+        Self {
+            addr,
+            is_write: true,
+        }
+    }
+
+    /// The page containing this access at the given granularity.
+    #[inline]
+    pub fn page(&self, size: PageSize) -> PageId {
+        PageId::containing(self.addr, size)
+    }
+}
+
+/// Coarse classification of an operation, used for per-class latency
+/// reporting (e.g. CacheLib distinguishes GET latency from SET latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OpKind {
+    /// A read-mostly request (cache GET, key-value read, …).
+    #[default]
+    Read,
+    /// A write-mostly request (cache SET, insert, …).
+    Write,
+    /// One unit of batch compute (a vertex relaxation, a stencil point, a
+    /// boosting-histogram slice, …).
+    Compute,
+}
+
+/// Metadata describing the operation whose accesses were just emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Operation class.
+    pub kind: OpKind,
+    /// Fixed CPU time of the operation, excluding its memory accesses.
+    pub cpu_ns: u64,
+}
+
+impl Op {
+    /// A read op with the given compute cost.
+    pub fn read(cpu_ns: u64) -> Self {
+        Self {
+            kind: OpKind::Read,
+            cpu_ns,
+        }
+    }
+
+    /// A write op with the given compute cost.
+    pub fn write(cpu_ns: u64) -> Self {
+        Self {
+            kind: OpKind::Write,
+            cpu_ns,
+        }
+    }
+
+    /// A compute op with the given compute cost.
+    pub fn compute(cpu_ns: u64) -> Self {
+        Self {
+            kind: OpKind::Compute,
+            cpu_ns,
+        }
+    }
+}
+
+/// A lazily generated memory-access workload.
+///
+/// The engine repeatedly calls [`next_op`](Workload::next_op) with the
+/// current simulated time; the workload appends the operation's accesses to
+/// `out` (cleared by the engine beforehand) and returns the operation
+/// metadata, or `None` when the workload is complete.
+///
+/// Passing simulated time into the generator lets time-dependent behaviours
+/// — CacheLib's hotness-distribution shift events, TTL expiry — trigger at
+/// the right simulated instants regardless of how fast the host runs.
+pub trait Workload {
+    /// Generates the next operation. Returns `None` when the workload ends.
+    fn next_op(&mut self, now_ns: u64, out: &mut Vec<Access>) -> Option<Op>;
+
+    /// Total bytes of the address space this workload touches.
+    fn footprint_bytes(&self) -> u64;
+
+    /// Human-readable workload name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Footprint in pages at the given granularity.
+    fn footprint_pages(&self, size: PageSize) -> u64 {
+        self.footprint_bytes().div_ceil(size.bytes())
+    }
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn next_op(&mut self, now_ns: u64, out: &mut Vec<Access>) -> Option<Op> {
+        (**self).next_op(now_ns, out)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        (**self).footprint_bytes()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_constructors() {
+        assert!(!Access::read(4).is_write);
+        assert!(Access::write(4).is_write);
+        assert_eq!(Access::read(0x5000).page(PageSize::Base4K), PageId(5));
+    }
+
+    #[test]
+    fn footprint_pages_rounds_up() {
+        struct W;
+        impl Workload for W {
+            fn next_op(&mut self, _: u64, _: &mut Vec<Access>) -> Option<Op> {
+                None
+            }
+            fn footprint_bytes(&self) -> u64 {
+                4097
+            }
+            fn name(&self) -> &str {
+                "w"
+            }
+        }
+        assert_eq!(W.footprint_pages(PageSize::Base4K), 2);
+        assert_eq!(W.footprint_pages(PageSize::Huge2M), 1);
+    }
+
+    #[test]
+    fn boxed_workload_delegates() {
+        struct W(u32);
+        impl Workload for W {
+            fn next_op(&mut self, _: u64, out: &mut Vec<Access>) -> Option<Op> {
+                if self.0 == 0 {
+                    return None;
+                }
+                self.0 -= 1;
+                out.push(Access::read(0));
+                Some(Op::read(10))
+            }
+            fn footprint_bytes(&self) -> u64 {
+                4096
+            }
+            fn name(&self) -> &str {
+                "w"
+            }
+        }
+        let mut b: Box<dyn Workload> = Box::new(W(2));
+        let mut buf = Vec::new();
+        assert!(b.next_op(0, &mut buf).is_some());
+        assert!(b.next_op(0, &mut buf).is_some());
+        assert!(b.next_op(0, &mut buf).is_none());
+        assert_eq!(b.name(), "w");
+        assert_eq!(buf.len(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Memory-access traces, workload abstraction, and PEBS-like sampling.
+//!
+//! Tiering systems observe applications through *sampled* memory accesses:
+//! Intel PEBS / AMD IBS deliver every Nth access with its virtual address and
+//! serving tier (paper §2.3.3, §4.1). This crate defines:
+//!
+//! * [`Access`] / [`Op`] — the unit of workload execution: an operation (a
+//!   cache GET, one vertex relaxation, one stencil point…) comprising a
+//!   burst of memory accesses plus fixed compute time.
+//! * [`Workload`] — the trait every workload generator implements; the
+//!   simulation engine pulls operations from it lazily, so traces are never
+//!   materialized.
+//! * [`Sampler`] + [`SampleBuffer`] — the PEBS model: periodic sampling into
+//!   a bounded buffer that the tiering runtime drains (paper Algorithm 1).
+//!
+//! # Example
+//!
+//! ```
+//! use tiering_trace::{Access, Sampler};
+//!
+//! let mut sampler = Sampler::new(4); // every 4th access
+//! let sampled: Vec<bool> = (0..8)
+//!     .map(|i| sampler.observe(&Access::read(i * 64)).is_some())
+//!     .collect();
+//! assert_eq!(sampled.iter().filter(|&&s| s).count(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod access;
+mod sampler;
+
+pub use access::{Access, Op, OpKind, Workload};
+pub use sampler::{Sample, SampleBuffer, Sampler};

@@ -1,0 +1,206 @@
+//! PEBS-style periodic access sampling.
+
+use std::collections::VecDeque;
+
+use tiering_mem::{PageId, PageSize, Tier};
+
+use crate::access::Access;
+
+/// One hardware access sample, as delivered by PEBS/IBS: the virtual address
+/// plus which tier served it (paper §2.3.3: "each sampled event contains the
+/// exact virtual address accessed by the application and whether it was in
+/// local DRAM or CXL memory").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Page containing the sampled access.
+    pub page: PageId,
+    /// Exact sampled byte address.
+    pub addr: u64,
+    /// Tier that served the access.
+    pub tier: Tier,
+    /// Simulated time the sample was taken.
+    pub at_ns: u64,
+    /// Whether the sampled access was a store.
+    pub is_write: bool,
+}
+
+/// Deterministic every-Nth-access sampler.
+///
+/// Real PEBS counts events and fires on counter overflow, which for a fixed
+/// reload value is exactly an every-Nth filter. Determinism keeps simulation
+/// runs reproducible.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    period: u32,
+    countdown: u32,
+}
+
+impl Sampler {
+    /// Samples every `period`-th access (`period = 1` observes everything,
+    /// as fault-based policies effectively do for their fault window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(period: u32) -> Self {
+        assert!(period > 0, "sampling period must be at least 1");
+        Self {
+            period,
+            countdown: period,
+        }
+    }
+
+    /// The configured sampling period.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Observes one access; returns its address if this access is sampled.
+    #[inline]
+    pub fn observe(&mut self, access: &Access) -> Option<u64> {
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.period;
+            Some(access.addr)
+        } else {
+            None
+        }
+    }
+
+    /// Convenience: observe and build a full [`Sample`] when selected.
+    #[inline]
+    pub fn observe_full(
+        &mut self,
+        access: &Access,
+        tier: Tier,
+        now_ns: u64,
+        page_size: PageSize,
+    ) -> Option<Sample> {
+        self.observe(access).map(|addr| Sample {
+            page: PageId::containing(addr, page_size),
+            addr,
+            tier,
+            at_ns: now_ns,
+            is_write: access.is_write,
+        })
+    }
+}
+
+/// A bounded PEBS sample buffer (paper Algorithm 1: the tiering thread reads
+/// from `SampleBuffer` when it is non-empty).
+///
+/// If the tiering thread falls behind, the hardware overwrites unread
+/// records; [`dropped`](SampleBuffer::dropped) counts those losses.
+#[derive(Debug, Clone)]
+pub struct SampleBuffer {
+    buf: VecDeque<Sample>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl SampleBuffer {
+    /// Creates a buffer holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sample buffer capacity must be positive");
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Pushes a sample, dropping it (and counting the drop) if full.
+    pub fn push(&mut self, sample: Sample) {
+        if self.buf.len() == self.capacity {
+            self.dropped += 1;
+        } else {
+            self.buf.push_back(sample);
+        }
+    }
+
+    /// Pops the oldest sample.
+    pub fn pop(&mut self) -> Option<Sample> {
+        self.buf.pop_front()
+    }
+
+    /// Number of samples waiting.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Samples lost to buffer overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_every_nth_exactly() {
+        let mut s = Sampler::new(5);
+        let hits: Vec<usize> = (0..20)
+            .filter(|&i| s.observe(&Access::read(i as u64)).is_some())
+            .collect();
+        assert_eq!(hits, vec![4, 9, 14, 19]);
+    }
+
+    #[test]
+    fn period_one_samples_everything() {
+        let mut s = Sampler::new(1);
+        for i in 0..10u64 {
+            assert_eq!(s.observe(&Access::read(i)), Some(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_period_rejected() {
+        let _ = Sampler::new(0);
+    }
+
+    #[test]
+    fn observe_full_builds_sample() {
+        let mut s = Sampler::new(1);
+        let sample = s
+            .observe_full(&Access::write(0x5123), Tier::Slow, 77, PageSize::Base4K)
+            .unwrap();
+        assert_eq!(sample.page, PageId(5));
+        assert_eq!(sample.addr, 0x5123);
+        assert_eq!(sample.tier, Tier::Slow);
+        assert_eq!(sample.at_ns, 77);
+        assert!(sample.is_write);
+    }
+
+    #[test]
+    fn buffer_fifo_and_drops() {
+        let mut b = SampleBuffer::new(2);
+        let mk = |i: u64| Sample {
+            page: PageId(i),
+            addr: i << 12,
+            tier: Tier::Fast,
+            at_ns: i,
+            is_write: false,
+        };
+        b.push(mk(1));
+        b.push(mk(2));
+        b.push(mk(3)); // dropped
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(b.pop().unwrap().page, PageId(1));
+        assert_eq!(b.pop().unwrap().page, PageId(2));
+        assert!(b.pop().is_none());
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Generative models of the twelve workloads in the HybridTier evaluation
+//! (paper Table 2).
+//!
+//! The paper evaluates on production-scale workloads (150–335 GB footprints).
+//! This crate reproduces each one as a *generator* with the same
+//! distributional structure at ~512× smaller footprint, so the simulator can
+//! replay them in seconds while preserving what tiering systems actually
+//! react to: skew, hot-set size, and hotness churn.
+//!
+//! | Paper workload | Type here |
+//! |---|---|
+//! | CacheLib CDN | [`CacheLibWorkload`] with [`CacheLibConfig::cdn`] |
+//! | CacheLib Social-graph | [`CacheLibWorkload`] with [`CacheLibConfig::social_graph`] |
+//! | GAP BFS / CC / PR (Kronecker + uniform) | [`BfsWorkload`], [`CcWorkload`], [`PrWorkload`] over [`Graph`] |
+//! | SPEC 603.bwaves | [`BwavesWorkload`] |
+//! | SPEC 654.roms | [`RomsWorkload`] |
+//! | Silo (YCSB-C) | [`SiloWorkload`] |
+//! | XGBoost (Criteo) | [`XgboostWorkload`] |
+//!
+//! Plus synthetic building blocks ([`ZipfPageWorkload`], [`PulseWorkload`],
+//! [`SequentialScanWorkload`]) used by the motivation figures and unit tests.
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cachelib;
+mod gap;
+mod layout;
+mod silo;
+mod spec;
+mod suite;
+mod synthetic;
+mod xgboost;
+mod zipf;
+
+pub use cachelib::{CacheLibConfig, CacheLibWorkload, ShiftEvent};
+pub use gap::{BfsWorkload, CcWorkload, Graph, GraphKind, PrWorkload};
+pub use layout::{LayoutBuilder, Region};
+pub use spec::{BwavesWorkload, RomsWorkload};
+pub use suite::{build_workload, WorkloadId};
+pub use synthetic::{PulseWorkload, SequentialScanWorkload, ZipfPageWorkload};
+pub use xgboost::{XgboostConfig, XgboostWorkload};
+pub use zipf::{ShiftableZipf, ZipfDistribution};
+pub use silo::{SiloConfig, SiloWorkload};

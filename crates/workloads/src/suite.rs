@@ -1,0 +1,191 @@
+//! The full evaluation suite: one identifier per paper workload, with the
+//! default scaled parameters used by the benchmark harness.
+
+use tiering_trace::Workload;
+
+use crate::cachelib::{CacheLibConfig, CacheLibWorkload};
+use crate::gap::{BfsWorkload, CcWorkload, Graph, GraphKind, PrWorkload};
+use crate::silo::{SiloConfig, SiloWorkload};
+use crate::spec::{BwavesWorkload, RomsWorkload};
+use crate::xgboost::{XgboostConfig, XgboostWorkload};
+
+/// The twelve workloads of paper Table 2 / Figure 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadId {
+    /// CacheLib content-delivery-network workload.
+    CdnCacheLib,
+    /// CacheLib social-graph workload.
+    SocialCacheLib,
+    /// GAP breadth-first search on the Kronecker graph.
+    BfsKron,
+    /// GAP breadth-first search on the uniform-random graph.
+    BfsUniform,
+    /// GAP connected components on the Kronecker graph.
+    CcKron,
+    /// GAP connected components on the uniform-random graph.
+    CcUniform,
+    /// GAP PageRank on the Kronecker graph.
+    PrKron,
+    /// GAP PageRank on the uniform-random graph.
+    PrUniform,
+    /// SPEC CPU 2017 603.bwaves proxy.
+    Bwaves,
+    /// SPEC CPU 2017 654.roms proxy.
+    Roms,
+    /// Silo under YCSB-C.
+    Silo,
+    /// XGBoost training on Criteo-like data.
+    Xgboost,
+}
+
+impl WorkloadId {
+    /// All workloads, in the paper's figure order.
+    pub const ALL: [WorkloadId; 12] = [
+        WorkloadId::CdnCacheLib,
+        WorkloadId::SocialCacheLib,
+        WorkloadId::BfsKron,
+        WorkloadId::BfsUniform,
+        WorkloadId::CcKron,
+        WorkloadId::CcUniform,
+        WorkloadId::PrKron,
+        WorkloadId::PrUniform,
+        WorkloadId::Bwaves,
+        WorkloadId::Roms,
+        WorkloadId::Silo,
+        WorkloadId::Xgboost,
+    ];
+
+    /// Short label matching the paper's figure axes.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadId::CdnCacheLib => "CDN",
+            WorkloadId::SocialCacheLib => "social",
+            WorkloadId::BfsKron => "BFS-K",
+            WorkloadId::BfsUniform => "BFS-U",
+            WorkloadId::CcKron => "CC-K",
+            WorkloadId::CcUniform => "CC-U",
+            WorkloadId::PrKron => "PR-K",
+            WorkloadId::PrUniform => "PR-U",
+            WorkloadId::Bwaves => "bwave",
+            WorkloadId::Roms => "roms",
+            WorkloadId::Silo => "silo",
+            WorkloadId::Xgboost => "XGBoost",
+        }
+    }
+
+    /// Whether the workload is request-driven (latency/throughput metrics)
+    /// as opposed to batch (runtime metric).
+    pub fn is_request_driven(self) -> bool {
+        matches!(
+            self,
+            WorkloadId::CdnCacheLib | WorkloadId::SocialCacheLib | WorkloadId::Silo
+        )
+    }
+}
+
+/// Graph generation parameters shared by the GAP workloads
+/// (2^17 nodes × 16 edges/node — the paper's 2³¹ × 4, scaled ~16 000×).
+const GAP_SCALE: u32 = 17;
+const GAP_EDGE_FACTOR: u32 = 16;
+
+fn gap_graph(kind: GraphKind, seed: u64) -> Graph {
+    match kind {
+        GraphKind::Kronecker => Graph::kronecker(GAP_SCALE, GAP_EDGE_FACTOR, seed),
+        GraphKind::UniformRandom => Graph::uniform(GAP_SCALE, GAP_EDGE_FACTOR, seed),
+    }
+}
+
+/// Builds a workload with the suite's default scaled parameters.
+///
+/// Every generator is deterministic in `seed`, so policy comparisons can run
+/// each policy against an identical access stream.
+pub fn build_workload(id: WorkloadId, seed: u64) -> Box<dyn Workload> {
+    match id {
+        WorkloadId::CdnCacheLib => Box::new(CacheLibWorkload::new(
+            CacheLibConfig::cdn().with_seed(seed),
+        )),
+        WorkloadId::SocialCacheLib => Box::new(CacheLibWorkload::new(
+            CacheLibConfig::social_graph().with_seed(seed),
+        )),
+        WorkloadId::BfsKron => Box::new(BfsWorkload::new(
+            gap_graph(GraphKind::Kronecker, seed),
+            4,
+            seed ^ 1,
+        )),
+        WorkloadId::BfsUniform => Box::new(BfsWorkload::new(
+            gap_graph(GraphKind::UniformRandom, seed),
+            4,
+            seed ^ 1,
+        )),
+        WorkloadId::CcKron => Box::new(CcWorkload::new(gap_graph(GraphKind::Kronecker, seed), 6)),
+        WorkloadId::CcUniform => {
+            Box::new(CcWorkload::new(gap_graph(GraphKind::UniformRandom, seed), 6))
+        }
+        WorkloadId::PrKron => Box::new(PrWorkload::new(gap_graph(GraphKind::Kronecker, seed), 6)),
+        WorkloadId::PrUniform => {
+            Box::new(PrWorkload::new(gap_graph(GraphKind::UniformRandom, seed), 6))
+        }
+        WorkloadId::Bwaves => Box::new(BwavesWorkload::new(96 << 20, 6)),
+        WorkloadId::Roms => Box::new(RomsWorkload::new(1 << 20, 48, 4)),
+        WorkloadId::Silo => Box::new(SiloWorkload::new(SiloConfig {
+            seed,
+            ..SiloConfig::default()
+        })),
+        WorkloadId::Xgboost => Box::new(XgboostWorkload::new(XgboostConfig {
+            seed,
+            ..XgboostConfig::default()
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiering_mem::PageSize;
+
+    #[test]
+    fn all_twelve_build_and_emit() {
+        for id in WorkloadId::ALL {
+            let mut w = build_workload(id, 42);
+            assert!(!w.name().is_empty());
+            assert!(w.footprint_bytes() > 0, "{id:?} empty footprint");
+            let mut buf = Vec::new();
+            let op = w.next_op(0, &mut buf);
+            assert!(op.is_some(), "{id:?} emitted nothing");
+            assert!(!buf.is_empty(), "{id:?} op without accesses");
+            for a in &buf {
+                assert!(
+                    a.addr < w.footprint_bytes(),
+                    "{id:?} access beyond footprint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = WorkloadId::ALL.iter().map(|w| w.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn request_driven_classification() {
+        assert!(WorkloadId::CdnCacheLib.is_request_driven());
+        assert!(!WorkloadId::PrKron.is_request_driven());
+    }
+
+    #[test]
+    fn footprints_are_scaled_but_nontrivial() {
+        for id in [WorkloadId::CdnCacheLib, WorkloadId::Bwaves, WorkloadId::Xgboost] {
+            let w = build_workload(id, 1);
+            let pages = w.footprint_pages(PageSize::Base4K);
+            assert!(
+                pages > 10_000,
+                "{id:?} only {pages} pages — too small for tiering to matter"
+            );
+            assert!(pages < 300_000, "{id:?} {pages} pages — too big to simulate");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Synthetic workloads used by the motivation figures and tests.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tiering_trace::{Access, Op, Workload};
+
+use crate::layout::LayoutBuilder;
+use crate::zipf::ShiftableZipf;
+use crate::Region;
+
+/// A minimal skewed workload: each op touches one page drawn from a
+/// (shiftable) Zipf distribution over the page space.
+///
+/// This is the distilled version of the hotness-tracking problem and the
+/// workhorse for unit and property tests of the policies.
+#[derive(Debug)]
+pub struct ZipfPageWorkload {
+    zipf: ShiftableZipf,
+    region: Region,
+    rng: SmallRng,
+    ops_remaining: u64,
+    shift_at_ns: Option<u64>,
+    shift_fraction: f64,
+    cpu_ns: u64,
+    name: String,
+}
+
+impl ZipfPageWorkload {
+    /// `pages` pages, Zipf exponent `theta`, `ops` operations.
+    pub fn new(pages: usize, theta: f64, ops: u64, seed: u64) -> Self {
+        let mut layout = LayoutBuilder::new();
+        let region = layout.alloc(pages as u64 * 4096);
+        let mut perm_rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9);
+        Self {
+            zipf: ShiftableZipf::new(pages, theta).shuffled(&mut perm_rng),
+            region,
+            rng: SmallRng::seed_from_u64(seed),
+            ops_remaining: ops,
+            shift_at_ns: None,
+            shift_fraction: 0.0,
+            cpu_ns: 50,
+            name: format!("zipf-{pages}p-t{theta}"),
+        }
+    }
+
+    /// Schedules a single hotness shift: at `at_ns`, `fraction` of the hot
+    /// ranks are reassigned to cold items.
+    #[must_use]
+    pub fn with_shift(mut self, at_ns: u64, fraction: f64) -> Self {
+        self.shift_at_ns = Some(at_ns);
+        self.shift_fraction = fraction;
+        self
+    }
+}
+
+impl Workload for ZipfPageWorkload {
+    fn next_op(&mut self, now_ns: u64, out: &mut Vec<Access>) -> Option<Op> {
+        if self.ops_remaining == 0 {
+            return None;
+        }
+        if let Some(at) = self.shift_at_ns {
+            if now_ns >= at {
+                let mut shift_rng = SmallRng::seed_from_u64(0x5117F7ED);
+                self.zipf.shift(self.shift_fraction, &mut shift_rng);
+                self.shift_at_ns = None;
+            }
+        }
+        self.ops_remaining -= 1;
+        let page = self.zipf.sample(&mut self.rng) as u64;
+        out.push(Access::read(self.region.addr(page * 4096)));
+        Some(Op::read(self.cpu_ns))
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.region.bytes()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A page accessed at a fixed rate for a fixed duration, then never again —
+/// the paper's Figure 3(a) EMA-lag microbenchmark ("a page accessed 50 times
+/// per minute for 10 minutes").
+#[derive(Debug)]
+pub struct PulseWorkload {
+    region: Region,
+    /// Accesses per simulated minute while active.
+    rate_per_min: u64,
+    active_minutes: u64,
+    total_minutes: u64,
+    emitted: u64,
+}
+
+impl PulseWorkload {
+    /// A single page touched `rate_per_min` times per minute for
+    /// `active_minutes`, followed by silence until `total_minutes`.
+    pub fn new(rate_per_min: u64, active_minutes: u64, total_minutes: u64) -> Self {
+        let mut layout = LayoutBuilder::new();
+        let region = layout.alloc(4096);
+        Self {
+            region,
+            rate_per_min,
+            active_minutes,
+            total_minutes,
+            emitted: 0,
+        }
+    }
+
+    /// Simulated nanoseconds between consecutive accesses while active.
+    pub fn access_gap_ns(&self) -> u64 {
+        60_000_000_000 / self.rate_per_min
+    }
+
+    /// Total number of accesses the pulse emits.
+    pub fn total_accesses(&self) -> u64 {
+        self.rate_per_min * self.active_minutes
+    }
+
+    /// Total simulated duration covered (including the silent tail).
+    pub fn duration_ns(&self) -> u64 {
+        self.total_minutes * 60_000_000_000
+    }
+}
+
+impl Workload for PulseWorkload {
+    fn next_op(&mut self, _now_ns: u64, out: &mut Vec<Access>) -> Option<Op> {
+        if self.emitted >= self.total_accesses() {
+            return None;
+        }
+        self.emitted += 1;
+        out.push(Access::read(self.region.base()));
+        // The op's CPU time *is* the gap between accesses, so the pulse
+        // plays out at the right simulated rate.
+        Some(Op::read(self.access_gap_ns()))
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.region.bytes()
+    }
+
+    fn name(&self) -> &str {
+        "pulse"
+    }
+}
+
+/// A pure sequential scan over the whole footprint, repeated for a number of
+/// passes — the classic one-time-only access pattern that pollutes
+/// recency-based tiers (paper §7, "One-time-only Access Patterns").
+#[derive(Debug)]
+pub struct SequentialScanWorkload {
+    region: Region,
+    stride: u64,
+    passes_remaining: u64,
+    cursor: u64,
+}
+
+impl SequentialScanWorkload {
+    /// Scans `pages` pages `passes` times at one access per `stride` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn new(pages: u64, passes: u64, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        let mut layout = LayoutBuilder::new();
+        let region = layout.alloc(pages * 4096);
+        Self {
+            region,
+            stride,
+            passes_remaining: passes,
+            cursor: 0,
+        }
+    }
+}
+
+impl Workload for SequentialScanWorkload {
+    fn next_op(&mut self, _now_ns: u64, out: &mut Vec<Access>) -> Option<Op> {
+        if self.passes_remaining == 0 {
+            return None;
+        }
+        out.push(Access::read(self.region.addr(self.cursor)));
+        self.cursor += self.stride;
+        if self.cursor >= self.region.bytes() {
+            self.cursor = 0;
+            self.passes_remaining -= 1;
+        }
+        Some(Op::compute(20))
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.region.bytes()
+    }
+
+    fn name(&self) -> &str {
+        "seq-scan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiering_mem::PageSize;
+
+    fn drain(w: &mut dyn Workload, max: usize) -> Vec<Access> {
+        let mut all = Vec::new();
+        let mut buf = Vec::new();
+        for _ in 0..max {
+            buf.clear();
+            if w.next_op(0, &mut buf).is_none() {
+                break;
+            }
+            all.extend_from_slice(&buf);
+        }
+        all
+    }
+
+    #[test]
+    fn zipf_workload_is_skewed() {
+        let mut w = ZipfPageWorkload::new(1000, 0.99, 20_000, 1);
+        let accesses = drain(&mut w, 30_000);
+        assert_eq!(accesses.len(), 20_000);
+        let mut counts = std::collections::HashMap::new();
+        for a in &accesses {
+            *counts.entry(a.page(PageSize::Base4K)).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 200, "hottest page only {max} accesses");
+    }
+
+    #[test]
+    fn zipf_workload_deterministic() {
+        let mut a = ZipfPageWorkload::new(100, 0.9, 1000, 42);
+        let mut b = ZipfPageWorkload::new(100, 0.9, 1000, 42);
+        assert_eq!(drain(&mut a, 2000), drain(&mut b, 2000));
+    }
+
+    #[test]
+    fn zipf_shift_changes_hot_page() {
+        let mut w = ZipfPageWorkload::new(500, 1.2, 100_000, 9).with_shift(1, 1.0);
+        let mut buf = Vec::new();
+        // First op at now=0: no shift yet.
+        w.next_op(0, &mut buf).unwrap();
+        let before_hot = w.zipf.item_at_rank(0);
+        // Advance time past the shift point.
+        buf.clear();
+        w.next_op(10, &mut buf).unwrap();
+        let after_hot = w.zipf.item_at_rank(0);
+        assert_ne!(before_hot, after_hot, "rank-0 item should be reassigned");
+    }
+
+    #[test]
+    fn pulse_emits_exact_count_and_rate() {
+        let mut w = PulseWorkload::new(50, 10, 20);
+        assert_eq!(w.total_accesses(), 500);
+        assert_eq!(w.access_gap_ns(), 1_200_000_000);
+        let accesses = drain(&mut w, 1000);
+        assert_eq!(accesses.len(), 500);
+        assert!(accesses.iter().all(|a| a.addr == accesses[0].addr));
+    }
+
+    #[test]
+    fn scan_touches_every_page_in_order() {
+        let mut w = SequentialScanWorkload::new(4, 1, 4096);
+        let accesses = drain(&mut w, 100);
+        let pages: Vec<u64> = accesses
+            .iter()
+            .map(|a| a.page(PageSize::Base4K).0)
+            .collect();
+        assert_eq!(pages, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scan_repeats_for_passes() {
+        let mut w = SequentialScanWorkload::new(2, 3, 4096);
+        let accesses = drain(&mut w, 100);
+        assert_eq!(accesses.len(), 6);
+    }
+}

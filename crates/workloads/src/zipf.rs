@@ -1,0 +1,259 @@
+//! Zipfian popularity with re-rankable (shiftable) item assignment.
+
+use rand::Rng;
+
+/// A Zipf(θ) distribution over ranks `0..n` (rank 0 most popular),
+/// `P(rank r) ∝ 1 / (r + 1)^θ`.
+///
+/// Sampling uses a precomputed CDF table and binary search — `O(log n)` per
+/// draw, exact, and deterministic given the caller's RNG. Production
+/// in-memory caches follow this shape with high skew (paper §2.2: "~80% of
+/// accesses to Meta's object storage cache focus on the top 10% most popular
+/// items").
+#[derive(Debug, Clone)]
+pub struct ZipfDistribution {
+    cdf: Vec<f64>,
+}
+
+impl ZipfDistribution {
+    /// Builds the distribution for `n` items with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point residue keeping the last entry < 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero items (never true; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`.
+    #[inline]
+    pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of the top `k` ranks.
+    pub fn head_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[(k - 1).min(self.cdf.len() - 1)]
+        }
+    }
+
+    /// Smallest number of top ranks whose combined mass reaches `mass`.
+    pub fn ranks_for_mass(&self, mass: f64) -> usize {
+        self.cdf.partition_point(|&c| c < mass) + 1
+    }
+}
+
+/// A Zipf distribution over *items* through a mutable rank→item permutation,
+/// supporting hotness-distribution shifts.
+///
+/// This models the churn production caches report (paper §2.2: "50% of
+/// popular objects are no longer popular after just 10 minutes"): a
+/// [`shift`](ShiftableZipf::shift) re-assigns a fraction of the hot ranks to
+/// previously cold items, so the *distribution shape* is unchanged but the
+/// identity of the hot set moves — exactly the CacheLib experiment of paper
+/// Figure 4, where at 1800 s "2/3 of previously hot data are no longer hot".
+#[derive(Debug, Clone)]
+pub struct ShiftableZipf {
+    dist: ZipfDistribution,
+    /// `item_of[rank]` = item id currently occupying that popularity rank.
+    item_of: Vec<u32>,
+}
+
+impl ShiftableZipf {
+    /// Creates the distribution with the identity rank→item assignment.
+    ///
+    /// Prefer [`shuffled`](ShiftableZipf::shuffled) for workload generation:
+    /// with the identity assignment, item id correlates with popularity, so
+    /// first-touch page placement accidentally captures the hot set.
+    pub fn new(n: usize, theta: f64) -> Self {
+        Self {
+            dist: ZipfDistribution::new(n, theta),
+            item_of: (0..n as u32).collect(),
+        }
+    }
+
+    /// Randomizes the rank→item assignment so hot items are scattered across
+    /// the id (and therefore address) space, as in real caches.
+    #[must_use]
+    pub fn shuffled<R: Rng + ?Sized>(mut self, rng: &mut R) -> Self {
+        for i in (1..self.item_of.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.item_of.swap(i, j);
+        }
+        self
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.item_of.len()
+    }
+
+    /// Whether there are zero items (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.item_of.is_empty()
+    }
+
+    /// Draws an item id.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.item_of[self.dist.sample_rank(rng)]
+    }
+
+    /// Item currently at `rank`.
+    pub fn item_at_rank(&self, rank: usize) -> u32 {
+        self.item_of[rank]
+    }
+
+    /// The underlying rank distribution.
+    pub fn distribution(&self) -> &ZipfDistribution {
+        &self.dist
+    }
+
+    /// Re-assigns `fraction` of the hot ranks (the top ranks carrying 80% of
+    /// the probability mass) to uniformly chosen items from the cold tail.
+    ///
+    /// Returns the number of ranks reassigned.
+    pub fn shift<R: Rng + ?Sized>(&mut self, fraction: f64, rng: &mut R) -> usize {
+        let n = self.item_of.len();
+        if n < 2 {
+            return 0;
+        }
+        let head = self.dist.ranks_for_mass(0.8).min(n - 1).max(1);
+        let mut moved = 0;
+        for rank in 0..head {
+            if rng.gen::<f64>() < fraction {
+                // Swap with a random cold rank: the old hot item becomes
+                // cold and a cold item inherits the hot rank.
+                let cold = rng.gen_range(head..n);
+                self.item_of.swap(rank, cold);
+                moved += 1;
+            }
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let z = ZipfDistribution::new(1000, 0.99);
+        let mut prev = 0.0;
+        for r in 0..1000 {
+            let c = z.head_mass(r + 1);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((z.head_mass(1000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_skew_concentrates_mass() {
+        // θ=0.99 over 100k items: top 10% should carry well over half the
+        // mass (the Meta observation is ~80%).
+        let z = ZipfDistribution::new(100_000, 0.99);
+        let head = z.head_mass(10_000);
+        assert!(head > 0.7, "top-10% mass {head}");
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = ZipfDistribution::new(10, 0.0);
+        for k in 1..=10 {
+            assert!((z.head_mass(k) - k as f64 / 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let z = ZipfDistribution::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 100];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        // Rank 0 should see ~ mass(0) fraction of draws.
+        let expect0 = z.head_mass(1);
+        let got0 = counts[0] as f64 / draws as f64;
+        assert!((got0 - expect0).abs() < 0.01, "got {got0}, expect {expect0}");
+        // Monotone-ish: rank 0 >> rank 50.
+        assert!(counts[0] > counts[50] * 10);
+    }
+
+    #[test]
+    fn ranks_for_mass_inverts_head_mass() {
+        let z = ZipfDistribution::new(1000, 0.9);
+        let k = z.ranks_for_mass(0.5);
+        assert!(z.head_mass(k) >= 0.5);
+        assert!(z.head_mass(k.saturating_sub(1)) < 0.5 || k == 1);
+    }
+
+    #[test]
+    fn shift_moves_requested_fraction_of_hot_ranks() {
+        let mut z = ShiftableZipf::new(10_000, 0.99);
+        let before: Vec<u32> = (0..100).map(|r| z.item_at_rank(r)).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let moved = z.shift(2.0 / 3.0, &mut rng);
+        assert!(moved > 0);
+        let changed = (0..100)
+            .filter(|&r| z.item_at_rank(r) != before[r])
+            .count();
+        // Roughly 2/3 of the inspected head ranks changed identity.
+        assert!(changed > 40, "only {changed}/100 head ranks changed");
+    }
+
+    #[test]
+    fn shift_preserves_permutation() {
+        let mut z = ShiftableZipf::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(4);
+        z.shift(0.5, &mut rng);
+        let mut items: Vec<u32> = (0..1000).map(|r| z.item_at_rank(r)).collect();
+        items.sort_unstable();
+        let expect: Vec<u32> = (0..1000).collect();
+        assert_eq!(items, expect, "shift must remain a permutation");
+    }
+
+    #[test]
+    fn shift_zero_fraction_is_noop() {
+        let mut z = ShiftableZipf::new(100, 0.99);
+        let before: Vec<u32> = (0..100).map(|r| z.item_at_rank(r)).collect();
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(z.shift(0.0, &mut rng), 0);
+        let after: Vec<u32> = (0..100).map(|r| z.item_at_rank(r)).collect();
+        assert_eq!(before, after);
+    }
+}

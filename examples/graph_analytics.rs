@@ -1,0 +1,58 @@
+//! Tiered-memory graph analytics: BFS over a Kronecker graph.
+//!
+//! The GAP kernels are the paper's throughput-oriented workloads (Table 2).
+//! BFS is the interesting one for tiering: every trial starts from a new
+//! random source, so the hot frontier moves — exactly the "shifting hot
+//! set" regime where HybridTier's momentum tracker earns its keep
+//! (paper §6.1: largest GAP speedups on BFS).
+//!
+//! Usage: `cargo run --release --example graph_analytics [scale]`
+
+use hybridtier::prelude::*;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    println!("generating Kronecker graph: 2^{scale} nodes, 16 edges/node...");
+    let graph = Graph::kronecker(scale, 16, 1);
+    println!(
+        "{} nodes, {} edges, CSR {} MiB",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.csr_bytes() >> 20
+    );
+
+    let make = || BfsWorkload::new(Graph::kronecker(scale, 16, 1), 4, 99);
+    let pages = make().footprint_pages(PageSize::Base4K);
+
+    println!("\nBFS, 4 random-source trials, fast:slow = 1:8");
+    println!("{:<12} {:>12} {:>10} {:>12}", "policy", "runtime (s)", "fast-hit", "migrations");
+    let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+    let mut baseline_runtime = None;
+    for kind in [
+        PolicyKind::FirstTouch,
+        PolicyKind::Tpp,
+        PolicyKind::Memtis,
+        PolicyKind::HybridTier,
+    ] {
+        let mut workload = make();
+        let mut policy = build_policy(kind, &tier_cfg);
+        let report = Engine::new(SimConfig::default()).run(&mut workload, policy.as_mut(), tier_cfg);
+        let speedup = match baseline_runtime {
+            None => {
+                baseline_runtime = Some(report.sim_ns);
+                String::new()
+            }
+            Some(base) => format!("  ({:.2}x vs first-touch)", base as f64 / report.sim_ns as f64),
+        };
+        println!(
+            "{:<12} {:>12.3} {:>9.1}% {:>12}{speedup}",
+            report.policy,
+            report.runtime_s(),
+            report.fast_hit_frac * 100.0,
+            report.migrations.promotions + report.migrations.demotions,
+        );
+    }
+}

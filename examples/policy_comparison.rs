@@ -1,0 +1,50 @@
+//! Compare all six tiering systems on one workload.
+//!
+//! Runs the paper's six-system comparison (Figure 9/10 style) on the
+//! CacheLib CDN workload at a chosen fast:slow ratio and prints a table of
+//! median latency, throughput, fast-tier hit rate, and migration volume.
+//!
+//! Usage: `cargo run --release --example policy_comparison [1:16|1:8|1:4]`
+
+use hybridtier::prelude::*;
+
+fn main() {
+    let ratio = match std::env::args().nth(1).as_deref() {
+        Some("1:16") => TierRatio::OneTo16,
+        Some("1:4") => TierRatio::OneTo4,
+        _ => TierRatio::OneTo8,
+    };
+    let config = SimConfig::default().with_max_ops(400_000);
+
+    println!("CacheLib CDN @ {ratio} fast:slow — 400k ops, sampled 1/19");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>12} {:>12}",
+        "policy", "p50 (ns)", "Mop/s", "fast-hit", "promotions", "demotions"
+    );
+    for kind in PolicyKind::COMPARED {
+        let report = run_suite_experiment(WorkloadId::CdnCacheLib, kind, ratio, &config, 7);
+        println!(
+            "{:<12} {:>10} {:>12.3} {:>9.1}% {:>12} {:>12}",
+            report.policy,
+            report.latency.p50_ns,
+            report.throughput_mops(),
+            report.fast_hit_frac * 100.0,
+            report.migrations.promotions,
+            report.migrations.demotions,
+        );
+    }
+    let upper = run_suite_experiment(
+        WorkloadId::CdnCacheLib,
+        PolicyKind::AllFast,
+        ratio,
+        &config,
+        7,
+    );
+    println!(
+        "{:<12} {:>10} {:>12.3} {:>9.1}%          (upper bound)",
+        "AllFast",
+        upper.latency.p50_ns,
+        upper.throughput_mops(),
+        upper.fast_hit_frac * 100.0,
+    );
+}

@@ -1,0 +1,79 @@
+//! # HybridTier
+//!
+//! A full reproduction of **"HybridTier: an Adaptive and Lightweight
+//! CXL-Memory Tiering System"** (ASPLOS 2025) as a Rust workspace: the
+//! HybridTier algorithm itself (dual counting-Bloom-filter hotness
+//! trackers, Table-1 migration policy, blocked-CBF metadata), the five
+//! baseline tiering systems it is evaluated against, the twelve evaluation
+//! workloads, and a discrete-event tiered-memory simulator standing in for
+//! the paper's emulated-CXL testbed.
+//!
+//! This crate is a facade: it re-exports the workspace crates and offers a
+//! [`prelude`] for one-line imports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hybridtier::prelude::*;
+//!
+//! // A skewed workload over 2 000 pages with a 1:8 fast:slow split.
+//! let mut workload = ZipfPageWorkload::new(2_000, 0.99, 100_000, 42);
+//! let pages = workload.footprint_pages(PageSize::Base4K);
+//! let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+//! let mut policy = build_policy(PolicyKind::HybridTier, &tier_cfg);
+//!
+//! let report = Engine::new(SimConfig::default()).run(
+//!     &mut workload,
+//!     policy.as_mut(),
+//!     tier_cfg,
+//! );
+//! assert!(report.fast_hit_frac > 0.5, "hot set should migrate to the fast tier");
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`cbf`] | counting Bloom filters (standard + blocked), sizing formulas |
+//! | [`cache`] | set-associative L1/LLC simulator with per-source attribution |
+//! | [`mem`] | tiers, page table, latency model, migration accounting |
+//! | [`trace`] | access/op abstractions, PEBS-like sampler |
+//! | [`workloads`] | the 12 evaluation workloads (Table 2) |
+//! | [`policies`] | HybridTier + Memtis, AutoNUMA, TPP, ARC, TwoQ |
+//! | [`sim`] | the simulation engine, reports, adaptation measurement |
+//!
+//! The benchmark harness regenerating every paper figure/table lives in the
+//! `hybridtier-bench` crate (`cargo run -p hybridtier-bench --release --bin
+//! repro -- all`).
+
+pub use cache_sim as cache;
+pub use hybridtier_cbf as cbf;
+pub use tiering_mem as mem;
+pub use tiering_policies as policies;
+pub use tiering_sim as sim;
+pub use tiering_trace as trace;
+pub use tiering_workloads as workloads;
+
+/// Everything needed to define and run a tiering experiment.
+pub mod prelude {
+    pub use crate::cbf::{
+        AccessCounter, BlockedCbf, CbfParams, CounterWidth, GroundTruthCounter, StandardCbf,
+    };
+    pub use crate::cache::{CacheConfig, CacheHierarchy, Source};
+    pub use crate::mem::{
+        LatencyModel, MigrationError, PageId, PageSize, Tier, TierConfig, TierRatio, TieredMemory,
+    };
+    pub use crate::policies::{
+        build_policy, ArcPolicy, AutoNumaPolicy, HybridTierConfig, HybridTierPolicy,
+        MemtisPolicy, MigrationDecision, PolicyCtx, PolicyKind, TieringPolicy, TppPolicy,
+        TwoQPolicy,
+    };
+    pub use crate::sim::{
+        adaptation_time_ns, run_suite_experiment, Engine, SimConfig, SimReport,
+    };
+    pub use crate::trace::{Access, Op, Sample, Sampler, Workload};
+    pub use crate::workloads::{
+        build_workload, BfsWorkload, CacheLibConfig, CacheLibWorkload, Graph, GraphKind,
+        PulseWorkload, SequentialScanWorkload, WorkloadId, ZipfDistribution, ZipfPageWorkload,
+    };
+}
