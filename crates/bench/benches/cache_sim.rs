@@ -1,8 +1,8 @@
 //! Cache-simulator throughput (it must sustain tens of millions of accesses
 //! per second to keep the Figure 5/13/14 experiments cheap).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cache_sim::{CacheConfig, CacheHierarchy, Source};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_hierarchy(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_access");

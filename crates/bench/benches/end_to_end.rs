@@ -12,16 +12,21 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_50k_ops");
     group.sample_size(10);
     for kind in PolicyKind::COMPARED {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut w = ZipfPageWorkload::new(5_000, 0.99, 50_000, 3);
-                let pages = w.footprint_pages(PageSize::Base4K);
-                let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
-                let mut policy = build_policy(kind, &tier_cfg);
-                let cfg = SimConfig::default().with_max_ops(50_000);
-                black_box(Engine::new(cfg).run(&mut w, policy.as_mut(), tier_cfg))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut w = ZipfPageWorkload::new(5_000, 0.99, 50_000, 3);
+                    let pages = w.footprint_pages(PageSize::Base4K);
+                    let tier_cfg =
+                        TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+                    let mut policy = build_policy(kind, &tier_cfg);
+                    let cfg = SimConfig::default().with_max_ops(50_000);
+                    black_box(Engine::new(cfg).run(&mut w, policy.as_mut(), tier_cfg))
+                })
+            },
+        );
     }
     group.finish();
 }

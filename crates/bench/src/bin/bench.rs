@@ -1,0 +1,179 @@
+//! Sweep-driver benchmark: times the policy-comparison sweep serial vs
+//! parallel and emits machine-readable `BENCH_*.json` so future PRs can
+//! track the perf trajectory.
+//!
+//! ```text
+//! cargo run -p hybridtier-bench --release --bin bench -- [flags]
+//!
+//!   --json <path>     write BENCH json here (default results/BENCH_sweep.json)
+//!   --ops <n>         ops per scenario        (default 300000)
+//!   --threads <n>     parallel worker threads (default: all cores)
+//!   --serial-only     skip the parallel pass
+//!   --parallel-only   skip the serial pass (no speedup reported)
+//! ```
+//!
+//! The JSON records wall-clock seconds for each mode, the speedup, the
+//! thread count, whether parallel results were byte-identical to serial,
+//! and the full per-scenario result/timing breakdown of the last pass run.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hybridtier_bench::policy_comparison_matrix;
+use tiering_runner::{SweepReport, SweepRunner};
+
+struct Args {
+    json: PathBuf,
+    ops: u64,
+    threads: usize,
+    serial: bool,
+    parallel: bool,
+}
+
+/// `Ok(None)` means `--help` was requested (exit success, no run).
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        json: PathBuf::from("results/BENCH_sweep.json"),
+        ops: 300_000,
+        threads: 0,
+        serial: true,
+        parallel: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => {
+                args.json = PathBuf::from(it.next().ok_or("--json needs a path")?);
+            }
+            "--ops" => {
+                args.ops = it
+                    .next()
+                    .ok_or("--ops needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--ops: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--serial-only" => args.parallel = false,
+            "--parallel-only" => args.serial = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench [--json <path>] [--ops <n>] [--threads <n>] \
+                     [--serial-only] [--parallel-only]"
+                );
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag '{other}'; try --help")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scenarios = policy_comparison_matrix(args.ops);
+    println!(
+        "policy-comparison sweep: {} scenarios x {} ops",
+        scenarios.len(),
+        args.ops
+    );
+
+    let mut serial: Option<SweepReport> = None;
+    if args.serial {
+        let sweep = SweepRunner::serial().run(policy_comparison_matrix(args.ops));
+        println!("serial:   {:>8.2}s on 1 thread", sweep.wall.as_secs_f64());
+        serial = Some(sweep);
+    }
+
+    let mut parallel: Option<SweepReport> = None;
+    if args.parallel {
+        let sweep = SweepRunner::new(args.threads).run(scenarios);
+        println!(
+            "parallel: {:>8.2}s on {} threads",
+            sweep.wall.as_secs_f64(),
+            sweep.threads
+        );
+        parallel = Some(sweep);
+    }
+
+    let identical = match (&serial, &parallel) {
+        (Some(s), Some(p)) => {
+            let same = s.same_outcomes(p);
+            if same {
+                println!("parallel results identical to serial: yes");
+            } else {
+                eprintln!("ERROR: parallel results diverged from serial");
+            }
+            Some(same)
+        }
+        _ => None,
+    };
+    let speedup = match (&serial, &parallel) {
+        (Some(s), Some(p)) => {
+            let x = s.wall.as_secs_f64() / p.wall.as_secs_f64().max(1e-9);
+            println!("speedup:  {x:>8.2}x");
+            Some(x)
+        }
+        _ => None,
+    };
+
+    // Assemble the BENCH json around the richer of the two sweep reports.
+    let detail = parallel.as_ref().or(serial.as_ref()).expect("one pass ran");
+    let mut json = String::from("{\"bench\":\"policy_comparison_sweep\"");
+    json.push_str(&format!(",\"ops_per_scenario\":{}", args.ops));
+    json.push_str(&format!(",\"scenarios\":{}", detail.results.len()));
+    if let Some(s) = &serial {
+        json.push_str(&format!(",\"serial_s\":{:.6}", s.wall.as_secs_f64()));
+    }
+    if let Some(p) = &parallel {
+        json.push_str(&format!(
+            ",\"parallel_s\":{:.6},\"threads\":{}",
+            p.wall.as_secs_f64(),
+            p.threads
+        ));
+    }
+    if let Some(x) = speedup {
+        json.push_str(&format!(",\"speedup\":{x:.4}"));
+    }
+    if let Some(same) = identical {
+        json.push_str(&format!(",\"parallel_identical_to_serial\":{same}"));
+    }
+    json.push_str(",\"sweep\":");
+    json.push_str(&detail.to_json());
+    json.push('}');
+
+    if let Some(dir) = args.json.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match std::fs::File::create(&args.json).and_then(|mut f| writeln!(f, "{json}")) {
+        Ok(()) => println!("wrote {}", args.json.display()),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", args.json.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if identical == Some(false) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

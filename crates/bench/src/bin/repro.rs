@@ -27,9 +27,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let out = PathBuf::from(
-        std::env::var("REPRO_OUT_DIR").unwrap_or_else(|_| "results".to_string()),
-    );
+    let out =
+        PathBuf::from(std::env::var("REPRO_OUT_DIR").unwrap_or_else(|_| "results".to_string()));
     let ids: Vec<&str> = if args[0] == "all" {
         experiments::ALL.iter().map(|&(id, ..)| id).collect()
     } else {

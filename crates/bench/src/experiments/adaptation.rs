@@ -9,10 +9,10 @@
 use std::io;
 use std::path::Path;
 
-use tiering_mem::{PageSize, TierConfig, TierRatio};
-use tiering_policies::{build_policy, PolicyKind};
-use tiering_sim::{adaptation_time_ns, Engine, SimReport};
-use tiering_trace::Workload;
+use tiering_mem::TierRatio;
+use tiering_policies::PolicyKind;
+use tiering_runner::{PolicySpec, Scenario, SweepRunner, TierSpec, WorkloadSpec};
+use tiering_sim::adaptation_time_ns;
 use tiering_workloads::{CacheLibConfig, CacheLibWorkload};
 
 use crate::output::{print_header, CsvWriter};
@@ -23,27 +23,34 @@ pub const SHIFT_NS: u64 = 2_000_000_000;
 /// Fraction of hot data turning cold at the shift (paper: 2/3).
 pub const SHIFT_FRACTION: f64 = 2.0 / 3.0;
 
-fn run_shifted(
-    kind: PolicyKind,
-    cdn: bool,
-    ratio: TierRatio,
-) -> SimReport {
-    // Uniform object sizes and no background churn: isolates the one-time
-    // shift (see `CacheLibConfig::with_uniform_size`).
-    let base = if cdn {
-        CacheLibConfig::cdn().with_uniform_size(16 << 10)
-    } else {
-        CacheLibConfig::social_graph().with_uniform_size(512)
-    };
-    let mut workload = CacheLibWorkload::new(
-        base.without_churn()
-            .with_seed(SEED)
-            .with_shift(SHIFT_NS, SHIFT_FRACTION),
+/// One shifted-CacheLib scenario (uniform object sizes, no background
+/// churn — isolates the one-time shift).
+fn shifted_scenario(kind: PolicyKind, cdn: bool, ratio: TierRatio) -> Scenario {
+    let label = format!(
+        "{}/{}/{}",
+        if cdn { "CDN" } else { "social" },
+        ratio,
+        kind.label()
     );
-    let pages = workload.footprint_pages(PageSize::Base4K);
-    let tier_cfg = TierConfig::for_footprint(pages, ratio, PageSize::Base4K);
-    let mut policy = build_policy(kind, &tier_cfg);
-    Engine::new(adaptation_config()).run(&mut workload, policy.as_mut(), tier_cfg)
+    Scenario::new(
+        label,
+        WorkloadSpec::custom(if cdn { "CDN" } else { "social" }, move |seed| {
+            let base = if cdn {
+                CacheLibConfig::cdn().with_uniform_size(16 << 10)
+            } else {
+                CacheLibConfig::social_graph().with_uniform_size(512)
+            };
+            Box::new(CacheLibWorkload::new(
+                base.without_churn()
+                    .with_seed(seed)
+                    .with_shift(SHIFT_NS, SHIFT_FRACTION),
+            ))
+        }),
+        PolicySpec::Kind(kind),
+        TierSpec::Ratio(ratio),
+        &adaptation_config(),
+        SEED,
+    )
 }
 
 /// Figure 4: median-latency timeline for AutoNUMA, Memtis, and HybridTier on
@@ -51,11 +58,25 @@ fn run_shifted(
 /// ~1400 s to re-converge, HybridTier ~250 s, AutoNUMA never reaches their
 /// level.
 pub fn fig4(out: &Path) -> io::Result<()> {
-    print_header("fig4", "adapting to a hotness distribution change (CDN, 1:16)");
+    print_header(
+        "fig4",
+        "adapting to a hotness distribution change (CDN, 1:16)",
+    );
     let mut csv = CsvWriter::create(out, "fig4")?;
     csv.row(["policy", "t_ns", "p50_ns", "mean_ns"])?;
-    for kind in [PolicyKind::AutoNuma, PolicyKind::Memtis, PolicyKind::HybridTier] {
-        let report = run_shifted(kind, true, TierRatio::OneTo16);
+    let kinds = [
+        PolicyKind::AutoNuma,
+        PolicyKind::Memtis,
+        PolicyKind::HybridTier,
+    ];
+    let sweep = SweepRunner::new(0).run(
+        kinds
+            .iter()
+            .map(|&k| shifted_scenario(k, true, TierRatio::OneTo16))
+            .collect(),
+    );
+    for result in &sweep.results {
+        let report = &result.report;
         for p in &report.timeline {
             csv.row([
                 report.policy.clone(),
@@ -75,7 +96,10 @@ pub fn fig4(out: &Path) -> io::Result<()> {
             }
         );
     }
-    println!("(shift at {:.1} s; lower adaptation time is better)", SHIFT_NS as f64 / 1e9);
+    println!(
+        "(shift at {:.1} s; lower adaptation time is better)",
+        SHIFT_NS as f64 / 1e9
+    );
     let path = csv.finish()?;
     println!("wrote {}", path.display());
     Ok(())
@@ -92,26 +116,43 @@ pub fn table3(out: &Path) -> io::Result<()> {
         "{:<10} {:<6} {:>12} {:>12} {:>10}",
         "workload", "ratio", "Memtis", "HybridTier", "reduction"
     );
+    let mut scenarios = Vec::new();
+    for cdn in [true, false] {
+        for ratio in TierRatio::ALL {
+            for kind in [PolicyKind::Memtis, PolicyKind::HybridTier] {
+                scenarios.push(shifted_scenario(kind, cdn, ratio));
+            }
+        }
+    }
+    let sweep = SweepRunner::new(0).run(scenarios);
     for cdn in [true, false] {
         let wname = if cdn { "CDN" } else { "social" };
         for ratio in TierRatio::ALL {
             let mut times = [f64::NAN; 2];
-            for (i, kind) in [PolicyKind::Memtis, PolicyKind::HybridTier].iter().enumerate() {
-                let report = run_shifted(*kind, cdn, ratio);
+            for (i, kind) in [PolicyKind::Memtis, PolicyKind::HybridTier]
+                .iter()
+                .enumerate()
+            {
+                let label = format!("{wname}/{ratio}/{}", kind.label());
+                let report = &sweep.find(&label).expect("scenario present").report;
                 let t = adaptation_time_ns(&report.timeline, SHIFT_NS, 0.01, 3)
                     .map(|ns| ns as f64 / 1e9);
                 times[i] = t.unwrap_or(f64::INFINITY);
                 csv.row([
                     wname.to_string(),
                     ratio.to_string(),
-                    report.policy,
+                    report.policy.clone(),
                     t.map_or("inf".into(), |v| format!("{v:.2}")),
                 ])?;
             }
             let reduction = times[0] / times[1];
             println!(
                 "{:<10} {:<6} {:>11.2}s {:>11.2}s {:>9.1}x",
-                wname, ratio.to_string(), times[0], times[1], reduction
+                wname,
+                ratio.to_string(),
+                times[0],
+                times[1],
+                reduction
             );
         }
     }

@@ -8,25 +8,45 @@
 use std::io;
 use std::path::Path;
 
-use tiering_mem::{PageSize, TierConfig, TierRatio};
-use tiering_policies::{build_policy, PolicyKind};
-use tiering_sim::{Engine, SimConfig, SimReport};
-use tiering_trace::Workload;
+use tiering_mem::{PageSize, TierRatio};
+use tiering_policies::PolicyKind;
+use tiering_runner::{PolicySpec, Scenario, SweepRunner, TierSpec, WorkloadSpec};
+use tiering_sim::{SimConfig, SimReport};
 use tiering_workloads::{CacheLibConfig, CacheLibWorkload};
 
 use crate::output::{f3, print_header, CsvWriter};
 use crate::SEED;
 
-fn run_cached(kind: PolicyKind, page_size: PageSize, ops: u64) -> SimReport {
-    let mut workload = CacheLibWorkload::new(CacheLibConfig::cdn().with_seed(SEED));
-    let pages = workload.footprint_pages(page_size);
-    let mut tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo4, page_size);
-    tier_cfg.page_size = page_size;
-    let mut policy = build_policy(kind, &tier_cfg);
+/// One cache-attributed CacheLib scenario at the given page granularity.
+fn cached_scenario(kind: PolicyKind, page_size: PageSize, ops: u64) -> Scenario {
     let mut cfg = SimConfig::default().with_max_ops(ops).with_cache_sim();
     cfg.page_size = page_size;
     cfg.window_ns = 100_000_000;
-    Engine::new(cfg).run(&mut workload, policy.as_mut(), tier_cfg)
+    let suffix = match page_size {
+        PageSize::Base4K => "4k",
+        PageSize::Huge2M => "2m",
+    };
+    Scenario::new(
+        format!("{}/{}", kind.label(), suffix),
+        WorkloadSpec::custom("CDN", |seed| {
+            Box::new(CacheLibWorkload::new(CacheLibConfig::cdn().with_seed(seed)))
+        }),
+        PolicySpec::Kind(kind),
+        TierSpec::Ratio(TierRatio::OneTo4),
+        &cfg,
+        SEED,
+    )
+}
+
+/// Runs a list of cache-attributed scenarios in parallel and returns their
+/// reports in input order.
+fn run_cached_sweep(scenarios: Vec<Scenario>) -> Vec<SimReport> {
+    SweepRunner::new(0)
+        .run(scenarios)
+        .results
+        .into_iter()
+        .map(|r| r.report)
+        .collect()
 }
 
 fn report_fractions(
@@ -60,10 +80,12 @@ pub fn fig5(out: &Path) -> io::Result<()> {
     print_header("fig5", "Memtis tiering cache misses (CacheLib, 1:4)");
     let mut csv = CsvWriter::create(out, "fig5")?;
     csv.row(["config", "t_ns", "l1_tiering_frac", "llc_tiering_frac"])?;
-    let base = run_cached(PolicyKind::Memtis, PageSize::Base4K, 600_000);
-    report_fractions(&mut csv, "memtis-4k", &base)?;
-    let huge = run_cached(PolicyKind::Memtis, PageSize::Huge2M, 600_000);
-    report_fractions(&mut csv, "memtis-2m", &huge)?;
+    let reports = run_cached_sweep(vec![
+        cached_scenario(PolicyKind::Memtis, PageSize::Base4K, 600_000),
+        cached_scenario(PolicyKind::Memtis, PageSize::Huge2M, 600_000),
+    ]);
+    report_fractions(&mut csv, "memtis-4k", &reports[0])?;
+    report_fractions(&mut csv, "memtis-2m", &reports[1])?;
     let path = csv.finish()?;
     println!("wrote {}", path.display());
     Ok(())
@@ -75,10 +97,12 @@ pub fn fig13(out: &Path) -> io::Result<()> {
     print_header("fig13", "HybridTier tiering cache misses (CacheLib, 1:4)");
     let mut csv = CsvWriter::create(out, "fig13")?;
     csv.row(["config", "t_ns", "l1_tiering_frac", "llc_tiering_frac"])?;
-    let base = run_cached(PolicyKind::HybridTier, PageSize::Base4K, 600_000);
-    report_fractions(&mut csv, "hybridtier-4k", &base)?;
-    let huge = run_cached(PolicyKind::HybridTier, PageSize::Huge2M, 600_000);
-    report_fractions(&mut csv, "hybridtier-2m", &huge)?;
+    let reports = run_cached_sweep(vec![
+        cached_scenario(PolicyKind::HybridTier, PageSize::Base4K, 600_000),
+        cached_scenario(PolicyKind::HybridTier, PageSize::Huge2M, 600_000),
+    ]);
+    report_fractions(&mut csv, "hybridtier-4k", &reports[0])?;
+    report_fractions(&mut csv, "hybridtier-2m", &reports[1])?;
     let path = csv.finish()?;
     println!("wrote {}", path.display());
     Ok(())
@@ -90,26 +114,44 @@ pub fn fig13(out: &Path) -> io::Result<()> {
 pub fn fig14(out: &Path) -> io::Result<()> {
     print_header("fig14", "cache-miss reduction breakdown");
     let mut csv = CsvWriter::create(out, "fig14")?;
-    csv.row(["system", "l1_tiering_misses", "llc_tiering_misses", "l1_vs_memtis", "llc_vs_memtis"])?;
+    csv.row([
+        "system",
+        "l1_tiering_misses",
+        "llc_tiering_misses",
+        "l1_vs_memtis",
+        "llc_vs_memtis",
+    ])?;
     let mut baseline: Option<(u64, u64)> = None;
     println!(
         "{:<22} {:>14} {:>14} {:>10} {:>10}",
         "system", "L1 t-misses", "LLC t-misses", "L1 ratio", "LLC ratio"
     );
-    for kind in [
+    let kinds = [
         PolicyKind::Memtis,
         PolicyKind::HybridTierUnblocked,
         PolicyKind::HybridTier,
-    ] {
-        let report = run_cached(kind, PageSize::Base4K, 600_000);
+    ];
+    let reports = run_cached_sweep(
+        kinds
+            .iter()
+            .map(|&k| cached_scenario(k, PageSize::Base4K, 600_000))
+            .collect(),
+    );
+    for report in &reports {
         let stats = report.cache.expect("cache sim enabled");
         let l1 = stats.l1.by(cache_sim::Source::Tiering).misses;
         let llc = stats.llc.by(cache_sim::Source::Tiering).misses;
         let (bl1, bllc) = *baseline.get_or_insert((l1.max(1), llc.max(1)));
-        let (r1, r2) = (bl1 as f64 / l1.max(1) as f64, bllc as f64 / llc.max(1) as f64);
-        println!("{:<22} {l1:>14} {llc:>14} {r1:>9.2}x {r2:>9.2}x", report.policy);
+        let (r1, r2) = (
+            bl1 as f64 / l1.max(1) as f64,
+            bllc as f64 / llc.max(1) as f64,
+        );
+        println!(
+            "{:<22} {l1:>14} {llc:>14} {r1:>9.2}x {r2:>9.2}x",
+            report.policy
+        );
         csv.row([
-            report.policy,
+            report.policy.clone(),
             l1.to_string(),
             llc.to_string(),
             f3(r1),

@@ -29,22 +29,28 @@ pub fn fig16(out: &Path) -> io::Result<()> {
         "workload",
         COUNT_BUCKET_LABELS.map(|b| format!("{b:>8}")).join(" ")
     );
-    for id in WorkloadId::ALL {
-        let mut cfg = SimConfig::default().with_max_ops(1_500_000);
-        cfg.count_probe = true;
-        // The paper's counts come from real PEBS rates, where most pages of
-        // a hundreds-of-GB footprint are never sampled (GAP-Kronecker: 94%
-        // at count 0). Use a proportionally sparse probe period so the
-        // distribution reflects relative hotness rather than run length.
-        cfg.sample_period = 499;
-        let report = tiering_sim::run_suite_experiment(
-            id,
-            PolicyKind::FirstTouch,
-            TierRatio::OneTo4,
-            &cfg,
-            SEED,
-        );
-        let dist = report.count_distribution.expect("probe enabled");
+    let mut cfg = SimConfig::default().with_max_ops(1_500_000);
+    cfg.count_probe = true;
+    // The paper's counts come from real PEBS rates, where most pages of
+    // a hundreds-of-GB footprint are never sampled (GAP-Kronecker: 94%
+    // at count 0). Use a proportionally sparse probe period so the
+    // distribution reflects relative hotness rather than run length.
+    cfg.sample_period = 499;
+    let sweep = tiering_runner::SweepRunner::new(0).run(
+        tiering_runner::ScenarioMatrix::new(cfg, SEED)
+            .workloads(WorkloadId::ALL)
+            .ratios([TierRatio::OneTo4])
+            .policies([PolicyKind::FirstTouch])
+            .fixed_seed()
+            .build(),
+    );
+    for (id, result) in WorkloadId::ALL.iter().zip(&sweep.results) {
+        let id = *id;
+        let dist = result
+            .report
+            .count_distribution
+            .clone()
+            .expect("probe enabled");
         let cum = dist.cumulative_fractions();
         println!(
             "{:<9} {}",

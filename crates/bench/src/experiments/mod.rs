@@ -12,23 +12,91 @@ use std::path::Path;
 /// Every experiment id the `repro` binary accepts, with its handler and a
 /// one-line description.
 pub const ALL: &[(&str, Runner, &str)] = &[
-    ("fig2", motivation::fig2 as Runner, "hot-page retention over time (PR, XGBoost)"),
-    ("fig3a", motivation::fig3a as Runner, "EMA lag on a pulsed page"),
-    ("fig3b", motivation::fig3b as Runner, "hotness classification vs cooling period"),
-    ("fig4", adaptation::fig4 as Runner, "median-latency timeline across a distribution shift"),
-    ("fig5", cache_overhead::fig5 as Runner, "Memtis tiering cache-miss fraction (4K + huge)"),
-    ("fig9", performance::fig9 as Runner, "CacheLib latency/throughput, 6 systems x 3 ratios"),
-    ("fig10", performance::fig10 as Runner, "GAP/SPEC/Silo/XGBoost relative performance vs TPP"),
-    ("fig11", performance::fig11 as Runner, "HybridTier vs all-fast-tier upper bound"),
-    ("fig12", performance::fig12 as Runner, "huge-page performance vs Memtis"),
-    ("fig13", cache_overhead::fig13 as Runner, "HybridTier tiering cache-miss fraction"),
-    ("fig14", cache_overhead::fig14 as Runner, "cache-miss breakdown: Memtis vs CBF vs blocked CBF"),
-    ("fig15", performance::fig15 as Runner, "frequency-only ablation at 1:8"),
-    ("fig16", metadata::fig16 as Runner, "per-page access-count distributions, 12 workloads"),
-    ("fig17", performance::fig17 as Runner, "momentum-threshold sensitivity"),
-    ("table3", adaptation::table3 as Runner, "time to adapt to a new distribution"),
-    ("table4", metadata::table4 as Runner, "metadata size relative to total memory"),
-    ("table5", metadata::table5 as Runner, "CBF migration-decision accuracy vs size"),
+    (
+        "fig2",
+        motivation::fig2 as Runner,
+        "hot-page retention over time (PR, XGBoost)",
+    ),
+    (
+        "fig3a",
+        motivation::fig3a as Runner,
+        "EMA lag on a pulsed page",
+    ),
+    (
+        "fig3b",
+        motivation::fig3b as Runner,
+        "hotness classification vs cooling period",
+    ),
+    (
+        "fig4",
+        adaptation::fig4 as Runner,
+        "median-latency timeline across a distribution shift",
+    ),
+    (
+        "fig5",
+        cache_overhead::fig5 as Runner,
+        "Memtis tiering cache-miss fraction (4K + huge)",
+    ),
+    (
+        "fig9",
+        performance::fig9 as Runner,
+        "CacheLib latency/throughput, 6 systems x 3 ratios",
+    ),
+    (
+        "fig10",
+        performance::fig10 as Runner,
+        "GAP/SPEC/Silo/XGBoost relative performance vs TPP",
+    ),
+    (
+        "fig11",
+        performance::fig11 as Runner,
+        "HybridTier vs all-fast-tier upper bound",
+    ),
+    (
+        "fig12",
+        performance::fig12 as Runner,
+        "huge-page performance vs Memtis",
+    ),
+    (
+        "fig13",
+        cache_overhead::fig13 as Runner,
+        "HybridTier tiering cache-miss fraction",
+    ),
+    (
+        "fig14",
+        cache_overhead::fig14 as Runner,
+        "cache-miss breakdown: Memtis vs CBF vs blocked CBF",
+    ),
+    (
+        "fig15",
+        performance::fig15 as Runner,
+        "frequency-only ablation at 1:8",
+    ),
+    (
+        "fig16",
+        metadata::fig16 as Runner,
+        "per-page access-count distributions, 12 workloads",
+    ),
+    (
+        "fig17",
+        performance::fig17 as Runner,
+        "momentum-threshold sensitivity",
+    ),
+    (
+        "table3",
+        adaptation::table3 as Runner,
+        "time to adapt to a new distribution",
+    ),
+    (
+        "table4",
+        metadata::table4 as Runner,
+        "metadata size relative to total memory",
+    ),
+    (
+        "table5",
+        metadata::table5 as Runner,
+        "CBF migration-decision accuracy vs size",
+    ),
 ];
 
 /// Signature of one experiment entry point.
@@ -36,5 +104,7 @@ pub type Runner = fn(&Path) -> io::Result<()>;
 
 /// Looks up an experiment by id.
 pub fn find(id: &str) -> Option<Runner> {
-    ALL.iter().find(|(name, ..)| *name == id).map(|&(_, f, _)| f)
+    ALL.iter()
+        .find(|(name, ..)| *name == id)
+        .map(|&(_, f, _)| f)
 }

@@ -21,32 +21,30 @@ pub fn fig2(out: &Path) -> io::Result<()> {
     let mut csv = CsvWriter::create(out, "fig2")?;
     csv.row(["workload", "t_ns", "fraction_still_hot"])?;
 
-    for id in [WorkloadId::PrKron, WorkloadId::Xgboost] {
-        let mut cfg = SimConfig::default().with_max_ops(4_000_000);
-        // Windows shorter than one kernel iteration/boosting round, so the
-        // probe sees the hot set move through the data (the paper's minutes
-        // compress to tens of milliseconds here).
-        // One sample per window is already strong hotness evidence at the
-        // scaled sampling density (period 19 vs. the paper's thousands).
-        cfg.retention_probe = Some(RetentionConfig {
-            window_ns: 100_000_000,
-            hot_min_samples: 1,
-        });
-        let report = tiering_sim::run_suite_experiment(
-            id,
-            tiering_policies::PolicyKind::FirstTouch,
-            tiering_mem::TierRatio::OneTo4,
-            &cfg,
-            SEED,
-        );
-        let series = report.retention.expect("probe enabled");
+    let mut cfg = SimConfig::default().with_max_ops(4_000_000);
+    // Windows shorter than one kernel iteration/boosting round, so the
+    // probe sees the hot set move through the data (the paper's minutes
+    // compress to tens of milliseconds here).
+    // One sample per window is already strong hotness evidence at the
+    // scaled sampling density (period 19 vs. the paper's thousands).
+    cfg.retention_probe = Some(RetentionConfig {
+        window_ns: 100_000_000,
+        hot_min_samples: 1,
+    });
+    let sweep = tiering_runner::SweepRunner::new(0).run(
+        tiering_runner::ScenarioMatrix::new(cfg, SEED)
+            .workloads([WorkloadId::PrKron, WorkloadId::Xgboost])
+            .ratios([tiering_mem::TierRatio::OneTo4])
+            .policies([tiering_policies::PolicyKind::FirstTouch])
+            .fixed_seed()
+            .build(),
+    );
+    for result in &sweep.results {
+        let report = &result.report;
+        let series = report.retention.clone().expect("probe enabled");
         println!("{}:", report.workload);
         for &(t, frac) in &series {
-            csv.row([
-                report.workload.clone(),
-                t.to_string(),
-                f3(frac),
-            ])?;
+            csv.row([report.workload.clone(), t.to_string(), f3(frac)])?;
         }
         if let Some(&(t_last, f_last)) = series.last() {
             println!(
@@ -91,7 +89,12 @@ pub fn fig3a(out: &Path) -> io::Result<()> {
 pub fn fig3b(out: &Path) -> io::Result<()> {
     print_header("fig3b", "hotness classification vs cooling period");
     let mut csv = CsvWriter::create(out, "fig3b")?;
-    csv.row(["cooling_period_samples", "hot_frac", "warm_frac", "cold_frac"])?;
+    csv.row([
+        "cooling_period_samples",
+        "hot_frac",
+        "warm_frac",
+        "cold_frac",
+    ])?;
 
     // Paper sweeps C in {Inf, 25M, 10M, 5M, 2M} samples at full scale; the
     // sampled stream here is ~500× smaller.
@@ -104,9 +107,8 @@ pub fn fig3b(out: &Path) -> io::Result<()> {
     ];
     println!("{:<10} {:>8} {:>8} {:>8}", "C", "hot", "warm", "cold");
     for (label, period) in periods {
-        let mut workload = CacheLibWorkload::new(
-            CacheLibConfig::cdn().without_churn().with_ops(1_500_000),
-        );
+        let mut workload =
+            CacheLibWorkload::new(CacheLibConfig::cdn().without_churn().with_ops(1_500_000));
         let pages = workload.footprint_pages(PageSize::Base4K) as usize;
         let mut counts = vec![0u32; pages];
         let mut sampler = Sampler::new(19);
@@ -116,7 +118,8 @@ pub fn fig3b(out: &Path) -> io::Result<()> {
             for a in &buf {
                 if sampler.observe(a).is_some() {
                     samples += 1;
-                    counts[(a.addr >> 12) as usize] = counts[(a.addr >> 12) as usize].saturating_add(1);
+                    counts[(a.addr >> 12) as usize] =
+                        counts[(a.addr >> 12) as usize].saturating_add(1);
                     if period != u64::MAX && samples.is_multiple_of(period) {
                         for c in &mut counts {
                             *c /= 2;

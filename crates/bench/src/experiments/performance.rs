@@ -1,13 +1,19 @@
 //! End-to-end performance sweeps: Figures 9, 10, 11, 12, 15, and 17.
+//!
+//! All sweeps run through the parallel scenario runner: every
+//! (workload, ratio, policy) cell becomes a [`Scenario`], the whole matrix
+//! executes across the machine's cores, and the tables print from the
+//! merged sweep report in the paper's row order. Seeds follow the legacy
+//! protocol (one fixed seed for the whole figure) so regenerated numbers
+//! stay comparable across PRs.
 
 use std::io;
 use std::path::Path;
 
-use tiering_mem::{PageSize, TierConfig, TierRatio};
+use tiering_mem::TierRatio;
 use tiering_policies::{HybridTierConfig, HybridTierPolicy, PolicyKind};
-use tiering_sim::{run_suite_experiment, Engine, SimReport};
-use tiering_trace::Workload;
-use tiering_workloads::{build_workload, WorkloadId};
+use tiering_runner::{PolicySpec, Scenario, ScenarioMatrix, SweepRunner, TierSpec, WorkloadSpec};
+use tiering_workloads::WorkloadId;
 
 use crate::output::{f3, print_header, CsvWriter};
 use crate::{sweep_config, SEED};
@@ -17,6 +23,14 @@ use crate::{sweep_config, SEED};
 /// but two cells; ~2× less fast-tier memory for equal performance.
 pub fn fig9(out: &Path) -> io::Result<()> {
     print_header("fig9", "CacheLib performance, 6 systems x 3 ratios");
+    let sweep = SweepRunner::new(0).run(
+        ScenarioMatrix::new(sweep_config(), SEED)
+            .workloads([WorkloadId::CdnCacheLib, WorkloadId::SocialCacheLib])
+            .ratios(TierRatio::ALL)
+            .policies(PolicyKind::COMPARED)
+            .fixed_seed()
+            .build(),
+    );
     let mut csv = CsvWriter::create(out, "fig9")?;
     csv.row(["workload", "ratio", "policy", "p50_ns", "mops", "fast_hit"])?;
     for id in [WorkloadId::CdnCacheLib, WorkloadId::SocialCacheLib] {
@@ -27,7 +41,7 @@ pub fn fig9(out: &Path) -> io::Result<()> {
                 "policy", "p50(ns)", "Mop/s", "fast-hit"
             );
             for kind in PolicyKind::COMPARED {
-                let r = run_suite_experiment(id, kind, ratio, &sweep_config(), SEED);
+                let r = &sweep.cell(id, ratio, kind).expect("cell in sweep").report;
                 println!(
                     "{:<12} {:>9} {:>9.3} {:>8.1}%",
                     r.policy,
@@ -47,7 +61,13 @@ pub fn fig9(out: &Path) -> io::Result<()> {
         }
     }
     let path = csv.finish()?;
-    println!("wrote {}", path.display());
+    println!(
+        "wrote {} ({} scenarios in {:.1}s on {} threads)",
+        path.display(),
+        sweep.results.len(),
+        sweep.wall.as_secs_f64(),
+        sweep.threads
+    );
     Ok(())
 }
 
@@ -66,27 +86,39 @@ const FIG10_WORKLOADS: [WorkloadId; 10] = [
 ];
 
 /// Figure 10: relative performance (runtime_TPP / runtime_X) for the GAP,
-/// SPEC, Silo, and XGBoost workloads. Paper geomeans: HybridTier beats TPP
-/// 32%, AutoNUMA 11%, Memtis 29%, ARC 50%, TwoQ 40%.
+/// SPEC, Silo, and XGBoost workloads — the harness's biggest sweep
+/// (180 simulations). Paper geomeans: HybridTier beats TPP 32%, AutoNUMA
+/// 11%, Memtis 29%, ARC 50%, TwoQ 40%.
 pub fn fig10(out: &Path) -> io::Result<()> {
     print_header("fig10", "relative performance normalized to TPP");
+    let sweep = SweepRunner::new(0).run(
+        ScenarioMatrix::new(sweep_config(), SEED)
+            .workloads(FIG10_WORKLOADS)
+            .ratios(TierRatio::ALL)
+            .policies(PolicyKind::COMPARED)
+            .fixed_seed()
+            .build(),
+    );
     let mut csv = CsvWriter::create(out, "fig10")?;
-    csv.row(["workload", "ratio", "policy", "runtime_s", "relative_to_tpp"])?;
+    csv.row([
+        "workload",
+        "ratio",
+        "policy",
+        "runtime_s",
+        "relative_to_tpp",
+    ])?;
     // Geometric-mean accumulators per policy.
     let mut geo: std::collections::HashMap<&'static str, (f64, u32)> = Default::default();
     for id in FIG10_WORKLOADS {
         for ratio in TierRatio::ALL {
-            let mut tpp: Option<SimReport> = None;
+            let tpp = &sweep
+                .cell(id, ratio, PolicyKind::Tpp)
+                .expect("TPP cell")
+                .report;
             println!("\n{} @ {ratio}:", id.label());
             for kind in PolicyKind::COMPARED {
-                let r = run_suite_experiment(id, kind, ratio, &sweep_config(), SEED);
-                let rel = match &tpp {
-                    None => 1.0,
-                    Some(t) => r.relative_performance(t),
-                };
-                if kind == PolicyKind::Tpp {
-                    tpp = Some(r.clone());
-                }
+                let r = &sweep.cell(id, ratio, kind).expect("cell in sweep").report;
+                let rel = r.relative_performance(tpp);
                 println!(
                     "  {:<12} runtime {:>8.3}s  relative {:>6.3}",
                     r.policy,
@@ -113,7 +145,13 @@ pub fn fig10(out: &Path) -> io::Result<()> {
         }
     }
     let path = csv.finish()?;
-    println!("wrote {}", path.display());
+    println!(
+        "wrote {} ({} scenarios in {:.1}s on {} threads)",
+        path.display(),
+        sweep.results.len(),
+        sweep.wall.as_secs_f64(),
+        sweep.threads
+    );
     Ok(())
 }
 
@@ -124,21 +162,43 @@ const ALL_WORKLOADS: [WorkloadId; 12] = WorkloadId::ALL;
 /// Paper: 14%, 9%, 6% slower at 1:16, 1:8, 1:4 on average.
 pub fn fig11(out: &Path) -> io::Result<()> {
     print_header("fig11", "HybridTier vs all-fast-tier upper bound");
-    let mut csv = CsvWriter::create(out, "fig11")?;
-    csv.row(["workload", "ratio", "relative_to_allfast"])?;
-    let mut per_ratio: std::collections::HashMap<String, (f64, u32)> = Default::default();
+    // One AllFast bound plus the three ratio runs per workload.
+    let mut scenarios = Vec::new();
     for id in ALL_WORKLOADS {
-        let upper = run_suite_experiment(
+        scenarios.push(Scenario::suite(
             id,
             PolicyKind::AllFast,
             TierRatio::OneTo4,
             &sweep_config(),
             SEED,
-        );
+        ));
+        for ratio in TierRatio::ALL {
+            scenarios.push(Scenario::suite(
+                id,
+                PolicyKind::HybridTier,
+                ratio,
+                &sweep_config(),
+                SEED,
+            ));
+        }
+    }
+    let sweep = SweepRunner::new(0).run(scenarios);
+
+    let mut csv = CsvWriter::create(out, "fig11")?;
+    csv.row(["workload", "ratio", "relative_to_allfast"])?;
+    let mut per_ratio: std::collections::HashMap<String, (f64, u32)> = Default::default();
+    for id in ALL_WORKLOADS {
+        let upper = &sweep
+            .cell(id, TierRatio::OneTo4, PolicyKind::AllFast)
+            .expect("upper bound")
+            .report;
         print!("{:<9}", id.label());
         for ratio in TierRatio::ALL {
-            let r = run_suite_experiment(id, PolicyKind::HybridTier, ratio, &sweep_config(), SEED);
-            let rel = r.relative_performance(&upper).min(1.0);
+            let r = &sweep
+                .cell(id, ratio, PolicyKind::HybridTier)
+                .expect("cell")
+                .report;
+            let rel = r.relative_performance(upper).min(1.0);
             print!("  {ratio}: {rel:.3}");
             csv.row([id.label().to_string(), ratio.to_string(), f3(rel)])?;
             let e = per_ratio.entry(ratio.to_string()).or_insert((0.0, 0));
@@ -154,7 +214,13 @@ pub fn fig11(out: &Path) -> io::Result<()> {
         }
     }
     let path = csv.finish()?;
-    println!("wrote {}", path.display());
+    println!(
+        "wrote {} ({} scenarios in {:.1}s on {} threads)",
+        path.display(),
+        sweep.results.len(),
+        sweep.wall.as_secs_f64(),
+        sweep.threads
+    );
     Ok(())
 }
 
@@ -174,15 +240,28 @@ const FIG12_WORKLOADS: [WorkloadId; 6] = [
 /// Memtis. Paper: on par at 1:16, +9%/+11% at 1:8/1:4.
 pub fn fig12(out: &Path) -> io::Result<()> {
     print_header("fig12", "huge-page performance vs Memtis");
+    let sweep = SweepRunner::new(0).run(
+        ScenarioMatrix::new(sweep_config().with_huge_pages(), SEED)
+            .workloads(FIG12_WORKLOADS)
+            .ratios(TierRatio::ALL)
+            .policies([PolicyKind::Memtis, PolicyKind::HybridTier])
+            .fixed_seed()
+            .build(),
+    );
     let mut csv = CsvWriter::create(out, "fig12")?;
     csv.row(["workload", "ratio", "hybridtier_vs_memtis"])?;
-    let cfg = sweep_config().with_huge_pages();
     for id in FIG12_WORKLOADS {
         print!("{:<9}", id.label());
         for ratio in TierRatio::ALL {
-            let memtis = run_suite_experiment(id, PolicyKind::Memtis, ratio, &cfg, SEED);
-            let ht = run_suite_experiment(id, PolicyKind::HybridTier, ratio, &cfg, SEED);
-            let rel = ht.relative_performance(&memtis);
+            let memtis = &sweep
+                .cell(id, ratio, PolicyKind::Memtis)
+                .expect("cell")
+                .report;
+            let ht = &sweep
+                .cell(id, ratio, PolicyKind::HybridTier)
+                .expect("cell")
+                .report;
+            let rel = ht.relative_performance(memtis);
             print!("  {ratio}: {rel:.3}");
             csv.row([id.label().to_string(), ratio.to_string(), f3(rel)])?;
         }
@@ -190,7 +269,13 @@ pub fn fig12(out: &Path) -> io::Result<()> {
     }
     println!("(>1 means HybridTier faster than Memtis under 2 MiB pages)");
     let path = csv.finish()?;
-    println!("wrote {}", path.display());
+    println!(
+        "wrote {} ({} scenarios in {:.1}s on {} threads)",
+        path.display(),
+        sweep.results.len(),
+        sweep.wall.as_secs_f64(),
+        sweep.threads
+    );
     Ok(())
 }
 
@@ -199,49 +284,73 @@ pub fn fig12(out: &Path) -> io::Result<()> {
 /// parity on the small-hot-set GAP kernels.
 pub fn fig15(out: &Path) -> io::Result<()> {
     print_header("fig15", "frequency-only ablation (1:8)");
+    let sweep = SweepRunner::new(0).run(
+        ScenarioMatrix::new(sweep_config(), SEED)
+            .workloads(ALL_WORKLOADS)
+            .ratios([TierRatio::OneTo8])
+            .policies([PolicyKind::HybridTier, PolicyKind::HybridTierFreqOnly])
+            .fixed_seed()
+            .build(),
+    );
     let mut csv = CsvWriter::create(out, "fig15")?;
     csv.row(["workload", "freq_only_relative_to_full"])?;
     for id in ALL_WORKLOADS {
-        let full = run_suite_experiment(
-            id,
-            PolicyKind::HybridTier,
-            TierRatio::OneTo8,
-            &sweep_config(),
-            SEED,
-        );
-        let freq_only = run_suite_experiment(
-            id,
-            PolicyKind::HybridTierFreqOnly,
-            TierRatio::OneTo8,
-            &sweep_config(),
-            SEED,
-        );
-        let rel = freq_only.relative_performance(&full);
+        let full = &sweep
+            .cell(id, TierRatio::OneTo8, PolicyKind::HybridTier)
+            .expect("cell")
+            .report;
+        let freq_only = &sweep
+            .cell(id, TierRatio::OneTo8, PolicyKind::HybridTierFreqOnly)
+            .expect("cell")
+            .report;
+        let rel = freq_only.relative_performance(full);
         println!("{:<9} freq-only/full = {rel:.3}", id.label());
         csv.row([id.label().to_string(), f3(rel)])?;
     }
     println!("(<1 means the momentum tracker helps)");
     let path = csv.finish()?;
-    println!("wrote {}", path.display());
+    println!(
+        "wrote {} ({} scenarios in {:.1}s on {} threads)",
+        path.display(),
+        sweep.results.len(),
+        sweep.wall.as_secs_f64(),
+        sweep.threads
+    );
     Ok(())
 }
 
-/// Figure 17: momentum-threshold sensitivity on the CacheLib workloads.
+/// Figure 17: momentum-threshold sensitivity on the CacheLib workloads —
+/// custom-policy scenarios through the same parallel driver.
 /// Paper: thresholds below 3 mispromote; beyond 3 little change.
 pub fn fig17(out: &Path) -> io::Result<()> {
     print_header("fig17", "momentum threshold sensitivity (1:16)");
+    let mut scenarios = Vec::new();
+    for id in [WorkloadId::CdnCacheLib, WorkloadId::SocialCacheLib] {
+        for threshold in 1..=6u32 {
+            scenarios.push(Scenario::new(
+                format!("{}/thr{}", id.label(), threshold),
+                WorkloadSpec::Suite(id),
+                PolicySpec::custom(format!("HybridTier(m={threshold})"), move |tier_cfg| {
+                    let cfg = HybridTierConfig::scaled(tier_cfg).with_momentum_threshold(threshold);
+                    Box::new(HybridTierPolicy::new(cfg, tier_cfg))
+                }),
+                TierSpec::Ratio(TierRatio::OneTo16),
+                &sweep_config(),
+                SEED,
+            ));
+        }
+    }
+    let sweep = SweepRunner::new(0).run(scenarios);
+
     let mut csv = CsvWriter::create(out, "fig17")?;
     csv.row(["workload", "threshold", "p50_ns", "mops"])?;
     for id in [WorkloadId::CdnCacheLib, WorkloadId::SocialCacheLib] {
         println!("{}:", id.label());
         for threshold in 1..=6u32 {
-            let mut workload = build_workload(id, SEED);
-            let pages = workload.footprint_pages(PageSize::Base4K);
-            let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo16, PageSize::Base4K);
-            let ht_cfg =
-                HybridTierConfig::scaled(&tier_cfg).with_momentum_threshold(threshold);
-            let mut policy = HybridTierPolicy::new(ht_cfg, &tier_cfg);
-            let r = Engine::new(sweep_config()).run(workload.as_mut(), &mut policy, tier_cfg);
+            let r = &sweep
+                .find(&format!("{}/thr{}", id.label(), threshold))
+                .expect("scenario present")
+                .report;
             println!(
                 "  threshold {threshold}: p50 {:>6} ns, {:.3} Mop/s",
                 r.latency.p50_ns,
@@ -256,6 +365,12 @@ pub fn fig17(out: &Path) -> io::Result<()> {
         }
     }
     let path = csv.finish()?;
-    println!("wrote {}", path.display());
+    println!(
+        "wrote {} ({} scenarios in {:.1}s on {} threads)",
+        path.display(),
+        sweep.results.len(),
+        sweep.wall.as_secs_f64(),
+        sweep.threads
+    );
     Ok(())
 }

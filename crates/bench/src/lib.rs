@@ -41,8 +41,24 @@ pub fn sweep_config() -> SimConfig {
 /// Table 3): finer windows, longer simulated horizon.
 pub fn adaptation_config() -> SimConfig {
     SimConfig {
-        window_ns: 100_000_000,        // 100 ms windows
-        max_sim_ns: 8_000_000_000,     // 8 simulated seconds
+        window_ns: 100_000_000,    // 100 ms windows
+        max_sim_ns: 8_000_000_000, // 8 simulated seconds
         ..SimConfig::default()
     }
+}
+
+/// The policy-comparison sweep: both CacheLib workloads × all three tier
+/// ratios × the six compared systems (36 scenarios) — the matrix the `bench`
+/// binary times serial-vs-parallel and the examples run interactively.
+pub fn policy_comparison_matrix(ops: u64) -> Vec<tiering_runner::Scenario> {
+    use tiering_mem::TierRatio;
+    use tiering_policies::PolicyKind;
+    use tiering_workloads::WorkloadId;
+
+    tiering_runner::ScenarioMatrix::new(SimConfig::default().with_max_ops(ops), SEED)
+        .workloads([WorkloadId::CdnCacheLib, WorkloadId::SocialCacheLib])
+        .ratios(TierRatio::ALL)
+        .policies(PolicyKind::COMPARED)
+        .fixed_seed()
+        .build()
 }

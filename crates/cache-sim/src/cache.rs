@@ -50,7 +50,10 @@ impl CacheConfig {
     /// Panics if the geometry is degenerate (zero sizes, capacity not
     /// divisible into whole sets, or a non-power-of-two line size).
     pub fn num_sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways > 0 && self.size_bytes > 0);
         let lines = self.size_bytes / self.line_bytes;
         assert!(
@@ -93,7 +96,10 @@ impl SetAssocCache {
     /// the set count is not a power of two.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.num_sets();
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         Self {
             config,
             sets,

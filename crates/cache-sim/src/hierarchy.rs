@@ -215,7 +215,10 @@ mod tests {
                 llc_hits += 1;
             }
         }
-        assert!(llc_hits > 24, "most of pass 2 should hit LLC, got {llc_hits}");
+        assert!(
+            llc_hits > 24,
+            "most of pass 2 should hit LLC, got {llc_hits}"
+        );
     }
 
     #[test]
@@ -236,7 +239,11 @@ mod tests {
         let mut h = tiny_hierarchy();
         h.access(0, Source::App);
         h.reset_stats();
-        assert_eq!(h.access(0, Source::App), HitLevel::L1, "line still resident");
+        assert_eq!(
+            h.access(0, Source::App),
+            HitLevel::L1,
+            "line still resident"
+        );
         assert_eq!(h.stats().l1.by(Source::App).misses, 0);
     }
 

@@ -95,7 +95,11 @@ impl CounterArray {
 
     #[inline]
     fn slot(&self, idx: usize) -> (usize, u32) {
-        debug_assert!(idx < self.len, "counter index {idx} out of bounds {}", self.len);
+        debug_assert!(
+            idx < self.len,
+            "counter index {idx} out of bounds {}",
+            self.len
+        );
         let bits = self.width.bits();
         let per_word = 64 / bits;
         (idx / per_word as usize, (idx as u32 % per_word) * bits)
@@ -226,8 +230,8 @@ mod tests {
             }
             let before: Vec<u32> = (0..64).map(|i| arr.get(i)).collect();
             arr.halve_all();
-            for i in 0..64 {
-                assert_eq!(arr.get(i), before[i] / 2, "width {width} idx {i}");
+            for (i, b) in before.iter().enumerate() {
+                assert_eq!(arr.get(i), b / 2, "width {width} idx {i}");
             }
         }
     }

@@ -91,8 +91,13 @@ mod tests {
     fn different_seeds_give_different_probes() {
         let a = PageHasher::new(1);
         let b = PageHasher::new(2);
-        let same = (0..100u64).filter(|&k| a.probe(k, 0) == b.probe(k, 0)).count();
-        assert_eq!(same, 0, "independent seeds should essentially never collide");
+        let same = (0..100u64)
+            .filter(|&k| a.probe(k, 0) == b.probe(k, 0))
+            .count();
+        assert_eq!(
+            same, 0,
+            "independent seeds should essentially never collide"
+        );
     }
 
     #[test]

@@ -171,12 +171,7 @@ mod tests {
     #[test]
     fn tracking_error_is_rare_at_design_load() {
         // At the designed capacity with p=0.001, overestimates should be rare.
-        let mut f = StandardCbf::new(CbfParams::for_capacity(
-            2_000,
-            4,
-            0.001,
-            CounterWidth::W8,
-        ));
+        let mut f = StandardCbf::new(CbfParams::for_capacity(2_000, 4, 0.001, CounterWidth::W8));
         for key in 0..2_000u64 {
             f.increment(key);
         }

@@ -281,7 +281,9 @@ impl TieredMemory {
     /// Free pages remaining in the fast tier (zero when over quota after a
     /// capacity shrink).
     pub fn fast_free(&self) -> u64 {
-        self.config.fast_capacity_pages.saturating_sub(self.fast_used)
+        self.config
+            .fast_capacity_pages
+            .saturating_sub(self.fast_used)
     }
 
     /// Re-sizes the fast tier (the global-tiering controller of paper §7
@@ -432,10 +434,7 @@ mod tests {
         m.ensure_mapped(PageId(9), Tier::Slow);
         m.ensure_mapped(PageId(2), Tier::Fast);
         let v: Vec<_> = m.iter_mapped().collect();
-        assert_eq!(
-            v,
-            vec![(PageId(2), Tier::Fast), (PageId(9), Tier::Slow)]
-        );
+        assert_eq!(v, vec![(PageId(2), Tier::Fast), (PageId(9), Tier::Slow)]);
     }
 
     #[test]

@@ -78,18 +78,10 @@ impl ArcPolicy {
         }
         let _ = mem.promote(page);
     }
-}
 
-impl TieringPolicy for ArcPolicy {
-    fn name(&self) -> &'static str {
-        "ARC"
-    }
-
-    fn preferred_alloc_tier(&self) -> Tier {
-        Tier::Slow // paper §5.2: ARC/TwoQ allocate new pages on the slow tier
-    }
-
-    fn on_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+    /// One ARC step (Cases I–IV); shared by the scalar and batched hooks.
+    #[inline]
+    fn ingest_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
         let x = sample.page.0 as u32;
         ctx.tiering_work_ns += LRU_NODE_NS;
         ctx.metadata_lines.push(META_BASE + sample.page.0 * 9);
@@ -146,6 +138,26 @@ impl TieringPolicy for ArcPolicy {
                     self.lists.push_mru(T1, x);
                 }
             }
+        }
+    }
+}
+
+impl TieringPolicy for ArcPolicy {
+    fn name(&self) -> &'static str {
+        "ARC"
+    }
+
+    fn preferred_alloc_tier(&self) -> Tier {
+        Tier::Slow // paper §5.2: ARC/TwoQ allocate new pages on the slow tier
+    }
+
+    fn on_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        self.ingest_sample(sample, mem, ctx);
+    }
+
+    fn on_sample_batch(&mut self, samples: &[Sample], mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        for &sample in samples {
+            self.ingest_sample(sample, mem, ctx);
         }
     }
 

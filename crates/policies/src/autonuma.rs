@@ -164,6 +164,26 @@ impl TieringPolicy for AutoNumaPolicy {
         FAULT_SERVICE_NS
     }
 
+    fn on_access_batch(
+        &mut self,
+        pages: &[PageId],
+        now_ns: u64,
+        mem: &mut TieredMemory,
+        ctx: &mut PolicyCtx,
+    ) -> u64 {
+        // Fused hint-fault loop: skip already-mapped pages (the common case
+        // between scan windows) with one array probe each, paying the full
+        // fault path only for genuinely unmapped entries.
+        let mut total = 0;
+        for &page in pages {
+            if self.unmapped_at[page.0 as usize] == 0 {
+                continue;
+            }
+            total += self.on_access(page, now_ns, mem, ctx);
+        }
+        total
+    }
+
     fn on_tick(&mut self, now_ns: u64, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
         if now_ns >= self.next_scan_ns {
             self.scan_window(now_ns, ctx);

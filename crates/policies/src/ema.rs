@@ -115,6 +115,9 @@ mod tests {
         let series = ema_lag_series(50, 100, 2, 100);
         let peak = *series.iter().max().unwrap();
         assert!(peak <= 2 * 50 * 2, "peak {peak} should be bounded by 2*r*c");
-        assert!(peak >= 50, "peak {peak} should at least reach one period's mass");
+        assert!(
+            peak >= 50,
+            "peak {peak} should at least reach one period's mass"
+        );
     }
 }

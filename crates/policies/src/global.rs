@@ -137,8 +137,8 @@ impl GlobalController {
             .map(|t| t.policy.hot_set_estimate().max(1) as f64)
             .collect();
         let total_demand: f64 = demands.iter().sum();
-        let floor = (self.fast_budget_pages as f64 * self.floor_frac
-            / self.tenants.len() as f64) as u64;
+        let floor =
+            (self.fast_budget_pages as f64 * self.floor_frac / self.tenants.len() as f64) as u64;
         let distributable = self.fast_budget_pages - floor * self.tenants.len() as u64;
         let mut quotas: Vec<u64> = demands
             .iter()

@@ -190,10 +190,7 @@ impl HybridTierConfig {
     }
 }
 
-fn build_tracker(
-    params: CbfParams,
-    layout: TrackerLayout,
-) -> Box<dyn AccessCounter + Send + Sync> {
+fn build_tracker(params: CbfParams, layout: TrackerLayout) -> Box<dyn AccessCounter + Send + Sync> {
     match layout {
         TrackerLayout::Blocked => Box::new(BlockedCbf::new(params)),
         TrackerLayout::Standard => Box::new(StandardCbf::new(params)),
@@ -300,6 +297,66 @@ impl HybridTierPolicy {
         self.hist.pages_at_or_above(self.config.min_freq_threshold)
     }
 
+    /// The Algorithm-1 loop body: update both trackers, cool on schedule,
+    /// queue promotion candidates, flush full batches. Shared (inlined) by
+    /// the scalar `on_sample` hook and the batched `on_sample_batch` hook so
+    /// the two paths cannot drift.
+    #[inline]
+    fn ingest_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        self.samples_seen += 1;
+        self.samples_since_flush += 1;
+        let key = sample.page.0;
+
+        // Update both trackers (paper Figure 6, step 3). The GET+INCREMENT
+        // pair touches the same lines, reported once.
+        let old_f = self.freq.estimate(key);
+        let new_f = self.freq.increment(key);
+        self.hist.transition(old_f, new_f);
+        self.freq.touched_lines(key, &mut ctx.metadata_lines);
+        ctx.metadata_lines
+            .push(HIST_BASE + u64::from(new_f.min(63)) / 8 * 64);
+        let new_m = if self.config.momentum_enabled {
+            let m = self.momentum.increment(key);
+            self.momentum.touched_lines(key, &mut ctx.metadata_lines);
+            m
+        } else {
+            0
+        };
+
+        // Cooling (EMA decay): high period for frequency, low for momentum.
+        if self
+            .samples_seen
+            .is_multiple_of(self.config.freq_cool_samples)
+        {
+            self.freq.cool();
+            self.hist.cool();
+            self.cooling_epoch += 1;
+        }
+        if self.config.momentum_enabled
+            && self
+                .samples_seen
+                .is_multiple_of(self.config.momentum_cool_samples)
+        {
+            self.momentum.cool();
+        }
+
+        // Promotion candidacy (Table 1, slow-tier column).
+        if sample.tier == Tier::Slow {
+            let decision = MigrationDecision::decide(
+                self.is_freq_hot(new_f),
+                self.is_momentum_hot(new_m),
+                false,
+            );
+            if decision == MigrationDecision::Promote {
+                self.promo_queue.push(sample.page);
+            }
+        }
+
+        if self.samples_since_flush >= self.config.batch_samples {
+            self.flush_promotions(sample.at_ns, mem, ctx);
+        }
+    }
+
     fn is_freq_hot(&self, f: u32) -> bool {
         f >= self.freq_threshold
     }
@@ -311,9 +368,10 @@ impl HybridTierPolicy {
     /// Flushes the promotion batch with one modeled syscall (paper §4.3).
     fn flush_promotions(&mut self, now_ns: u64, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
         self.samples_since_flush = 0;
-        self.freq_threshold = self
-            .hist
-            .threshold_for(mem.config().fast_capacity_pages, self.config.min_freq_threshold);
+        self.freq_threshold = self.hist.threshold_for(
+            mem.config().fast_capacity_pages,
+            self.config.min_freq_threshold,
+        );
         if self.promo_queue.is_empty() {
             return;
         }
@@ -420,51 +478,15 @@ impl TieringPolicy for HybridTierPolicy {
     }
 
     fn on_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
-        self.samples_seen += 1;
-        self.samples_since_flush += 1;
-        let key = sample.page.0;
+        self.ingest_sample(sample, mem, ctx);
+    }
 
-        // Update both trackers (paper Figure 6, step 3). The GET+INCREMENT
-        // pair touches the same lines, reported once.
-        let old_f = self.freq.estimate(key);
-        let new_f = self.freq.increment(key);
-        self.hist.transition(old_f, new_f);
-        self.freq.touched_lines(key, &mut ctx.metadata_lines);
-        ctx.metadata_lines.push(HIST_BASE + u64::from(new_f.min(63)) / 8 * 64);
-        let new_m = if self.config.momentum_enabled {
-            let m = self.momentum.increment(key);
-            self.momentum.touched_lines(key, &mut ctx.metadata_lines);
-            m
-        } else {
-            0
-        };
-
-        // Cooling (EMA decay): high period for frequency, low for momentum.
-        if self.samples_seen.is_multiple_of(self.config.freq_cool_samples) {
-            self.freq.cool();
-            self.hist.cool();
-            self.cooling_epoch += 1;
-        }
-        if self.config.momentum_enabled
-            && self.samples_seen.is_multiple_of(self.config.momentum_cool_samples)
-        {
-            self.momentum.cool();
-        }
-
-        // Promotion candidacy (Table 1, slow-tier column).
-        if sample.tier == Tier::Slow {
-            let decision = MigrationDecision::decide(
-                self.is_freq_hot(new_f),
-                self.is_momentum_hot(new_m),
-                false,
-            );
-            if decision == MigrationDecision::Promote {
-                self.promo_queue.push(sample.page);
-            }
-        }
-
-        if self.samples_since_flush >= self.config.batch_samples {
-            self.flush_promotions(sample.at_ns, mem, ctx);
+    fn on_sample_batch(&mut self, samples: &[Sample], mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        // One virtual call per op instead of per sample; the shared inlined
+        // ingest keeps batch and scalar paths state-identical (including
+        // promo-queue capacity, which metadata_bytes reports).
+        for &sample in samples {
+            self.ingest_sample(sample, mem, ctx);
         }
     }
 
@@ -725,7 +747,11 @@ mod tests {
         // threshold must rise above the minimum.
         for round in 0..6 {
             for pg in 0..1_000u64 {
-                p.on_sample(sample(pg, Tier::Slow, round * 1_000 + pg), &mut mem, &mut ctx);
+                p.on_sample(
+                    sample(pg, Tier::Slow, round * 1_000 + pg),
+                    &mut mem,
+                    &mut ctx,
+                );
             }
         }
         assert!(

@@ -123,6 +123,41 @@ impl MemtisPolicy {
         out.push(LEVEL3_BASE + (page >> 18) * 64);
     }
 
+    /// The per-sample update: exact counter, histogram transition, metadata
+    /// walk, threshold refresh, inline promotion. Shared (inlined) by the
+    /// scalar and batched hooks.
+    #[inline]
+    fn ingest_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        self.samples_seen += 1;
+        let page = sample.page.0;
+        let old = self.counts[page as usize];
+        let new = old.saturating_add(1);
+        self.counts[page as usize] = new;
+        self.hist.transition(old.min(MAX_LEVEL), new.min(MAX_LEVEL));
+        self.record_meta_lines(page, &mut ctx.metadata_lines);
+        ctx.metadata_lines
+            .push(HIST_BASE + u64::from(new.min(MAX_LEVEL)) / 8 * 64);
+
+        if self.samples_seen.is_multiple_of(self.config.cool_samples) {
+            self.cool_all();
+            // A full cooling pass walks every record.
+            ctx.tiering_work_ns += self.counts.len() as u64 / 64;
+        }
+
+        self.threshold = self
+            .hist
+            .threshold_for(mem.config().fast_capacity_pages, self.config.min_threshold);
+
+        // Promotion is attempted inline (kmigrated is asynchronous but fast);
+        // when the fast tier is clogged the candidate is simply dropped —
+        // demotion happens only from the background tick, so a clogged tier
+        // stalls promotions until cooling refreshes the cold set.
+        if sample.tier == Tier::Slow && new >= self.threshold && mem.fast_free() > 0 {
+            ctx.tiering_work_ns += SYSCALL_NS / 32; // kernel-side migration, amortized
+            let _ = mem.promote(sample.page);
+        }
+    }
+
     fn cool_all(&mut self) {
         for c in &mut self.counts {
             *c /= 2;
@@ -164,32 +199,14 @@ impl TieringPolicy for MemtisPolicy {
     }
 
     fn on_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
-        self.samples_seen += 1;
-        let page = sample.page.0;
-        let old = self.counts[page as usize];
-        let new = old.saturating_add(1);
-        self.counts[page as usize] = new;
-        self.hist.transition(old.min(MAX_LEVEL), new.min(MAX_LEVEL));
-        self.record_meta_lines(page, &mut ctx.metadata_lines);
-        ctx.metadata_lines.push(HIST_BASE + u64::from(new.min(MAX_LEVEL)) / 8 * 64);
+        self.ingest_sample(sample, mem, ctx);
+    }
 
-        if self.samples_seen.is_multiple_of(self.config.cool_samples) {
-            self.cool_all();
-            // A full cooling pass walks every record.
-            ctx.tiering_work_ns += self.counts.len() as u64 / 64;
-        }
-
-        self.threshold = self
-            .hist
-            .threshold_for(mem.config().fast_capacity_pages, self.config.min_threshold);
-
-        // Promotion is attempted inline (kmigrated is asynchronous but fast);
-        // when the fast tier is clogged the candidate is simply dropped —
-        // demotion happens only from the background tick, so a clogged tier
-        // stalls promotions until cooling refreshes the cold set.
-        if sample.tier == Tier::Slow && new >= self.threshold && mem.fast_free() > 0 {
-            ctx.tiering_work_ns += SYSCALL_NS / 32; // kernel-side migration, amortized
-            let _ = mem.promote(sample.page);
+    fn on_sample_batch(&mut self, samples: &[Sample], mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        // Memtis's per-sample record walk is the expensive part (paper §3.3);
+        // batching at least pays the dispatch once per drained burst.
+        for &sample in samples {
+            self.ingest_sample(sample, mem, ctx);
         }
     }
 
@@ -221,7 +238,10 @@ mod tests {
 
     fn setup() -> (MemtisPolicy, TieredMemory) {
         let cfg = TierConfig::for_footprint(1_024, TierRatio::OneTo16, PageSize::Base4K);
-        (MemtisPolicy::new(MemtisConfig::default(), &cfg), TieredMemory::new(cfg))
+        (
+            MemtisPolicy::new(MemtisConfig::default(), &cfg),
+            TieredMemory::new(cfg),
+        )
     }
 
     fn sample(page: u64, tier: Tier, at: u64) -> Sample {

@@ -80,6 +80,44 @@ pub trait TieringPolicy {
     /// Observes one PEBS sample.
     fn on_sample(&mut self, _sample: Sample, _mem: &mut TieredMemory, _ctx: &mut PolicyCtx) {}
 
+    /// Observes a burst of faulting accesses (one op's worth) in a single
+    /// call, returning the total extra nanoseconds charged to the op.
+    ///
+    /// The batched engine pipeline collects each operation's accesses and
+    /// delivers them together, so the virtual-dispatch cost is paid once per
+    /// op instead of once per access. The default loops
+    /// [`on_access`](Self::on_access); fault-driven policies override it
+    /// with a fused loop. Overrides must leave the policy in exactly the
+    /// state the scalar loop would — the engine's scalar and batched paths
+    /// are asserted bit-identical.
+    fn on_access_batch(
+        &mut self,
+        pages: &[PageId],
+        now_ns: u64,
+        mem: &mut TieredMemory,
+        ctx: &mut PolicyCtx,
+    ) -> u64 {
+        let mut total = 0;
+        for &page in pages {
+            total += self.on_access(page, now_ns, mem, ctx);
+        }
+        total
+    }
+
+    /// Ingests a burst of PEBS samples (one op's worth) in a single call —
+    /// the batched analogue of [`on_sample`](Self::on_sample), mirroring
+    /// how the real tiering thread drains the PEBS buffer in runs rather
+    /// than one record at a time (paper Algorithm 1).
+    ///
+    /// The default loops the scalar hook; sampling-driven policies override
+    /// it to amortize dispatch and tracker-update setup. Overrides must be
+    /// state-identical to the scalar loop.
+    fn on_sample_batch(&mut self, samples: &[Sample], mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        for &sample in samples {
+            self.on_sample(sample, mem, ctx);
+        }
+    }
+
     /// Periodic maintenance, called every engine tick.
     fn on_tick(&mut self, _now_ns: u64, _mem: &mut TieredMemory, _ctx: &mut PolicyCtx) {}
 
@@ -184,7 +222,8 @@ mod tests {
 
     #[test]
     fn all_kinds_build() {
-        let cfg = TierConfig::for_footprint(10_000, tiering_mem::TierRatio::OneTo8, PageSize::Base4K);
+        let cfg =
+            TierConfig::for_footprint(10_000, tiering_mem::TierRatio::OneTo8, PageSize::Base4K);
         for kind in [
             PolicyKind::HybridTier,
             PolicyKind::HybridTierFreqOnly,

@@ -43,7 +43,7 @@ impl Default for TppConfig {
     fn default() -> Self {
         Self {
             scan_window_pages: 1_024,
-            scan_interval_ns: 10_000_000, // 10 ms
+            scan_interval_ns: 10_000_000,    // 10 ms
             active_window_ns: 1_500_000_000, // ~2 full scan sweeps of a typical footprint
             demote_wmark: 0.08,
             promo_wmark: 0.03,
@@ -164,6 +164,27 @@ impl TieringPolicy for TppPolicy {
         FAULT_SERVICE_NS
     }
 
+    fn on_access_batch(
+        &mut self,
+        pages: &[PageId],
+        now_ns: u64,
+        mem: &mut TieredMemory,
+        ctx: &mut PolicyCtx,
+    ) -> u64 {
+        // Fused fault loop: in steady state almost every page is mapped
+        // (`unmapped_at == 0`), so the batch path filters the burst down to
+        // the rare faulting entries with one pass over the timestamp array
+        // before paying the full per-fault path.
+        let mut total = 0;
+        for &page in pages {
+            if self.unmapped_at[page.0 as usize] == 0 {
+                continue;
+            }
+            total += self.on_access(page, now_ns, mem, ctx);
+        }
+        total
+    }
+
     fn on_tick(&mut self, now_ns: u64, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
         if now_ns >= self.next_scan_ns {
             self.scan_window(now_ns, ctx);
@@ -188,7 +209,10 @@ mod tests {
 
     fn setup() -> (TppPolicy, TieredMemory) {
         let cfg = TierConfig::for_footprint(512, TierRatio::OneTo8, PageSize::Base4K);
-        (TppPolicy::new(TppConfig::default(), &cfg), TieredMemory::new(cfg))
+        (
+            TppPolicy::new(TppConfig::default(), &cfg),
+            TieredMemory::new(cfg),
+        )
     }
 
     #[test]

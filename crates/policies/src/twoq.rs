@@ -76,18 +76,10 @@ impl TwoQPolicy {
         }
         mem.promote(page).is_ok()
     }
-}
 
-impl TieringPolicy for TwoQPolicy {
-    fn name(&self) -> &'static str {
-        "TwoQ"
-    }
-
-    fn preferred_alloc_tier(&self) -> Tier {
-        Tier::Slow
-    }
-
-    fn on_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+    /// One 2Q step; shared by the scalar and batched hooks.
+    #[inline]
+    fn ingest_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
         let x = sample.page.0 as u32;
         ctx.tiering_work_ns += LRU_NODE_NS;
         ctx.metadata_lines.push(META_BASE + sample.page.0 * 9);
@@ -121,6 +113,26 @@ impl TieringPolicy for TwoQPolicy {
                     self.lists.push_mru(A1IN, x);
                 }
             }
+        }
+    }
+}
+
+impl TieringPolicy for TwoQPolicy {
+    fn name(&self) -> &'static str {
+        "TwoQ"
+    }
+
+    fn preferred_alloc_tier(&self) -> Tier {
+        Tier::Slow
+    }
+
+    fn on_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        self.ingest_sample(sample, mem, ctx);
+    }
+
+    fn on_sample_batch(&mut self, samples: &[Sample], mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        for &sample in samples {
+            self.ingest_sample(sample, mem, ctx);
         }
     }
 

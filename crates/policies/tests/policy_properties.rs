@@ -2,7 +2,7 @@
 //! tiering policy must uphold regardless of input.
 
 use proptest::prelude::*;
-use tiering_mem::{PageId, PageSize, Tier, TierConfig, TierRatio, TieredMemory};
+use tiering_mem::{PageId, PageSize, TierConfig, TierRatio, TieredMemory};
 use tiering_policies::{build_policy, PolicyCtx, PolicyKind};
 use tiering_trace::Sample;
 

@@ -1,0 +1,347 @@
+//! One experiment = one scenario.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tiering_mem::{TierConfig, TierRatio};
+use tiering_policies::{build_policy, PolicyKind, TieringPolicy};
+use tiering_sim::{Engine, SimConfig, SimReport};
+use tiering_trace::Workload;
+use tiering_workloads::{build_workload, WorkloadId};
+
+/// Factory for a workload, given the scenario seed.
+pub type WorkloadFactory = Arc<dyn Fn(u64) -> Box<dyn Workload> + Send + Sync>;
+
+/// Factory for a policy, given the resolved tier configuration.
+pub type PolicyFactory = Arc<dyn Fn(&TierConfig) -> Box<dyn TieringPolicy> + Send + Sync>;
+
+/// Which workload a scenario runs.
+#[derive(Clone)]
+pub enum WorkloadSpec {
+    /// A suite workload (paper Table 2) built with the scenario seed.
+    Suite(WorkloadId),
+    /// A custom generator; the factory is invoked with the scenario seed in
+    /// the executing thread.
+    Custom {
+        /// Label used in reports.
+        label: String,
+        /// The generator factory.
+        build: WorkloadFactory,
+    },
+}
+
+impl WorkloadSpec {
+    /// A custom workload from a factory closure.
+    pub fn custom<F>(label: impl Into<String>, build: F) -> Self
+    where
+        F: Fn(u64) -> Box<dyn Workload> + Send + Sync + 'static,
+    {
+        WorkloadSpec::Custom {
+            label: label.into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// Label used in reports and JSON output.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Suite(id) => id.label().to_string(),
+            WorkloadSpec::Custom { label, .. } => label.clone(),
+        }
+    }
+
+    fn build(&self, seed: u64) -> Box<dyn Workload> {
+        match self {
+            WorkloadSpec::Suite(id) => build_workload(*id, seed),
+            WorkloadSpec::Custom { build, .. } => build(seed),
+        }
+    }
+}
+
+impl fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadSpec::Suite(id) => write!(f, "Suite({id:?})"),
+            WorkloadSpec::Custom { label, .. } => write!(f, "Custom({label})"),
+        }
+    }
+}
+
+/// Which policy a scenario runs.
+#[derive(Clone)]
+pub enum PolicySpec {
+    /// A standard policy with the crate's scaled defaults.
+    Kind(PolicyKind),
+    /// A custom policy (ablations, parameter sweeps); built in the
+    /// executing thread from the resolved tier configuration.
+    Custom {
+        /// Label used in reports.
+        label: String,
+        /// The policy factory.
+        build: PolicyFactory,
+    },
+}
+
+impl PolicySpec {
+    /// A custom policy from a factory closure.
+    pub fn custom<F>(label: impl Into<String>, build: F) -> Self
+    where
+        F: Fn(&TierConfig) -> Box<dyn TieringPolicy> + Send + Sync + 'static,
+    {
+        PolicySpec::Custom {
+            label: label.into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// Label used in reports and JSON output.
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::Kind(kind) => kind.label().to_string(),
+            PolicySpec::Custom { label, .. } => label.clone(),
+        }
+    }
+
+    fn build(&self, tier_cfg: &TierConfig) -> Box<dyn TieringPolicy> {
+        match self {
+            PolicySpec::Kind(kind) => build_policy(*kind, tier_cfg),
+            PolicySpec::Custom { build, .. } => build(tier_cfg),
+        }
+    }
+}
+
+impl fmt::Debug for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicySpec::Kind(kind) => write!(f, "Kind({kind:?})"),
+            PolicySpec::Custom { label, .. } => write!(f, "Custom({label})"),
+        }
+    }
+}
+
+/// How the tiers are sized for the workload footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierSpec {
+    /// `TierConfig::for_footprint` at the given fast:slow ratio.
+    Ratio(TierRatio),
+    /// The all-fast upper-bound configuration (paper Figure 11).
+    AllFast,
+    /// An explicit configuration (footprint-independent; multi-tenant and
+    /// sensitivity studies).
+    Explicit(TierConfig),
+}
+
+impl TierSpec {
+    /// Label used in reports and JSON output.
+    pub fn label(&self) -> String {
+        match self {
+            TierSpec::Ratio(r) => r.to_string(),
+            TierSpec::AllFast => "all-fast".to_string(),
+            TierSpec::Explicit(_) => "explicit".to_string(),
+        }
+    }
+}
+
+/// One self-contained experiment: everything needed to reproduce one
+/// [`SimReport`], cheap to clone and safe to run from any thread.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display label (defaults to `workload/tier/policy`).
+    pub label: String,
+    /// Workload recipe.
+    pub workload: WorkloadSpec,
+    /// Policy recipe.
+    pub policy: PolicySpec,
+    /// Tier sizing.
+    pub tier: TierSpec,
+    /// Engine configuration.
+    pub config: SimConfig,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario over standard suite components, mirroring
+    /// [`run_suite_experiment`](tiering_sim::run_suite_experiment): the
+    /// `AllFast` policy gets the all-fast tier configuration, everything
+    /// else the ratio split.
+    pub fn suite(
+        id: WorkloadId,
+        kind: PolicyKind,
+        ratio: TierRatio,
+        config: &SimConfig,
+        seed: u64,
+    ) -> Self {
+        let tier = if kind == PolicyKind::AllFast {
+            TierSpec::AllFast
+        } else {
+            TierSpec::Ratio(ratio)
+        };
+        Self {
+            label: format!("{}/{}/{}", id.label(), ratio, kind.label()),
+            workload: WorkloadSpec::Suite(id),
+            policy: PolicySpec::Kind(kind),
+            tier,
+            config: config.clone(),
+            seed,
+        }
+    }
+
+    /// A fully custom scenario.
+    pub fn new(
+        label: impl Into<String>,
+        workload: WorkloadSpec,
+        policy: PolicySpec,
+        tier: TierSpec,
+        config: &SimConfig,
+        seed: u64,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            workload,
+            policy,
+            tier,
+            config: config.clone(),
+            seed,
+        }
+    }
+
+    /// Resolves the tier configuration for a workload of `pages` pages.
+    fn tier_config(&self, pages: u64) -> TierConfig {
+        match self.tier {
+            TierSpec::Ratio(ratio) => {
+                TierConfig::for_footprint(pages, ratio, self.config.page_size)
+            }
+            TierSpec::AllFast => TierConfig::all_fast(pages, self.config.page_size),
+            TierSpec::Explicit(cfg) => cfg,
+        }
+    }
+
+    /// Builds the workload and policy and runs the engine to completion in
+    /// the calling thread. Deterministic: identical scenarios produce
+    /// byte-identical reports regardless of which/how many threads run
+    /// their siblings.
+    pub fn run(&self) -> ScenarioResult {
+        let start = Instant::now();
+        let mut workload = self.workload.build(self.seed);
+        let pages = workload.footprint_pages(self.config.page_size);
+        let tier_cfg = self.tier_config(pages);
+        let mut policy = self.policy.build(&tier_cfg);
+        let report =
+            Engine::new(self.config.clone()).run(workload.as_mut(), policy.as_mut(), tier_cfg);
+        ScenarioResult {
+            label: self.label.clone(),
+            workload: self.workload.label(),
+            policy: self.policy.label(),
+            tier: self.tier.label(),
+            seed: self.seed,
+            wall: start.elapsed(),
+            report,
+        }
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario label.
+    pub label: String,
+    /// Workload label.
+    pub workload: String,
+    /// Policy label.
+    pub policy: String,
+    /// Tier-spec label.
+    pub tier: String,
+    /// Seed the workload was built with.
+    pub seed: u64,
+    /// Host wall-clock time of this run (excluded from `PartialEq`-based
+    /// determinism checks via [`ScenarioResult::same_outcome`]).
+    pub wall: Duration,
+    /// The simulation report.
+    pub report: SimReport,
+}
+
+impl ScenarioResult {
+    /// Whether two results describe the same simulation outcome (ignores
+    /// host wall-clock, which legitimately varies between runs).
+    pub fn same_outcome(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.workload == other.workload
+            && self.policy == other.policy
+            && self.tier == other.tier
+            && self.seed == other.seed
+            && self.report == other.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_scenario_runs_and_labels() {
+        let s = Scenario::suite(
+            WorkloadId::CdnCacheLib,
+            PolicyKind::HybridTier,
+            TierRatio::OneTo8,
+            &SimConfig::default().with_max_ops(2_000),
+            42,
+        );
+        assert_eq!(s.label, "CDN/1:8/HybridTier");
+        let r = s.run();
+        assert_eq!(r.report.ops, 2_000);
+        assert_eq!(r.policy, "HybridTier");
+        assert_eq!(r.tier, "1:8");
+    }
+
+    #[test]
+    fn allfast_policy_gets_allfast_tier() {
+        let s = Scenario::suite(
+            WorkloadId::CdnCacheLib,
+            PolicyKind::AllFast,
+            TierRatio::OneTo8,
+            &SimConfig::default().with_max_ops(1_000),
+            42,
+        );
+        assert_eq!(s.tier, TierSpec::AllFast);
+        let r = s.run();
+        assert!((r.report.fast_hit_frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_specs_run() {
+        use tiering_workloads::ZipfPageWorkload;
+        let s = Scenario::new(
+            "custom-zipf",
+            WorkloadSpec::custom("zipf", |seed| {
+                Box::new(ZipfPageWorkload::new(500, 0.99, 3_000, seed))
+            }),
+            PolicySpec::custom("ht-tuned", |cfg| {
+                tiering_policies::build_policy(PolicyKind::HybridTier, cfg)
+            }),
+            TierSpec::Ratio(TierRatio::OneTo4),
+            &SimConfig::default(),
+            9,
+        );
+        let r = s.run();
+        assert_eq!(r.workload, "zipf");
+        assert_eq!(r.policy, "ht-tuned");
+        assert!(r.report.ops > 0);
+    }
+
+    #[test]
+    fn identical_scenarios_identical_outcomes() {
+        let mk = || {
+            Scenario::suite(
+                WorkloadId::Silo,
+                PolicyKind::Memtis,
+                TierRatio::OneTo16,
+                &SimConfig::default().with_max_ops(3_000),
+                5,
+            )
+            .run()
+        };
+        assert!(mk().same_outcome(&mk()));
+    }
+}

@@ -1,0 +1,360 @@
+//! The parallel sweep driver and its merged report.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tiering_mem::TierRatio;
+use tiering_policies::PolicyKind;
+use tiering_sim::SimConfig;
+use tiering_workloads::WorkloadId;
+
+use crate::derive_seed;
+use crate::scenario::{Scenario, ScenarioResult};
+
+/// Builds the standard workload × policy × ratio cross product with
+/// deterministic per-scenario seeds.
+///
+/// Iteration order is workload-major, then ratio, then policy — the order
+/// the paper's figures tabulate — and seeds are derived from the base seed
+/// and the scenario *index*, so adding a policy to the list never changes
+/// the seeds of scenarios that come before it... within one build.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    workloads: Vec<WorkloadId>,
+    policies: Vec<PolicyKind>,
+    ratios: Vec<TierRatio>,
+    config: SimConfig,
+    seed: u64,
+    seed_mode: SeedMode,
+}
+
+/// How per-scenario seeds are assigned within a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeedMode {
+    /// One derived seed per (workload, ratio) cell: policies at one cell are
+    /// compared on *identical* access streams (the paper's protocol), while
+    /// distinct cells get independent streams. The default.
+    PerCell,
+    /// Every scenario gets its own derived seed.
+    PerScenario,
+    /// Every scenario uses the base seed verbatim (the legacy harness
+    /// behaviour; keeps regenerated figures comparable across PRs).
+    Fixed,
+}
+
+impl ScenarioMatrix {
+    /// A matrix over the given engine config and base seed.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        Self {
+            workloads: Vec::new(),
+            policies: Vec::new(),
+            ratios: vec![TierRatio::OneTo8],
+            config,
+            seed,
+            seed_mode: SeedMode::PerCell,
+        }
+    }
+
+    /// Sets the workloads (rows).
+    #[must_use]
+    pub fn workloads(mut self, ids: impl IntoIterator<Item = WorkloadId>) -> Self {
+        self.workloads = ids.into_iter().collect();
+        self
+    }
+
+    /// Sets the policies (columns).
+    #[must_use]
+    pub fn policies(mut self, kinds: impl IntoIterator<Item = PolicyKind>) -> Self {
+        self.policies = kinds.into_iter().collect();
+        self
+    }
+
+    /// Sets the tier ratios (planes).
+    #[must_use]
+    pub fn ratios(mut self, ratios: impl IntoIterator<Item = TierRatio>) -> Self {
+        self.ratios = ratios.into_iter().collect();
+        self
+    }
+
+    /// Gives every scenario its own derived seed instead of sharing one
+    /// access stream per (workload, ratio) cell.
+    #[must_use]
+    pub fn independent_streams(mut self) -> Self {
+        self.seed_mode = SeedMode::PerScenario;
+        self
+    }
+
+    /// Uses the base seed verbatim for every scenario (the legacy harness
+    /// protocol, kept so regenerated paper figures stay comparable).
+    #[must_use]
+    pub fn fixed_seed(mut self) -> Self {
+        self.seed_mode = SeedMode::Fixed;
+        self
+    }
+
+    /// Materializes the scenario list.
+    pub fn build(&self) -> Vec<Scenario> {
+        let mut out =
+            Vec::with_capacity(self.workloads.len() * self.ratios.len() * self.policies.len());
+        let mut cell = 0u64;
+        for &id in &self.workloads {
+            for &ratio in &self.ratios {
+                let cell_seed = derive_seed(self.seed, cell);
+                cell += 1;
+                for &kind in &self.policies {
+                    let seed = match self.seed_mode {
+                        SeedMode::PerCell => cell_seed,
+                        SeedMode::PerScenario => derive_seed(self.seed, out.len() as u64),
+                        SeedMode::Fixed => self.seed,
+                    };
+                    out.push(Scenario::suite(id, kind, ratio, &self.config, seed));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A thread pool that runs a list of scenarios to completion.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner over `threads` worker threads; `0` means one per available
+    /// core.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// A single-threaded runner (the serial reference the determinism tests
+    /// and speedup benchmarks compare against).
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Worker threads this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every scenario, in parallel across the pool, and returns the
+    /// results **in input order** — execution interleaving never leaks into
+    /// the output. Panics in a scenario propagate (the sweep fails loudly
+    /// rather than returning partial results).
+    pub fn run(&self, scenarios: Vec<Scenario>) -> SweepReport {
+        let start = Instant::now();
+        let n = scenarios.len();
+        let results: Vec<Mutex<Option<ScenarioResult>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n.max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Work stealing by atomic cursor: threads grab the next
+                    // unclaimed scenario, so long runs (PageRank at 1:16)
+                    // don't serialize behind a static partition.
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let result = scenarios[idx].run();
+                    *results[idx].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        SweepReport {
+            results: results
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("scenario slot never filled")
+                })
+                .collect(),
+            wall: start.elapsed(),
+            threads: workers,
+        }
+    }
+}
+
+/// Merged output of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-scenario results, in the input scenario order.
+    pub results: Vec<ScenarioResult>,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl SweepReport {
+    /// Looks a result up by scenario label.
+    pub fn find(&self, label: &str) -> Option<&ScenarioResult> {
+        self.results.iter().find(|r| r.label == label)
+    }
+
+    /// Looks a suite result up by its (workload, ratio, policy) cell.
+    pub fn cell(
+        &self,
+        id: WorkloadId,
+        ratio: TierRatio,
+        kind: PolicyKind,
+    ) -> Option<&ScenarioResult> {
+        self.find(&format!("{}/{}/{}", id.label(), ratio, kind.label()))
+    }
+
+    /// Whether two sweeps produced identical simulation outcomes (ignoring
+    /// wall-clock and thread count).
+    pub fn same_outcomes(&self, other: &Self) -> bool {
+        self.results.len() == other.results.len()
+            && self
+                .results
+                .iter()
+                .zip(&other.results)
+                .all(|(a, b)| a.same_outcome(b))
+    }
+
+    /// Serializes the sweep to a JSON object (hand-rolled; the workspace is
+    /// dependency-free). Shape:
+    ///
+    /// ```json
+    /// {"threads":8,"wall_s":1.25,"scenarios":[
+    ///   {"label":"CDN/1:8/HybridTier","workload":"CDN","policy":"HybridTier",
+    ///    "tier":"1:8","seed":123,"wall_s":0.31,"ops":1200000,"sim_ns":9,
+    ///    "p50_ns":350,"mean_ns":401.2,"throughput_mops":2.9,
+    ///    "fast_hit_frac":0.93,"promotions":100,"demotions":90,
+    ///    "samples":63157,"metadata_bytes":40960}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.results.len() * 256);
+        let _ = write!(
+            s,
+            "{{\"threads\":{},\"wall_s\":{:.6},\"scenarios\":[",
+            self.threads,
+            self.wall.as_secs_f64()
+        );
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"label\":{},\"workload\":{},\"policy\":{},\"tier\":{},\"seed\":{},\
+                 \"wall_s\":{:.6},\"ops\":{},\"sim_ns\":{},\"p50_ns\":{},\"mean_ns\":{:.3},\
+                 \"throughput_mops\":{:.6},\"fast_hit_frac\":{:.6},\"promotions\":{},\
+                 \"demotions\":{},\"samples\":{},\"metadata_bytes\":{}}}",
+                json_str(&r.label),
+                json_str(&r.workload),
+                json_str(&r.policy),
+                json_str(&r.tier),
+                r.seed,
+                r.wall.as_secs_f64(),
+                r.report.ops,
+                r.report.sim_ns,
+                r.report.latency.p50_ns,
+                r.report.latency.mean_ns,
+                r.report.throughput_mops(),
+                r.report.fast_hit_frac,
+                r.report.migrations.promotions,
+                r.report.migrations.demotions,
+                r.report.samples,
+                r.report.metadata_bytes,
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Minimal JSON string quoting (labels contain no exotic characters, but
+/// escape the structural ones defensively).
+fn json_str(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_matrix() -> Vec<Scenario> {
+        ScenarioMatrix::new(SimConfig::default().with_max_ops(2_000), 0xA5F0_5EED)
+            .workloads([WorkloadId::CdnCacheLib, WorkloadId::Silo])
+            .policies([PolicyKind::HybridTier, PolicyKind::FirstTouch])
+            .ratios([TierRatio::OneTo8])
+            .build()
+    }
+
+    #[test]
+    fn matrix_order_and_shared_streams() {
+        let scenarios = small_matrix();
+        assert_eq!(scenarios.len(), 4);
+        assert_eq!(scenarios[0].label, "CDN/1:8/HybridTier");
+        assert_eq!(scenarios[1].label, "CDN/1:8/FirstTouch");
+        // Same cell → same stream seed; different cells → different seeds.
+        assert_eq!(scenarios[0].seed, scenarios[1].seed);
+        assert_ne!(scenarios[0].seed, scenarios[2].seed);
+    }
+
+    #[test]
+    fn parallel_matches_serial_and_order_independent() {
+        let parallel = SweepRunner::new(4).run(small_matrix());
+        let serial = SweepRunner::serial().run(small_matrix());
+        assert!(parallel.same_outcomes(&serial), "parallel != serial");
+        // Reversed submission order still yields per-scenario identical
+        // outcomes (matched up by label).
+        let mut reversed_scenarios = small_matrix();
+        reversed_scenarios.reverse();
+        let reversed = SweepRunner::new(4).run(reversed_scenarios);
+        for r in &serial.results {
+            let other = reversed.find(&r.label).expect("label present");
+            assert!(r.same_outcome(other), "{} diverged on reorder", r.label);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let sweep = SweepRunner::new(2).run(small_matrix());
+        let json = sweep.to_json();
+        assert!(json.starts_with("{\"threads\":"));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"label\":").count(), 4);
+        assert!(json.contains("\"throughput_mops\":"));
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn more_threads_than_scenarios_is_fine() {
+        let sweep = SweepRunner::new(64).run(small_matrix());
+        assert_eq!(sweep.results.len(), 4);
+        assert!(sweep.threads <= 4);
+    }
+}

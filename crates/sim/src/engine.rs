@@ -1,14 +1,13 @@
 //! The simulation engine core loop.
 
-use cache_sim::{CacheConfig, CacheHierarchy, HitLevel, Source};
-use tiering_mem::{LatencyModel, PageSize, TierConfig, Tier, TieredMemory};
-use tiering_policies::{PolicyCtx, TieringPolicy};
-use tiering_trace::{Access, Sampler, Workload};
+use cache_sim::CacheConfig;
+use tiering_mem::{LatencyModel, PageSize, TierConfig};
+use tiering_policies::TieringPolicy;
+use tiering_trace::{AccessBatch, Workload};
 
-use crate::histo::LogHistogram;
-use crate::prefetch::StreamPrefetcher;
-use crate::hotness::{CountDistribution, RetentionConfig, RetentionProbe};
-use crate::report::{CacheTimelinePoint, LatencySummary, SimReport, TimelinePoint};
+use crate::hotness::RetentionConfig;
+use crate::pipeline::Pipeline;
+use crate::report::SimReport;
 
 /// Cache-simulation options.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +79,23 @@ pub struct SimConfig {
     pub count_probe: bool,
     /// Record hot-set retention (Figure 2).
     pub retention_probe: Option<RetentionConfig>,
+    /// Operations pulled from the workload per batch (the pipeline's unit
+    /// of work). `1` reproduces the legacy one-virtual-call-per-op loop.
+    ///
+    /// Results are **independent of this value** — workloads are
+    /// batch-pulled only while time-insensitive, and every pipeline stage
+    /// is shared between batch sizes — so it is purely a host-performance
+    /// knob. Tuning guidance:
+    ///
+    /// * 32–128 amortizes workload/policy virtual dispatch without growing
+    ///   the batch buffers past the L1 working set; 64 is the sweet spot in
+    ///   the `end_to_end` bench across the suite workloads.
+    /// * Larger values pay off for many-access ops (CacheLib large objects,
+    ///   PageRank supersteps) where the flat access buffer already spans
+    ///   multiple cache lines per op.
+    /// * Time-sensitive phases (a pending hotness shift) force
+    ///   single-op pulls internally regardless of this setting.
+    pub batch_ops: usize,
 }
 
 impl Default for SimConfig {
@@ -98,6 +114,7 @@ impl Default for SimConfig {
             window_ns: 1_000_000_000, // 1 s
             count_probe: false,
             retention_probe: None,
+            batch_ops: 64,
         }
     }
 }
@@ -130,6 +147,18 @@ impl SimConfig {
         self.page_size = PageSize::Huge2M;
         self
     }
+
+    /// Overrides the pipeline batch size (see [`SimConfig::batch_ops`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops == 0`.
+    #[must_use]
+    pub fn with_batch_ops(mut self, ops: usize) -> Self {
+        assert!(ops > 0, "batch size must be at least 1");
+        self.batch_ops = ops;
+        self
+    }
 }
 
 /// The simulation engine.
@@ -148,7 +177,13 @@ impl Engine {
         Self { config }
     }
 
-    /// Runs the simulation to completion.
+    /// Runs the simulation to completion through the batched pipeline,
+    /// pulling up to [`SimConfig::batch_ops`] operations per workload call.
+    ///
+    /// Produces byte-identical reports to [`run_scalar`](Engine::run_scalar)
+    /// for any batch size: time-sensitive workload phases degrade to
+    /// single-op pulls, and every pipeline stage is shared between the two
+    /// paths (see the [`pipeline`](crate::Engine) module docs).
     ///
     /// # Panics
     ///
@@ -160,241 +195,48 @@ impl Engine {
         policy: &mut dyn TieringPolicy,
         tier_cfg: TierConfig,
     ) -> SimReport {
-        let cfg = &self.config;
-        let mut mem = TieredMemory::new(tier_cfg);
-        let mut sampler = Sampler::new(cfg.sample_period);
-        let mut ctx = PolicyCtx::new();
-        let mut hier = cfg.cache.map(|c| CacheHierarchy::new(c.l1, c.llc));
-        // Dedicated metadata cache: the tiering thread's 32 KiB L1 plus a
-        // 256 KiB LLC slice (its fair share of a contended LLC).
-        let mut meta_hier = if hier.is_none() && cfg.metadata_cache {
-            Some(CacheHierarchy::new(
-                CacheConfig {
-                    size_bytes: 32 << 10,
-                    ways: 8,
-                    line_bytes: 64,
-                },
-                CacheConfig {
-                    size_bytes: 256 << 10,
-                    ways: 8,
-                    line_bytes: 64,
-                },
-            ))
-        } else {
-            None
-        };
+        self.run_with_batch(workload, policy, tier_cfg, self.config.batch_ops.max(1))
+    }
 
-        let mut global_hist = LogHistogram::new();
-        let mut window_hist = LogHistogram::new();
-        let mut timeline = Vec::new();
-        let mut cache_timeline = Vec::new();
-        let mut window_end = cfg.window_ns;
-        let mut last_cache_stats = cache_sim::HierarchyStats::default();
+    /// Runs with single-op pulls — the legacy loop shape, kept as the
+    /// reference implementation the equivalence tests compare against.
+    pub fn run_scalar(
+        &self,
+        workload: &mut dyn Workload,
+        policy: &mut dyn TieringPolicy,
+        tier_cfg: TierConfig,
+    ) -> SimReport {
+        self.run_with_batch(workload, policy, tier_cfg, 1)
+    }
 
-        let mut counts: Vec<u8> = if cfg.count_probe {
-            vec![0; tier_cfg.address_space_pages as usize]
-        } else {
-            Vec::new()
-        };
-        let mut retention = cfg.retention_probe.map(RetentionProbe::new);
-
-        let mut prefetcher = StreamPrefetcher::new();
-        let mut recent_pages = [u64::MAX; 16];
-        let mut recent_cursor = 0usize;
-        let mut now_ns: u64 = 0;
-        let mut next_tick = cfg.tick_interval_ns;
-        let mut ops: u64 = 0;
-        let mut accesses: u64 = 0;
-        let mut samples: u64 = 0;
-        let mut fast_hits: u64 = 0;
-        let mut buf: Vec<Access> = Vec::with_capacity(64);
-        let wants_hook = policy.wants_access_hook();
-        let prefer = policy.preferred_alloc_tier();
-        let mut mig_before = mem.stats();
-
-        while ops < cfg.max_ops && now_ns < cfg.max_sim_ns {
-            buf.clear();
-            let Some(op) = workload.next_op(now_ns, &mut buf) else {
+    fn run_with_batch(
+        &self,
+        workload: &mut dyn Workload,
+        policy: &mut dyn TieringPolicy,
+        tier_cfg: TierConfig,
+        batch_ops: usize,
+    ) -> SimReport {
+        let mut pipeline = Pipeline::new(&self.config, tier_cfg, policy);
+        let mut batch = AccessBatch::with_capacity(batch_ops, batch_ops * 4);
+        'run: while !pipeline.done() {
+            if !pipeline.stage_pull(workload, &mut batch, batch_ops) {
                 break;
-            };
-            let mut op_ns = op.cpu_ns;
-
-            for access in &buf {
-                let page = access.page(cfg.page_size);
-                let tier = mem.ensure_mapped(page, prefer);
-                accesses += 1;
-                if tier == Tier::Fast {
-                    fast_hits += 1;
-                }
-
-                // Application access latency: through the cache if enabled;
-                // memory-level accesses that continue a detected sequential
-                // stream are charged the (bandwidth-bound) prefetched cost.
-                let streamed = prefetcher.observe(access.addr);
-                let memory_ns = if streamed {
-                    cfg.latency.stream_ns(tier)
-                } else {
-                    cfg.latency.access_ns(tier)
-                };
-                op_ns += match &mut hier {
-                    Some(h) => match h.access(access.addr, Source::App) {
-                        HitLevel::L1 => cfg.latency.l1_hit_ns,
-                        HitLevel::Llc => cfg.latency.llc_hit_ns,
-                        HitLevel::Memory => memory_ns,
-                    },
-                    None => memory_ns,
-                };
-
-                // Fault hook (recency policies), charged synchronously.
-                if wants_hook {
-                    op_ns += policy.on_access(page, now_ns, &mut mem, &mut ctx);
-                }
-
-                // PEBS sampling.
-                if let Some(sample) =
-                    sampler.observe_full(access, tier, now_ns, cfg.page_size)
-                {
-                    // Burst filter: at real PEBS periods a sequential sweep
-                    // yields at most one sample per page, because the period
-                    // far exceeds a page's line count. Our scaled period is
-                    // dense enough that a streamed page would register
-                    // several times within microseconds; suppressing page
-                    // repeats within a short sample window restores the
-                    // hardware behaviour (momentum then measures sustained
-                    // intensity, not one sweep's burst).
-                    if recent_pages.contains(&sample.page.0) {
-                        continue;
-                    }
-                    recent_pages[recent_cursor] = sample.page.0;
-                    recent_cursor = (recent_cursor + 1) % recent_pages.len();
-                    samples += 1;
-                    if cfg.count_probe {
-                        let c = &mut counts[sample.page.0 as usize];
-                        *c = (*c + 1).min(15);
-                    }
-                    if let Some(r) = &mut retention {
-                        r.record(sample.page, now_ns);
-                    }
-                    policy.on_sample(sample, &mut mem, &mut ctx);
-                }
             }
-
-            // Policy maintenance tick.
-            if now_ns >= next_tick {
-                policy.on_tick(now_ns, &mut mem, &mut ctx);
-                next_tick = now_ns + cfg.tick_interval_ns;
-            }
-
-            // Charge asynchronous tiering costs to the application clock.
-            let mig_now = mem.stats();
-            let moved = (mig_now.promotions - mig_before.promotions)
-                + (mig_now.demotions - mig_before.demotions);
-            mig_before = mig_now;
-            if moved > 0 {
-                let mig_ns = moved * cfg.latency.migrate_page_ns(cfg.page_size);
-                op_ns += (mig_ns as f64 * cfg.migration_charge) as u64;
-            }
-            if ctx.tiering_work_ns > 0 {
-                op_ns += (ctx.tiering_work_ns as f64 * cfg.tiering_work_charge) as u64;
-            }
-            // Replay metadata traffic through the cache, attributed to the
-            // tiering runtime.
-            if let Some(h) = &mut hier {
-                for &line in &ctx.metadata_lines {
-                    h.access(line, Source::Tiering);
+            for (op, accesses) in batch.iter() {
+                pipeline.stage_op(policy, op, accesses);
+                if pipeline.done() {
+                    break 'run;
                 }
-            } else if let Some(h) = &mut meta_hier {
-                let mut interference = 0u64;
-                for &line in &ctx.metadata_lines {
-                    interference += match h.access(line, Source::Tiering) {
-                        HitLevel::L1 => 0,
-                        HitLevel::Llc => 6,
-                        HitLevel::Memory => 60,
-                    };
-                }
-                op_ns += (interference as f64 * cfg.tiering_work_charge) as u64;
-            }
-            ctx.drain();
-
-            now_ns += op_ns.max(1);
-            ops += 1;
-            global_hist.record(op_ns);
-            window_hist.record(op_ns);
-
-            // Roll timeline windows.
-            while now_ns >= window_end {
-                timeline.push(TimelinePoint {
-                    t_ns: window_end,
-                    p50_ns: window_hist.p50(),
-                    mean_ns: window_hist.mean() as u64,
-                    ops: window_hist.count(),
-                });
-                if let Some(h) = &hier {
-                    let s = h.stats();
-                    let dl1_t = s.l1.by(Source::Tiering).misses
-                        - last_cache_stats.l1.by(Source::Tiering).misses;
-                    let dl1 = s.l1.total_misses() - last_cache_stats.l1.total_misses();
-                    let dllc_t = s.llc.by(Source::Tiering).misses
-                        - last_cache_stats.llc.by(Source::Tiering).misses;
-                    let dllc = s.llc.total_misses() - last_cache_stats.llc.total_misses();
-                    cache_timeline.push(CacheTimelinePoint {
-                        t_ns: window_end,
-                        l1_tiering_frac: if dl1 == 0 { 0.0 } else { dl1_t as f64 / dl1 as f64 },
-                        llc_tiering_frac: if dllc == 0 {
-                            0.0
-                        } else {
-                            dllc_t as f64 / dllc as f64
-                        },
-                    });
-                    last_cache_stats = s;
-                }
-                window_hist.clear();
-                window_end += cfg.window_ns;
             }
         }
-
-        // Final partial window.
-        if window_hist.count() > 0 {
-            timeline.push(TimelinePoint {
-                t_ns: now_ns,
-                p50_ns: window_hist.p50(),
-                mean_ns: window_hist.mean() as u64,
-                ops: window_hist.count(),
-            });
-        }
-
-        let untouched = tier_cfg.address_space_pages - mem.mapped_pages();
-        SimReport {
-            workload: workload.name().to_string(),
-            policy: policy.name().to_string(),
-            ops,
-            accesses,
-            samples,
-            sim_ns: now_ns,
-            latency: LatencySummary::from_histogram(&global_hist),
-            timeline,
-            cache_timeline,
-            cache: hier.map(|h| h.stats()),
-            migrations: mem.stats(),
-            fast_hit_frac: if accesses == 0 {
-                0.0
-            } else {
-                fast_hits as f64 / accesses as f64
-            },
-            metadata_bytes: policy.metadata_bytes(),
-            count_distribution: if cfg.count_probe {
-                Some(CountDistribution::from_counts(&counts, untouched))
-            } else {
-                None
-            },
-            retention: retention.map(|r| r.finish(now_ns)),
-        }
+        pipeline.finish(workload.name(), policy)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cache_sim::Source;
     use tiering_mem::TierRatio;
     use tiering_policies::{build_policy, PolicyKind};
     use tiering_workloads::ZipfPageWorkload;
@@ -425,8 +267,8 @@ mod tests {
         // (hot pages are touched first and land fast). Tiering earns its
         // keep when the hot set moves — so shift it mid-run.
         let run = |kind: PolicyKind| {
-            let mut w = ZipfPageWorkload::new(8_000, 0.99, 1_200_000, 42)
-                .with_shift(100_000_000, 0.9);
+            let mut w =
+                ZipfPageWorkload::new(8_000, 0.99, 1_200_000, 42).with_shift(100_000_000, 0.9);
             let pages = tiering_trace::Workload::footprint_pages(&w, PageSize::Base4K);
             let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
             let mut policy = build_policy(kind, &tier_cfg);
@@ -490,8 +332,10 @@ mod tests {
 
     #[test]
     fn count_probe_distribution_sums_to_address_space() {
-        let mut cfg = SimConfig::default();
-        cfg.count_probe = true;
+        let cfg = SimConfig {
+            count_probe: true,
+            ..SimConfig::default()
+        };
         let mut w = ZipfPageWorkload::new(500, 0.99, 50_000, 3);
         let pages = tiering_trace::Workload::footprint_pages(&w, PageSize::Base4K);
         let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);

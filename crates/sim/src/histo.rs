@@ -183,7 +183,10 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 200);
         let p50 = a.p50();
-        assert!((64..=512).contains(&p50), "p50 {p50} should sit between ranges");
+        assert!(
+            (64..=512).contains(&p50),
+            "p50 {p50} should sit between ranges"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ mod adaptation;
 mod engine;
 mod histo;
 mod hotness;
+mod pipeline;
 mod prefetch;
 mod report;
 

@@ -1,0 +1,421 @@
+//! The batched simulation pipeline.
+//!
+//! [`Engine::run`](crate::Engine::run) used to be one ~400-line loop making
+//! a virtual call into the workload per operation and a virtual call into
+//! the policy per access/sample. It is now a pipeline over
+//! [`AccessBatch`]es, split into stages:
+//!
+//! 1. **pull** — [`Workload::fill_batch`] emits up to
+//!    [`SimConfig::batch_ops`](crate::SimConfig::batch_ops) operations per
+//!    virtual call. A workload is batch-pulled only while its
+//!    [`batchable_now`](Workload::batchable_now) reports independence from
+//!    simulated time; otherwise the stage degrades to one op per pull, so
+//!    batching can never perturb time-triggered behaviour.
+//! 2. **access** — per access: page mapping, tier accounting, stream
+//!    detection, cache/memory latency. Fault-hook pages and PEBS samples are
+//!    *collected* here; [`Sampler::due_in`]/[`Sampler::skip`] step over
+//!    whole unsampled bursts in one comparison.
+//! 3. **policy** — the collected burst is delivered in two batched virtual
+//!    calls: [`TieringPolicy::on_access_batch`] (hint faults, charged to the
+//!    op) and [`TieringPolicy::on_sample_batch`]. This mirrors the real
+//!    runtime, which drains the PEBS buffer in runs (paper Algorithm 1)
+//!    rather than interrupting the application per record.
+//! 4. **migrate** — the periodic policy tick (cooling, watermark demotion).
+//! 5. **account** — migration-bandwidth and tiering-CPU interference
+//!    charges, metadata cache replay, clock advance, and latency windows.
+//!
+//! Batched and scalar execution share every stage, so for a fixed seed the
+//! two produce byte-identical [`SimReport`]s — asserted by the
+//! `batch_equivalence` integration tests.
+//!
+//! Compared to the legacy loop, stage 3 delivers a burst's policy events at
+//! burst end instead of interleaved between its accesses. Within one op the
+//! simulated clock does not advance, so event timestamps are unchanged;
+//! only intra-burst placement visibility shifts — the direction real
+//! systems already behave (fault service and sample drain complete after
+//! the touching instruction retires, not between two loads of one request).
+
+use cache_sim::{CacheConfig, CacheHierarchy, HierarchyStats, HitLevel, Source};
+use tiering_mem::{LatencyModel, MigrationStats, PageId, Tier, TierConfig, TieredMemory};
+use tiering_policies::{PolicyCtx, TieringPolicy};
+use tiering_trace::{Access, AccessBatch, Op, Sample, Sampler, Workload};
+
+use crate::histo::LogHistogram;
+use crate::hotness::{CountDistribution, RetentionProbe};
+use crate::prefetch::StreamPrefetcher;
+use crate::report::{CacheTimelinePoint, LatencySummary, SimReport, TimelinePoint};
+use crate::SimConfig;
+
+/// All mutable state of one simulation run, advanced stage by stage.
+pub(crate) struct Pipeline<'c> {
+    cfg: &'c SimConfig,
+    tier_cfg: TierConfig,
+    mem: TieredMemory,
+    sampler: Sampler,
+    ctx: PolicyCtx,
+    hier: Option<CacheHierarchy>,
+    meta_hier: Option<CacheHierarchy>,
+    latency: LatencyModel,
+
+    global_hist: LogHistogram,
+    window_hist: LogHistogram,
+    timeline: Vec<TimelinePoint>,
+    cache_timeline: Vec<CacheTimelinePoint>,
+    window_end: u64,
+    last_cache_stats: HierarchyStats,
+
+    counts: Vec<u8>,
+    retention: Option<RetentionProbe>,
+
+    prefetcher: StreamPrefetcher,
+    recent_pages: [u64; 16],
+    recent_cursor: usize,
+
+    now_ns: u64,
+    next_tick: u64,
+    ops: u64,
+    accesses: u64,
+    samples: u64,
+    fast_hits: u64,
+    mig_before: MigrationStats,
+
+    wants_hook: bool,
+    prefer: Tier,
+
+    /// Per-op collection buffers (reused; cleared each op).
+    sample_buf: Vec<Sample>,
+    fault_buf: Vec<PageId>,
+}
+
+impl<'c> Pipeline<'c> {
+    pub(crate) fn new(
+        cfg: &'c SimConfig,
+        tier_cfg: TierConfig,
+        policy: &dyn TieringPolicy,
+    ) -> Self {
+        let hier = cfg.cache.map(|c| CacheHierarchy::new(c.l1, c.llc));
+        // Dedicated metadata cache: the tiering thread's 32 KiB L1 plus a
+        // 256 KiB LLC slice (its fair share of a contended LLC).
+        let meta_hier = if hier.is_none() && cfg.metadata_cache {
+            Some(CacheHierarchy::new(
+                CacheConfig {
+                    size_bytes: 32 << 10,
+                    ways: 8,
+                    line_bytes: 64,
+                },
+                CacheConfig {
+                    size_bytes: 256 << 10,
+                    ways: 8,
+                    line_bytes: 64,
+                },
+            ))
+        } else {
+            None
+        };
+        Self {
+            mem: TieredMemory::new(tier_cfg),
+            sampler: Sampler::new(cfg.sample_period),
+            ctx: PolicyCtx::new(),
+            hier,
+            meta_hier,
+            latency: cfg.latency,
+            global_hist: LogHistogram::new(),
+            window_hist: LogHistogram::new(),
+            timeline: Vec::new(),
+            cache_timeline: Vec::new(),
+            window_end: cfg.window_ns,
+            last_cache_stats: HierarchyStats::default(),
+            counts: if cfg.count_probe {
+                vec![0; tier_cfg.address_space_pages as usize]
+            } else {
+                Vec::new()
+            },
+            retention: cfg.retention_probe.map(RetentionProbe::new),
+            prefetcher: StreamPrefetcher::new(),
+            recent_pages: [u64::MAX; 16],
+            recent_cursor: 0,
+            now_ns: 0,
+            next_tick: cfg.tick_interval_ns,
+            ops: 0,
+            accesses: 0,
+            samples: 0,
+            fast_hits: 0,
+            mig_before: MigrationStats::default(),
+            wants_hook: policy.wants_access_hook(),
+            prefer: policy.preferred_alloc_tier(),
+            sample_buf: Vec::with_capacity(16),
+            fault_buf: Vec::with_capacity(64),
+            cfg,
+            tier_cfg,
+        }
+    }
+
+    /// Whether the run has hit an op or simulated-time cap.
+    pub(crate) fn done(&self) -> bool {
+        self.ops >= self.cfg.max_ops || self.now_ns >= self.cfg.max_sim_ns
+    }
+
+    /// Stage 1 — pull: refills `batch` from the workload. Returns `false`
+    /// when the workload is exhausted.
+    ///
+    /// `max_ops` is the configured batch size; the pull degrades to a single
+    /// op whenever the workload's output may depend on the current clock.
+    pub(crate) fn stage_pull(
+        &mut self,
+        workload: &mut dyn Workload,
+        batch: &mut AccessBatch,
+        max_ops: usize,
+    ) -> bool {
+        batch.clear();
+        let budget = self.cfg.max_ops - self.ops; // done() guarantees > 0
+        let n = if workload.batchable_now() {
+            (max_ops as u64).min(budget).max(1) as usize
+        } else {
+            1
+        };
+        workload.fill_batch(self.now_ns, n, batch) > 0
+    }
+
+    /// Stages 2–5 for one operation of the current batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload emitted an address outside its declared
+    /// footprint (a workload bug worth failing loudly on).
+    pub(crate) fn stage_op(&mut self, policy: &mut dyn TieringPolicy, op: Op, accesses: &[Access]) {
+        let mut op_ns = op.cpu_ns;
+        op_ns += self.access_stage(accesses);
+        op_ns += self.policy_stage(policy);
+        self.migrate_stage(policy);
+        op_ns += self.account_stage();
+        self.advance(op_ns);
+    }
+
+    /// Stage 2 — access: replay the burst through mapping, stream
+    /// detection, and the cache/latency model; collect fault pages and PEBS
+    /// samples for the policy stage. Returns the nanoseconds charged.
+    fn access_stage(&mut self, accesses: &[Access]) -> u64 {
+        let cfg = self.cfg;
+        let mut burst_ns = 0;
+        self.fault_buf.clear();
+        self.sample_buf.clear();
+
+        // Whole-burst sampler fast path: if no sample can fall inside this
+        // burst, retire it with one counter adjustment.
+        let burst_len = accesses.len() as u64;
+        let mut sampling = true;
+        if u64::from(self.sampler.due_in()) > burst_len {
+            self.sampler.skip(burst_len as u32);
+            sampling = false;
+        }
+
+        for access in accesses {
+            let page = access.page(cfg.page_size);
+            let tier = self.mem.ensure_mapped(page, self.prefer);
+            self.accesses += 1;
+            if tier == Tier::Fast {
+                self.fast_hits += 1;
+            }
+
+            // Application access latency: through the cache if enabled;
+            // memory-level accesses that continue a detected sequential
+            // stream are charged the (bandwidth-bound) prefetched cost.
+            let streamed = self.prefetcher.observe(access.addr);
+            let memory_ns = if streamed {
+                self.latency.stream_ns(tier)
+            } else {
+                self.latency.access_ns(tier)
+            };
+            burst_ns += match &mut self.hier {
+                Some(h) => match h.access(access.addr, Source::App) {
+                    HitLevel::L1 => self.latency.l1_hit_ns,
+                    HitLevel::Llc => self.latency.llc_hit_ns,
+                    HitLevel::Memory => memory_ns,
+                },
+                None => memory_ns,
+            };
+
+            // Fault-hook collection (recency policies): delivered as one
+            // batch in the policy stage, charged to this op.
+            if self.wants_hook {
+                self.fault_buf.push(page);
+            }
+
+            // PEBS sampling.
+            if sampling {
+                if let Some(sample) =
+                    self.sampler
+                        .observe_full(access, tier, self.now_ns, cfg.page_size)
+                {
+                    // Burst filter: at real PEBS periods a sequential sweep
+                    // yields at most one sample per page, because the period
+                    // far exceeds a page's line count. Our scaled period is
+                    // dense enough that a streamed page would register
+                    // several times within microseconds; suppressing page
+                    // repeats within a short sample window restores the
+                    // hardware behaviour (momentum then measures sustained
+                    // intensity, not one sweep's burst).
+                    if self.recent_pages.contains(&sample.page.0) {
+                        continue;
+                    }
+                    self.recent_pages[self.recent_cursor] = sample.page.0;
+                    self.recent_cursor = (self.recent_cursor + 1) % self.recent_pages.len();
+                    self.samples += 1;
+                    if cfg.count_probe {
+                        let c = &mut self.counts[sample.page.0 as usize];
+                        *c = (*c + 1).min(15);
+                    }
+                    if let Some(r) = &mut self.retention {
+                        r.record(sample.page, self.now_ns);
+                    }
+                    self.sample_buf.push(sample);
+                }
+            }
+        }
+        burst_ns
+    }
+
+    /// Stage 3 — policy: deliver the burst's fault pages and samples in two
+    /// batched virtual calls. Returns fault-service nanoseconds charged to
+    /// the op.
+    fn policy_stage(&mut self, policy: &mut dyn TieringPolicy) -> u64 {
+        let mut hook_ns = 0;
+        if self.wants_hook && !self.fault_buf.is_empty() {
+            hook_ns =
+                policy.on_access_batch(&self.fault_buf, self.now_ns, &mut self.mem, &mut self.ctx);
+        }
+        if !self.sample_buf.is_empty() {
+            policy.on_sample_batch(&self.sample_buf, &mut self.mem, &mut self.ctx);
+        }
+        hook_ns
+    }
+
+    /// Stage 4 — migrate: the policy's periodic maintenance tick (promotion
+    /// flushes, cooling, watermark demotion scans).
+    fn migrate_stage(&mut self, policy: &mut dyn TieringPolicy) {
+        if self.now_ns >= self.next_tick {
+            policy.on_tick(self.now_ns, &mut self.mem, &mut self.ctx);
+            self.next_tick = self.now_ns + self.cfg.tick_interval_ns;
+        }
+    }
+
+    /// Stage 5 — account: charge asynchronous tiering costs (migration
+    /// bandwidth, tiering-thread CPU, metadata cache traffic) to the
+    /// application clock. Returns the nanoseconds charged.
+    fn account_stage(&mut self) -> u64 {
+        let cfg = self.cfg;
+        let mut charged = 0;
+        let mig_now = self.mem.stats();
+        let moved = (mig_now.promotions - self.mig_before.promotions)
+            + (mig_now.demotions - self.mig_before.demotions);
+        self.mig_before = mig_now;
+        if moved > 0 {
+            let mig_ns = moved * self.latency.migrate_page_ns(cfg.page_size);
+            charged += (mig_ns as f64 * cfg.migration_charge) as u64;
+        }
+        if self.ctx.tiering_work_ns > 0 {
+            charged += (self.ctx.tiering_work_ns as f64 * cfg.tiering_work_charge) as u64;
+        }
+        // Replay metadata traffic through the cache, attributed to the
+        // tiering runtime.
+        if let Some(h) = &mut self.hier {
+            for &line in &self.ctx.metadata_lines {
+                h.access(line, Source::Tiering);
+            }
+        } else if let Some(h) = &mut self.meta_hier {
+            let mut interference = 0u64;
+            for &line in &self.ctx.metadata_lines {
+                interference += match h.access(line, Source::Tiering) {
+                    HitLevel::L1 => 0,
+                    HitLevel::Llc => 6,
+                    HitLevel::Memory => 60,
+                };
+            }
+            charged += (interference as f64 * cfg.tiering_work_charge) as u64;
+        }
+        self.ctx.drain();
+        charged
+    }
+
+    /// Clock advance and latency-window bookkeeping after one op.
+    fn advance(&mut self, op_ns: u64) {
+        self.now_ns += op_ns.max(1);
+        self.ops += 1;
+        self.global_hist.record(op_ns);
+        self.window_hist.record(op_ns);
+
+        while self.now_ns >= self.window_end {
+            self.timeline.push(TimelinePoint {
+                t_ns: self.window_end,
+                p50_ns: self.window_hist.p50(),
+                mean_ns: self.window_hist.mean() as u64,
+                ops: self.window_hist.count(),
+            });
+            if let Some(h) = &self.hier {
+                let s = h.stats();
+                let dl1_t = s.l1.by(Source::Tiering).misses
+                    - self.last_cache_stats.l1.by(Source::Tiering).misses;
+                let dl1 = s.l1.total_misses() - self.last_cache_stats.l1.total_misses();
+                let dllc_t = s.llc.by(Source::Tiering).misses
+                    - self.last_cache_stats.llc.by(Source::Tiering).misses;
+                let dllc = s.llc.total_misses() - self.last_cache_stats.llc.total_misses();
+                self.cache_timeline.push(CacheTimelinePoint {
+                    t_ns: self.window_end,
+                    l1_tiering_frac: if dl1 == 0 {
+                        0.0
+                    } else {
+                        dl1_t as f64 / dl1 as f64
+                    },
+                    llc_tiering_frac: if dllc == 0 {
+                        0.0
+                    } else {
+                        dllc_t as f64 / dllc as f64
+                    },
+                });
+                self.last_cache_stats = s;
+            }
+            self.window_hist.clear();
+            self.window_end += self.cfg.window_ns;
+        }
+    }
+
+    /// Seals the run into a [`SimReport`].
+    pub(crate) fn finish(mut self, workload_name: &str, policy: &dyn TieringPolicy) -> SimReport {
+        // Final partial window.
+        if self.window_hist.count() > 0 {
+            self.timeline.push(TimelinePoint {
+                t_ns: self.now_ns,
+                p50_ns: self.window_hist.p50(),
+                mean_ns: self.window_hist.mean() as u64,
+                ops: self.window_hist.count(),
+            });
+        }
+
+        let untouched = self.tier_cfg.address_space_pages - self.mem.mapped_pages();
+        SimReport {
+            workload: workload_name.to_string(),
+            policy: policy.name().to_string(),
+            ops: self.ops,
+            accesses: self.accesses,
+            samples: self.samples,
+            sim_ns: self.now_ns,
+            latency: LatencySummary::from_histogram(&self.global_hist),
+            timeline: self.timeline,
+            cache_timeline: self.cache_timeline,
+            cache: self.hier.map(|h| h.stats()),
+            migrations: self.mem.stats(),
+            fast_hit_frac: if self.accesses == 0 {
+                0.0
+            } else {
+                self.fast_hits as f64 / self.accesses as f64
+            },
+            metadata_bytes: policy.metadata_bytes(),
+            count_distribution: if self.cfg.count_probe {
+                Some(CountDistribution::from_counts(&self.counts, untouched))
+            } else {
+                None
+            },
+            retention: self.retention.map(|r| r.finish(self.now_ns)),
+        }
+    }
+}

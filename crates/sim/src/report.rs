@@ -60,7 +60,10 @@ pub struct CacheTimelinePoint {
 }
 
 /// The complete result of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — the batch-equivalence and runner
+/// determinism tests rely on whole-report equality.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Workload name.
     pub workload: String,

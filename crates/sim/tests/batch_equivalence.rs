@@ -1,0 +1,124 @@
+//! The batched pipeline's defining contract: for a fixed seed, any batch
+//! size produces a **byte-identical** `SimReport` to the scalar
+//! (one-op-per-pull) reference path.
+//!
+//! This holds by construction — every pipeline stage is shared between the
+//! two paths, and workloads are batch-pulled only while their output is
+//! independent of simulated time — and these tests pin the construction.
+
+use tiering_mem::{PageSize, TierConfig, TierRatio};
+use tiering_policies::{build_policy, PolicyKind};
+use tiering_sim::{Engine, SimConfig, SimReport};
+use tiering_trace::Workload;
+use tiering_workloads::{build_workload, WorkloadId, ZipfPageWorkload};
+
+/// Field-by-field assertion so a regression names the diverging field
+/// instead of dumping two full reports.
+fn assert_reports_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.ops, b.ops, "{what}: ops");
+    assert_eq!(a.accesses, b.accesses, "{what}: accesses");
+    assert_eq!(a.samples, b.samples, "{what}: samples");
+    assert_eq!(a.sim_ns, b.sim_ns, "{what}: sim_ns");
+    assert_eq!(a.latency, b.latency, "{what}: latency summary");
+    assert_eq!(a.timeline, b.timeline, "{what}: timeline");
+    assert_eq!(a.cache_timeline, b.cache_timeline, "{what}: cache timeline");
+    assert_eq!(a.cache, b.cache, "{what}: cache stats");
+    assert_eq!(a.migrations, b.migrations, "{what}: migrations");
+    assert_eq!(a.fast_hit_frac, b.fast_hit_frac, "{what}: fast_hit_frac");
+    assert_eq!(a.metadata_bytes, b.metadata_bytes, "{what}: metadata_bytes");
+    assert_eq!(
+        a.count_distribution, b.count_distribution,
+        "{what}: count distribution"
+    );
+    assert_eq!(a.retention, b.retention, "{what}: retention");
+    assert_eq!(a, b, "{what}: full report");
+}
+
+fn run_zipf(config: &SimConfig, kind: PolicyKind, scalar: bool) -> SimReport {
+    // The shift keeps the workload time-sensitive (single-op pulls) for the
+    // first simulated 50 ms and batchable afterwards, covering both pull
+    // modes and the transition between them.
+    let mut w = ZipfPageWorkload::new(3_000, 0.99, 120_000, 11).with_shift(50_000_000, 0.8);
+    let pages = w.footprint_pages(PageSize::Base4K);
+    let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+    let mut policy = build_policy(kind, &tier_cfg);
+    let engine = Engine::new(config.clone());
+    if scalar {
+        engine.run_scalar(&mut w, policy.as_mut(), tier_cfg)
+    } else {
+        engine.run(&mut w, policy.as_mut(), tier_cfg)
+    }
+}
+
+/// Every policy family (CBF-sampling, exact-counter, fault-driven, and the
+/// caching-algorithm adaptations) through scalar vs default batch.
+#[test]
+fn batched_equals_scalar_across_policies() {
+    for kind in [
+        PolicyKind::HybridTier,
+        PolicyKind::Memtis,
+        PolicyKind::Tpp,
+        PolicyKind::AutoNuma,
+        PolicyKind::Arc,
+        PolicyKind::TwoQ,
+        PolicyKind::FirstTouch,
+    ] {
+        let config = SimConfig::default();
+        let scalar = run_zipf(&config, kind, true);
+        let batched = run_zipf(&config, kind, false);
+        assert_reports_identical(&scalar, &batched, &format!("{kind:?}"));
+    }
+}
+
+/// Batch size is purely a host-performance knob: odd, tiny, and huge batch
+/// sizes all reproduce the scalar report.
+#[test]
+fn batch_size_is_result_invariant() {
+    let scalar = run_zipf(&SimConfig::default(), PolicyKind::HybridTier, true);
+    for batch_ops in [2, 7, 64, 1024] {
+        let config = SimConfig::default().with_batch_ops(batch_ops);
+        let batched = run_zipf(&config, PolicyKind::HybridTier, false);
+        assert_reports_identical(&scalar, &batched, &format!("batch_ops={batch_ops}"));
+    }
+}
+
+/// The full evaluation suite (multi-access ops, fused batch overrides in
+/// the generators) through the cap-limited sweeps the harness runs.
+#[test]
+fn suite_workloads_equivalent_under_batching() {
+    for id in [
+        WorkloadId::CdnCacheLib,
+        WorkloadId::BfsKron,
+        WorkloadId::PrUniform,
+        WorkloadId::Roms,
+        WorkloadId::Silo,
+        WorkloadId::Xgboost,
+    ] {
+        let run = |scalar: bool| {
+            let mut w = build_workload(id, 0xA5F0_5EED);
+            let pages = w.footprint_pages(PageSize::Base4K);
+            let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+            let mut policy = build_policy(PolicyKind::HybridTier, &tier_cfg);
+            let engine = Engine::new(SimConfig::default().with_max_ops(30_000));
+            if scalar {
+                engine.run_scalar(w.as_mut(), policy.as_mut(), tier_cfg)
+            } else {
+                engine.run(w.as_mut(), policy.as_mut(), tier_cfg)
+            }
+        };
+        assert_reports_identical(&run(true), &run(false), &format!("{id:?}"));
+    }
+}
+
+/// Probes (count distribution, cache attribution) survive batching
+/// unchanged too — they observe per-access state inside the access stage.
+#[test]
+fn probes_equivalent_under_batching() {
+    let mut config = SimConfig::default().with_cache_sim().with_max_ops(60_000);
+    config.count_probe = true;
+    let scalar = run_zipf(&config, PolicyKind::Memtis, true);
+    let batched = run_zipf(&config, PolicyKind::Memtis, false);
+    assert_reports_identical(&scalar, &batched, "probes");
+    assert!(scalar.count_distribution.is_some());
+    assert!(scalar.cache.is_some());
+}

@@ -2,6 +2,8 @@
 
 use tiering_mem::{PageId, PageSize};
 
+use crate::batch::AccessBatch;
+
 /// One memory reference issued by the application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
@@ -110,6 +112,58 @@ pub trait Workload {
     fn footprint_pages(&self, size: PageSize) -> u64 {
         self.footprint_bytes().div_ceil(size.bytes())
     }
+
+    /// Whether the generator's upcoming output is independent of simulated
+    /// time — the engine batch-pulls operations (one virtual call for many
+    /// ops) only while this returns `true`, so batching can never perturb
+    /// time-triggered behaviour (hotness shifts, TTL expiry).
+    ///
+    /// The conservative default is `false` (pull one op at a time, exactly
+    /// the legacy behaviour). Generators that never consult `now_ns` —
+    /// or whose remaining time triggers have all fired — should override
+    /// this; all twelve suite workloads do.
+    fn batchable_now(&self) -> bool {
+        false
+    }
+
+    /// Emits up to `max_ops` operations into `batch` (appending), returning
+    /// how many were emitted. `0` means the workload is exhausted.
+    ///
+    /// The default implementation loops [`next_op`](Workload::next_op) (via
+    /// [`fill_batch_via_next_op`]); generators on hot sweep paths can
+    /// override it to amortize per-op setup (RNG loads, bounds checks)
+    /// across the whole batch. Overrides **must** emit exactly the
+    /// operations `max_ops` successive `next_op` calls would — equivalence
+    /// tests compare the two paths byte for byte.
+    fn fill_batch(&mut self, now_ns: u64, max_ops: usize, batch: &mut AccessBatch) -> usize {
+        fill_batch_via_next_op(self, now_ns, max_ops, batch)
+    }
+}
+
+/// The canonical op-by-op batch fill: loops [`Workload::next_op`] up to
+/// `max_ops` times. This is the [`Workload::fill_batch`] default; overrides
+/// that specialize only *some* phases (e.g. a pending time trigger forces
+/// the generic path) should fall back to this same function rather than
+/// re-implementing the loop.
+pub fn fill_batch_via_next_op<W: Workload + ?Sized>(
+    w: &mut W,
+    now_ns: u64,
+    max_ops: usize,
+    batch: &mut AccessBatch,
+) -> usize {
+    let mut emitted = 0;
+    while emitted < max_ops {
+        let buf = batch.begin_op();
+        match w.next_op(now_ns, buf) {
+            Some(op) => batch.commit_op(op),
+            None => {
+                batch.abort_op();
+                break;
+            }
+        }
+        emitted += 1;
+    }
+    emitted
 }
 
 impl<W: Workload + ?Sized> Workload for Box<W> {
@@ -123,6 +177,14 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn batchable_now(&self) -> bool {
+        (**self).batchable_now()
+    }
+
+    fn fill_batch(&mut self, now_ns: u64, max_ops: usize, batch: &mut AccessBatch) -> usize {
+        (**self).fill_batch(now_ns, max_ops, batch)
     }
 }
 

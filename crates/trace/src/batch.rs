@@ -1,0 +1,170 @@
+//! Fixed-size operation/access batches.
+//!
+//! The simulation engine's hot loop used to make one virtual call into the
+//! workload generator per operation. [`AccessBatch`] lets a workload emit up
+//! to a whole batch of operations — each with its burst of accesses — per
+//! virtual call, stored flat so the engine iterates plain slices.
+//!
+//! Batching never changes simulation results: a workload is batch-pulled
+//! only while it reports [`batchable_now`](crate::Workload::batchable_now)
+//! (its output does not depend on simulated time), so the operation stream
+//! is byte-identical to per-op pulls.
+
+use crate::access::{Access, Op};
+
+/// One operation's slot in a batch: its metadata plus the range of its
+/// accesses within the batch's flat access buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct OpRecord {
+    /// Operation metadata (kind + compute time).
+    pub op: Op,
+    /// Start index of this op's accesses in the flat buffer.
+    start: u32,
+    /// Number of accesses.
+    len: u32,
+}
+
+/// A batch of operations with their accesses stored contiguously.
+///
+/// Workloads fill a batch through [`begin_op`](AccessBatch::begin_op) /
+/// [`commit_op`](AccessBatch::commit_op); the engine drains it through
+/// [`iter`](AccessBatch::iter). Buffers are reused across batches — a
+/// cleared batch keeps its capacity, so steady-state operation emits no
+/// allocations.
+#[derive(Debug, Default, Clone)]
+pub struct AccessBatch {
+    accesses: Vec<Access>,
+    ops: Vec<OpRecord>,
+    pending_start: usize,
+}
+
+impl AccessBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with pre-sized buffers.
+    pub fn with_capacity(ops: usize, accesses: usize) -> Self {
+        Self {
+            accesses: Vec::with_capacity(accesses),
+            ops: Vec::with_capacity(ops),
+            pending_start: 0,
+        }
+    }
+
+    /// Clears the batch, keeping allocations.
+    pub fn clear(&mut self) {
+        self.accesses.clear();
+        self.ops.clear();
+        self.pending_start = 0;
+    }
+
+    /// Opens a new operation and returns the buffer its accesses should be
+    /// pushed into (the shared flat buffer; only push, never truncate).
+    ///
+    /// Follow with [`commit_op`](Self::commit_op) to record the operation or
+    /// [`abort_op`](Self::abort_op) to discard any pushed accesses (used
+    /// when the workload turns out to be exhausted).
+    #[inline]
+    pub fn begin_op(&mut self) -> &mut Vec<Access> {
+        self.pending_start = self.accesses.len();
+        &mut self.accesses
+    }
+
+    /// Seals the currently open operation.
+    #[inline]
+    pub fn commit_op(&mut self, op: Op) {
+        let start = self.pending_start;
+        self.ops.push(OpRecord {
+            op,
+            start: start as u32,
+            len: (self.accesses.len() - start) as u32,
+        });
+    }
+
+    /// Discards accesses pushed since the last [`begin_op`](Self::begin_op).
+    #[inline]
+    pub fn abort_op(&mut self) {
+        self.accesses.truncate(self.pending_start);
+    }
+
+    /// Pushes a complete single-access operation (the common case for
+    /// pointer-chasing workloads; avoids the begin/commit round trip).
+    #[inline]
+    pub fn push_single(&mut self, op: Op, access: Access) {
+        let start = self.accesses.len() as u32;
+        self.accesses.push(access);
+        self.ops.push(OpRecord { op, start, len: 1 });
+    }
+
+    /// Number of committed operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total accesses across all committed operations.
+    pub fn total_accesses(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Iterates `(op, accesses)` pairs in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = (Op, &[Access])> {
+        self.ops.iter().map(|r| {
+            let s = r.start as usize;
+            (r.op, &self.accesses[s..s + r.len as usize])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_iterate() {
+        let mut b = AccessBatch::with_capacity(4, 8);
+        let buf = b.begin_op();
+        buf.push(Access::read(0x1000));
+        buf.push(Access::write(0x2000));
+        b.commit_op(Op::read(50));
+        b.push_single(Op::compute(10), Access::read(0x3000));
+
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.total_accesses(), 3);
+        let ops: Vec<(Op, Vec<Access>)> = b.iter().map(|(op, a)| (op, a.to_vec())).collect();
+        assert_eq!(ops[0].1.len(), 2);
+        assert_eq!(ops[0].1[1], Access::write(0x2000));
+        assert_eq!(ops[1].0, Op::compute(10));
+        assert_eq!(ops[1].1, vec![Access::read(0x3000)]);
+    }
+
+    #[test]
+    fn abort_discards_partial_op() {
+        let mut b = AccessBatch::new();
+        b.push_single(Op::read(1), Access::read(0));
+        let buf = b.begin_op();
+        buf.push(Access::read(0x5000));
+        b.abort_op();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.total_accesses(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b = AccessBatch::with_capacity(2, 2);
+        for i in 0..100u64 {
+            b.push_single(Op::read(1), Access::read(i));
+        }
+        let cap = b.accesses.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.total_accesses(), 0);
+        assert_eq!(b.accesses.capacity(), cap);
+    }
+}

@@ -10,8 +10,13 @@
 //! * [`Workload`] — the trait every workload generator implements; the
 //!   simulation engine pulls operations from it lazily, so traces are never
 //!   materialized.
+//! * [`AccessBatch`] — fixed-size operation/access batches; workloads emit
+//!   many ops per virtual call through [`Workload::fill_batch`], and the
+//!   engine's pipeline stages iterate the flat access slices.
 //! * [`Sampler`] + [`SampleBuffer`] — the PEBS model: periodic sampling into
 //!   a bounded buffer that the tiering runtime drains (paper Algorithm 1).
+//!   [`Sampler::due_in`]/[`Sampler::skip`] let batch consumers step over
+//!   whole unsampled bursts in one operation.
 //!
 //! # Example
 //!
@@ -29,7 +34,9 @@
 #![warn(missing_debug_implementations)]
 
 mod access;
+mod batch;
 mod sampler;
 
-pub use access::{Access, Op, OpKind, Workload};
+pub use access::{fill_batch_via_next_op, Access, Op, OpKind, Workload};
+pub use batch::{AccessBatch, OpRecord};
 pub use sampler::{Sample, SampleBuffer, Sampler};

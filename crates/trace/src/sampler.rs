@@ -55,6 +55,32 @@ impl Sampler {
         self.period
     }
 
+    /// How many more accesses until the next one is sampled (≥ 1).
+    ///
+    /// Lets the engine's batched pipeline decide in one comparison whether
+    /// an operation's access burst contains any sample at all — the common
+    /// case at realistic periods is that it does not, and the whole
+    /// per-access sampling path is skipped via [`skip`](Self::skip).
+    #[inline]
+    pub fn due_in(&self) -> u32 {
+        self.countdown
+    }
+
+    /// Advances the sampler past `n` unsampled accesses in one step.
+    ///
+    /// Equivalent to `n` calls to [`observe`](Self::observe) that all return
+    /// `None`; callers must ensure `n < due_in()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `n >= due_in()` — that would silently drop
+    /// a due sample.
+    #[inline]
+    pub fn skip(&mut self, n: u32) {
+        debug_assert!(n < self.countdown, "skip({n}) would cross a due sample");
+        self.countdown -= n;
+    }
+
     /// Observes one access; returns its address if this access is sampled.
     #[inline]
     pub fn observe(&mut self, access: &Access) -> Option<u64> {

@@ -262,7 +262,11 @@ impl Workload for CacheLibWorkload {
 
         // Compute cost grows mildly with object size (checksum/copy).
         let cpu = 200 + size / 64;
-        Some(if is_set { Op::write(cpu) } else { Op::read(cpu) })
+        Some(if is_set {
+            Op::write(cpu)
+        } else {
+            Op::read(cpu)
+        })
     }
 
     fn footprint_bytes(&self) -> u64 {
@@ -271,6 +275,13 @@ impl Workload for CacheLibWorkload {
 
     fn name(&self) -> &str {
         self.config.name
+    }
+
+    fn batchable_now(&self) -> bool {
+        // Shift events are the only clock-driven behaviour; background churn
+        // triggers on the op counter, which advances identically whether ops
+        // are pulled one at a time or in batches.
+        self.next_shift >= self.config.shifts.len()
     }
 }
 
@@ -292,7 +303,7 @@ mod tests {
         let expect_min = 2_000 * 4096;
         assert!(w.footprint_bytes() > expect_min as u64);
         // Every object lies inside the heap region.
-        let last = (w.object_offset[1999] + w.object_size[1999] as u64) as u64;
+        let last = w.object_offset[1999] + w.object_size[1999] as u64;
         assert!(last <= w.heap.bytes());
     }
 
@@ -310,9 +321,7 @@ mod tests {
             assert!(!body.is_empty());
             for pair in body.windows(2) {
                 assert!(pair[0].addr < pair[1].addr);
-                assert!(
-                    pair[1].page(PageSize::Base4K).0 - pair[0].page(PageSize::Base4K).0 == 1
-                );
+                assert!(pair[1].page(PageSize::Base4K).0 - pair[0].page(PageSize::Base4K).0 == 1);
             }
             let _ = op;
         }

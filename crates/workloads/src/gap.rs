@@ -253,7 +253,16 @@ impl Workload for BfsWorkload {
             // Reset done: start the trial.
             self.reset_cursor = None;
             self.parent.fill(NO_PARENT);
-            let source = self.rng.gen_range(0..self.graph.num_nodes());
+            // GAP picks sources with outgoing edges (a zero-degree source
+            // makes the trial trivial); bound the retries so a pathological
+            // edgeless graph still terminates.
+            let mut source = self.rng.gen_range(0..self.graph.num_nodes());
+            for _ in 0..64 {
+                if self.graph.degree(source) > 0 {
+                    break;
+                }
+                source = self.rng.gen_range(0..self.graph.num_nodes());
+            }
             self.parent[source as usize] = source;
             self.queue.push_back(source);
         }
@@ -295,6 +304,10 @@ impl Workload for BfsWorkload {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn batchable_now(&self) -> bool {
+        true // never consults simulated time
     }
 }
 
@@ -385,6 +398,10 @@ impl Workload for CcWorkload {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn batchable_now(&self) -> bool {
+        true // never consults simulated time
+    }
 }
 
 /// PageRank (push variant): per vertex, scatter `pr[u]/deg(u)` to all
@@ -472,6 +489,10 @@ impl Workload for PrWorkload {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn batchable_now(&self) -> bool {
+        true // never consults simulated time
     }
 }
 

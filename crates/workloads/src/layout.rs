@@ -36,7 +36,11 @@ impl Region {
     /// Panics in debug builds if `offset` is out of range.
     #[inline]
     pub fn addr(&self, offset: u64) -> u64 {
-        debug_assert!(offset < self.bytes, "offset {offset} beyond region {}", self.bytes);
+        debug_assert!(
+            offset < self.bytes,
+            "offset {offset} beyond region {}",
+            self.bytes
+        );
         self.base + offset
     }
 

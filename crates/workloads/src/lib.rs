@@ -38,9 +38,9 @@ mod zipf;
 pub use cachelib::{CacheLibConfig, CacheLibWorkload, ShiftEvent};
 pub use gap::{BfsWorkload, CcWorkload, Graph, GraphKind, PrWorkload};
 pub use layout::{LayoutBuilder, Region};
+pub use silo::{SiloConfig, SiloWorkload};
 pub use spec::{BwavesWorkload, RomsWorkload};
 pub use suite::{build_workload, WorkloadId};
 pub use synthetic::{PulseWorkload, SequentialScanWorkload, ZipfPageWorkload};
 pub use xgboost::{XgboostConfig, XgboostWorkload};
 pub use zipf::{ShiftableZipf, ZipfDistribution};
-pub use silo::{SiloConfig, SiloWorkload};

@@ -125,6 +125,10 @@ impl Workload for SiloWorkload {
     fn name(&self) -> &str {
         "silo-ycsbc"
     }
+
+    fn batchable_now(&self) -> bool {
+        true // never consults simulated time
+    }
 }
 
 #[cfg(test)]

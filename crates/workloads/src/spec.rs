@@ -77,6 +77,10 @@ impl Workload for BwavesWorkload {
     fn name(&self) -> &str {
         "spec-bwaves"
     }
+
+    fn batchable_now(&self) -> bool {
+        true // never consults simulated time
+    }
 }
 
 /// Proxy for SPEC CPU 2017 654.roms (3-D stencil ocean model).
@@ -153,6 +157,10 @@ impl Workload for RomsWorkload {
 
     fn name(&self) -> &str {
         "spec-roms"
+    }
+
+    fn batchable_now(&self) -> bool {
+        true // never consults simulated time
     }
 }
 

@@ -101,9 +101,9 @@ fn gap_graph(kind: GraphKind, seed: u64) -> Graph {
 /// each policy against an identical access stream.
 pub fn build_workload(id: WorkloadId, seed: u64) -> Box<dyn Workload> {
     match id {
-        WorkloadId::CdnCacheLib => Box::new(CacheLibWorkload::new(
-            CacheLibConfig::cdn().with_seed(seed),
-        )),
+        WorkloadId::CdnCacheLib => {
+            Box::new(CacheLibWorkload::new(CacheLibConfig::cdn().with_seed(seed)))
+        }
         WorkloadId::SocialCacheLib => Box::new(CacheLibWorkload::new(
             CacheLibConfig::social_graph().with_seed(seed),
         )),
@@ -118,13 +118,15 @@ pub fn build_workload(id: WorkloadId, seed: u64) -> Box<dyn Workload> {
             seed ^ 1,
         )),
         WorkloadId::CcKron => Box::new(CcWorkload::new(gap_graph(GraphKind::Kronecker, seed), 6)),
-        WorkloadId::CcUniform => {
-            Box::new(CcWorkload::new(gap_graph(GraphKind::UniformRandom, seed), 6))
-        }
+        WorkloadId::CcUniform => Box::new(CcWorkload::new(
+            gap_graph(GraphKind::UniformRandom, seed),
+            6,
+        )),
         WorkloadId::PrKron => Box::new(PrWorkload::new(gap_graph(GraphKind::Kronecker, seed), 6)),
-        WorkloadId::PrUniform => {
-            Box::new(PrWorkload::new(gap_graph(GraphKind::UniformRandom, seed), 6))
-        }
+        WorkloadId::PrUniform => Box::new(PrWorkload::new(
+            gap_graph(GraphKind::UniformRandom, seed),
+            6,
+        )),
         WorkloadId::Bwaves => Box::new(BwavesWorkload::new(96 << 20, 6)),
         WorkloadId::Roms => Box::new(RomsWorkload::new(1 << 20, 48, 4)),
         WorkloadId::Silo => Box::new(SiloWorkload::new(SiloConfig {
@@ -178,14 +180,21 @@ mod tests {
 
     #[test]
     fn footprints_are_scaled_but_nontrivial() {
-        for id in [WorkloadId::CdnCacheLib, WorkloadId::Bwaves, WorkloadId::Xgboost] {
+        for id in [
+            WorkloadId::CdnCacheLib,
+            WorkloadId::Bwaves,
+            WorkloadId::Xgboost,
+        ] {
             let w = build_workload(id, 1);
             let pages = w.footprint_pages(PageSize::Base4K);
             assert!(
                 pages > 10_000,
                 "{id:?} only {pages} pages — too small for tiering to matter"
             );
-            assert!(pages < 300_000, "{id:?} {pages} pages — too big to simulate");
+            assert!(
+                pages < 300_000,
+                "{id:?} {pages} pages — too big to simulate"
+            );
         }
     }
 }

@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use tiering_trace::{Access, Op, Workload};
+use tiering_trace::{fill_batch_via_next_op, Access, AccessBatch, Op, Workload};
 
 use crate::layout::LayoutBuilder;
 use crate::zipf::ShiftableZipf;
@@ -79,6 +79,29 @@ impl Workload for ZipfPageWorkload {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn batchable_now(&self) -> bool {
+        // Time-independent once the (single) scheduled shift has fired.
+        self.shift_at_ns.is_none()
+    }
+
+    fn fill_batch(&mut self, now_ns: u64, max_ops: usize, batch: &mut AccessBatch) -> usize {
+        // Batch fast path: the per-op shift check, region base, and rank
+        // table are hoisted out of the loop. Only valid while batchable —
+        // fall back to the generic path when a shift is still pending so the
+        // trigger is evaluated against fresh time every op.
+        if self.shift_at_ns.is_some() {
+            return fill_batch_via_next_op(self, now_ns, max_ops, batch);
+        }
+        let n = max_ops.min(self.ops_remaining as usize);
+        self.ops_remaining -= n as u64;
+        let op = Op::read(self.cpu_ns);
+        for _ in 0..n {
+            let page = self.zipf.sample(&mut self.rng) as u64;
+            batch.push_single(op, Access::read(self.region.addr(page * 4096)));
+        }
+        n
+    }
 }
 
 /// A page accessed at a fixed rate for a fixed duration, then never again —
@@ -144,6 +167,10 @@ impl Workload for PulseWorkload {
     fn name(&self) -> &str {
         "pulse"
     }
+
+    fn batchable_now(&self) -> bool {
+        true // pacing comes from op cpu time, not from reading the clock
+    }
 }
 
 /// A pure sequential scan over the whole footprint, repeated for a number of
@@ -196,6 +223,29 @@ impl Workload for SequentialScanWorkload {
 
     fn name(&self) -> &str {
         "seq-scan"
+    }
+
+    fn batchable_now(&self) -> bool {
+        true
+    }
+
+    fn fill_batch(&mut self, _now_ns: u64, max_ops: usize, batch: &mut AccessBatch) -> usize {
+        let bytes = self.region.bytes();
+        let op = Op::compute(20);
+        let mut emitted = 0;
+        while emitted < max_ops {
+            if self.passes_remaining == 0 {
+                break;
+            }
+            batch.push_single(op, Access::read(self.region.addr(self.cursor)));
+            self.cursor += self.stride;
+            if self.cursor >= bytes {
+                self.cursor = 0;
+                self.passes_remaining -= 1;
+            }
+            emitted += 1;
+        }
+        emitted
     }
 }
 

@@ -159,6 +159,10 @@ impl Workload for XgboostWorkload {
     fn name(&self) -> &str {
         "xgboost"
     }
+
+    fn batchable_now(&self) -> bool {
+        true // never consults simulated time
+    }
 }
 
 #[cfg(test)]

@@ -209,7 +209,10 @@ mod tests {
         // Rank 0 should see ~ mass(0) fraction of draws.
         let expect0 = z.head_mass(1);
         let got0 = counts[0] as f64 / draws as f64;
-        assert!((got0 - expect0).abs() < 0.01, "got {got0}, expect {expect0}");
+        assert!(
+            (got0 - expect0).abs() < 0.01,
+            "got {got0}, expect {expect0}"
+        );
         // Monotone-ish: rank 0 >> rank 50.
         assert!(counts[0] > counts[50] * 10);
     }
@@ -229,9 +232,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let moved = z.shift(2.0 / 3.0, &mut rng);
         assert!(moved > 0);
-        let changed = (0..100)
-            .filter(|&r| z.item_at_rank(r) != before[r])
-            .count();
+        let changed = (0..100).filter(|&r| z.item_at_rank(r) != before[r]).count();
         // Roughly 2/3 of the inspected head ranks changed identity.
         assert!(changed > 40, "only {changed}/100 head ranks changed");
     }

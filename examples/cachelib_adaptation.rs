@@ -2,9 +2,10 @@
 //!
 //! Reproduces the paper's Figure 4 scenario interactively: a CacheLib CDN
 //! workload runs in steady state until, at t = 2 s, two thirds of the hot
-//! objects turn cold and a new hot set emerges. The example prints each
-//! system's windowed mean latency so the recovery (or failure to recover)
-//! is visible directly in the terminal.
+//! objects turn cold and a new hot set emerges. All three systems simulate
+//! concurrently through the sweep runner; the example prints each system's
+//! windowed mean latency so the recovery (or failure to recover) is visible
+//! directly in the terminal.
 //!
 //! Usage: `cargo run --release --example cachelib_adaptation`
 
@@ -12,28 +13,51 @@ use hybridtier::prelude::*;
 
 const SHIFT_NS: u64 = 2_000_000_000;
 
-fn run(kind: PolicyKind) -> SimReport {
-    let mut workload = CacheLibWorkload::new(
-        CacheLibConfig::cdn()
-            .with_uniform_size(16 << 10)
-            .without_churn()
-            .with_seed(7)
-            .with_shift(SHIFT_NS, 2.0 / 3.0),
-    );
-    let pages = workload.footprint_pages(PageSize::Base4K);
-    let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo16, PageSize::Base4K);
-    let mut policy = build_policy(kind, &tier_cfg);
-    let mut cfg = SimConfig::default();
-    cfg.window_ns = 200_000_000;
-    cfg.max_sim_ns = 7_000_000_000;
-    Engine::new(cfg).run(&mut workload, policy.as_mut(), tier_cfg)
-}
-
 fn main() {
-    let systems = [PolicyKind::AutoNuma, PolicyKind::Memtis, PolicyKind::HybridTier];
-    let reports: Vec<SimReport> = systems.iter().map(|&k| run(k)).collect();
+    let workload = WorkloadSpec::custom("CDN-shift", |seed| {
+        Box::new(CacheLibWorkload::new(
+            CacheLibConfig::cdn()
+                .with_uniform_size(16 << 10)
+                .without_churn()
+                .with_seed(seed)
+                .with_shift(SHIFT_NS, 2.0 / 3.0),
+        ))
+    });
+    let cfg = SimConfig {
+        window_ns: 200_000_000,
+        max_sim_ns: 7_000_000_000,
+        ..SimConfig::default()
+    };
 
-    println!("windowed mean op latency (ns); hotness shift at t = 2.0 s\n");
+    let systems = [
+        PolicyKind::AutoNuma,
+        PolicyKind::Memtis,
+        PolicyKind::HybridTier,
+    ];
+    let sweep = SweepRunner::new(0).run(
+        systems
+            .iter()
+            .map(|&kind| {
+                Scenario::new(
+                    kind.label(),
+                    workload.clone(),
+                    PolicySpec::Kind(kind),
+                    TierSpec::Ratio(TierRatio::OneTo16),
+                    &cfg,
+                    7,
+                )
+            })
+            .collect(),
+    );
+    let reports: Vec<&SimReport> = sweep.results.iter().map(|r| &r.report).collect();
+
+    println!(
+        "windowed mean op latency (ns); hotness shift at t = 2.0 s \
+         ({} runs in {:.2}s on {} threads)\n",
+        sweep.results.len(),
+        sweep.wall.as_secs_f64(),
+        sweep.threads
+    );
     print!("{:>6}", "t(s)");
     for r in &reports {
         print!(" {:>11}", r.policy);

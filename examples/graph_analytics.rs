@@ -4,7 +4,8 @@
 //! BFS is the interesting one for tiering: every trial starts from a new
 //! random source, so the hot frontier moves — exactly the "shifting hot
 //! set" regime where HybridTier's momentum tracker earns its keep
-//! (paper §6.1: largest GAP speedups on BFS).
+//! (paper §6.1: largest GAP speedups on BFS). The four systems simulate
+//! concurrently through the sweep runner.
 //!
 //! Usage: `cargo run --release --example graph_analytics [scale]`
 
@@ -24,28 +25,52 @@ fn main() {
         graph.csr_bytes() >> 20
     );
 
-    let make = || BfsWorkload::new(Graph::kronecker(scale, 16, 1), 4, 99);
-    let pages = make().footprint_pages(PageSize::Base4K);
-
-    println!("\nBFS, 4 random-source trials, fast:slow = 1:8");
-    println!("{:<12} {:>12} {:>10} {:>12}", "policy", "runtime (s)", "fast-hit", "migrations");
-    let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
-    let mut baseline_runtime = None;
-    for kind in [
+    let workload = WorkloadSpec::custom("bfs-K", move |seed| {
+        Box::new(BfsWorkload::new(Graph::kronecker(scale, 16, 1), 4, seed))
+    });
+    let kinds = [
         PolicyKind::FirstTouch,
         PolicyKind::Tpp,
         PolicyKind::Memtis,
         PolicyKind::HybridTier,
-    ] {
-        let mut workload = make();
-        let mut policy = build_policy(kind, &tier_cfg);
-        let report = Engine::new(SimConfig::default()).run(&mut workload, policy.as_mut(), tier_cfg);
-        let speedup = match baseline_runtime {
-            None => {
-                baseline_runtime = Some(report.sim_ns);
-                String::new()
-            }
-            Some(base) => format!("  ({:.2}x vs first-touch)", base as f64 / report.sim_ns as f64),
+    ];
+    let sweep = SweepRunner::new(0).run(
+        kinds
+            .iter()
+            .map(|&kind| {
+                Scenario::new(
+                    kind.label(),
+                    workload.clone(),
+                    PolicySpec::Kind(kind),
+                    TierSpec::Ratio(TierRatio::OneTo8),
+                    &SimConfig::default(),
+                    99,
+                )
+            })
+            .collect(),
+    );
+
+    println!(
+        "\nBFS, 4 random-source trials, fast:slow = 1:8 \
+         ({} runs in {:.2}s on {} threads)",
+        sweep.results.len(),
+        sweep.wall.as_secs_f64(),
+        sweep.threads
+    );
+    println!(
+        "{:<12} {:>12} {:>10} {:>12}",
+        "policy", "runtime (s)", "fast-hit", "migrations"
+    );
+    let baseline_runtime = sweep.results[0].report.sim_ns;
+    for (i, result) in sweep.results.iter().enumerate() {
+        let report = &result.report;
+        let speedup = if i == 0 {
+            String::new()
+        } else {
+            format!(
+                "  ({:.2}x vs first-touch)",
+                baseline_runtime as f64 / report.sim_ns as f64
+            )
         };
         println!(
             "{:<12} {:>12.3} {:>9.1}% {:>12}{speedup}",

@@ -13,7 +13,14 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Drives `ops` Zipf-distributed sampled accesses into a tenant.
-fn drive(controller: &mut GlobalController, idx: usize, zipf: &ZipfDistribution, ops: u64, t0: u64, rng: &mut SmallRng) {
+fn drive(
+    controller: &mut GlobalController,
+    idx: usize,
+    zipf: &ZipfDistribution,
+    ops: u64,
+    t0: u64,
+    rng: &mut SmallRng,
+) {
     let mut ctx = PolicyCtx::new();
     let tenant = controller.tenant_mut(idx);
     for i in 0..ops {
@@ -31,7 +38,9 @@ fn drive(controller: &mut GlobalController, idx: usize, zipf: &ZipfDistribution,
             &mut ctx,
         );
         if i % 1_000 == 0 {
-            tenant.policy.on_tick(t0 + i * 500, &mut tenant.mem, &mut ctx);
+            tenant
+                .policy
+                .on_tick(t0 + i * 500, &mut tenant.mem, &mut ctx);
         }
         ctx.drain();
     }
@@ -68,5 +77,7 @@ fn main() {
         controller.tenant(cache).mem.fast_used(),
         controller.tenant(batch).mem.fast_used()
     );
-    println!("(the controller follows demand; each tenant's watermark demotion drains over-quota pages)");
+    println!(
+        "(the controller follows demand; each tenant's watermark demotion drains over-quota pages)"
+    );
 }

@@ -1,8 +1,9 @@
-//! Compare all six tiering systems on one workload.
+//! Compare all six tiering systems on one workload — in parallel.
 //!
 //! Runs the paper's six-system comparison (Figure 9/10 style) on the
-//! CacheLib CDN workload at a chosen fast:slow ratio and prints a table of
-//! median latency, throughput, fast-tier hit rate, and migration volume.
+//! CacheLib CDN workload at a chosen fast:slow ratio through the parallel
+//! scenario runner: all simulations execute concurrently across the
+//! machine's cores and the table prints from the merged sweep report.
 //!
 //! Usage: `cargo run --release --example policy_comparison [1:16|1:8|1:4]`
 
@@ -16,13 +17,39 @@ fn main() {
     };
     let config = SimConfig::default().with_max_ops(400_000);
 
-    println!("CacheLib CDN @ {ratio} fast:slow — 400k ops, sampled 1/19");
+    // One scenario per system, plus the all-fast upper bound; the fixed
+    // seed means every system sees identical traffic.
+    let mut scenarios = ScenarioMatrix::new(config.clone(), 7)
+        .workloads([WorkloadId::CdnCacheLib])
+        .ratios([ratio])
+        .policies(PolicyKind::COMPARED)
+        .fixed_seed()
+        .build();
+    scenarios.push(Scenario::suite(
+        WorkloadId::CdnCacheLib,
+        PolicyKind::AllFast,
+        ratio,
+        &config,
+        7,
+    ));
+    let sweep = SweepRunner::new(0).run(scenarios);
+
+    println!(
+        "CacheLib CDN @ {ratio} fast:slow — 400k ops, sampled 1/19 \
+         ({} runs in {:.2}s on {} threads)",
+        sweep.results.len(),
+        sweep.wall.as_secs_f64(),
+        sweep.threads
+    );
     println!(
         "{:<12} {:>10} {:>12} {:>10} {:>12} {:>12}",
         "policy", "p50 (ns)", "Mop/s", "fast-hit", "promotions", "demotions"
     );
     for kind in PolicyKind::COMPARED {
-        let report = run_suite_experiment(WorkloadId::CdnCacheLib, kind, ratio, &config, 7);
+        let report = &sweep
+            .cell(WorkloadId::CdnCacheLib, ratio, kind)
+            .expect("cell in sweep")
+            .report;
         println!(
             "{:<12} {:>10} {:>12.3} {:>9.1}% {:>12} {:>12}",
             report.policy,
@@ -33,13 +60,10 @@ fn main() {
             report.migrations.demotions,
         );
     }
-    let upper = run_suite_experiment(
-        WorkloadId::CdnCacheLib,
-        PolicyKind::AllFast,
-        ratio,
-        &config,
-        7,
-    );
+    let upper = &sweep
+        .cell(WorkloadId::CdnCacheLib, ratio, PolicyKind::AllFast)
+        .expect("upper bound in sweep")
+        .report;
     println!(
         "{:<12} {:>10} {:>12.3} {:>9.1}%          (upper bound)",
         "AllFast",

@@ -1,8 +1,9 @@
 //! Quickstart: tier a skewed workload with HybridTier.
 //!
 //! Builds a Zipf-distributed page workload, gives it a fast tier an eighth
-//! of its footprint, runs HybridTier, and shows what tiering bought compared
-//! to static first-touch placement.
+//! of its footprint, runs HybridTier next to static first-touch placement
+//! (both scenarios execute in parallel through the sweep runner), and shows
+//! what tiering bought.
 //!
 //! Usage: `cargo run --release --example quickstart`
 
@@ -12,11 +13,10 @@ fn main() {
     // 8 000 pages (32 MiB), Zipf(0.99) popularity, 1.2M single-page ops,
     // with the hot set relocating mid-run — the regime static placement
     // cannot follow but an adaptive tiering system can.
-    let make_workload = || {
-        ZipfPageWorkload::new(8_000, 0.99, 1_200_000, 42).with_shift(100_000_000, 0.9)
-    };
-
-    let pages = make_workload().footprint_pages(PageSize::Base4K);
+    let workload = WorkloadSpec::custom("zipf-shift", |seed| {
+        Box::new(ZipfPageWorkload::new(8_000, 0.99, 1_200_000, seed).with_shift(100_000_000, 0.9))
+    });
+    let pages = ZipfPageWorkload::new(8_000, 0.99, 1, 42).footprint_pages(PageSize::Base4K);
     let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
     println!(
         "footprint {pages} pages, fast tier {} pages ({})",
@@ -24,21 +24,34 @@ fn main() {
         TierRatio::OneTo8
     );
 
-    let engine = Engine::new(SimConfig::default());
+    let config = SimConfig::default();
+    let scenarios = vec![
+        Scenario::new(
+            "first-touch",
+            workload.clone(),
+            PolicySpec::Kind(PolicyKind::FirstTouch),
+            TierSpec::Ratio(TierRatio::OneTo8),
+            &config,
+            42,
+        ),
+        Scenario::new(
+            "hybridtier",
+            workload,
+            PolicySpec::Kind(PolicyKind::HybridTier),
+            TierSpec::Ratio(TierRatio::OneTo8),
+            &config,
+            42,
+        ),
+    ];
+    let sweep = SweepRunner::new(0).run(scenarios);
+    let baseline = &sweep.results[0].report;
+    let tiered = &sweep.results[1].report;
 
-    // Static first-touch placement: whatever touched the fast tier first
-    // stays there.
-    let mut workload = make_workload();
-    let mut first_touch = build_policy(PolicyKind::FirstTouch, &tier_cfg);
-    let baseline = engine.run(&mut workload, first_touch.as_mut(), tier_cfg);
-
-    // HybridTier: dual CBF trackers + Table-1 migration policy.
-    let mut workload = make_workload();
-    let mut hybridtier = build_policy(PolicyKind::HybridTier, &tier_cfg);
-    let tiered = engine.run(&mut workload, hybridtier.as_mut(), tier_cfg);
-
-    println!("\n{:<12} {:>10} {:>10} {:>12}", "policy", "p50 (ns)", "fast-hit", "runtime (s)");
-    for r in [&baseline, &tiered] {
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>12}",
+        "policy", "p50 (ns)", "fast-hit", "runtime (s)"
+    );
+    for r in [baseline, tiered] {
         println!(
             "{:<12} {:>10} {:>9.1}% {:>12.3}",
             r.policy,
@@ -50,7 +63,7 @@ fn main() {
     println!(
         "\nHybridTier speedup over first-touch: {:.2}x \
          ({} promotions, {} demotions, {} KiB metadata)",
-        tiered.relative_performance(&baseline),
+        tiered.relative_performance(baseline),
         tiered.migrations.promotions,
         tiered.migrations.demotions,
         tiered.metadata_bytes / 1024,

@@ -37,41 +37,45 @@
 //! | [`cbf`] | counting Bloom filters (standard + blocked), sizing formulas |
 //! | [`cache`] | set-associative L1/LLC simulator with per-source attribution |
 //! | [`mem`] | tiers, page table, latency model, migration accounting |
-//! | [`trace`] | access/op abstractions, PEBS-like sampler |
+//! | [`trace`] | access/op abstractions, op/access batches, PEBS-like sampler |
 //! | [`workloads`] | the 12 evaluation workloads (Table 2) |
-//! | [`policies`] | HybridTier + Memtis, AutoNUMA, TPP, ARC, TwoQ |
-//! | [`sim`] | the simulation engine, reports, adaptation measurement |
+//! | [`policies`] | HybridTier + Memtis, AutoNUMA, TPP, ARC, TwoQ — all with batched ingestion hooks |
+//! | [`sim`] | the batched-pipeline simulation engine, reports, adaptation measurement |
+//! | [`runner`] | `Scenario` abstraction + parallel sweep driver (many simulations per run) |
 //!
 //! The benchmark harness regenerating every paper figure/table lives in the
 //! `hybridtier-bench` crate (`cargo run -p hybridtier-bench --release --bin
-//! repro -- all`).
+//! repro -- all`); its `bench` binary times the parallel sweep driver and
+//! emits machine-readable `BENCH_*.json`.
 
 pub use cache_sim as cache;
 pub use hybridtier_cbf as cbf;
 pub use tiering_mem as mem;
 pub use tiering_policies as policies;
+pub use tiering_runner as runner;
 pub use tiering_sim as sim;
 pub use tiering_trace as trace;
 pub use tiering_workloads as workloads;
 
 /// Everything needed to define and run a tiering experiment.
 pub mod prelude {
+    pub use crate::cache::{CacheConfig, CacheHierarchy, Source};
     pub use crate::cbf::{
         AccessCounter, BlockedCbf, CbfParams, CounterWidth, GroundTruthCounter, StandardCbf,
     };
-    pub use crate::cache::{CacheConfig, CacheHierarchy, Source};
     pub use crate::mem::{
         LatencyModel, MigrationError, PageId, PageSize, Tier, TierConfig, TierRatio, TieredMemory,
     };
     pub use crate::policies::{
-        build_policy, ArcPolicy, AutoNumaPolicy, HybridTierConfig, HybridTierPolicy,
-        MemtisPolicy, MigrationDecision, PolicyCtx, PolicyKind, TieringPolicy, TppPolicy,
-        TwoQPolicy,
+        build_policy, ArcPolicy, AutoNumaPolicy, HybridTierConfig, HybridTierPolicy, MemtisPolicy,
+        MigrationDecision, PolicyCtx, PolicyKind, TieringPolicy, TppPolicy, TwoQPolicy,
     };
-    pub use crate::sim::{
-        adaptation_time_ns, run_suite_experiment, Engine, SimConfig, SimReport,
+    pub use crate::runner::{
+        PolicySpec, Scenario, ScenarioMatrix, ScenarioResult, SweepReport, SweepRunner, TierSpec,
+        WorkloadSpec,
     };
-    pub use crate::trace::{Access, Op, Sample, Sampler, Workload};
+    pub use crate::sim::{adaptation_time_ns, run_suite_experiment, Engine, SimConfig, SimReport};
+    pub use crate::trace::{Access, AccessBatch, Op, Sample, Sampler, Workload};
     pub use crate::workloads::{
         build_workload, BfsWorkload, CacheLibConfig, CacheLibWorkload, Graph, GraphKind,
         PulseWorkload, SequentialScanWorkload, WorkloadId, ZipfDistribution, ZipfPageWorkload,

@@ -71,7 +71,10 @@ fn seeds_matter_but_shape_holds() {
     let b = run_zipf(PolicyKind::HybridTier, TierRatio::OneTo8, 200_000, 2);
     assert_ne!(a.sim_ns, b.sim_ns, "seeds should perturb the run");
     let ratio = a.sim_ns as f64 / b.sim_ns as f64;
-    assert!((0.8..1.25).contains(&ratio), "seed variance too large: {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "seed variance too large: {ratio}"
+    );
 }
 
 /// The suite builder wires every workload into the engine without panics and
@@ -103,7 +106,10 @@ fn huge_page_mode_runs() {
         7,
     );
     assert!(report.ops > 0);
-    assert!(report.migrations.promotions < 10_000, "2MiB pages migrate rarely");
+    assert!(
+        report.migrations.promotions < 10_000,
+        "2MiB pages migrate rarely"
+    );
 }
 
 /// Cache simulation attributes misses to both sources and the tiering
@@ -146,4 +152,47 @@ fn momentum_ablation_changes_behaviour() {
 
     assert_ne!(r_full.sim_ns, r_freq.sim_ns);
     assert_eq!(r_freq.policy, "HybridTier-onlyFreqCBF");
+}
+
+/// The parallel scenario runner through the facade: a sweep over suite
+/// workloads is deterministic, order-independent, and identical to serial
+/// execution — and a scenario's report matches a direct `Engine::run` of
+/// the same triple.
+#[test]
+fn parallel_sweep_matches_serial_and_direct_runs() {
+    let matrix = || {
+        ScenarioMatrix::new(SimConfig::default().with_max_ops(20_000), 7)
+            .workloads([WorkloadId::CdnCacheLib, WorkloadId::Silo])
+            .ratios([TierRatio::OneTo8])
+            .policies([PolicyKind::HybridTier, PolicyKind::Memtis, PolicyKind::Tpp])
+            .fixed_seed()
+            .build()
+    };
+    let parallel = SweepRunner::new(4).run(matrix());
+    let serial = SweepRunner::serial().run(matrix());
+    assert_eq!(parallel.results.len(), 6);
+    assert!(parallel.same_outcomes(&serial), "parallel != serial");
+
+    // Reversed submission order: per-label outcomes unchanged.
+    let mut reversed = matrix();
+    reversed.reverse();
+    let reordered = SweepRunner::new(4).run(reversed);
+    for r in &serial.results {
+        let other = reordered.find(&r.label).expect("label present");
+        assert!(r.same_outcome(other), "{} diverged on reorder", r.label);
+    }
+
+    // A sweep cell reproduces a direct engine run of the same triple.
+    let direct = run_suite_experiment(
+        WorkloadId::Silo,
+        PolicyKind::HybridTier,
+        TierRatio::OneTo8,
+        &SimConfig::default().with_max_ops(20_000),
+        7,
+    );
+    let cell = &serial
+        .cell(WorkloadId::Silo, TierRatio::OneTo8, PolicyKind::HybridTier)
+        .expect("cell present")
+        .report;
+    assert_eq!(cell, &direct, "runner diverged from direct engine run");
 }

@@ -14,7 +14,10 @@ fn metadata_reduction_and_scaling() {
         let cfg = TierConfig::for_footprint(footprint, ratio, PageSize::Base4K);
         let memtis = build_policy(PolicyKind::Memtis, &cfg).metadata_bytes();
         let ht = build_policy(PolicyKind::HybridTier, &cfg).metadata_bytes();
-        assert!(ht * 2 < memtis, "{ratio}: HybridTier {ht}B vs Memtis {memtis}B");
+        assert!(
+            ht * 2 < memtis,
+            "{ratio}: HybridTier {ht}B vs Memtis {memtis}B"
+        );
         reductions.push(memtis as f64 / ht as f64);
     }
     // Reduction is largest at 1:16 and shrinks toward 1:4 (paper: 7.8x→2.0x).
@@ -59,7 +62,10 @@ fn cbf_migration_decision_accuracy() {
 #[test]
 fn ema_lag_reproduces() {
     let series = hybridtier::policies::ema_lag_series(50, 10, 2, 30);
-    let drop = series.iter().position(|&s| s < 10).expect("eventually cools");
+    let drop = series
+        .iter()
+        .position(|&s| s < 10)
+        .expect("eventually cools");
     assert!(
         drop >= 15,
         "EMA stayed hot only until minute {drop}; paper shows ~19"
@@ -83,9 +89,11 @@ fn hybridtier_adapts_faster_than_memtis() {
         let pages = w.footprint_pages(PageSize::Base4K);
         let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo16, PageSize::Base4K);
         let mut policy = build_policy(kind, &tier_cfg);
-        let mut cfg = SimConfig::default();
-        cfg.window_ns = 100_000_000;
-        cfg.max_sim_ns = 3_000_000_000;
+        let cfg = SimConfig {
+            window_ns: 100_000_000,
+            max_sim_ns: 3_000_000_000,
+            ..SimConfig::default()
+        };
         Engine::new(cfg).run(&mut w, policy.as_mut(), tier_cfg)
     };
     let ht = run(PolicyKind::HybridTier);
