@@ -7,28 +7,34 @@
 //!
 //!   --json <path>     write BENCH json here (default results/BENCH_sweep.json)
 //!   --ops <n>         ops per scenario        (default 300000)
+//!   --sim-ms <n>      simulated ms per co-location scenario (default 100)
 //!   --threads <n>     parallel worker threads (default: all cores)
 //!   --serial-only     skip the parallel pass
 //!   --parallel-only   skip the serial pass (no speedup reported)
+//!   --no-colocation   skip the co-location sweep
 //! ```
 //!
 //! The JSON records wall-clock seconds for each mode, the speedup, the
 //! thread count, whether parallel results were byte-identical to serial,
-//! and the full per-scenario result/timing breakdown of the last pass run.
+//! and the full per-scenario result/timing breakdown of the last pass run —
+//! for both the single-tenant policy-comparison sweep and the multi-tenant
+//! co-location sweep (`"colocation"` section, with per-tenant detail).
 
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hybridtier_bench::policy_comparison_matrix;
-use tiering_runner::{SweepReport, SweepRunner};
+use hybridtier_bench::{colocation_matrix, policy_comparison_matrix};
+use tiering_runner::{Scenario, SweepReport, SweepRunner};
 
 struct Args {
     json: PathBuf,
     ops: u64,
+    sim_ms: u64,
     threads: usize,
     serial: bool,
     parallel: bool,
+    colocation: bool,
 }
 
 /// `Ok(None)` means `--help` was requested (exit success, no run).
@@ -36,9 +42,11 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         json: PathBuf::from("results/BENCH_sweep.json"),
         ops: 300_000,
+        sim_ms: 100,
         threads: 0,
         serial: true,
         parallel: true,
+        colocation: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -53,6 +61,13 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|e| format!("--ops: {e}"))?;
             }
+            "--sim-ms" => {
+                args.sim_ms = it
+                    .next()
+                    .ok_or("--sim-ms needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--sim-ms: {e}"))?;
+            }
             "--threads" => {
                 args.threads = it
                     .next()
@@ -62,46 +77,45 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--serial-only" => args.parallel = false,
             "--parallel-only" => args.serial = false,
+            "--no-colocation" => args.colocation = false,
             "--help" | "-h" => {
                 println!(
-                    "usage: bench [--json <path>] [--ops <n>] [--threads <n>] \
-                     [--serial-only] [--parallel-only]"
+                    "usage: bench [--json <path>] [--ops <n>] [--sim-ms <n>] [--threads <n>] \
+                     [--serial-only] [--parallel-only] [--no-colocation]"
                 );
                 return Ok(None);
             }
             other => return Err(format!("unknown flag '{other}'; try --help")),
         }
     }
+    if !args.serial && !args.parallel {
+        return Err("--serial-only and --parallel-only are mutually exclusive".to_string());
+    }
     Ok(Some(args))
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(Some(a)) => a,
-        Ok(None) => return ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let scenarios = policy_comparison_matrix(args.ops);
-    println!(
-        "policy-comparison sweep: {} scenarios x {} ops",
-        scenarios.len(),
-        args.ops
-    );
-
+/// Times one scenario list serial and/or parallel; returns the passes,
+/// whether they agreed, and the speedup.
+fn run_sweep(
+    name: &str,
+    args: &Args,
+    build: impl Fn() -> Vec<Scenario>,
+) -> (
+    Option<SweepReport>,
+    Option<SweepReport>,
+    Option<bool>,
+    Option<f64>,
+) {
+    println!("{name}: {} scenarios", build().len());
     let mut serial: Option<SweepReport> = None;
     if args.serial {
-        let sweep = SweepRunner::serial().run(policy_comparison_matrix(args.ops));
+        let sweep = SweepRunner::serial().run(build());
         println!("serial:   {:>8.2}s on 1 thread", sweep.wall.as_secs_f64());
         serial = Some(sweep);
     }
-
     let mut parallel: Option<SweepReport> = None;
     if args.parallel {
-        let sweep = SweepRunner::new(args.threads).run(scenarios);
+        let sweep = SweepRunner::new(args.threads).run(build());
         println!(
             "parallel: {:>8.2}s on {} threads",
             sweep.wall.as_secs_f64(),
@@ -109,14 +123,13 @@ fn main() -> ExitCode {
         );
         parallel = Some(sweep);
     }
-
     let identical = match (&serial, &parallel) {
         (Some(s), Some(p)) => {
             let same = s.same_outcomes(p);
             if same {
                 println!("parallel results identical to serial: yes");
             } else {
-                eprintln!("ERROR: parallel results diverged from serial");
+                eprintln!("ERROR: {name} parallel results diverged from serial");
             }
             Some(same)
         }
@@ -130,16 +143,23 @@ fn main() -> ExitCode {
         }
         _ => None,
     };
+    (serial, parallel, identical, speedup)
+}
 
-    // Assemble the BENCH json around the richer of the two sweep reports.
+/// Serializes one sweep's timing block (shared by both sweeps' JSON).
+fn sweep_json(
+    serial: &Option<SweepReport>,
+    parallel: &Option<SweepReport>,
+    identical: Option<bool>,
+    speedup: Option<f64>,
+) -> String {
     let detail = parallel.as_ref().or(serial.as_ref()).expect("one pass ran");
-    let mut json = String::from("{\"bench\":\"policy_comparison_sweep\"");
-    json.push_str(&format!(",\"ops_per_scenario\":{}", args.ops));
-    json.push_str(&format!(",\"scenarios\":{}", detail.results.len()));
-    if let Some(s) = &serial {
+    let mut json = String::new();
+    json.push_str(&format!("{{\"scenarios\":{}", detail.results.len()));
+    if let Some(s) = serial {
         json.push_str(&format!(",\"serial_s\":{:.6}", s.wall.as_secs_f64()));
     }
-    if let Some(p) = &parallel {
+    if let Some(p) = parallel {
         json.push_str(&format!(
             ",\"parallel_s\":{:.6},\"threads\":{}",
             p.wall.as_secs_f64(),
@@ -155,6 +175,49 @@ fn main() -> ExitCode {
     json.push_str(",\"sweep\":");
     json.push_str(&detail.to_json());
     json.push('}');
+    json
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (serial, parallel, identical, speedup) = run_sweep(
+        &format!("policy-comparison sweep ({} ops/scenario)", args.ops),
+        &args,
+        || policy_comparison_matrix(args.ops),
+    );
+
+    let mut colo = None;
+    if args.colocation {
+        println!();
+        let sim_ns = args.sim_ms * 1_000_000;
+        colo = Some(run_sweep(
+            &format!("co-location sweep ({} simulated ms/scenario)", args.sim_ms),
+            &args,
+            || colocation_matrix(sim_ns),
+        ));
+    }
+
+    // Assemble the BENCH json around the richer of each sweep's reports.
+    // Timing fields live under "single"/"colocation" per sweep (the PR-1
+    // format had them at top level; CHANGES.md records the move).
+    let mut json = String::from("{\"bench\":\"policy_comparison_sweep\"");
+    json.push_str(&format!(",\"ops_per_scenario\":{}", args.ops));
+    let head = sweep_json(&serial, &parallel, identical, speedup);
+    json.push_str(&format!(",\"single\":{head}"));
+    if let Some((s, p, id, x)) = &colo {
+        json.push_str(&format!(",\"colocation\":{}", sweep_json(s, p, *id, *x)));
+    }
+    json.push('}');
+
+    let colo_identical = colo.as_ref().and_then(|(_, _, id, _)| *id);
 
     if let Some(dir) = args.json.parent() {
         if !dir.as_os_str().is_empty() {
@@ -172,7 +235,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if identical == Some(false) {
+    if identical == Some(false) || colo_identical == Some(false) {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

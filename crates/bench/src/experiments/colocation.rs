@@ -1,0 +1,53 @@
+//! Global memory tiering across co-located tenants (paper §7).
+//!
+//! The paper sketches — but does not evaluate — a central controller that
+//! re-partitions the fast tier across HybridTier instances. This experiment
+//! produces the figure that evaluation would have shown: the per-tenant
+//! fast-quota trajectory as a mostly idle tenant wakes up next to a hot
+//! cache tenant, using the exact scenario the `multi_tenant` example runs
+//! (`Scenario::wakeup_demo`), so the printed trajectory and the example's
+//! output are the same numbers.
+
+use std::io;
+use std::path::Path;
+
+use tiering_runner::{Scenario, SweepRunner};
+
+use crate::output::{f3, print_header, CsvWriter};
+use crate::{colocation_config, SEED};
+
+/// §7: the wake-up quota trajectory plus per-tenant service quality.
+pub fn sec7(out: &Path) -> io::Result<()> {
+    print_header(
+        "sec7",
+        "global controller quota trajectory across a tenant wake-up",
+    );
+    let sweep = SweepRunner::new(0).run(vec![Scenario::wakeup_demo(&colocation_config(), SEED)]);
+    let result = &sweep.results[0];
+    let multi = result
+        .multi
+        .as_ref()
+        .expect("wakeup demo is a co-location scenario");
+
+    let mut csv = CsvWriter::create(out, "sec7")?;
+    csv.row([
+        "t_ms",
+        "cache_demand",
+        "batch_demand",
+        "cache_quota",
+        "batch_quota",
+    ])?;
+    for e in &multi.rebalances {
+        csv.row([
+            f3(e.at_ns as f64 / 1e6),
+            e.demands[0].to_string(),
+            e.demands[1].to_string(),
+            e.quotas[0].to_string(),
+            e.quotas[1].to_string(),
+        ])?;
+    }
+    print!("{}", multi.summary());
+    let path = csv.finish()?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -2,6 +2,7 @@
 
 pub mod adaptation;
 pub mod cache_overhead;
+pub mod colocation;
 pub mod metadata;
 pub mod motivation;
 pub mod performance;
@@ -81,6 +82,11 @@ pub const ALL: &[(&str, Runner, &str)] = &[
         "fig17",
         performance::fig17 as Runner,
         "momentum-threshold sensitivity",
+    ),
+    (
+        "sec7",
+        colocation::sec7 as Runner,
+        "global-controller quota trajectory across a tenant wake-up (§7)",
     ),
     (
         "table3",

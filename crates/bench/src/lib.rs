@@ -47,6 +47,38 @@ pub fn adaptation_config() -> SimConfig {
     }
 }
 
+/// Engine configuration for the §7 co-location experiments: a 100 ms
+/// horizon covering the 40 ms tenant wake-up plus several rebalance
+/// periods on each side.
+pub fn colocation_config() -> SimConfig {
+    SimConfig::default().with_max_sim_ns(100_000_000)
+}
+
+/// The co-location sweep the `bench` binary times serial-vs-parallel: the
+/// §7 wake-up pairing plus a suite pairing, across two budget sizings
+/// (4 multi-tenant scenarios, 2 tenants each).
+pub fn colocation_matrix(max_sim_ns: u64) -> Vec<tiering_runner::Scenario> {
+    use tiering_mem::TierRatio;
+    use tiering_policies::PolicyKind;
+    use tiering_runner::{BudgetSpec, CoLocationMatrix, Scenario, TenantSpec};
+    use tiering_workloads::WorkloadId;
+
+    CoLocationMatrix::new(SimConfig::default().with_max_sim_ns(max_sim_ns), SEED)
+        .pairing("cache+wakeup", Scenario::wakeup_demo_tenants())
+        .pairing(
+            "cdn+silo",
+            vec![
+                TenantSpec::suite("cdn", WorkloadId::CdnCacheLib, PolicyKind::HybridTier),
+                TenantSpec::suite("silo", WorkloadId::Silo, PolicyKind::HybridTier),
+            ],
+        )
+        .budgets([
+            BudgetSpec::Ratio(TierRatio::OneTo8),
+            BudgetSpec::Ratio(TierRatio::OneTo4),
+        ])
+        .build()
+}
+
 /// The policy-comparison sweep: both CacheLib workloads × all three tier
 /// ratios × the six compared systems (36 scenarios) — the matrix the `bench`
 /// binary times serial-vs-parallel and the examples run interactively.

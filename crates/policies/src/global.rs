@@ -6,54 +6,77 @@
 //! instance would report local hot/cold items to the central controller,
 //! which makes global promotion/demotion decisions." (paper §7)
 //!
-//! This module implements that sketch: a [`GlobalController`] owns the
-//! fast-tier budget and periodically re-partitions it across tenants in
-//! proportion to each tenant's *demonstrated* hot-set size, measured by its
-//! HybridTier frequency histogram. Each tenant runs an ordinary
-//! [`HybridTierPolicy`] against its own [`TieredMemory`] whose fast
-//! capacity is the controller-assigned quota.
+//! This module implements that sketch as a *coordinator*: a
+//! [`GlobalController`] owns the physical fast-tier budget and periodically
+//! re-partitions it across registered tenants in proportion to each
+//! tenant's reported demand (its demonstrated hot-set size, see
+//! [`TieringPolicy::fast_demand_pages`](crate::TieringPolicy::fast_demand_pages)).
+//! Every re-partition is recorded as a typed [`RebalanceEvent`], so callers
+//! get a full quota trajectory instead of a bare quota vector.
+//!
+//! The controller deliberately does **not** own tenant runtimes: the
+//! simulation engine (`tiering_sim::MultiTenantEngine`) drives each tenant
+//! through its own pipeline, collects demand signals, calls
+//! [`rebalance`](GlobalController::rebalance), and enforces the resulting
+//! quotas by resizing each tenant's fast tier (shrunk tenants drain through
+//! their policy's ordinary watermark demotion — quota enforcement rides the
+//! existing migration path, it is not a special mechanism).
 
 use tiering_mem::{PageSize, TierConfig, TieredMemory};
 
-use crate::hybridtier::{HybridTierConfig, HybridTierPolicy};
+/// Demands above this are clamped before apportioning (2^40 pages = 4 PiB of
+/// 4 KiB pages): keeps the exact 128-bit quota arithmetic overflow-free for
+/// any `u64` budget while being far beyond any real footprint.
+const DEMAND_CLAMP: u64 = 1 << 40;
 
-/// One tenant registered with the controller.
-#[derive(Debug)]
-pub struct Tenant {
-    /// Tenant name (reporting).
-    pub name: String,
-    /// The tenant's private tiering runtime.
-    pub policy: HybridTierPolicy,
-    /// The tenant's memory view; its fast capacity is the current quota.
-    pub mem: TieredMemory,
-    footprint_pages: u64,
+/// One quota re-partition, as a typed event.
+///
+/// The controller records every [`rebalance`](GlobalController::rebalance)
+/// as one of these; the vectors are indexed by tenant registration order.
+/// `PartialEq`/`Eq` make event traces directly comparable in determinism
+/// tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceEvent {
+    /// Simulated time the rebalance ran at.
+    pub at_ns: u64,
+    /// Demand signal per tenant as used for apportioning (clamped to
+    /// `[1, 2^40]`).
+    pub demands: Vec<u64>,
+    /// Fast-tier quota per tenant after the rebalance. Sums to exactly the
+    /// controller's budget.
+    pub quotas: Vec<u64>,
 }
 
-impl Tenant {
-    /// Pages this tenant's address space spans.
-    pub fn footprint_pages(&self) -> u64 {
-        self.footprint_pages
+impl RebalanceEvent {
+    /// Fast pages assigned in total (always the controller's full budget).
+    pub fn assigned(&self) -> u64 {
+        self.quotas.iter().sum()
     }
+}
 
-    /// The tenant's current fast-tier quota in pages.
-    pub fn quota(&self) -> u64 {
-        self.mem.config().fast_capacity_pages
-    }
+/// One registered tenant (name + footprint + current quota).
+#[derive(Debug, Clone)]
+struct TenantSlot {
+    name: String,
+    footprint_pages: u64,
+    quota: u64,
 }
 
 /// Central coordinator that splits one physical fast tier across tenants.
 ///
 /// Quotas are re-derived on [`rebalance`](GlobalController::rebalance):
-/// each tenant reports the number of pages at or above its current hotness
-/// threshold (its demonstrated hot set), and the controller assigns the
-/// global budget proportionally, with a configurable floor so an idle
-/// tenant can always warm back up.
+/// the caller reports each tenant's demand (pages it demonstrably wants
+/// fast), and the controller assigns the global budget proportionally with
+/// a configurable per-tenant floor so an idle tenant can always warm back
+/// up. The arithmetic is exact (128-bit integer), so equal inputs always
+/// produce identical quotas — the property tests pin this.
 #[derive(Debug)]
 pub struct GlobalController {
     fast_budget_pages: u64,
     /// Minimum share of the budget any tenant keeps (fraction).
     floor_frac: f64,
-    tenants: Vec<Tenant>,
+    tenants: Vec<TenantSlot>,
+    events: Vec<RebalanceEvent>,
 }
 
 impl GlobalController {
@@ -73,29 +96,37 @@ impl GlobalController {
             fast_budget_pages,
             floor_frac,
             tenants: Vec::new(),
+            events: Vec::new(),
         }
     }
 
-    /// Registers a tenant with an equal initial share of the budget.
+    /// Registers a tenant and resets all tenants to equal initial shares of
+    /// the budget (remainder pages go to the earliest tenants). Returns the
+    /// tenant's index for subsequent calls.
     ///
-    /// Returns the tenant's index for subsequent access.
+    /// # Panics
+    ///
+    /// Panics if the budget cannot give every registered tenant at least
+    /// one fast page — the min-one quota guarantee needs
+    /// `fast_budget_pages >= num_tenants`.
     pub fn add_tenant(&mut self, name: &str, footprint_pages: u64) -> usize {
-        let n = self.tenants.len() as u64 + 1;
-        let quota = (self.fast_budget_pages / n).max(1);
-        let cfg = TierConfig {
-            fast_capacity_pages: quota,
-            slow_capacity_pages: footprint_pages,
-            page_size: PageSize::Base4K,
-            address_space_pages: footprint_pages,
-        };
-        let policy = HybridTierPolicy::new(HybridTierConfig::scaled(&cfg), &cfg);
-        self.tenants.push(Tenant {
+        assert!(
+            self.fast_budget_pages > self.tenants.len() as u64,
+            "budget of {} pages cannot hold one page per tenant for {} tenants",
+            self.fast_budget_pages,
+            self.tenants.len() + 1,
+        );
+        self.tenants.push(TenantSlot {
             name: name.to_string(),
-            policy,
-            mem: TieredMemory::new(cfg),
             footprint_pages,
+            quota: 0,
         });
-        // Shrink existing quotas to make room (applied on next rebalance).
+        let n = self.tenants.len() as u64;
+        let base = self.fast_budget_pages / n;
+        let rem = self.fast_budget_pages % n;
+        for (i, t) in self.tenants.iter_mut().enumerate() {
+            t.quota = base + u64::from((i as u64) < rem);
+        }
         self.tenants.len() - 1
     }
 
@@ -104,103 +135,196 @@ impl GlobalController {
         self.tenants.len()
     }
 
-    /// Access to a tenant.
-    pub fn tenant(&self, idx: usize) -> &Tenant {
-        &self.tenants[idx]
+    /// The tenant's registered name.
+    pub fn tenant_name(&self, idx: usize) -> &str {
+        &self.tenants[idx].name
     }
 
-    /// Mutable access to a tenant (drive its workload through
-    /// `tenant_mut(i).policy` / `.mem`).
-    pub fn tenant_mut(&mut self, idx: usize) -> &mut Tenant {
-        &mut self.tenants[idx]
+    /// Pages the tenant's address space spans.
+    pub fn footprint_pages(&self, idx: usize) -> u64 {
+        self.tenants[idx].footprint_pages
     }
 
-    /// Total fast pages currently assigned.
-    pub fn assigned_budget(&self) -> u64 {
-        self.tenants.iter().map(|t| t.quota()).sum()
+    /// The tenant's current fast-tier quota in pages.
+    pub fn quota(&self, idx: usize) -> u64 {
+        self.tenants[idx].quota
     }
 
-    /// Re-partitions the fast budget proportionally to each tenant's
-    /// demonstrated hot-set size (pages at or above its current frequency
-    /// threshold), with the configured floor.
-    ///
-    /// Tenants whose quota shrinks must demote down to it; the controller
-    /// forces that immediately (the demotions are ordinary migrations,
-    /// charged like any other). Returns the new quotas in tenant order.
-    pub fn rebalance(&mut self) -> Vec<u64> {
-        if self.tenants.is_empty() {
-            return Vec::new();
+    /// Current quotas in tenant order.
+    pub fn quotas(&self) -> Vec<u64> {
+        self.tenants.iter().map(|t| t.quota).collect()
+    }
+
+    /// The physical fast budget being partitioned.
+    pub fn fast_budget_pages(&self) -> u64 {
+        self.fast_budget_pages
+    }
+
+    /// The per-tenant quota floor in pages at the current tenant count
+    /// (zero until a tenant is registered).
+    pub fn floor_pages(&self) -> u64 {
+        let n = self.tenants.len() as u64;
+        if n == 0 {
+            0
+        } else {
+            (self.fast_budget_pages as f64 * self.floor_frac / n as f64) as u64
         }
-        let demands: Vec<f64> = self
-            .tenants
+    }
+
+    /// The tier configuration a tenant's private runtime should start from:
+    /// fast capacity = current quota, slow capacity and address space = the
+    /// tenant's footprint (the paper's slow tier alone always holds the
+    /// whole footprint).
+    pub fn tier_config(&self, idx: usize, page_size: PageSize) -> TierConfig {
+        let t = &self.tenants[idx];
+        TierConfig {
+            fast_capacity_pages: t.quota,
+            slow_capacity_pages: t.footprint_pages,
+            page_size,
+            address_space_pages: t.footprint_pages,
+        }
+    }
+
+    /// Enforces the tenant's current quota on its memory view: shrinking
+    /// below occupancy is allowed — the tier reports zero free pages until
+    /// the tenant policy's watermark demotion drains the excess, so quota
+    /// enforcement rides the ordinary migration path. Quotas are always
+    /// ≥ 1 (the min-one guarantee), so the recorded quota is the capacity
+    /// actually enforced.
+    pub fn apply(&self, idx: usize, mem: &mut TieredMemory) {
+        mem.set_fast_capacity(self.tenants[idx].quota);
+    }
+
+    /// Re-partitions the fast budget proportionally to the reported demand
+    /// per tenant (index-aligned with registration order), with the
+    /// configured floor, and records the result as a [`RebalanceEvent`].
+    ///
+    /// Guarantees (property-tested):
+    /// * quotas sum to exactly the budget;
+    /// * every tenant keeps at least the floor share — and at least one
+    ///   page, so the recorded quota is always an enforceable capacity;
+    /// * equal inputs produce identical events (exact integer arithmetic);
+    /// * raising one tenant's demand while others hold still never lowers
+    ///   that tenant's quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demands.len()` differs from the registered tenant count
+    /// or no tenants are registered.
+    pub fn rebalance(&mut self, at_ns: u64, demands: &[u64]) -> RebalanceEvent {
+        let n = self.tenants.len();
+        assert!(n > 0, "rebalance with no tenants");
+        assert_eq!(demands.len(), n, "one demand per tenant");
+
+        let norm: Vec<u64> = demands.iter().map(|&d| d.clamp(1, DEMAND_CLAMP)).collect();
+        let total: u128 = norm.iter().map(|&d| u128::from(d)).sum();
+        let floor = self.floor_pages();
+        let distributable = u128::from(self.fast_budget_pages.saturating_sub(floor * n as u64));
+        let mut quotas: Vec<u64> = norm
             .iter()
-            .map(|t| t.policy.hot_set_estimate().max(1) as f64)
+            .map(|&d| floor + (distributable * u128::from(d) / total) as u64)
             .collect();
-        let total_demand: f64 = demands.iter().sum();
-        let floor =
-            (self.fast_budget_pages as f64 * self.floor_frac / self.tenants.len() as f64) as u64;
-        let distributable = self.fast_budget_pages - floor * self.tenants.len() as u64;
-        let mut quotas: Vec<u64> = demands
-            .iter()
-            .map(|d| floor + (distributable as f64 * d / total_demand) as u64)
-            .collect();
-        // Rounding remainder goes to the hungriest tenant.
+        // Rounding remainder goes to the hungriest tenant (last max on
+        // ties, matching `max_by` semantics).
         let assigned: u64 = quotas.iter().sum();
-        if let Some(max_idx) = demands
+        debug_assert!(assigned <= self.fast_budget_pages);
+        let max_idx = norm
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
+            .max_by_key(|&(i, &d)| (d, i))
             .map(|(i, _)| i)
-        {
-            quotas[max_idx] += self.fast_budget_pages - assigned;
+            .expect("n > 0");
+        quotas[max_idx] += self.fast_budget_pages - assigned;
+
+        // Min-one guarantee: a quota of zero is not an enforceable fast
+        // capacity, so top zeros up to one page, taking each page from the
+        // largest current quota (lowest demand, then lowest index, on
+        // ties — the tie-break that keeps quota ordering aligned with
+        // demand ordering). `add_tenant` guarantees budget ≥ tenants, so
+        // while a zero exists some quota is ≥ 2 by pigeonhole.
+        for i in 0..n {
+            if quotas[i] == 0 {
+                let donor = quotas
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(j, &q)| (q, std::cmp::Reverse(norm[j]), std::cmp::Reverse(j)))
+                    .map(|(j, _)| j)
+                    .expect("n > 0");
+                debug_assert!(quotas[donor] >= 2, "pigeonhole violated");
+                quotas[donor] -= 1;
+                quotas[i] = 1;
+            }
         }
 
         for (tenant, &quota) in self.tenants.iter_mut().zip(&quotas) {
-            tenant.mem.set_fast_capacity(quota.max(1));
+            tenant.quota = quota;
         }
-        quotas
+        let event = RebalanceEvent {
+            at_ns,
+            demands: norm,
+            quotas,
+        };
+        self.events.push(event.clone());
+        event
+    }
+
+    /// The full rebalance trace, in call order.
+    pub fn events(&self) -> &[RebalanceEvent] {
+        &self.events
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hybridtier::{HybridTierConfig, HybridTierPolicy};
     use crate::policy::{PolicyCtx, TieringPolicy};
     use tiering_mem::{PageId, Tier};
     use tiering_trace::Sample;
 
-    fn feed(tenant: &mut Tenant, pages: u64, samples_per_page: u32) {
+    /// Builds a tenant runtime at the controller's current quota and feeds
+    /// it a synthetic hot set, returning its demand signal.
+    fn demand_after_feed(
+        g: &GlobalController,
+        idx: usize,
+        pages: u64,
+        samples_per_page: u32,
+    ) -> u64 {
+        let cfg = g.tier_config(idx, PageSize::Base4K);
+        let mut policy = HybridTierPolicy::new(HybridTierConfig::scaled(&cfg), &cfg);
+        let mut mem = TieredMemory::new(cfg);
         let mut ctx = PolicyCtx::new();
         for p in 0..pages {
-            tenant.mem.ensure_mapped(PageId(p), Tier::Slow);
+            mem.ensure_mapped(PageId(p), Tier::Slow);
         }
         for s in 0..samples_per_page {
             for p in 0..pages {
-                tenant.policy.on_sample(
+                policy.on_sample(
                     Sample {
                         page: PageId(p),
                         addr: p << 12,
-                        tier: tenant.mem.tier_of(PageId(p)).unwrap_or(Tier::Slow),
+                        tier: mem.tier_of(PageId(p)).unwrap_or(Tier::Slow),
                         at_ns: u64::from(s) * 1_000 + p,
                         is_write: false,
                     },
-                    &mut tenant.mem,
+                    &mut mem,
                     &mut ctx,
                 );
             }
         }
+        policy.fast_demand_pages(&mem)
     }
 
     #[test]
-    fn tenants_start_with_shares_of_the_budget() {
-        let mut g = GlobalController::new(1_000, 0.1);
+    fn tenants_start_with_equal_shares() {
+        let mut g = GlobalController::new(1_001, 0.1);
         g.add_tenant("a", 10_000);
         g.add_tenant("b", 10_000);
         assert_eq!(g.num_tenants(), 2);
-        assert!(g.tenant(0).quota() >= 1);
-        let quotas = g.rebalance();
-        assert_eq!(quotas.len(), 2);
-        assert_eq!(quotas.iter().sum::<u64>(), 1_000, "budget fully assigned");
+        assert_eq!(g.quota(0) + g.quota(1), 1_001, "budget fully assigned");
+        assert!(g.quota(0).abs_diff(g.quota(1)) <= 1, "equal initial shares");
+        assert_eq!(g.tenant_name(1), "b");
+        assert_eq!(g.footprint_pages(0), 10_000);
     }
 
     #[test]
@@ -208,71 +332,109 @@ mod tests {
         let mut g = GlobalController::new(1_000, 0.1);
         let a = g.add_tenant("hot", 10_000);
         let b = g.add_tenant("idle", 10_000);
-        // Tenant A demonstrates a large hot set; tenant B stays idle.
-        feed(g.tenant_mut(a), 400, 6);
-        let quotas = g.rebalance();
+        let hot_demand = demand_after_feed(&g, a, 400, 6);
+        assert!(hot_demand > 100, "feeding builds real demand: {hot_demand}");
+        let event = g.rebalance(0, &[hot_demand, 1]);
         assert!(
-            quotas[a] > 2 * quotas[b],
-            "hot tenant should dominate: {quotas:?}"
+            event.quotas[a] > 2 * event.quotas[b],
+            "hot tenant should dominate: {:?}",
+            event.quotas
         );
-        assert_eq!(quotas.iter().sum::<u64>(), 1_000);
+        assert_eq!(event.assigned(), 1_000);
     }
 
     #[test]
     fn floor_keeps_idle_tenants_alive() {
         let mut g = GlobalController::new(1_000, 0.2);
-        let a = g.add_tenant("hot", 10_000);
+        let _hot = g.add_tenant("hot", 10_000);
         let idle = g.add_tenant("idle", 10_000);
-        feed(g.tenant_mut(a), 500, 6);
-        let quotas = g.rebalance();
+        let event = g.rebalance(0, &[5_000, 0]);
         assert!(
-            quotas[idle] >= 100,
+            event.quotas[idle] >= 100,
             "idle tenant must keep its floor share, got {}",
-            quotas[idle]
+            event.quotas[idle]
         );
+        assert_eq!(g.floor_pages(), 100);
     }
 
+    /// The wake-up transition the `multi_tenant` example demonstrates, as a
+    /// typed event trace: the batch tenant idles for two rebalances, then
+    /// wakes with a demand far beyond the cache tenant's — its quota must
+    /// grow strictly across the transition and end dominant, and every
+    /// event must assign the full budget.
     #[test]
-    fn rebalance_shifts_as_demand_shifts() {
-        let mut g = GlobalController::new(2_000, 0.1);
-        let a = g.add_tenant("a", 10_000);
-        let b = g.add_tenant("b", 10_000);
-        feed(g.tenant_mut(a), 600, 6);
-        let first = g.rebalance();
-        assert!(first[a] > first[b]);
-        // Now B heats up far beyond A's earlier demand.
-        feed(g.tenant_mut(b), 3_000, 6);
-        let second = g.rebalance();
-        assert!(
-            second[b] > second[a],
-            "quota should follow demand: {second:?}"
+    fn wakeup_transition_produces_event_trace() {
+        let mut g = GlobalController::new(4_000, 0.1);
+        let cache = g.add_tenant("cache", 40_000);
+        let batch = g.add_tenant("batch", 40_000);
+
+        g.rebalance(100, &[900, 10]);
+        g.rebalance(200, &[900, 10]);
+        let asleep = g.quota(batch);
+        g.rebalance(300, &[900, 2_600]); // batch wakes up
+        let awake = g.quota(batch);
+
+        let events = g.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.at_ns).collect::<Vec<_>>(),
+            vec![100, 200, 300]
         );
+        assert!(events.iter().all(|e| e.assigned() == 4_000));
+        assert!(
+            awake > asleep,
+            "woken tenant's quota must grow: {asleep} -> {awake}"
+        );
+        assert!(
+            g.quota(batch) > g.quota(cache),
+            "demand leader takes the larger share: {:?}",
+            g.quotas()
+        );
+        // The trace reproduces the stored state.
+        assert_eq!(events[2].quotas, g.quotas());
     }
 
     #[test]
     fn shrunk_quota_is_enforced_by_memory() {
         let mut g = GlobalController::new(1_000, 0.1);
         let a = g.add_tenant("a", 10_000);
-        // Fill A's fast tier at its initial quota (1000).
-        {
-            let t = g.tenant_mut(a);
-            for p in 0..1_000u64 {
-                t.mem.ensure_mapped(PageId(p), Tier::Fast);
-            }
+        let mut mem = TieredMemory::new(g.tier_config(a, PageSize::Base4K));
+        for p in 0..1_000u64 {
+            mem.ensure_mapped(PageId(p), Tier::Fast);
         }
         g.add_tenant("b", 10_000);
-        feed(g.tenant_mut(1), 800, 6);
-        let quotas = g.rebalance();
-        let t = g.tenant(a);
-        assert!(t.mem.fast_used() <= quotas[a].max(t.mem.fast_used()));
+        g.rebalance(0, &[100, 800]);
+        g.apply(a, &mut mem);
+        assert_eq!(mem.config().fast_capacity_pages, g.quota(a).max(1));
         // Over-quota state is visible so the policy's watermark demotion
         // drains it on subsequent ticks.
-        assert!(t.mem.fast_free_frac() <= 1.0);
+        assert_eq!(mem.fast_free(), 0);
+        assert!(mem.fast_used() > g.quota(a));
+    }
+
+    #[test]
+    fn rebalance_is_exact_and_deterministic() {
+        let run = || {
+            let mut g = GlobalController::new(7_777, 0.15);
+            g.add_tenant("a", 1_000);
+            g.add_tenant("b", 1_000);
+            g.add_tenant("c", 1_000);
+            g.rebalance(5, &[13, 999, 100_000])
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]
     #[should_panic(expected = "empty fast budget")]
     fn zero_budget_rejected() {
         let _ = GlobalController::new(0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one demand per tenant")]
+    fn demand_arity_checked() {
+        let mut g = GlobalController::new(100, 0.1);
+        g.add_tenant("a", 10);
+        g.rebalance(0, &[1, 2]);
     }
 }

@@ -477,6 +477,10 @@ impl TieringPolicy for HybridTierPolicy {
         }
     }
 
+    fn fast_demand_pages(&self, _mem: &TieredMemory) -> u64 {
+        self.hot_set_estimate()
+    }
+
     fn on_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
         self.ingest_sample(sample, mem, ctx);
     }

@@ -48,7 +48,7 @@ pub use arc::ArcPolicy;
 pub use autonuma::{AutoNumaConfig, AutoNumaPolicy};
 pub use baseline::{AllFastPolicy, FirstTouchPolicy};
 pub use ema::{ema_lag_series, EmaScore};
-pub use global::{GlobalController, Tenant};
+pub use global::{GlobalController, RebalanceEvent};
 pub use histogram::HotnessHistogram;
 pub use hybridtier::{HybridTierConfig, HybridTierPolicy, MigrationDecision, TrackerLayout};
 pub use list_set::ListSet;

@@ -121,6 +121,17 @@ pub trait TieringPolicy {
     /// Periodic maintenance, called every engine tick.
     fn on_tick(&mut self, _now_ns: u64, _mem: &mut TieredMemory, _ctx: &mut PolicyCtx) {}
 
+    /// Demand signal for the global controller of paper §7: how many fast
+    /// pages this tenant's application currently wants. The default reports
+    /// demonstrated residency (pages resident in the fast tier), which every
+    /// policy can answer; sampling policies with a hotness histogram
+    /// (HybridTier) override it with their measured hot-set size, which can
+    /// exceed the current quota and therefore lets a squeezed tenant ask
+    /// for more.
+    fn fast_demand_pages(&self, mem: &TieredMemory) -> u64 {
+        mem.fast_used()
+    }
+
     /// Bytes of tiering metadata currently allocated (paper Table 4).
     fn metadata_bytes(&self) -> usize;
 

@@ -1,0 +1,117 @@
+//! Property tests for [`GlobalController::rebalance`]: the §7 quota
+//! arithmetic must hold for *any* demand vector, budget, and floor — these
+//! invariants are what the multi-tenant engine and its determinism tests
+//! build on.
+
+use proptest::prelude::*;
+use tiering_policies::GlobalController;
+
+/// Budget, floor percent, and a 1–8 tenant demand vector (demands span
+/// idle to far-beyond-footprint).
+fn inputs() -> impl Strategy<Value = (u64, u64, Vec<u64>)> {
+    (
+        64u64..2_000_000,
+        0u64..=50,
+        prop::collection::vec(0u64..5_000_000, 1..8),
+    )
+}
+
+fn controller(budget: u64, floor_pct: u64, tenants: usize) -> GlobalController {
+    let mut g = GlobalController::new(budget, floor_pct as f64 / 100.0);
+    for i in 0..tenants {
+        g.add_tenant(&format!("t{i}"), 1 << 20);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Quotas never overcommit the physical fast tier — and in fact assign
+    /// it exactly (the remainder assignment closes the rounding gap).
+    #[test]
+    fn quotas_sum_to_the_budget(input in inputs()) {
+        let (budget, floor_pct, demands) = input;
+        let mut g = controller(budget, floor_pct, demands.len());
+        let event = g.rebalance(0, &demands);
+        let assigned: u64 = event.quotas.iter().sum();
+        prop_assert!(assigned <= budget, "overcommitted: {} > {}", assigned, budget);
+        prop_assert_eq!(assigned, budget, "budget not fully assigned");
+    }
+
+    /// Every tenant keeps at least its floor share, demand or not — an idle
+    /// tenant can always warm back up — and at least one page, so every
+    /// recorded quota is an enforceable fast capacity.
+    #[test]
+    fn every_tenant_keeps_the_floor(input in inputs()) {
+        let (budget, floor_pct, demands) = input;
+        let mut g = controller(budget, floor_pct, demands.len());
+        let floor = g.floor_pages();
+        let event = g.rebalance(0, &demands);
+        for (i, &q) in event.quotas.iter().enumerate() {
+            prop_assert!(
+                q >= floor.max(1),
+                "tenant {} below floor: {} < {} (demands {:?})",
+                i, q, floor.max(1), event.demands
+            );
+        }
+    }
+
+    /// Equal inputs produce identical events: the arithmetic is exact
+    /// integer math with no hidden state, so sweeps can re-derive quota
+    /// trajectories bit-for-bit.
+    #[test]
+    fn rebalance_is_deterministic(input in inputs()) {
+        let (budget, floor_pct, demands) = input;
+        let run = || {
+            let mut g = controller(budget, floor_pct, demands.len());
+            g.rebalance(7, &demands)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Raising one tenant's demand while all others hold still never lowers
+    /// that tenant's quota — a heating tenant cannot be punished for
+    /// heating.
+    #[test]
+    fn monotone_demand_never_decreases_the_hot_quota(
+        input in inputs(),
+        hot_idx in 0usize..8,
+        bump in 1u64..4_000_000,
+    ) {
+        let (budget, floor_pct, demands) = input;
+        let hot = hot_idx % demands.len();
+        let before = controller(budget, floor_pct, demands.len())
+            .rebalance(0, &demands);
+        let mut hotter = demands.clone();
+        hotter[hot] = hotter[hot].saturating_add(bump);
+        let after = controller(budget, floor_pct, demands.len())
+            .rebalance(0, &hotter);
+        prop_assert!(
+            after.quotas[hot] >= before.quotas[hot],
+            "hot tenant {} lost quota on rising demand: {} -> {} (demands {:?} -> {:?})",
+            hot, before.quotas[hot], after.quotas[hot], before.demands, after.demands
+        );
+    }
+
+    /// Quota ordering follows demand ordering: strictly hungrier tenants
+    /// never end up with strictly less fast memory.
+    #[test]
+    fn quota_ordering_follows_demand_ordering(input in inputs()) {
+        let (budget, floor_pct, demands) = input;
+        let mut g = controller(budget, floor_pct, demands.len());
+        let event = g.rebalance(0, &demands);
+        for i in 0..demands.len() {
+            for j in 0..demands.len() {
+                if event.demands[i] > event.demands[j] {
+                    prop_assert!(
+                        event.quotas[i] >= event.quotas[j],
+                        "demand {} > {} but quota {} < {}",
+                        event.demands[i], event.demands[j],
+                        event.quotas[i], event.quotas[j]
+                    );
+                }
+            }
+        }
+    }
+}

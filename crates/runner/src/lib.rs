@@ -14,6 +14,11 @@
 //! * [`ScenarioMatrix`] — cross-product builder for the standard
 //!   workload × policy × ratio sweeps, with deterministic per-scenario
 //!   seeds derived from one base seed (see [`derive_seed`]).
+//! * [`TenantSpec`] / [`ScenarioKind::CoLocation`] / [`CoLocationMatrix`] —
+//!   multi-tenant co-location as a first-class sweep dimension: N tenants
+//!   share one fast tier under the §7 global controller, and pairings ×
+//!   budgets cross-product into ordinary scenario lists (see the crate
+//!   README for an authoring guide).
 //! * [`SweepRunner`] — a work-stealing thread pool over a scenario list.
 //!   Results land in input order no matter which thread finishes first, so
 //!   parallel output is byte-identical to serial output — asserted by this
@@ -47,8 +52,11 @@
 mod scenario;
 mod sweep;
 
-pub use scenario::{PolicySpec, Scenario, ScenarioResult, TierSpec, WorkloadSpec};
-pub use sweep::{ScenarioMatrix, SweepReport, SweepRunner};
+pub use scenario::{
+    BudgetSpec, CoLocationSpec, PolicySpec, Scenario, ScenarioKind, ScenarioResult, TenantSpec,
+    TierSpec, WorkloadSpec,
+};
+pub use sweep::{CoLocationMatrix, ScenarioMatrix, SweepReport, SweepRunner};
 
 /// Derives the seed for scenario `index` of a sweep from the sweep's base
 /// seed (SplitMix64 of `base ^ index`): deterministic, stable under

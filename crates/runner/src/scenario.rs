@@ -6,9 +6,14 @@ use std::time::{Duration, Instant};
 
 use tiering_mem::{TierConfig, TierRatio};
 use tiering_policies::{build_policy, PolicyKind, TieringPolicy};
-use tiering_sim::{Engine, SimConfig, SimReport};
+use tiering_sim::{
+    Engine, MultiTenantConfig, MultiTenantEngine, MultiTenantReport, SimConfig, SimReport,
+    TenantRun,
+};
 use tiering_trace::Workload;
-use tiering_workloads::{build_workload, WorkloadId};
+use tiering_workloads::{build_workload, WorkloadId, ZipfPageWorkload};
+
+use crate::derive_seed;
 
 /// Factory for a workload, given the scenario seed.
 pub type WorkloadFactory = Arc<dyn Fn(u64) -> Box<dyn Workload> + Send + Sync>;
@@ -127,8 +132,8 @@ pub enum TierSpec {
     Ratio(TierRatio),
     /// The all-fast upper-bound configuration (paper Figure 11).
     AllFast,
-    /// An explicit configuration (footprint-independent; multi-tenant and
-    /// sensitivity studies).
+    /// An explicit configuration (footprint-independent; sensitivity
+    /// studies).
     Explicit(TierConfig),
 }
 
@@ -143,21 +148,157 @@ impl TierSpec {
     }
 }
 
-/// One self-contained experiment: everything needed to reproduce one
-/// [`SimReport`], cheap to clone and safe to run from any thread.
+/// One co-located tenant: a name plus workload and policy recipes. The
+/// tenant's workload seed is derived from the scenario seed and the
+/// tenant's index, so every tenant of a scenario gets an independent,
+/// reproducible stream.
 #[derive(Debug, Clone)]
-pub struct Scenario {
-    /// Display label (defaults to `workload/tier/policy`).
-    pub label: String,
+pub struct TenantSpec {
+    /// Tenant name (reporting and lookup; keep unique within a scenario).
+    pub name: String,
     /// Workload recipe.
     pub workload: WorkloadSpec,
     /// Policy recipe.
     pub policy: PolicySpec,
-    /// Tier sizing.
-    pub tier: TierSpec,
+}
+
+impl TenantSpec {
+    /// A tenant from arbitrary recipes.
+    pub fn new(name: impl Into<String>, workload: WorkloadSpec, policy: PolicySpec) -> Self {
+        Self {
+            name: name.into(),
+            workload,
+            policy,
+        }
+    }
+
+    /// A tenant running a suite workload under a standard policy.
+    pub fn suite(name: impl Into<String>, id: WorkloadId, kind: PolicyKind) -> Self {
+        Self::new(name, WorkloadSpec::Suite(id), PolicySpec::Kind(kind))
+    }
+}
+
+/// How the shared fast budget of a co-location scenario is sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetSpec {
+    /// An explicit page count.
+    Pages(u64),
+    /// Combined tenant footprint divided by the ratio's slow multiple —
+    /// e.g. `Ratio(1:8)` gives a fast budget holding 1/8 of everything the
+    /// tenants map.
+    Ratio(TierRatio),
+}
+
+impl BudgetSpec {
+    /// Label used in reports and JSON output.
+    pub fn label(&self) -> String {
+        match self {
+            BudgetSpec::Pages(p) => format!("{p}pg"),
+            BudgetSpec::Ratio(r) => r.to_string(),
+        }
+    }
+
+    /// Fast pages for the given combined tenant footprint, clamped so the
+    /// budget can always give each of `num_tenants` tenants one page (the
+    /// controller's min-one quota guarantee requires it).
+    pub fn resolve(&self, combined_footprint_pages: u64, num_tenants: usize) -> u64 {
+        let min = (num_tenants as u64).max(1);
+        match self {
+            BudgetSpec::Pages(p) => (*p).max(min),
+            BudgetSpec::Ratio(r) => (combined_footprint_pages / r.slow_multiple()).max(min),
+        }
+    }
+}
+
+/// A complete co-location recipe: who shares the machine and how the
+/// controller carves it up.
+#[derive(Debug, Clone)]
+pub struct CoLocationSpec {
+    /// The co-located tenants (at least one; typically ≥ 2).
+    pub tenants: Vec<TenantSpec>,
+    /// Shared fast-tier sizing.
+    pub budget: BudgetSpec,
+    /// Minimum budget share any tenant keeps.
+    pub floor_frac: f64,
+    /// Simulated time between controller rebalances.
+    pub rebalance_interval_ns: u64,
+}
+
+impl CoLocationSpec {
+    /// The default budget sizing (see [`CoLocationSpec::new`]).
+    pub const DEFAULT_BUDGET: BudgetSpec = BudgetSpec::Ratio(TierRatio::OneTo8);
+
+    /// A spec with the demo defaults: 1:8 budget, 10% floor, 10 ms cadence
+    /// (the floor/cadence constants live in `tiering_sim`).
+    pub fn new(tenants: Vec<TenantSpec>) -> Self {
+        Self {
+            tenants,
+            budget: Self::DEFAULT_BUDGET,
+            floor_frac: tiering_sim::DEFAULT_FLOOR_FRAC,
+            rebalance_interval_ns: tiering_sim::DEFAULT_REBALANCE_INTERVAL_NS,
+        }
+    }
+
+    /// Overrides the budget sizing.
+    #[must_use]
+    pub fn with_budget(mut self, budget: BudgetSpec) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the tenant floor fraction.
+    #[must_use]
+    pub fn with_floor_frac(mut self, frac: f64) -> Self {
+        self.floor_frac = frac;
+        self
+    }
+
+    /// Overrides the rebalance cadence.
+    #[must_use]
+    pub fn with_rebalance_interval_ns(mut self, ns: u64) -> Self {
+        self.rebalance_interval_ns = ns;
+        self
+    }
+
+    /// `a+b+c` label over the tenant names.
+    pub fn tenants_label(&self) -> String {
+        self.tenants
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// What a scenario executes: one (workload, policy, tier) run, or N
+/// co-located tenants sharing a controller-partitioned fast tier.
+#[derive(Debug, Clone)]
+pub enum ScenarioKind {
+    /// The classic single-application experiment.
+    Single {
+        /// Workload recipe.
+        workload: WorkloadSpec,
+        /// Policy recipe.
+        policy: PolicySpec,
+        /// Tier sizing.
+        tier: TierSpec,
+    },
+    /// Multi-tenant co-location under the §7 global controller.
+    CoLocation(CoLocationSpec),
+}
+
+/// One self-contained experiment: everything needed to reproduce one
+/// result, cheap to clone and safe to run from any thread.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display label (defaults to `workload/tier/policy`).
+    pub label: String,
+    /// What this scenario executes.
+    pub kind: ScenarioKind,
     /// Engine configuration.
     pub config: SimConfig,
-    /// Workload seed.
+    /// Base seed (single: the workload seed; co-location: per-tenant seeds
+    /// are derived from it by tenant index).
     pub seed: u64,
 }
 
@@ -180,15 +321,17 @@ impl Scenario {
         };
         Self {
             label: format!("{}/{}/{}", id.label(), ratio, kind.label()),
-            workload: WorkloadSpec::Suite(id),
-            policy: PolicySpec::Kind(kind),
-            tier,
+            kind: ScenarioKind::Single {
+                workload: WorkloadSpec::Suite(id),
+                policy: PolicySpec::Kind(kind),
+                tier,
+            },
             config: config.clone(),
             seed,
         }
     }
 
-    /// A fully custom scenario.
+    /// A fully custom single-application scenario.
     pub fn new(
         label: impl Into<String>,
         workload: WorkloadSpec,
@@ -199,45 +342,148 @@ impl Scenario {
     ) -> Self {
         Self {
             label: label.into(),
-            workload,
-            policy,
-            tier,
+            kind: ScenarioKind::Single {
+                workload,
+                policy,
+                tier,
+            },
             config: config.clone(),
             seed,
         }
     }
 
-    /// Resolves the tier configuration for a workload of `pages` pages.
-    fn tier_config(&self, pages: u64) -> TierConfig {
-        match self.tier {
-            TierSpec::Ratio(ratio) => {
-                TierConfig::for_footprint(pages, ratio, self.config.page_size)
-            }
-            TierSpec::AllFast => TierConfig::all_fast(pages, self.config.page_size),
-            TierSpec::Explicit(cfg) => cfg,
+    /// A co-location scenario: the tenants run concurrently (in simulated
+    /// time) against one controller-partitioned fast tier.
+    pub fn co_location(
+        label: impl Into<String>,
+        spec: CoLocationSpec,
+        config: &SimConfig,
+        seed: u64,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            kind: ScenarioKind::CoLocation(spec),
+            config: config.clone(),
+            seed,
         }
     }
 
-    /// Builds the workload and policy and runs the engine to completion in
-    /// the calling thread. Deterministic: identical scenarios produce
-    /// byte-identical reports regardless of which/how many threads run
-    /// their siblings.
+    /// The tenant pair behind [`wakeup_demo`](Scenario::wakeup_demo): a hot
+    /// cache-style tenant and a mostly idle batch tenant that wakes up at
+    /// 40 simulated ms. Exposed so sweeps (the bench co-location matrix)
+    /// can build on the exact same recipe the demo pins.
+    pub fn wakeup_demo_tenants() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new(
+                "cache",
+                WorkloadSpec::custom("zipf-hot", |seed| {
+                    Box::new(ZipfPageWorkload::new(8_000, 0.99, u64::MAX, seed))
+                }),
+                PolicySpec::Kind(PolicyKind::HybridTier),
+            ),
+            TenantSpec::new(
+                "batch",
+                WorkloadSpec::custom("zipf-wakeup", |seed| {
+                    Box::new(
+                        ZipfPageWorkload::new(16_000, 0.2, u64::MAX, seed)
+                            .with_cpu_ns(2_000)
+                            .with_wakeup(40_000_000, 1.1, 50),
+                    )
+                }),
+                PolicySpec::Kind(PolicyKind::HybridTier),
+            ),
+        ]
+    }
+
+    /// The canonical §7 wake-up demonstration, shared verbatim by the
+    /// `multi_tenant` example, the `sec7` bench experiment, and the golden
+    /// suite (so all three see the same quota trajectory): the
+    /// [`wakeup_demo_tenants`](Scenario::wakeup_demo_tenants) pair at a 1:8
+    /// budget, rebalanced every 10 ms. Run it with a horizon of at least
+    /// ~100 ms (`config.max_sim_ns`) to see the controller follow the
+    /// demand swing.
+    pub fn wakeup_demo(config: &SimConfig, seed: u64) -> Self {
+        let spec = CoLocationSpec::new(Self::wakeup_demo_tenants())
+            .with_budget(BudgetSpec::Ratio(TierRatio::OneTo8))
+            .with_rebalance_interval_ns(10_000_000);
+        Self::co_location("cache+batch/1:8/wakeup", spec, config, seed)
+    }
+
+    /// Resolves the tier configuration for a workload of `pages` pages.
+    fn tier_config(tier: &TierSpec, config: &SimConfig, pages: u64) -> TierConfig {
+        match tier {
+            TierSpec::Ratio(ratio) => TierConfig::for_footprint(pages, *ratio, config.page_size),
+            TierSpec::AllFast => TierConfig::all_fast(pages, config.page_size),
+            TierSpec::Explicit(cfg) => *cfg,
+        }
+    }
+
+    /// Builds the workload(s) and policy(ies) and runs the engine to
+    /// completion in the calling thread. Deterministic: identical scenarios
+    /// produce byte-identical reports regardless of which/how many threads
+    /// run their siblings.
     pub fn run(&self) -> ScenarioResult {
         let start = Instant::now();
-        let mut workload = self.workload.build(self.seed);
-        let pages = workload.footprint_pages(self.config.page_size);
-        let tier_cfg = self.tier_config(pages);
-        let mut policy = self.policy.build(&tier_cfg);
-        let report =
-            Engine::new(self.config.clone()).run(workload.as_mut(), policy.as_mut(), tier_cfg);
-        ScenarioResult {
-            label: self.label.clone(),
-            workload: self.workload.label(),
-            policy: self.policy.label(),
-            tier: self.tier.label(),
-            seed: self.seed,
-            wall: start.elapsed(),
-            report,
+        match &self.kind {
+            ScenarioKind::Single {
+                workload,
+                policy,
+                tier,
+            } => {
+                let mut w = workload.build(self.seed);
+                let pages = w.footprint_pages(self.config.page_size);
+                let tier_cfg = Self::tier_config(tier, &self.config, pages);
+                let mut p = policy.build(&tier_cfg);
+                let report = Engine::new(self.config.clone()).run(w.as_mut(), p.as_mut(), tier_cfg);
+                ScenarioResult {
+                    label: self.label.clone(),
+                    workload: workload.label(),
+                    policy: policy.label(),
+                    tier: tier.label(),
+                    seed: self.seed,
+                    wall: start.elapsed(),
+                    report,
+                    multi: None,
+                }
+            }
+            ScenarioKind::CoLocation(spec) => {
+                let runs: Vec<TenantRun> = spec
+                    .tenants
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let wseed = derive_seed(self.seed, i as u64);
+                        let policy = t.policy.clone();
+                        TenantRun::new(t.name.clone(), t.workload.build(wseed), move |cfg| {
+                            policy.build(cfg)
+                        })
+                    })
+                    .collect();
+                let combined: u64 = runs
+                    .iter()
+                    .map(|r| r.workload.footprint_pages(self.config.page_size))
+                    .sum();
+                let budget = spec.budget.resolve(combined, spec.tenants.len());
+                let mt_cfg = MultiTenantConfig::new(budget)
+                    .with_floor_frac(spec.floor_frac)
+                    .with_rebalance_interval_ns(spec.rebalance_interval_ns);
+                let multi = MultiTenantEngine::new(self.config.clone(), mt_cfg).run(runs);
+                ScenarioResult {
+                    label: self.label.clone(),
+                    workload: spec.tenants_label(),
+                    policy: spec
+                        .tenants
+                        .iter()
+                        .map(|t| t.policy.label())
+                        .collect::<Vec<_>>()
+                        .join("+"),
+                    tier: format!("co/{}", spec.budget.label()),
+                    seed: self.seed,
+                    wall: start.elapsed(),
+                    report: multi.aggregate.clone(),
+                    multi: Some(multi),
+                }
+            }
         }
     }
 }
@@ -247,19 +493,21 @@ impl Scenario {
 pub struct ScenarioResult {
     /// Scenario label.
     pub label: String,
-    /// Workload label.
+    /// Workload label (tenant names joined with `+` for co-location).
     pub workload: String,
-    /// Policy label.
+    /// Policy label (joined with `+` for co-location).
     pub policy: String,
-    /// Tier-spec label.
+    /// Tier-spec label (`co/<budget>` for co-location).
     pub tier: String,
-    /// Seed the workload was built with.
+    /// Seed the workload(s) were built with.
     pub seed: u64,
     /// Host wall-clock time of this run (excluded from `PartialEq`-based
     /// determinism checks via [`ScenarioResult::same_outcome`]).
     pub wall: Duration,
-    /// The simulation report.
+    /// The simulation report (co-location: the whole-machine aggregate).
     pub report: SimReport,
+    /// Per-tenant detail and quota trajectory for co-location scenarios.
+    pub multi: Option<MultiTenantReport>,
 }
 
 impl ScenarioResult {
@@ -272,6 +520,7 @@ impl ScenarioResult {
             && self.tier == other.tier
             && self.seed == other.seed
             && self.report == other.report
+            && self.multi == other.multi
     }
 }
 
@@ -293,6 +542,7 @@ mod tests {
         assert_eq!(r.report.ops, 2_000);
         assert_eq!(r.policy, "HybridTier");
         assert_eq!(r.tier, "1:8");
+        assert!(r.multi.is_none());
     }
 
     #[test]
@@ -304,14 +554,19 @@ mod tests {
             &SimConfig::default().with_max_ops(1_000),
             42,
         );
-        assert_eq!(s.tier, TierSpec::AllFast);
+        assert!(matches!(
+            s.kind,
+            ScenarioKind::Single {
+                tier: TierSpec::AllFast,
+                ..
+            }
+        ));
         let r = s.run();
         assert!((r.report.fast_hit_frac - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn custom_specs_run() {
-        use tiering_workloads::ZipfPageWorkload;
         let s = Scenario::new(
             "custom-zipf",
             WorkloadSpec::custom("zipf", |seed| {
@@ -343,5 +598,66 @@ mod tests {
             .run()
         };
         assert!(mk().same_outcome(&mk()));
+    }
+
+    #[test]
+    fn colocation_scenario_runs_with_derived_tenant_seeds() {
+        let spec = CoLocationSpec::new(vec![
+            TenantSpec::new(
+                "a",
+                WorkloadSpec::custom("zipf", |seed| {
+                    Box::new(ZipfPageWorkload::new(1_000, 0.99, 8_000, seed))
+                }),
+                PolicySpec::Kind(PolicyKind::HybridTier),
+            ),
+            TenantSpec::new(
+                "b",
+                WorkloadSpec::custom("zipf", |seed| {
+                    Box::new(ZipfPageWorkload::new(1_000, 0.99, 8_000, seed))
+                }),
+                PolicySpec::Kind(PolicyKind::HybridTier),
+            ),
+        ])
+        .with_budget(BudgetSpec::Pages(250))
+        .with_rebalance_interval_ns(500_000);
+        let r = Scenario::co_location("a+b", spec, &SimConfig::default(), 77).run();
+        let multi = r.multi.expect("co-location detail");
+        assert_eq!(multi.tenants.len(), 2);
+        assert_eq!(multi.fast_budget_pages, 250);
+        assert_eq!(r.workload, "a+b");
+        assert_eq!(r.tier, "co/250pg");
+        assert_eq!(r.report.ops, 16_000, "aggregate sums both tenants");
+        // Identical recipes, but derived seeds make the streams distinct.
+        assert_ne!(
+            multi.tenants[0].report.sim_ns, multi.tenants[1].report.sim_ns,
+            "tenants must not share a workload RNG stream"
+        );
+        assert!(!multi.rebalances.is_empty());
+    }
+
+    #[test]
+    fn wakeup_demo_shifts_quota_to_the_woken_tenant() {
+        let config = SimConfig::default().with_max_sim_ns(100_000_000);
+        let r = Scenario::wakeup_demo(&config, 17).run();
+        let multi = r.multi.expect("co-location detail");
+        let cache_traj = multi.quota_trajectory(0);
+        let batch_traj = multi.quota_trajectory(1);
+        assert_eq!(cache_traj.len(), batch_traj.len());
+        // Before the wake (first ~4 rebalances) the cache tenant dominates;
+        // after it, the batch tenant's quota must rise substantially.
+        let before = batch_traj
+            .iter()
+            .find(|(t, _)| *t == 30_000_000)
+            .expect("rebalance at 30ms")
+            .1;
+        let after = batch_traj.last().expect("events").1;
+        assert!(
+            after > before * 2,
+            "wake-up must grow the batch tenant's quota: {before} -> {after}"
+        );
+        assert!(
+            cache_traj[1].1 > batch_traj[1].1,
+            "cache tenant dominates while batch idles: {cache_traj:?}"
+        );
     }
 }

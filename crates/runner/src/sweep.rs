@@ -11,7 +11,7 @@ use tiering_sim::SimConfig;
 use tiering_workloads::WorkloadId;
 
 use crate::derive_seed;
-use crate::scenario::{Scenario, ScenarioResult};
+use crate::scenario::{BudgetSpec, CoLocationSpec, Scenario, ScenarioResult, TenantSpec};
 
 /// Builds the standard workload × policy × ratio cross product with
 /// deterministic per-scenario seeds.
@@ -111,6 +111,88 @@ impl ScenarioMatrix {
                     };
                     out.push(Scenario::suite(id, kind, ratio, &self.config, seed));
                 }
+            }
+        }
+        out
+    }
+}
+
+/// Cross-product builder for co-location sweeps: named tenant pairings ×
+/// budget specs, each cell one [`ScenarioKind::CoLocation`] scenario with a
+/// seed derived from the base seed and the scenario index (tenant workload
+/// seeds are derived further, per tenant — see [`Scenario::run`]).
+///
+/// [`ScenarioKind::CoLocation`]: crate::ScenarioKind::CoLocation
+#[derive(Debug, Clone)]
+pub struct CoLocationMatrix {
+    pairings: Vec<(String, Vec<TenantSpec>)>,
+    budgets: Vec<BudgetSpec>,
+    floor_frac: f64,
+    rebalance_interval_ns: u64,
+    config: SimConfig,
+    seed: u64,
+}
+
+impl CoLocationMatrix {
+    /// A matrix over the given engine config and base seed, with the
+    /// [`CoLocationSpec::new`] demo defaults (1:8 budget, 10% floor, 10 ms
+    /// cadence) until overridden.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        let defaults = CoLocationSpec::new(Vec::new());
+        Self {
+            pairings: Vec::new(),
+            budgets: vec![defaults.budget],
+            floor_frac: defaults.floor_frac,
+            rebalance_interval_ns: defaults.rebalance_interval_ns,
+            config,
+            seed,
+        }
+    }
+
+    /// Adds a named tenant pairing (row).
+    #[must_use]
+    pub fn pairing(mut self, label: impl Into<String>, tenants: Vec<TenantSpec>) -> Self {
+        self.pairings.push((label.into(), tenants));
+        self
+    }
+
+    /// Sets the budget specs (columns).
+    #[must_use]
+    pub fn budgets(mut self, budgets: impl IntoIterator<Item = BudgetSpec>) -> Self {
+        self.budgets = budgets.into_iter().collect();
+        self
+    }
+
+    /// Overrides the tenant floor fraction.
+    #[must_use]
+    pub fn floor_frac(mut self, frac: f64) -> Self {
+        self.floor_frac = frac;
+        self
+    }
+
+    /// Overrides the rebalance cadence.
+    #[must_use]
+    pub fn rebalance_every_ns(mut self, ns: u64) -> Self {
+        self.rebalance_interval_ns = ns;
+        self
+    }
+
+    /// Materializes the scenario list (pairing-major, then budget).
+    pub fn build(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.pairings.len() * self.budgets.len());
+        for (label, tenants) in &self.pairings {
+            for &budget in &self.budgets {
+                let spec = CoLocationSpec::new(tenants.clone())
+                    .with_budget(budget)
+                    .with_floor_frac(self.floor_frac)
+                    .with_rebalance_interval_ns(self.rebalance_interval_ns);
+                let seed = derive_seed(self.seed, out.len() as u64);
+                out.push(Scenario::co_location(
+                    format!("{label}/{}/co", budget.label()),
+                    spec,
+                    &self.config,
+                    seed,
+                ));
             }
         }
         out
@@ -238,6 +320,10 @@ impl SweepReport {
     ///    "fast_hit_frac":0.93,"promotions":100,"demotions":90,
     ///    "samples":63157,"metadata_bytes":40960}]}
     /// ```
+    ///
+    /// Co-location scenarios additionally carry `"fairness"`,
+    /// `"rebalances"`, and a `"tenants"` array with per-tenant counters and
+    /// final quotas.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + self.results.len() * 256);
         let _ = write!(
@@ -255,7 +341,7 @@ impl SweepReport {
                 "{{\"label\":{},\"workload\":{},\"policy\":{},\"tier\":{},\"seed\":{},\
                  \"wall_s\":{:.6},\"ops\":{},\"sim_ns\":{},\"p50_ns\":{},\"mean_ns\":{:.3},\
                  \"throughput_mops\":{:.6},\"fast_hit_frac\":{:.6},\"promotions\":{},\
-                 \"demotions\":{},\"samples\":{},\"metadata_bytes\":{}}}",
+                 \"demotions\":{},\"samples\":{},\"metadata_bytes\":{}",
                 json_str(&r.label),
                 json_str(&r.workload),
                 json_str(&r.policy),
@@ -273,6 +359,36 @@ impl SweepReport {
                 r.report.samples,
                 r.report.metadata_bytes,
             );
+            if let Some(multi) = &r.multi {
+                let _ = write!(
+                    s,
+                    ",\"fairness\":{:.6},\"rebalances\":{},\"fast_budget_pages\":{},\"tenants\":[",
+                    multi.fairness_index(),
+                    multi.rebalances.len(),
+                    multi.fast_budget_pages,
+                );
+                for (j, t) in multi.tenants.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"name\":{},\"ops\":{},\"sim_ns\":{},\"fast_hit_frac\":{:.6},\
+                         \"initial_quota\":{},\"final_quota\":{},\"promotions\":{},\
+                         \"demotions\":{}}}",
+                        json_str(&t.name),
+                        t.report.ops,
+                        t.report.sim_ns,
+                        t.report.fast_hit_frac,
+                        t.initial_quota_pages,
+                        t.final_quota_pages,
+                        t.report.migrations.promotions,
+                        t.report.migrations.demotions,
+                    );
+                }
+                s.push(']');
+            }
+            s.push('}');
         }
         s.push_str("]}");
         s

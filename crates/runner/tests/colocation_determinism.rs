@@ -1,0 +1,117 @@
+//! Co-location as a sweep dimension must behave exactly like single
+//! scenarios under the parallel driver: serial ≡ parallel, order
+//! independent, and per-tenant seeds stable.
+
+use tiering_mem::TierRatio;
+use tiering_policies::PolicyKind;
+use tiering_runner::{
+    BudgetSpec, CoLocationMatrix, Scenario, SweepRunner, TenantSpec, WorkloadSpec,
+};
+use tiering_sim::SimConfig;
+use tiering_workloads::{WorkloadId, ZipfPageWorkload};
+
+fn colocation_matrix() -> Vec<Scenario> {
+    let hot = |name: &str| {
+        TenantSpec::new(
+            name,
+            WorkloadSpec::custom("zipf-hot", |seed| {
+                Box::new(ZipfPageWorkload::new(1_500, 0.99, 12_000, seed))
+            }),
+            tiering_runner::PolicySpec::Kind(PolicyKind::HybridTier),
+        )
+    };
+    let idle = |name: &str| {
+        TenantSpec::new(
+            name,
+            WorkloadSpec::custom("zipf-idle", |seed| {
+                Box::new(ZipfPageWorkload::new(3_000, 0.3, 12_000, seed).with_cpu_ns(700))
+            }),
+            tiering_runner::PolicySpec::Kind(PolicyKind::HybridTier),
+        )
+    };
+    CoLocationMatrix::new(SimConfig::default().with_max_ops(12_000), 0xC0_10C8)
+        .pairing("hot+idle", vec![hot("hot"), idle("idle")])
+        .pairing("hot+hot", vec![hot("a"), hot("b")])
+        .pairing(
+            "suite-pair",
+            vec![
+                TenantSpec::suite("cdn", WorkloadId::CdnCacheLib, PolicyKind::HybridTier),
+                TenantSpec::suite("silo", WorkloadId::Silo, PolicyKind::Memtis),
+            ],
+        )
+        .budgets([BudgetSpec::Ratio(TierRatio::OneTo8), BudgetSpec::Pages(400)])
+        .rebalance_every_ns(1_000_000)
+        .build()
+}
+
+#[test]
+fn matrix_builds_the_cross_product_with_distinct_seeds() {
+    let scenarios = colocation_matrix();
+    assert_eq!(scenarios.len(), 6, "3 pairings x 2 budgets");
+    assert_eq!(scenarios[0].label, "hot+idle/1:8/co");
+    assert_eq!(scenarios[1].label, "hot+idle/400pg/co");
+    let seeds: std::collections::HashSet<u64> = scenarios.iter().map(|s| s.seed).collect();
+    assert_eq!(seeds.len(), 6, "every scenario gets its own derived seed");
+}
+
+/// The acceptance-criterion test: a ≥2-tenant co-location matrix through
+/// the parallel sweep driver, byte-identical to the serial reference.
+#[test]
+fn parallel_colocation_sweep_matches_serial() {
+    let parallel = SweepRunner::new(4).run(colocation_matrix());
+    let serial = SweepRunner::serial().run(colocation_matrix());
+    assert!(
+        parallel.same_outcomes(&serial),
+        "parallel co-location sweep diverged from serial"
+    );
+    for r in &serial.results {
+        let multi = r.multi.as_ref().expect("co-location detail present");
+        assert_eq!(multi.tenants.len(), 2);
+        assert!(
+            !multi.rebalances.is_empty(),
+            "{}: cadence never fired",
+            r.label
+        );
+        for e in &multi.rebalances {
+            assert_eq!(
+                e.assigned(),
+                multi.fast_budget_pages,
+                "{}: budget leak",
+                r.label
+            );
+        }
+    }
+    // Reversed submission order still yields per-scenario identical
+    // outcomes (matched up by label).
+    let mut reversed_scenarios = colocation_matrix();
+    reversed_scenarios.reverse();
+    let reversed = SweepRunner::new(4).run(reversed_scenarios);
+    for r in &serial.results {
+        let other = reversed.find(&r.label).expect("label present");
+        assert!(r.same_outcome(other), "{} diverged on reorder", r.label);
+    }
+}
+
+/// Co-location scenarios mix freely with single scenarios in one sweep.
+#[test]
+fn mixed_single_and_colocation_sweep_is_deterministic() {
+    let mk = || {
+        let mut scenarios = vec![Scenario::suite(
+            WorkloadId::CdnCacheLib,
+            PolicyKind::HybridTier,
+            TierRatio::OneTo8,
+            &SimConfig::default().with_max_ops(5_000),
+            3,
+        )];
+        scenarios.extend(colocation_matrix().into_iter().take(2));
+        scenarios
+    };
+    let a = SweepRunner::new(3).run(mk());
+    let b = SweepRunner::serial().run(mk());
+    assert!(a.same_outcomes(&b));
+    assert!(a.results[0].multi.is_none());
+    assert!(a.results[1].multi.is_some());
+    let json = a.to_json();
+    assert!(json.contains("\"tenants\":["), "co-location JSON detail");
+    assert!(json.contains("\"fairness\":"));
+}

@@ -1,0 +1,143 @@
+//! Golden-report regression suite: key [`SimReport`] metrics for a small
+//! workload × policy matrix (and the §7 wake-up quota trajectory) are
+//! snapshotted under `tests/golden/`. Any drift — an engine change, a
+//! policy tweak, a workload-generator edit — fails these tests with a
+//! line-level diff.
+//!
+//! Intentional drift: regenerate with
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test -p tiering_runner --test golden_reports
+//! ```
+//!
+//! and commit the updated snapshots together with the change that caused
+//! them.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use tiering_mem::TierRatio;
+use tiering_policies::PolicyKind;
+use tiering_runner::{Scenario, ScenarioMatrix, SweepRunner};
+use tiering_sim::SimConfig;
+use tiering_workloads::WorkloadId;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the named snapshot, or rewrites the snapshot
+/// when `GOLDEN_UPDATE=1` is set.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("GOLDEN_UPDATE").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with GOLDEN_UPDATE=1 to create it",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let mut diff = String::new();
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != a {
+                let _ = writeln!(diff, "line {}:\n  expected: {e}\n  actual:   {a}", i + 1);
+            }
+        }
+        let (el, al) = (expected.lines().count(), actual.lines().count());
+        if el != al {
+            let _ = writeln!(diff, "line count: expected {el}, actual {al}");
+        }
+        panic!(
+            "{name} drifted from its golden snapshot.\n{diff}\
+             If this change is intentional, regenerate with \
+             GOLDEN_UPDATE=1 and commit the snapshot."
+        );
+    }
+}
+
+/// One line of key metrics per scenario — everything a behavioural
+/// regression would disturb, nothing host-dependent (no wall-clock).
+fn report_lines(results: &[tiering_runner::ScenarioResult]) -> String {
+    let mut out = String::from(
+        "# label seed ops accesses samples sim_ns p50_ns p90_ns p99_ns mean_ns \
+         fast_hit_frac promotions demotions failed_promotions metadata_bytes\n",
+    );
+    for r in results {
+        let m = &r.report;
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {} {} {} {} {:.3} {:.6} {} {} {} {}",
+            r.label,
+            r.seed,
+            m.ops,
+            m.accesses,
+            m.samples,
+            m.sim_ns,
+            m.latency.p50_ns,
+            m.latency.p90_ns,
+            m.latency.p99_ns,
+            m.latency.mean_ns,
+            m.fast_hit_frac,
+            m.migrations.promotions,
+            m.migrations.demotions,
+            m.migrations.failed_promotions,
+            m.metadata_bytes,
+        );
+    }
+    out
+}
+
+/// The single-scenario matrix: two workload families × three policy
+/// families at 1:8 — small enough for CI, broad enough that engine,
+/// sampler, policy, and workload regressions all surface.
+#[test]
+fn single_scenario_matrix_matches_golden() {
+    let scenarios = ScenarioMatrix::new(SimConfig::default().with_max_ops(20_000), 0xA5F0_5EED)
+        .workloads([WorkloadId::CdnCacheLib, WorkloadId::Silo])
+        .policies([
+            PolicyKind::HybridTier,
+            PolicyKind::Memtis,
+            PolicyKind::FirstTouch,
+        ])
+        .ratios([TierRatio::OneTo8])
+        .build();
+    let sweep = SweepRunner::serial().run(scenarios);
+    assert_matches_golden("report_matrix.txt", &report_lines(&sweep.results));
+}
+
+/// The §7 wake-up demo's quota trajectory and per-tenant outcomes: the
+/// same recipe the `multi_tenant` example and the `sec7` bench experiment
+/// run, so scenario drift in co-location is caught on PRs.
+#[test]
+fn wakeup_quota_trajectory_matches_golden() {
+    let config = SimConfig::default().with_max_sim_ns(100_000_000);
+    let result = Scenario::wakeup_demo(&config, 0xA5F0_5EED).run();
+    let multi = result.multi.expect("co-location detail");
+
+    let mut out =
+        String::from("# rebalance_at_ns cache_demand batch_demand cache_quota batch_quota\n");
+    for e in &multi.rebalances {
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {}",
+            e.at_ns, e.demands[0], e.demands[1], e.quotas[0], e.quotas[1]
+        );
+    }
+    let _ = writeln!(out, "# tenant ops samples fast_hit_frac final_quota");
+    for t in &multi.tenants {
+        let _ = writeln!(
+            out,
+            "{} {} {} {:.6} {}",
+            t.name, t.report.ops, t.report.samples, t.report.fast_hit_frac, t.final_quota_pages
+        );
+    }
+    let _ = writeln!(out, "# fairness {:.6}", multi.fairness_index());
+    assert_matches_golden("wakeup_trajectory.txt", &out);
+}

@@ -27,6 +27,7 @@ mod adaptation;
 mod engine;
 mod histo;
 mod hotness;
+mod multi_tenant;
 mod pipeline;
 mod prefetch;
 mod report;
@@ -35,8 +36,14 @@ pub use adaptation::{adaptation_time_ns, steady_state_p50};
 pub use engine::{CacheSimOptions, Engine, SimConfig};
 pub use histo::LogHistogram;
 pub use hotness::{CountDistribution, RetentionConfig, RetentionProbe, COUNT_BUCKET_LABELS};
+pub use multi_tenant::{
+    MultiTenantConfig, MultiTenantEngine, TenantPolicyBuilder, TenantRun, DEFAULT_FLOOR_FRAC,
+    DEFAULT_REBALANCE_INTERVAL_NS,
+};
 pub use prefetch::StreamPrefetcher;
-pub use report::{CacheTimelinePoint, LatencySummary, SimReport, TimelinePoint};
+pub use report::{
+    CacheTimelinePoint, LatencySummary, MultiTenantReport, SimReport, TenantReport, TimelinePoint,
+};
 
 /// Convenience: run `policy_kind` over `workload_id` at `ratio` with default
 /// engine settings and the suite's scaled parameters.

@@ -1,0 +1,443 @@
+//! Co-located tenants over one physical fast tier (paper §7).
+//!
+//! [`MultiTenantEngine`] drives N tenants — each an ordinary (workload,
+//! policy) pair with its own [`Pipeline`] — against one shared fast-tier
+//! budget partitioned by a [`GlobalController`]. Execution is round-based:
+//!
+//! 1. every tenant runs through the shared batched pipeline until its local
+//!    simulated clock reaches the next rebalance boundary (or it finishes);
+//! 2. the controller collects each tenant's demand signal
+//!    ([`TieringPolicy::fast_demand_pages`]) and re-partitions the budget,
+//!    recording a typed [`RebalanceEvent`](tiering_policies::RebalanceEvent);
+//! 3. the new quotas are applied to each tenant's memory view — shrunk
+//!    tenants drain through their policy's ordinary watermark demotion, so
+//!    quota enforcement rides the existing migration path.
+//!
+//! Determinism mirrors the single-tenant engine: tenants are stepped in
+//! registration order, all state is thread-local, and batching never
+//! perturbs results. A tenant suspended at a round boundary with
+//! pulled-but-unconsumed operations resumes them after the rebalance —
+//! legal because operations are batch-pulled only while the workload's
+//! output is time-independent, and a rebalance only resizes memory, never
+//! the workload. The `multi_tenant_equivalence` integration tests pin
+//! batch-size invariance for the whole co-located run.
+
+use std::fmt;
+
+use tiering_mem::TierConfig;
+use tiering_policies::{GlobalController, TieringPolicy};
+use tiering_trace::{AccessBatch, Workload};
+
+use crate::pipeline::Pipeline;
+use crate::report::{MultiTenantReport, SimReport, TenantReport};
+use crate::{LatencySummary, LogHistogram, SimConfig};
+
+/// Default tenant floor fraction (the canonical §7 demo value, shared with
+/// the runner's co-location specs so the constant lives once).
+pub const DEFAULT_FLOOR_FRAC: f64 = 0.1;
+
+/// Default rebalance cadence in simulated ns (10 ms; see
+/// [`DEFAULT_FLOOR_FRAC`]).
+pub const DEFAULT_REBALANCE_INTERVAL_NS: u64 = 10_000_000;
+
+/// Builds a tenant's policy once its initial tier configuration (equal-share
+/// quota) is known.
+pub type TenantPolicyBuilder = Box<dyn FnOnce(&TierConfig) -> Box<dyn TieringPolicy>>;
+
+/// One tenant to co-locate: a name, a workload, and a policy recipe.
+pub struct TenantRun {
+    /// Tenant name (reporting and lookup).
+    pub name: String,
+    /// The tenant's application.
+    pub workload: Box<dyn Workload>,
+    /// Policy factory, invoked with the tenant's initial tier config.
+    pub policy: TenantPolicyBuilder,
+}
+
+impl TenantRun {
+    /// A tenant from its parts.
+    pub fn new<F>(name: impl Into<String>, workload: Box<dyn Workload>, policy: F) -> Self
+    where
+        F: FnOnce(&TierConfig) -> Box<dyn TieringPolicy> + 'static,
+    {
+        Self {
+            name: name.into(),
+            workload,
+            policy: Box::new(policy),
+        }
+    }
+}
+
+impl fmt::Debug for TenantRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TenantRun({}, {})", self.name, self.workload.name())
+    }
+}
+
+/// Co-location parameters: the shared budget and the controller cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiTenantConfig {
+    /// Physical fast pages shared by all tenants.
+    pub fast_budget_pages: u64,
+    /// Minimum budget share any tenant keeps (see
+    /// [`GlobalController::new`]).
+    pub floor_frac: f64,
+    /// Simulated time between controller rebalances.
+    pub rebalance_interval_ns: u64,
+}
+
+impl MultiTenantConfig {
+    /// A configuration with the paper-demo defaults: 10% floor, 10 ms
+    /// rebalance cadence.
+    pub fn new(fast_budget_pages: u64) -> Self {
+        Self {
+            fast_budget_pages,
+            floor_frac: DEFAULT_FLOOR_FRAC,
+            rebalance_interval_ns: DEFAULT_REBALANCE_INTERVAL_NS,
+        }
+    }
+
+    /// Overrides the tenant floor fraction.
+    #[must_use]
+    pub fn with_floor_frac(mut self, frac: f64) -> Self {
+        self.floor_frac = frac;
+        self
+    }
+
+    /// Overrides the rebalance cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns == 0`.
+    #[must_use]
+    pub fn with_rebalance_interval_ns(mut self, ns: u64) -> Self {
+        assert!(ns > 0, "rebalance interval must be positive");
+        self.rebalance_interval_ns = ns;
+        self
+    }
+}
+
+/// One tenant's live execution state.
+struct Lane<'c> {
+    name: String,
+    workload: Box<dyn Workload>,
+    policy: Box<dyn TieringPolicy>,
+    pipeline: Pipeline<'c>,
+    batch: AccessBatch,
+    /// Next unconsumed op within `batch`.
+    cursor: usize,
+    /// The workload returned an empty pull.
+    exhausted: bool,
+    initial_quota: u64,
+}
+
+impl Lane<'_> {
+    /// Whether this tenant has nothing left to simulate.
+    fn finished(&self) -> bool {
+        self.pipeline.done() || (self.exhausted && self.cursor >= self.batch.len())
+    }
+
+    /// Advances the tenant until its local clock reaches `until_ns`, it
+    /// hits an engine cap, or its workload ends. Unconsumed batched ops are
+    /// kept for the next round.
+    fn run_until(&mut self, until_ns: u64, batch_ops: usize) {
+        loop {
+            if self.pipeline.done() || self.pipeline.now_ns() >= until_ns {
+                return;
+            }
+            if self.cursor >= self.batch.len() {
+                if self.exhausted {
+                    return;
+                }
+                if !self
+                    .pipeline
+                    .stage_pull(self.workload.as_mut(), &mut self.batch, batch_ops)
+                {
+                    self.exhausted = true;
+                    return;
+                }
+                self.cursor = 0;
+            }
+            let (op, accesses) = self.batch.get(self.cursor);
+            self.cursor += 1;
+            self.pipeline.stage_op(self.policy.as_mut(), op, accesses);
+        }
+    }
+}
+
+/// The co-location engine: N tenants, one fast budget, a central
+/// controller.
+///
+/// Like [`Engine`](crate::Engine), runs are deterministic: the same tenant
+/// list, configurations, and seeds produce byte-identical
+/// [`MultiTenantReport`]s regardless of batch size.
+#[derive(Debug, Clone)]
+pub struct MultiTenantEngine {
+    sim: SimConfig,
+    cfg: MultiTenantConfig,
+}
+
+impl MultiTenantEngine {
+    /// Creates the engine. `sim` applies to every tenant's pipeline
+    /// (per-tenant op/time caps, batch size, probes).
+    pub fn new(sim: SimConfig, cfg: MultiTenantConfig) -> Self {
+        Self { sim, cfg }
+    }
+
+    /// Runs all tenants to completion and seals the merged report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is empty.
+    pub fn run(&self, tenants: Vec<TenantRun>) -> MultiTenantReport {
+        assert!(!tenants.is_empty(), "co-location needs at least one tenant");
+        let mut controller = GlobalController::new(self.cfg.fast_budget_pages, self.cfg.floor_frac);
+        for t in &tenants {
+            controller.add_tenant(&t.name, t.workload.footprint_pages(self.sim.page_size));
+        }
+
+        let batch_ops = self.sim.batch_ops.max(1);
+        let mut lanes: Vec<Lane<'_>> = tenants
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let tier_cfg = controller.tier_config(i, self.sim.page_size);
+                let policy = (t.policy)(&tier_cfg);
+                Lane {
+                    name: t.name,
+                    workload: t.workload,
+                    pipeline: Pipeline::new(&self.sim, tier_cfg, policy.as_ref()),
+                    policy,
+                    batch: AccessBatch::with_capacity(batch_ops, batch_ops * 4),
+                    cursor: 0,
+                    exhausted: false,
+                    initial_quota: tier_cfg.fast_capacity_pages,
+                }
+            })
+            .collect();
+
+        let mut round_end = self.cfg.rebalance_interval_ns;
+        loop {
+            let mut any_running = false;
+            for lane in &mut lanes {
+                lane.run_until(round_end, batch_ops);
+                any_running |= !lane.finished();
+            }
+            if !any_running {
+                break;
+            }
+            // A finished tenant's application is gone: its policy state
+            // (and hot-set estimate) is frozen at peak, so letting it keep
+            // reporting demand would squeeze still-running tenants forever.
+            // It reports zero instead — the controller floors that to the
+            // idle share, freeing the rest for live tenants.
+            let demands: Vec<u64> = lanes
+                .iter()
+                .map(|l| {
+                    if l.finished() {
+                        0
+                    } else {
+                        l.policy.fast_demand_pages(l.pipeline.mem())
+                    }
+                })
+                .collect();
+            let event = controller.rebalance(round_end, &demands);
+            for (lane, &quota) in lanes.iter_mut().zip(&event.quotas) {
+                lane.pipeline.set_fast_capacity(quota);
+            }
+            round_end += self.cfg.rebalance_interval_ns;
+        }
+
+        self.seal(controller, lanes)
+    }
+
+    /// Merges per-lane state into the final report.
+    fn seal(&self, controller: GlobalController, lanes: Vec<Lane<'_>>) -> MultiTenantReport {
+        let mut merged_hist = LogHistogram::new();
+        let mut tenant_reports = Vec::with_capacity(lanes.len());
+        let mut names = Vec::with_capacity(lanes.len());
+        let mut policies = Vec::with_capacity(lanes.len());
+        for (i, lane) in lanes.into_iter().enumerate() {
+            merged_hist.merge(lane.pipeline.hist());
+            let final_fast_used = lane.pipeline.mem().fast_used();
+            let report = lane
+                .pipeline
+                .finish(lane.workload.name(), lane.policy.as_ref());
+            names.push(lane.name.clone());
+            policies.push(report.policy.clone());
+            tenant_reports.push(TenantReport {
+                name: lane.name,
+                initial_quota_pages: lane.initial_quota,
+                final_quota_pages: controller.quota(i),
+                final_fast_used,
+                report,
+            });
+        }
+
+        let mut migrations = tiering_mem::MigrationStats::default();
+        let (mut ops, mut accesses, mut samples, mut fast_hits_weighted) = (0, 0, 0, 0.0);
+        let mut sim_ns = 0;
+        let mut metadata_bytes = 0;
+        for t in &tenant_reports {
+            ops += t.report.ops;
+            accesses += t.report.accesses;
+            samples += t.report.samples;
+            sim_ns = sim_ns.max(t.report.sim_ns);
+            metadata_bytes += t.report.metadata_bytes;
+            fast_hits_weighted += t.report.fast_hit_frac * t.report.accesses as f64;
+            migrations.promotions += t.report.migrations.promotions;
+            migrations.demotions += t.report.migrations.demotions;
+            migrations.allocated_fast += t.report.migrations.allocated_fast;
+            migrations.allocated_slow += t.report.migrations.allocated_slow;
+            migrations.failed_promotions += t.report.migrations.failed_promotions;
+        }
+        let aggregate = SimReport {
+            workload: names.join("+"),
+            policy: policies.join("+"),
+            ops,
+            accesses,
+            samples,
+            sim_ns,
+            latency: LatencySummary::from_histogram(&merged_hist),
+            timeline: Vec::new(),
+            cache_timeline: Vec::new(),
+            cache: None,
+            migrations,
+            fast_hit_frac: if accesses == 0 {
+                0.0
+            } else {
+                fast_hits_weighted / accesses as f64
+            },
+            metadata_bytes,
+            count_distribution: None,
+            retention: None,
+        };
+
+        MultiTenantReport {
+            fast_budget_pages: self.cfg.fast_budget_pages,
+            tenants: tenant_reports,
+            rebalances: controller.events().to_vec(),
+            aggregate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiering_mem::PageSize;
+    use tiering_policies::{build_policy, PolicyKind};
+    use tiering_workloads::ZipfPageWorkload;
+
+    fn two_tenants(ops: u64) -> Vec<TenantRun> {
+        vec![
+            TenantRun::new(
+                "hot",
+                Box::new(ZipfPageWorkload::new(2_000, 0.99, ops, 7)),
+                |cfg| build_policy(PolicyKind::HybridTier, cfg),
+            ),
+            TenantRun::new(
+                "cool",
+                // Uniform and slow: samples spread one-per-page and arrive
+                // rarely, so almost nothing crosses the hotness threshold
+                // and the demand signal stays near zero.
+                Box::new(ZipfPageWorkload::new(4_000, 0.0, ops, 9).with_cpu_ns(2_000)),
+                |cfg| build_policy(PolicyKind::HybridTier, cfg),
+            ),
+        ]
+    }
+
+    #[test]
+    fn budget_is_partitioned_and_rebalanced() {
+        let engine = MultiTenantEngine::new(
+            SimConfig::default().with_max_ops(40_000),
+            MultiTenantConfig::new(750).with_rebalance_interval_ns(2_000_000),
+        );
+        let r = engine.run(two_tenants(40_000));
+        assert_eq!(r.tenants.len(), 2);
+        assert!(!r.rebalances.is_empty(), "cadence must fire");
+        for e in &r.rebalances {
+            assert_eq!(e.assigned(), 750, "every rebalance assigns the budget");
+        }
+        assert_eq!(
+            r.tenants[0].initial_quota_pages + r.tenants[1].initial_quota_pages,
+            750
+        );
+        // Quota follows demand: whichever tenant demonstrated the larger
+        // hot set at the final rebalance holds the larger quota. (Note a
+        // highly skewed tenant legitimately demands *few* pages — its hot
+        // set is small — so the invariant is demand-ordering, not skew.)
+        let last = r.rebalances.last().expect("events");
+        let hi = usize::from(last.demands[1] > last.demands[0]);
+        assert!(
+            last.quotas[hi] >= last.quotas[1 - hi],
+            "quota must follow demand: {last:?}"
+        );
+        assert_eq!(r.tenants[0].final_quota_pages, last.quotas[0]);
+        assert_eq!(r.aggregate.ops, 80_000);
+        assert_eq!(
+            r.aggregate.accesses,
+            r.tenants.iter().map(|t| t.report.accesses).sum::<u64>()
+        );
+        let fairness = r.fairness_index();
+        assert!((0.5..=1.0).contains(&fairness), "2-tenant Jain: {fairness}");
+        // "hot" hits its op cap within a few simulated ms while "cool"
+        // runs ~20x longer: once finished, "hot" must stop claiming its
+        // frozen peak demand so the live tenant takes over the budget.
+        assert!(
+            r.tenants[0].report.sim_ns < r.tenants[1].report.sim_ns,
+            "test premise: hot finishes first"
+        );
+        assert_eq!(
+            last.demands[0], 1,
+            "finished tenant's demand must drop to the idle floor: {last:?}"
+        );
+        assert_eq!(r.find("cool").unwrap().name, "cool");
+        let traj = r.quota_trajectory(0);
+        assert_eq!(traj.len(), r.rebalances.len() + 1);
+        assert_eq!(traj[0], (0, r.tenants[0].initial_quota_pages));
+    }
+
+    #[test]
+    fn single_tenant_colocation_matches_quota() {
+        let engine = MultiTenantEngine::new(
+            SimConfig::default().with_max_ops(5_000),
+            MultiTenantConfig::new(500),
+        );
+        let r = engine.run(vec![TenantRun::new(
+            "solo",
+            Box::new(ZipfPageWorkload::new(1_000, 0.99, 5_000, 3)),
+            |cfg| build_policy(PolicyKind::HybridTier, cfg),
+        )]);
+        assert_eq!(r.tenants[0].initial_quota_pages, 500);
+        assert!(r.tenants[0].final_fast_used <= 500);
+        assert_eq!(r.quota_share(0), 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            MultiTenantEngine::new(
+                SimConfig::default().with_max_ops(20_000),
+                MultiTenantConfig::new(600).with_rebalance_interval_ns(3_000_000),
+            )
+            .run(two_tenants(20_000))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn footprint_panic_is_loud() {
+        let engine = MultiTenantEngine::new(
+            SimConfig {
+                page_size: PageSize::Base4K,
+                ..SimConfig::default()
+            },
+            MultiTenantConfig::new(100),
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run(Vec::new());
+        }));
+        assert!(result.is_err(), "empty tenant list must panic");
+    }
+}

@@ -155,6 +155,29 @@ impl<'c> Pipeline<'c> {
         self.ops >= self.cfg.max_ops || self.now_ns >= self.cfg.max_sim_ns
     }
 
+    /// Current simulated time of this run (the multi-tenant engine
+    /// interleaves several pipelines by their local clocks).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Read access to the tiered memory (demand signals, diagnostics).
+    pub(crate) fn mem(&self) -> &TieredMemory {
+        &self.mem
+    }
+
+    /// Applies a controller-assigned fast-tier quota (paper §7). Shrinking
+    /// below occupancy is fine — watermark demotion drains the excess.
+    pub(crate) fn set_fast_capacity(&mut self, pages: u64) {
+        self.mem.set_fast_capacity(pages);
+    }
+
+    /// The whole-run latency histogram accumulated so far (merged across
+    /// tenants for the co-location aggregate report).
+    pub(crate) fn hist(&self) -> &LogHistogram {
+        &self.global_hist
+    }
+
     /// Stage 1 — pull: refills `batch` from the workload. Returns `false`
     /// when the workload is exhausted.
     ///

@@ -2,6 +2,7 @@
 
 use cache_sim::HierarchyStats;
 use tiering_mem::MigrationStats;
+use tiering_policies::RebalanceEvent;
 
 use crate::histo::LogHistogram;
 use crate::hotness::CountDistribution;
@@ -121,6 +122,132 @@ impl SimReport {
         } else {
             baseline.sim_ns as f64 / self.sim_ns as f64
         }
+    }
+}
+
+/// One tenant's slice of a multi-tenant run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name (as registered with the controller).
+    pub name: String,
+    /// Fast-tier quota the tenant started with (equal shares).
+    pub initial_quota_pages: u64,
+    /// Fast-tier quota after the final rebalance.
+    pub final_quota_pages: u64,
+    /// Fast pages actually resident at end of run (≤ quota once watermark
+    /// demotion has drained any post-shrink excess).
+    pub final_fast_used: u64,
+    /// The tenant's ordinary simulation report.
+    pub report: SimReport,
+}
+
+/// The complete result of one multi-tenant (co-located) run: per-tenant
+/// [`SimReport`]s, the controller's full quota trajectory, and fairness
+/// summaries (paper §7).
+///
+/// `PartialEq` compares everything — the co-location determinism tests rely
+/// on whole-report equality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTenantReport {
+    /// Physical fast pages shared by all tenants.
+    pub fast_budget_pages: u64,
+    /// Per-tenant results, in registration order.
+    pub tenants: Vec<TenantReport>,
+    /// Every rebalance the controller performed, in time order.
+    pub rebalances: Vec<RebalanceEvent>,
+    /// Whole-machine view: summed ops/accesses/migrations, exact merged
+    /// latency percentiles, access-weighted fast-hit fraction. Timeline and
+    /// cache series are per-tenant concerns and stay empty here.
+    pub aggregate: SimReport,
+}
+
+impl MultiTenantReport {
+    /// Looks a tenant up by name.
+    pub fn find(&self, name: &str) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// The quota trajectory of one tenant: `(rebalance time ns, quota)` per
+    /// rebalance event, prefixed by the initial equal-share assignment at
+    /// time zero.
+    pub fn quota_trajectory(&self, tenant: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.rebalances.len() + 1);
+        out.push((0, self.tenants[tenant].initial_quota_pages));
+        out.extend(self.rebalances.iter().map(|e| (e.at_ns, e.quotas[tenant])));
+        out
+    }
+
+    /// Jain's fairness index over per-tenant fast-hit fractions, in
+    /// `(1/n, 1]`: 1.0 means every tenant enjoys the same fast-tier service,
+    /// 1/n means one tenant monopolizes it. Reports 1.0 for the degenerate
+    /// all-zero case.
+    pub fn fairness_index(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .tenants
+            .iter()
+            .map(|t| t.report.fast_hit_frac)
+            .collect();
+        let sum: f64 = xs.iter().sum();
+        let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sum_sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (xs.len() as f64 * sum_sq)
+        }
+    }
+
+    /// Fraction of the fast budget the tenant holds after the final
+    /// rebalance.
+    pub fn quota_share(&self, tenant: usize) -> f64 {
+        self.tenants[tenant].final_quota_pages as f64 / self.fast_budget_pages as f64
+    }
+
+    /// Plain-text run summary: the demand/quota trajectory table, one line
+    /// per tenant, and the fairness index. The `multi_tenant` example and
+    /// the bench `sec7` experiment both print exactly this block, so their
+    /// outputs cannot drift apart.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{:>6}", "t_ms");
+        for t in &self.tenants {
+            let _ = write!(out, " {:>13}", format!("{} demand", t.name));
+        }
+        for t in &self.tenants {
+            let _ = write!(out, " {:>12}", format!("{} quota", t.name));
+        }
+        out.push('\n');
+        for e in &self.rebalances {
+            let _ = write!(out, "{:>6.0}", e.at_ns as f64 / 1e6);
+            for d in &e.demands {
+                let _ = write!(out, " {d:>13}");
+            }
+            for q in &e.quotas {
+                let _ = write!(out, " {q:>12}");
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "tenant {:>6}: {:>8} ops, fast-hit {:.3}, quota {} -> {} pages ({} resident)",
+                t.name,
+                t.report.ops,
+                t.report.fast_hit_frac,
+                t.initial_quota_pages,
+                t.final_quota_pages,
+                t.final_fast_used,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "fairness (Jain over fast-hit): {:.4}; budget {} pages, {} rebalances",
+            self.fairness_index(),
+            self.fast_budget_pages,
+            self.rebalances.len()
+        );
+        out
     }
 }
 

@@ -113,6 +113,22 @@ impl AccessBatch {
         self.accesses.len()
     }
 
+    /// The `idx`-th committed operation and its accesses.
+    ///
+    /// Consumers that pause mid-batch (the multi-tenant engine suspends a
+    /// tenant at rebalance boundaries with ops still buffered) resume by
+    /// index instead of holding an iterator across the pause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> (Op, &[Access]) {
+        let r = &self.ops[idx];
+        let s = r.start as usize;
+        (r.op, &self.accesses[s..s + r.len as usize])
+    }
+
     /// Iterates `(op, accesses)` pairs in emission order.
     pub fn iter(&self) -> impl Iterator<Item = (Op, &[Access])> {
         self.ops.iter().map(|r| {

@@ -22,6 +22,9 @@ pub struct ZipfPageWorkload {
     ops_remaining: u64,
     shift_at_ns: Option<u64>,
     shift_fraction: f64,
+    wake_at_ns: Option<u64>,
+    wake_theta: f64,
+    wake_cpu_ns: u64,
     cpu_ns: u64,
     name: String,
 }
@@ -39,6 +42,9 @@ impl ZipfPageWorkload {
             ops_remaining: ops,
             shift_at_ns: None,
             shift_fraction: 0.0,
+            wake_at_ns: None,
+            wake_theta: 0.0,
+            wake_cpu_ns: 0,
             cpu_ns: 50,
             name: format!("zipf-{pages}p-t{theta}"),
         }
@@ -50,6 +56,26 @@ impl ZipfPageWorkload {
     pub fn with_shift(mut self, at_ns: u64, fraction: f64) -> Self {
         self.shift_at_ns = Some(at_ns);
         self.shift_fraction = fraction;
+        self
+    }
+
+    /// Overrides the fixed compute time per op (default 50 ns). High values
+    /// model a mostly-idle tenant whose accesses arrive slowly.
+    #[must_use]
+    pub fn with_cpu_ns(mut self, cpu_ns: u64) -> Self {
+        self.cpu_ns = cpu_ns;
+        self
+    }
+
+    /// Schedules a "wake-up": at `at_ns` the popularity distribution is
+    /// rebuilt with exponent `theta` and the per-op compute time drops to
+    /// `cpu_ns` — a mostly-idle tenant starting a hot, intense phase. This
+    /// is the time-trigger behind the paper-§7 co-location demo.
+    #[must_use]
+    pub fn with_wakeup(mut self, at_ns: u64, theta: f64, cpu_ns: u64) -> Self {
+        self.wake_at_ns = Some(at_ns);
+        self.wake_theta = theta;
+        self.wake_cpu_ns = cpu_ns;
         self
     }
 }
@@ -64,6 +90,15 @@ impl Workload for ZipfPageWorkload {
                 let mut shift_rng = SmallRng::seed_from_u64(0x5117F7ED);
                 self.zipf.shift(self.shift_fraction, &mut shift_rng);
                 self.shift_at_ns = None;
+            }
+        }
+        if let Some(at) = self.wake_at_ns {
+            if now_ns >= at {
+                let pages = self.zipf.len();
+                let mut perm_rng = SmallRng::seed_from_u64(0x3A6E_0B17);
+                self.zipf = ShiftableZipf::new(pages, self.wake_theta).shuffled(&mut perm_rng);
+                self.cpu_ns = self.wake_cpu_ns;
+                self.wake_at_ns = None;
             }
         }
         self.ops_remaining -= 1;
@@ -81,16 +116,17 @@ impl Workload for ZipfPageWorkload {
     }
 
     fn batchable_now(&self) -> bool {
-        // Time-independent once the (single) scheduled shift has fired.
-        self.shift_at_ns.is_none()
+        // Time-independent once every scheduled trigger (shift, wake-up)
+        // has fired.
+        self.shift_at_ns.is_none() && self.wake_at_ns.is_none()
     }
 
     fn fill_batch(&mut self, now_ns: u64, max_ops: usize, batch: &mut AccessBatch) -> usize {
-        // Batch fast path: the per-op shift check, region base, and rank
+        // Batch fast path: the per-op trigger checks, region base, and rank
         // table are hoisted out of the loop. Only valid while batchable —
-        // fall back to the generic path when a shift is still pending so the
-        // trigger is evaluated against fresh time every op.
-        if self.shift_at_ns.is_some() {
+        // fall back to the generic path when a trigger is still pending so
+        // it is evaluated against fresh time every op.
+        if !self.batchable_now() {
             return fill_batch_via_next_op(self, now_ns, max_ops, batch);
         }
         let n = max_ops.min(self.ops_remaining as usize);

@@ -1,83 +1,32 @@
 //! Global tiering across co-located tenants (paper §7).
 //!
 //! Two applications share one physical fast tier through the central
-//! controller: a hot in-memory-cache-style tenant and a mostly idle one.
-//! Midway, the idle tenant wakes up; the controller re-partitions the fast
-//! budget to follow demand.
+//! controller: a hot in-memory-cache-style tenant and a mostly idle batch
+//! tenant. At 40 simulated ms the idle tenant wakes up with a hot set of
+//! its own; the controller re-partitions the fast budget to follow demand.
+//!
+//! This runs the *same* co-location scenario as the `sec7` bench experiment
+//! and the runner's golden suite (`Scenario::wakeup_demo`), so the quota
+//! trajectory printed here is the one those pin.
 //!
 //! Usage: `cargo run --release --example multi_tenant`
 
-use hybridtier::policies::GlobalController;
 use hybridtier::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-/// Drives `ops` Zipf-distributed sampled accesses into a tenant.
-fn drive(
-    controller: &mut GlobalController,
-    idx: usize,
-    zipf: &ZipfDistribution,
-    ops: u64,
-    t0: u64,
-    rng: &mut SmallRng,
-) {
-    let mut ctx = PolicyCtx::new();
-    let tenant = controller.tenant_mut(idx);
-    for i in 0..ops {
-        let page = zipf.sample_rank(rng) as u64;
-        let tier = tenant.mem.ensure_mapped(PageId(page), Tier::Slow);
-        tenant.policy.on_sample(
-            Sample {
-                page: PageId(page),
-                addr: page << 12,
-                tier,
-                at_ns: t0 + i * 500,
-                is_write: false,
-            },
-            &mut tenant.mem,
-            &mut ctx,
-        );
-        if i % 1_000 == 0 {
-            tenant
-                .policy
-                .on_tick(t0 + i * 500, &mut tenant.mem, &mut ctx);
-        }
-        ctx.drain();
-    }
-}
+use hybridtier::runner::Scenario;
 
 fn main() {
-    let fast_budget = 4_000; // pages of physical fast memory
-    let mut controller = GlobalController::new(fast_budget, 0.1);
-    let cache = controller.add_tenant("cache", 40_000);
-    let batch = controller.add_tenant("batch", 40_000);
+    let config = SimConfig::default().with_max_sim_ns(100_000_000);
+    let result = Scenario::wakeup_demo(&config, 0xA5F0_5EED).run();
+    let multi = result.multi.expect("wakeup demo is a co-location scenario");
 
-    let hot_zipf = ZipfDistribution::new(8_000, 0.99);
-    let idle_zipf = ZipfDistribution::new(40_000, 0.3);
-    let mut rng = SmallRng::seed_from_u64(17);
-
-    println!("fast budget: {fast_budget} pages shared by 2 tenants\n");
-    println!("{:>6} {:>14} {:>14}", "phase", "cache quota", "batch quota");
-    for phase in 0..6 {
-        // Phase 0-2: cache hot, batch idle. Phase 3+: batch wakes up with a
-        // hot set twice the size of the cache tenant's.
-        let t0 = phase * 400_000_000;
-        drive(&mut controller, cache, &hot_zipf, 60_000, t0, &mut rng);
-        if phase >= 3 {
-            let woke = ZipfDistribution::new(6_000, 1.2);
-            drive(&mut controller, batch, &woke, 120_000, t0, &mut rng);
-        } else {
-            drive(&mut controller, batch, &idle_zipf, 2_000, t0, &mut rng);
-        }
-        let quotas = controller.rebalance();
-        println!("{:>6} {:>14} {:>14}", phase, quotas[cache], quotas[batch]);
-    }
     println!(
-        "\nfast-tier residency: cache {} pages, batch {} pages",
-        controller.tenant(cache).mem.fast_used(),
-        controller.tenant(batch).mem.fast_used()
+        "fast budget: {} pages shared by {} tenants, rebalanced every 10 ms\n",
+        multi.fast_budget_pages,
+        multi.tenants.len()
     );
+    print!("{}", multi.summary());
     println!(
-        "(the controller follows demand; each tenant's watermark demotion drains over-quota pages)"
+        "\n(the controller follows demand; each tenant's watermark demotion \
+         drains over-quota pages)"
     );
 }

@@ -67,14 +67,19 @@ pub mod prelude {
         LatencyModel, MigrationError, PageId, PageSize, Tier, TierConfig, TierRatio, TieredMemory,
     };
     pub use crate::policies::{
-        build_policy, ArcPolicy, AutoNumaPolicy, HybridTierConfig, HybridTierPolicy, MemtisPolicy,
-        MigrationDecision, PolicyCtx, PolicyKind, TieringPolicy, TppPolicy, TwoQPolicy,
+        build_policy, ArcPolicy, AutoNumaPolicy, GlobalController, HybridTierConfig,
+        HybridTierPolicy, MemtisPolicy, MigrationDecision, PolicyCtx, PolicyKind, RebalanceEvent,
+        TieringPolicy, TppPolicy, TwoQPolicy,
     };
     pub use crate::runner::{
-        PolicySpec, Scenario, ScenarioMatrix, ScenarioResult, SweepReport, SweepRunner, TierSpec,
+        BudgetSpec, CoLocationMatrix, CoLocationSpec, PolicySpec, Scenario, ScenarioKind,
+        ScenarioMatrix, ScenarioResult, SweepReport, SweepRunner, TenantSpec, TierSpec,
         WorkloadSpec,
     };
-    pub use crate::sim::{adaptation_time_ns, run_suite_experiment, Engine, SimConfig, SimReport};
+    pub use crate::sim::{
+        adaptation_time_ns, run_suite_experiment, Engine, MultiTenantConfig, MultiTenantEngine,
+        MultiTenantReport, SimConfig, SimReport, TenantReport, TenantRun,
+    };
     pub use crate::trace::{Access, AccessBatch, Op, Sample, Sampler, Workload};
     pub use crate::workloads::{
         build_workload, BfsWorkload, CacheLibConfig, CacheLibWorkload, Graph, GraphKind,
