@@ -24,6 +24,26 @@ fn bench_increment(c: &mut Criterion) {
             }
         })
     });
+    // The per-counter reference path the word-level ops replaced: same
+    // probes, but one indexed get/set per counter instead of a single
+    // block load/store. The delta is the word-level payoff.
+    group.bench_function("blocked_cbf_scalar_ref", |b| {
+        let mut f = BlockedCbf::new(params.clone());
+        b.iter(|| {
+            for &k in &stream {
+                black_box(f.increment_per_counter(k));
+            }
+        })
+    });
+    group.bench_function("blocked_cbf_batched", |b| {
+        let mut f = BlockedCbf::new(params.clone());
+        let mut out = Vec::with_capacity(stream.len());
+        b.iter(|| {
+            out.clear();
+            f.increment_batch(&stream, &mut out);
+            black_box(&out);
+        })
+    });
     group.bench_function("standard_cbf", |b| {
         let mut f = StandardCbf::new(params.clone());
         b.iter(|| {
@@ -60,10 +80,50 @@ fn bench_estimate(c: &mut Criterion) {
             }
         })
     });
+    group.bench_function("blocked_cbf_scalar_ref", |b| {
+        b.iter(|| {
+            for &k in &stream {
+                black_box(blocked.estimate_per_counter(k));
+            }
+        })
+    });
+    group.bench_function("blocked_cbf_batched", |b| {
+        let mut out = Vec::with_capacity(stream.len());
+        b.iter(|| {
+            out.clear();
+            blocked.estimate_batch(&stream, &mut out);
+            black_box(&out);
+        })
+    });
     group.bench_function("standard_cbf", |b| {
         b.iter(|| {
             for &k in &stream {
                 black_box(standard.estimate(k));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// The fused GET+INCREMENT HybridTier's sample ingest uses (one block
+/// visit) vs. the discrete estimate-then-increment pair it replaced.
+fn bench_fused_increment(c: &mut Criterion) {
+    let params = CbfParams::for_capacity(100_000, 4, 0.001, CounterWidth::W4);
+    let stream = keys(4096);
+    let mut group = c.benchmark_group("increment_with_prev");
+    group.bench_function("fused", |b| {
+        let mut f = BlockedCbf::new(params.clone());
+        b.iter(|| {
+            for &k in &stream {
+                black_box(f.increment_with_prev(k));
+            }
+        })
+    });
+    group.bench_function("estimate_then_increment", |b| {
+        let mut f = BlockedCbf::new(params.clone());
+        b.iter(|| {
+            for &k in &stream {
+                black_box((f.estimate(k), f.increment(k)));
             }
         })
     });
@@ -82,6 +142,6 @@ fn bench_cool(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_increment, bench_estimate, bench_cool
+    targets = bench_increment, bench_estimate, bench_fused_increment, bench_cool
 }
 criterion_main!(benches);

@@ -12,6 +12,10 @@
 //!   --serial-only     skip the parallel pass
 //!   --parallel-only   skip the serial pass (no speedup reported)
 //!   --no-colocation   skip the co-location sweep
+//!   --compare <path>  load a previous BENCH json, print wall/throughput
+//!                     deltas, and exit non-zero on regression
+//!   --regress <frac>  max tolerated aggregate-throughput regression for
+//!                     --compare (default 0.15)
 //! ```
 //!
 //! The JSON records wall-clock seconds for each mode, the speedup, the
@@ -19,12 +23,17 @@
 //! and the full per-scenario result/timing breakdown of the last pass run —
 //! for both the single-tenant policy-comparison sweep and the multi-tenant
 //! co-location sweep (`"colocation"` section, with per-tenant detail).
+//!
+//! With `--compare`, a `"compare"` section (aggregate throughput ratio plus
+//! per-scenario ratios, matched by label) is appended to the written JSON —
+//! the machine-readable perf trajectory every perf PR is measured by.
 
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hybridtier_bench::{colocation_matrix, policy_comparison_matrix};
+use hybridtier_bench::compare::{SweepDelta, SweepSnapshot};
+use hybridtier_bench::{colocation_matrix, json, policy_comparison_matrix};
 use tiering_runner::{Scenario, SweepReport, SweepRunner};
 
 struct Args {
@@ -35,6 +44,8 @@ struct Args {
     serial: bool,
     parallel: bool,
     colocation: bool,
+    compare: Option<PathBuf>,
+    regress: f64,
 }
 
 /// `Ok(None)` means `--help` was requested (exit success, no run).
@@ -47,6 +58,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         serial: true,
         parallel: true,
         colocation: true,
+        compare: None,
+        regress: 0.15,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -78,10 +91,24 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--serial-only" => args.parallel = false,
             "--parallel-only" => args.serial = false,
             "--no-colocation" => args.colocation = false,
+            "--compare" => {
+                args.compare = Some(PathBuf::from(it.next().ok_or("--compare needs a path")?));
+            }
+            "--regress" => {
+                args.regress = it
+                    .next()
+                    .ok_or("--regress needs a fraction")?
+                    .parse()
+                    .map_err(|e| format!("--regress: {e}"))?;
+                if !(0.0..1.0).contains(&args.regress) {
+                    return Err("--regress must be in [0, 1)".to_string());
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--json <path>] [--ops <n>] [--sim-ms <n>] [--threads <n>] \
-                     [--serial-only] [--parallel-only] [--no-colocation]"
+                     [--serial-only] [--parallel-only] [--no-colocation] \
+                     [--compare <prev.json>] [--regress <frac>]"
                 );
                 return Ok(None);
             }
@@ -219,6 +246,62 @@ fn main() -> ExitCode {
 
     let colo_identical = colo.as_ref().and_then(|(_, _, id, _)| *id);
 
+    // Perf-trajectory comparison against a previous BENCH json: print
+    // deltas, embed them machine-readably, and flag regressions.
+    let mut regressed = false;
+    if let Some(prev_path) = &args.compare {
+        let prev_text = match std::fs::read_to_string(prev_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", prev_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let prev = match json::parse(&prev_text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("cannot parse {}: {e}", prev_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let cur = json::parse(&json).expect("bench emits valid json");
+        let mut deltas = Vec::new();
+        for name in ["single", "colocation"] {
+            if let (Some(p), Some(c)) = (prev.get(name), cur.get(name)) {
+                deltas.push(SweepDelta::between(
+                    name,
+                    &SweepSnapshot::from_json(p),
+                    &SweepSnapshot::from_json(c),
+                ));
+            }
+        }
+        println!(
+            "\ncompare vs {} (regression threshold {:.0}%):",
+            prev_path.display(),
+            args.regress * 100.0
+        );
+        for d in &deltas {
+            print!("{}", d.render());
+        }
+        json.pop(); // reopen the top-level object
+        json.push_str(",\"compare\":[");
+        for (i, d) in deltas.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&d.to_json());
+        }
+        json.push_str("]}");
+        regressed = deltas.iter().any(|d| d.regressed(args.regress));
+        if regressed {
+            eprintln!(
+                "REGRESSION: serial throughput fell more than {:.0}% below {}",
+                args.regress * 100.0,
+                prev_path.display()
+            );
+        }
+    }
+
     if let Some(dir) = args.json.parent() {
         if !dir.as_os_str().is_empty() {
             if let Err(e) = std::fs::create_dir_all(dir) {
@@ -235,7 +318,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if identical == Some(false) || colo_identical == Some(false) {
+    if identical == Some(false) || colo_identical == Some(false) || regressed {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -1,0 +1,240 @@
+//! Perf-trajectory comparison: the current `bench` run against a previous
+//! `BENCH_*.json`.
+//!
+//! Every perf PR regenerates `results/BENCH_sweep.json`; `bench --compare
+//! prev.json` loads that committed snapshot, prints per-scenario and
+//! aggregate wall/throughput deltas, and fails (non-zero exit) when the
+//! current run is slower than the previous one by more than a configurable
+//! threshold — a regression gate wired into CI.
+//!
+//! Comparison is throughput-based (`ops / serial second`, and per-scenario
+//! `throughput_mops`), so runs with different `--ops` budgets remain
+//! comparable.
+
+use std::fmt::Write as _;
+
+use crate::json::Json;
+
+/// One sweep's numbers, extracted from a BENCH json section.
+///
+/// Throughputs here are **host** throughputs (simulated ops per host
+/// second) — the `throughput_mops` field inside the json is *simulated*
+/// throughput (ops per simulated second), which is deterministic and
+/// therefore useless for perf tracking.
+#[derive(Debug, Clone, Default)]
+pub struct SweepSnapshot {
+    /// Serial wall seconds, when the serial pass ran.
+    pub serial_s: Option<f64>,
+    /// Per-scenario `(label, wall_s, host_mops, ops)`.
+    pub scenarios: Vec<(String, f64, f64, f64)>,
+}
+
+impl SweepSnapshot {
+    /// Extracts a sweep section (`"single"` / `"colocation"` object shape).
+    pub fn from_json(section: &Json) -> Self {
+        let mut snap = SweepSnapshot {
+            serial_s: section.num("serial_s"),
+            scenarios: Vec::new(),
+        };
+        if let Some(list) = section
+            .get("sweep")
+            .and_then(|s| s.get("scenarios"))
+            .and_then(Json::as_array)
+        {
+            for s in list {
+                let wall = s.num("wall_s").unwrap_or(0.0);
+                let ops = s.num("ops").unwrap_or(0.0);
+                let host_mops = if wall > 0.0 { ops / wall / 1e6 } else { 0.0 };
+                snap.scenarios.push((
+                    s.str("label").unwrap_or("?").to_string(),
+                    wall,
+                    host_mops,
+                    ops,
+                ));
+            }
+        }
+        snap
+    }
+
+    /// Total simulated operations across scenarios.
+    pub fn total_ops(&self) -> f64 {
+        self.scenarios.iter().map(|s| s.3).sum()
+    }
+
+    /// Aggregate serial throughput in Mops/s (total ops over serial wall).
+    pub fn serial_throughput_mops(&self) -> Option<f64> {
+        let s = self.serial_s?;
+        if s <= 0.0 {
+            return None;
+        }
+        Some(self.total_ops() / s / 1e6)
+    }
+}
+
+/// Outcome of comparing one sweep section between two runs.
+#[derive(Debug, Clone)]
+pub struct SweepDelta {
+    /// Which section (`single` / `colocation`).
+    pub name: String,
+    /// current aggregate serial throughput / previous (None when either
+    /// side lacks a serial pass).
+    pub throughput_ratio: Option<f64>,
+    /// Per-scenario `(label, prev_mops, cur_mops, ratio)` for labels
+    /// present in both runs.
+    pub scenarios: Vec<(String, f64, f64, f64)>,
+}
+
+impl SweepDelta {
+    /// Compares `cur` against `prev`.
+    pub fn between(name: &str, prev: &SweepSnapshot, cur: &SweepSnapshot) -> Self {
+        let throughput_ratio = match (prev.serial_throughput_mops(), cur.serial_throughput_mops()) {
+            (Some(p), Some(c)) if p > 0.0 => Some(c / p),
+            _ => None,
+        };
+        let mut scenarios = Vec::new();
+        for (label, _, cur_mops, _) in &cur.scenarios {
+            if let Some((_, _, prev_mops, _)) = prev.scenarios.iter().find(|(l, ..)| l == label) {
+                if *prev_mops > 0.0 {
+                    scenarios.push((label.clone(), *prev_mops, *cur_mops, cur_mops / prev_mops));
+                }
+            }
+        }
+        Self {
+            name: name.to_string(),
+            throughput_ratio,
+            scenarios,
+        }
+    }
+
+    /// Whether this delta violates the regression threshold: aggregate
+    /// throughput below `1 - max_regression` of the previous run.
+    pub fn regressed(&self, max_regression: f64) -> bool {
+        matches!(self.throughput_ratio, Some(r) if r < 1.0 - max_regression)
+    }
+
+    /// Human-readable report: aggregate line plus the biggest per-scenario
+    /// movers in both directions.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self.throughput_ratio {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    "{}: serial throughput {:.3}x vs previous ({})",
+                    self.name,
+                    r,
+                    if r >= 1.0 { "faster" } else { "slower" }
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{}: no serial pass on one side; per-scenario deltas only",
+                    self.name
+                );
+            }
+        }
+        let mut ranked = self.scenarios.clone();
+        ranked.sort_by(|a, b| a.3.total_cmp(&b.3));
+        let show: Vec<&(String, f64, f64, f64)> = if ranked.len() <= 10 {
+            ranked.iter().collect()
+        } else {
+            ranked
+                .iter()
+                .take(5)
+                .chain(ranked.iter().rev().take(5).rev().collect::<Vec<_>>())
+                .collect()
+        };
+        for (label, prev, cur, ratio) in show {
+            let _ = writeln!(
+                out,
+                "  {label:32} {prev:8.3} -> {cur:8.3} Mops  ({ratio:.3}x)"
+            );
+        }
+        out
+    }
+
+    /// Machine-readable JSON fragment for this delta.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{{\"sweep\":\"{}\"", self.name);
+        if let Some(r) = self.throughput_ratio {
+            let _ = write!(s, ",\"throughput_ratio\":{r:.6}");
+        }
+        let _ = write!(s, ",\"scenarios\":[");
+        for (i, (label, prev, cur, ratio)) in self.scenarios.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"label\":\"{label}\",\"prev_mops\":{prev:.6},\"cur_mops\":{cur:.6},\
+                 \"ratio\":{ratio:.6}}}"
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn snap(serial_s: f64, scenarios: &[(&str, f64, f64)]) -> SweepSnapshot {
+        SweepSnapshot {
+            serial_s: Some(serial_s),
+            scenarios: scenarios
+                .iter()
+                .map(|(l, mops, ops)| (l.to_string(), 0.0, *mops, *ops))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn extracts_snapshot_from_bench_json() {
+        let doc = parse(
+            r#"{"single":{"scenarios":2,"serial_s":0.5,"sweep":{"threads":1,"wall_s":0.5,
+                "scenarios":[
+                 {"label":"a","wall_s":0.2,"ops":1000,"throughput_mops":0.005},
+                 {"label":"b","wall_s":0.3,"ops":2000,"throughput_mops":0.006}]}}}"#,
+        )
+        .unwrap();
+        let s = SweepSnapshot::from_json(doc.get("single").unwrap());
+        assert_eq!(s.serial_s, Some(0.5));
+        assert_eq!(s.scenarios.len(), 2);
+        assert_eq!(s.total_ops(), 3000.0);
+        let t = s.serial_throughput_mops().unwrap();
+        assert!((t - 3000.0 / 0.5 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_and_regression_gate() {
+        let prev = snap(1.0, &[("a", 1.0, 1_000_000.0)]);
+        let fast = snap(0.5, &[("a", 2.0, 1_000_000.0)]);
+        let slow = snap(2.0, &[("a", 0.5, 1_000_000.0)]);
+        let up = SweepDelta::between("single", &prev, &fast);
+        assert!((up.throughput_ratio.unwrap() - 2.0).abs() < 1e-9);
+        assert!(!up.regressed(0.1));
+        let down = SweepDelta::between("single", &prev, &slow);
+        assert!((down.throughput_ratio.unwrap() - 0.5).abs() < 1e-9);
+        assert!(down.regressed(0.1));
+        // Inside the tolerance band: not a regression.
+        let slight = snap(1.05, &[("a", 0.95, 1_000_000.0)]);
+        assert!(!SweepDelta::between("single", &prev, &slight).regressed(0.10));
+    }
+
+    #[test]
+    fn per_scenario_deltas_match_by_label() {
+        let prev = snap(1.0, &[("a", 1.0, 1.0), ("gone", 9.9, 1.0)]);
+        let cur = snap(1.0, &[("a", 1.5, 1.0), ("new", 1.0, 1.0)]);
+        let d = SweepDelta::between("single", &prev, &cur);
+        assert_eq!(d.scenarios.len(), 1);
+        assert_eq!(d.scenarios[0].0, "a");
+        assert!((d.scenarios[0].3 - 1.5).abs() < 1e-9);
+        let json = d.to_json();
+        assert!(json.contains("\"ratio\":1.5"));
+        assert!(d.render().contains("1.500x"));
+    }
+}

@@ -17,7 +17,9 @@
 //! reproduction targets. EXPERIMENTS.md records paper-vs-measured for every
 //! entry.
 
+pub mod compare;
 pub mod experiments;
+pub mod json;
 mod output;
 
 pub use output::{print_header, CsvWriter};

@@ -18,6 +18,29 @@ use crate::AccessCounter;
 /// With 4-bit counters a block holds 128 counter slots; with 16-bit counters,
 /// 32 slots (paper §4.2).
 ///
+/// # Hot-path engineering
+///
+/// The simulator practices what the paper preaches, at the instruction level
+/// too:
+///
+/// * the double-hash pair `(h1, h2)` is derived **once** per key and all
+///   `k + 1` probe values come from `h1 + i·h2` — not one
+///   [`PageHasher::pair`] rehash per probe;
+/// * `increment`/`estimate` load the key's 64-byte block as eight whole
+///   `u64` words ([`CounterArray::load_block`]), extract and update all `k`
+///   counters with shifts/masks in registers, and write the block back once
+///   — fusing what used to be a get-min pass plus a set pass of per-counter
+///   indexed accesses;
+/// * [`increment_batch`](AccessCounter::increment_batch) sorts a batch of
+///   keys by block (stably) so consecutive updates touch neighbouring
+///   lines.
+///
+/// All of this is **bit-for-bit identical** to the per-counter reference
+/// path ([`increment_per_counter`](BlockedCbf::increment_per_counter)):
+/// probe values are algebraically the same, and same-block updates apply in
+/// the same order. The `cbf_properties` suite asserts both equivalences
+/// under random operation sequences.
+///
 /// [`StandardCbf`]: crate::StandardCbf
 #[derive(Debug, Clone)]
 pub struct BlockedCbf {
@@ -27,7 +50,10 @@ pub struct BlockedCbf {
     num_blocks: usize,
     slots_per_block: usize,
     base_addr: u64,
-    idx_scratch: Vec<usize>,
+    /// In-block slot indices of the current key (scratch, k entries).
+    slot_scratch: Vec<usize>,
+    /// `(block, input position)` pairs for batched ops (scratch).
+    batch_scratch: Vec<(u32, u32)>,
 }
 
 impl BlockedCbf {
@@ -56,7 +82,8 @@ impl BlockedCbf {
             num_blocks,
             slots_per_block,
             base_addr: params.base_addr,
-            idx_scratch: vec![0; params.k as usize],
+            slot_scratch: vec![0; params.k as usize],
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -84,40 +111,47 @@ impl BlockedCbf {
     #[inline]
     pub fn block_of(&self, key: u64) -> usize {
         // Probe 0 selects the block; probes 1..=k select slots inside it.
-        reduce(self.hasher.probe(key, 0), self.num_blocks)
+        // probe(key, 0) = h1 + 0·h2 = h1.
+        reduce(self.hasher.pair(key).0, self.num_blocks)
     }
 
-    /// Fills `idx_scratch` with the global counter indices for `key`.
+    /// Derives the block and all `k` in-block slots of `key` from a single
+    /// `(h1, h2)` pair (probe `i` is `h1 + i·h2`, exactly
+    /// [`PageHasher::probe`] without the per-probe rehash).
     ///
-    /// Slot selection derives each in-block slot from an independent probe.
     /// Duplicate slots within a block are permitted (they simply behave as a
     /// filter with fewer effective hashes for that key), matching hardware
     /// blocked-bloom designs.
     #[inline]
-    fn fill_indices(&mut self, key: u64) {
-        let block = self.block_of(key);
-        let base = block * self.slots_per_block;
-        for i in 0..self.k {
-            let slot = reduce(self.hasher.probe(key, i + 1), self.slots_per_block);
-            self.idx_scratch[i as usize] = base + slot;
+    fn fill_slots(&mut self, key: u64) -> usize {
+        let (h1, h2) = self.hasher.pair(key);
+        let block = reduce(h1, self.num_blocks);
+        for i in 0..self.k as u64 {
+            let probe = h1.wrapping_add((i + 1).wrapping_mul(h2));
+            self.slot_scratch[i as usize] = reduce(probe, self.slots_per_block);
         }
+        block
     }
-}
 
-impl AccessCounter for BlockedCbf {
-    fn increment(&mut self, key: u64) -> u32 {
-        self.fill_indices(key);
+    /// Per-counter reference implementation of [`AccessCounter::increment`]:
+    /// one indexed [`CounterArray::get`]/[`CounterArray::set`] per probe, as
+    /// the pre-word-level code did. Retained so equivalence tests and the
+    /// `cbf_ops` bench can pin the word-level fast path against it.
+    #[doc(hidden)]
+    pub fn increment_per_counter(&mut self, key: u64) -> u32 {
+        let block = self.fill_slots(key);
+        let base = block * self.slots_per_block;
         let min = self
-            .idx_scratch
+            .slot_scratch
             .iter()
-            .map(|&i| self.counters.get(i))
+            .map(|&s| self.counters.get(base + s))
             .min()
             .expect("k > 0");
         if min >= self.counters.width().max_count() {
             return min;
         }
         for j in 0..self.k as usize {
-            let i = self.idx_scratch[j];
+            let i = base + self.slot_scratch[j];
             if self.counters.get(i) == min {
                 self.counters.set(i, min + 1);
             }
@@ -125,16 +159,100 @@ impl AccessCounter for BlockedCbf {
         min + 1
     }
 
-    fn estimate(&self, key: u64) -> u32 {
-        let block = self.block_of(key);
-        let base = block * self.slots_per_block;
-        (0..self.k)
+    /// Per-counter reference implementation of [`AccessCounter::estimate`]
+    /// (see [`increment_per_counter`](Self::increment_per_counter)).
+    #[doc(hidden)]
+    pub fn estimate_per_counter(&self, key: u64) -> u32 {
+        let (h1, h2) = self.hasher.pair(key);
+        let base = reduce(h1, self.num_blocks) * self.slots_per_block;
+        (1..=self.k as u64)
             .map(|i| {
-                let slot = reduce(self.hasher.probe(key, i + 1), self.slots_per_block);
+                let slot = reduce(h1.wrapping_add(i.wrapping_mul(h2)), self.slots_per_block);
                 self.counters.get(base + slot)
             })
             .min()
             .expect("k > 0")
+    }
+}
+
+impl AccessCounter for BlockedCbf {
+    fn increment(&mut self, key: u64) -> u32 {
+        self.increment_with_prev(key).1
+    }
+
+    fn increment_with_prev(&mut self, key: u64) -> (u32, u32) {
+        let block = self.fill_slots(key);
+        let base = block * self.slots_per_block;
+        let width = self.counters.width();
+        // One load pass over the block; min-scan and conservative update run
+        // on the in-register copy (sequentially, so duplicate slots behave
+        // exactly as in the per-counter path); one store pass. The pre-update
+        // minimum *is* the estimate, so `(prev, new)` costs one block visit.
+        let mut words = self.counters.load_block(base);
+        let mut min = u32::MAX;
+        for &s in &self.slot_scratch {
+            min = min.min(width.get_in_words(&words, s));
+        }
+        if min >= width.max_count() {
+            return (min, min);
+        }
+        for &s in &self.slot_scratch {
+            if width.get_in_words(&words, s) == min {
+                width.set_in_words(&mut words, s, min + 1);
+            }
+        }
+        self.counters.store_block(base, words);
+        (min, min + 1)
+    }
+
+    fn estimate(&self, key: u64) -> u32 {
+        let (h1, h2) = self.hasher.pair(key);
+        let base = reduce(h1, self.num_blocks) * self.slots_per_block;
+        let width = self.counters.width();
+        // Read-only: borrow the block and extract the k probed counters
+        // (only the probed words are touched — still exactly one line).
+        let words = self.counters.block_ref(base);
+        (1..=self.k as u64)
+            .map(|i| {
+                let slot = reduce(h1.wrapping_add(i.wrapping_mul(h2)), self.slots_per_block);
+                width.get_in_words(words, slot)
+            })
+            .min()
+            .expect("k > 0")
+    }
+
+    fn increment_batch(&mut self, keys: &[u64], out: &mut Vec<u32>) {
+        // Stable block-sort for locality: keys in different blocks share no
+        // counters, and same-block keys keep their relative order, so the
+        // final filter state and every returned count are identical to the
+        // sequential scalar loop (asserted in `cbf_properties`).
+        let start = out.len();
+        out.resize(start + keys.len(), 0);
+        self.batch_scratch.clear();
+        for (i, &key) in keys.iter().enumerate() {
+            self.batch_scratch
+                .push((self.block_of(key) as u32, i as u32));
+        }
+        self.batch_scratch.sort_by_key(|&(block, _)| block);
+        let order = std::mem::take(&mut self.batch_scratch);
+        for &(_, i) in &order {
+            out[start + i as usize] = self.increment(keys[i as usize]);
+        }
+        self.batch_scratch = order;
+    }
+
+    fn estimate_batch(&self, keys: &[u64], out: &mut Vec<u32>) {
+        let mut order: Vec<(u32, u32)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| (self.block_of(key) as u32, i as u32))
+            .collect();
+        order.sort_by_key(|&(block, _)| block);
+        let start = out.len();
+        out.resize(start + keys.len(), 0);
+        for &(_, i) in &order {
+            out[start + i as usize] = self.estimate(keys[i as usize]);
+        }
     }
 
     fn cool(&mut self) {
@@ -190,15 +308,70 @@ mod tests {
         }
     }
 
+    /// Satellite check: one `pair()` call derives the same probe sequence
+    /// the old per-probe `PageHasher::probe(key, i)` rehashing produced.
+    #[test]
+    fn single_pair_derivation_matches_per_probe_hashing() {
+        let mut f = filter(10_000);
+        let hasher = f.hasher;
+        for key in 0..500u64 {
+            let legacy_block = reduce(hasher.probe(key, 0), f.num_blocks);
+            let legacy_slots: Vec<usize> = (0..f.k)
+                .map(|i| reduce(hasher.probe(key, i + 1), f.slots_per_block))
+                .collect();
+            let block = f.fill_slots(key);
+            assert_eq!(block, legacy_block, "key {key}: block diverged");
+            assert_eq!(f.slot_scratch, legacy_slots, "key {key}: slots diverged");
+            assert_eq!(f.block_of(key), legacy_block);
+        }
+    }
+
     #[test]
     fn all_counters_of_a_key_are_in_its_block() {
         let mut f = filter(10_000);
         for key in 0..200u64 {
-            f.fill_indices(key);
-            let block = f.block_of(key);
-            for &idx in &f.idx_scratch {
-                assert_eq!(idx / f.slots_per_block, block);
+            let block = f.fill_slots(key);
+            assert_eq!(block, f.block_of(key));
+            for &slot in &f.slot_scratch {
+                assert!(slot < f.slots_per_block, "slot escapes the block");
             }
+        }
+    }
+
+    #[test]
+    fn word_level_ops_match_per_counter_reference() {
+        let mut word = filter(2_000);
+        let mut scalar = filter(2_000);
+        let mut state = 77u64;
+        for _ in 0..20_000 {
+            state = crate::hash::splitmix64(state);
+            let key = state % 700;
+            assert_eq!(word.increment(key), scalar.increment_per_counter(key));
+            let probe = state % 900;
+            assert_eq!(word.estimate(probe), scalar.estimate_per_counter(probe));
+        }
+    }
+
+    #[test]
+    fn batched_ops_match_scalar_order() {
+        let mut batched = filter(2_000);
+        let mut scalar = filter(2_000);
+        let mut state = 5u64;
+        for round in 0..50 {
+            let keys: Vec<u64> = (0..97)
+                .map(|_| {
+                    state = crate::hash::splitmix64(state);
+                    state % 500
+                })
+                .collect();
+            let mut got = Vec::new();
+            batched.increment_batch(&keys, &mut got);
+            let want: Vec<u32> = keys.iter().map(|&k| scalar.increment(k)).collect();
+            assert_eq!(got, want, "round {round}: increment_batch diverged");
+            got.clear();
+            batched.estimate_batch(&keys, &mut got);
+            let want: Vec<u32> = keys.iter().map(|&k| scalar.estimate(k)).collect();
+            assert_eq!(got, want, "round {round}: estimate_batch diverged");
         }
     }
 

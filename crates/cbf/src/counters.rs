@@ -7,6 +7,22 @@
 
 use std::fmt;
 
+/// `u64` words per 64-byte cache-line block (the unit of the word-level
+/// block operations below).
+pub const WORDS_PER_LINE: usize = crate::CACHE_LINE_BYTES / 8;
+
+/// One cache-line block of packed counters, loaded/stored as whole words.
+///
+/// [`CounterArray::load_block`] copies the eight `u64` words backing one
+/// 64-byte block into registers; counters are then extracted and updated
+/// in-place with shifts and masks ([`CounterWidth::get_in_words`] /
+/// [`CounterWidth::set_in_words`]) and the block is written back once with
+/// [`CounterArray::store_block`]. This is the simulator-side analogue of the
+/// paper's one-cache-line-per-op engineering (§4.2): a `k`-probe
+/// GET+INCREMENT does one load pass and one store pass over the block
+/// instead of `2k` independent read-modify-write word accesses.
+pub type CounterBlock = [u64; WORDS_PER_LINE];
+
 /// Width of each counter in a [`CounterArray`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CounterWidth {
@@ -40,6 +56,36 @@ impl CounterWidth {
     /// How many counters of this width fit in one 64-byte cache line.
     pub const fn counters_per_line(self) -> usize {
         (crate::CACHE_LINE_BYTES * 8) / self.bits() as usize
+    }
+
+    /// How many counters of this width fit in one `u64` word.
+    pub const fn counters_per_word(self) -> usize {
+        64 / self.bits() as usize
+    }
+
+    /// Reads in-block counter `slot` from a loaded [`CounterBlock`].
+    ///
+    /// Bit arithmetic is identical to [`CounterArray::get`] on the
+    /// corresponding global index, provided the block was loaded from a
+    /// block-aligned position — asserted by the `cbf_properties` suite.
+    #[inline]
+    pub fn get_in_words(self, words: &CounterBlock, slot: usize) -> u32 {
+        let per_word = self.counters_per_word();
+        let shift = (slot % per_word) as u32 * self.bits();
+        ((words[slot / per_word] >> shift) & self.max_count() as u64) as u32
+    }
+
+    /// Writes in-block counter `slot` of a loaded [`CounterBlock`],
+    /// clamping `value` to the saturation cap (mirror of
+    /// [`CounterArray::set`]).
+    #[inline]
+    pub fn set_in_words(self, words: &mut CounterBlock, slot: usize, value: u32) {
+        let cap = self.max_count();
+        let per_word = self.counters_per_word();
+        let shift = (slot % per_word) as u32 * self.bits();
+        let mask = (cap as u64) << shift;
+        let w = &mut words[slot / per_word];
+        *w = (*w & !mask) | ((value.min(cap) as u64) << shift);
     }
 }
 
@@ -126,6 +172,62 @@ impl CounterArray {
         let mask = (cap as u64) << shift;
         let w = &mut self.words[word];
         *w = (*w & !mask) | (v << shift);
+    }
+
+    /// Copies the 64-byte block starting at counter `first` into a stack
+    /// [`CounterBlock`] (one load pass; the paper's blocked CBF touches
+    /// exactly this one line per operation).
+    ///
+    /// `first` must be line-aligned: a multiple of
+    /// [`CounterWidth::counters_per_line`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on a misaligned `first` or when the block
+    /// extends past the backing words.
+    #[inline]
+    pub fn load_block(&self, first: usize) -> CounterBlock {
+        debug_assert!(
+            first.is_multiple_of(self.width.counters_per_line()),
+            "block start {first} not line-aligned"
+        );
+        let w0 = first / self.width.counters_per_word();
+        let mut words = [0u64; WORDS_PER_LINE];
+        words.copy_from_slice(&self.words[w0..w0 + WORDS_PER_LINE]);
+        words
+    }
+
+    /// Borrows the 64-byte block starting at counter `first` as whole
+    /// words, without copying — the read-only sibling of
+    /// [`load_block`](Self::load_block). `estimate` uses this so only the
+    /// probed words of the (single) line are actually loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on a misaligned `first` (see
+    /// [`load_block`](Self::load_block)).
+    #[inline]
+    pub fn block_ref(&self, first: usize) -> &CounterBlock {
+        debug_assert!(
+            first.is_multiple_of(self.width.counters_per_line()),
+            "block start {first} not line-aligned"
+        );
+        let w0 = first / self.width.counters_per_word();
+        (&self.words[w0..w0 + WORDS_PER_LINE])
+            .try_into()
+            .expect("slice is exactly one block")
+    }
+
+    /// Writes a [`CounterBlock`] back to the block starting at counter
+    /// `first` (one store pass; see [`load_block`](Self::load_block)).
+    #[inline]
+    pub fn store_block(&mut self, first: usize, words: CounterBlock) {
+        debug_assert!(
+            first.is_multiple_of(self.width.counters_per_line()),
+            "block start {first} not line-aligned"
+        );
+        let w0 = first / self.width.counters_per_word();
+        self.words[w0..w0 + WORDS_PER_LINE].copy_from_slice(&words);
     }
 
     /// Increments counter `idx` by one, saturating at the cap; returns the
@@ -258,6 +360,44 @@ mod tests {
         arr.clear();
         assert_eq!(arr.total(), 0);
         assert_eq!(arr.occupied(), 0);
+    }
+
+    #[test]
+    fn block_ops_mirror_get_set() {
+        for width in [CounterWidth::W4, CounterWidth::W8, CounterWidth::W16] {
+            let per_line = width.counters_per_line();
+            let mut arr = CounterArray::new(per_line * 3, width);
+            for i in 0..arr.len() {
+                arr.set(i, (i as u32 * 5 + 3) % (width.max_count() + 1));
+            }
+            // Middle block: word-level reads match scalar reads.
+            let base = per_line;
+            let words = arr.load_block(base);
+            for slot in 0..per_line {
+                assert_eq!(
+                    width.get_in_words(&words, slot),
+                    arr.get(base + slot),
+                    "width {width} slot {slot}"
+                );
+            }
+            // Word-level writes round-trip through a store and clamp.
+            let mut words = arr.load_block(base);
+            width.set_in_words(&mut words, 1, 1_000_000);
+            width.set_in_words(&mut words, 2, 1);
+            arr.store_block(base, words);
+            assert_eq!(arr.get(base + 1), width.max_count(), "clamped");
+            assert_eq!(arr.get(base + 2), 1);
+            assert_eq!(arr.get(base), words[0] as u32 & width.max_count());
+            // Neighbouring blocks untouched.
+            assert_eq!(
+                arr.get(base - 1),
+                ((base - 1) as u32 * 5 + 3) % (width.max_count() + 1)
+            );
+            assert_eq!(
+                arr.get(base + per_line),
+                ((base + per_line) as u32 * 5 + 3) % (width.max_count() + 1)
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,28 @@
 //! Filter sizing follows the classic Bloom-filter formula (paper §4.2):
 //! `r = -k / ln(1 - exp(ln(p) / k))`, `m = ceil(n * r)` — see [`counters_for`].
 //!
+//! # Word-level layout
+//!
+//! Counters are packed into `u64` words ([`CounterArray`]); a blocked
+//! filter's 64-byte block is exactly eight words
+//! ([`CounterBlock`]). The hot operations exploit this end to end:
+//!
+//! * one [`PageHasher::pair`] call per key yields all `k + 1` probe values
+//!   as `h1 + i·h2` (Kirsch–Mitzenmacher), instead of rehashing per probe;
+//! * [`BlockedCbf`] `GET`/`INCREMENT` load the key's block once as whole
+//!   words, extract/update every counter with shifts and masks in
+//!   registers, and store the block back once — the simulator-side twin of
+//!   the paper's one-cache-line-per-op design;
+//! * [`AccessCounter::increment_batch`] / [`AccessCounter::estimate_batch`]
+//!   process runs of keys sorted (stably) by block so adjacent updates
+//!   touch adjacent lines.
+//!
+//! None of this changes results: probe values are algebraically identical
+//! to the per-probe derivation, word extraction mirrors
+//! [`CounterArray::get`]/[`set`](CounterArray::set) bit for bit, and
+//! same-block batch entries keep their input order. The `cbf_properties`
+//! test suite pins each of these equivalences under random op sequences.
+//!
 //! # Example
 //!
 //! ```
@@ -48,7 +70,7 @@ mod sizing;
 mod standard;
 
 pub use blocked::BlockedCbf;
-pub use counters::{CounterArray, CounterWidth};
+pub use counters::{CounterArray, CounterBlock, CounterWidth, WORDS_PER_LINE};
 pub use ground_truth::{DecisionOutcome, GroundTruthCounter};
 pub use hash::PageHasher;
 pub use sizing::{counters_for, CbfParams};
@@ -75,6 +97,42 @@ pub trait AccessCounter {
 
     /// Returns the estimated access count of `key`.
     fn estimate(&self, key: u64) -> u32;
+
+    /// Records one access to `key`, returning `(previous, new)` estimated
+    /// counts.
+    ///
+    /// Semantically identical to `(self.estimate(key), self.increment(key))`
+    /// — the conservative-update increment already computes the pre-update
+    /// minimum, so implementations can report it without a second probe
+    /// pass. HybridTier's sample ingest uses this to halve its
+    /// frequency-tracker traffic.
+    fn increment_with_prev(&mut self, key: u64) -> (u32, u32) {
+        (self.estimate(key), self.increment(key))
+    }
+
+    /// Records one access per key, appending each new count to `out` in
+    /// input order.
+    ///
+    /// Semantically identical to calling [`increment`](Self::increment) in
+    /// a loop; implementations may reorder *independent* probes for memory
+    /// locality (the blocked CBF sorts keys by block — see
+    /// [`BlockedCbf`]) as long as every returned count and the final filter
+    /// state match the sequential loop exactly.
+    fn increment_batch(&mut self, keys: &[u64], out: &mut Vec<u32>) {
+        out.reserve(keys.len());
+        for &key in keys {
+            out.push(self.increment(key));
+        }
+    }
+
+    /// Estimates one count per key, appending to `out` in input order
+    /// (batched mirror of [`estimate`](Self::estimate)).
+    fn estimate_batch(&self, keys: &[u64], out: &mut Vec<u32>) {
+        out.reserve(keys.len());
+        for &key in keys {
+            out.push(self.estimate(key));
+        }
+    }
 
     /// Halves every counter (exponential decay with factor 2).
     ///

@@ -61,17 +61,25 @@ impl StandardCbf {
         self.counters.occupied() as f64 / self.counters.len() as f64
     }
 
+    /// Derives all `k` probe indices from a single `(h1, h2)` pair (probe
+    /// `i` is `h1 + i·h2`, exactly [`PageHasher::probe`] without the
+    /// per-probe rehash).
     #[inline]
     fn fill_indices(&mut self, key: u64) {
         let m = self.counters.len();
-        for i in 0..self.k {
-            self.idx_scratch[i as usize] = reduce(self.hasher.probe(key, i), m);
+        let (h1, h2) = self.hasher.pair(key);
+        for i in 0..self.k as u64 {
+            self.idx_scratch[i as usize] = reduce(h1.wrapping_add(i.wrapping_mul(h2)), m);
         }
     }
 }
 
 impl AccessCounter for StandardCbf {
     fn increment(&mut self, key: u64) -> u32 {
+        self.increment_with_prev(key).1
+    }
+
+    fn increment_with_prev(&mut self, key: u64) -> (u32, u32) {
         self.fill_indices(key);
         let min = self
             .idx_scratch
@@ -80,7 +88,7 @@ impl AccessCounter for StandardCbf {
             .min()
             .expect("k > 0");
         if min >= self.counters.width().max_count() {
-            return min; // saturated
+            return (min, min); // saturated
         }
         // Conservative update: bump only the counters at the minimum.
         for j in 0..self.k as usize {
@@ -89,13 +97,17 @@ impl AccessCounter for StandardCbf {
                 self.counters.set(i, min + 1);
             }
         }
-        min + 1
+        (min, min + 1)
     }
 
     fn estimate(&self, key: u64) -> u32 {
         let m = self.counters.len();
-        (0..self.k)
-            .map(|i| self.counters.get(reduce(self.hasher.probe(key, i), m)))
+        let (h1, h2) = self.hasher.pair(key);
+        (0..self.k as u64)
+            .map(|i| {
+                self.counters
+                    .get(reduce(h1.wrapping_add(i.wrapping_mul(h2)), m))
+            })
             .min()
             .expect("k > 0")
     }
@@ -115,8 +127,9 @@ impl AccessCounter for StandardCbf {
     fn touched_lines(&self, key: u64, out: &mut Vec<u64>) {
         let m = self.counters.len();
         let bits = self.counters.width().bits() as u64;
-        for i in 0..self.k {
-            let idx = reduce(self.hasher.probe(key, i), m) as u64;
+        let (h1, h2) = self.hasher.pair(key);
+        for i in 0..self.k as u64 {
+            let idx = reduce(h1.wrapping_add(i.wrapping_mul(h2)), m) as u64;
             let byte = idx * bits / 8;
             out.push(self.base_addr + (byte & !(crate::CACHE_LINE_BYTES as u64 - 1)));
         }

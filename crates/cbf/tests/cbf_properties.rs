@@ -1,7 +1,8 @@
 //! Property-based tests for the CBF invariants the tiering policies rely on.
 
 use hybridtier_cbf::{
-    AccessCounter, BlockedCbf, CbfParams, CounterWidth, GroundTruthCounter, StandardCbf,
+    AccessCounter, BlockedCbf, CbfParams, CounterArray, CounterWidth, GroundTruthCounter,
+    StandardCbf,
 };
 use proptest::prelude::*;
 
@@ -143,5 +144,117 @@ proptest! {
         }
         g.cool();
         prop_assert_eq!(g.estimate(5), n / 2);
+    }
+
+    /// The word-level block operations (`load_block` + `get_in_words` /
+    /// `set_in_words` + `store_block`) match the per-counter `get`/`set`
+    /// path bit for bit under random interleaved op sequences, at every
+    /// counter width. This is the load-bearing equivalence behind the
+    /// word-level `BlockedCbf` fast path.
+    #[test]
+    fn block_ops_match_scalar_get_set(
+        width in any_width(),
+        // (slot, value, use_word_path) triples over a 3-block array.
+        ops in prop::collection::vec((0usize..384, 0u32..70_000, any::<bool>()), 1..300),
+    ) {
+        let per_line = width.counters_per_line();
+        let len = per_line * 3;
+        let mut word_arr = CounterArray::new(len, width);
+        let mut scalar_arr = CounterArray::new(len, width);
+        for &(slot, value, word_path) in &ops {
+            let idx = slot % len;
+            // Scalar reference: plain indexed set.
+            scalar_arr.set(idx, value);
+            if word_path {
+                // Word path: load the enclosing block, mutate in registers,
+                // store it back.
+                let base = (idx / per_line) * per_line;
+                let mut words = word_arr.load_block(base);
+                width.set_in_words(&mut words, idx - base, value);
+                word_arr.store_block(base, words);
+            } else {
+                word_arr.set(idx, value);
+            }
+        }
+        // Every counter identical, read through both paths.
+        for idx in 0..len {
+            prop_assert_eq!(word_arr.get(idx), scalar_arr.get(idx), "idx {}", idx);
+            let base = (idx / per_line) * per_line;
+            let words = word_arr.load_block(base);
+            prop_assert_eq!(
+                width.get_in_words(&words, idx - base),
+                scalar_arr.get(idx),
+                "word read idx {}", idx
+            );
+        }
+    }
+
+    /// The word-level `BlockedCbf` increment/estimate equals the
+    /// per-counter reference implementation under random op sequences
+    /// (interleaved increments, estimates, and cooling), at every width.
+    #[test]
+    fn blocked_word_path_matches_reference(
+        width in any_width(),
+        ops in prop::collection::vec((0u64..96, any::<bool>()), 1..300),
+        cool_every in 20usize..80,
+    ) {
+        let params = CbfParams::for_capacity(64, 4, 0.001, width);
+        let mut word = BlockedCbf::new(params.clone());
+        let mut reference = BlockedCbf::new(params);
+        for (i, &(key, is_inc)) in ops.iter().enumerate() {
+            if is_inc {
+                prop_assert_eq!(word.increment(key), reference.increment_per_counter(key));
+            } else {
+                prop_assert_eq!(word.estimate(key), reference.estimate_per_counter(key));
+            }
+            if (i + 1) % cool_every == 0 {
+                word.cool();
+                reference.cool();
+            }
+        }
+        for key in 0..96u64 {
+            prop_assert_eq!(word.estimate(key), reference.estimate_per_counter(key));
+        }
+    }
+
+    /// The fused `increment_with_prev` equals a discrete
+    /// `(estimate, increment)` pair for both layouts.
+    #[test]
+    fn increment_with_prev_equals_estimate_then_increment(
+        width in any_width(),
+        keys in key_stream(),
+    ) {
+        let params = CbfParams::for_capacity(64, 4, 0.001, width);
+        let mut fused_b = BlockedCbf::new(params.clone());
+        let mut split_b = BlockedCbf::new(params.clone());
+        let mut fused_s = StandardCbf::new(params.clone());
+        let mut split_s = StandardCbf::new(params);
+        for &k in &keys {
+            let want = (split_b.estimate(k), split_b.increment(k));
+            prop_assert_eq!(fused_b.increment_with_prev(k), want);
+            let want = (split_s.estimate(k), split_s.increment(k));
+            prop_assert_eq!(fused_s.increment_with_prev(k), want);
+        }
+    }
+
+    /// Batched increments/estimates equal the sequential scalar loop —
+    /// same returned counts, same final filter state — despite the
+    /// block-sorted processing order.
+    #[test]
+    fn batched_ops_equal_sequential(
+        width in any_width(),
+        keys in prop::collection::vec(0u64..128, 1..200),
+    ) {
+        let params = CbfParams::for_capacity(64, 4, 0.001, width);
+        let mut batched = BlockedCbf::new(params.clone());
+        let mut sequential = BlockedCbf::new(params);
+        let mut got = Vec::new();
+        batched.increment_batch(&keys, &mut got);
+        let want: Vec<u32> = keys.iter().map(|&k| sequential.increment(k)).collect();
+        prop_assert_eq!(got, want);
+        let mut got = Vec::new();
+        batched.estimate_batch(&keys, &mut got);
+        let want: Vec<u32> = keys.iter().map(|&k| sequential.estimate(k)).collect();
+        prop_assert_eq!(got, want);
     }
 }

@@ -1,0 +1,293 @@
+//! A flat open-addressed page→record table for per-page policy
+//! bookkeeping.
+//!
+//! Policies that track a sparse, churning subset of pages (HybridTier's
+//! second-chance marks) used to reach for `std::collections::HashMap` —
+//! SipHash per operation, heap buckets, and pointer-chasing on every probe
+//! of the demotion scan. [`FlatPageMap`] replaces that with the layout a
+//! production runtime would use: one keys array and one values array,
+//! linear probing from a multiplicative hash, and backward-shift deletion
+//! (no tombstones), so a lookup is one or two adjacent cache lines and the
+//! load factor stays honest after heavy insert/remove churn.
+//!
+//! Semantics match a `HashMap<u64, V>` exactly for `insert`/`get`/`remove`
+//! (pinned by a randomized model test); iteration order is intentionally
+//! not offered — policy logic must stay order-independent.
+
+/// Sentinel for an empty slot. Page numbers are derived from shifted
+/// addresses, so `u64::MAX` can never name a real page.
+const EMPTY: u64 = u64::MAX;
+
+/// Fibonacci multiplicative hash: maps a page number to its home slot.
+#[inline]
+fn home_of(key: u64, mask: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask
+}
+
+/// A flat open-addressed map from page number to a small `Copy` record.
+///
+/// Capacity is a power of two, grown at 7/8 load; storage is allocated
+/// lazily on first insert.
+#[derive(Debug, Clone)]
+pub struct FlatPageMap<V: Copy> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    len: usize,
+    mask: usize,
+}
+
+impl<V: Copy + Default> Default for FlatPageMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Copy + Default> FlatPageMap<V> {
+    /// An empty map (no allocation until the first insert).
+    pub fn new() -> Self {
+        Self {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            len: 0,
+            mask: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated slots (power of two; 0 before the first insert).
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Bytes of live payload: entries × (8-byte key + value). The
+    /// per-entry cost a dense arena would charge, and the figure HybridTier
+    /// has always reported for its second-chance marks.
+    pub fn resident_bytes(&self) -> usize {
+        self.len * (8 + std::mem::size_of::<V>())
+    }
+
+    /// Bytes of allocated backing storage (keys + values arrays).
+    pub fn allocated_bytes(&self) -> usize {
+        self.capacity() * (8 + std::mem::size_of::<V>())
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `key` is the reserved sentinel
+    /// (`u64::MAX`).
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<V> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is reserved");
+        if self.len == 0 {
+            return None;
+        }
+        let mut i = home_of(key, self.mask);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts or overwrites `key`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is reserved");
+        if self.keys.is_empty() || (self.len + 1) * 8 > self.capacity() * 7 {
+            self.grow();
+        }
+        let mut i = home_of(key, self.mask);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(std::mem::replace(&mut self.vals[i], value));
+            }
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = value;
+                self.len += 1;
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes `key`, returning its value if present. Uses backward-shift
+    /// deletion, so no tombstones accumulate under churn.
+    #[inline]
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is reserved");
+        if self.len == 0 {
+            return None;
+        }
+        let mut i = home_of(key, self.mask);
+        loop {
+            let k = self.keys[i];
+            if k == EMPTY {
+                return None;
+            }
+            if k == key {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        let removed = self.vals[i];
+        self.len -= 1;
+        // Backward shift: pull displaced entries over the hole until a slot
+        // is empty or an entry sits in its home position for this gap.
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let k = self.keys[j];
+            if k == EMPTY {
+                break;
+            }
+            // `k` may fill the hole only if its home lies cyclically at or
+            // before the hole (moving it never skips past its home).
+            let home = home_of(k, self.mask);
+            let dist_home = j.wrapping_sub(home) & self.mask;
+            let dist_hole = j.wrapping_sub(hole) & self.mask;
+            if dist_home >= dist_hole {
+                self.keys[hole] = k;
+                self.vals[hole] = self.vals[j];
+                hole = j;
+            }
+        }
+        self.keys[hole] = EMPTY;
+        Some(removed)
+    }
+
+    /// Drops every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.capacity() * 2).max(16);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![V::default(); new_cap]);
+        self.mask = new_cap - 1;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k == EMPTY {
+                continue;
+            }
+            let mut i = home_of(k, self.mask);
+            while self.keys[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.keys[i] = k;
+            self.vals[i] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: FlatPageMap<u32> = FlatPageMap::new();
+        assert_eq!(m.get(7), None);
+        assert_eq!(m.insert(7, 70), None);
+        assert_eq!(m.insert(9, 90), None);
+        assert_eq!(m.get(7), Some(70));
+        assert_eq!(m.insert(7, 71), Some(70));
+        assert_eq!(m.get(7), Some(71));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(7), Some(71));
+        assert_eq!(m.remove(7), None);
+        assert_eq!(m.get(9), Some(90));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m: FlatPageMap<u64> = FlatPageMap::new();
+        for k in 0..10_000u64 {
+            m.insert(k, k * 3);
+        }
+        assert_eq!(m.len(), 10_000);
+        assert!(m.capacity() >= 10_000);
+        assert!(m.capacity().is_power_of_two());
+        for k in 0..10_000u64 {
+            assert_eq!(m.get(k), Some(k * 3));
+        }
+        assert_eq!(m.resident_bytes(), 10_000 * 16);
+        assert_eq!(m.allocated_bytes(), m.capacity() * 16);
+    }
+
+    #[test]
+    fn clear_keeps_allocation() {
+        let mut m: FlatPageMap<u8> = FlatPageMap::new();
+        for k in 0..100 {
+            m.insert(k, 1);
+        }
+        let cap = m.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), cap);
+        assert_eq!(m.get(5), None);
+        m.insert(5, 2);
+        assert_eq!(m.get(5), Some(2));
+    }
+
+    /// Randomized model check against `std::collections::HashMap`,
+    /// including heavy remove churn (exercises backward-shift deletion
+    /// across wrap-around clusters).
+    #[test]
+    fn matches_std_hashmap_under_churn() {
+        let mut flat: FlatPageMap<u64> = FlatPageMap::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut state = 0x1234_5678u64;
+        for step in 0..200_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Small key universe forces dense clusters and frequent
+            // collisions/shifts.
+            let key = (state >> 33) % 512;
+            match state % 3 {
+                0 | 1 => {
+                    assert_eq!(
+                        flat.insert(key, step),
+                        model.insert(key, step),
+                        "insert({key}) at step {step}"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        flat.remove(key),
+                        model.remove(&key),
+                        "remove({key}) at step {step}"
+                    );
+                }
+            }
+            if step % 1024 == 0 {
+                assert_eq!(flat.len(), model.len());
+            }
+        }
+        for key in 0..512 {
+            assert_eq!(flat.get(key), model.get(&key).copied(), "final get({key})");
+        }
+    }
+}

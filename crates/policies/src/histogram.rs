@@ -90,13 +90,30 @@ impl HotnessHistogram {
     /// When even the hottest level overflows the capacity, returns the top
     /// level (only the very hottest pages promote).
     pub fn threshold_for(&self, fast_capacity: u64, min_threshold: u32) -> u32 {
+        // One suffix-sum pass from the top (Memtis refreshes the threshold
+        // per sample, so the former per-level re-summation was quadratic in
+        // levels). `pages_at_or_above(t)` is non-increasing in `t`, so the
+        // smallest admissible `t` is the last one the descending scan sees
+        // before the suffix overflows — identical to the ascending search.
         let min = min_threshold.max(1);
-        for t in min..=self.max_level() {
-            if self.pages_at_or_above(t) <= fast_capacity {
-                return t;
+        let max = self.max_level();
+        let mut suffix = 0u64;
+        let mut best = max;
+        let mut found = false;
+        for t in (min..=max).rev() {
+            suffix += self.buckets[t as usize];
+            if suffix <= fast_capacity {
+                best = t;
+                found = true;
+            } else {
+                break;
             }
         }
-        self.max_level()
+        if found {
+            best
+        } else {
+            max
+        }
     }
 
     /// Resets all buckets.
@@ -178,6 +195,37 @@ mod tests {
         // past it, admitting nobody currently tracked.
         assert_eq!(h.threshold_for(5, 1), 11);
         assert_eq!(h.pages_at_or_above(11), 0);
+    }
+
+    /// The descending single-pass threshold scan equals the textbook
+    /// ascending `pages_at_or_above` search for arbitrary populations,
+    /// capacities, and minimums.
+    #[test]
+    fn threshold_single_pass_matches_reference_scan() {
+        let reference = |h: &HotnessHistogram, cap: u64, min: u32| -> u32 {
+            let min = min.max(1);
+            for t in min..=h.max_level() {
+                if h.pages_at_or_above(t) <= cap {
+                    return t;
+                }
+            }
+            h.max_level()
+        };
+        let mut h = HotnessHistogram::new(15);
+        let mut state = 42u64;
+        for round in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            h.transition(0, (state >> 20) as u32 % 16);
+            for cap in [0u64, 1, 3, 10, 50, 1_000] {
+                for min in [0u32, 1, 2, 5, 14, 15, 20] {
+                    assert_eq!(
+                        h.threshold_for(cap, min),
+                        reference(&h, cap, min),
+                        "round {round} cap {cap} min {min}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

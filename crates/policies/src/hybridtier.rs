@@ -14,12 +14,11 @@
 //! paper scale); demotion is a watermark-driven linear scan of the address
 //! space, as the userspace runtime does via `/proc/PID/pagemap` (§4.3).
 
-use std::collections::HashMap;
-
 use hybridtier_cbf::{AccessCounter, BlockedCbf, CbfParams, CounterWidth, StandardCbf};
 use tiering_mem::{PageId, PageSize, Tier, TierConfig, TieredMemory};
 use tiering_trace::Sample;
 
+use crate::flat_table::FlatPageMap;
 use crate::histogram::HotnessHistogram;
 use crate::policy::{PolicyCtx, TieringPolicy};
 
@@ -206,13 +205,22 @@ pub struct HybridTierPolicy {
     freq_threshold: u32,
     samples_seen: u64,
     samples_since_flush: u64,
+    /// Samples until the next frequency cooling (countdown form of
+    /// `samples_seen % freq_cool_samples == 0`, sparing the per-sample
+    /// division).
+    freq_cool_in: u64,
+    /// Samples until the next momentum cooling.
+    momentum_cool_in: u64,
     promo_queue: Vec<PageId>,
     /// Number of frequency-cooling events so far; lets the second-chance
     /// check distinguish "count decayed by cooling" from "page was
     /// accessed" when comparing against the saved estimate.
     cooling_epoch: u32,
-    /// page → (frequency estimate at marking, marked-at time, epoch).
-    second_chance: HashMap<u64, (u32, u64, u32)>,
+    /// page → (frequency estimate at marking, marked-at time, epoch), in a
+    /// flat open-addressed table: the demotion scan probes/updates it per
+    /// fast-tier page, so marks live in two dense arrays instead of a
+    /// `std::collections::HashMap`'s hashed heap buckets.
+    second_chance: FlatPageMap<(u32, u64, u32)>,
     scan_cursor: u64,
 }
 
@@ -231,7 +239,17 @@ impl HybridTierPolicy {
     /// Builds the policy for the given tier configuration: the frequency
     /// CBF is sized for the fast-tier page count (paper §4.2, `n` = number
     /// of fast-tier pages) and the momentum CBF `momentum_divisor`× smaller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cooling period is zero (the cadences are countdown
+    /// driven; a zero period is meaningless — use a huge period to
+    /// effectively disable cooling).
     pub fn new(config: HybridTierConfig, tier_cfg: &TierConfig) -> Self {
+        assert!(
+            config.freq_cool_samples > 0 && config.momentum_cool_samples > 0,
+            "cooling periods must be positive"
+        );
         let width = match tier_cfg.page_size {
             PageSize::Base4K => CounterWidth::W4,
             PageSize::Huge2M => CounterWidth::W16,
@@ -260,9 +278,11 @@ impl HybridTierPolicy {
             freq_threshold: config.min_freq_threshold,
             samples_seen: 0,
             samples_since_flush: 0,
+            freq_cool_in: config.freq_cool_samples,
+            momentum_cool_in: config.momentum_cool_samples,
             promo_queue: Vec::new(),
             cooling_epoch: 0,
-            second_chance: HashMap::new(),
+            second_chance: FlatPageMap::new(),
             scan_cursor: 0,
             config,
         }
@@ -307,10 +327,11 @@ impl HybridTierPolicy {
         self.samples_since_flush += 1;
         let key = sample.page.0;
 
-        // Update both trackers (paper Figure 6, step 3). The GET+INCREMENT
-        // pair touches the same lines, reported once.
-        let old_f = self.freq.estimate(key);
-        let new_f = self.freq.increment(key);
+        // Update both trackers (paper Figure 6, step 3). The fused
+        // GET+INCREMENT visits the key's block once and reports the
+        // pre-update estimate for the histogram transition; the pair
+        // touches the same lines, reported once.
+        let (old_f, new_f) = self.freq.increment_with_prev(key);
         self.hist.transition(old_f, new_f);
         self.freq.touched_lines(key, &mut ctx.metadata_lines);
         ctx.metadata_lines
@@ -323,21 +344,21 @@ impl HybridTierPolicy {
             0
         };
 
-        // Cooling (EMA decay): high period for frequency, low for momentum.
-        if self
-            .samples_seen
-            .is_multiple_of(self.config.freq_cool_samples)
-        {
+        // Cooling (EMA decay): high period for frequency, low for momentum
+        // (countdowns, identical cadence to `samples_seen % period == 0`).
+        self.freq_cool_in -= 1;
+        if self.freq_cool_in == 0 {
+            self.freq_cool_in = self.config.freq_cool_samples;
             self.freq.cool();
             self.hist.cool();
             self.cooling_epoch += 1;
         }
-        if self.config.momentum_enabled
-            && self
-                .samples_seen
-                .is_multiple_of(self.config.momentum_cool_samples)
-        {
-            self.momentum.cool();
+        if self.config.momentum_enabled {
+            self.momentum_cool_in -= 1;
+            if self.momentum_cool_in == 0 {
+                self.momentum_cool_in = self.config.momentum_cool_samples;
+                self.momentum.cool();
+            }
         }
 
         // Promotion candidacy (Table 1, slow-tier column).
@@ -422,7 +443,7 @@ impl HybridTierPolicy {
             }
             match MigrationDecision::decide(self.is_freq_hot(f), self.is_momentum_hot(m), true) {
                 MigrationDecision::Demote => {
-                    self.second_chance.remove(&page.0);
+                    self.second_chance.remove(page.0);
                     let _ = mem.demote(page);
                 }
                 MigrationDecision::SecondChance => {
@@ -432,7 +453,7 @@ impl HybridTierPolicy {
                         let _ = mem.demote(page);
                         continue;
                     }
-                    match self.second_chance.get(&page.0).copied() {
+                    match self.second_chance.get(page.0) {
                         None => {
                             self.second_chance
                                 .insert(page.0, (f, now_ns, self.cooling_epoch));
@@ -449,7 +470,7 @@ impl HybridTierPolicy {
                                 let expected = saved >> coolings;
                                 if self.freq.estimate(page.0) <= expected {
                                     // Not accessed since marking: demote.
-                                    self.second_chance.remove(&page.0);
+                                    self.second_chance.remove(page.0);
                                     let _ = mem.demote(page);
                                 } else {
                                     // Still being accessed: re-mark.
@@ -505,18 +526,23 @@ impl TieringPolicy for HybridTierPolicy {
     }
 
     fn metadata_bytes(&self) -> usize {
+        // Second-chance marks are charged at their live payload (24 B per
+        // entry: 8 B key + 16 B record), the figure this policy has always
+        // reported and the golden suite snapshots; the flat table's
+        // allocated capacity is visible via `debug_state`.
         self.freq.metadata_bytes()
             + self.momentum.metadata_bytes()
             + self.hist.metadata_bytes()
-            + self.second_chance.len() * 24
+            + self.second_chance.resident_bytes()
             + self.promo_queue.capacity() * 8
     }
 
     fn debug_state(&self) -> String {
         format!(
-            "thr={} 2nd={} queue={} epoch={}",
+            "thr={} 2nd={}/{}B queue={} epoch={}",
             self.freq_threshold,
             self.second_chance.len(),
+            self.second_chance.allocated_bytes(),
             self.promo_queue.len(),
             self.cooling_epoch
         )
@@ -697,6 +723,15 @@ mod tests {
         assert_eq!(mem.stats().promotions, 0, "no flush before the batch fills");
         p.on_sample(sample(0, Tier::Slow, 15), &mut mem, &mut ctx);
         assert!(mem.stats().promotions > 0, "batch flush promotes");
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling periods must be positive")]
+    fn zero_cooling_period_rejected() {
+        let cfg = TierConfig::for_footprint(256, TierRatio::OneTo4, PageSize::Base4K);
+        let mut ht_cfg = HybridTierConfig::scaled(&cfg);
+        ht_cfg.freq_cool_samples = 0;
+        let _ = HybridTierPolicy::new(ht_cfg, &cfg);
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod arc;
 mod autonuma;
 mod baseline;
 mod ema;
+mod flat_table;
 mod global;
 mod histogram;
 mod hybridtier;
@@ -48,6 +49,7 @@ pub use arc::ArcPolicy;
 pub use autonuma::{AutoNumaConfig, AutoNumaPolicy};
 pub use baseline::{AllFastPolicy, FirstTouchPolicy};
 pub use ema::{ema_lag_series, EmaScore};
+pub use flat_table::FlatPageMap;
 pub use global::{GlobalController, RebalanceEvent};
 pub use histogram::HotnessHistogram;
 pub use hybridtier::{HybridTierConfig, HybridTierPolicy, MigrationDecision, TrackerLayout};

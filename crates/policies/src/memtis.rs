@@ -80,6 +80,10 @@ pub struct MemtisPolicy {
     hist: HotnessHistogram,
     threshold: u32,
     samples_seen: u64,
+    /// Samples until the next cooling pass (countdown form of
+    /// `samples_seen % cool_samples == 0`, sparing the per-sample
+    /// division).
+    cool_in: u64,
     scan_cursor: u64,
     /// Physical pages across both tiers (struct-page metadata is per
     /// physical page, not per mapped page).
@@ -91,12 +95,19 @@ const MAX_LEVEL: u32 = 63;
 
 impl MemtisPolicy {
     /// Builds Memtis for an address space of `tier_cfg.address_space_pages`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cool_samples` is zero (the cooling cadence is
+    /// countdown driven; use a huge period to effectively disable it).
     pub fn new(config: MemtisConfig, tier_cfg: &TierConfig) -> Self {
+        assert!(config.cool_samples > 0, "cooling period must be positive");
         Self {
             counts: vec![0; tier_cfg.address_space_pages as usize],
             hist: HotnessHistogram::new(MAX_LEVEL),
             threshold: config.min_threshold,
             samples_seen: 0,
+            cool_in: config.cool_samples,
             scan_cursor: 0,
             physical_pages: tier_cfg.fast_capacity_pages + tier_cfg.slow_capacity_pages,
             config,
@@ -138,7 +149,9 @@ impl MemtisPolicy {
         ctx.metadata_lines
             .push(HIST_BASE + u64::from(new.min(MAX_LEVEL)) / 8 * 64);
 
-        if self.samples_seen.is_multiple_of(self.config.cool_samples) {
+        self.cool_in -= 1;
+        if self.cool_in == 0 {
+            self.cool_in = self.config.cool_samples;
             self.cool_all();
             // A full cooling pass walks every record.
             ctx.tiering_work_ns += self.counts.len() as u64 / 64;
@@ -294,6 +307,19 @@ mod tests {
         }
         // 10 increments then one cooling: 10/2 = 5.
         assert_eq!(p.count_of(PageId(0)), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling period must be positive")]
+    fn zero_cooling_period_rejected() {
+        let cfg = TierConfig::for_footprint(64, TierRatio::OneTo4, PageSize::Base4K);
+        let _ = MemtisPolicy::new(
+            MemtisConfig {
+                cool_samples: 0,
+                ..MemtisConfig::default()
+            },
+            &cfg,
+        );
     }
 
     #[test]

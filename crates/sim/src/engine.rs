@@ -222,8 +222,8 @@ impl Engine {
             if !pipeline.stage_pull(workload, &mut batch, batch_ops) {
                 break;
             }
-            for (op, accesses) in batch.iter() {
-                pipeline.stage_op(policy, op, accesses);
+            for idx in 0..batch.len() {
+                pipeline.stage_op(policy, &batch, idx);
                 if pipeline.done() {
                     break 'run;
                 }

@@ -158,9 +158,9 @@ impl Lane<'_> {
                 }
                 self.cursor = 0;
             }
-            let (op, accesses) = self.batch.get(self.cursor);
+            self.pipeline
+                .stage_op(self.policy.as_mut(), &self.batch, self.cursor);
             self.cursor += 1;
-            self.pipeline.stage_op(self.policy.as_mut(), op, accesses);
         }
     }
 }

@@ -12,9 +12,12 @@
 //!    simulated time; otherwise the stage degrades to one op per pull, so
 //!    batching can never perturb time-triggered behaviour.
 //! 2. **access** — per access: page mapping, tier accounting, stream
-//!    detection, cache/memory latency. Fault-hook pages and PEBS samples are
-//!    *collected* here; [`Sampler::due_in`]/[`Sampler::skip`] step over
-//!    whole unsampled bursts in one comparison.
+//!    detection, cache/memory latency. The stage iterates the batch's flat
+//!    SoA columns (`addrs`/`pages`/`writes` — the page column is derived
+//!    once per batch in stage 1), with per-burst invariants hoisted out of
+//!    the loop. Fault-hook pages and PEBS samples are *collected* here;
+//!    [`Sampler::due_in`]/[`Sampler::skip`] step over whole unsampled
+//!    bursts in one comparison.
 //! 3. **policy** — the collected burst is delivered in two batched virtual
 //!    calls: [`TieringPolicy::on_access_batch`] (hint faults, charged to the
 //!    op) and [`TieringPolicy::on_sample_batch`]. This mirrors the real
@@ -38,7 +41,7 @@
 use cache_sim::{CacheConfig, CacheHierarchy, HierarchyStats, HitLevel, Source};
 use tiering_mem::{LatencyModel, MigrationStats, PageId, Tier, TierConfig, TieredMemory};
 use tiering_policies::{PolicyCtx, TieringPolicy};
-use tiering_trace::{Access, AccessBatch, Op, Sample, Sampler, Workload};
+use tiering_trace::{AccessBatch, Sample, Sampler, Workload};
 
 use crate::histo::LogHistogram;
 use crate::hotness::{CountDistribution, RetentionProbe};
@@ -178,8 +181,9 @@ impl<'c> Pipeline<'c> {
         &self.global_hist
     }
 
-    /// Stage 1 — pull: refills `batch` from the workload. Returns `false`
-    /// when the workload is exhausted.
+    /// Stage 1 — pull: refills `batch` from the workload and derives its
+    /// page column (one sequential pass). Returns `false` when the workload
+    /// is exhausted.
     ///
     /// `max_ops` is the configured batch size; the pull degrades to a single
     /// op whenever the workload's output may depend on the current clock.
@@ -196,18 +200,32 @@ impl<'c> Pipeline<'c> {
         } else {
             1
         };
-        workload.fill_batch(self.now_ns, n, batch) > 0
+        if workload.fill_batch(self.now_ns, n, batch) == 0 {
+            return false;
+        }
+        batch.compute_pages(self.cfg.page_size);
+        true
     }
 
-    /// Stages 2–5 for one operation of the current batch.
+    /// Stages 2–5 for operation `idx` of the current batch.
     ///
     /// # Panics
     ///
     /// Panics if the workload emitted an address outside its declared
     /// footprint (a workload bug worth failing loudly on).
-    pub(crate) fn stage_op(&mut self, policy: &mut dyn TieringPolicy, op: Op, accesses: &[Access]) {
+    pub(crate) fn stage_op(
+        &mut self,
+        policy: &mut dyn TieringPolicy,
+        batch: &AccessBatch,
+        idx: usize,
+    ) {
+        let (op, start, end) = batch.op_bounds(idx);
         let mut op_ns = op.cpu_ns;
-        op_ns += self.access_stage(accesses);
+        op_ns += self.access_stage(
+            &batch.addrs()[start..end],
+            &batch.pages()[start..end],
+            &batch.writes()[start..end],
+        );
         op_ns += self.policy_stage(policy);
         self.migrate_stage(policy);
         op_ns += self.account_stage();
@@ -217,85 +235,116 @@ impl<'c> Pipeline<'c> {
     /// Stage 2 — access: replay the burst through mapping, stream
     /// detection, and the cache/latency model; collect fault pages and PEBS
     /// samples for the policy stage. Returns the nanoseconds charged.
-    fn access_stage(&mut self, accesses: &[Access]) -> u64 {
-        let cfg = self.cfg;
-        let mut burst_ns = 0;
+    ///
+    /// Consumes the batch's SoA columns directly (`addrs`/`pages`/`writes`
+    /// are parallel slices for this op's burst). Per-burst invariants — the
+    /// latency-model costs, allocation preference, hook flag, cache-sim
+    /// presence — are hoisted out of the loop, and the common
+    /// no-cache-sim/no-sample/no-hook burst runs a minimal
+    /// map→stream→latency loop.
+    fn access_stage(&mut self, addrs: &[u64], pages: &[u64], writes: &[bool]) -> u64 {
         self.fault_buf.clear();
         self.sample_buf.clear();
 
         // Whole-burst sampler fast path: if no sample can fall inside this
         // burst, retire it with one counter adjustment.
-        let burst_len = accesses.len() as u64;
+        let burst_len = addrs.len() as u64;
         let mut sampling = true;
         if u64::from(self.sampler.due_in()) > burst_len {
             self.sampler.skip(burst_len as u32);
             sampling = false;
         }
+        self.accesses += burst_len;
 
-        for access in accesses {
-            let page = access.page(cfg.page_size);
-            let tier = self.mem.ensure_mapped(page, self.prefer);
-            self.accesses += 1;
-            if tier == Tier::Fast {
-                self.fast_hits += 1;
+        // Hoisted per-burst invariants: direct-to-memory cost indexed by
+        // [tier == Fast][streamed], allocation preference, hook flag.
+        let mem_ns = [
+            [self.latency.slow_ns, self.latency.slow_stream_ns],
+            [self.latency.fast_ns, self.latency.fast_stream_ns],
+        ];
+        let prefer = self.prefer;
+        let wants_hook = self.wants_hook;
+        let mut burst_ns = 0u64;
+        let mut fast_hits = 0u64;
+
+        if self.hier.is_none() && !sampling && !wants_hook {
+            // The dominant burst shape in sweep runs: no cache simulation,
+            // no sample due, no fault hook — pure map → stream → latency.
+            for i in 0..addrs.len() {
+                let tier = self.mem.ensure_mapped(PageId(pages[i]), prefer);
+                let fast = (tier == Tier::Fast) as usize;
+                fast_hits += fast as u64;
+                let streamed = self.prefetcher.observe(addrs[i]) as usize;
+                burst_ns += mem_ns[fast][streamed];
             }
+        } else {
+            for i in 0..addrs.len() {
+                let page = PageId(pages[i]);
+                let tier = self.mem.ensure_mapped(page, prefer);
+                let fast = (tier == Tier::Fast) as usize;
+                fast_hits += fast as u64;
 
-            // Application access latency: through the cache if enabled;
-            // memory-level accesses that continue a detected sequential
-            // stream are charged the (bandwidth-bound) prefetched cost.
-            let streamed = self.prefetcher.observe(access.addr);
-            let memory_ns = if streamed {
-                self.latency.stream_ns(tier)
-            } else {
-                self.latency.access_ns(tier)
-            };
-            burst_ns += match &mut self.hier {
-                Some(h) => match h.access(access.addr, Source::App) {
-                    HitLevel::L1 => self.latency.l1_hit_ns,
-                    HitLevel::Llc => self.latency.llc_hit_ns,
-                    HitLevel::Memory => memory_ns,
-                },
-                None => memory_ns,
-            };
+                // Application access latency: through the cache if enabled;
+                // memory-level accesses that continue a detected sequential
+                // stream are charged the (bandwidth-bound) prefetched cost.
+                let streamed = self.prefetcher.observe(addrs[i]) as usize;
+                let memory_ns = mem_ns[fast][streamed];
+                burst_ns += match &mut self.hier {
+                    Some(h) => match h.access(addrs[i], Source::App) {
+                        HitLevel::L1 => self.latency.l1_hit_ns,
+                        HitLevel::Llc => self.latency.llc_hit_ns,
+                        HitLevel::Memory => memory_ns,
+                    },
+                    None => memory_ns,
+                };
 
-            // Fault-hook collection (recency policies): delivered as one
-            // batch in the policy stage, charged to this op.
-            if self.wants_hook {
-                self.fault_buf.push(page);
-            }
+                // Fault-hook collection (recency policies): delivered as one
+                // batch in the policy stage, charged to this op.
+                if wants_hook {
+                    self.fault_buf.push(page);
+                }
 
-            // PEBS sampling.
-            if sampling {
-                if let Some(sample) =
-                    self.sampler
-                        .observe_full(access, tier, self.now_ns, cfg.page_size)
-                {
-                    // Burst filter: at real PEBS periods a sequential sweep
-                    // yields at most one sample per page, because the period
-                    // far exceeds a page's line count. Our scaled period is
-                    // dense enough that a streamed page would register
-                    // several times within microseconds; suppressing page
-                    // repeats within a short sample window restores the
-                    // hardware behaviour (momentum then measures sustained
-                    // intensity, not one sweep's burst).
-                    if self.recent_pages.contains(&sample.page.0) {
-                        continue;
-                    }
-                    self.recent_pages[self.recent_cursor] = sample.page.0;
-                    self.recent_cursor = (self.recent_cursor + 1) % self.recent_pages.len();
-                    self.samples += 1;
-                    if cfg.count_probe {
-                        let c = &mut self.counts[sample.page.0 as usize];
-                        *c = (*c + 1).min(15);
-                    }
-                    if let Some(r) = &mut self.retention {
-                        r.record(sample.page, self.now_ns);
-                    }
-                    self.sample_buf.push(sample);
+                // PEBS sampling.
+                if sampling && self.sampler.tick() {
+                    self.collect_sample(addrs[i], writes[i], page, tier);
                 }
             }
         }
+        self.fast_hits += fast_hits;
         burst_ns
+    }
+
+    /// Handles one selected PEBS sample: burst filtering, probes, and
+    /// buffering for the policy stage.
+    ///
+    /// Burst filter: at real PEBS periods a sequential sweep yields at most
+    /// one sample per page, because the period far exceeds a page's line
+    /// count. Our scaled period is dense enough that a streamed page would
+    /// register several times within microseconds; suppressing page repeats
+    /// within a short sample window restores the hardware behaviour
+    /// (momentum then measures sustained intensity, not one sweep's burst).
+    #[inline]
+    fn collect_sample(&mut self, addr: u64, is_write: bool, page: PageId, tier: Tier) {
+        if self.recent_pages.contains(&page.0) {
+            return;
+        }
+        self.recent_pages[self.recent_cursor] = page.0;
+        self.recent_cursor = (self.recent_cursor + 1) % self.recent_pages.len();
+        self.samples += 1;
+        if self.cfg.count_probe {
+            let c = &mut self.counts[page.0 as usize];
+            *c = (*c + 1).min(15);
+        }
+        if let Some(r) = &mut self.retention {
+            r.record(page, self.now_ns);
+        }
+        self.sample_buf.push(Sample {
+            page,
+            addr,
+            tier,
+            at_ns: self.now_ns,
+            is_write,
+        });
     }
 
     /// Stage 3 — policy: deliver the burst's fault pages and samples in two

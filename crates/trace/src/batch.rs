@@ -1,41 +1,59 @@
-//! Fixed-size operation/access batches.
+//! Fixed-size operation/access batches, stored structure-of-arrays.
 //!
 //! The simulation engine's hot loop used to make one virtual call into the
 //! workload generator per operation. [`AccessBatch`] lets a workload emit up
 //! to a whole batch of operations — each with its burst of accesses — per
-//! virtual call, stored flat so the engine iterates plain slices.
+//! virtual call.
+//!
+//! Storage is **SoA**: flat [`addrs`](AccessBatch::addrs) /
+//! [`writes`](AccessBatch::writes) columns plus a derived
+//! [`pages`](AccessBatch::pages) column filled once per batch by
+//! [`compute_pages`](AccessBatch::compute_pages). The engine's access stage
+//! iterates plain `u64` slices — no 16-byte `Access` structs in the inner
+//! loop, and no per-access `addr >> page_shift` recomputation.
 //!
 //! Batching never changes simulation results: a workload is batch-pulled
 //! only while it reports [`batchable_now`](crate::Workload::batchable_now)
 //! (its output does not depend on simulated time), so the operation stream
 //! is byte-identical to per-op pulls.
 
+use tiering_mem::PageSize;
+
 use crate::access::{Access, Op};
 
 /// One operation's slot in a batch: its metadata plus the range of its
-/// accesses within the batch's flat access buffer.
+/// accesses within the batch's flat columns.
 #[derive(Debug, Clone, Copy)]
 pub struct OpRecord {
     /// Operation metadata (kind + compute time).
     pub op: Op,
-    /// Start index of this op's accesses in the flat buffer.
+    /// Start index of this op's accesses in the flat columns.
     start: u32,
     /// Number of accesses.
     len: u32,
 }
 
-/// A batch of operations with their accesses stored contiguously.
+/// A batch of operations with their accesses stored as flat columns.
 ///
 /// Workloads fill a batch through [`begin_op`](AccessBatch::begin_op) /
-/// [`commit_op`](AccessBatch::commit_op); the engine drains it through
-/// [`iter`](AccessBatch::iter). Buffers are reused across batches — a
-/// cleared batch keeps its capacity, so steady-state operation emits no
-/// allocations.
+/// [`commit_op`](AccessBatch::commit_op) (or
+/// [`push_single`](AccessBatch::push_single) for one-access ops); the
+/// engine drains it by op index via [`op_bounds`](AccessBatch::op_bounds)
+/// over the [`addrs`](AccessBatch::addrs)/[`pages`](AccessBatch::pages)/
+/// [`writes`](AccessBatch::writes) columns. Buffers are reused across
+/// batches — a cleared batch keeps its capacity, so steady-state operation
+/// emits no allocations.
 #[derive(Debug, Default, Clone)]
 pub struct AccessBatch {
-    accesses: Vec<Access>,
+    addrs: Vec<u64>,
+    writes: Vec<bool>,
+    /// Page number per access (`addr >> page_shift`); filled by
+    /// [`compute_pages`](Self::compute_pages), empty until then.
+    pages: Vec<u64>,
     ops: Vec<OpRecord>,
-    pending_start: usize,
+    /// Staging buffer for [`begin_op`](Self::begin_op)-style fills (the
+    /// generic `next_op` adapter); drained into the columns on commit.
+    scratch: Vec<Access>,
 }
 
 impl AccessBatch {
@@ -47,55 +65,105 @@ impl AccessBatch {
     /// An empty batch with pre-sized buffers.
     pub fn with_capacity(ops: usize, accesses: usize) -> Self {
         Self {
-            accesses: Vec::with_capacity(accesses),
+            addrs: Vec::with_capacity(accesses),
+            writes: Vec::with_capacity(accesses),
+            pages: Vec::with_capacity(accesses),
             ops: Vec::with_capacity(ops),
-            pending_start: 0,
+            scratch: Vec::new(),
         }
     }
 
     /// Clears the batch, keeping allocations.
     pub fn clear(&mut self) {
-        self.accesses.clear();
+        self.addrs.clear();
+        self.writes.clear();
+        self.pages.clear();
         self.ops.clear();
-        self.pending_start = 0;
+        self.scratch.clear();
     }
 
-    /// Opens a new operation and returns the buffer its accesses should be
-    /// pushed into (the shared flat buffer; only push, never truncate).
+    /// Opens a new operation and returns the staging buffer its accesses
+    /// should be pushed into.
     ///
     /// Follow with [`commit_op`](Self::commit_op) to record the operation or
     /// [`abort_op`](Self::abort_op) to discard any pushed accesses (used
     /// when the workload turns out to be exhausted).
     #[inline]
     pub fn begin_op(&mut self) -> &mut Vec<Access> {
-        self.pending_start = self.accesses.len();
-        &mut self.accesses
+        self.scratch.clear();
+        &mut self.scratch
     }
 
-    /// Seals the currently open operation.
+    /// Seals the currently open operation, draining the staging buffer into
+    /// the flat columns.
     #[inline]
     pub fn commit_op(&mut self, op: Op) {
-        let start = self.pending_start;
-        self.ops.push(OpRecord {
-            op,
-            start: start as u32,
-            len: (self.accesses.len() - start) as u32,
-        });
+        let start = self.addrs.len() as u32;
+        self.addrs.extend(self.scratch.iter().map(|a| a.addr));
+        self.writes.extend(self.scratch.iter().map(|a| a.is_write));
+        let len = self.scratch.len() as u32;
+        self.scratch.clear();
+        self.ops.push(OpRecord { op, start, len });
     }
 
     /// Discards accesses pushed since the last [`begin_op`](Self::begin_op).
     #[inline]
     pub fn abort_op(&mut self) {
-        self.accesses.truncate(self.pending_start);
+        self.scratch.clear();
     }
 
     /// Pushes a complete single-access operation (the common case for
-    /// pointer-chasing workloads; avoids the begin/commit round trip).
+    /// pointer-chasing workloads; avoids the begin/commit round trip and
+    /// the staging copy).
     #[inline]
     pub fn push_single(&mut self, op: Op, access: Access) {
-        let start = self.accesses.len() as u32;
-        self.accesses.push(access);
+        let start = self.addrs.len() as u32;
+        self.addrs.push(access.addr);
+        self.writes.push(access.is_write);
         self.ops.push(OpRecord { op, start, len: 1 });
+    }
+
+    /// Opens an operation that writes **directly** into the flat columns
+    /// (no staging copy), returning its start cursor. Push the op's
+    /// accesses with [`push_access`](Self::push_access), then seal with
+    /// [`commit_open_op`](Self::commit_open_op) passing the cursor back.
+    ///
+    /// This is the zero-copy fill path for workloads with specialized
+    /// [`fill_batch`](crate::Workload::fill_batch) overrides; the
+    /// [`begin_op`](Self::begin_op) staging path remains for the generic
+    /// `next_op` adapter. Do not interleave with `begin_op`/`commit_op`
+    /// for the same operation.
+    #[inline]
+    pub fn open_op(&mut self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Appends one access of the operation opened by
+    /// [`open_op`](Self::open_op) directly to the columns.
+    #[inline]
+    pub fn push_access(&mut self, access: Access) {
+        self.addrs.push(access.addr);
+        self.writes.push(access.is_write);
+    }
+
+    /// Seals an operation opened by [`open_op`](Self::open_op): records it
+    /// as spanning every access pushed since `start`.
+    #[inline]
+    pub fn commit_open_op(&mut self, op: Op, start: usize) {
+        self.ops.push(OpRecord {
+            op,
+            start: start as u32,
+            len: (self.addrs.len() - start) as u32,
+        });
+    }
+
+    /// Fills the [`pages`](Self::pages) column from the address column —
+    /// one sequential pass per batch, so the engine's access stage never
+    /// recomputes `addr >> shift` per access.
+    pub fn compute_pages(&mut self, size: PageSize) {
+        let shift = size.shift();
+        self.pages.clear();
+        self.pages.extend(self.addrs.iter().map(|&a| a >> shift));
     }
 
     /// Number of committed operations.
@@ -110,10 +178,31 @@ impl AccessBatch {
 
     /// Total accesses across all committed operations.
     pub fn total_accesses(&self) -> usize {
-        self.accesses.len()
+        self.addrs.len()
     }
 
-    /// The `idx`-th committed operation and its accesses.
+    /// The flat byte-address column.
+    #[inline]
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// The flat is-write column (parallel to [`addrs`](Self::addrs)).
+    #[inline]
+    pub fn writes(&self) -> &[bool] {
+        &self.writes
+    }
+
+    /// The derived page-number column (parallel to
+    /// [`addrs`](Self::addrs)); empty until
+    /// [`compute_pages`](Self::compute_pages) ran for this fill.
+    #[inline]
+    pub fn pages(&self) -> &[u64] {
+        &self.pages
+    }
+
+    /// The `idx`-th committed operation and the `[start, end)` range of its
+    /// accesses within the flat columns.
     ///
     /// Consumers that pause mid-batch (the multi-tenant engine suspends a
     /// tenant at rebalance boundaries with ops still buffered) resume by
@@ -123,17 +212,34 @@ impl AccessBatch {
     ///
     /// Panics if `idx >= len()`.
     #[inline]
-    pub fn get(&self, idx: usize) -> (Op, &[Access]) {
+    pub fn op_bounds(&self, idx: usize) -> (Op, usize, usize) {
         let r = &self.ops[idx];
         let s = r.start as usize;
-        (r.op, &self.accesses[s..s + r.len as usize])
+        (r.op, s, s + r.len as usize)
     }
 
-    /// Iterates `(op, accesses)` pairs in emission order.
-    pub fn iter(&self) -> impl Iterator<Item = (Op, &[Access])> {
+    /// Reconstructs the `i`-th access of the batch from the columns
+    /// (convenience for tests and diagnostics; the hot path reads the
+    /// columns directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= total_accesses()`.
+    #[inline]
+    pub fn access(&self, i: usize) -> Access {
+        Access {
+            addr: self.addrs[i],
+            is_write: self.writes[i],
+        }
+    }
+
+    /// Iterates `(op, accesses)` pairs in emission order, materializing
+    /// each op's accesses from the columns (test/diagnostic convenience).
+    pub fn iter(&self) -> impl Iterator<Item = (Op, Vec<Access>)> + '_ {
         self.ops.iter().map(|r| {
             let s = r.start as usize;
-            (r.op, &self.accesses[s..s + r.len as usize])
+            let e = s + r.len as usize;
+            (r.op, (s..e).map(|i| self.access(i)).collect())
         })
     }
 }
@@ -141,6 +247,7 @@ impl AccessBatch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tiering_mem::PageId;
 
     #[test]
     fn fill_and_iterate() {
@@ -153,11 +260,38 @@ mod tests {
 
         assert_eq!(b.len(), 2);
         assert_eq!(b.total_accesses(), 3);
-        let ops: Vec<(Op, Vec<Access>)> = b.iter().map(|(op, a)| (op, a.to_vec())).collect();
+        let ops: Vec<(Op, Vec<Access>)> = b.iter().collect();
         assert_eq!(ops[0].1.len(), 2);
         assert_eq!(ops[0].1[1], Access::write(0x2000));
         assert_eq!(ops[1].0, Op::compute(10));
         assert_eq!(ops[1].1, vec![Access::read(0x3000)]);
+        let (op, s, e) = b.op_bounds(0);
+        assert_eq!(op, Op::read(50));
+        assert_eq!((s, e), (0, 2));
+        assert_eq!(&b.addrs()[s..e], &[0x1000, 0x2000]);
+        assert_eq!(&b.writes()[s..e], &[false, true]);
+    }
+
+    #[test]
+    fn direct_fill_matches_staged_fill() {
+        let mut staged = AccessBatch::new();
+        let buf = staged.begin_op();
+        buf.push(Access::read(0x10));
+        buf.push(Access::write(0x20));
+        staged.commit_op(Op::read(7));
+
+        let mut direct = AccessBatch::new();
+        let start = direct.open_op();
+        direct.push_access(Access::read(0x10));
+        direct.push_access(Access::write(0x20));
+        direct.commit_open_op(Op::read(7), start);
+
+        assert_eq!(staged.addrs(), direct.addrs());
+        assert_eq!(staged.writes(), direct.writes());
+        assert_eq!(staged.len(), direct.len());
+        let (op_s, s0, s1) = staged.op_bounds(0);
+        let (op_d, d0, d1) = direct.op_bounds(0);
+        assert_eq!((op_s, s0, s1), (op_d, d0, d1));
     }
 
     #[test]
@@ -177,10 +311,34 @@ mod tests {
         for i in 0..100u64 {
             b.push_single(Op::read(1), Access::read(i));
         }
-        let cap = b.accesses.capacity();
+        let cap = b.addrs.capacity();
         b.clear();
         assert!(b.is_empty());
         assert_eq!(b.total_accesses(), 0);
-        assert_eq!(b.accesses.capacity(), cap);
+        assert_eq!(b.addrs.capacity(), cap);
+    }
+
+    #[test]
+    fn pages_column_matches_per_access_mapping() {
+        let mut b = AccessBatch::new();
+        for addr in [0u64, 0xFFF, 0x1000, 0x5123, 0xDEAD_BEEF] {
+            b.push_single(Op::read(1), Access::read(addr));
+        }
+        for size in [PageSize::Base4K, PageSize::Huge2M] {
+            b.compute_pages(size);
+            assert_eq!(b.pages().len(), b.total_accesses());
+            for i in 0..b.total_accesses() {
+                assert_eq!(
+                    PageId(b.pages()[i]),
+                    b.access(i).page(size),
+                    "page column diverges from Access::page at {i} ({size})"
+                );
+            }
+        }
+        // Refilling after a clear recomputes from the new addresses.
+        b.clear();
+        b.push_single(Op::read(1), Access::read(0x2000));
+        b.compute_pages(PageSize::Base4K);
+        assert_eq!(b.pages(), &[2]);
     }
 }

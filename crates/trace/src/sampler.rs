@@ -81,12 +81,25 @@ impl Sampler {
         self.countdown -= n;
     }
 
-    /// Observes one access; returns its address if this access is sampled.
+    /// Advances the sampler by one access; returns whether that access is
+    /// sampled. The raw primitive behind [`observe`](Self::observe), for
+    /// callers (the SoA pipeline) that carry the address/page in columns and
+    /// only need the selection decision.
     #[inline]
-    pub fn observe(&mut self, access: &Access) -> Option<u64> {
+    pub fn tick(&mut self) -> bool {
         self.countdown -= 1;
         if self.countdown == 0 {
             self.countdown = self.period;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Observes one access; returns its address if this access is sampled.
+    #[inline]
+    pub fn observe(&mut self, access: &Access) -> Option<u64> {
+        if self.tick() {
             Some(access.addr)
         } else {
             None

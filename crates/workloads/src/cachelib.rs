@@ -9,7 +9,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use tiering_trace::{Access, Op, Workload};
+use tiering_trace::{fill_batch_via_next_op, Access, AccessBatch, Op, Workload};
 
 use crate::layout::{LayoutBuilder, Region};
 use crate::zipf::ShiftableZipf;
@@ -191,9 +191,12 @@ impl CacheLibWorkload {
         let index = layout.alloc(config.objects as u64 * 16);
         let heap = layout.alloc(cursor);
         let footprint = layout.total_bytes();
-        let mut perm_rng = SmallRng::seed_from_u64(config.seed ^ 0x9E37_79B9);
         Self {
-            zipf: ShiftableZipf::new(config.objects, config.theta).shuffled(&mut perm_rng),
+            zipf: ShiftableZipf::shuffled_from_seed(
+                config.objects,
+                config.theta,
+                config.seed ^ 0x9E37_79B9,
+            ),
             rng: SmallRng::seed_from_u64(config.seed),
             shift_rng: SmallRng::seed_from_u64(config.seed ^ 0xC0FF_EE00),
             index,
@@ -282,6 +285,51 @@ impl Workload for CacheLibWorkload {
         // triggers on the op counter, which advances identically whether ops
         // are pulled one at a time or in batches.
         self.next_shift >= self.config.shifts.len()
+    }
+
+    fn fill_batch(&mut self, now_ns: u64, max_ops: usize, batch: &mut AccessBatch) -> usize {
+        // Zero-copy SoA fill: accesses go straight into the batch columns
+        // (no staging `Vec<Access>` round trip). Only valid while batchable
+        // — with a clock-driven shift still pending, fall back to the
+        // generic per-op path so the trigger sees fresh time every op.
+        // `maybe_shift` still runs per op for the op-counter-driven churn.
+        if !self.batchable_now() {
+            return fill_batch_via_next_op(self, now_ns, max_ops, batch);
+        }
+        let n = max_ops.min((self.config.ops - self.ops_done) as usize);
+        for _ in 0..n {
+            self.ops_done += 1;
+            self.maybe_shift(now_ns);
+
+            let obj = self.zipf.sample(&mut self.rng) as usize;
+            let is_set = self.rng.gen::<f64>() < self.config.set_fraction;
+
+            let start = batch.open_op();
+            batch.push_access(Access::read(self.index.elem(obj as u64, 16)));
+            let first = self.object_offset[obj];
+            let size = self.object_size[obj] as u64;
+            let mut off = first;
+            let end = first + size;
+            while off < end {
+                let a = self.heap.addr(off);
+                batch.push_access(if is_set {
+                    Access::write(a)
+                } else {
+                    Access::read(a)
+                });
+                off = (off / 4096 + 1) * 4096; // next page boundary
+            }
+            let cpu = 200 + size / 64;
+            batch.commit_open_op(
+                if is_set {
+                    Op::write(cpu)
+                } else {
+                    Op::read(cpu)
+                },
+                start,
+            );
+        }
+        n
     }
 }
 

@@ -164,6 +164,49 @@ mod tests {
         }
     }
 
+    /// Every specialized `fill_batch` override must emit exactly the
+    /// operation stream that successive `next_op` calls would — same ops,
+    /// same accesses, same order — across batch-size boundaries.
+    #[test]
+    fn fill_batch_equals_next_op_for_all_workloads() {
+        use tiering_trace::AccessBatch;
+        for id in WorkloadId::ALL {
+            let mut batched = build_workload(id, 97);
+            let mut scalar = build_workload(id, 97);
+            let mut batch = AccessBatch::new();
+            let mut scalar_buf = Vec::new();
+            'stream: for round in 0..40 {
+                batch.clear();
+                let n = batched.fill_batch(0, 61, &mut batch);
+                for i in 0..n {
+                    let (op, s, e) = batch.op_bounds(i);
+                    scalar_buf.clear();
+                    let want_op = scalar.next_op(0, &mut scalar_buf);
+                    assert_eq!(want_op, Some(op), "{id:?} round {round} op {i}: op meta");
+                    assert_eq!(
+                        scalar_buf.len(),
+                        e - s,
+                        "{id:?} round {round} op {i}: access count"
+                    );
+                    for (j, want) in scalar_buf.iter().enumerate() {
+                        assert_eq!(
+                            batch.access(s + j),
+                            *want,
+                            "{id:?} round {round} op {i} access {j}"
+                        );
+                    }
+                }
+                if n == 0 {
+                    assert!(
+                        scalar.next_op(0, &mut scalar_buf).is_none(),
+                        "{id:?}: batch path exhausted early"
+                    );
+                    break 'stream;
+                }
+            }
+        }
+    }
+
     #[test]
     fn labels_are_unique() {
         let mut labels: Vec<&str> = WorkloadId::ALL.iter().map(|w| w.label()).collect();

@@ -34,9 +34,8 @@ impl ZipfPageWorkload {
     pub fn new(pages: usize, theta: f64, ops: u64, seed: u64) -> Self {
         let mut layout = LayoutBuilder::new();
         let region = layout.alloc(pages as u64 * 4096);
-        let mut perm_rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9);
         Self {
-            zipf: ShiftableZipf::new(pages, theta).shuffled(&mut perm_rng),
+            zipf: ShiftableZipf::shuffled_from_seed(pages, theta, seed ^ 0x9E37_79B9),
             region,
             rng: SmallRng::seed_from_u64(seed),
             ops_remaining: ops,
@@ -95,8 +94,7 @@ impl Workload for ZipfPageWorkload {
         if let Some(at) = self.wake_at_ns {
             if now_ns >= at {
                 let pages = self.zipf.len();
-                let mut perm_rng = SmallRng::seed_from_u64(0x3A6E_0B17);
-                self.zipf = ShiftableZipf::new(pages, self.wake_theta).shuffled(&mut perm_rng);
+                self.zipf = ShiftableZipf::shuffled_from_seed(pages, self.wake_theta, 0x3A6E_0B17);
                 self.cpu_ns = self.wake_cpu_ns;
                 self.wake_at_ns = None;
             }
