@@ -12,6 +12,7 @@
 //!   --serial-only     skip the parallel pass
 //!   --parallel-only   skip the serial pass (no speedup reported)
 //!   --no-colocation   skip the co-location sweep
+//!   --no-fleet        skip the fleet churn sweep
 //!   --compare <path>  load a previous BENCH json, print wall/throughput
 //!                     deltas, and exit non-zero on regression
 //!   --regress <frac>  max tolerated aggregate-throughput regression for
@@ -21,8 +22,10 @@
 //! The JSON records wall-clock seconds for each mode, the speedup, the
 //! thread count, whether parallel results were byte-identical to serial,
 //! and the full per-scenario result/timing breakdown of the last pass run —
-//! for both the single-tenant policy-comparison sweep and the multi-tenant
-//! co-location sweep (`"colocation"` section, with per-tenant detail).
+//! for the single-tenant policy-comparison sweep, the multi-tenant
+//! co-location sweep (`"colocation"` section, with per-tenant detail), and
+//! the dynamic-fleet churn sweep (`"fleet"` section: objectives × budgets
+//! over the canonical 3-tenant arrive/depart/arrive-again fleet).
 //!
 //! With `--compare`, a `"compare"` section (aggregate throughput ratio plus
 //! per-scenario ratios, matched by label) is appended to the written JSON —
@@ -33,7 +36,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hybridtier_bench::compare::{SweepDelta, SweepSnapshot};
-use hybridtier_bench::{colocation_matrix, json, policy_comparison_matrix};
+use hybridtier_bench::{colocation_matrix, fleet_matrix, json, policy_comparison_matrix};
 use tiering_runner::{Scenario, SweepReport, SweepRunner};
 
 struct Args {
@@ -44,6 +47,7 @@ struct Args {
     serial: bool,
     parallel: bool,
     colocation: bool,
+    fleet: bool,
     compare: Option<PathBuf>,
     regress: f64,
 }
@@ -58,6 +62,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         serial: true,
         parallel: true,
         colocation: true,
+        fleet: true,
         compare: None,
         regress: 0.15,
     };
@@ -91,6 +96,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--serial-only" => args.parallel = false,
             "--parallel-only" => args.serial = false,
             "--no-colocation" => args.colocation = false,
+            "--no-fleet" => args.fleet = false,
             "--compare" => {
                 args.compare = Some(PathBuf::from(it.next().ok_or("--compare needs a path")?));
             }
@@ -107,7 +113,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--json <path>] [--ops <n>] [--sim-ms <n>] [--threads <n>] \
-                     [--serial-only] [--parallel-only] [--no-colocation] \
+                     [--serial-only] [--parallel-only] [--no-colocation] [--no-fleet] \
                      [--compare <prev.json>] [--regress <frac>]"
                 );
                 return Ok(None);
@@ -232,9 +238,24 @@ fn main() -> ExitCode {
         ));
     }
 
+    let mut fleet = None;
+    if args.fleet {
+        println!();
+        let sim_ns = args.sim_ms * 1_000_000;
+        fleet = Some(run_sweep(
+            &format!(
+                "fleet churn sweep ({} simulated ms/scenario, objectives x budgets)",
+                args.sim_ms
+            ),
+            &args,
+            || fleet_matrix(sim_ns),
+        ));
+    }
+
     // Assemble the BENCH json around the richer of each sweep's reports.
-    // Timing fields live under "single"/"colocation" per sweep (the PR-1
-    // format had them at top level; CHANGES.md records the move).
+    // Timing fields live under "single"/"colocation"/"fleet" per sweep
+    // (the PR-1 format had them at top level; CHANGES.md records the
+    // move).
     let mut json = String::from("{\"bench\":\"policy_comparison_sweep\"");
     json.push_str(&format!(",\"ops_per_scenario\":{}", args.ops));
     let head = sweep_json(&serial, &parallel, identical, speedup);
@@ -242,9 +263,13 @@ fn main() -> ExitCode {
     if let Some((s, p, id, x)) = &colo {
         json.push_str(&format!(",\"colocation\":{}", sweep_json(s, p, *id, *x)));
     }
+    if let Some((s, p, id, x)) = &fleet {
+        json.push_str(&format!(",\"fleet\":{}", sweep_json(s, p, *id, *x)));
+    }
     json.push('}');
 
     let colo_identical = colo.as_ref().and_then(|(_, _, id, _)| *id);
+    let fleet_identical = fleet.as_ref().and_then(|(_, _, id, _)| *id);
 
     // Perf-trajectory comparison against a previous BENCH json: print
     // deltas, embed them machine-readably, and flag regressions.
@@ -266,7 +291,7 @@ fn main() -> ExitCode {
         };
         let cur = json::parse(&json).expect("bench emits valid json");
         let mut deltas = Vec::new();
-        for name in ["single", "colocation"] {
+        for name in ["single", "colocation", "fleet"] {
             if let (Some(p), Some(c)) = (prev.get(name), cur.get(name)) {
                 deltas.push(SweepDelta::between(
                     name,
@@ -318,7 +343,11 @@ fn main() -> ExitCode {
         }
     }
 
-    if identical == Some(false) || colo_identical == Some(false) || regressed {
+    if identical == Some(false)
+        || colo_identical == Some(false)
+        || fleet_identical == Some(false)
+        || regressed
+    {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -81,6 +81,26 @@ pub fn colocation_matrix(max_sim_ns: u64) -> Vec<tiering_runner::Scenario> {
         .build()
 }
 
+/// The dynamic-fleet sweep the `bench` binary times serial-vs-parallel:
+/// the canonical 3-tenant arrive/depart/arrive-again churn fleet
+/// (`Scenario::fleet_churn_demo_tenants`) under every built-in quota
+/// objective, across two budget sizings (6 fleet scenarios, up to 4
+/// tenant slots each).
+pub fn fleet_matrix(max_sim_ns: u64) -> Vec<tiering_runner::Scenario> {
+    use tiering_mem::TierRatio;
+    use tiering_runner::{BudgetSpec, FleetMatrix, Scenario};
+
+    let (tenants, churn) = Scenario::fleet_churn_demo_tenants();
+    FleetMatrix::new(SimConfig::default().with_max_sim_ns(max_sim_ns), SEED)
+        .fleet("cache+analytics+burst", tenants, churn)
+        .budgets([
+            BudgetSpec::Ratio(TierRatio::OneTo8),
+            BudgetSpec::Ratio(TierRatio::OneTo4),
+        ])
+        .rebalance_every_ns(5_000_000)
+        .build()
+}
+
 /// The policy-comparison sweep: both CacheLib workloads × all three tier
 /// ratios × the six compared systems (36 scenarios) — the matrix the `bench`
 /// binary times serial-vs-parallel and the examples run interactively.

@@ -21,6 +21,24 @@
 //! quotas by resizing each tenant's fast tier (shrunk tenants drain through
 //! their policy's ordinary watermark demotion — quota enforcement rides the
 //! existing migration path, it is not a special mechanism).
+//!
+//! Two fleet-scale extensions on top of the §7 sketch:
+//!
+//! * **Pluggable objectives.** *How* the distributable budget follows
+//!   demand is a [`QuotaObjective`]: proportional share (the default),
+//!   max-min fairness (progressive filling, Equilibria-style), or a
+//!   piecewise-linear SLO/utility objective. Every objective must satisfy
+//!   the same contract — exact assignment, determinism, demand
+//!   monotonicity — pinned for all of them by `tests/global_properties.rs`.
+//! * **Tenant churn.** Tenants [`admit`](GlobalController::admit_tenant)
+//!   mid-run (under the min-one guarantee) and
+//!   [`retire`](GlobalController::retire_tenant) (their fast pages are
+//!   reclaimed into the live budget immediately). Slots are stable:
+//!   a departed tenant keeps its registration index with a zero quota, so
+//!   event vectors stay index-aligned across the whole run, and every
+//!   [`RebalanceEvent`] records the live mask it decided over.
+
+use std::fmt;
 
 use tiering_mem::{PageSize, TierConfig, TieredMemory};
 
@@ -29,21 +47,282 @@ use tiering_mem::{PageSize, TierConfig, TieredMemory};
 /// any `u64` budget while being far beyond any real footprint.
 const DEMAND_CLAMP: u64 = 1 << 40;
 
+/// How a controller splits the distributable budget across live tenants.
+///
+/// `apportion` receives the clamped demand vector (every entry in
+/// `[1, 2^40]`) of the *live* tenants only and the page count to split; it
+/// must return one allocation per demand that
+///
+/// * sums to **exactly** `amount` (the controller closes no gaps);
+/// * is **deterministic** — equal inputs, equal outputs (exact integer
+///   arithmetic only);
+/// * is **demand-monotone** — raising one tenant's demand while the others
+///   hold still never lowers that tenant's allocation;
+/// * **follows demand ordering** — a strictly hungrier tenant never
+///   receives strictly less.
+///
+/// The per-tenant floor and the min-one guarantee are enforced by the
+/// controller *around* the objective, so objectives stay pure apportioning
+/// math. `tests/global_properties.rs` pins the contract for every
+/// [`ObjectiveKind`].
+pub trait QuotaObjective: fmt::Debug + Send + Sync {
+    /// Short name recorded into every [`RebalanceEvent`].
+    fn label(&self) -> &'static str;
+
+    /// Splits `amount` pages across `demands.len()` tenants.
+    fn apportion(&self, demands: &[u64], amount: u64) -> Vec<u64>;
+}
+
+/// Exact weighted split: each tenant gets `amount * w_i / total` (128-bit
+/// integer arithmetic), and the rounding dust all goes to the heaviest
+/// weight — ties broken by `tiebreak` (the raw demands), then by highest
+/// index (`max_by_key` semantics, matching the controller's historical
+/// remainder rule). The demand tie-break matters for objectives whose
+/// phase weights can tie while demands differ (e.g. SLO requirements
+/// `ceil(d·frac)`): without it, dust could hand a strictly hungrier
+/// tenant strictly less, breaking the demand-ordering contract. All-zero
+/// weights degrade to an equal split (tie-break still by demand).
+fn weighted_split(weights: &[u64], amount: u64, tiebreak: &[u64]) -> Vec<u64> {
+    let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    if total == 0 {
+        let ones = vec![1u64; weights.len()];
+        return weighted_split(&ones, amount, tiebreak);
+    }
+    let mut out: Vec<u64> = weights
+        .iter()
+        .map(|&w| (u128::from(amount) * u128::from(w) / total) as u64)
+        .collect();
+    let assigned: u64 = out.iter().sum();
+    let max_idx = weights
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &w)| (w, tiebreak[i], i))
+        .map(|(i, _)| i)
+        .expect("non-empty weights");
+    out[max_idx] += amount - assigned;
+    out
+}
+
+/// The historical default: allocations proportional to demand.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProportionalShare;
+
+impl QuotaObjective for ProportionalShare {
+    fn label(&self) -> &'static str {
+        "proportional"
+    }
+
+    fn apportion(&self, demands: &[u64], amount: u64) -> Vec<u64> {
+        weighted_split(demands, amount, demands)
+    }
+}
+
+/// Max-min fairness by progressive filling: demands are caps, the water
+/// level rises until the budget is spent, and any surplus beyond total
+/// demand is split equally. Small tenants are fully satisfied before any
+/// large tenant gets more than the fair share — the classic fleet fairness
+/// objective (Equilibria, PAPERS.md).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxMinFairness;
+
+impl QuotaObjective for MaxMinFairness {
+    fn label(&self) -> &'static str {
+        "max-min"
+    }
+
+    fn apportion(&self, demands: &[u64], amount: u64) -> Vec<u64> {
+        let n = demands.len();
+        let total: u128 = demands.iter().map(|&d| u128::from(d)).sum();
+        if u128::from(amount) >= total {
+            // Everyone satisfied; the surplus is split equally, one-page
+            // dust going to the hungriest tenants first (ties: highest
+            // index, consistent with `weighted_split`).
+            let surplus = amount - total as u64;
+            let base = surplus / n as u64;
+            let dust = (surplus % n as u64) as usize;
+            let mut out: Vec<u64> = demands.iter().map(|&d| d + base).collect();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| (demands[i], i));
+            for &i in order.iter().rev().take(dust) {
+                out[i] += 1;
+            }
+            return out;
+        }
+        // Progressive filling: satisfy demands in ascending order while the
+        // equal share covers them; once it no longer does, every remaining
+        // tenant gets the final water level (dust to the hungriest).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (demands[i], i));
+        let mut out = vec![0u64; n];
+        let mut remaining = amount;
+        for (pos, &i) in order.iter().enumerate() {
+            let active = (n - pos) as u64;
+            let level = remaining / active;
+            if demands[i] <= level {
+                out[i] = demands[i];
+                remaining -= demands[i];
+            } else {
+                let dust = (remaining - level * active) as usize;
+                for &j in &order[pos..] {
+                    out[j] = level;
+                }
+                for &j in order.iter().rev().take(dust) {
+                    out[j] += 1;
+                }
+                remaining = 0;
+                break;
+            }
+        }
+        debug_assert_eq!(remaining, 0, "filling assigns the whole amount");
+        out
+    }
+}
+
+/// Default SLO point of [`SloUtility`]: half the demonstrated hot set must
+/// be fast before any tenant gets post-SLO pages.
+pub const DEFAULT_SLO_FRAC: f64 = 0.5;
+
+/// Piecewise-linear utility / SLO objective (Equilibria-style): each
+/// tenant's utility curve is concave piecewise-linear in fast pages — a
+/// steep segment up to its SLO requirement (`slo_frac` of demand), a
+/// shallow segment up to full demand, flat beyond. With slopes shared
+/// across tenants, the exact utility maximizer is a three-phase greedy:
+///
+/// 1. satisfy every SLO requirement (proportionally to requirements when
+///    the budget cannot cover them all);
+/// 2. fill the post-SLO segments up to demand (proportionally to segment
+///    width when short);
+/// 3. split any surplus beyond total demand proportionally to demand
+///    (marginal utility is zero there, so surplus placement just keeps the
+///    assignment exact and demand-ordered).
+#[derive(Debug, Clone, Copy)]
+pub struct SloUtility {
+    /// Fraction of a tenant's demand that constitutes its SLO requirement,
+    /// in `(0, 1]`.
+    pub slo_frac: f64,
+}
+
+impl Default for SloUtility {
+    fn default() -> Self {
+        Self {
+            slo_frac: DEFAULT_SLO_FRAC,
+        }
+    }
+}
+
+impl SloUtility {
+    /// The SLO requirement for one clamped demand: `ceil(d * slo_frac)`,
+    /// kept within `[1, d]` so it is always achievable and monotone in `d`.
+    fn requirement(&self, demand: u64) -> u64 {
+        ((demand as f64 * self.slo_frac).ceil() as u64).clamp(1, demand)
+    }
+}
+
+impl QuotaObjective for SloUtility {
+    fn label(&self) -> &'static str {
+        "slo-utility"
+    }
+
+    fn apportion(&self, demands: &[u64], amount: u64) -> Vec<u64> {
+        let req: Vec<u64> = demands.iter().map(|&d| self.requirement(d)).collect();
+        let total_req: u128 = req.iter().map(|&r| u128::from(r)).sum();
+        if u128::from(amount) <= total_req {
+            // SLO pressure: the steep segments already exceed the budget —
+            // allocate proportionally to the requirements (dust ties broken
+            // by raw demand, so requirement ties cannot invert ordering).
+            return weighted_split(&req, amount, demands);
+        }
+        let mut out = req.clone();
+        let mut remaining = amount - total_req as u64;
+        let post: Vec<u64> = demands.iter().zip(&req).map(|(&d, &r)| d - r).collect();
+        let total_post: u128 = post.iter().map(|&p| u128::from(p)).sum();
+        if u128::from(remaining) <= total_post {
+            for (o, p) in out
+                .iter_mut()
+                .zip(weighted_split(&post, remaining, demands))
+            {
+                *o += p;
+            }
+            return out;
+        }
+        for (o, &p) in out.iter_mut().zip(&post) {
+            *o += p;
+        }
+        remaining -= total_post as u64;
+        for (o, s) in out
+            .iter_mut()
+            .zip(weighted_split(demands, remaining, demands))
+        {
+            *o += s;
+        }
+        out
+    }
+}
+
+/// The built-in objectives, as a cheap, hashable recipe — what sweep specs
+/// carry and [`RebalanceEvent`]s are labelled with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ObjectiveKind {
+    /// [`ProportionalShare`] (the default).
+    #[default]
+    Proportional,
+    /// [`MaxMinFairness`].
+    MaxMin,
+    /// [`SloUtility`] at [`DEFAULT_SLO_FRAC`].
+    SloUtility,
+}
+
+impl ObjectiveKind {
+    /// Every built-in objective, in comparison order — test harnesses and
+    /// sweep matrices iterate this.
+    pub const ALL: [ObjectiveKind; 3] = [
+        ObjectiveKind::Proportional,
+        ObjectiveKind::MaxMin,
+        ObjectiveKind::SloUtility,
+    ];
+
+    /// Label used in reports, scenario names, and golden files.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObjectiveKind::Proportional => "proportional",
+            ObjectiveKind::MaxMin => "max-min",
+            ObjectiveKind::SloUtility => "slo-utility",
+        }
+    }
+
+    /// Instantiates the objective.
+    pub fn build(self) -> Box<dyn QuotaObjective> {
+        match self {
+            ObjectiveKind::Proportional => Box::new(ProportionalShare),
+            ObjectiveKind::MaxMin => Box::new(MaxMinFairness),
+            ObjectiveKind::SloUtility => Box::new(SloUtility::default()),
+        }
+    }
+}
+
 /// One quota re-partition, as a typed event.
 ///
 /// The controller records every [`rebalance`](GlobalController::rebalance)
-/// as one of these; the vectors are indexed by tenant registration order.
-/// `PartialEq`/`Eq` make event traces directly comparable in determinism
-/// tests.
+/// as one of these; the vectors are indexed by tenant registration order
+/// (stable slots — a departed tenant keeps its index with `live = false`
+/// and zeroed entries). `PartialEq`/`Eq` make event traces directly
+/// comparable in determinism tests.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RebalanceEvent {
     /// Simulated time the rebalance ran at.
     pub at_ns: u64,
+    /// Label of the [`QuotaObjective`] that made the decision.
+    pub objective: String,
+    /// Per-live-tenant floor (pages) enforced around the objective.
+    pub floor_pages: u64,
+    /// Which registration slots were live at decision time — the fleet
+    /// composition this event apportioned over.
+    pub live: Vec<bool>,
     /// Demand signal per tenant as used for apportioning (clamped to
-    /// `[1, 2^40]`).
+    /// `[1, 2^40]`; departed slots report 0).
     pub demands: Vec<u64>,
     /// Fast-tier quota per tenant after the rebalance. Sums to exactly the
-    /// controller's budget.
+    /// controller's budget (departed slots hold 0).
     pub quotas: Vec<u64>,
 }
 
@@ -54,12 +333,15 @@ impl RebalanceEvent {
     }
 }
 
-/// One registered tenant (name + footprint + current quota).
+/// One registered tenant (name + footprint + current quota + liveness).
 #[derive(Debug, Clone)]
 struct TenantSlot {
     name: String,
     footprint_pages: u64,
     quota: u64,
+    /// A retired slot stays registered (stable indices) but holds no quota
+    /// and is skipped by every apportioning decision.
+    live: bool,
 }
 
 /// Central coordinator that splits one physical fast tier across tenants.
@@ -75,12 +357,14 @@ pub struct GlobalController {
     fast_budget_pages: u64,
     /// Minimum share of the budget any tenant keeps (fraction).
     floor_frac: f64,
+    objective: Box<dyn QuotaObjective>,
     tenants: Vec<TenantSlot>,
     events: Vec<RebalanceEvent>,
 }
 
 impl GlobalController {
-    /// A controller managing `fast_budget_pages` of physical fast memory.
+    /// A controller managing `fast_budget_pages` of physical fast memory
+    /// under the default [`ProportionalShare`] objective.
     ///
     /// # Panics
     ///
@@ -95,44 +379,154 @@ impl GlobalController {
         Self {
             fast_budget_pages,
             floor_frac,
+            objective: Box::new(ProportionalShare),
             tenants: Vec::new(),
             events: Vec::new(),
         }
     }
 
-    /// Registers a tenant and resets all tenants to equal initial shares of
-    /// the budget (remainder pages go to the earliest tenants). Returns the
-    /// tenant's index for subsequent calls.
+    /// Swaps the quota objective (see [`ObjectiveKind::build`]).
+    #[must_use]
+    pub fn with_objective(mut self, objective: Box<dyn QuotaObjective>) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Label of the active objective.
+    pub fn objective_label(&self) -> &'static str {
+        self.objective.label()
+    }
+
+    /// Registers a tenant and resets all **live** tenants to equal initial
+    /// shares of the budget (remainder pages go to the earliest live
+    /// tenants). Returns the tenant's index for subsequent calls. Use
+    /// before the run starts; mid-run arrivals go through
+    /// [`admit_tenant`](GlobalController::admit_tenant), which leaves
+    /// incumbent quotas standing.
     ///
     /// # Panics
     ///
-    /// Panics if the budget cannot give every registered tenant at least
-    /// one fast page — the min-one quota guarantee needs
-    /// `fast_budget_pages >= num_tenants`.
+    /// Panics if the budget cannot give every live tenant at least one
+    /// fast page — the min-one quota guarantee needs
+    /// `fast_budget_pages >= live tenants`.
     pub fn add_tenant(&mut self, name: &str, footprint_pages: u64) -> usize {
         assert!(
-            self.fast_budget_pages > self.tenants.len() as u64,
+            self.fast_budget_pages > self.num_live() as u64,
             "budget of {} pages cannot hold one page per tenant for {} tenants",
             self.fast_budget_pages,
-            self.tenants.len() + 1,
+            self.num_live() + 1,
         );
         self.tenants.push(TenantSlot {
             name: name.to_string(),
             footprint_pages,
             quota: 0,
+            live: true,
         });
-        let n = self.tenants.len() as u64;
+        let n = self.num_live() as u64;
         let base = self.fast_budget_pages / n;
         let rem = self.fast_budget_pages % n;
-        for (i, t) in self.tenants.iter_mut().enumerate() {
-            t.quota = base + u64::from((i as u64) < rem);
+        let mut live_idx = 0u64;
+        for t in self.tenants.iter_mut() {
+            if t.live {
+                t.quota = base + u64::from(live_idx < rem);
+                live_idx += 1;
+            }
         }
         self.tenants.len() - 1
     }
 
-    /// Number of registered tenants.
+    /// Admits a tenant **mid-run** under the min-one guarantee: the
+    /// newcomer immediately receives one fast page — carved from the live
+    /// tenant with the largest current quota (lowest index on ties) — and
+    /// earns its real share at the next rebalance. If no tenant is live,
+    /// the newcomer takes the whole parked budget. Incumbent quotas are
+    /// otherwise untouched, so live quotas keep summing to the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget cannot hold one page per live tenant after
+    /// admission.
+    pub fn admit_tenant(&mut self, name: &str, footprint_pages: u64) -> usize {
+        assert!(
+            self.fast_budget_pages > self.num_live() as u64,
+            "budget of {} pages cannot admit a tenant beyond {} live tenants",
+            self.fast_budget_pages,
+            self.num_live(),
+        );
+        let quota = if self.num_live() == 0 {
+            self.fast_budget_pages
+        } else {
+            let donor = self
+                .tenants
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.live)
+                .max_by_key(|&(j, t)| (t.quota, std::cmp::Reverse(j)))
+                .map(|(j, _)| j)
+                .expect("a live tenant exists");
+            // Pigeonhole: budget > live count and every live quota ≥ 1, so
+            // the largest live quota is ≥ 2 and stays enforceable.
+            debug_assert!(self.tenants[donor].quota >= 2, "pigeonhole violated");
+            self.tenants[donor].quota -= 1;
+            1
+        };
+        self.tenants.push(TenantSlot {
+            name: name.to_string(),
+            footprint_pages,
+            quota,
+            live: true,
+        });
+        self.tenants.len() - 1
+    }
+
+    /// Retires a tenant: its slot goes dead (index preserved, quota zero)
+    /// and its fast pages are reclaimed into the budget **immediately** —
+    /// spread equally over the remaining live tenants, remainder pages to
+    /// the lowest-indexed ones — so live quotas re-sum to the budget after
+    /// every event. With no live tenant left the budget parks until the
+    /// next [`admit_tenant`](GlobalController::admit_tenant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already retired.
+    pub fn retire_tenant(&mut self, idx: usize) {
+        assert!(self.tenants[idx].live, "tenant {idx} retired twice");
+        let reclaimed = self.tenants[idx].quota;
+        self.tenants[idx].quota = 0;
+        self.tenants[idx].live = false;
+        let m = self.num_live() as u64;
+        if m == 0 {
+            return;
+        }
+        let base = reclaimed / m;
+        let rem = reclaimed % m;
+        let mut live_idx = 0u64;
+        for t in self.tenants.iter_mut() {
+            if t.live {
+                t.quota += base + u64::from(live_idx < rem);
+                live_idx += 1;
+            }
+        }
+    }
+
+    /// Number of registered tenant slots (live and retired).
     pub fn num_tenants(&self) -> usize {
         self.tenants.len()
+    }
+
+    /// Number of live tenants.
+    pub fn num_live(&self) -> usize {
+        self.tenants.iter().filter(|t| t.live).count()
+    }
+
+    /// Whether the slot is live (registered and not retired).
+    pub fn is_live(&self, idx: usize) -> bool {
+        self.tenants[idx].live
+    }
+
+    /// The live mask over registration slots — the fleet composition.
+    pub fn live_mask(&self) -> Vec<bool> {
+        self.tenants.iter().map(|t| t.live).collect()
     }
 
     /// The tenant's registered name.
@@ -160,10 +554,10 @@ impl GlobalController {
         self.fast_budget_pages
     }
 
-    /// The per-tenant quota floor in pages at the current tenant count
-    /// (zero until a tenant is registered).
+    /// The per-tenant quota floor in pages at the current **live** tenant
+    /// count (zero until a tenant is live).
     pub fn floor_pages(&self) -> u64 {
-        let n = self.tenants.len() as u64;
+        let n = self.num_live() as u64;
         if n == 0 {
             0
         } else {
@@ -195,61 +589,76 @@ impl GlobalController {
         mem.set_fast_capacity(self.tenants[idx].quota);
     }
 
-    /// Re-partitions the fast budget proportionally to the reported demand
-    /// per tenant (index-aligned with registration order), with the
-    /// configured floor, and records the result as a [`RebalanceEvent`].
+    /// Re-partitions the fast budget across **live** tenants according to
+    /// the active [`QuotaObjective`] and the reported demand per slot
+    /// (index-aligned with registration order; departed slots' entries are
+    /// ignored), with the configured floor, and records the result as a
+    /// [`RebalanceEvent`].
     ///
-    /// Guarantees (property-tested):
-    /// * quotas sum to exactly the budget;
-    /// * every tenant keeps at least the floor share — and at least one
-    ///   page, so the recorded quota is always an enforceable capacity;
+    /// Guarantees (property-tested for every objective):
+    /// * live quotas sum to exactly the budget (departed slots hold 0);
+    /// * every live tenant keeps at least the floor share — and at least
+    ///   one page, so the recorded quota is always an enforceable capacity;
     /// * equal inputs produce identical events (exact integer arithmetic);
     /// * raising one tenant's demand while others hold still never lowers
     ///   that tenant's quota.
     ///
     /// # Panics
     ///
-    /// Panics if `demands.len()` differs from the registered tenant count
-    /// or no tenants are registered.
+    /// Panics if `demands.len()` differs from the registered slot count or
+    /// no tenant is live.
     pub fn rebalance(&mut self, at_ns: u64, demands: &[u64]) -> RebalanceEvent {
         let n = self.tenants.len();
-        assert!(n > 0, "rebalance with no tenants");
         assert_eq!(demands.len(), n, "one demand per tenant");
+        let live: Vec<bool> = self.live_mask();
+        let m = live.iter().filter(|&&l| l).count();
+        assert!(m > 0, "rebalance with no live tenants");
 
-        let norm: Vec<u64> = demands.iter().map(|&d| d.clamp(1, DEMAND_CLAMP)).collect();
-        let total: u128 = norm.iter().map(|&d| u128::from(d)).sum();
-        let floor = self.floor_pages();
-        let distributable = u128::from(self.fast_budget_pages.saturating_sub(floor * n as u64));
-        let mut quotas: Vec<u64> = norm
+        let norm: Vec<u64> = demands
             .iter()
-            .map(|&d| floor + (distributable * u128::from(d) / total) as u64)
+            .zip(&live)
+            .map(|(&d, &l)| if l { d.clamp(1, DEMAND_CLAMP) } else { 0 })
             .collect();
-        // Rounding remainder goes to the hungriest tenant (last max on
-        // ties, matching `max_by` semantics).
-        let assigned: u64 = quotas.iter().sum();
-        debug_assert!(assigned <= self.fast_budget_pages);
-        let max_idx = norm
+        let floor = self.floor_pages();
+        let distributable = self.fast_budget_pages.saturating_sub(floor * m as u64);
+
+        // The objective sees only the live tenants, in slot order.
+        let live_demands: Vec<u64> = norm
             .iter()
-            .enumerate()
-            .max_by_key(|&(i, &d)| (d, i))
-            .map(|(i, _)| i)
-            .expect("n > 0");
-        quotas[max_idx] += self.fast_budget_pages - assigned;
+            .zip(&live)
+            .filter(|&(_, &l)| l)
+            .map(|(&d, _)| d)
+            .collect();
+        let alloc = self.objective.apportion(&live_demands, distributable);
+        debug_assert_eq!(
+            alloc.iter().sum::<u64>(),
+            distributable,
+            "objective {} broke exact assignment",
+            self.objective.label()
+        );
+        let mut quotas = vec![0u64; n];
+        let mut cursor = alloc.into_iter();
+        for (q, &l) in quotas.iter_mut().zip(&live) {
+            if l {
+                *q = floor + cursor.next().expect("one allocation per live tenant");
+            }
+        }
 
         // Min-one guarantee: a quota of zero is not an enforceable fast
-        // capacity, so top zeros up to one page, taking each page from the
-        // largest current quota (lowest demand, then lowest index, on
-        // ties — the tie-break that keeps quota ordering aligned with
-        // demand ordering). `add_tenant` guarantees budget ≥ tenants, so
-        // while a zero exists some quota is ≥ 2 by pigeonhole.
+        // capacity, so top live zeros up to one page, taking each page from
+        // the largest current live quota (lowest demand, then lowest index,
+        // on ties — the tie-break that keeps quota ordering aligned with
+        // demand ordering). Admission guarantees budget ≥ live tenants, so
+        // while a live zero exists some live quota is ≥ 2 by pigeonhole.
         for i in 0..n {
-            if quotas[i] == 0 {
+            if live[i] && quotas[i] == 0 {
                 let donor = quotas
                     .iter()
                     .enumerate()
+                    .filter(|&(j, _)| live[j])
                     .max_by_key(|&(j, &q)| (q, std::cmp::Reverse(norm[j]), std::cmp::Reverse(j)))
                     .map(|(j, _)| j)
-                    .expect("n > 0");
+                    .expect("m > 0");
                 debug_assert!(quotas[donor] >= 2, "pigeonhole violated");
                 quotas[donor] -= 1;
                 quotas[i] = 1;
@@ -261,6 +670,9 @@ impl GlobalController {
         }
         let event = RebalanceEvent {
             at_ns,
+            objective: self.objective.label().to_string(),
+            floor_pages: floor,
+            live,
             demands: norm,
             quotas,
         };
@@ -436,5 +848,140 @@ mod tests {
         let mut g = GlobalController::new(100, 0.1);
         g.add_tenant("a", 10);
         g.rebalance(0, &[1, 2]);
+    }
+
+    #[test]
+    fn maxmin_satisfies_small_demands_first() {
+        // 100 pages, demands [10, 200]: the small tenant is fully satisfied
+        // (10), the big one takes the rest (90) — proportional would have
+        // given the small tenant only ~5.
+        let alloc = MaxMinFairness.apportion(&[10, 200], 100);
+        assert_eq!(alloc, vec![10, 90]);
+        // Surplus beyond total demand splits equally (dust to hungriest).
+        let alloc = MaxMinFairness.apportion(&[10, 20], 41);
+        assert_eq!(alloc, vec![15, 26]);
+        assert_eq!(alloc.iter().sum::<u64>(), 41);
+    }
+
+    #[test]
+    fn slo_utility_fills_requirements_before_luxury() {
+        let slo = SloUtility { slo_frac: 0.5 };
+        // 30 pages, demands [20, 40]: requirements [10, 20] fit exactly.
+        assert_eq!(slo.apportion(&[20, 40], 30), vec![10, 20]);
+        // Under SLO pressure the budget splits over requirements, not raw
+        // demand.
+        let alloc = slo.apportion(&[20, 40], 15);
+        assert_eq!(alloc.iter().sum::<u64>(), 15);
+        assert_eq!(alloc, vec![5, 10]);
+        // Beyond all requirements, the post-SLO segments fill toward
+        // demand.
+        let alloc = slo.apportion(&[20, 40], 45);
+        assert_eq!(alloc.iter().sum::<u64>(), 45);
+        assert!(alloc[0] >= 10 && alloc[1] >= 20, "SLOs held: {alloc:?}");
+    }
+
+    #[test]
+    fn slo_utility_dust_cannot_invert_ordering_on_requirement_ties() {
+        // Demands [4, 3] → requirements [2, 2] (ceil of halves tie while
+        // demands differ); 3 pages under SLO pressure leave one dust page.
+        // The tie must break by raw demand — the hungrier tenant keeps at
+        // least as much.
+        let alloc = SloUtility { slo_frac: 0.5 }.apportion(&[4, 3], 3);
+        assert_eq!(alloc.iter().sum::<u64>(), 3);
+        assert!(alloc[0] >= alloc[1], "ordering inverted: {alloc:?}");
+        // Same shape one phase later: post-SLO widths tie at [2, 1]→... and
+        // the dust page of the post split must also favor the hungrier.
+        let alloc = SloUtility { slo_frac: 0.5 }.apportion(&[4, 3], 6);
+        assert_eq!(alloc.iter().sum::<u64>(), 6);
+        assert!(alloc[0] >= alloc[1], "phase-2 ordering inverted: {alloc:?}");
+    }
+
+    #[test]
+    fn objective_kinds_build_and_label() {
+        for kind in ObjectiveKind::ALL {
+            let obj = kind.build();
+            assert_eq!(obj.label(), kind.label());
+            assert_eq!(obj.apportion(&[3, 9, 1], 50).iter().sum::<u64>(), 50);
+        }
+        assert_eq!(ObjectiveKind::default(), ObjectiveKind::Proportional);
+    }
+
+    #[test]
+    fn admit_carves_min_one_and_conserves_the_budget() {
+        let mut g = GlobalController::new(1_000, 0.1);
+        g.add_tenant("a", 10_000);
+        g.add_tenant("b", 10_000);
+        g.rebalance(10, &[700, 300]);
+        let before = g.quotas();
+        let c = g.admit_tenant("c", 5_000);
+        assert_eq!(g.quota(c), 1, "newcomer starts at the min-one share");
+        assert_eq!(g.quotas().iter().sum::<u64>(), 1_000, "budget conserved");
+        // Exactly one page moved, from the largest incumbent quota.
+        let donor = usize::from(before[1] > before[0]);
+        assert_eq!(g.quota(donor), before[donor] - 1);
+        assert!(g.is_live(c));
+        assert_eq!(g.num_live(), 3);
+    }
+
+    #[test]
+    fn retire_reclaims_pages_into_live_quotas() {
+        let mut g = GlobalController::new(999, 0.1);
+        g.add_tenant("a", 10_000);
+        g.add_tenant("b", 10_000);
+        g.add_tenant("c", 10_000);
+        g.rebalance(5, &[100, 100, 800]);
+        let reclaimed = g.quota(2);
+        let (a_before, b_before) = (g.quota(0), g.quota(1));
+        g.retire_tenant(2);
+        assert!(!g.is_live(2));
+        assert_eq!(g.quota(2), 0, "retired slot holds nothing");
+        assert_eq!(
+            g.quota(0) + g.quota(1),
+            a_before + b_before + reclaimed,
+            "departed pages reclaimed into live quotas"
+        );
+        assert_eq!(g.quotas().iter().sum::<u64>(), 999, "budget conserved");
+        assert_eq!(g.live_mask(), vec![true, true, false]);
+        // The next rebalance decides over the shrunk fleet only.
+        let event = g.rebalance(20, &[50, 50, 123_456]);
+        assert_eq!(event.quotas[2], 0);
+        assert_eq!(event.demands[2], 0, "dead slot demand is ignored");
+        assert_eq!(event.live, vec![true, true, false]);
+        assert_eq!(event.assigned(), 999);
+    }
+
+    #[test]
+    fn last_tenant_out_parks_the_budget_and_readmission_takes_it() {
+        let mut g = GlobalController::new(500, 0.1);
+        g.add_tenant("a", 1_000);
+        g.retire_tenant(0);
+        assert_eq!(g.num_live(), 0);
+        assert_eq!(g.quotas().iter().sum::<u64>(), 0, "budget parked");
+        let b = g.admit_tenant("b", 2_000);
+        assert_eq!(g.quota(b), 500, "sole live tenant takes the full budget");
+    }
+
+    #[test]
+    fn events_record_objective_and_floor() {
+        let mut g = GlobalController::new(1_000, 0.2).with_objective(ObjectiveKind::MaxMin.build());
+        assert_eq!(g.objective_label(), "max-min");
+        g.add_tenant("a", 1_000);
+        g.add_tenant("b", 1_000);
+        let e = g.rebalance(3, &[10, 2_000]);
+        assert_eq!(e.objective, "max-min");
+        assert_eq!(e.floor_pages, g.floor_pages());
+        assert_eq!(e.live, vec![true, true]);
+        assert_eq!(e.assigned(), 1_000);
+        // Max-min fully satisfies the small demand above its floor.
+        assert_eq!(e.quotas[0], e.floor_pages + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "retired twice")]
+    fn double_retire_is_loud() {
+        let mut g = GlobalController::new(100, 0.1);
+        g.add_tenant("a", 10);
+        g.retire_tenant(0);
+        g.retire_tenant(0);
     }
 }

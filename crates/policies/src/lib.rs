@@ -50,7 +50,10 @@ pub use autonuma::{AutoNumaConfig, AutoNumaPolicy};
 pub use baseline::{AllFastPolicy, FirstTouchPolicy};
 pub use ema::{ema_lag_series, EmaScore};
 pub use flat_table::FlatPageMap;
-pub use global::{GlobalController, RebalanceEvent};
+pub use global::{
+    GlobalController, MaxMinFairness, ObjectiveKind, ProportionalShare, QuotaObjective,
+    RebalanceEvent, SloUtility, DEFAULT_SLO_FRAC,
+};
 pub use histogram::HotnessHistogram;
 pub use hybridtier::{HybridTierConfig, HybridTierPolicy, MigrationDecision, TrackerLayout};
 pub use list_set::ListSet;

@@ -19,6 +19,13 @@
 //!   share one fast tier under the §7 global controller, and pairings ×
 //!   budgets cross-product into ordinary scenario lists (see the crate
 //!   README for an authoring guide).
+//! * [`FleetSpec`] / [`ChurnSpec`] / [`ScenarioKind::Fleet`] /
+//!   [`FleetMatrix`] — dynamic fleets: tenants arrive and depart mid-run
+//!   on an op-count schedule, the controller apportions under a pluggable
+//!   quota objective
+//!   ([`ObjectiveKind`](tiering_policies::ObjectiveKind): proportional,
+//!   max-min, SLO-utility), and fleets × objectives × budgets
+//!   cross-product into ordinary scenario lists.
 //! * [`SweepRunner`] — a work-stealing thread pool over a scenario list.
 //!   Results land in input order no matter which thread finishes first, so
 //!   parallel output is byte-identical to serial output — asserted by this
@@ -53,10 +60,10 @@ mod scenario;
 mod sweep;
 
 pub use scenario::{
-    BudgetSpec, CoLocationSpec, PolicySpec, Scenario, ScenarioKind, ScenarioResult, TenantSpec,
-    TierSpec, WorkloadSpec,
+    BudgetSpec, ChurnAction, ChurnSpec, CoLocationSpec, FleetSpec, PolicySpec, Scenario,
+    ScenarioKind, ScenarioResult, TenantSpec, TierSpec, WorkloadSpec,
 };
-pub use sweep::{CoLocationMatrix, ScenarioMatrix, SweepReport, SweepRunner};
+pub use sweep::{CoLocationMatrix, FleetMatrix, ScenarioMatrix, SweepReport, SweepRunner};
 
 /// Derives the seed for scenario `index` of a sweep from the sweep's base
 /// seed (SplitMix64 of `base ^ index`): deterministic, stable under

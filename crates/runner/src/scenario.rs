@@ -5,10 +5,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tiering_mem::{TierConfig, TierRatio};
-use tiering_policies::{build_policy, PolicyKind, TieringPolicy};
+use tiering_policies::{build_policy, ObjectiveKind, PolicyKind, TieringPolicy};
 use tiering_sim::{
-    Engine, MultiTenantConfig, MultiTenantEngine, MultiTenantReport, SimConfig, SimReport,
-    TenantRun,
+    ChurnSchedule, Engine, MultiTenantConfig, MultiTenantEngine, MultiTenantReport, SimConfig,
+    SimReport, TenantRun,
 };
 use tiering_trace::Workload;
 use tiering_workloads::{build_workload, WorkloadId, ZipfPageWorkload};
@@ -270,8 +270,143 @@ impl CoLocationSpec {
     }
 }
 
-/// What a scenario executes: one (workload, policy, tier) run, or N
-/// co-located tenants sharing a controller-partitioned fast tier.
+/// One scheduled fleet-composition change, as a recipe: what happens and
+/// at which fleet op count (see
+/// [`ChurnSchedule`](tiering_sim::ChurnSchedule) for the trigger
+/// semantics).
+#[derive(Debug, Clone)]
+pub struct ChurnSpec {
+    /// Fleet-wide completed-op threshold the event fires at.
+    pub at_fleet_ops: u64,
+    /// What happens.
+    pub action: ChurnAction,
+}
+
+/// The two fleet-composition changes a [`ChurnSpec`] can schedule.
+#[derive(Debug, Clone)]
+pub enum ChurnAction {
+    /// A new tenant joins (admitted under the min-one guarantee). Its
+    /// workload seed is derived from the scenario seed and its position in
+    /// the churn list, after the initial tenants' seeds.
+    Arrive(TenantSpec),
+    /// The named live tenant leaves; its fast pages are reclaimed.
+    Depart(String),
+}
+
+impl ChurnSpec {
+    /// Schedules `tenant` to arrive at the given fleet op count.
+    pub fn arrive(at_fleet_ops: u64, tenant: TenantSpec) -> Self {
+        Self {
+            at_fleet_ops,
+            action: ChurnAction::Arrive(tenant),
+        }
+    }
+
+    /// Schedules the named tenant's departure at the given fleet op count.
+    pub fn depart(at_fleet_ops: u64, name: impl Into<String>) -> Self {
+        Self {
+            at_fleet_ops,
+            action: ChurnAction::Depart(name.into()),
+        }
+    }
+}
+
+/// A complete dynamic-fleet recipe: who starts on the machine, how the
+/// composition churns, and which objective the controller apportions
+/// under. The churn-free, proportional special case is exactly a
+/// [`CoLocationSpec`] — this is its fleet-scale superset.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Tenants present from the start (at least one).
+    pub tenants: Vec<TenantSpec>,
+    /// Scheduled arrivals/departures (may be empty — a static fleet).
+    pub churn: Vec<ChurnSpec>,
+    /// The controller's quota objective.
+    pub objective: ObjectiveKind,
+    /// Shared fast-tier sizing. `BudgetSpec::Ratio` resolves against the
+    /// combined footprint of **every** tenant the recipe names (initial
+    /// and arrivals), so the budget never shrinks below the min-one
+    /// guarantee however the composition churns.
+    pub budget: BudgetSpec,
+    /// Minimum budget share any live tenant keeps.
+    pub floor_frac: f64,
+    /// Simulated time between controller rebalances.
+    pub rebalance_interval_ns: u64,
+}
+
+impl FleetSpec {
+    /// A spec with the demo defaults: proportional objective, 1:8 budget,
+    /// 10% floor, 10 ms cadence.
+    pub fn new(tenants: Vec<TenantSpec>) -> Self {
+        Self {
+            tenants,
+            churn: Vec::new(),
+            objective: ObjectiveKind::Proportional,
+            budget: CoLocationSpec::DEFAULT_BUDGET,
+            floor_frac: tiering_sim::DEFAULT_FLOOR_FRAC,
+            rebalance_interval_ns: tiering_sim::DEFAULT_REBALANCE_INTERVAL_NS,
+        }
+    }
+
+    /// Sets the churn schedule.
+    #[must_use]
+    pub fn with_churn(mut self, churn: Vec<ChurnSpec>) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Overrides the quota objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Overrides the budget sizing.
+    #[must_use]
+    pub fn with_budget(mut self, budget: BudgetSpec) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the tenant floor fraction.
+    #[must_use]
+    pub fn with_floor_frac(mut self, frac: f64) -> Self {
+        self.floor_frac = frac;
+        self
+    }
+
+    /// Overrides the rebalance cadence.
+    #[must_use]
+    pub fn with_rebalance_interval_ns(mut self, ns: u64) -> Self {
+        self.rebalance_interval_ns = ns;
+        self
+    }
+
+    /// Every tenant the recipe can ever admit: the initial set plus churn
+    /// arrivals (budget floors and seed derivation are sized by this).
+    pub fn total_tenant_slots(&self) -> usize {
+        self.tenants.len()
+            + self
+                .churn
+                .iter()
+                .filter(|c| matches!(c.action, ChurnAction::Arrive(_)))
+                .count()
+    }
+
+    /// `a+b+c` label over the initial tenant names.
+    pub fn tenants_label(&self) -> String {
+        self.tenants
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// What a scenario executes: one (workload, policy, tier) run, N
+/// co-located tenants sharing a controller-partitioned fast tier, or a
+/// dynamic fleet with churn and a pluggable quota objective.
 #[derive(Debug, Clone)]
 pub enum ScenarioKind {
     /// The classic single-application experiment.
@@ -285,6 +420,8 @@ pub enum ScenarioKind {
     },
     /// Multi-tenant co-location under the §7 global controller.
     CoLocation(CoLocationSpec),
+    /// A dynamic fleet: tenant churn plus a pluggable quota objective.
+    Fleet(FleetSpec),
 }
 
 /// One self-contained experiment: everything needed to reproduce one
@@ -409,6 +546,79 @@ impl Scenario {
         Self::co_location("cache+batch/1:8/wakeup", spec, config, seed)
     }
 
+    /// A dynamic-fleet scenario: tenants arrive and depart on the spec's
+    /// churn schedule, under its quota objective.
+    pub fn fleet(label: impl Into<String>, spec: FleetSpec, config: &SimConfig, seed: u64) -> Self {
+        Self {
+            label: label.into(),
+            kind: ScenarioKind::Fleet(spec),
+            config: config.clone(),
+            seed,
+        }
+    }
+
+    /// The tenants and churn schedule behind
+    /// [`fleet_churn_demo`](Scenario::fleet_churn_demo): a hot cache-style
+    /// tenant, a wide lukewarm analytics tenant, and a `burst` tenant that
+    /// departs a third of the way in and arrives again (a fresh slot, same
+    /// name) two thirds in — the canonical arrive/depart/arrive-again
+    /// trajectory. Exposed so sweeps (the bench fleet matrix) build on the
+    /// exact recipe the golden suite pins.
+    pub fn fleet_churn_demo_tenants() -> (Vec<TenantSpec>, Vec<ChurnSpec>) {
+        let burst = || {
+            TenantSpec::new(
+                "burst",
+                WorkloadSpec::custom("zipf-burst", |seed| {
+                    Box::new(ZipfPageWorkload::new(6_000, 0.9, u64::MAX, seed))
+                }),
+                PolicySpec::Kind(PolicyKind::HybridTier),
+            )
+        };
+        let tenants = vec![
+            TenantSpec::new(
+                "cache",
+                WorkloadSpec::custom("zipf-hot", |seed| {
+                    Box::new(ZipfPageWorkload::new(8_000, 0.99, u64::MAX, seed))
+                }),
+                PolicySpec::Kind(PolicyKind::HybridTier),
+            ),
+            TenantSpec::new(
+                "analytics",
+                WorkloadSpec::custom("zipf-wide", |seed| {
+                    Box::new(ZipfPageWorkload::new(16_000, 0.4, u64::MAX, seed).with_cpu_ns(1_500))
+                }),
+                PolicySpec::Kind(PolicyKind::HybridTier),
+            ),
+            burst(),
+        ];
+        let churn = vec![
+            ChurnSpec::depart(60_000, "burst"),
+            ChurnSpec::arrive(120_000, burst()),
+        ];
+        (tenants, churn)
+    }
+
+    /// The canonical 3-tenant churn demonstration under the given
+    /// objective, shared verbatim by the `fleet_churn` example, the bench
+    /// fleet matrix, and the golden suite (one snapshot per objective):
+    /// the [`fleet_churn_demo_tenants`](Scenario::fleet_churn_demo_tenants)
+    /// fleet at a 1:8 budget, rebalanced every 5 ms. Run it with a horizon
+    /// of at least ~60 ms (`config.max_sim_ns`) so both churn events fire.
+    pub fn fleet_churn_demo(objective: ObjectiveKind, config: &SimConfig, seed: u64) -> Self {
+        let (tenants, churn) = Self::fleet_churn_demo_tenants();
+        let spec = FleetSpec::new(tenants)
+            .with_churn(churn)
+            .with_objective(objective)
+            .with_budget(BudgetSpec::Ratio(TierRatio::OneTo8))
+            .with_rebalance_interval_ns(5_000_000);
+        Self::fleet(
+            format!("cache+analytics+burst/{}/churn", objective.label()),
+            spec,
+            config,
+            seed,
+        )
+    }
+
     /// Resolves the tier configuration for a workload of `pages` pages.
     fn tier_config(tier: &TierSpec, config: &SimConfig, pages: u64) -> TierConfig {
         match tier {
@@ -478,6 +688,66 @@ impl Scenario {
                         .collect::<Vec<_>>()
                         .join("+"),
                     tier: format!("co/{}", spec.budget.label()),
+                    seed: self.seed,
+                    wall: start.elapsed(),
+                    report: multi.aggregate.clone(),
+                    multi: Some(multi),
+                }
+            }
+            ScenarioKind::Fleet(spec) => {
+                let runs: Vec<TenantRun> = spec
+                    .tenants
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let wseed = derive_seed(self.seed, i as u64);
+                        let policy = t.policy.clone();
+                        TenantRun::new(t.name.clone(), t.workload.build(wseed), move |cfg| {
+                            policy.build(cfg)
+                        })
+                    })
+                    .collect();
+                let mut schedule = ChurnSchedule::new();
+                let mut combined: u64 = runs
+                    .iter()
+                    .map(|r| r.workload.footprint_pages(self.config.page_size))
+                    .sum();
+                for (j, c) in spec.churn.iter().enumerate() {
+                    match &c.action {
+                        ChurnAction::Arrive(t) => {
+                            let wseed = derive_seed(self.seed, (spec.tenants.len() + j) as u64);
+                            let workload = t.workload.build(wseed);
+                            combined += workload.footprint_pages(self.config.page_size);
+                            let policy = t.policy.clone();
+                            schedule = schedule.arrive(
+                                c.at_fleet_ops,
+                                TenantRun::new(t.name.clone(), workload, move |cfg| {
+                                    policy.build(cfg)
+                                }),
+                            );
+                        }
+                        ChurnAction::Depart(name) => {
+                            schedule = schedule.depart(c.at_fleet_ops, name.clone());
+                        }
+                    }
+                }
+                let budget = spec.budget.resolve(combined, spec.total_tenant_slots());
+                let mt_cfg = MultiTenantConfig::new(budget)
+                    .with_floor_frac(spec.floor_frac)
+                    .with_rebalance_interval_ns(spec.rebalance_interval_ns)
+                    .with_objective(spec.objective);
+                let multi = MultiTenantEngine::new(self.config.clone(), mt_cfg)
+                    .run_with_churn(runs, schedule);
+                ScenarioResult {
+                    label: self.label.clone(),
+                    workload: spec.tenants_label(),
+                    policy: spec
+                        .tenants
+                        .iter()
+                        .map(|t| t.policy.label())
+                        .collect::<Vec<_>>()
+                        .join("+"),
+                    tier: format!("fleet/{}/{}", spec.objective.label(), spec.budget.label()),
                     seed: self.seed,
                     wall: start.elapsed(),
                     report: multi.aggregate.clone(),
@@ -633,6 +903,64 @@ mod tests {
             "tenants must not share a workload RNG stream"
         );
         assert!(!multi.rebalances.is_empty());
+    }
+
+    #[test]
+    fn fleet_churn_demo_runs_under_every_objective() {
+        let config = SimConfig::default().with_max_sim_ns(60_000_000);
+        for objective in tiering_policies::ObjectiveKind::ALL {
+            let s = Scenario::fleet_churn_demo(objective, &config, 21);
+            assert_eq!(
+                s.label,
+                format!("cache+analytics+burst/{}/churn", objective.label())
+            );
+            let r = s.run();
+            assert_eq!(r.tier, format!("fleet/{}/1:8", objective.label()));
+            let multi = r.multi.expect("fleet detail");
+            assert_eq!(multi.tenants.len(), 4, "3 initial + 1 re-arrival slot");
+            assert_eq!(multi.churn.len(), 2, "both churn events fired");
+            assert!(
+                multi
+                    .rebalances
+                    .iter()
+                    .all(|e| e.objective == objective.label()
+                        && e.assigned() == multi.fast_budget_pages),
+                "{objective:?}: budget leak or mislabel"
+            );
+            // The burst tenant really leaves and a fresh slot really runs.
+            assert!(multi.tenants[2].departed_at_ns.is_some());
+            assert!(multi.tenants[3].report.ops > 0);
+        }
+    }
+
+    #[test]
+    fn fleet_arrivals_get_derived_seeds() {
+        // Two arrivals with identical recipes must not share an RNG
+        // stream (seeds derive from the churn position).
+        let tenant = |name: &str| {
+            TenantSpec::new(
+                name,
+                WorkloadSpec::custom("zipf", |seed| {
+                    Box::new(ZipfPageWorkload::new(1_000, 0.9, 4_000, seed))
+                }),
+                PolicySpec::Kind(PolicyKind::HybridTier),
+            )
+        };
+        let spec = FleetSpec::new(vec![tenant("base")])
+            .with_churn(vec![
+                ChurnSpec::arrive(1_000, tenant("x")),
+                ChurnSpec::arrive(2_000, tenant("y")),
+            ])
+            .with_budget(BudgetSpec::Pages(300))
+            .with_rebalance_interval_ns(500_000);
+        assert_eq!(spec.total_tenant_slots(), 3);
+        let r = Scenario::fleet("fleet", spec, &SimConfig::default(), 5).run();
+        let multi = r.multi.expect("fleet detail");
+        assert_eq!(multi.tenants.len(), 3);
+        assert_ne!(
+            multi.tenants[1].report.sim_ns, multi.tenants[2].report.sim_ns,
+            "arrivals must not share a workload RNG stream"
+        );
     }
 
     #[test]

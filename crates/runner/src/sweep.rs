@@ -6,12 +6,14 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use tiering_mem::TierRatio;
-use tiering_policies::PolicyKind;
+use tiering_policies::{ObjectiveKind, PolicyKind};
 use tiering_sim::SimConfig;
 use tiering_workloads::WorkloadId;
 
 use crate::derive_seed;
-use crate::scenario::{BudgetSpec, CoLocationSpec, Scenario, ScenarioResult, TenantSpec};
+use crate::scenario::{
+    BudgetSpec, ChurnSpec, CoLocationSpec, FleetSpec, Scenario, ScenarioResult, TenantSpec,
+};
 
 /// Builds the standard workload × policy × ratio cross product with
 /// deterministic per-scenario seeds.
@@ -199,6 +201,109 @@ impl CoLocationMatrix {
     }
 }
 
+/// Cross-product builder for dynamic-fleet sweeps: named fleets (tenants +
+/// churn pattern) × quota objectives × budget specs, each cell one
+/// [`ScenarioKind::Fleet`] scenario with a seed derived from the base seed
+/// and the scenario index (tenant workload seeds are derived further, per
+/// tenant — see [`Scenario::run`]).
+///
+/// [`ScenarioKind::Fleet`]: crate::ScenarioKind::Fleet
+#[derive(Debug, Clone)]
+pub struct FleetMatrix {
+    fleets: Vec<(String, Vec<TenantSpec>, Vec<ChurnSpec>)>,
+    objectives: Vec<ObjectiveKind>,
+    budgets: Vec<BudgetSpec>,
+    floor_frac: f64,
+    rebalance_interval_ns: u64,
+    config: SimConfig,
+    seed: u64,
+}
+
+impl FleetMatrix {
+    /// A matrix over the given engine config and base seed, sweeping all
+    /// built-in objectives at the [`FleetSpec::new`] defaults until
+    /// overridden.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        let defaults = FleetSpec::new(Vec::new());
+        Self {
+            fleets: Vec::new(),
+            objectives: ObjectiveKind::ALL.to_vec(),
+            budgets: vec![defaults.budget],
+            floor_frac: defaults.floor_frac,
+            rebalance_interval_ns: defaults.rebalance_interval_ns,
+            config,
+            seed,
+        }
+    }
+
+    /// Adds a named fleet — initial tenants plus churn pattern (row).
+    #[must_use]
+    pub fn fleet(
+        mut self,
+        label: impl Into<String>,
+        tenants: Vec<TenantSpec>,
+        churn: Vec<ChurnSpec>,
+    ) -> Self {
+        self.fleets.push((label.into(), tenants, churn));
+        self
+    }
+
+    /// Sets the quota objectives (columns; defaults to all built-ins).
+    #[must_use]
+    pub fn objectives(mut self, objectives: impl IntoIterator<Item = ObjectiveKind>) -> Self {
+        self.objectives = objectives.into_iter().collect();
+        self
+    }
+
+    /// Sets the budget specs (planes).
+    #[must_use]
+    pub fn budgets(mut self, budgets: impl IntoIterator<Item = BudgetSpec>) -> Self {
+        self.budgets = budgets.into_iter().collect();
+        self
+    }
+
+    /// Overrides the tenant floor fraction.
+    #[must_use]
+    pub fn floor_frac(mut self, frac: f64) -> Self {
+        self.floor_frac = frac;
+        self
+    }
+
+    /// Overrides the rebalance cadence.
+    #[must_use]
+    pub fn rebalance_every_ns(mut self, ns: u64) -> Self {
+        self.rebalance_interval_ns = ns;
+        self
+    }
+
+    /// Materializes the scenario list (fleet-major, then objective, then
+    /// budget).
+    pub fn build(&self) -> Vec<Scenario> {
+        let mut out =
+            Vec::with_capacity(self.fleets.len() * self.objectives.len() * self.budgets.len());
+        for (label, tenants, churn) in &self.fleets {
+            for &objective in &self.objectives {
+                for &budget in &self.budgets {
+                    let spec = FleetSpec::new(tenants.clone())
+                        .with_churn(churn.clone())
+                        .with_objective(objective)
+                        .with_budget(budget)
+                        .with_floor_frac(self.floor_frac)
+                        .with_rebalance_interval_ns(self.rebalance_interval_ns);
+                    let seed = derive_seed(self.seed, out.len() as u64);
+                    out.push(Scenario::fleet(
+                        format!("{label}/{}/{}/fleet", objective.label(), budget.label()),
+                        spec,
+                        &self.config,
+                        seed,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
 /// A thread pool that runs a list of scenarios to completion.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
@@ -362,9 +467,11 @@ impl SweepReport {
             if let Some(multi) = &r.multi {
                 let _ = write!(
                     s,
-                    ",\"fairness\":{:.6},\"rebalances\":{},\"fast_budget_pages\":{},\"tenants\":[",
+                    ",\"fairness\":{:.6},\"rebalances\":{},\"churn_events\":{},\
+                     \"fast_budget_pages\":{},\"tenants\":[",
                     multi.fairness_index(),
                     multi.rebalances.len(),
+                    multi.churn.len(),
                     multi.fast_budget_pages,
                 );
                 for (j, t) in multi.tenants.iter().enumerate() {

@@ -17,9 +17,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use tiering_mem::TierRatio;
-use tiering_policies::PolicyKind;
+use tiering_policies::{ObjectiveKind, PolicyKind};
 use tiering_runner::{Scenario, ScenarioMatrix, SweepRunner};
-use tiering_sim::SimConfig;
+use tiering_sim::{ChurnKind, SimConfig};
 use tiering_workloads::WorkloadId;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -140,4 +140,78 @@ fn wakeup_quota_trajectory_matches_golden() {
     }
     let _ = writeln!(out, "# fairness {:.6}", multi.fairness_index());
     assert_matches_golden("wakeup_trajectory.txt", &out);
+}
+
+/// The canonical 3-tenant churn fleet (`Scenario::fleet_churn_demo` — the
+/// same recipe the `fleet_churn` example and the bench fleet sweep run),
+/// snapshotted **per objective**: the full quota trajectory with live
+/// masks, the churn records, per-tenant outcomes, and Jain fairness. Any
+/// change to an objective's apportioning math, the churn bookkeeping, or
+/// the admission/reclamation rules drifts one of these snapshots and
+/// fails CI — objective math can never drift silently.
+#[test]
+fn fleet_churn_trajectories_match_golden() {
+    let config = SimConfig::default().with_max_sim_ns(60_000_000);
+    for objective in ObjectiveKind::ALL {
+        let result = Scenario::fleet_churn_demo(objective, &config, 0xA5F0_5EED).run();
+        let multi = result.multi.expect("fleet detail");
+
+        let mut out = format!("# objective {}\n", objective.label());
+        let _ = writeln!(out, "# rebalance_at_ns floor live demands quotas");
+        for e in &multi.rebalances {
+            let mask: String = e.live.iter().map(|&l| if l { '1' } else { '0' }).collect();
+            let _ = writeln!(
+                out,
+                "{} {} {} [{}] [{}]",
+                e.at_ns,
+                e.floor_pages,
+                mask,
+                e.demands
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(","),
+                e.quotas
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+        }
+        let _ = writeln!(out, "# churn at_ns at_fleet_ops kind tenant");
+        for c in &multi.churn {
+            let _ = writeln!(
+                out,
+                "{} {} {} {}",
+                c.at_ns,
+                c.at_fleet_ops,
+                match c.kind {
+                    ChurnKind::Arrived => "arrive",
+                    ChurnKind::Departed => "depart",
+                },
+                c.tenant,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# tenant arrived_ns departed_ns ops samples fast_hit_frac initial_quota final_quota"
+        );
+        for t in &multi.tenants {
+            let _ = writeln!(
+                out,
+                "{} {} {} {} {} {:.6} {} {}",
+                t.name,
+                t.arrived_at_ns,
+                t.departed_at_ns
+                    .map_or("-".to_string(), |ns| ns.to_string()),
+                t.report.ops,
+                t.report.samples,
+                t.report.fast_hit_frac,
+                t.initial_quota_pages,
+                t.final_quota_pages,
+            );
+        }
+        let _ = writeln!(out, "# fairness {:.6}", multi.fairness_index());
+        assert_matches_golden(&format!("fleet_churn_{}.txt", objective.label()), &out);
+    }
 }

@@ -37,12 +37,13 @@ pub use engine::{CacheSimOptions, Engine, SimConfig};
 pub use histo::LogHistogram;
 pub use hotness::{CountDistribution, RetentionConfig, RetentionProbe, COUNT_BUCKET_LABELS};
 pub use multi_tenant::{
-    MultiTenantConfig, MultiTenantEngine, TenantPolicyBuilder, TenantRun, DEFAULT_FLOOR_FRAC,
-    DEFAULT_REBALANCE_INTERVAL_NS,
+    ChurnSchedule, MultiTenantConfig, MultiTenantEngine, TenantEvent, TenantPolicyBuilder,
+    TenantRun, DEFAULT_FLOOR_FRAC, DEFAULT_REBALANCE_INTERVAL_NS,
 };
 pub use prefetch::StreamPrefetcher;
 pub use report::{
-    CacheTimelinePoint, LatencySummary, MultiTenantReport, SimReport, TenantReport, TimelinePoint,
+    CacheTimelinePoint, ChurnKind, ChurnRecord, LatencySummary, MultiTenantReport, SimReport,
+    TenantReport, TimelinePoint,
 };
 
 /// Convenience: run `policy_kind` over `workload_id` at `ratio` with default

@@ -21,15 +21,32 @@
 //! output is time-independent, and a rebalance only resizes memory, never
 //! the workload. The `multi_tenant_equivalence` integration tests pin
 //! batch-size invariance for the whole co-located run.
+//!
+//! # Tenant churn
+//!
+//! Real fleets are not a fixed tenant set: applications arrive, finish,
+//! and leave mid-run. [`ChurnSchedule`] expresses that as
+//! [`TenantEvent`]s triggered at **fleet op-count boundaries**: once the
+//! fleet's cumulative completed operations cross an event's threshold, the
+//! event is applied at the next round boundary (round boundaries are the
+//! only points where the fleet's state is globally consistent, and per-
+//! round op counts are batch-size invariant — so churn is too). Departing
+//! tenants stop executing and their fast pages are reclaimed into the live
+//! budget immediately; arrivals are admitted under the controller's
+//! min-one guarantee and earn their real share at the next rebalance.
+//! Every applied event is sealed into the report as a
+//! [`ChurnRecord`](crate::ChurnRecord), so per-epoch fleet composition is
+//! reconstructible from the result alone.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use tiering_mem::TierConfig;
-use tiering_policies::{GlobalController, TieringPolicy};
+use tiering_policies::{GlobalController, ObjectiveKind, TieringPolicy};
 use tiering_trace::{AccessBatch, Workload};
 
 use crate::pipeline::Pipeline;
-use crate::report::{MultiTenantReport, SimReport, TenantReport};
+use crate::report::{ChurnKind, ChurnRecord, MultiTenantReport, SimReport, TenantReport};
 use crate::{LatencySummary, LogHistogram, SimConfig};
 
 /// Default tenant floor fraction (the canonical §7 demo value, shared with
@@ -74,7 +91,75 @@ impl fmt::Debug for TenantRun {
     }
 }
 
-/// Co-location parameters: the shared budget and the controller cadence.
+/// One fleet-composition change.
+pub enum TenantEvent {
+    /// A new tenant joins the fleet (admitted under the min-one
+    /// guarantee; its workload starts at the round boundary it arrives
+    /// at).
+    Arrive(TenantRun),
+    /// The named tenant leaves the fleet: it stops executing and its fast
+    /// pages are reclaimed into the live budget. Names are resolved
+    /// against **live** tenants, so a departed name can arrive again
+    /// later (a fresh slot).
+    Depart(String),
+}
+
+impl fmt::Debug for TenantEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenantEvent::Arrive(run) => write!(f, "Arrive({})", run.name),
+            TenantEvent::Depart(name) => write!(f, "Depart({name})"),
+        }
+    }
+}
+
+/// A list of [`TenantEvent`]s, each firing independently once the fleet's
+/// cumulative completed operations reach its threshold (applied at the
+/// next round boundary; events due in the same round apply in list
+/// order). Events whose threshold is never reached — the fleet finished
+/// first — do not fire.
+#[derive(Debug, Default)]
+pub struct ChurnSchedule {
+    events: Vec<(u64, TenantEvent)>,
+}
+
+impl ChurnSchedule {
+    /// An empty schedule (a static fleet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the schedule holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Schedules an arrival once the fleet has completed `at_fleet_ops`
+    /// operations.
+    #[must_use]
+    pub fn arrive(mut self, at_fleet_ops: u64, tenant: TenantRun) -> Self {
+        self.events
+            .push((at_fleet_ops, TenantEvent::Arrive(tenant)));
+        self
+    }
+
+    /// Schedules the named tenant's departure once the fleet has completed
+    /// `at_fleet_ops` operations.
+    #[must_use]
+    pub fn depart(mut self, at_fleet_ops: u64, name: impl Into<String>) -> Self {
+        self.events
+            .push((at_fleet_ops, TenantEvent::Depart(name.into())));
+        self
+    }
+}
+
+/// Co-location parameters: the shared budget, the controller cadence, and
+/// the quota objective.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MultiTenantConfig {
     /// Physical fast pages shared by all tenants.
@@ -84,17 +169,27 @@ pub struct MultiTenantConfig {
     pub floor_frac: f64,
     /// Simulated time between controller rebalances.
     pub rebalance_interval_ns: u64,
+    /// How the controller follows demand (see [`ObjectiveKind`]).
+    pub objective: ObjectiveKind,
 }
 
 impl MultiTenantConfig {
     /// A configuration with the paper-demo defaults: 10% floor, 10 ms
-    /// rebalance cadence.
+    /// rebalance cadence, proportional share.
     pub fn new(fast_budget_pages: u64) -> Self {
         Self {
             fast_budget_pages,
             floor_frac: DEFAULT_FLOOR_FRAC,
             rebalance_interval_ns: DEFAULT_REBALANCE_INTERVAL_NS,
+            objective: ObjectiveKind::Proportional,
         }
+    }
+
+    /// Overrides the quota objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> Self {
+        self.objective = objective;
+        self
     }
 
     /// Overrides the tenant floor fraction.
@@ -129,18 +224,28 @@ struct Lane<'c> {
     /// The workload returned an empty pull.
     exhausted: bool,
     initial_quota: u64,
+    /// Fleet time at which this lane joined (0 for initial tenants). The
+    /// lane's pipeline clock is local — fleet boundaries are translated by
+    /// this offset.
+    start_ns: u64,
+    /// Fleet time the lane departed at, once a churn event removed it.
+    departed_at_ns: Option<u64>,
 }
 
 impl Lane<'_> {
-    /// Whether this tenant has nothing left to simulate.
+    /// Whether this tenant has nothing left to simulate (departed lanes
+    /// are done regardless of their workload's state).
     fn finished(&self) -> bool {
-        self.pipeline.done() || (self.exhausted && self.cursor >= self.batch.len())
+        self.departed_at_ns.is_some()
+            || self.pipeline.done()
+            || (self.exhausted && self.cursor >= self.batch.len())
     }
 
-    /// Advances the tenant until its local clock reaches `until_ns`, it
-    /// hits an engine cap, or its workload ends. Unconsumed batched ops are
-    /// kept for the next round.
-    fn run_until(&mut self, until_ns: u64, batch_ops: usize) {
+    /// Advances the tenant until its local clock reaches the **fleet**
+    /// boundary `until_fleet_ns`, it hits an engine cap, or its workload
+    /// ends. Unconsumed batched ops are kept for the next round.
+    fn run_until(&mut self, until_fleet_ns: u64, batch_ops: usize) {
+        let until_ns = until_fleet_ns.saturating_sub(self.start_ns);
         loop {
             if self.pipeline.done() || self.pipeline.now_ns() >= until_ns {
                 return;
@@ -184,14 +289,34 @@ impl MultiTenantEngine {
         Self { sim, cfg }
     }
 
-    /// Runs all tenants to completion and seals the merged report.
+    /// Runs a static fleet to completion and seals the merged report.
     ///
     /// # Panics
     ///
     /// Panics if `tenants` is empty.
     pub fn run(&self, tenants: Vec<TenantRun>) -> MultiTenantReport {
+        self.run_with_churn(tenants, ChurnSchedule::new())
+    }
+
+    /// Runs a dynamic fleet: the initial tenants start together, and
+    /// `churn` events are applied at round boundaries once the fleet's
+    /// cumulative op count crosses their thresholds (see the module docs
+    /// for the determinism argument). Events whose threshold the run never
+    /// reaches do not fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is empty (a fleet must start with at least one
+    /// tenant), or if a [`TenantEvent::Depart`] names no live tenant when
+    /// it fires.
+    pub fn run_with_churn(
+        &self,
+        tenants: Vec<TenantRun>,
+        churn: ChurnSchedule,
+    ) -> MultiTenantReport {
         assert!(!tenants.is_empty(), "co-location needs at least one tenant");
-        let mut controller = GlobalController::new(self.cfg.fast_budget_pages, self.cfg.floor_frac);
+        let mut controller = GlobalController::new(self.cfg.fast_budget_pages, self.cfg.floor_frac)
+            .with_objective(self.cfg.objective.build());
         for t in &tenants {
             controller.add_tenant(&t.name, t.workload.footprint_pages(self.sim.page_size));
         }
@@ -200,37 +325,83 @@ impl MultiTenantEngine {
         let mut lanes: Vec<Lane<'_>> = tenants
             .into_iter()
             .enumerate()
-            .map(|(i, t)| {
-                let tier_cfg = controller.tier_config(i, self.sim.page_size);
-                let policy = (t.policy)(&tier_cfg);
-                Lane {
-                    name: t.name,
-                    workload: t.workload,
-                    pipeline: Pipeline::new(&self.sim, tier_cfg, policy.as_ref()),
-                    policy,
-                    batch: AccessBatch::with_capacity(batch_ops, batch_ops * 4),
-                    cursor: 0,
-                    exhausted: false,
-                    initial_quota: tier_cfg.fast_capacity_pages,
-                }
-            })
+            .map(|(i, t)| self.lane(&controller, i, t, 0, batch_ops))
             .collect();
+        let mut pending: VecDeque<(u64, TenantEvent)> = churn.events.into();
+        let mut churn_records: Vec<ChurnRecord> = Vec::new();
 
         let mut round_end = self.cfg.rebalance_interval_ns;
         loop {
-            let mut any_running = false;
             for lane in &mut lanes {
-                lane.run_until(round_end, batch_ops);
-                any_running |= !lane.finished();
+                if lane.departed_at_ns.is_none() {
+                    lane.run_until(round_end, batch_ops);
+                }
             }
-            if !any_running {
+
+            // Apply due churn events. Each event fires independently of
+            // its position in the schedule — the whole pending list is
+            // scanned every round, so an event listed after one with a
+            // higher (possibly never-reached) threshold still fires when
+            // its own threshold is crossed; events due in the same round
+            // apply in list order. Thresholds compare against fleet-wide
+            // completed ops, which are identical at round boundaries for
+            // every batch size — so churn timing is batch-size invariant
+            // too.
+            let fleet_ops: u64 = lanes.iter().map(|l| l.pipeline.ops()).sum();
+            let mut scan = 0;
+            while scan < pending.len() {
+                if pending[scan].0 > fleet_ops {
+                    scan += 1;
+                    continue;
+                }
+                let (at_ops, event) = pending.remove(scan).expect("index checked");
+                let (kind, tenant) = match event {
+                    TenantEvent::Depart(name) => {
+                        let slot = lanes
+                            .iter()
+                            .position(|l| l.departed_at_ns.is_none() && l.name == name)
+                            .unwrap_or_else(|| panic!("depart of unknown live tenant {name}"));
+                        lanes[slot].departed_at_ns = Some(round_end);
+                        controller.retire_tenant(slot);
+                        (ChurnKind::Departed, name)
+                    }
+                    TenantEvent::Arrive(run) => {
+                        let slot = controller.admit_tenant(
+                            &run.name,
+                            run.workload.footprint_pages(self.sim.page_size),
+                        );
+                        let name = run.name.clone();
+                        let lane = self.lane(&controller, slot, run, round_end, batch_ops);
+                        debug_assert_eq!(slot, lanes.len(), "slots track lanes");
+                        lanes.push(lane);
+                        (ChurnKind::Arrived, name)
+                    }
+                };
+                // Reclaimed/carved pages are enforced immediately, not at
+                // the next rebalance — live quotas always sum to budget.
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    if lane.departed_at_ns.is_none() {
+                        lane.pipeline.set_fast_capacity(controller.quota(i));
+                    }
+                }
+                churn_records.push(ChurnRecord {
+                    at_ns: round_end,
+                    at_fleet_ops: at_ops,
+                    kind,
+                    tenant,
+                    live_after: controller.live_mask(),
+                });
+            }
+
+            if lanes.iter().all(Lane::finished) {
                 break;
             }
             // A finished tenant's application is gone: its policy state
             // (and hot-set estimate) is frozen at peak, so letting it keep
             // reporting demand would squeeze still-running tenants forever.
             // It reports zero instead — the controller floors that to the
-            // idle share, freeing the rest for live tenants.
+            // idle share, freeing the rest for live tenants. (Departed
+            // tenants have no quota at all — their slots are dead.)
             let demands: Vec<u64> = lanes
                 .iter()
                 .map(|l| {
@@ -243,16 +414,48 @@ impl MultiTenantEngine {
                 .collect();
             let event = controller.rebalance(round_end, &demands);
             for (lane, &quota) in lanes.iter_mut().zip(&event.quotas) {
-                lane.pipeline.set_fast_capacity(quota);
+                if lane.departed_at_ns.is_none() {
+                    lane.pipeline.set_fast_capacity(quota);
+                }
             }
             round_end += self.cfg.rebalance_interval_ns;
         }
 
-        self.seal(controller, lanes)
+        self.seal(controller, lanes, churn_records)
+    }
+
+    /// Builds one tenant's lane at its controller-assigned initial quota.
+    fn lane<'c>(
+        &'c self,
+        controller: &GlobalController,
+        slot: usize,
+        run: TenantRun,
+        start_ns: u64,
+        batch_ops: usize,
+    ) -> Lane<'c> {
+        let tier_cfg = controller.tier_config(slot, self.sim.page_size);
+        let policy = (run.policy)(&tier_cfg);
+        Lane {
+            name: run.name,
+            workload: run.workload,
+            pipeline: Pipeline::new(&self.sim, tier_cfg, policy.as_ref()),
+            policy,
+            batch: AccessBatch::with_capacity(batch_ops, batch_ops * 4),
+            cursor: 0,
+            exhausted: false,
+            initial_quota: tier_cfg.fast_capacity_pages,
+            start_ns,
+            departed_at_ns: None,
+        }
     }
 
     /// Merges per-lane state into the final report.
-    fn seal(&self, controller: GlobalController, lanes: Vec<Lane<'_>>) -> MultiTenantReport {
+    fn seal(
+        &self,
+        controller: GlobalController,
+        lanes: Vec<Lane<'_>>,
+        churn: Vec<ChurnRecord>,
+    ) -> MultiTenantReport {
         let mut merged_hist = LogHistogram::new();
         let mut tenant_reports = Vec::with_capacity(lanes.len());
         let mut names = Vec::with_capacity(lanes.len());
@@ -270,6 +473,8 @@ impl MultiTenantEngine {
                 initial_quota_pages: lane.initial_quota,
                 final_quota_pages: controller.quota(i),
                 final_fast_used,
+                arrived_at_ns: lane.start_ns,
+                departed_at_ns: lane.departed_at_ns,
                 report,
             });
         }
@@ -282,7 +487,9 @@ impl MultiTenantEngine {
             ops += t.report.ops;
             accesses += t.report.accesses;
             samples += t.report.samples;
-            sim_ns = sim_ns.max(t.report.sim_ns);
+            // Fleet-time end of this tenant's run (arrivals run on offset
+            // local clocks; identical for static fleets).
+            sim_ns = sim_ns.max(t.arrived_at_ns + t.report.sim_ns);
             metadata_bytes += t.report.metadata_bytes;
             fast_hits_weighted += t.report.fast_hit_frac * t.report.accesses as f64;
             migrations.promotions += t.report.migrations.promotions;
@@ -317,6 +524,7 @@ impl MultiTenantEngine {
             fast_budget_pages: self.cfg.fast_budget_pages,
             tenants: tenant_reports,
             rebalances: controller.events().to_vec(),
+            churn,
             aggregate,
         }
     }
@@ -424,6 +632,136 @@ mod tests {
             .run(two_tenants(20_000))
         };
         assert_eq!(run(), run());
+    }
+
+    /// A 3-tenant fleet with an arrive → depart → arrive-again schedule:
+    /// the churn records seal the composition, departed tenants' pages are
+    /// reclaimed (every rebalance still assigns the full budget over the
+    /// live fleet), and the re-arrived name gets a fresh slot.
+    #[test]
+    fn churn_schedule_applies_and_conserves_the_budget() {
+        let engine = MultiTenantEngine::new(
+            SimConfig::default().with_max_ops(30_000),
+            MultiTenantConfig::new(900).with_rebalance_interval_ns(1_000_000),
+        );
+        let mk_burst = || {
+            TenantRun::new(
+                "burst",
+                Box::new(ZipfPageWorkload::new(1_000, 0.9, 30_000, 23)),
+                |cfg| build_policy(PolicyKind::HybridTier, cfg),
+            )
+        };
+        let schedule = ChurnSchedule::new()
+            .depart(20_000, "burst")
+            .arrive(45_000, mk_burst());
+        let mut tenants = two_tenants(30_000);
+        tenants.push(mk_burst());
+        let r = engine.run_with_churn(tenants, schedule);
+
+        assert_eq!(r.tenants.len(), 4, "3 initial slots + 1 re-arrival slot");
+        assert_eq!(r.churn.len(), 2, "both events fired");
+        assert_eq!(r.churn[0].kind, ChurnKind::Departed);
+        assert_eq!(r.churn[0].tenant, "burst");
+        assert_eq!(r.churn[0].live_after, vec![true, true, false]);
+        assert!(r.churn[0].at_fleet_ops <= r.churn[1].at_fleet_ops);
+        assert_eq!(r.churn[1].kind, ChurnKind::Arrived);
+        assert_eq!(r.churn[1].live_after, vec![true, true, false, true]);
+        assert!(
+            r.churn[1].at_ns > r.churn[0].at_ns,
+            "depart before re-arrive"
+        );
+
+        // The departed slot stopped mid-run; the fresh slot ran after it.
+        let departed = &r.tenants[2];
+        assert_eq!(departed.departed_at_ns, Some(r.churn[0].at_ns));
+        assert_eq!(departed.final_quota_pages, 0, "pages reclaimed");
+        assert!(departed.report.ops < 30_000, "cut short by departure");
+        let rearrived = &r.tenants[3];
+        assert_eq!(rearrived.name, "burst");
+        assert_eq!(rearrived.arrived_at_ns, r.churn[1].at_ns);
+        assert_eq!(rearrived.initial_quota_pages, 1, "min-one admission");
+        assert!(rearrived.report.ops > 0, "re-arrival actually ran");
+
+        // Budget conservation at every rebalance, over whatever fleet was
+        // live (the acceptance criterion).
+        for e in &r.rebalances {
+            assert_eq!(e.assigned(), 900, "budget leak at t={}", e.at_ns);
+            for (i, &l) in e.live.iter().enumerate() {
+                if !l {
+                    assert_eq!(e.quotas[i], 0, "dead slot holds quota at t={}", e.at_ns);
+                }
+            }
+        }
+        // The re-arrival's trajectory starts at its arrival time.
+        let traj = r.quota_trajectory(3);
+        assert_eq!(traj[0], (r.churn[1].at_ns, 1));
+        assert!(traj.last().expect("rebalances after arrival").1 >= 1);
+        // Summary renders pre-arrival slots as `-` and lists churn.
+        let s = r.summary();
+        assert!(s.contains(" - "), "pre-arrival placeholder: {s}");
+        assert!(s.contains("churn @"), "churn section present: {s}");
+    }
+
+    /// Churn thresholds the run never reaches do not fire, and the fleet
+    /// still terminates.
+    #[test]
+    fn unreachable_churn_events_are_dropped() {
+        let engine = MultiTenantEngine::new(
+            SimConfig::default().with_max_ops(4_000),
+            MultiTenantConfig::new(400),
+        );
+        let schedule = ChurnSchedule::new().arrive(
+            u64::MAX,
+            TenantRun::new(
+                "never",
+                Box::new(ZipfPageWorkload::new(500, 0.9, 1_000, 3)),
+                |cfg| build_policy(PolicyKind::HybridTier, cfg),
+            ),
+        );
+        let r = engine.run_with_churn(two_tenants(4_000), schedule);
+        assert_eq!(r.tenants.len(), 2, "unreachable arrival never joined");
+        assert!(r.churn.is_empty());
+    }
+
+    /// Events fire independently of schedule order: a due departure listed
+    /// *behind* an unreachable arrival must still be applied when its own
+    /// threshold is crossed.
+    #[test]
+    fn due_events_fire_behind_unreached_ones() {
+        let engine = MultiTenantEngine::new(
+            SimConfig::default().with_max_ops(20_000),
+            MultiTenantConfig::new(600).with_rebalance_interval_ns(2_000_000),
+        );
+        let schedule = ChurnSchedule::new()
+            .arrive(
+                u64::MAX,
+                TenantRun::new(
+                    "never",
+                    Box::new(ZipfPageWorkload::new(500, 0.9, 1_000, 3)),
+                    |cfg| build_policy(PolicyKind::HybridTier, cfg),
+                ),
+            )
+            .depart(5_000, "hot");
+        let r = engine.run_with_churn(two_tenants(20_000), schedule);
+        assert_eq!(r.churn.len(), 1, "the due depart must fire");
+        assert_eq!(r.churn[0].kind, ChurnKind::Departed);
+        assert_eq!(r.churn[0].tenant, "hot");
+        assert!(r.find("hot").unwrap().departed_at_ns.is_some());
+        assert_eq!(r.tenants.len(), 2, "unreachable arrival never joined");
+    }
+
+    #[test]
+    fn objective_is_recorded_in_events() {
+        let engine = MultiTenantEngine::new(
+            SimConfig::default().with_max_ops(10_000),
+            MultiTenantConfig::new(500)
+                .with_rebalance_interval_ns(2_000_000)
+                .with_objective(ObjectiveKind::MaxMin),
+        );
+        let r = engine.run(two_tenants(10_000));
+        assert!(!r.rebalances.is_empty());
+        assert!(r.rebalances.iter().all(|e| e.objective == "max-min"));
+        assert!(r.rebalances.iter().all(|e| e.assigned() == 500));
     }
 
     #[test]

@@ -169,6 +169,12 @@ impl<'c> Pipeline<'c> {
         &self.mem
     }
 
+    /// Operations completed so far (the multi-tenant engine's churn
+    /// schedule triggers on fleet-wide op counts).
+    pub(crate) fn ops(&self) -> u64 {
+        self.ops
+    }
+
     /// Applies a controller-assigned fast-tier quota (paper §7). Shrinking
     /// below occupancy is fine — watermark demotion drains the excess.
     pub(crate) fn set_fast_capacity(&mut self, pages: u64) {

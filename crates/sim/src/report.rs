@@ -130,15 +130,49 @@ impl SimReport {
 pub struct TenantReport {
     /// Tenant name (as registered with the controller).
     pub name: String,
-    /// Fast-tier quota the tenant started with (equal shares).
+    /// Fast-tier quota the tenant started with (equal shares for initial
+    /// tenants, the min-one admission share for churn arrivals).
     pub initial_quota_pages: u64,
-    /// Fast-tier quota after the final rebalance.
+    /// Fast-tier quota after the final rebalance (0 for departed tenants —
+    /// their pages were reclaimed).
     pub final_quota_pages: u64,
     /// Fast pages actually resident at end of run (≤ quota once watermark
     /// demotion has drained any post-shrink excess).
     pub final_fast_used: u64,
+    /// Fleet time at which this tenant joined (0 for initial tenants).
+    pub arrived_at_ns: u64,
+    /// Fleet time at which this tenant departed, when it did.
+    pub departed_at_ns: Option<u64>,
     /// The tenant's ordinary simulation report.
     pub report: SimReport,
+}
+
+/// Which way a [`ChurnRecord`] went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The tenant joined the fleet mid-run.
+    Arrived,
+    /// The tenant left the fleet mid-run.
+    Departed,
+}
+
+/// One applied churn event: the fleet composition change and when it
+/// happened — sealed into the report so per-epoch composition is
+/// reconstructible from the result alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnRecord {
+    /// Fleet time (the round boundary) the event was applied at.
+    pub at_ns: u64,
+    /// Fleet-wide completed operations when the event fired (the schedule
+    /// triggers on op-count boundaries).
+    pub at_fleet_ops: u64,
+    /// Arrival or departure.
+    pub kind: ChurnKind,
+    /// The tenant's name.
+    pub tenant: String,
+    /// Live mask over registration slots *after* the event — the epoch's
+    /// fleet composition.
+    pub live_after: Vec<bool>,
 }
 
 /// The complete result of one multi-tenant (co-located) run: per-tenant
@@ -151,10 +185,15 @@ pub struct TenantReport {
 pub struct MultiTenantReport {
     /// Physical fast pages shared by all tenants.
     pub fast_budget_pages: u64,
-    /// Per-tenant results, in registration order.
+    /// Per-tenant results, in registration order (slot order; includes
+    /// departed tenants and churn arrivals).
     pub tenants: Vec<TenantReport>,
     /// Every rebalance the controller performed, in time order.
     pub rebalances: Vec<RebalanceEvent>,
+    /// Every applied churn event, in time order (empty for static fleets) —
+    /// together with `rebalances[..].live`, the per-epoch fleet
+    /// composition.
+    pub churn: Vec<ChurnRecord>,
     /// Whole-machine view: summed ops/accesses/migrations, exact merged
     /// latency percentiles, access-weighted fast-hit fraction. Timeline and
     /// cache series are per-tenant concerns and stay empty here.
@@ -168,12 +207,21 @@ impl MultiTenantReport {
     }
 
     /// The quota trajectory of one tenant: `(rebalance time ns, quota)` per
-    /// rebalance event, prefixed by the initial equal-share assignment at
-    /// time zero.
+    /// rebalance event, prefixed by the tenant's admission assignment at
+    /// its arrival time. Rebalances before a churn arrival's slot existed
+    /// report quota 0 (the tenant was not in the fleet yet).
     pub fn quota_trajectory(&self, tenant: usize) -> Vec<(u64, u64)> {
         let mut out = Vec::with_capacity(self.rebalances.len() + 1);
-        out.push((0, self.tenants[tenant].initial_quota_pages));
-        out.extend(self.rebalances.iter().map(|e| (e.at_ns, e.quotas[tenant])));
+        out.push((
+            self.tenants[tenant].arrived_at_ns,
+            self.tenants[tenant].initial_quota_pages,
+        ));
+        out.extend(
+            self.rebalances
+                .iter()
+                .filter(|e| e.at_ns >= self.tenants[tenant].arrived_at_ns)
+                .map(|e| (e.at_ns, e.quotas.get(tenant).copied().unwrap_or(0))),
+        );
         out
     }
 
@@ -219,15 +267,54 @@ impl MultiTenantReport {
         out.push('\n');
         for e in &self.rebalances {
             let _ = write!(out, "{:>6.0}", e.at_ns as f64 / 1e6);
-            for d in &e.demands {
-                let _ = write!(out, " {d:>13}");
+            // Slots admitted after this event print `-` (not in the fleet
+            // yet); departed slots print their recorded zeros.
+            for i in 0..self.tenants.len() {
+                match e.demands.get(i) {
+                    Some(d) => {
+                        let _ = write!(out, " {d:>13}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>13}", "-");
+                    }
+                }
             }
-            for q in &e.quotas {
-                let _ = write!(out, " {q:>12}");
+            for i in 0..self.tenants.len() {
+                match e.quotas.get(i) {
+                    Some(q) => {
+                        let _ = write!(out, " {q:>12}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>12}", "-");
+                    }
+                }
             }
             out.push('\n');
         }
         out.push('\n');
+        for c in &self.churn {
+            let _ = writeln!(
+                out,
+                "churn @{:>4.0} ms ({:>8} fleet ops): {} {:>7}, fleet now [{}]",
+                c.at_ns as f64 / 1e6,
+                c.at_fleet_ops,
+                match c.kind {
+                    ChurnKind::Arrived => "arrive",
+                    ChurnKind::Departed => "depart",
+                },
+                c.tenant,
+                c.live_after
+                    .iter()
+                    .zip(&self.tenants)
+                    .filter(|(&l, _)| l)
+                    .map(|(_, t)| t.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join("+"),
+            );
+        }
+        if !self.churn.is_empty() {
+            out.push('\n');
+        }
         for t in &self.tenants {
             let _ = writeln!(
                 out,

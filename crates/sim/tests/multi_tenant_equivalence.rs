@@ -5,8 +5,10 @@
 //! and pulled-but-unconsumed ops suspended at a rebalance boundary resume
 //! unchanged afterwards.
 
-use tiering_policies::{build_policy, PolicyKind};
-use tiering_sim::{MultiTenantConfig, MultiTenantEngine, MultiTenantReport, SimConfig, TenantRun};
+use tiering_policies::{build_policy, ObjectiveKind, PolicyKind};
+use tiering_sim::{
+    ChurnSchedule, MultiTenantConfig, MultiTenantEngine, MultiTenantReport, SimConfig, TenantRun,
+};
 use tiering_workloads::ZipfPageWorkload;
 
 fn tenants(ops: u64) -> Vec<TenantRun> {
@@ -53,6 +55,7 @@ fn run(batch_ops: usize, ops: u64) -> MultiTenantReport {
 /// Field-by-field assertion so a regression names the diverging tenant and
 /// field instead of dumping two full reports.
 fn assert_identical(a: &MultiTenantReport, b: &MultiTenantReport, what: &str) {
+    assert_eq!(a.churn, b.churn, "{what}: churn trace");
     assert_eq!(a.rebalances, b.rebalances, "{what}: rebalance trace");
     assert_eq!(a.tenants.len(), b.tenants.len(), "{what}: tenant count");
     for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
@@ -97,4 +100,75 @@ fn no_ops_lost_across_rebalance_boundaries() {
         );
     }
     assert_eq!(r.aggregate.ops, 90_000);
+}
+
+/// The churn analogue of `run`: the 3-tenant fleet plus an
+/// arrive → depart → arrive-again schedule for the `batch` tenant, under a
+/// non-default objective (so objective-specific quota paths are covered
+/// too).
+fn run_churn(batch_ops: usize, ops: u64) -> MultiTenantReport {
+    let sim = SimConfig::default()
+        .with_max_ops(ops)
+        .with_batch_ops(batch_ops);
+    let mk_late = || {
+        TenantRun::new(
+            "late",
+            Box::new(ZipfPageWorkload::new(2_500, 0.9, ops, 29).with_cpu_ns(400)),
+            |cfg| build_policy(PolicyKind::HybridTier, cfg),
+        )
+    };
+    let schedule = ChurnSchedule::new()
+        .arrive(15_000, mk_late())
+        .depart(40_000, "late")
+        .arrive(70_000, mk_late());
+    MultiTenantEngine::new(
+        sim,
+        MultiTenantConfig::new(1_200)
+            .with_floor_frac(0.1)
+            .with_rebalance_interval_ns(2_000_000)
+            .with_objective(ObjectiveKind::MaxMin),
+    )
+    .run_with_churn(tenants(ops), schedule)
+}
+
+/// Churn timing rides fleet op counts observed at round boundaries, which
+/// are batch-size invariant — so an arrive/depart/arrive-again fleet run
+/// produces one byte-identical report (churn records, rebalance trace,
+/// per-tenant results) at every batch size.
+#[test]
+fn churn_fleet_run_is_batch_size_invariant() {
+    let scalar = run_churn(1, 40_000);
+    assert_eq!(
+        scalar.churn.len(),
+        3,
+        "test must apply the whole arrive/depart/arrive-again schedule to be meaningful"
+    );
+    assert!(
+        !scalar.rebalances.is_empty(),
+        "test must cross rebalance boundaries to be meaningful"
+    );
+    assert_eq!(scalar.tenants.len(), 5, "3 initial + 2 arrival slots");
+    for batch_ops in [2, 7, 64, 1024] {
+        let batched = run_churn(batch_ops, 40_000);
+        assert_identical(&scalar, &batched, &format!("churn batch_ops={batch_ops}"));
+    }
+}
+
+/// Departure cuts a tenant short; the rest still complete their caps, and
+/// every rebalance in the churned run assigns the whole budget over the
+/// live fleet.
+#[test]
+fn churned_fleet_conserves_ops_and_budget() {
+    let r = run_churn(64, 40_000);
+    for t in &r.tenants {
+        if t.departed_at_ns.is_some() {
+            assert!(t.report.ops < 40_000, "{}: departed but ran to cap", t.name);
+        }
+    }
+    for name in ["cache", "batch", "faulty"] {
+        assert_eq!(r.find(name).expect(name).report.ops, 40_000, "{name}");
+    }
+    for e in &r.rebalances {
+        assert_eq!(e.assigned(), 1_200, "budget leak at t={}", e.at_ns);
+    }
 }

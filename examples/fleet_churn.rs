@@ -1,0 +1,41 @@
+//! Dynamic fleets: tenant churn under pluggable quota objectives.
+//!
+//! Three tenants share one physical fast tier: a hot cache-style tenant, a
+//! wide lukewarm analytics tenant, and a `burst` tenant that departs a
+//! third of the way in (its fast pages are reclaimed into the live budget
+//! immediately) and arrives again — a fresh slot, same name — two thirds
+//! in, admitted under the controller's min-one guarantee. The same churn
+//! trajectory runs under each built-in quota objective (proportional,
+//! max-min, SLO-utility), so the printed trajectories show how the
+//! *objective* — not the workload — shapes who gets fast memory.
+//!
+//! This runs the *same* fleet scenario as the bench `"fleet"` sweep and
+//! the runner's golden suite (`Scenario::fleet_churn_demo`), so the quota
+//! trajectories printed here are the ones those pin.
+//!
+//! Usage: `cargo run --release --example fleet_churn`
+
+use hybridtier::policies::ObjectiveKind;
+use hybridtier::prelude::*;
+use hybridtier::runner::Scenario;
+
+fn main() {
+    let config = SimConfig::default().with_max_sim_ns(60_000_000);
+    for objective in ObjectiveKind::ALL {
+        let result = Scenario::fleet_churn_demo(objective, &config, 0xA5F0_5EED).run();
+        let multi = result.multi.expect("fleet scenario has multi detail");
+
+        println!(
+            "=== objective: {} ({} pages shared, rebalanced every 5 ms) ===\n",
+            objective.label(),
+            multi.fast_budget_pages,
+        );
+        print!("{}", multi.summary());
+        println!();
+    }
+    println!(
+        "(departures reclaim fast pages into the live budget immediately; \
+         arrivals start from the min-one share and earn their real share at \
+         the next rebalance)"
+    );
+}
