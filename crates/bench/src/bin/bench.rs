@@ -1,6 +1,6 @@
 //! Sweep-driver benchmark: times the policy-comparison sweep serial vs
 //! parallel and emits machine-readable `BENCH_*.json` so future PRs can
-//! track the perf trajectory.
+//! track the perf trajectory. Schema: `docs/BENCH_FORMAT.md`.
 //!
 //! ```text
 //! cargo run -p hybridtier-bench --release --bin bench -- [flags]
@@ -13,6 +13,11 @@
 //!   --parallel-only   skip the serial pass (no speedup reported)
 //!   --no-colocation   skip the co-location sweep
 //!   --no-fleet        skip the fleet churn sweep
+//!   --shard <i/N>     run only round-robin shard i of N (0-based) of every
+//!                     sweep; the json gains shard identity for --merge
+//!   --merge <a.json> <b.json> ...
+//!                     merge shard jsons (any order) into --json instead of
+//!                     running; rejects overlapping/missing/foreign shards
 //!   --compare <path>  load a previous BENCH json, print wall/throughput
 //!                     deltas, and exit non-zero on regression
 //!   --regress <frac>  max tolerated aggregate-throughput regression for
@@ -30,14 +35,19 @@
 //! With `--compare`, a `"compare"` section (aggregate throughput ratio plus
 //! per-scenario ratios, matched by label) is appended to the written JSON —
 //! the machine-readable perf trajectory every perf PR is measured by.
+//!
+//! The distributed workflow (`--shard` on every host, `--merge` anywhere)
+//! reassembles a result identical to the unsharded run in every
+//! deterministic field — see `docs/BENCH_FORMAT.md` and the
+//! `tiering_runner` README's sharding guide.
 
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hybridtier_bench::compare::{SweepDelta, SweepSnapshot};
-use hybridtier_bench::{colocation_matrix, fleet_matrix, json, policy_comparison_matrix};
-use tiering_runner::{Scenario, SweepReport, SweepRunner};
+use hybridtier_bench::{colocation_matrix, fleet_matrix, json, merge, policy_comparison_matrix};
+use tiering_runner::{Scenario, ShardSpec, SweepReport, SweepRunner};
 
 struct Args {
     json: PathBuf,
@@ -48,6 +58,8 @@ struct Args {
     parallel: bool,
     colocation: bool,
     fleet: bool,
+    shard: Option<ShardSpec>,
+    merge: Vec<PathBuf>,
     compare: Option<PathBuf>,
     regress: f64,
 }
@@ -63,10 +75,13 @@ fn parse_args() -> Result<Option<Args>, String> {
         parallel: true,
         colocation: true,
         fleet: true,
+        shard: None,
+        merge: Vec::new(),
         compare: None,
         regress: 0.15,
     };
-    let mut it = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter().peekable();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--json" => {
@@ -97,6 +112,25 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--parallel-only" => args.serial = false,
             "--no-colocation" => args.colocation = false,
             "--no-fleet" => args.fleet = false,
+            "--shard" => {
+                args.shard = Some(
+                    it.next()
+                        .ok_or("--shard needs i/N (0-based)")?
+                        .parse()
+                        .map_err(|e| format!("--shard: {e}"))?,
+                );
+            }
+            "--merge" => {
+                while let Some(path) = it.peek() {
+                    if path.starts_with("--") {
+                        break;
+                    }
+                    args.merge.push(PathBuf::from(it.next().expect("peeked")));
+                }
+                if args.merge.is_empty() {
+                    return Err("--merge needs at least one shard json path".to_string());
+                }
+            }
             "--compare" => {
                 args.compare = Some(PathBuf::from(it.next().ok_or("--compare needs a path")?));
             }
@@ -114,7 +148,9 @@ fn parse_args() -> Result<Option<Args>, String> {
                 println!(
                     "usage: bench [--json <path>] [--ops <n>] [--sim-ms <n>] [--threads <n>] \
                      [--serial-only] [--parallel-only] [--no-colocation] [--no-fleet] \
-                     [--compare <prev.json>] [--regress <frac>]"
+                     [--shard <i/N>] [--merge <shard.json>...] \
+                     [--compare <prev.json>] [--regress <frac>]\n\
+                     json schema and shard/merge workflow: docs/BENCH_FORMAT.md"
                 );
                 return Ok(None);
             }
@@ -124,31 +160,78 @@ fn parse_args() -> Result<Option<Args>, String> {
     if !args.serial && !args.parallel {
         return Err("--serial-only and --parallel-only are mutually exclusive".to_string());
     }
+    if args.shard.is_some() && args.compare.is_some() {
+        return Err(
+            "--shard runs a slice of each sweep; --compare against a full run would \
+             mislead. Merge the shards first, then compare the merged json."
+                .to_string(),
+        );
+    }
+    if !args.merge.is_empty() && (args.shard.is_some() || args.compare.is_some()) {
+        return Err("--merge only reads shard jsons; drop --shard/--compare".to_string());
+    }
     Ok(Some(args))
 }
 
-/// Times one scenario list serial and/or parallel; returns the passes,
-/// whether they agreed, and the speedup.
-fn run_sweep(
-    name: &str,
-    args: &Args,
-    build: impl Fn() -> Vec<Scenario>,
-) -> (
-    Option<SweepReport>,
-    Option<SweepReport>,
-    Option<bool>,
-    Option<f64>,
-) {
-    println!("{name}: {} scenarios", build().len());
+/// `--merge` mode: no simulations, just validate + reassemble shard jsons.
+fn run_merge(args: &Args) -> Result<String, String> {
+    let mut docs = Vec::with_capacity(args.merge.len());
+    for path in &args.merge {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc =
+            json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+        docs.push(doc);
+    }
+    let merged = merge::merge_docs(&docs).map_err(|e| format!("merge failed: {e}"))?;
+    for section in merge::SECTIONS {
+        if let Some(n) = merged.get(section).and_then(|s| s.num("scenarios")) {
+            println!(
+                "merged '{section}': {n} scenarios from {} shards",
+                args.merge.len()
+            );
+        }
+    }
+    Ok(merged.render())
+}
+
+/// One sweep's passes: timing, agreement, and the full-matrix size the
+/// (possibly sharded) scenario list was cut from.
+struct SweepPasses {
+    serial: Option<SweepReport>,
+    parallel: Option<SweepReport>,
+    identical: Option<bool>,
+    speedup: Option<f64>,
+    matrix_len: usize,
+}
+
+/// Times one scenario list serial and/or parallel — only this host's shard
+/// of it when `--shard` is set; returns the passes, whether they agreed,
+/// and the speedup.
+fn run_sweep(name: &str, args: &Args, build: impl Fn() -> Vec<Scenario>) -> SweepPasses {
+    let matrix_len = build().len();
+    // Shard selection happens on the full canonical list, so per-scenario
+    // seeds are identical sharded or not (the runner's shard guarantee).
+    let scenarios = || match args.shard {
+        Some(spec) => spec.select(build()),
+        None => build(),
+    };
+    match args.shard {
+        Some(spec) => println!(
+            "{name}: {} of {matrix_len} scenarios (shard {spec})",
+            spec.count_of(matrix_len)
+        ),
+        None => println!("{name}: {matrix_len} scenarios"),
+    }
     let mut serial: Option<SweepReport> = None;
     if args.serial {
-        let sweep = SweepRunner::serial().run(build());
+        let sweep = SweepRunner::serial().run(scenarios());
         println!("serial:   {:>8.2}s on 1 thread", sweep.wall.as_secs_f64());
         serial = Some(sweep);
     }
     let mut parallel: Option<SweepReport> = None;
     if args.parallel {
-        let sweep = SweepRunner::new(args.threads).run(build());
+        let sweep = SweepRunner::new(args.threads).run(scenarios());
         println!(
             "parallel: {:>8.2}s on {} threads",
             sweep.wall.as_secs_f64(),
@@ -176,39 +259,26 @@ fn run_sweep(
         }
         _ => None,
     };
-    (serial, parallel, identical, speedup)
+    SweepPasses {
+        serial,
+        parallel,
+        identical,
+        speedup,
+        matrix_len,
+    }
 }
 
-/// Serializes one sweep's timing block (shared by both sweeps' JSON).
-fn sweep_json(
-    serial: &Option<SweepReport>,
-    parallel: &Option<SweepReport>,
-    identical: Option<bool>,
-    speedup: Option<f64>,
-) -> String {
-    let detail = parallel.as_ref().or(serial.as_ref()).expect("one pass ran");
-    let mut json = String::new();
-    json.push_str(&format!("{{\"scenarios\":{}", detail.results.len()));
-    if let Some(s) = serial {
-        json.push_str(&format!(",\"serial_s\":{:.6}", s.wall.as_secs_f64()));
+impl SweepPasses {
+    /// This sweep's JSON section (see `merge::sweep_section_json`).
+    fn to_json(&self, shard: Option<ShardSpec>) -> String {
+        merge::sweep_section_json(
+            &self.serial,
+            &self.parallel,
+            self.identical,
+            self.speedup,
+            shard.map(|spec| (spec, self.matrix_len)),
+        )
     }
-    if let Some(p) = parallel {
-        json.push_str(&format!(
-            ",\"parallel_s\":{:.6},\"threads\":{}",
-            p.wall.as_secs_f64(),
-            p.threads
-        ));
-    }
-    if let Some(x) = speedup {
-        json.push_str(&format!(",\"speedup\":{x:.4}"));
-    }
-    if let Some(same) = identical {
-        json.push_str(&format!(",\"parallel_identical_to_serial\":{same}"));
-    }
-    json.push_str(",\"sweep\":");
-    json.push_str(&detail.to_json());
-    json.push('}');
-    json
 }
 
 fn main() -> ExitCode {
@@ -221,7 +291,18 @@ fn main() -> ExitCode {
         }
     };
 
-    let (serial, parallel, identical, speedup) = run_sweep(
+    if !args.merge.is_empty() {
+        let merged = match run_merge(&args) {
+            Ok(m) => m,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return write_json(&args, &merged);
+    }
+
+    let single = run_sweep(
         &format!("policy-comparison sweep ({} ops/scenario)", args.ops),
         &args,
         || policy_comparison_matrix(args.ops),
@@ -255,21 +336,28 @@ fn main() -> ExitCode {
     // Assemble the BENCH json around the richer of each sweep's reports.
     // Timing fields live under "single"/"colocation"/"fleet" per sweep
     // (the PR-1 format had them at top level; CHANGES.md records the
-    // move).
+    // move); full schema in docs/BENCH_FORMAT.md.
     let mut json = String::from("{\"bench\":\"policy_comparison_sweep\"");
     json.push_str(&format!(",\"ops_per_scenario\":{}", args.ops));
-    let head = sweep_json(&serial, &parallel, identical, speedup);
-    json.push_str(&format!(",\"single\":{head}"));
-    if let Some((s, p, id, x)) = &colo {
-        json.push_str(&format!(",\"colocation\":{}", sweep_json(s, p, *id, *x)));
+    if let Some(spec) = args.shard {
+        json.push_str(&format!(
+            ",\"shard\":{{\"index\":{},\"total\":{}}}",
+            spec.index(),
+            spec.total()
+        ));
     }
-    if let Some((s, p, id, x)) = &fleet {
-        json.push_str(&format!(",\"fleet\":{}", sweep_json(s, p, *id, *x)));
+    json.push_str(&format!(",\"single\":{}", single.to_json(args.shard)));
+    if let Some(passes) = &colo {
+        json.push_str(&format!(",\"colocation\":{}", passes.to_json(args.shard)));
+    }
+    if let Some(passes) = &fleet {
+        json.push_str(&format!(",\"fleet\":{}", passes.to_json(args.shard)));
     }
     json.push('}');
 
-    let colo_identical = colo.as_ref().and_then(|(_, _, id, _)| *id);
-    let fleet_identical = fleet.as_ref().and_then(|(_, _, id, _)| *id);
+    let identical = single.identical;
+    let colo_identical = colo.as_ref().and_then(|p| p.identical);
+    let fleet_identical = fleet.as_ref().and_then(|p| p.identical);
 
     // Perf-trajectory comparison against a previous BENCH json: print
     // deltas, embed them machine-readably, and flag regressions.
@@ -291,7 +379,7 @@ fn main() -> ExitCode {
         };
         let cur = json::parse(&json).expect("bench emits valid json");
         let mut deltas = Vec::new();
-        for name in ["single", "colocation", "fleet"] {
+        for name in merge::SECTIONS {
             if let (Some(p), Some(c)) = (prev.get(name), cur.get(name)) {
                 deltas.push(SweepDelta::between(
                     name,
@@ -327,6 +415,23 @@ fn main() -> ExitCode {
         }
     }
 
+    let wrote = write_json(&args, &json);
+    if wrote != ExitCode::SUCCESS {
+        return wrote;
+    }
+
+    if identical == Some(false)
+        || colo_identical == Some(false)
+        || fleet_identical == Some(false)
+        || regressed
+    {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes the finished document to `--json`, creating parent directories.
+fn write_json(args: &Args, json: &str) -> ExitCode {
     if let Some(dir) = args.json.parent() {
         if !dir.as_os_str().is_empty() {
             if let Err(e) = std::fs::create_dir_all(dir) {
@@ -341,14 +446,6 @@ fn main() -> ExitCode {
             eprintln!("cannot write {}: {e}", args.json.display());
             return ExitCode::FAILURE;
         }
-    }
-
-    if identical == Some(false)
-        || colo_identical == Some(false)
-        || fleet_identical == Some(false)
-        || regressed
-    {
-        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,12 +1,16 @@
-//! A minimal JSON reader for `BENCH_*.json` files.
+//! A minimal JSON reader/writer for `BENCH_*.json` files.
 //!
 //! The workspace is dependency-free (no serde), and the bench driver only
-//! needs to *read back* the JSON it wrote itself — numbers, strings,
-//! objects, arrays — so this is a small recursive-descent parser over the
-//! full JSON grammar with a value model tailored to that use.
+//! needs to *read back* (and, for `bench --merge`, re-emit) the JSON it
+//! wrote itself — numbers, strings, objects, arrays — so this is a small
+//! recursive-descent parser over the full JSON grammar with a value model
+//! tailored to that use. Objects preserve member order (insertion /
+//! document order), so a parse → [`render`](Json::render) round trip keeps
+//! the writer's layout and merged shard files stay diffable against
+//! unsharded ones.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,30 +19,126 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (read as `f64`; BENCH files stay well within exact
-    /// `f64` integer range).
+    /// An integer-syntax number (no `.`/exponent), kept exact: BENCH
+    /// scenario seeds are full 64-bit values that `f64` would round, and
+    /// the `--merge` workflow must copy them through bit-perfectly.
+    Int(i128),
+    /// Any other JSON number (read as `f64`).
     Num(f64),
     /// A string.
     Str(String),
     /// An array.
     Arr(Vec<Json>),
-    /// An object.
-    Obj(HashMap<String, Json>),
+    /// An object, in member order. Lookup is a linear scan — BENCH objects
+    /// have at most a few dozen members.
+    Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    /// Member `key` of an object, if this is an object and the key exists.
+    /// Member `key` of an object, if this is an object and the key exists
+    /// (first occurrence wins).
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
-            Json::Obj(m) => m.get(key),
+            Json::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    /// This value as a number.
+    /// An empty object (builder entry point for the merge tooling).
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends/overwrites member `key` of an object; panics on non-objects
+    /// (merge tooling builds objects it just created).
+    pub fn set(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(m) => {
+                if let Some(slot) = m.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    m.push((key.to_string(), value));
+                }
+            }
+            _ => panic!("Json::set on a non-object"),
+        }
+    }
+
+    /// Serializes back to compact JSON text, preserving object member
+    /// order. Integer-syntax numbers round-trip byte-exactly; `f64`s render
+    /// via Rust's shortest-round-trip display (whole values keep a `.1`
+    /// decimal so they stay `Num` on re-parse), so `render(parse(x))` is
+    /// value-identical to `x` though not necessarily byte-identical (the
+    /// writer pads decimals, e.g. `0.500000`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(n) => {
+                // Keep non-integer syntax so a re-parse stays `Num`, making
+                // parse ∘ render a fixed point: decimal point for values in
+                // exact-i64 range, exponent form beyond it (where `{:.1}`
+                // would lose the magnitude's tail and `{}` prints integer
+                // syntax that would re-parse as `Int`).
+                if n.fract() == 0.0 && n.is_finite() {
+                    if n.abs() < 9e15 {
+                        let _ = write!(out, "{:.1}", *n);
+                    } else {
+                        let _ = write!(out, "{n:e}");
+                    }
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => render_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// This value as a number (integers convert, rounding past 2^53 — use
+    /// [`as_i128`](Json::as_i128) where exactness matters).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// This value as an exact integer, if it was written in integer syntax.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Json::Int(n) => Some(*n),
             _ => None,
         }
     }
@@ -68,6 +168,25 @@ impl Json {
     pub fn str(&self, key: &str) -> Option<&str> {
         self.get(key).and_then(Json::as_str)
     }
+}
+
+/// JSON string quoting (mirrors the runner's writer escapes).
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A parse failure with byte offset.
@@ -158,11 +277,11 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
-        let mut map = HashMap::new();
+        let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Json::Obj(map));
+            return Ok(Json::Obj(members));
         }
         loop {
             self.skip_ws();
@@ -171,13 +290,13 @@ impl Parser<'_> {
             self.expect(b':')?;
             self.skip_ws();
             let val = self.value()?;
-            map.insert(key, val);
+            members.push((key, val));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Json::Obj(map));
+                    return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
             }
@@ -269,17 +388,26 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {}
+                b'.' | b'e' | b'E' | b'+' | b'-' => integral = false,
+                _ => break,
+            }
             self.pos += 1;
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if integral {
+            // Integer syntax stays exact (u64 seeds overflow f64's 2^53).
+            if let Ok(n) = text.parse::<i128>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>()
             .map(Json::Num)
-            .ok_or_else(|| self.err("bad number"))
+            .map_err(|_| self.err("bad number"))
     }
 }
 
@@ -323,5 +451,48 @@ mod tests {
         assert_eq!(scenarios.len(), 2);
         assert_eq!(scenarios[0].num("ops"), Some(500.0));
         assert!(scenarios[0].str("label").unwrap().contains("silo"));
+        assert_eq!(
+            scenarios[0].str("fingerprint").unwrap().len(),
+            16,
+            "hex outcome digest present"
+        );
+        // render → parse is a fixed point: member order is preserved, so
+        // one round trip canonicalizes number formatting and nothing else.
+        let rendered = v.render();
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(reparsed, v);
+        assert_eq!(reparsed.render(), rendered);
+    }
+
+    #[test]
+    fn big_integers_stay_exact() {
+        // u64-range seeds are beyond f64's 2^53 exact-integer range; the
+        // merge workflow depends on them surviving parse → render.
+        let text = r#"{"seed":13173058152101329326,"neg":-9007199254740993}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("seed").unwrap().as_i128(), Some(13173058152101329326));
+        assert_eq!(v.get("neg").unwrap().as_i128(), Some(-9007199254740993));
+        assert_eq!(v.render(), text);
+        // Non-integer syntax still reads as f64.
+        assert_eq!(parse("1.5").unwrap().as_i128(), None);
+        assert_eq!(parse("2e3").unwrap().as_f64(), Some(2000.0));
+        // Whole-valued f64s beyond exact-i64 range keep float syntax, so
+        // parse ∘ render is a fixed point there too (1e16 must not come
+        // back as integer syntax / `Int`).
+        let big = parse("1e16").unwrap();
+        assert_eq!(big, Json::Num(1e16));
+        assert_eq!(parse(&big.render()).unwrap(), big);
+    }
+
+    #[test]
+    fn object_order_and_set() {
+        let v = parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(v.render(), r#"{"z":1,"a":2}"#, "member order preserved");
+        let mut o = Json::obj();
+        o.set("x", Json::Num(1.5));
+        o.set("s", Json::Str("a\"b".into()));
+        o.set("x", Json::Num(2.0)); // overwrite keeps position
+        o.set("n", Json::Int(7));
+        assert_eq!(o.render(), r#"{"x":2.0,"s":"a\"b","n":7}"#);
     }
 }

@@ -1,5 +1,6 @@
 //! Benchmark harness regenerating every table and figure of the HybridTier
-//! (ASPLOS'25) evaluation.
+//! (ASPLOS'25) evaluation, plus the workspace's perf-trajectory and
+//! distributed-sweep tooling.
 //!
 //! Each `experiments::figN` / `experiments::tableN` module regenerates one
 //! paper result: it runs the relevant simulations, prints the same
@@ -16,10 +17,20 @@
 //! system wins, by roughly what factor, where crossovers fall — are the
 //! reproduction targets. EXPERIMENTS.md records paper-vs-measured for every
 //! entry.
+//!
+//! The `bench` binary times the standard sweeps serial-vs-parallel and
+//! emits `BENCH_*.json` (schema: `docs/BENCH_FORMAT.md`), supported by
+//! three library modules: [`json`] (dependency-free parser/writer),
+//! [`compare`] (perf-regression gate between two BENCH files), and
+//! [`merge`] (the `--shard`/`--merge` distributed-sweep workflow).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod compare;
 pub mod experiments;
 pub mod json;
+pub mod merge;
 mod output;
 
 pub use output::{print_header, CsvWriter};

@@ -25,6 +25,18 @@
 //! metadata cache lines they touch (for the cache-overhead experiments) via
 //! [`PolicyCtx`].
 //!
+//! Above the per-tenant policies sits the `global` module — the paper's §7
+//! multi-tenant extension: a [`GlobalController`] owns one physical fast
+//! budget, collects each tenant's demand signal
+//! ([`TieringPolicy::fast_demand_pages`]), and re-partitions on a cadence
+//! under a pluggable, exact-integer [`QuotaObjective`]
+//! ([`ObjectiveKind`]: proportional share, max-min fairness, SLO utility),
+//! supporting mid-run tenant churn and recording every decision as a typed
+//! [`RebalanceEvent`]. Its invariants (budget conservation, floors,
+//! min-one admission, determinism, demand monotonicity) are
+//! property-tested for every objective in `tests/global_properties.rs` and
+//! model-tested under churn in `tests/global_churn_model.rs`.
+//!
 //! [`Sample`]: tiering_trace::Sample
 //! [`TieredMemory`]: tiering_mem::TieredMemory
 

@@ -33,6 +33,13 @@
 //! * [`SweepReport`] — the merged results, with lookup helpers and a
 //!   machine-readable JSON emitter the bench harness uses to track the
 //!   perf trajectory across PRs (`BENCH_*.json`).
+//! * [`ShardSpec`] / [`ShardedSweep`] / [`ShardReport`] /
+//!   [`SweepReport::merge`] — distributed sweeps: any matrix partitions
+//!   deterministically across hosts by round-robin over the canonical
+//!   scenario order (per-scenario seeds are identical sharded or not), and
+//!   merging the shard reports reproduces the unsharded results exactly —
+//!   see [`ShardSpec`] and the crate README's "sharding a sweep across
+//!   hosts" guide.
 //!
 //! # Example
 //!
@@ -57,13 +64,21 @@
 #![warn(missing_debug_implementations)]
 
 mod scenario;
+mod shard;
 mod sweep;
 
 pub use scenario::{
     BudgetSpec, ChurnAction, ChurnSpec, CoLocationSpec, FleetSpec, PolicySpec, Scenario,
     ScenarioKind, ScenarioResult, TenantSpec, TierSpec, WorkloadSpec,
 };
+pub use shard::{MergeError, ShardError, ShardReport, ShardSpec, ShardedSweep};
 pub use sweep::{CoLocationMatrix, FleetMatrix, ScenarioMatrix, SweepReport, SweepRunner};
+
+/// Doc-tests the crate README: every Rust snippet in it must keep
+/// compiling and passing under `cargo test`.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
 
 /// Derives the seed for scenario `index` of a sweep from the sweep's base
 /// seed (SplitMix64 of `base ^ index`): deterministic, stable under

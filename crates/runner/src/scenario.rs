@@ -1,4 +1,28 @@
 //! One experiment = one scenario.
+//!
+//! A [`Scenario`] is a *recipe*, not a live object: workload and policy
+//! **factories** ([`WorkloadSpec`], [`PolicySpec`]) plus tier sizing
+//! ([`TierSpec`] or, for multi-tenant kinds, [`BudgetSpec`]), an engine
+//! [`SimConfig`], and a seed. [`Scenario::run`] builds everything inside
+//! the executing thread, so recipes are cheap to clone, safe to send to
+//! any thread (or serialize to another host as a matrix position — see the
+//! shard module), and every run is as deterministic as the engine itself.
+//!
+//! Three [`ScenarioKind`]s cover the repo's experiment shapes: `Single`
+//! (the classic one-workload/one-policy run), `CoLocation`
+//! ([`CoLocationSpec`]: N tenants share one controller-partitioned fast
+//! tier, paper §7), and `Fleet` ([`FleetSpec`]: co-location plus a
+//! [`ChurnSpec`] arrival/departure schedule and a pluggable quota
+//! objective). The canonical demo recipes ([`Scenario::wakeup_demo`],
+//! [`Scenario::fleet_churn_demo`]) are shared verbatim by the examples,
+//! the bench sweeps, and the golden suite so their trajectories can never
+//! drift apart.
+//!
+//! Every run yields a [`ScenarioResult`]: labels, the seed, the
+//! [`SimReport`] (for multi-tenant kinds, the whole-machine aggregate plus
+//! per-tenant detail in [`ScenarioResult::multi`]), host wall time, and a
+//! stable outcome [`fingerprint`](ScenarioResult::fingerprint) used by the
+//! distributed-sweep merge layer.
 
 use std::fmt;
 use std::sync::Arc;
@@ -791,6 +815,31 @@ impl ScenarioResult {
             && self.seed == other.seed
             && self.report == other.report
             && self.multi == other.multi
+    }
+
+    /// A stable 64-bit digest of this result's deterministic outcome:
+    /// labels, seed, the report fingerprint, and (for multi-tenant kinds)
+    /// the [`MultiTenantReport::fingerprint`]. Host wall time is excluded.
+    ///
+    /// Identical scenarios produce identical fingerprints on any host, so
+    /// distributed-sweep tooling can cross-check shard outputs (and the
+    /// `"fingerprint"` field of `BENCH_*.json` entries) without comparing
+    /// whole reports.
+    pub fn fingerprint(&self) -> u64 {
+        // Mix the identity strings and seed into the report digest with the
+        // same splitmix-style finalizer used for seed derivation.
+        let mut acc = self.report.fingerprint();
+        for s in [&self.label, &self.workload, &self.policy, &self.tier] {
+            for b in s.as_bytes() {
+                acc = crate::derive_seed(acc, u64::from(*b));
+            }
+            acc = crate::derive_seed(acc, s.len() as u64);
+        }
+        acc = crate::derive_seed(acc, self.seed);
+        if let Some(multi) = &self.multi {
+            acc = crate::derive_seed(acc, multi.fingerprint());
+        }
+        acc
     }
 }
 

@@ -1,4 +1,20 @@
-//! The parallel sweep driver and its merged report.
+//! Matrix builders, the parallel sweep driver, and its merged report.
+//!
+//! Three cross-product builders turn experiment dimensions into canonical
+//! scenario lists — [`ScenarioMatrix`] (workloads × policies × ratios),
+//! [`CoLocationMatrix`] (pairings × budgets), [`FleetMatrix`] (fleets ×
+//! objectives × budgets) — each deriving per-scenario seeds from one base
+//! seed and the scenario's position in that canonical order. Because seeds
+//! are fixed at build time, any *selection* of the built list (a
+//! [`ShardSpec`] slice for a multi-host run, a filtered subset, a reordered
+//! copy) runs the exact same simulations; the builders' `shard(..)` methods
+//! exploit this for distributed sweeps.
+//!
+//! [`SweepRunner`] executes any scenario list over a work-stealing pool and
+//! returns a [`SweepReport`] with results **in input order** — execution
+//! interleaving never leaks into the output, so serial and parallel sweeps
+//! are interchangeable and shard reports merge deterministically
+//! ([`SweepReport::merge`], defined in the shard module).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -14,6 +30,7 @@ use crate::derive_seed;
 use crate::scenario::{
     BudgetSpec, ChurnSpec, CoLocationSpec, FleetSpec, Scenario, ScenarioResult, TenantSpec,
 };
+use crate::shard::ShardSpec;
 
 /// Builds the standard workload × policy × ratio cross product with
 /// deterministic per-scenario seeds.
@@ -117,6 +134,16 @@ impl ScenarioMatrix {
         }
         out
     }
+
+    /// Materializes `spec`'s round-robin slice of the canonical scenario
+    /// list. Seeds, labels, and configs are identical to the corresponding
+    /// entries of [`build`](ScenarioMatrix::build) — sharding decides *where*
+    /// a scenario runs, never *what* it is — so the union of all shards'
+    /// results merges back into exactly the unsharded sweep
+    /// (`tests/shard_equivalence.rs`).
+    pub fn shard(&self, spec: ShardSpec) -> Vec<Scenario> {
+        spec.select(self.build())
+    }
 }
 
 /// Cross-product builder for co-location sweeps: named tenant pairings ×
@@ -198,6 +225,13 @@ impl CoLocationMatrix {
             }
         }
         out
+    }
+
+    /// Materializes `spec`'s round-robin slice of the canonical scenario
+    /// list — same seed-identity guarantee as
+    /// [`ScenarioMatrix::shard`](ScenarioMatrix::shard).
+    pub fn shard(&self, spec: ShardSpec) -> Vec<Scenario> {
+        spec.select(self.build())
     }
 }
 
@@ -301,6 +335,13 @@ impl FleetMatrix {
             }
         }
         out
+    }
+
+    /// Materializes `spec`'s round-robin slice of the canonical scenario
+    /// list — same seed-identity guarantee as
+    /// [`ScenarioMatrix::shard`](ScenarioMatrix::shard).
+    pub fn shard(&self, spec: ShardSpec) -> Vec<Scenario> {
+        spec.select(self.build())
     }
 }
 
@@ -415,7 +456,7 @@ impl SweepReport {
     }
 
     /// Serializes the sweep to a JSON object (hand-rolled; the workspace is
-    /// dependency-free). Shape:
+    /// dependency-free). Shape (full schema: `docs/BENCH_FORMAT.md`):
     ///
     /// ```json
     /// {"threads":8,"wall_s":1.25,"scenarios":[
@@ -423,12 +464,15 @@ impl SweepReport {
     ///    "tier":"1:8","seed":123,"wall_s":0.31,"ops":1200000,"sim_ns":9,
     ///    "p50_ns":350,"mean_ns":401.2,"throughput_mops":2.9,
     ///    "fast_hit_frac":0.93,"promotions":100,"demotions":90,
-    ///    "samples":63157,"metadata_bytes":40960}]}
+    ///    "samples":63157,"metadata_bytes":40960,
+    ///    "fingerprint":"91b1d3a407dbf5f2"}]}
     /// ```
     ///
-    /// Co-location scenarios additionally carry `"fairness"`,
-    /// `"rebalances"`, and a `"tenants"` array with per-tenant counters and
-    /// final quotas.
+    /// `"fingerprint"` is the [`ScenarioResult::fingerprint`] outcome
+    /// digest (hex); every field except `"wall_s"` is deterministic for a
+    /// given scenario. Co-location scenarios additionally carry
+    /// `"fairness"`, `"rebalances"`, `"churn_events"`, and a `"tenants"`
+    /// array with per-tenant counters and final quotas.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + self.results.len() * 256);
         let _ = write!(
@@ -446,7 +490,8 @@ impl SweepReport {
                 "{{\"label\":{},\"workload\":{},\"policy\":{},\"tier\":{},\"seed\":{},\
                  \"wall_s\":{:.6},\"ops\":{},\"sim_ns\":{},\"p50_ns\":{},\"mean_ns\":{:.3},\
                  \"throughput_mops\":{:.6},\"fast_hit_frac\":{:.6},\"promotions\":{},\
-                 \"demotions\":{},\"samples\":{},\"metadata_bytes\":{}",
+                 \"demotions\":{},\"samples\":{},\"metadata_bytes\":{},\
+                 \"fingerprint\":\"{:016x}\"",
                 json_str(&r.label),
                 json_str(&r.workload),
                 json_str(&r.policy),
@@ -463,6 +508,7 @@ impl SweepReport {
                 r.report.migrations.demotions,
                 r.report.samples,
                 r.report.metadata_bytes,
+                r.fingerprint(),
             );
             if let Some(multi) = &r.multi {
                 let _ = write!(

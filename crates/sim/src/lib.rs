@@ -18,7 +18,27 @@
 //!
 //! Outputs are [`SimReport`]s: latency percentiles (exact, from log-bucketed
 //! histograms), a median-latency timeline (paper Figure 4), migration and
-//! cache statistics, and optional hotness probes (Figures 2 and 16).
+//! cache statistics, optional hotness probes (Figures 2 and 16), and a
+//! stable outcome [`fingerprint`](SimReport::fingerprint) that distributed
+//! sweeps use as portable scenario identity.
+//!
+//! # Module map
+//!
+//! * `engine` — [`Engine`], [`SimConfig`], and the run loop's accounting.
+//! * `pipeline` — the batched stage pipeline behind [`Engine::run`]
+//!   (pull → access → policy → migrate → account over
+//!   [`AccessBatch`](tiering_trace::AccessBatch)es; provably
+//!   batch-size-invariant).
+//! * `multi_tenant` — [`MultiTenantEngine`]: N tenants over one shared
+//!   fast tier under the §7 global controller, with churn
+//!   ([`ChurnSchedule`]) and round-based rebalancing.
+//! * `report` — [`SimReport`] / [`MultiTenantReport`] and friends.
+//! * `adaptation` / `hotness` / `histo` / `prefetch` — measurement
+//!   helpers: adaptation-time extraction, retention/count probes, exact
+//!   log-bucketed percentiles, stream prefetch detection.
+//!
+//! Everything here is single-run machinery; *many* runs (matrices,
+//! parallel sweeps, multi-host sharding) live in `tiering_runner`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

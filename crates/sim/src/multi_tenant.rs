@@ -37,6 +37,13 @@
 //! Every applied event is sealed into the report as a
 //! [`ChurnRecord`](crate::ChurnRecord), so per-epoch fleet composition is
 //! reconstructible from the result alone.
+//!
+//! Like single-tenant runs, a whole co-located run is a pure function of
+//! its recipe: the sealed [`MultiTenantReport`](crate::MultiTenantReport)
+//! (and its [`fingerprint`](crate::MultiTenantReport::fingerprint)) is
+//! identical on any host or thread count, which is what lets
+//! `tiering_runner` treat fleet scenarios as ordinary units of parallel —
+//! and, via its shard layer, distributed — sweeps.
 
 use std::collections::VecDeque;
 use std::fmt;

@@ -29,7 +29,10 @@
 //!
 //! Batched and scalar execution share every stage, so for a fixed seed the
 //! two produce byte-identical [`SimReport`]s — asserted by the
-//! `batch_equivalence` integration tests.
+//! `batch_equivalence` integration tests. The pipeline is the shared
+//! execution substrate: [`Engine`](crate::Engine) drives one instance to
+//! completion, while [`MultiTenantEngine`](crate::MultiTenantEngine)
+//! suspends/resumes one per tenant at rebalance boundaries.
 //!
 //! Compared to the legacy loop, stage 3 delivers a burst's policy events at
 //! burst end instead of interleaved between its accesses. Within one op the

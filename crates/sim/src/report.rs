@@ -1,4 +1,13 @@
 //! Simulation reports.
+//!
+//! [`SimReport`] is the outcome of one engine run and [`MultiTenantReport`]
+//! of one co-located/fleet run. Both derive `PartialEq` over every field —
+//! the batch-equivalence and runner determinism tests rely on whole-report
+//! equality — and both expose a [`fingerprint`](SimReport::fingerprint): a
+//! stable 64-bit digest of the deterministic outcome, giving every scenario
+//! a portable identity that distributed-sweep tooling (the runner's shard
+//! merge, `bench --merge`) can compare across hosts without shipping whole
+//! reports.
 
 use cache_sim::HierarchyStats;
 use tiering_mem::MigrationStats;
@@ -122,6 +131,91 @@ impl SimReport {
         } else {
             baseline.sim_ns as f64 / self.sim_ns as f64
         }
+    }
+
+    /// A stable 64-bit digest of this run's deterministic outcome: the
+    /// headline counters (ops, accesses, samples, simulated time), the
+    /// latency summary, migration counters, fast-hit fraction, metadata
+    /// footprint, the full latency timeline, and the workload/policy names.
+    ///
+    /// Two runs of the same scenario — on any host, any thread count, any
+    /// batch size — produce the same fingerprint; the engine's integer
+    /// simulated-time arithmetic and `f64` aggregations are both exactly
+    /// reproducible. Distributed-sweep tooling uses it as the scenario's
+    /// portable outcome identity (shard-merge cross-checks, the
+    /// `"fingerprint"` field of `BENCH_*.json` scenario entries).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fingerprint::new();
+        h.str(&self.workload);
+        h.str(&self.policy);
+        h.u64(self.ops);
+        h.u64(self.accesses);
+        h.u64(self.samples);
+        h.u64(self.sim_ns);
+        h.u64(self.latency.p50_ns);
+        h.u64(self.latency.p90_ns);
+        h.u64(self.latency.p99_ns);
+        h.f64(self.latency.mean_ns);
+        h.u64(self.migrations.promotions);
+        h.u64(self.migrations.demotions);
+        h.u64(self.migrations.allocated_fast);
+        h.u64(self.migrations.allocated_slow);
+        h.u64(self.migrations.failed_promotions);
+        h.f64(self.fast_hit_frac);
+        h.u64(self.metadata_bytes as u64);
+        h.u64(self.timeline.len() as u64);
+        for p in &self.timeline {
+            h.u64(p.t_ns);
+            h.u64(p.p50_ns);
+            h.u64(p.mean_ns);
+            h.u64(p.ops);
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a accumulator behind the report fingerprints: a fixed, documented
+/// algorithm (not `DefaultHasher`, whose output may change across Rust
+/// releases) so fingerprints are comparable between binaries built on
+/// different hosts.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Hashes the bit pattern; `-0.0` is normalized to `0.0` so the two
+    /// representations of zero cannot split a fingerprint.
+    fn f64(&mut self, v: f64) {
+        let v = if v == 0.0 { 0.0f64 } else { v };
+        self.u64(v.to_bits());
+    }
+
+    /// Length-prefixed, so adjacent strings cannot alias.
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -248,6 +342,45 @@ impl MultiTenantReport {
     /// rebalance.
     pub fn quota_share(&self, tenant: usize) -> f64 {
         self.tenants[tenant].final_quota_pages as f64 / self.fast_budget_pages as f64
+    }
+
+    /// The multi-tenant twin of [`SimReport::fingerprint`]: a stable 64-bit
+    /// digest over the budget, every tenant's outcome (name, quota
+    /// endpoints, arrival/departure times, and its report's fingerprint),
+    /// the rebalance trace (per-event time, quotas, demands), and the churn
+    /// records. Deterministic across hosts for identical scenarios.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fingerprint::new();
+        h.u64(self.fast_budget_pages);
+        h.u64(self.aggregate.fingerprint());
+        h.u64(self.tenants.len() as u64);
+        for t in &self.tenants {
+            h.str(&t.name);
+            h.u64(t.initial_quota_pages);
+            h.u64(t.final_quota_pages);
+            h.u64(t.final_fast_used);
+            h.u64(t.arrived_at_ns);
+            h.u64(t.departed_at_ns.map_or(u64::MAX, |v| v));
+            h.u64(t.report.fingerprint());
+        }
+        h.u64(self.rebalances.len() as u64);
+        for e in &self.rebalances {
+            h.u64(e.at_ns);
+            for &q in &e.quotas {
+                h.u64(q);
+            }
+            for &d in &e.demands {
+                h.u64(d);
+            }
+        }
+        h.u64(self.churn.len() as u64);
+        for c in &self.churn {
+            h.u64(c.at_ns);
+            h.u64(c.at_fleet_ops);
+            h.u64(matches!(c.kind, ChurnKind::Arrived) as u64);
+            h.str(&c.tenant);
+        }
+        h.finish()
     }
 
     /// Plain-text run summary: the demand/quota trajectory table, one line
@@ -382,6 +515,25 @@ mod tests {
         let r = dummy(0, 0);
         assert_eq!(r.throughput_mops(), 0.0);
         assert_eq!(r.relative_performance(&dummy(5, 1)), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = dummy(1_000, 10);
+        // Pinned literal (independently computed with reference FNV-1a):
+        // the fingerprint is part of the BENCH json contract, so an
+        // accidental algorithm change must fail loudly here, not just
+        // against another in-process recomputation.
+        assert_eq!(a.fingerprint(), 0xe3b5_a9c6_54f4_7baf);
+        assert_eq!(a.fingerprint(), dummy(1_000, 10).fingerprint());
+        assert_ne!(a.fingerprint(), dummy(1_000, 11).fingerprint());
+        assert_ne!(a.fingerprint(), dummy(1_001, 10).fingerprint());
+        let mut renamed = dummy(1_000, 10);
+        renamed.policy = "q".into();
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
+        let mut zero = dummy(1_000, 10);
+        zero.fast_hit_frac = -0.0;
+        assert_eq!(a.fingerprint(), zero.fingerprint(), "-0.0 == 0.0");
     }
 
     #[test]

@@ -82,7 +82,7 @@ fn table_for(n: usize, theta: f64) -> Arc<ZipfTable> {
 /// items").
 ///
 /// The CDF is immutable and memoized process-wide by `(n, θ)` — see
-/// [`table_for`] — so repeated scenario builds in a sweep pay the `powf`
+/// `table_for` in this module — so repeated scenario builds in a sweep pay the `powf`
 /// pass once, and a 256-way quantile index narrows each draw's binary
 /// search. Neither changes any sampled rank.
 #[derive(Debug, Clone)]

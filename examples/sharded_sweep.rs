@@ -1,0 +1,84 @@
+//! Distributed sweeps, simulated in-process: shard a matrix across three
+//! "hosts", merge the shard reports, and prove the merge is identical to
+//! the unsharded run.
+//!
+//! ```text
+//! cargo run --release --example sharded_sweep
+//! ```
+//!
+//! On a real fleet each shard would be one invocation of
+//! `bench --shard i/N --json shard_i.json` on its own host, and the merge
+//! one `bench --merge shard_*.json` anywhere (see `docs/BENCH_FORMAT.md`);
+//! the library calls below are exactly what those commands run.
+
+use hybridtier::mem::TierRatio;
+use hybridtier::policies::PolicyKind;
+use hybridtier::runner::{ScenarioMatrix, ShardSpec, ShardedSweep, SweepReport, SweepRunner};
+use hybridtier::sim::SimConfig;
+use hybridtier::workloads::WorkloadId;
+
+fn main() {
+    const HOSTS: usize = 3;
+    let matrix = ScenarioMatrix::new(SimConfig::default().with_max_ops(40_000), 0xD157)
+        .workloads([WorkloadId::CdnCacheLib, WorkloadId::SocialCacheLib])
+        .policies([
+            PolicyKind::HybridTier,
+            PolicyKind::Memtis,
+            PolicyKind::FirstTouch,
+        ])
+        .ratios([TierRatio::OneTo8, TierRatio::OneTo4]);
+    let full = matrix.build();
+    println!(
+        "matrix: {} scenarios (2 workloads x 3 policies x 2 ratios), {HOSTS} simulated hosts\n",
+        full.len()
+    );
+
+    // Each "host" builds the same canonical matrix and runs only its
+    // round-robin slice — no coordination needed, just (i, N).
+    let shards: Vec<_> = ShardSpec::all(HOSTS)
+        .map(|spec| {
+            let report = ShardedSweep::new(spec, SweepRunner::new(0)).run(matrix.build());
+            println!(
+                "host {spec}: ran {:>2} scenarios in {:.2}s",
+                report.sweep.results.len(),
+                report.sweep.wall.as_secs_f64(),
+            );
+            report
+        })
+        .collect();
+
+    // Merge is order-invariant and validates the union; feed it shuffled.
+    let mut shuffled = shards;
+    shuffled.rotate_left(1);
+    let merged = SweepReport::merge(shuffled).expect("complete shard set merges");
+
+    println!(
+        "\n{:<28} {:>9} {:>10} {:>9}",
+        "scenario", "p50 ns", "fast-hit", "promos"
+    );
+    for r in &merged.results {
+        println!(
+            "{:<28} {:>9} {:>10.3} {:>9}",
+            r.label,
+            r.report.latency.p50_ns,
+            r.report.fast_hit_frac,
+            r.report.migrations.promotions
+        );
+    }
+
+    // The distributed-sweep contract, checked live: the merged report is
+    // identical (in every deterministic field) to running everything here.
+    let unsharded = SweepRunner::new(0).run(matrix.build());
+    assert!(
+        merged.same_outcomes(&unsharded),
+        "union of shards diverged from the unsharded run"
+    );
+    for (m, u) in merged.results.iter().zip(&unsharded.results) {
+        assert_eq!(m.fingerprint(), u.fingerprint(), "{} diverged", m.label);
+    }
+    println!(
+        "\nunion of {HOSTS} shards == unsharded run: identical results, \
+         {} scenarios, fingerprints match",
+        merged.results.len()
+    );
+}

@@ -48,6 +48,12 @@
 //! repro -- all`); its `bench` binary times the parallel sweep driver and
 //! emits machine-readable `BENCH_*.json`.
 
+/// Doc-tests the repository README: every Rust snippet in it must keep
+/// compiling and passing under `cargo test`.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
+
 pub use cache_sim as cache;
 pub use hybridtier_cbf as cbf;
 pub use tiering_mem as mem;
@@ -72,9 +78,9 @@ pub mod prelude {
         TieringPolicy, TppPolicy, TwoQPolicy,
     };
     pub use crate::runner::{
-        BudgetSpec, CoLocationMatrix, CoLocationSpec, PolicySpec, Scenario, ScenarioKind,
-        ScenarioMatrix, ScenarioResult, SweepReport, SweepRunner, TenantSpec, TierSpec,
-        WorkloadSpec,
+        BudgetSpec, ChurnSpec, CoLocationMatrix, CoLocationSpec, FleetMatrix, FleetSpec,
+        PolicySpec, Scenario, ScenarioKind, ScenarioMatrix, ScenarioResult, ShardReport, ShardSpec,
+        ShardedSweep, SweepReport, SweepRunner, TenantSpec, TierSpec, WorkloadSpec,
     };
     pub use crate::sim::{
         adaptation_time_ns, run_suite_experiment, Engine, MultiTenantConfig, MultiTenantEngine,
