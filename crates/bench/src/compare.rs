@@ -82,6 +82,13 @@ pub struct SweepDelta {
     /// Per-scenario `(label, prev_mops, cur_mops, ratio)` for labels
     /// present in both runs.
     pub scenarios: Vec<(String, f64, f64, f64)>,
+    /// Labels present in the current run but not the baseline. A silent
+    /// matrix change would otherwise masquerade as a perf delta (the
+    /// aggregate ratio still compares total-ops/serial-seconds across
+    /// different scenario sets), so the report calls it out explicitly.
+    pub added: Vec<String>,
+    /// Labels present in the baseline but missing from the current run.
+    pub removed: Vec<String>,
 }
 
 impl SweepDelta {
@@ -92,17 +99,28 @@ impl SweepDelta {
             _ => None,
         };
         let mut scenarios = Vec::new();
+        let mut added = Vec::new();
         for (label, _, cur_mops, _) in &cur.scenarios {
-            if let Some((_, _, prev_mops, _)) = prev.scenarios.iter().find(|(l, ..)| l == label) {
-                if *prev_mops > 0.0 {
+            match prev.scenarios.iter().find(|(l, ..)| l == label) {
+                Some((_, _, prev_mops, _)) if *prev_mops > 0.0 => {
                     scenarios.push((label.clone(), *prev_mops, *cur_mops, cur_mops / prev_mops));
                 }
+                Some(_) => {}
+                None => added.push(label.clone()),
             }
         }
+        let removed = prev
+            .scenarios
+            .iter()
+            .filter(|(l, ..)| !cur.scenarios.iter().any(|(cl, ..)| cl == l))
+            .map(|(l, ..)| l.clone())
+            .collect();
         Self {
             name: name.to_string(),
             throughput_ratio,
             scenarios,
+            added,
+            removed,
         }
     }
 
@@ -132,6 +150,22 @@ impl SweepDelta {
                     "{}: no serial pass on one side; per-scenario deltas only",
                     self.name
                 );
+            }
+        }
+        if !self.added.is_empty() || !self.removed.is_empty() {
+            let _ = writeln!(
+                out,
+                "  matrix changed since baseline: {} matched, {} added, {} removed \
+                 (aggregate ratio spans different scenario sets)",
+                self.scenarios.len(),
+                self.added.len(),
+                self.removed.len()
+            );
+            for label in &self.added {
+                let _ = writeln!(out, "  + {label} (not in baseline)");
+            }
+            for label in &self.removed {
+                let _ = writeln!(out, "  - {label} (baseline only)");
             }
         }
         let mut ranked = self.scenarios.clone();
@@ -172,7 +206,18 @@ impl SweepDelta {
                  \"ratio\":{ratio:.6}}}"
             );
         }
-        s.push_str("]}");
+        s.push(']');
+        for (key, labels) in [("added", &self.added), ("removed", &self.removed)] {
+            let _ = write!(s, ",\"{key}\":[");
+            for (i, label) in labels.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{label}\"");
+            }
+            s.push(']');
+        }
+        s.push('}');
         s
     }
 }
@@ -236,5 +281,43 @@ mod tests {
         let json = d.to_json();
         assert!(json.contains("\"ratio\":1.5"));
         assert!(d.render().contains("1.500x"));
+    }
+
+    #[test]
+    fn matrix_drift_is_reported_not_swallowed() {
+        let prev = snap(
+            1.0,
+            &[("a", 1.0, 1.0), ("gone", 9.9, 1.0), ("also-gone", 2.0, 1.0)],
+        );
+        let cur = snap(1.0, &[("a", 1.5, 1.0), ("new", 1.0, 1.0)]);
+        let d = SweepDelta::between("single", &prev, &cur);
+        assert_eq!(d.added, vec!["new".to_string()]);
+        assert_eq!(d.removed, vec!["gone".to_string(), "also-gone".to_string()]);
+        let rendered = d.render();
+        assert!(
+            rendered.contains("1 matched, 1 added, 2 removed"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("+ new (not in baseline)"), "{rendered}");
+        assert!(rendered.contains("- gone (baseline only)"), "{rendered}");
+        let json = d.to_json();
+        assert!(json.contains("\"added\":[\"new\"]"), "{json}");
+        assert!(
+            json.contains("\"removed\":[\"gone\",\"also-gone\"]"),
+            "{json}"
+        );
+        // The embedded fragment must stay parseable by the bench's own
+        // json reader (the compare section lands inside BENCH_*.json).
+        assert!(parse(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn identical_matrices_render_without_drift_lines() {
+        let prev = snap(1.0, &[("a", 1.0, 1.0)]);
+        let cur = snap(0.9, &[("a", 1.1, 1.0)]);
+        let d = SweepDelta::between("single", &prev, &cur);
+        assert!(d.added.is_empty() && d.removed.is_empty());
+        assert!(!d.render().contains("matrix changed"));
+        assert!(d.to_json().contains("\"added\":[],\"removed\":[]"));
     }
 }

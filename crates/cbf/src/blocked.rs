@@ -175,12 +175,14 @@ impl BlockedCbf {
     }
 }
 
-impl AccessCounter for BlockedCbf {
-    fn increment(&mut self, key: u64) -> u32 {
-        self.increment_with_prev(key).1
-    }
-
-    fn increment_with_prev(&mut self, key: u64) -> (u32, u32) {
+impl BlockedCbf {
+    /// Word-level scalar implementation of
+    /// [`AccessCounter::increment_with_prev`]: per-probe shift/mask
+    /// extraction over the loaded block. This is the default hot path; with
+    /// the `simd` feature it stays compiled as the equivalence reference the
+    /// property suite pins the wide kernels against.
+    #[doc(hidden)]
+    pub fn increment_with_prev_scalar(&mut self, key: u64) -> (u32, u32) {
         let block = self.fill_slots(key);
         let base = block * self.slots_per_block;
         let width = self.counters.width();
@@ -205,7 +207,10 @@ impl AccessCounter for BlockedCbf {
         (min, min + 1)
     }
 
-    fn estimate(&self, key: u64) -> u32 {
+    /// Word-level scalar implementation of [`AccessCounter::estimate`]
+    /// (see [`increment_with_prev_scalar`](Self::increment_with_prev_scalar)).
+    #[doc(hidden)]
+    pub fn estimate_scalar(&self, key: u64) -> u32 {
         let (h1, h2) = self.hasher.pair(key);
         let base = reduce(h1, self.num_blocks) * self.slots_per_block;
         let width = self.counters.width();
@@ -219,6 +224,67 @@ impl AccessCounter for BlockedCbf {
             })
             .min()
             .expect("k > 0")
+    }
+
+    /// Wide-kernel implementation of
+    /// [`AccessCounter::increment_with_prev`]: probe masks + packed-lane
+    /// min/equality over the whole block (see [`crate::simd`]). Bit-identical
+    /// to the scalar path; the `simd` feature makes it the hot path.
+    #[doc(hidden)]
+    pub fn increment_with_prev_simd(&mut self, key: u64) -> (u32, u32) {
+        let block = self.fill_slots(key);
+        let base = block * self.slots_per_block;
+        let width = self.counters.width();
+        let sel = crate::simd::probe_masks(width, self.slot_scratch.iter().copied());
+        let mut words = self.counters.load_block(base);
+        let min = crate::simd::min_probed(width, &words, &sel);
+        if min >= width.max_count() {
+            return (min, min);
+        }
+        crate::simd::bump_eq(width, &mut words, &sel, min);
+        self.counters.store_block(base, words);
+        (min, min + 1)
+    }
+
+    /// Wide-kernel implementation of [`AccessCounter::estimate`]
+    /// (see [`increment_with_prev_simd`](Self::increment_with_prev_simd)).
+    #[doc(hidden)]
+    pub fn estimate_simd(&self, key: u64) -> u32 {
+        let (h1, h2) = self.hasher.pair(key);
+        let base = reduce(h1, self.num_blocks) * self.slots_per_block;
+        let width = self.counters.width();
+        let sel = crate::simd::probe_masks(
+            width,
+            (1..=self.k as u64)
+                .map(|i| reduce(h1.wrapping_add(i.wrapping_mul(h2)), self.slots_per_block)),
+        );
+        crate::simd::min_probed(width, self.counters.block_ref(base), &sel)
+    }
+}
+
+impl AccessCounter for BlockedCbf {
+    fn increment(&mut self, key: u64) -> u32 {
+        self.increment_with_prev(key).1
+    }
+
+    #[cfg(not(feature = "simd"))]
+    fn increment_with_prev(&mut self, key: u64) -> (u32, u32) {
+        self.increment_with_prev_scalar(key)
+    }
+
+    #[cfg(feature = "simd")]
+    fn increment_with_prev(&mut self, key: u64) -> (u32, u32) {
+        self.increment_with_prev_simd(key)
+    }
+
+    #[cfg(not(feature = "simd"))]
+    fn estimate(&self, key: u64) -> u32 {
+        self.estimate_scalar(key)
+    }
+
+    #[cfg(feature = "simd")]
+    fn estimate(&self, key: u64) -> u32 {
+        self.estimate_simd(key)
     }
 
     fn increment_batch(&mut self, keys: &[u64], out: &mut Vec<u32>) {

@@ -43,6 +43,16 @@
 //! same-block batch entries keep their input order. The `cbf_properties`
 //! test suite pins each of these equivalences under random op sequences.
 //!
+//! # The `simd` feature
+//!
+//! With `--features simd`, [`BlockedCbf`]'s `GET`/`INCREMENT` (and through
+//! them the block-sorted batch operations) run on the wide kernels of the
+//! [`simd`] module: AVX2 packed-lane min/equality over the whole block where
+//! the CPU supports it (runtime-detected), and a portable u64-SWAR fallback
+//! everywhere else. Both are bit-identical to the scalar path, which stays
+//! compiled as the property-test reference
+//! ([`BlockedCbf::increment_with_prev_scalar`]).
+//!
 //! # Example
 //!
 //! ```
@@ -66,6 +76,7 @@ mod blocked;
 mod counters;
 mod ground_truth;
 mod hash;
+pub mod simd;
 mod sizing;
 mod standard;
 

@@ -1,0 +1,407 @@
+//! Wide kernels for the blocked CBF's fused GET/INCREMENT.
+//!
+//! A blocked-CBF operation works on one 64-byte [`CounterBlock`] (8×`u64`)
+//! and `k` probed counter slots inside it. The scalar path extracts each
+//! probed counter with an indexed shift/mask ([`CounterWidth::get_in_words`]).
+//! The kernels here instead treat the whole block as a vector:
+//!
+//! 1. [`probe_masks`] turns the probed slots into **per-word field masks**
+//!    (the counter field's bits set for every probed slot in that word).
+//!    Duplicate slots OR into the same field — the natural dedup that keeps
+//!    the wide conservative update identical to the sequential scalar one,
+//!    where a duplicate's second visit sees `min + 1` and skips.
+//! 2. [`min_probed`] computes the minimum over the probed fields by masking
+//!    every *unprobed* field to the saturation cap (`word | !mask`) and
+//!    min-reducing the whole block with packed-lane compares.
+//! 3. [`bump_eq`] adds one to every probed field equal to that minimum with
+//!    packed-lane equality compares — the conservative-update write pass.
+//!
+//! Two implementations back the dispatching entry points:
+//!
+//! * **AVX2** (`core::arch::x86_64`, runtime-detected): the block is two
+//!   256-bit registers; nibble/byte/word lanes are reduced with
+//!   `min_epu8`/`min_epu16` and updated with `cmpeq`+`add`.
+//! * **Portable u64 SWAR**: each word is split into two double-width lane
+//!   planes (a 4-bit counter gets an 8-bit lane, and so on), giving every
+//!   lane a spare high bit so unsigned per-lane min/equality work with the
+//!   classic biased-subtract tricks. Works on any architecture.
+//!
+//! Both are **bit-identical** to the scalar reference — the probed-field
+//! minimum is the same multiset minimum, and exactly the distinct probed
+//! fields equal to it get `+1` (`cbf_properties::simd_kernels_match_scalar`
+//! pins this under randomized keys, widths, and slot patterns). The `simd`
+//! cargo feature switches [`BlockedCbf`](crate::BlockedCbf)'s hot path onto
+//! these kernels; without it they are compiled but unused by the filter.
+
+use crate::counters::{CounterBlock, CounterWidth, WORDS_PER_LINE};
+
+/// Builds per-word probe masks for `slots`: for each probed in-block slot,
+/// the full counter field (`width.max_count() << shift`) is set in the word
+/// holding that slot. Duplicate slots merge into one field.
+#[inline]
+pub fn probe_masks<I: IntoIterator<Item = usize>>(width: CounterWidth, slots: I) -> CounterBlock {
+    let per_word = width.counters_per_word();
+    let bits = width.bits();
+    let cap = width.max_count() as u64;
+    let mut sel = [0u64; WORDS_PER_LINE];
+    for s in slots {
+        sel[s / per_word] |= cap << ((s % per_word) as u32 * bits);
+    }
+    sel
+}
+
+/// Minimum over the probed counter fields of `words` (masks from
+/// [`probe_masks`]; at least one field must be probed).
+///
+/// Dispatches to AVX2 when available, otherwise the portable SWAR kernel.
+#[inline]
+pub fn min_probed(width: CounterWidth, words: &CounterBlock, sel: &CounterBlock) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2::available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { avx2::min_probed(width, words, sel) };
+    }
+    min_probed_swar(width, words, sel)
+}
+
+/// Adds one to every probed field of `words` whose value equals `min`
+/// (the conservative-update write pass; caller guarantees
+/// `min < width.max_count()`).
+#[inline]
+pub fn bump_eq(width: CounterWidth, words: &mut CounterBlock, sel: &CounterBlock, min: u32) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2::available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { avx2::bump_eq(width, words, sel, min) };
+        return;
+    }
+    bump_eq_swar(width, words, sel, min);
+}
+
+/// Portable SWAR [`min_probed`] (public so property tests can pin it even
+/// on machines where the AVX2 path would win the dispatch).
+#[inline]
+pub fn min_probed_swar(width: CounterWidth, words: &CounterBlock, sel: &CounterBlock) -> u32 {
+    match width {
+        CounterWidth::W4 => swar::min_probed::<4>(words, sel),
+        CounterWidth::W8 => swar::min_probed::<8>(words, sel),
+        CounterWidth::W16 => swar::min_probed::<16>(words, sel),
+    }
+}
+
+/// Portable SWAR [`bump_eq`] (see [`min_probed_swar`]).
+#[inline]
+pub fn bump_eq_swar(width: CounterWidth, words: &mut CounterBlock, sel: &CounterBlock, min: u32) {
+    match width {
+        CounterWidth::W4 => swar::bump_eq::<4>(words, sel, min),
+        CounterWidth::W8 => swar::bump_eq::<8>(words, sel, min),
+        CounterWidth::W16 => swar::bump_eq::<16>(words, sel, min),
+    }
+}
+
+/// Whether the AVX2 kernels back the dispatching entry points on this host.
+#[inline]
+pub fn avx2_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        avx2::available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Portable word-parallel kernels. Counters of `BITS` bits are widened into
+/// `2·BITS`-bit lanes (two interleaved planes per word), so every lane has a
+/// spare high bit and the biased-subtract tricks for unsigned per-lane
+/// comparison cannot borrow across lanes.
+mod swar {
+    use super::{CounterBlock, WORDS_PER_LINE};
+
+    /// Replicates `pattern` every `lane` bits across a u64.
+    #[inline]
+    const fn rep(pattern: u64, lane: u32) -> u64 {
+        let mut v = 0u64;
+        let mut i = 0;
+        while i < 64 {
+            v |= pattern << i;
+            i += lane;
+        }
+        v
+    }
+
+    /// Per-lane unsigned min of `a` and `b` for `l`-bit lanes whose values
+    /// all stay below the lane's bias bit `1 << (l - 1)`.
+    #[inline]
+    fn lane_min(a: u64, b: u64, l: u32, bias: u64) -> u64 {
+        // a|bias == a + bias (a < bias), minus b cannot borrow across lanes.
+        let d = (a | bias).wrapping_sub(b);
+        // Bias bit survives iff a >= b; spread it to a full-lane mask.
+        let ge01 = (d & bias) >> (l - 1);
+        let ge_mask = ge01.wrapping_mul((1u64 << (l - 1) << 1).wrapping_sub(1));
+        (b & ge_mask) | (a & !ge_mask)
+    }
+
+    pub fn min_probed<const BITS: u32>(words: &CounterBlock, sel: &CounterBlock) -> u32 {
+        let l = 2 * BITS;
+        let cap = (1u64 << BITS) - 1;
+        let plane = rep(cap, l); // low half of every lane
+        let bias = rep(1 << (l - 1), l);
+        // Accumulators start at the cap, the largest possible field value.
+        let mut lo_acc = rep(cap, l);
+        let mut hi_acc = lo_acc;
+        for w in 0..WORDS_PER_LINE {
+            if sel[w] == 0 {
+                continue; // no probed field in this word
+            }
+            // Unprobed fields read as the cap, so they never beat a probed one.
+            let m = words[w] | !sel[w];
+            lo_acc = lane_min(lo_acc, m & plane, l, bias);
+            hi_acc = lane_min(hi_acc, (m >> BITS) & plane, l, bias);
+        }
+        let acc = lane_min(lo_acc, hi_acc, l, bias);
+        let mut min = cap;
+        let mut i = 0;
+        while i < 64 {
+            min = min.min((acc >> i) & cap);
+            i += l;
+        }
+        min as u32
+    }
+
+    pub fn bump_eq<const BITS: u32>(words: &mut CounterBlock, sel: &CounterBlock, min: u32) {
+        let l = 2 * BITS;
+        let cap = (1u64 << BITS) - 1;
+        let plane = rep(cap, l);
+        let bias = rep(1 << (l - 1), l);
+        let one = rep(1, l);
+        let bmin = rep(min as u64, l);
+        for w in 0..WORDS_PER_LINE {
+            if sel[w] == 0 {
+                continue;
+            }
+            let v = words[w];
+            let d_lo = (v & plane) ^ bmin;
+            let d_hi = ((v >> BITS) & plane) ^ bmin;
+            // bias - d keeps the bias bit iff d == 0 (d < bias per lane).
+            let eq01_lo = (bias.wrapping_sub(d_lo) & bias) >> (l - 1);
+            let eq01_hi = (bias.wrapping_sub(d_hi) & bias) >> (l - 1);
+            // Probed-field indicators at the lane LSB (the cap is odd).
+            let sel01_lo = sel[w] & one;
+            let sel01_hi = (sel[w] >> BITS) & one;
+            let inc_lo = eq01_lo & sel01_lo;
+            let inc_hi = eq01_hi & sel01_hi;
+            // Equal fields are < cap, so +1 never carries across a field.
+            words[w] = v.wrapping_add(inc_lo).wrapping_add(inc_hi << BITS);
+        }
+    }
+}
+
+/// AVX2 kernels: the block is two 256-bit registers; packed-lane min /
+/// equality do the probe extraction and conservative update without the
+/// scalar per-probe loop.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{CounterBlock, CounterWidth};
+    use core::arch::x86_64::*;
+
+    #[inline]
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    #[inline]
+    unsafe fn load(block: &CounterBlock) -> (__m256i, __m256i) {
+        let p = block.as_ptr() as *const __m256i;
+        (_mm256_loadu_si256(p), _mm256_loadu_si256(p.add(1)))
+    }
+
+    /// Horizontal min of the 16 byte lanes of `m` (values ≤ 255), via the
+    /// pairwise fold into 16-bit lanes + `phminposuw`. `_mm_srli_si128`
+    /// alone would shift zero bytes in and corrupt the min.
+    #[inline]
+    unsafe fn hmin_epu8(m: __m128i) -> u32 {
+        let pairs = _mm_min_epu8(m, _mm_srli_epi16(m, 8));
+        let words16 = _mm_and_si128(pairs, _mm_set1_epi16(0x00FF));
+        (_mm_cvtsi128_si32(_mm_minpos_epu16(words16)) as u32) & 0xFFFF
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_probed(width: CounterWidth, words: &CounterBlock, sel: &CounterBlock) -> u32 {
+        let (v0, v1) = load(words);
+        let (s0, s1) = load(sel);
+        let ones = _mm256_set1_epi8(-1);
+        // Unprobed fields read as all-ones (the cap).
+        let m0 = _mm256_or_si256(v0, _mm256_xor_si256(s0, ones));
+        let m1 = _mm256_or_si256(v1, _mm256_xor_si256(s1, ones));
+        match width {
+            CounterWidth::W4 => {
+                let low4 = _mm256_set1_epi8(0x0F);
+                // Per byte: min(low nibble, high nibble); every byte stays a
+                // valid candidate (unprobed nibbles are the cap 0x0F).
+                let a = _mm256_min_epu8(
+                    _mm256_and_si256(m0, low4),
+                    _mm256_and_si256(_mm256_srli_epi16(m0, 4), low4),
+                );
+                let b = _mm256_min_epu8(
+                    _mm256_and_si256(m1, low4),
+                    _mm256_and_si256(_mm256_srli_epi16(m1, 4), low4),
+                );
+                let m = _mm256_min_epu8(a, b);
+                let m128 = _mm_min_epu8(_mm256_castsi256_si128(m), _mm256_extracti128_si256(m, 1));
+                hmin_epu8(m128)
+            }
+            CounterWidth::W8 => {
+                let m = _mm256_min_epu8(m0, m1);
+                let m128 = _mm_min_epu8(_mm256_castsi256_si128(m), _mm256_extracti128_si256(m, 1));
+                hmin_epu8(m128)
+            }
+            CounterWidth::W16 => {
+                let m = _mm256_min_epu16(m0, m1);
+                let m128 = _mm_min_epu16(_mm256_castsi256_si128(m), _mm256_extracti128_si256(m, 1));
+                (_mm_cvtsi128_si32(_mm_minpos_epu16(m128)) as u32) & 0xFFFF
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn bump_eq(
+        width: CounterWidth,
+        words: &mut CounterBlock,
+        sel: &CounterBlock,
+        min: u32,
+    ) {
+        let (v0, v1) = load(words);
+        let (s0, s1) = load(sel);
+        let (n0, n1) = match width {
+            CounterWidth::W4 => {
+                let low4 = _mm256_set1_epi8(0x0F);
+                let bmin = _mm256_set1_epi8(min as i8); // min ≤ 14
+                let one_lo = _mm256_set1_epi8(0x01);
+                let one_hi = _mm256_set1_epi8(0x10);
+                let bump = |v: __m256i, s: __m256i| {
+                    let lo = _mm256_and_si256(v, low4);
+                    let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low4);
+                    // +1 at the nibble's LSB where equal-to-min AND probed
+                    // (the probe mask has 0x0F / 0xF0 at probed nibbles).
+                    let inc_lo =
+                        _mm256_and_si256(_mm256_and_si256(_mm256_cmpeq_epi8(lo, bmin), s), one_lo);
+                    let inc_hi =
+                        _mm256_and_si256(_mm256_and_si256(_mm256_cmpeq_epi8(hi, bmin), s), one_hi);
+                    // Equal nibbles are < 15, so neither add can carry.
+                    _mm256_add_epi8(v, _mm256_or_si256(inc_lo, inc_hi))
+                };
+                (bump(v0, s0), bump(v1, s1))
+            }
+            CounterWidth::W8 => {
+                let bmin = _mm256_set1_epi8(min as i8);
+                let one = _mm256_set1_epi8(0x01);
+                let bump = |v: __m256i, s: __m256i| {
+                    let inc =
+                        _mm256_and_si256(_mm256_and_si256(_mm256_cmpeq_epi8(v, bmin), s), one);
+                    _mm256_add_epi8(v, inc)
+                };
+                (bump(v0, s0), bump(v1, s1))
+            }
+            CounterWidth::W16 => {
+                let bmin = _mm256_set1_epi16(min as i16);
+                let one = _mm256_set1_epi16(1);
+                let bump = |v: __m256i, s: __m256i| {
+                    let inc =
+                        _mm256_and_si256(_mm256_and_si256(_mm256_cmpeq_epi16(v, bmin), s), one);
+                    _mm256_add_epi16(v, inc)
+                };
+                (bump(v0, s0), bump(v1, s1))
+            }
+        };
+        let p = words.as_mut_ptr() as *mut __m256i;
+        _mm256_storeu_si256(p, n0);
+        _mm256_storeu_si256(p.add(1), n1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::splitmix64;
+
+    /// Scalar reference for the kernels, straight off `get_in_words`.
+    fn scalar_min(width: CounterWidth, words: &CounterBlock, slots: &[usize]) -> u32 {
+        slots
+            .iter()
+            .map(|&s| width.get_in_words(words, s))
+            .min()
+            .unwrap()
+    }
+
+    fn scalar_bump(width: CounterWidth, words: &mut CounterBlock, slots: &[usize], min: u32) {
+        for &s in slots {
+            if width.get_in_words(words, s) == min {
+                width.set_in_words(words, s, min + 1);
+            }
+        }
+    }
+
+    fn random_case(width: CounterWidth, state: &mut u64) -> (CounterBlock, Vec<usize>) {
+        let mut words = [0u64; WORDS_PER_LINE];
+        for w in &mut words {
+            *state = splitmix64(*state);
+            *w = *state;
+        }
+        *state = splitmix64(*state);
+        let k = 1 + (*state as usize % 8);
+        let slots: Vec<usize> = (0..k)
+            .map(|_| {
+                *state = splitmix64(*state);
+                *state as usize % width.counters_per_line()
+            })
+            .collect();
+        (words, slots)
+    }
+
+    #[test]
+    fn kernels_match_scalar_on_random_blocks() {
+        let mut state = 0xD1CEu64;
+        for width in [CounterWidth::W4, CounterWidth::W8, CounterWidth::W16] {
+            for _ in 0..2_000 {
+                let (words, slots) = random_case(width, &mut state);
+                let sel = probe_masks(width, slots.iter().copied());
+                let want_min = scalar_min(width, &words, &slots);
+                assert_eq!(
+                    min_probed_swar(width, &words, &sel),
+                    want_min,
+                    "{width} swar"
+                );
+                assert_eq!(
+                    min_probed(width, &words, &sel),
+                    want_min,
+                    "{width} dispatch"
+                );
+                if want_min < width.max_count() {
+                    let mut want = words;
+                    scalar_bump(width, &mut want, &slots, want_min);
+                    let mut got_swar = words;
+                    bump_eq_swar(width, &mut got_swar, &sel, want_min);
+                    assert_eq!(got_swar, want, "{width} swar bump");
+                    let mut got = words;
+                    bump_eq(width, &mut got, &sel, want_min);
+                    assert_eq!(got, want, "{width} dispatch bump");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_slots_bump_once() {
+        for width in [CounterWidth::W4, CounterWidth::W8, CounterWidth::W16] {
+            let words = [0u64; WORDS_PER_LINE];
+            let slots = [3usize, 3, 3];
+            let sel = probe_masks(width, slots.iter().copied());
+            assert_eq!(min_probed(width, &words, &sel), 0);
+            let mut got = words;
+            bump_eq(width, &mut got, &sel, 0);
+            assert_eq!(width.get_in_words(&got, 3), 1, "{width}: one bump only");
+        }
+    }
+}

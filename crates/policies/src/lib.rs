@@ -70,6 +70,6 @@ pub use histogram::HotnessHistogram;
 pub use hybridtier::{HybridTierConfig, HybridTierPolicy, MigrationDecision, TrackerLayout};
 pub use list_set::ListSet;
 pub use memtis::{MemtisConfig, MemtisPolicy};
-pub use policy::{build_policy, PolicyCtx, PolicyKind, TieringPolicy};
+pub use policy::{build_policy, visit_policy, PolicyCtx, PolicyKind, PolicyVisitor, TieringPolicy};
 pub use tpp::{TppConfig, TppPolicy};
 pub use twoq::TwoQPolicy;

@@ -197,33 +197,59 @@ impl PolicyKind {
     }
 }
 
-/// Builds a policy with the crate's default (scaled) parameters for the
-/// given tier configuration.
-pub fn build_policy(kind: PolicyKind, cfg: &TierConfig) -> Box<dyn TieringPolicy> {
+/// Receiver for [`visit_policy`]: `visit` is called with the *concretely
+/// typed* policy for a [`PolicyKind`], so a caller generic over
+/// [`TieringPolicy`] is monomorphized for it. The engine's typed pipeline
+/// uses this to resolve policy dispatch once per run instead of once per
+/// batched virtual call; [`build_policy`] is the type-erasing special case.
+pub trait PolicyVisitor {
+    /// The visit result.
+    type Out;
+    /// Called with the built policy (same construction as [`build_policy`]).
+    fn visit<P: TieringPolicy + 'static>(self, policy: P) -> Self::Out;
+}
+
+/// Builds the policy for `kind` with the crate's default (scaled) parameters
+/// and passes it, concretely typed, to `visitor` — the dispatch-once
+/// counterpart of [`build_policy`].
+pub fn visit_policy<V: PolicyVisitor>(kind: PolicyKind, cfg: &TierConfig, visitor: V) -> V::Out {
     use crate::{
         AllFastPolicy, ArcPolicy, AutoNumaPolicy, FirstTouchPolicy, HybridTierConfig,
         HybridTierPolicy, MemtisPolicy, TppPolicy, TwoQPolicy,
     };
     match kind {
         PolicyKind::HybridTier => {
-            Box::new(HybridTierPolicy::new(HybridTierConfig::scaled(cfg), cfg))
+            visitor.visit(HybridTierPolicy::new(HybridTierConfig::scaled(cfg), cfg))
         }
         PolicyKind::HybridTierFreqOnly => {
             let c = HybridTierConfig::scaled(cfg).without_momentum();
-            Box::new(HybridTierPolicy::new(c, cfg))
+            visitor.visit(HybridTierPolicy::new(c, cfg))
         }
         PolicyKind::HybridTierUnblocked => {
             let c = HybridTierConfig::scaled(cfg).with_layout(crate::TrackerLayout::Standard);
-            Box::new(HybridTierPolicy::new(c, cfg))
+            visitor.visit(HybridTierPolicy::new(c, cfg))
         }
-        PolicyKind::Memtis => Box::new(MemtisPolicy::new(Default::default(), cfg)),
-        PolicyKind::AutoNuma => Box::new(AutoNumaPolicy::new(Default::default(), cfg)),
-        PolicyKind::Tpp => Box::new(TppPolicy::new(Default::default(), cfg)),
-        PolicyKind::Arc => Box::new(ArcPolicy::new(cfg)),
-        PolicyKind::TwoQ => Box::new(TwoQPolicy::new(cfg)),
-        PolicyKind::AllFast => Box::new(AllFastPolicy::new()),
-        PolicyKind::FirstTouch => Box::new(FirstTouchPolicy::new()),
+        PolicyKind::Memtis => visitor.visit(MemtisPolicy::new(Default::default(), cfg)),
+        PolicyKind::AutoNuma => visitor.visit(AutoNumaPolicy::new(Default::default(), cfg)),
+        PolicyKind::Tpp => visitor.visit(TppPolicy::new(Default::default(), cfg)),
+        PolicyKind::Arc => visitor.visit(ArcPolicy::new(cfg)),
+        PolicyKind::TwoQ => visitor.visit(TwoQPolicy::new(cfg)),
+        PolicyKind::AllFast => visitor.visit(AllFastPolicy::new()),
+        PolicyKind::FirstTouch => visitor.visit(FirstTouchPolicy::new()),
     }
+}
+
+/// Builds a policy with the crate's default (scaled) parameters for the
+/// given tier configuration.
+pub fn build_policy(kind: PolicyKind, cfg: &TierConfig) -> Box<dyn TieringPolicy> {
+    struct BoxIt;
+    impl PolicyVisitor for BoxIt {
+        type Out = Box<dyn TieringPolicy>;
+        fn visit<P: TieringPolicy + 'static>(self, policy: P) -> Self::Out {
+            Box::new(policy)
+        }
+    }
+    visit_policy(kind, cfg, BoxIt)
 }
 
 #[cfg(test)]

@@ -25,17 +25,22 @@
 //! distributed-sweep merge layer.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tiering_mem::{TierConfig, TierRatio};
-use tiering_policies::{build_policy, ObjectiveKind, PolicyKind, TieringPolicy};
+use tiering_policies::{
+    build_policy, visit_policy, ObjectiveKind, PolicyKind, PolicyVisitor, TieringPolicy,
+};
 use tiering_sim::{
-    ChurnSchedule, Engine, MultiTenantConfig, MultiTenantEngine, MultiTenantReport, SimConfig,
-    SimReport, TenantRun,
+    merge_captured, CapturedRun, ChurnSchedule, Engine, MultiTenantConfig, MultiTenantEngine,
+    MultiTenantReport, SimConfig, SimReport, TenantRun,
 };
 use tiering_trace::Workload;
-use tiering_workloads::{build_workload, WorkloadId, ZipfPageWorkload};
+use tiering_workloads::{
+    build_workload, visit_workload, WorkloadId, WorkloadVisitor, ZipfPageWorkload,
+};
 
 use crate::derive_seed;
 
@@ -664,11 +669,8 @@ impl Scenario {
                 policy,
                 tier,
             } => {
-                let mut w = workload.build(self.seed);
-                let pages = w.footprint_pages(self.config.page_size);
-                let tier_cfg = Self::tier_config(tier, &self.config, pages);
-                let mut p = policy.build(&tier_cfg);
-                let report = Engine::new(self.config.clone()).run(w.as_mut(), p.as_mut(), tier_cfg);
+                let report =
+                    run_single_captured(workload, policy, tier, &self.config, self.seed).report;
                 ScenarioResult {
                     label: self.label.clone(),
                     workload: workload.label(),
@@ -779,6 +781,186 @@ impl Scenario {
                 }
             }
         }
+    }
+
+    /// Whether this scenario can be split into contiguous op-range chunks
+    /// for intra-scenario parallelism: a `Single` recipe with a finite op
+    /// cap, no simulated-time cap, and no whole-run observers (cache
+    /// simulation, hotness probes) — those cannot be cut at an op boundary.
+    /// [`run_chunked`](Scenario::run_chunked) falls back to an ordinary
+    /// [`run`](Scenario::run) for everything else.
+    pub fn chunkable(&self) -> bool {
+        matches!(self.kind, ScenarioKind::Single { .. })
+            && self.config.max_ops != u64::MAX
+            && self.config.max_sim_ns == u64::MAX
+            && self.config.cache.is_none()
+            && !self.config.count_probe
+            && self.config.retention_probe.is_none()
+    }
+
+    /// The deterministic chunk plan for splitting this scenario's
+    /// `max_ops` budget `chunks` ways: near-equal contiguous op ranges
+    /// (the remainder goes to the first chunks, one op each), never more
+    /// chunks than ops. The plan depends only on `(max_ops, chunks)` —
+    /// never on thread counts or the host — so a chunked run is as
+    /// reproducible as a serial one.
+    pub fn chunk_plan(&self, chunks: usize) -> Vec<u64> {
+        let total = self.config.max_ops;
+        let n = (chunks as u64).clamp(1, total.max(1));
+        let (base, rem) = (total / n, total % n);
+        (0..n).map(|c| base + u64::from(c < rem)).collect()
+    }
+
+    /// Runs the scenario split into `chunks` deterministic op-range chunks
+    /// executed by up to `workers` threads, reducing the per-chunk results
+    /// in chunk order ([`merge_captured`]).
+    ///
+    /// Each chunk is an independent engine run: its own workload instance
+    /// (seeded by [`derive_seed`](crate::derive_seed) from the scenario
+    /// seed and the chunk index), its own policy, its own tiered memory.
+    /// The chunk plan is therefore **part of the recipe** — a chunked run
+    /// is a different (equally deterministic) experiment than the
+    /// unchunked run of the same scenario — but for a fixed `chunks` the
+    /// result is byte-identical for *any* `workers`, on any host: worker
+    /// threads only decide where a chunk executes, never what it is, and
+    /// the reduction is position-ordered. `chunks <= 1` or a
+    /// non-[`chunkable`](Scenario::chunkable) scenario falls back to an
+    /// ordinary [`run`](Scenario::run), byte-identical to calling it
+    /// directly.
+    pub fn run_chunked(&self, chunks: usize, workers: usize) -> ScenarioResult {
+        if chunks <= 1 || !self.chunkable() {
+            return self.run();
+        }
+        let start = Instant::now();
+        let ScenarioKind::Single {
+            workload,
+            policy,
+            tier,
+        } = &self.kind
+        else {
+            unreachable!("chunkable() admits Single scenarios only");
+        };
+        let plan = self.chunk_plan(chunks);
+        let slots: Vec<Mutex<Option<CapturedRun>>> =
+            plan.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = workers.clamp(1, plan.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= plan.len() {
+                        break;
+                    }
+                    let mut config = self.config.clone();
+                    config.max_ops = plan[c];
+                    let seed = derive_seed(self.seed, c as u64);
+                    let run = run_single_captured(workload, policy, tier, &config, seed);
+                    *slots[c].lock().expect("chunk slot poisoned") = Some(run);
+                });
+            }
+        });
+        let runs: Vec<CapturedRun> = slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("chunk slot poisoned")
+                    .expect("chunk slot never filled")
+            })
+            .collect();
+        ScenarioResult {
+            label: self.label.clone(),
+            workload: workload.label(),
+            policy: policy.label(),
+            tier: tier.label(),
+            seed: self.seed,
+            wall: start.elapsed(),
+            report: merge_captured(&runs),
+            multi: None,
+        }
+    }
+}
+
+/// One single-application run, as a [`CapturedRun`] (the report plus the
+/// raw aggregates the chunked reduction needs).
+///
+/// Suite workload + standard policy: resolve both identifiers to concrete
+/// types once, so the whole run executes the monomorphized pipeline
+/// (`Engine::run_typed_captured`). Custom specs only hand out boxed trait
+/// objects, so they take the dyn instantiation of the same pipeline;
+/// either way the report is byte-identical (see `typed_path_equals_dyn` in
+/// the sim crate's integration tests).
+fn run_single_captured(
+    workload: &WorkloadSpec,
+    policy: &PolicySpec,
+    tier: &TierSpec,
+    config: &SimConfig,
+    seed: u64,
+) -> CapturedRun {
+    match (workload, policy) {
+        (WorkloadSpec::Suite(id), PolicySpec::Kind(kind)) => visit_workload(
+            *id,
+            seed,
+            TypedSingle {
+                config,
+                tier,
+                kind: *kind,
+            },
+        ),
+        _ => {
+            let mut w = workload.build(seed);
+            let pages = w.footprint_pages(config.page_size);
+            let tier_cfg = Scenario::tier_config(tier, config, pages);
+            let mut p = policy.build(&tier_cfg);
+            Engine::new(config.clone()).run_captured(w.as_mut(), p.as_mut(), tier_cfg)
+        }
+    }
+}
+
+/// Double-dispatch glue for the monomorphized single-scenario path: the
+/// workload visitor resolves the generator type, sizes the tiers from its
+/// footprint, then hands off to the policy visitor, which resolves the
+/// policy type and runs [`Engine::run_typed_captured`]. Only these two
+/// small shells are instantiated per (workload, policy) type pair — the
+/// heavy pipeline stages are generic in at most one of the two, so the
+/// instantiation count stays additive, not multiplicative.
+struct TypedSingle<'a> {
+    config: &'a SimConfig,
+    tier: &'a TierSpec,
+    kind: PolicyKind,
+}
+
+impl WorkloadVisitor for TypedSingle<'_> {
+    type Out = CapturedRun;
+    fn visit<W: Workload + 'static>(self, mut workload: W) -> CapturedRun {
+        let pages = workload.footprint_pages(self.config.page_size);
+        let tier_cfg = Scenario::tier_config(self.tier, self.config, pages);
+        visit_policy(
+            self.kind,
+            &tier_cfg,
+            TypedSingleWithWorkload {
+                config: self.config,
+                tier_cfg,
+                workload: &mut workload,
+            },
+        )
+    }
+}
+
+struct TypedSingleWithWorkload<'a, W: Workload> {
+    config: &'a SimConfig,
+    tier_cfg: TierConfig,
+    workload: &'a mut W,
+}
+
+impl<W: Workload> PolicyVisitor for TypedSingleWithWorkload<'_, W> {
+    type Out = CapturedRun;
+    fn visit<P: TieringPolicy + 'static>(self, mut policy: P) -> CapturedRun {
+        Engine::new(self.config.clone()).run_typed_captured(
+            self.workload,
+            &mut policy,
+            self.tier_cfg,
+        )
     }
 }
 

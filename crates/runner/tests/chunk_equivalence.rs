@@ -1,0 +1,123 @@
+//! The intra-scenario parallelism contract: the chunk *plan* is part of
+//! the recipe, the worker *threads* are not. For a fixed chunk count, a
+//! chunked run produces byte-identical results on one worker or many; for
+//! chunk count 1 (or a non-chunkable scenario) `run_chunked` is exactly
+//! `run`.
+
+use tiering_mem::TierRatio;
+use tiering_policies::PolicyKind;
+use tiering_runner::{Scenario, ScenarioMatrix, SweepRunner};
+use tiering_sim::SimConfig;
+use tiering_workloads::WorkloadId;
+
+fn scenario(max_ops: u64) -> Scenario {
+    Scenario::suite(
+        WorkloadId::CdnCacheLib,
+        PolicyKind::HybridTier,
+        TierRatio::OneTo8,
+        &SimConfig::default().with_max_ops(max_ops),
+        0xC4A9_07F3,
+    )
+}
+
+#[test]
+fn chunk_plan_partitions_the_op_budget() {
+    let s = scenario(10_007);
+    let plan = s.chunk_plan(4);
+    assert_eq!(plan.len(), 4);
+    assert_eq!(plan.iter().sum::<u64>(), 10_007);
+    // Near-equal: remainder spread one op at a time over the first chunks.
+    assert_eq!(plan, vec![2_502, 2_502, 2_502, 2_501]);
+    // Never more chunks than ops; never zero chunks.
+    assert_eq!(s.chunk_plan(0).iter().sum::<u64>(), 10_007);
+    assert_eq!(scenario(3).chunk_plan(8), vec![1, 1, 1]);
+}
+
+/// The core guarantee: same plan, any worker count → identical results.
+#[test]
+fn same_plan_is_worker_count_invariant() {
+    let s = scenario(12_000);
+    let one_worker = s.run_chunked(4, 1);
+    let many_workers = s.run_chunked(4, 4);
+    let excess_workers = s.run_chunked(4, 16);
+    assert!(one_worker.same_outcome(&many_workers), "1 vs 4 workers");
+    assert!(one_worker.same_outcome(&excess_workers), "1 vs 16 workers");
+    assert_eq!(one_worker.fingerprint(), many_workers.fingerprint());
+    assert_eq!(one_worker.report.ops, 12_000, "merged ops cover the budget");
+    let window_ops: u64 = one_worker.report.timeline.iter().map(|p| p.ops).sum();
+    assert_eq!(window_ops, 12_000, "merged timeline covers every op");
+    assert!(one_worker
+        .report
+        .timeline
+        .windows(2)
+        .all(|w| w[0].t_ns < w[1].t_ns));
+}
+
+/// Different plans are different recipes — deliberately so.
+#[test]
+fn chunk_count_is_part_of_the_recipe() {
+    let s = scenario(12_000);
+    let two = s.run_chunked(2, 2);
+    let four = s.run_chunked(4, 2);
+    assert_eq!(two.report.ops, four.report.ops);
+    assert_ne!(
+        two.fingerprint(),
+        four.fingerprint(),
+        "chunk plans seed independent streams, outcomes must differ"
+    );
+}
+
+#[test]
+fn one_chunk_falls_back_to_plain_run() {
+    let s = scenario(5_000);
+    assert!(s.chunkable());
+    let plain = s.run();
+    assert!(s.run_chunked(1, 8).same_outcome(&plain));
+    assert!(s.run_chunked(0, 8).same_outcome(&plain));
+}
+
+#[test]
+fn non_chunkable_scenarios_run_whole() {
+    // Unbounded op budget: nothing to partition.
+    let unbounded = scenario(u64::MAX);
+    assert!(!unbounded.chunkable());
+    // Probe-enabled config: whole-run observer.
+    let mut probed = scenario(4_000);
+    probed.config.count_probe = true;
+    assert!(!probed.chunkable());
+    assert!(probed.run_chunked(4, 4).same_outcome(&probed.run()));
+    // Multi-tenant kinds run whole too.
+    let demo = Scenario::wakeup_demo(&SimConfig::default().with_max_sim_ns(5_000_000), 3);
+    assert!(!demo.chunkable());
+    let whole = demo.run_chunked(4, 4);
+    assert!(whole.multi.is_some(), "fell back to the co-location engine");
+}
+
+/// The sweep-level knob: chunked sweeps are deterministic across outer
+/// thread counts, and chunking composes with result-order preservation.
+#[test]
+fn sweep_with_intra_scenario_threads_is_deterministic() {
+    let matrix = || {
+        ScenarioMatrix::new(SimConfig::default().with_max_ops(6_000), 0xA5F0_5EED)
+            .workloads([WorkloadId::CdnCacheLib, WorkloadId::Silo])
+            .policies([PolicyKind::HybridTier, PolicyKind::FirstTouch])
+            .ratios([TierRatio::OneTo8])
+            .build()
+    };
+    let serial_outer = SweepRunner::serial()
+        .with_intra_scenario_threads(3)
+        .run(matrix());
+    let parallel_outer = SweepRunner::new(4)
+        .with_intra_scenario_threads(3)
+        .run(matrix());
+    assert!(serial_outer.same_outcomes(&parallel_outer));
+    assert_eq!(serial_outer.results.len(), 4);
+    for (r, unchunked) in serial_outer
+        .results
+        .iter()
+        .zip(SweepRunner::serial().run(matrix()).results.iter())
+    {
+        assert_eq!(r.label, unchunked.label, "input order preserved");
+        assert_eq!(r.report.ops, unchunked.report.ops, "same op budget");
+    }
+}

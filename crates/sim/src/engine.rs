@@ -5,6 +5,7 @@ use tiering_mem::{LatencyModel, PageSize, TierConfig};
 use tiering_policies::TieringPolicy;
 use tiering_trace::{AccessBatch, Workload};
 
+use crate::chunk::CapturedRun;
 use crate::hotness::RetentionConfig;
 use crate::pipeline::Pipeline;
 use crate::report::SimReport;
@@ -195,6 +196,64 @@ impl Engine {
         policy: &mut dyn TieringPolicy,
         tier_cfg: TierConfig,
     ) -> SimReport {
+        self.run_typed(workload, policy, tier_cfg)
+    }
+
+    /// [`run`](Engine::run), monomorphized for the concrete workload and
+    /// policy types.
+    ///
+    /// Both entry points execute the *same* generic pipeline —
+    /// [`run`](Engine::run) merely instantiates it with `W = dyn Workload, P = dyn
+    /// TieringPolicy` — so for identical inputs the two produce
+    /// byte-identical reports (asserted across the full suite×policy matrix
+    /// by the `batch_equivalence` integration tests). The typed
+    /// instantiation lets the compiler inline `fill_batch` into the pull
+    /// stage and the batched policy callbacks into the policy stage, which
+    /// is worth a double-digit percentage of sweep wall time. Sweep drivers
+    /// resolve `(WorkloadId, PolicyKind)` to concrete types once per
+    /// scenario via the `visit_workload`/`visit_policy` dispatchers in the
+    /// workload and policy crates and then call this.
+    pub fn run_typed<W, P>(
+        &self,
+        workload: &mut W,
+        policy: &mut P,
+        tier_cfg: TierConfig,
+    ) -> SimReport
+    where
+        W: Workload + ?Sized,
+        P: TieringPolicy + ?Sized,
+    {
+        self.run_with_batch(workload, policy, tier_cfg, self.config.batch_ops.max(1))
+            .report
+    }
+
+    /// [`run`](Engine::run), also yielding the raw aggregates the chunked
+    /// reduction needs ([`merge_captured`](crate::merge_captured)): the
+    /// whole-run latency histogram and the exact fast-hit count. The report
+    /// inside is byte-identical to what `run` returns; the capture costs
+    /// nothing (the pipeline owns both anyway).
+    pub fn run_captured(
+        &self,
+        workload: &mut dyn Workload,
+        policy: &mut dyn TieringPolicy,
+        tier_cfg: TierConfig,
+    ) -> CapturedRun {
+        self.run_typed_captured(workload, policy, tier_cfg)
+    }
+
+    /// [`run_captured`](Engine::run_captured), monomorphized for the
+    /// concrete workload and policy types (see
+    /// [`run_typed`](Engine::run_typed)).
+    pub fn run_typed_captured<W, P>(
+        &self,
+        workload: &mut W,
+        policy: &mut P,
+        tier_cfg: TierConfig,
+    ) -> CapturedRun
+    where
+        W: Workload + ?Sized,
+        P: TieringPolicy + ?Sized,
+    {
         self.run_with_batch(workload, policy, tier_cfg, self.config.batch_ops.max(1))
     }
 
@@ -206,16 +265,20 @@ impl Engine {
         policy: &mut dyn TieringPolicy,
         tier_cfg: TierConfig,
     ) -> SimReport {
-        self.run_with_batch(workload, policy, tier_cfg, 1)
+        self.run_with_batch(workload, policy, tier_cfg, 1).report
     }
 
-    fn run_with_batch(
+    fn run_with_batch<W, P>(
         &self,
-        workload: &mut dyn Workload,
-        policy: &mut dyn TieringPolicy,
+        workload: &mut W,
+        policy: &mut P,
         tier_cfg: TierConfig,
         batch_ops: usize,
-    ) -> SimReport {
+    ) -> CapturedRun
+    where
+        W: Workload + ?Sized,
+        P: TieringPolicy + ?Sized,
+    {
         let mut pipeline = Pipeline::new(&self.config, tier_cfg, policy);
         let mut batch = AccessBatch::with_capacity(batch_ops, batch_ops * 4);
         'run: while !pipeline.done() {
@@ -229,7 +292,7 @@ impl Engine {
                 }
             }
         }
-        pipeline.finish(workload.name(), policy)
+        pipeline.finish_captured(workload.name(), policy)
     }
 }
 

@@ -29,6 +29,9 @@
 //!   (pull → access → policy → migrate → account over
 //!   [`AccessBatch`](tiering_trace::AccessBatch)es; provably
 //!   batch-size-invariant).
+//! * `chunk` — [`CapturedRun`] / [`merge_captured`]: order-preserving
+//!   reduction of a run split into contiguous op-range chunks (the
+//!   substrate of the runner's intra-scenario parallelism).
 //! * `multi_tenant` — [`MultiTenantEngine`]: N tenants over one shared
 //!   fast tier under the §7 global controller, with churn
 //!   ([`ChurnSchedule`]) and round-based rebalancing.
@@ -44,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 mod adaptation;
+mod chunk;
 mod engine;
 mod histo;
 mod hotness;
@@ -53,6 +57,7 @@ mod prefetch;
 mod report;
 
 pub use adaptation::{adaptation_time_ns, steady_state_p50};
+pub use chunk::{merge_captured, CapturedRun};
 pub use engine::{CacheSimOptions, Engine, SimConfig};
 pub use histo::LogHistogram;
 pub use hotness::{CountDistribution, RetentionConfig, RetentionProbe, COUNT_BUCKET_LABELS};

@@ -468,7 +468,7 @@ impl MultiTenantEngine {
         let mut names = Vec::with_capacity(lanes.len());
         let mut policies = Vec::with_capacity(lanes.len());
         for (i, lane) in lanes.into_iter().enumerate() {
-            merged_hist.merge(lane.pipeline.hist());
+            merged_hist.merge(&lane.pipeline.hist());
             let final_fast_used = lane.pipeline.mem().fast_used();
             let report = lane
                 .pipeline

@@ -94,10 +94,10 @@ pub(crate) struct Pipeline<'c> {
 }
 
 impl<'c> Pipeline<'c> {
-    pub(crate) fn new(
+    pub(crate) fn new<P: TieringPolicy + ?Sized>(
         cfg: &'c SimConfig,
         tier_cfg: TierConfig,
-        policy: &dyn TieringPolicy,
+        policy: &P,
     ) -> Self {
         let hier = cfg.cache.map(|c| CacheHierarchy::new(c.l1, c.llc));
         // Dedicated metadata cache: the tiering thread's 32 KiB L1 plus a
@@ -185,9 +185,14 @@ impl<'c> Pipeline<'c> {
     }
 
     /// The whole-run latency histogram accumulated so far (merged across
-    /// tenants for the co-location aggregate report).
-    pub(crate) fn hist(&self) -> &LogHistogram {
-        &self.global_hist
+    /// tenants for the co-location aggregate report): the flushed windows
+    /// plus the in-flight partial window. Bucket merge is commutative
+    /// addition, so this equals what per-op recording into one histogram
+    /// would hold.
+    pub(crate) fn hist(&self) -> LogHistogram {
+        let mut h = self.global_hist.clone();
+        h.merge(&self.window_hist);
+        h
     }
 
     /// Stage 1 — pull: refills `batch` from the workload and derives its
@@ -196,9 +201,9 @@ impl<'c> Pipeline<'c> {
     ///
     /// `max_ops` is the configured batch size; the pull degrades to a single
     /// op whenever the workload's output may depend on the current clock.
-    pub(crate) fn stage_pull(
+    pub(crate) fn stage_pull<W: Workload + ?Sized>(
         &mut self,
-        workload: &mut dyn Workload,
+        workload: &mut W,
         batch: &mut AccessBatch,
         max_ops: usize,
     ) -> bool {
@@ -222,9 +227,9 @@ impl<'c> Pipeline<'c> {
     ///
     /// Panics if the workload emitted an address outside its declared
     /// footprint (a workload bug worth failing loudly on).
-    pub(crate) fn stage_op(
+    pub(crate) fn stage_op<P: TieringPolicy + ?Sized>(
         &mut self,
-        policy: &mut dyn TieringPolicy,
+        policy: &mut P,
         batch: &AccessBatch,
         idx: usize,
     ) {
@@ -359,7 +364,7 @@ impl<'c> Pipeline<'c> {
     /// Stage 3 — policy: deliver the burst's fault pages and samples in two
     /// batched virtual calls. Returns fault-service nanoseconds charged to
     /// the op.
-    fn policy_stage(&mut self, policy: &mut dyn TieringPolicy) -> u64 {
+    fn policy_stage<P: TieringPolicy + ?Sized>(&mut self, policy: &mut P) -> u64 {
         let mut hook_ns = 0;
         if self.wants_hook && !self.fault_buf.is_empty() {
             hook_ns =
@@ -373,7 +378,7 @@ impl<'c> Pipeline<'c> {
 
     /// Stage 4 — migrate: the policy's periodic maintenance tick (promotion
     /// flushes, cooling, watermark demotion scans).
-    fn migrate_stage(&mut self, policy: &mut dyn TieringPolicy) {
+    fn migrate_stage<P: TieringPolicy + ?Sized>(&mut self, policy: &mut P) {
         if self.now_ns >= self.next_tick {
             policy.on_tick(self.now_ns, &mut self.mem, &mut self.ctx);
             self.next_tick = self.now_ns + self.cfg.tick_interval_ns;
@@ -422,7 +427,9 @@ impl<'c> Pipeline<'c> {
     fn advance(&mut self, op_ns: u64) {
         self.now_ns += op_ns.max(1);
         self.ops += 1;
-        self.global_hist.record(op_ns);
+        // One bucket update per op: the whole-run histogram absorbs each
+        // window wholesale at flush time (addition commutes, so the final
+        // counts are identical to recording into both).
         self.window_hist.record(op_ns);
 
         while self.now_ns >= self.window_end {
@@ -455,13 +462,30 @@ impl<'c> Pipeline<'c> {
                 });
                 self.last_cache_stats = s;
             }
+            self.global_hist.merge(&self.window_hist);
             self.window_hist.clear();
             self.window_end += self.cfg.window_ns;
         }
     }
 
     /// Seals the run into a [`SimReport`].
-    pub(crate) fn finish(mut self, workload_name: &str, policy: &dyn TieringPolicy) -> SimReport {
+    pub(crate) fn finish<P: TieringPolicy + ?Sized>(
+        self,
+        workload_name: &str,
+        policy: &P,
+    ) -> SimReport {
+        self.finish_captured(workload_name, policy).report
+    }
+
+    /// [`finish`](Pipeline::finish), also yielding the raw aggregates the
+    /// chunked-run reduction needs (the whole-run histogram and the exact
+    /// fast-hit count — see the [`chunk`](crate::merge_captured) module).
+    /// The report inside is byte-identical to what `finish` returns.
+    pub(crate) fn finish_captured<P: TieringPolicy + ?Sized>(
+        mut self,
+        workload_name: &str,
+        policy: &P,
+    ) -> crate::chunk::CapturedRun {
         // Final partial window.
         if self.window_hist.count() > 0 {
             self.timeline.push(TimelinePoint {
@@ -471,9 +495,10 @@ impl<'c> Pipeline<'c> {
                 ops: self.window_hist.count(),
             });
         }
+        self.global_hist.merge(&self.window_hist);
 
         let untouched = self.tier_cfg.address_space_pages - self.mem.mapped_pages();
-        SimReport {
+        let report = SimReport {
             workload: workload_name.to_string(),
             policy: policy.name().to_string(),
             ops: self.ops,
@@ -497,6 +522,7 @@ impl<'c> Pipeline<'c> {
                 None
             },
             retention: self.retention.map(|r| r.finish(self.now_ns)),
-        }
+        };
+        crate::chunk::CapturedRun::new(report, self.global_hist, self.fast_hits)
     }
 }

@@ -40,17 +40,27 @@ impl StreamPrefetcher {
 
     /// Observes an access; returns `true` if it continues a tracked stream
     /// (i.e. the hardware would have prefetched it).
+    ///
+    /// The scan is branchless over all heads (a lane-wise match mask, then
+    /// first-set-bit) rather than an early-exit loop: random accesses — the
+    /// dominant case in cache workloads — miss every head, so the full scan
+    /// is paid either way, and the flag-accumulating form lets the compiler
+    /// vectorize it. Only the *first* matching head is updated, exactly as
+    /// the sequential loop did, so the head state and every return value
+    /// are identical.
     #[inline]
     pub fn observe(&mut self, addr: u64) -> bool {
         let line = addr >> 6;
-        for h in &mut self.heads {
-            let head = *h;
+        let mut mask = 0u32;
+        for (i, &head) in self.heads.iter().enumerate() {
             // Same line, the next line, or one-line skip (stride-2 within a
             // page) all count as stream continuation; descending too.
-            if line.wrapping_sub(head) <= 2 || head.wrapping_sub(line) == 1 {
-                *h = line;
-                return true;
-            }
+            let matched = line.wrapping_sub(head) <= 2 || head.wrapping_sub(line) == 1;
+            mask |= (matched as u32) << i;
+        }
+        if mask != 0 {
+            self.heads[mask.trailing_zeros() as usize] = line;
+            return true;
         }
         // New potential stream: install.
         self.heads[self.cursor] = line;

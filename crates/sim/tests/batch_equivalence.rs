@@ -7,10 +7,12 @@
 //! independent of simulated time — and these tests pin the construction.
 
 use tiering_mem::{PageSize, TierConfig, TierRatio};
-use tiering_policies::{build_policy, PolicyKind};
+use tiering_policies::{build_policy, visit_policy, PolicyKind, PolicyVisitor, TieringPolicy};
 use tiering_sim::{Engine, SimConfig, SimReport};
 use tiering_trace::Workload;
-use tiering_workloads::{build_workload, WorkloadId, ZipfPageWorkload};
+use tiering_workloads::{
+    build_workload, visit_workload, WorkloadId, WorkloadVisitor, ZipfPageWorkload,
+};
 
 /// Field-by-field assertion so a regression names the diverging field
 /// instead of dumping two full reports.
@@ -165,6 +167,83 @@ fn direct_soa_fill_equals_staged_fill() {
             Engine::new(SimConfig::default().with_max_ops(25_000)).run(w, policy.as_mut(), tier_cfg)
         };
         assert_reports_identical(&run(false), &run(true), &format!("{id:?} staged-vs-direct"));
+    }
+}
+
+/// All ten buildable policies, typed-dispatch matrix order.
+const ALL_POLICIES: [PolicyKind; 10] = [
+    PolicyKind::HybridTier,
+    PolicyKind::HybridTierFreqOnly,
+    PolicyKind::HybridTierUnblocked,
+    PolicyKind::Memtis,
+    PolicyKind::AutoNuma,
+    PolicyKind::Tpp,
+    PolicyKind::Arc,
+    PolicyKind::TwoQ,
+    PolicyKind::AllFast,
+    PolicyKind::FirstTouch,
+];
+
+/// Runs `(id, kind)` through `Engine::run_typed` with both the workload and
+/// the policy resolved to their concrete types via the dispatch-once
+/// visitors — exactly the route the sweep runner takes for suite scenarios.
+fn run_fully_typed(id: WorkloadId, kind: PolicyKind, seed: u64, config: &SimConfig) -> SimReport {
+    struct TypedRun<'a> {
+        kind: PolicyKind,
+        config: &'a SimConfig,
+    }
+    impl WorkloadVisitor for TypedRun<'_> {
+        type Out = SimReport;
+        fn visit<W: Workload + 'static>(self, mut w: W) -> SimReport {
+            let pages = w.footprint_pages(PageSize::Base4K);
+            let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+            struct WithWorkload<'a, W: Workload> {
+                config: &'a SimConfig,
+                tier_cfg: TierConfig,
+                w: &'a mut W,
+            }
+            impl<W: Workload> PolicyVisitor for WithWorkload<'_, W> {
+                type Out = SimReport;
+                fn visit<P: TieringPolicy + 'static>(self, mut p: P) -> SimReport {
+                    Engine::new(self.config.clone()).run_typed(self.w, &mut p, self.tier_cfg)
+                }
+            }
+            visit_policy(
+                self.kind,
+                &tier_cfg,
+                WithWorkload {
+                    config: self.config,
+                    tier_cfg,
+                    w: &mut w,
+                },
+            )
+        }
+    }
+    visit_workload(id, seed, TypedRun { kind, config })
+}
+
+/// The monomorphized entry point against the dyn one, across the **full**
+/// suite × policy matrix with identical seeds: `run_typed` with concrete
+/// types and `run` with trait objects are instantiations of the same
+/// generic pipeline, so every report must match byte for byte.
+#[test]
+fn typed_path_equals_dyn_across_full_matrix() {
+    const SEED: u64 = 0xA5F0_5EED;
+    for id in WorkloadId::ALL {
+        for kind in ALL_POLICIES {
+            let config = SimConfig::default().with_max_ops(2_000);
+            let typed = run_fully_typed(id, kind, SEED, &config);
+            let mut w = build_workload(id, SEED);
+            let pages = w.footprint_pages(PageSize::Base4K);
+            let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+            let mut p = build_policy(kind, &tier_cfg);
+            let dyn_report = Engine::new(config).run(w.as_mut(), p.as_mut(), tier_cfg);
+            assert_reports_identical(
+                &dyn_report,
+                &typed,
+                &format!("{id:?}/{kind:?} typed-vs-dyn"),
+            );
+        }
     }
 }
 

@@ -6,6 +6,9 @@
 //! §2.2). Each GET touches the cache index plus every page of the object;
 //! SETs additionally write the object.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -147,6 +150,77 @@ impl CacheLibConfig {
     }
 }
 
+/// One object's heap placement: byte offset and size packed in a single
+/// 16-byte-stride record, so the per-op lookup touches one cache line
+/// instead of two parallel arrays.
+#[derive(Debug, Clone, Copy)]
+struct ObjectSlot {
+    offset: u64,
+    size: u32,
+}
+
+/// The size-mixture draw and slab layout for one config. Immutable after
+/// construction and fully determined by `(objects, small_size, large_size,
+/// large_frac, seed)`, so sweep scenarios share one build process-wide —
+/// same pattern as the Zipf CDF memo in [`crate::zipf`]. The cached slots
+/// are the very values a fresh build would produce, so sharing is invisible
+/// to results.
+#[derive(Debug)]
+struct ObjectTable {
+    slots: Vec<ObjectSlot>,
+    /// Total heap bytes (`Σ size`), i.e. the slab-heap allocation.
+    heap_bytes: u64,
+}
+
+impl ObjectTable {
+    fn build(config: &CacheLibConfig) -> Self {
+        let mut size_rng = SmallRng::seed_from_u64(config.seed ^ 0x5153);
+        let mut slots = Vec::with_capacity(config.objects);
+        let mut cursor = 0u64;
+        for _ in 0..config.objects {
+            let size = if size_rng.gen::<f64>() < config.large_frac {
+                config.large_size
+            } else {
+                config.small_size
+            } as u32;
+            slots.push(ObjectSlot {
+                offset: cursor,
+                size,
+            });
+            cursor += size as u64;
+        }
+        Self {
+            slots,
+            heap_bytes: cursor,
+        }
+    }
+
+    fn shared(config: &CacheLibConfig) -> Arc<Self> {
+        type Key = (usize, u64, u64, u64, u64);
+        static CACHE: OnceLock<Mutex<HashMap<Key, Arc<ObjectTable>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (
+            config.objects,
+            config.small_size,
+            config.large_size,
+            config.large_frac.to_bits(),
+            config.seed,
+        );
+        if let Some(t) = cache.lock().expect("object table cache poisoned").get(&key) {
+            return Arc::clone(t);
+        }
+        // Build outside the lock (racing builds are identical; last insert
+        // wins).
+        let table = Arc::new(Self::build(config));
+        cache
+            .lock()
+            .expect("object table cache poisoned")
+            .entry(key)
+            .or_insert(table)
+            .clone()
+    }
+}
+
 /// The CacheLib workload generator.
 #[derive(Debug)]
 pub struct CacheLibWorkload {
@@ -158,10 +232,8 @@ pub struct CacheLibWorkload {
     shift_rng: SmallRng,
     index: Region,
     heap: Region,
-    /// Byte offset of each object within `heap`.
-    object_offset: Vec<u64>,
-    /// Size of each object.
-    object_size: Vec<u32>,
+    /// Heap placement of each object (shared across same-config instances).
+    table: Arc<ObjectTable>,
     footprint: u64,
     ops_done: u64,
     next_shift: usize,
@@ -172,24 +244,11 @@ impl CacheLibWorkload {
     /// Builds the workload: draws object sizes, lays out the slab heap and
     /// the index, and initializes popularity.
     pub fn new(config: CacheLibConfig) -> Self {
-        let mut size_rng = SmallRng::seed_from_u64(config.seed ^ 0x5153);
-        let mut object_offset = Vec::with_capacity(config.objects);
-        let mut object_size = Vec::with_capacity(config.objects);
-        let mut cursor = 0u64;
-        for _ in 0..config.objects {
-            let size = if size_rng.gen::<f64>() < config.large_frac {
-                config.large_size
-            } else {
-                config.small_size
-            } as u32;
-            object_offset.push(cursor);
-            object_size.push(size);
-            cursor += size as u64;
-        }
+        let table = ObjectTable::shared(&config);
         let mut layout = LayoutBuilder::new();
         // Index: 16 B/object hash-table entries, like CacheLib's item table.
         let index = layout.alloc(config.objects as u64 * 16);
-        let heap = layout.alloc(cursor);
+        let heap = layout.alloc(table.heap_bytes);
         let footprint = layout.total_bytes();
         Self {
             zipf: ShiftableZipf::shuffled_from_seed(
@@ -201,8 +260,7 @@ impl CacheLibWorkload {
             shift_rng: SmallRng::seed_from_u64(config.seed ^ 0xC0FF_EE00),
             index,
             heap,
-            object_offset,
-            object_size,
+            table,
             footprint,
             ops_done: 0,
             next_shift: 0,
@@ -249,8 +307,9 @@ impl Workload for CacheLibWorkload {
         out.push(Access::read(self.index.elem(obj as u64, 16)));
 
         // Object body: one access per 4 KiB page the object spans.
-        let start = self.object_offset[obj];
-        let size = self.object_size[obj] as u64;
+        let slot = self.table.slots[obj];
+        let start = slot.offset;
+        let size = slot.size as u64;
         let mut off = start;
         let end = start + size;
         while off < end {
@@ -306,8 +365,9 @@ impl Workload for CacheLibWorkload {
 
             let start = batch.open_op();
             batch.push_access(Access::read(self.index.elem(obj as u64, 16)));
-            let first = self.object_offset[obj];
-            let size = self.object_size[obj] as u64;
+            let slot = self.table.slots[obj];
+            let first = slot.offset;
+            let size = slot.size as u64;
             let mut off = first;
             let end = first + size;
             while off < end {
@@ -351,7 +411,8 @@ mod tests {
         let expect_min = 2_000 * 4096;
         assert!(w.footprint_bytes() > expect_min as u64);
         // Every object lies inside the heap region.
-        let last = w.object_offset[1999] + w.object_size[1999] as u64;
+        let slot = w.table.slots[1999];
+        let last = slot.offset + slot.size as u64;
         assert!(last <= w.heap.bytes());
     }
 

@@ -40,7 +40,7 @@ pub use gap::{BfsWorkload, CcWorkload, Graph, GraphKind, PrWorkload};
 pub use layout::{LayoutBuilder, Region};
 pub use silo::{SiloConfig, SiloWorkload};
 pub use spec::{BwavesWorkload, RomsWorkload};
-pub use suite::{build_workload, WorkloadId};
+pub use suite::{build_workload, visit_workload, WorkloadId, WorkloadVisitor};
 pub use synthetic::{PulseWorkload, SequentialScanWorkload, ZipfPageWorkload};
 pub use xgboost::{XgboostConfig, XgboostWorkload};
 pub use zipf::{ShiftableZipf, ZipfDistribution};

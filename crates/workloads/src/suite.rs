@@ -89,9 +89,95 @@ const GAP_SCALE: u32 = 17;
 const GAP_EDGE_FACTOR: u32 = 16;
 
 fn gap_graph(kind: GraphKind, seed: u64) -> Graph {
-    match kind {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    // Generation (RMAT/uniform sampling, vertex permutation, CSR sort)
+    // dominates GAP suite construction and is deterministic in
+    // `(kind, seed)` at the fixed suite scale, so build each graph once
+    // process-wide and hand out clones — a plain memcpy of the CSR arrays,
+    // bit-identical to a fresh build.
+    static CACHE: OnceLock<Mutex<HashMap<(GraphKind, u64), Graph>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(g) = cache
+        .lock()
+        .expect("gap graph cache poisoned")
+        .get(&(kind, seed))
+    {
+        return g.clone();
+    }
+    // Build outside the lock (racing builds are identical; last insert
+    // wins).
+    let g = match kind {
         GraphKind::Kronecker => Graph::kronecker(GAP_SCALE, GAP_EDGE_FACTOR, seed),
         GraphKind::UniformRandom => Graph::uniform(GAP_SCALE, GAP_EDGE_FACTOR, seed),
+    };
+    cache
+        .lock()
+        .expect("gap graph cache poisoned")
+        .entry((kind, seed))
+        .or_insert(g)
+        .clone()
+}
+
+/// Receiver for [`visit_workload`]: `visit` is called with the *concretely
+/// typed* generator for a [`WorkloadId`], so a caller generic over
+/// [`Workload`] is monomorphized for it. The engine's typed pipeline uses
+/// this to inline `fill_batch` into the pull stage instead of making a
+/// virtual call per batch; [`build_workload`] is the type-erasing special
+/// case, so both paths construct byte-identical generators.
+pub trait WorkloadVisitor {
+    /// The visit result.
+    type Out;
+    /// Called with the built generator (same construction as
+    /// [`build_workload`]).
+    fn visit<W: Workload + 'static>(self, workload: W) -> Self::Out;
+}
+
+/// Builds the workload for `id` with the suite's default scaled parameters
+/// and passes it, concretely typed, to `visitor` — the dispatch-once
+/// counterpart of [`build_workload`].
+pub fn visit_workload<V: WorkloadVisitor>(id: WorkloadId, seed: u64, visitor: V) -> V::Out {
+    match id {
+        WorkloadId::CdnCacheLib => {
+            visitor.visit(CacheLibWorkload::new(CacheLibConfig::cdn().with_seed(seed)))
+        }
+        WorkloadId::SocialCacheLib => visitor.visit(CacheLibWorkload::new(
+            CacheLibConfig::social_graph().with_seed(seed),
+        )),
+        WorkloadId::BfsKron => visitor.visit(BfsWorkload::new(
+            gap_graph(GraphKind::Kronecker, seed),
+            4,
+            seed ^ 1,
+        )),
+        WorkloadId::BfsUniform => visitor.visit(BfsWorkload::new(
+            gap_graph(GraphKind::UniformRandom, seed),
+            4,
+            seed ^ 1,
+        )),
+        WorkloadId::CcKron => {
+            visitor.visit(CcWorkload::new(gap_graph(GraphKind::Kronecker, seed), 6))
+        }
+        WorkloadId::CcUniform => visitor.visit(CcWorkload::new(
+            gap_graph(GraphKind::UniformRandom, seed),
+            6,
+        )),
+        WorkloadId::PrKron => {
+            visitor.visit(PrWorkload::new(gap_graph(GraphKind::Kronecker, seed), 6))
+        }
+        WorkloadId::PrUniform => visitor.visit(PrWorkload::new(
+            gap_graph(GraphKind::UniformRandom, seed),
+            6,
+        )),
+        WorkloadId::Bwaves => visitor.visit(BwavesWorkload::new(96 << 20, 6)),
+        WorkloadId::Roms => visitor.visit(RomsWorkload::new(1 << 20, 48, 4)),
+        WorkloadId::Silo => visitor.visit(SiloWorkload::new(SiloConfig {
+            seed,
+            ..SiloConfig::default()
+        })),
+        WorkloadId::Xgboost => visitor.visit(XgboostWorkload::new(XgboostConfig {
+            seed,
+            ..XgboostConfig::default()
+        })),
     }
 }
 
@@ -100,44 +186,14 @@ fn gap_graph(kind: GraphKind, seed: u64) -> Graph {
 /// Every generator is deterministic in `seed`, so policy comparisons can run
 /// each policy against an identical access stream.
 pub fn build_workload(id: WorkloadId, seed: u64) -> Box<dyn Workload> {
-    match id {
-        WorkloadId::CdnCacheLib => {
-            Box::new(CacheLibWorkload::new(CacheLibConfig::cdn().with_seed(seed)))
+    struct BoxIt;
+    impl WorkloadVisitor for BoxIt {
+        type Out = Box<dyn Workload>;
+        fn visit<W: Workload + 'static>(self, workload: W) -> Self::Out {
+            Box::new(workload)
         }
-        WorkloadId::SocialCacheLib => Box::new(CacheLibWorkload::new(
-            CacheLibConfig::social_graph().with_seed(seed),
-        )),
-        WorkloadId::BfsKron => Box::new(BfsWorkload::new(
-            gap_graph(GraphKind::Kronecker, seed),
-            4,
-            seed ^ 1,
-        )),
-        WorkloadId::BfsUniform => Box::new(BfsWorkload::new(
-            gap_graph(GraphKind::UniformRandom, seed),
-            4,
-            seed ^ 1,
-        )),
-        WorkloadId::CcKron => Box::new(CcWorkload::new(gap_graph(GraphKind::Kronecker, seed), 6)),
-        WorkloadId::CcUniform => Box::new(CcWorkload::new(
-            gap_graph(GraphKind::UniformRandom, seed),
-            6,
-        )),
-        WorkloadId::PrKron => Box::new(PrWorkload::new(gap_graph(GraphKind::Kronecker, seed), 6)),
-        WorkloadId::PrUniform => Box::new(PrWorkload::new(
-            gap_graph(GraphKind::UniformRandom, seed),
-            6,
-        )),
-        WorkloadId::Bwaves => Box::new(BwavesWorkload::new(96 << 20, 6)),
-        WorkloadId::Roms => Box::new(RomsWorkload::new(1 << 20, 48, 4)),
-        WorkloadId::Silo => Box::new(SiloWorkload::new(SiloConfig {
-            seed,
-            ..SiloConfig::default()
-        })),
-        WorkloadId::Xgboost => Box::new(XgboostWorkload::new(XgboostConfig {
-            seed,
-            ..XgboostConfig::default()
-        })),
     }
+    visit_workload(id, seed, BoxIt)
 }
 
 #[cfg(test)]

@@ -5,12 +5,28 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::{Rng, SeedableRng};
 
-/// Fan-out of the quantile index accelerating
+/// Bounds on the quantile-index fan-out accelerating
 /// [`ZipfDistribution::sample_rank`]: `u`'s top bits select a precomputed
 /// rank range, and the binary search runs only inside it. Pure search
 /// pruning — the returned rank is identical to a whole-table
-/// `partition_point`.
-const QUANTILE_BUCKETS: usize = 256;
+/// `partition_point` for *any* fan-out, so the count is a tuning knob.
+///
+/// The fan-out scales with the table ([`quantile_buckets`]) to keep the
+/// residual search within ~2 CDF entries — one or two cache lines — even
+/// for tables that outgrow the LLC: the 220k-item social-graph CDF is
+/// 1.7 MiB, and at the old fixed 4096-bucket fan-out every draw walked a
+/// ~54-entry (seven-line) cold subrange, which dominated that workload's
+/// generation cost. The index itself stays ≤ 256 KiB per memoized table.
+const MIN_QUANTILE_BUCKETS: usize = 4096;
+const MAX_QUANTILE_BUCKETS: usize = 65_536;
+
+/// Quantile-index fan-out for an `n`-entry CDF: the next power of two
+/// above `n/2` (≈2 entries per bucket), clamped to the module bounds.
+fn quantile_buckets(n: usize) -> usize {
+    (n / 2)
+        .next_power_of_two()
+        .clamp(MIN_QUANTILE_BUCKETS, MAX_QUANTILE_BUCKETS)
+}
 
 /// Memo-cache type: one entry per distinct `(n, θ-bits)` / `(n, seed)`.
 type MemoCache<T> = OnceLock<Mutex<HashMap<(usize, u64), Arc<T>>>>;
@@ -20,7 +36,9 @@ type MemoCache<T> = OnceLock<Mutex<HashMap<(usize, u64), Arc<T>>>>;
 #[derive(Debug)]
 struct ZipfTable {
     cdf: Vec<f64>,
-    /// `bucket[j]` = `partition_point` of `j / QUANTILE_BUCKETS` over `cdf`
+    /// Quantile-index fan-out for this table ([`quantile_buckets`]).
+    buckets: usize,
+    /// `bucket_start[j]` = `partition_point` of `j / buckets` over `cdf`
     /// (one extra trailing entry pinning the end of the last bucket).
     bucket_start: Vec<u32>,
 }
@@ -39,13 +57,18 @@ impl ZipfTable {
         }
         // Guard against floating-point residue keeping the last entry < 1.
         *cdf.last_mut().expect("n > 0") = 1.0;
-        let bucket_start = (0..=QUANTILE_BUCKETS)
+        let buckets = quantile_buckets(n);
+        let bucket_start = (0..=buckets)
             .map(|j| {
-                let u = j as f64 / QUANTILE_BUCKETS as f64;
+                let u = j as f64 / buckets as f64;
                 cdf.partition_point(|&c| c < u) as u32
             })
             .collect();
-        Self { cdf, bucket_start }
+        Self {
+            cdf,
+            buckets,
+            bucket_start,
+        }
     }
 }
 
@@ -83,8 +106,8 @@ fn table_for(n: usize, theta: f64) -> Arc<ZipfTable> {
 ///
 /// The CDF is immutable and memoized process-wide by `(n, θ)` — see
 /// `table_for` in this module — so repeated scenario builds in a sweep pay the `powf`
-/// pass once, and a 256-way quantile index narrows each draw's binary
-/// search. Neither changes any sampled rank.
+/// pass once, and a size-scaled quantile index (see `quantile_buckets`)
+/// narrows each draw's binary search. Neither changes any sampled rank.
 #[derive(Debug, Clone)]
 pub struct ZipfDistribution {
     table: Arc<ZipfTable>,
@@ -131,7 +154,8 @@ impl ZipfDistribution {
     #[inline]
     fn rank_for(&self, u: f64) -> usize {
         let cdf = &self.table.cdf;
-        let j = ((u * QUANTILE_BUCKETS as f64) as usize).min(QUANTILE_BUCKETS - 1);
+        let buckets = self.table.buckets;
+        let j = ((u * buckets as f64) as usize).min(buckets - 1);
         let lo = self.table.bucket_start[j] as usize;
         let hi = self.table.bucket_start[j + 1] as usize;
         let p = lo + cdf[lo..hi].partition_point(|&c| c < u);
@@ -297,7 +321,9 @@ mod tests {
 
     /// The quantile-indexed rank lookup must agree with a plain
     /// `partition_point` over the full CDF for every `u`, including bucket
-    /// boundaries — the invariant that keeps the index a pure accelerator.
+    /// boundaries — the invariant that keeps the index a pure accelerator
+    /// at every fan-out the size scaling produces (the chosen `n`s cover
+    /// the clamp floor, the scaling region, and the clamp ceiling).
     #[test]
     fn quantile_index_matches_full_partition_point() {
         for &(n, theta) in &[
@@ -306,15 +332,18 @@ mod tests {
             (50, 0.0),
             (1000, 0.99),
             (9973, 1.2),
+            (30_000, 0.9),
+            (220_000, 0.9),
         ] {
             let d = ZipfDistribution::new(n, theta);
             let cdf = &d.table.cdf;
+            let buckets = d.table.buckets;
             let check = |u: f64| {
                 let want = cdf.partition_point(|&c| c < u).min(n - 1);
                 assert_eq!(d.rank_for(u), want, "n={n} theta={theta} u={u}");
             };
-            for i in 0..=(4 * QUANTILE_BUCKETS) {
-                check(i as f64 / (4 * QUANTILE_BUCKETS) as f64);
+            for i in 0..=(4 * buckets) {
+                check(i as f64 / (4 * buckets) as f64);
             }
             // Values straddling every CDF entry.
             for &c in cdf.iter().take(n.min(500)) {
@@ -323,6 +352,16 @@ mod tests {
                 check((c + 1e-12).min(1.0));
             }
         }
+    }
+
+    /// The fan-out scaling: ~2 entries per bucket, clamped.
+    #[test]
+    fn quantile_bucket_scaling() {
+        assert_eq!(quantile_buckets(1), MIN_QUANTILE_BUCKETS);
+        assert_eq!(quantile_buckets(8_192), MIN_QUANTILE_BUCKETS);
+        assert_eq!(quantile_buckets(30_000), 16_384);
+        assert_eq!(quantile_buckets(220_000), MAX_QUANTILE_BUCKETS);
+        assert_eq!(quantile_buckets(10_000_000), MAX_QUANTILE_BUCKETS);
     }
 
     /// The seed-memoized shuffle is bit-identical to driving `shuffled`
