@@ -15,6 +15,11 @@
 //!   --no-fleet        skip the fleet churn sweep
 //!   --shard <i/N>     run only round-robin shard i of N (0-based) of every
 //!                     sweep; the json gains shard identity for --merge
+//!   --exec-workers <n>
+//!                     run the parallel pass through the fleet executor
+//!                     (n in-process workers, 2n shards, retry/reassignment
+//!                     on failure); the json gains a "fleet_exec" section
+//!                     with the executor's event log
 //!   --merge <a.json> <b.json> ...
 //!                     merge shard jsons (any order) into --json instead of
 //!                     running; rejects overlapping/missing/foreign shards
@@ -45,7 +50,9 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use fleet_exec::{sweep_coordinator, FleetConfig, FleetExecReport};
 use hybridtier_bench::compare::{SweepDelta, SweepSnapshot};
+use hybridtier_bench::fleet::fleet_exec_json;
 use hybridtier_bench::{colocation_matrix, fleet_matrix, json, merge, policy_comparison_matrix};
 use tiering_runner::{Scenario, ShardSpec, SweepReport, SweepRunner};
 
@@ -59,6 +66,7 @@ struct Args {
     colocation: bool,
     fleet: bool,
     shard: Option<ShardSpec>,
+    exec_workers: usize,
     merge: Vec<PathBuf>,
     compare: Option<PathBuf>,
     regress: f64,
@@ -76,6 +84,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         colocation: true,
         fleet: true,
         shard: None,
+        exec_workers: 0,
         merge: Vec::new(),
         compare: None,
         regress: 0.15,
@@ -120,6 +129,16 @@ fn parse_args() -> Result<Option<Args>, String> {
                         .map_err(|e| format!("--shard: {e}"))?,
                 );
             }
+            "--exec-workers" => {
+                args.exec_workers = it
+                    .next()
+                    .ok_or("--exec-workers needs a worker count")?
+                    .parse()
+                    .map_err(|e| format!("--exec-workers: {e}"))?;
+                if args.exec_workers == 0 {
+                    return Err("--exec-workers needs at least one worker".to_string());
+                }
+            }
             "--merge" => {
                 while let Some(path) = it.peek() {
                     if path.starts_with("--") {
@@ -148,7 +167,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                 println!(
                     "usage: bench [--json <path>] [--ops <n>] [--sim-ms <n>] [--threads <n>] \
                      [--serial-only] [--parallel-only] [--no-colocation] [--no-fleet] \
-                     [--shard <i/N>] [--merge <shard.json>...] \
+                     [--shard <i/N>] [--exec-workers <n>] [--merge <shard.json>...] \
                      [--compare <prev.json>] [--regress <frac>]\n\
                      json schema and shard/merge workflow: docs/BENCH_FORMAT.md"
                 );
@@ -169,6 +188,21 @@ fn parse_args() -> Result<Option<Args>, String> {
     }
     if !args.merge.is_empty() && (args.shard.is_some() || args.compare.is_some()) {
         return Err("--merge only reads shard jsons; drop --shard/--compare".to_string());
+    }
+    if args.exec_workers > 0 {
+        if args.shard.is_some() {
+            return Err(
+                "--exec-workers shards each sweep internally; it cannot run inside a \
+                 --shard slice"
+                    .to_string(),
+            );
+        }
+        if !args.merge.is_empty() {
+            return Err("--merge only reads shard jsons; drop --exec-workers".to_string());
+        }
+        if !args.parallel {
+            return Err("--exec-workers drives the parallel pass; drop --serial-only".to_string());
+        }
     }
     Ok(Some(args))
 }
@@ -203,12 +237,20 @@ struct SweepPasses {
     identical: Option<bool>,
     speedup: Option<f64>,
     matrix_len: usize,
+    exec: Option<FleetExecReport>,
 }
 
 /// Times one scenario list serial and/or parallel — only this host's shard
-/// of it when `--shard` is set; returns the passes, whether they agreed,
-/// and the speedup.
-fn run_sweep(name: &str, args: &Args, build: impl Fn() -> Vec<Scenario>) -> SweepPasses {
+/// of it when `--shard` is set. With `--exec-workers` the parallel pass
+/// runs through the fleet executor (worker loss, retry, and reassignment
+/// handling live) and the executor's event log rides along. Returns the
+/// passes, whether they agreed, and the speedup; `Err` when the fleet
+/// executor could not complete the sweep.
+fn run_sweep(
+    name: &str,
+    args: &Args,
+    build: impl Fn() -> Vec<Scenario> + Send + Sync + Clone + 'static,
+) -> Result<SweepPasses, String> {
     let matrix_len = build().len();
     // Shard selection happens on the full canonical list, so per-scenario
     // seeds are identical sharded or not (the runner's shard guarantee).
@@ -230,14 +272,34 @@ fn run_sweep(name: &str, args: &Args, build: impl Fn() -> Vec<Scenario>) -> Swee
         serial = Some(sweep);
     }
     let mut parallel: Option<SweepReport> = None;
+    let mut exec: Option<FleetExecReport> = None;
     if args.parallel {
-        let sweep = SweepRunner::new(args.threads).run(scenarios());
-        println!(
-            "parallel: {:>8.2}s on {} threads",
-            sweep.wall.as_secs_f64(),
-            sweep.threads
-        );
-        parallel = Some(sweep);
+        if args.exec_workers > 0 {
+            // 2 shards per worker: enough slack that a lost worker's
+            // shards spread across survivors instead of serializing.
+            let shards = (args.exec_workers * 2).clamp(1, matrix_len.max(1));
+            let fleet = sweep_coordinator(build.clone(), args.exec_workers, FleetConfig::default())
+                .run_sweep(shards)
+                .map_err(|e| format!("{name}: fleet executor failed: {e}"))?;
+            println!(
+                "exec:     {:>8.2}s across {} workers ({} shards, {} lost, {} retries)",
+                fleet.report.wall.as_secs_f64(),
+                args.exec_workers,
+                shards,
+                fleet.exec.workers_lost,
+                fleet.exec.retries
+            );
+            parallel = Some(fleet.report);
+            exec = Some(fleet.exec);
+        } else {
+            let sweep = SweepRunner::new(args.threads).run(scenarios());
+            println!(
+                "parallel: {:>8.2}s on {} threads",
+                sweep.wall.as_secs_f64(),
+                sweep.threads
+            );
+            parallel = Some(sweep);
+        }
     }
     let identical = match (&serial, &parallel) {
         (Some(s), Some(p)) => {
@@ -259,13 +321,14 @@ fn run_sweep(name: &str, args: &Args, build: impl Fn() -> Vec<Scenario>) -> Swee
         }
         _ => None,
     };
-    SweepPasses {
+    Ok(SweepPasses {
         serial,
         parallel,
         identical,
         speedup,
         matrix_len,
-    }
+        exec,
+    })
 }
 
 impl SweepPasses {
@@ -302,35 +365,53 @@ fn main() -> ExitCode {
         return write_json(&args, &merged);
     }
 
-    let single = run_sweep(
-        &format!("policy-comparison sweep ({} ops/scenario)", args.ops),
+    let ops = args.ops;
+    let single = match run_sweep(
+        &format!("policy-comparison sweep ({ops} ops/scenario)"),
         &args,
-        || policy_comparison_matrix(args.ops),
-    );
+        move || policy_comparison_matrix(ops),
+    ) {
+        Ok(passes) => passes,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
 
+    let sim_ns = args.sim_ms * 1_000_000;
     let mut colo = None;
     if args.colocation {
         println!();
-        let sim_ns = args.sim_ms * 1_000_000;
-        colo = Some(run_sweep(
+        colo = match run_sweep(
             &format!("co-location sweep ({} simulated ms/scenario)", args.sim_ms),
             &args,
-            || colocation_matrix(sim_ns),
-        ));
+            move || colocation_matrix(sim_ns),
+        ) {
+            Ok(passes) => Some(passes),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
     }
 
     let mut fleet = None;
     if args.fleet {
         println!();
-        let sim_ns = args.sim_ms * 1_000_000;
-        fleet = Some(run_sweep(
+        fleet = match run_sweep(
             &format!(
                 "fleet churn sweep ({} simulated ms/scenario, objectives x budgets)",
                 args.sim_ms
             ),
             &args,
-            || fleet_matrix(sim_ns),
-        ));
+            move || fleet_matrix(sim_ns),
+        ) {
+            Ok(passes) => Some(passes),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
     }
 
     // Assemble the BENCH json around the richer of each sweep's reports.
@@ -352,6 +433,22 @@ fn main() -> ExitCode {
     }
     if let Some(passes) = &fleet {
         json.push_str(&format!(",\"fleet\":{}", passes.to_json(args.shard)));
+    }
+    // The executor's sealed account of each sweep, one member per sweep
+    // section it drove (schema: docs/BENCH_FORMAT.md).
+    if args.exec_workers > 0 {
+        let mut section = json::Json::obj();
+        section.set("workers", json::Json::Int(args.exec_workers as i128));
+        for (name, passes) in [
+            ("single", Some(&single)),
+            ("colocation", colo.as_ref()),
+            ("fleet", fleet.as_ref()),
+        ] {
+            if let Some(exec) = passes.and_then(|p| p.exec.as_ref()) {
+                section.set(name, fleet_exec_json(exec));
+            }
+        }
+        json.push_str(&format!(",\"fleet_exec\":{}", section.render()));
     }
     json.push('}');
 

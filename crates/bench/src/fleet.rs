@@ -1,0 +1,131 @@
+//! The `"fleet_exec"` BENCH json section: the fleet executor's sealed
+//! [`FleetExecReport`] — per-worker stats, summary counters, and the full
+//! typed event log — rendered into the document a `bench --exec-workers N`
+//! run writes. Schema: `docs/BENCH_FORMAT.md`.
+//!
+//! Everything in this section except the `Calibrated` weights (and any
+//! genuinely wall-clock-driven `timed_out` events) is deterministic for a
+//! given worker fleet, shard count, and fault plan: the `at` field is a
+//! logical timestamp (gapless dispatch-order sequence), not a clock
+//! reading.
+
+use fleet_exec::{FleetEventKind, FleetExecReport};
+
+use crate::json::Json;
+
+/// Renders one sweep's executor report as a JSON object (the value side of
+/// a `"fleet_exec"` section member).
+pub fn fleet_exec_json(report: &FleetExecReport) -> Json {
+    let mut out = Json::obj();
+    let workers: Vec<Json> = report
+        .workers
+        .iter()
+        .map(|w| {
+            let mut o = Json::obj();
+            o.set("label", Json::Str(w.label.clone()));
+            o.set("weight", Json::Int(w.weight as i128));
+            o.set("completed", Json::Int(w.completed as i128));
+            o.set("lost", Json::Bool(w.lost));
+            o
+        })
+        .collect();
+    out.set("workers", Json::Arr(workers));
+    out.set("shards", Json::Int(report.shards as i128));
+    out.set("retries", Json::Int(report.retries as i128));
+    out.set("timeouts", Json::Int(report.timeouts as i128));
+    out.set("reassignments", Json::Int(report.reassignments as i128));
+    out.set("workers_lost", Json::Int(report.workers_lost as i128));
+    out.set("rejected", Json::Int(report.rejected as i128));
+    out.set("stale_results", Json::Int(report.stale_results as i128));
+    let events: Vec<Json> = report
+        .events
+        .iter()
+        .map(|e| {
+            let mut o = Json::obj();
+            o.set("at", Json::Int(e.at as i128));
+            o.set("worker", Json::Int(e.worker as i128));
+            o.set("event", Json::Str(e.kind.name().to_string()));
+            match &e.kind {
+                FleetEventKind::Calibrated { weight } => {
+                    o.set("weight", Json::Int(*weight as i128));
+                }
+                FleetEventKind::Assigned { shard, attempt }
+                | FleetEventKind::Completed { shard, attempt }
+                | FleetEventKind::TimedOut { shard, attempt }
+                | FleetEventKind::StaleResult { shard, attempt } => {
+                    o.set("shard", Json::Int(*shard as i128));
+                    o.set("attempt", Json::Int(*attempt as i128));
+                }
+                FleetEventKind::Rejected {
+                    shard,
+                    attempt,
+                    reason,
+                } => {
+                    o.set("shard", Json::Int(*shard as i128));
+                    o.set("attempt", Json::Int(*attempt as i128));
+                    o.set("reason", Json::Str(reason.clone()));
+                }
+                FleetEventKind::Retried {
+                    shard,
+                    attempt,
+                    backoff_ms,
+                } => {
+                    o.set("shard", Json::Int(*shard as i128));
+                    o.set("attempt", Json::Int(*attempt as i128));
+                    o.set("backoff_ms", Json::Int(*backoff_ms as i128));
+                }
+                FleetEventKind::Reassigned { shard, from } => {
+                    o.set("shard", Json::Int(*shard as i128));
+                    o.set("from", Json::Int(*from as i128));
+                }
+                FleetEventKind::WorkerLost { reason } => {
+                    o.set("reason", Json::Str(reason.clone()));
+                }
+            }
+            o
+        })
+        .collect();
+    out.set("events", Json::Arr(events));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use fleet_exec::{sweep_coordinator, FaultKind, FaultPlan, FleetConfig};
+    use tiering_policies::PolicyKind;
+    use tiering_runner::ScenarioMatrix;
+    use tiering_sim::SimConfig;
+    use tiering_workloads::WorkloadId;
+
+    #[test]
+    fn renders_a_parseable_section_with_the_full_event_log() {
+        let matrix = || {
+            ScenarioMatrix::new(SimConfig::default().with_max_ops(500), 0xF1E7)
+                .workloads([WorkloadId::CdnCacheLib])
+                .policies([PolicyKind::HybridTier, PolicyKind::FirstTouch])
+                .build()
+        };
+        let fleet = sweep_coordinator(matrix, 2, FleetConfig::default())
+            .with_faults(FaultPlan::new(vec![FaultKind::KillMid.on(1)]))
+            .run_sweep(3)
+            .expect("one loss of two is recoverable");
+        let section = fleet_exec_json(&fleet.exec);
+        let doc = parse(&section.render()).expect("section renders valid json");
+        assert_eq!(
+            doc.get("events")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(fleet.exec.events.len())
+        );
+        assert_eq!(doc.num("workers_lost"), Some(1.0));
+        // The reason string (free text from the transport) is escaped.
+        assert!(doc
+            .get("events")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .any(|e| e.str("event") == Some("worker_lost") && e.str("reason").is_some()));
+    }
+}

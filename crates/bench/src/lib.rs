@@ -20,15 +20,18 @@
 //!
 //! The `bench` binary times the standard sweeps serial-vs-parallel and
 //! emits `BENCH_*.json` (schema: `docs/BENCH_FORMAT.md`), supported by
-//! three library modules: [`json`] (dependency-free parser/writer),
-//! [`compare`] (perf-regression gate between two BENCH files), and
-//! [`merge`] (the `--shard`/`--merge` distributed-sweep workflow).
+//! four library modules: [`json`] (dependency-free parser/writer),
+//! [`compare`] (perf-regression gate between two BENCH files), [`merge`]
+//! (the `--shard`/`--merge` distributed-sweep workflow), and [`fleet`]
+//! (the `"fleet_exec"` section a `bench --exec-workers N` run seals its
+//! executor event log into).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod compare;
 pub mod experiments;
+pub mod fleet;
 pub mod json;
 pub mod merge;
 mod output;

@@ -143,6 +143,15 @@ pub enum MergeJsonError {
         /// The repeated label.
         label: String,
     },
+    /// Input `doc` is not valid JSON at all — a truncated or corrupted
+    /// shard file (the fault injectors in `fleet-exec` produce exactly
+    /// these).
+    Unparseable {
+        /// Position in the input list.
+        doc: usize,
+        /// The parser's diagnostic.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MergeJsonError {
@@ -183,14 +192,25 @@ impl fmt::Display for MergeJsonError {
                 f,
                 "section '{section}': scenario '{label}' appears in two shards (overlap)"
             ),
+            MergeJsonError::Unparseable { doc, detail } => {
+                write!(
+                    f,
+                    "input {doc} is not valid JSON ({detail}) — truncated shard file?"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for MergeJsonError {}
 
+/// Exact non-negative integer member: `1.5` and `-1` are *not* shard
+/// indices (a float-coerced `-1` would otherwise saturate into slot 0 and
+/// mis-bin the shard).
 fn usize_field(doc: &Json, key: &str) -> Option<usize> {
-    doc.num(key).map(|n| n as usize)
+    doc.get(key)
+        .and_then(Json::as_i128)
+        .and_then(|n| usize::try_from(n).ok())
 }
 
 /// Merges shard BENCH documents (any order) into one document shaped like
@@ -239,10 +259,14 @@ pub fn merge_docs(docs: &[Json]) -> Result<Json, MergeJsonError> {
     // Symmetric protocol check: a key only *other* shards carry (e.g. a
     // newer bench build's extra field) is just as foreign as a
     // disagreeing value, and must not vanish silently in the merge.
+    // `"compare"` is exempt on both sides: it holds per-host perf deltas
+    // (wall-clock ratios against some baseline file), which legitimately
+    // differ host to host and cannot be meaningfully merged — it is
+    // dropped, like the other host-timing fields are recomputed.
     for doc in &ordered[1..] {
         if let Json::Obj(other_members) = doc {
             for (key, _) in other_members {
-                if !members.iter().any(|(k, _)| k == key) {
+                if key != "compare" && !members.iter().any(|(k, _)| k == key) {
                     return Err(MergeJsonError::MismatchedField { key: key.clone() });
                 }
             }
@@ -250,7 +274,7 @@ pub fn merge_docs(docs: &[Json]) -> Result<Json, MergeJsonError> {
     }
     let mut out = Json::obj();
     for (key, value) in members {
-        if key == "shard" {
+        if key == "shard" || key == "compare" {
             continue;
         }
         if SECTIONS.contains(&key.as_str()) {
@@ -276,6 +300,61 @@ pub fn merge_docs(docs: &[Json]) -> Result<Json, MergeJsonError> {
     }
     out.set("merged_from", Json::Int(total as i128));
     Ok(out)
+}
+
+/// [`merge_docs`] over raw file contents: parses each text (typed
+/// [`MergeJsonError::Unparseable`] instead of a panic on truncated or
+/// corrupted shard files) and merges. This is the text plane the
+/// fleet executor's `ProcessWorker` artifacts feed.
+pub fn merge_texts<S: AsRef<str>>(texts: &[S]) -> Result<Json, MergeJsonError> {
+    let docs = texts
+        .iter()
+        .enumerate()
+        .map(|(doc, text)| {
+            crate::json::parse(text.as_ref()).map_err(|e| MergeJsonError::Unparseable {
+                doc,
+                detail: e.to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    merge_docs(&docs)
+}
+
+/// Checks that `text` is a well-formed shard document for exactly `spec`:
+/// parseable, carrying `spec`'s shard identity, with every sweep section's
+/// scenario count matching its round-robin slice. The fleet executor uses
+/// this as its artifact validator, so a corrupted or truncated shard json
+/// is rejected (and the shard retried elsewhere) instead of poisoning the
+/// final merge.
+pub fn validate_shard_text(spec: ShardSpec, text: &str) -> Result<(), String> {
+    let doc = crate::json::parse(text).map_err(|e| format!("unparseable shard json: {e}"))?;
+    let shard = doc.get("shard").ok_or("document has no shard identity")?;
+    let (index, total) = match (usize_field(shard, "index"), usize_field(shard, "total")) {
+        (Some(ix), Some(t)) if t > 0 && ix < t => (ix, t),
+        _ => return Err("document has no shard identity".to_string()),
+    };
+    if index != spec.index() || total != spec.total() {
+        return Err(format!(
+            "shard identity {index}/{total} does not match the assigned shard {spec}"
+        ));
+    }
+    for section in SECTIONS {
+        let Some(s) = doc.get(section) else { continue };
+        let matrix_len = usize_field(s, "matrix_scenarios")
+            .ok_or_else(|| format!("section '{section}' lacks matrix_scenarios"))?;
+        let entries = s
+            .get("sweep")
+            .and_then(|sw| sw.get("scenarios"))
+            .and_then(Json::as_array)
+            .map_or(0, <[Json]>::len);
+        let expected = spec.count_of(matrix_len);
+        if entries != expected {
+            return Err(format!(
+                "section '{section}': {entries} scenarios, slice demands {expected}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Merges one sweep section across the index-ordered shard documents.

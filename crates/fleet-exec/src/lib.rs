@@ -1,0 +1,89 @@
+//! Elastic fleet executor: fault-tolerant fan-out of sharded sweeps.
+//!
+//! [`ShardSpec`](tiering_runner::ShardSpec) (PR 5) made distributed sweeps
+//! *correct* — union-of-shards ≡ unsharded, merge rejects bad unions — but
+//! left execution to the operator: run `bench --shard i/N` on every host by
+//! hand and hope none of them dies. This crate is the missing operational
+//! layer: a [`FleetCoordinator`] that partitions a sweep with the existing
+//! shard machinery, fans the shards out to N workers, and survives worker
+//! loss, hangs, and corrupted results while still producing the exact
+//! unsharded answer.
+//!
+//! * [`ShardWorker`] — where a shard runs. [`LocalWorker`] executes in
+//!   process (its artifact is a [`ShardReport`](tiering_runner::ShardReport),
+//!   merged via
+//!   [`SweepReport::merge`](tiering_runner::SweepReport::merge));
+//!   [`ProcessWorker`] spawns a subprocess per shard — e.g.
+//!   `bench --shard {index}/{total} --json {out}` — and reads the shard
+//!   BENCH json back as a `String` (merged via `bench --merge` /
+//!   `hybridtier_bench::merge`).
+//! * [`FleetCoordinator`] — deterministic round-based scheduler:
+//!   per-shard timeout/retry with capped exponential backoff, reassignment
+//!   of a lost worker's shards to survivors (merge accepts any
+//!   index-complete union, so *which* worker ran a shard never matters),
+//!   and weighted shard sizing from a per-worker calibration probe.
+//! * [`FleetEvent`] — a typed log of every scheduling decision
+//!   (assigned / completed / timed-out / retried / reassigned / lost),
+//!   with **logical** timestamps (monotone sequence numbers), sealed into
+//!   the [`FleetExecReport`] and the `"fleet_exec"` BENCH json section.
+//! * [`FaultPlan`] — the chaos harness this crate ships *first*: a
+//!   deterministic injection layer (seeded from the sweep seed via
+//!   [`derive_seed`](tiering_runner::derive_seed), no wall-clock
+//!   randomness) that kills a worker before/mid/after a shard, delays a
+//!   response past the timeout, or corrupts/truncates a shard artifact —
+//!   so every recovery path is exercised by tests, not just claimed.
+//!
+//! # Determinism contract
+//!
+//! Everything the simulation produces — scenario results, seeds,
+//! fingerprints, merge output — is bit-identical to the unsharded run for
+//! *any* fault plan that leaves at least one worker alive (the chaos suite
+//! pins this). The [`FleetEvent`] log is deterministic given the worker
+//! set, shard count, config, and fault plan, **provided** no genuine
+//! wall-clock timeout fires: scheduling is round-based and ordered by
+//! worker index, timestamps are logical, and injected faults (not host
+//! speed) decide outcomes. A `Delay` fault or a real straggler adds
+//! `TimedOut`/`StaleResult` events whose *presence* is plan-determined but
+//! whose interleaving with genuine work is host-timing dependent — golden
+//! tests therefore use kill faults, which are detected by channel
+//! disconnect and carry no timing dependence.
+//!
+//! # Example
+//!
+//! ```
+//! use fleet_exec::{FaultKind, FaultPlan, FleetConfig, sweep_coordinator};
+//! use tiering_policies::PolicyKind;
+//! use tiering_runner::{ScenarioMatrix, SweepRunner};
+//! use tiering_sim::SimConfig;
+//! use tiering_workloads::WorkloadId;
+//!
+//! let matrix = || {
+//!     ScenarioMatrix::new(SimConfig::default().with_max_ops(2_000), 42)
+//!         .workloads([WorkloadId::CdnCacheLib, WorkloadId::Silo])
+//!         .policies([PolicyKind::HybridTier, PolicyKind::FirstTouch])
+//!         .build()
+//! };
+//! // 3 workers, one of which dies mid-shard — the sweep still completes
+//! // and matches the unsharded run exactly.
+//! let fleet = sweep_coordinator(matrix, 3, FleetConfig::default())
+//!     .with_faults(FaultPlan::new(vec![FaultKind::KillMid.on(1)]))
+//!     .run_sweep(6)
+//!     .expect("two survivors finish the sweep");
+//! assert!(fleet.exec.workers_lost == 1);
+//! let reference = SweepRunner::serial().run(matrix());
+//! assert!(fleet.report.same_outcomes(&reference));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod coordinator;
+mod fault;
+mod worker;
+
+pub use coordinator::{
+    sweep_coordinator, FleetConfig, FleetCoordinator, FleetError, FleetEvent, FleetEventKind,
+    FleetExecReport, FleetRun, FleetSweep, WorkerStats,
+};
+pub use fault::{Fault, FaultKind, FaultPlan};
+pub use worker::{LocalWorker, ProcessWorker, ShardArtifact, ShardWorker, WorkerFailure};

@@ -1,0 +1,66 @@
+//! Timing guard: injected failures must use short deterministic budgets.
+//!
+//! `cargo test -p fleet-exec` is in the CI matrix; this test keeps it
+//! honest by running the most timeout-heavy recovery path end to end and
+//! bounding its wall time. If someone reintroduces multi-second sleeps
+//! into the fault plumbing (a long default delay, an uncapped backoff, a
+//! blocking `recv` without a deadline), this fails before CI slows to a
+//! crawl.
+
+use std::time::{Duration, Instant};
+
+use fleet_exec::{sweep_coordinator, FaultKind, FaultPlan, FleetConfig};
+use tiering_mem::TierRatio;
+use tiering_policies::PolicyKind;
+use tiering_runner::{Scenario, ScenarioMatrix, SweepRunner};
+use tiering_sim::SimConfig;
+use tiering_workloads::WorkloadId;
+
+fn matrix() -> Vec<Scenario> {
+    ScenarioMatrix::new(SimConfig::default().with_max_ops(1_000), 0x7131)
+        .workloads([WorkloadId::CdnCacheLib])
+        .policies([PolicyKind::HybridTier, PolicyKind::FirstTouch])
+        .ratios([TierRatio::OneTo8])
+        .build()
+}
+
+#[test]
+fn fault_heavy_recovery_stays_inside_the_time_budget() {
+    let config = FleetConfig {
+        shard_timeout: Duration::from_millis(100),
+        lag_grace: Duration::from_millis(500),
+        max_attempts: 4,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+    };
+    // Every slow path at once: a straggler past the timeout, a corrupt
+    // artifact, and two dead workers out of four.
+    let plan = FaultPlan::new(vec![
+        FaultKind::Delay(Duration::from_millis(250)).on_shard(0, 0),
+        FaultKind::Corrupt.on(1),
+        FaultKind::KillMid.on(2),
+        FaultKind::KillBefore.on(3),
+    ]);
+    let started = Instant::now();
+    let fleet = sweep_coordinator(matrix, 4, config)
+        .with_faults(plan)
+        .run_sweep(6)
+        .expect("all injected failures are recoverable");
+    let elapsed = started.elapsed();
+
+    let reference = SweepRunner::serial().run(matrix());
+    assert!(fleet.report.same_outcomes(&reference));
+    assert_eq!(fleet.exec.workers_lost, 2);
+    assert!(fleet.exec.timeouts >= 1);
+    assert!(fleet.exec.rejected >= 1);
+
+    // Generous for slow CI hosts, but far below what any multi-second
+    // sleep in the recovery plumbing could survive: the injected delay is
+    // 250 ms, the timeout 100 ms, the grace 500 ms, backoffs single-digit
+    // milliseconds.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "fault-heavy recovery took {elapsed:?} — injected timeouts must use \
+         short deterministic budgets, not multi-second sleeps"
+    );
+}

@@ -16,6 +16,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use fleet_exec::{sweep_coordinator, FaultKind, FaultPlan, FleetConfig};
 use tiering_mem::TierRatio;
 use tiering_policies::{ObjectiveKind, PolicyKind};
 use tiering_runner::{Scenario, ScenarioMatrix, SweepRunner};
@@ -214,4 +215,47 @@ fn fleet_churn_trajectories_match_golden() {
         let _ = writeln!(out, "# fairness {:.6}", multi.fairness_index());
         assert_matches_golden(&format!("fleet_churn_{}.txt", objective.label()), &out);
     }
+}
+
+/// The canonical 3-worker / one-loss fleet-executor run: worker `w1` is
+/// killed mid-shard, its shard is reassigned, and the run completes. The
+/// event log uses logical timestamps (a gapless dispatch-order sequence)
+/// and the scheduler visits workers in index order, so with kill faults —
+/// detected by channel disconnect, never by a wall-clock deadline — the
+/// whole log is deterministic and snapshottable. Any change to the
+/// scheduling order, retry bookkeeping, or event vocabulary drifts this
+/// golden.
+#[test]
+fn fleet_executor_event_log_matches_golden() {
+    let matrix = || {
+        ScenarioMatrix::new(SimConfig::default().with_max_ops(2_000), 0xA5F0_5EED)
+            .workloads([WorkloadId::CdnCacheLib, WorkloadId::Silo])
+            .policies([PolicyKind::HybridTier, PolicyKind::FirstTouch])
+            .ratios([TierRatio::OneTo8])
+            .build()
+    };
+    let fleet = sweep_coordinator(matrix, 3, FleetConfig::default())
+        .with_faults(FaultPlan::new(vec![FaultKind::KillMid.on(1)]))
+        .run_sweep(6)
+        .expect("one loss out of three workers is recoverable");
+
+    let reference = SweepRunner::serial().run(matrix());
+    assert!(fleet.report.same_outcomes(&reference));
+
+    let mut out = String::from("# at worker event\n");
+    out.push_str(&fleet.exec.event_log());
+    let _ = writeln!(
+        out,
+        "# workers={} shards={} retries={} timeouts={} reassignments={} \
+         workers_lost={} rejected={} stale_results={}",
+        fleet.exec.workers.len(),
+        fleet.exec.shards,
+        fleet.exec.retries,
+        fleet.exec.timeouts,
+        fleet.exec.reassignments,
+        fleet.exec.workers_lost,
+        fleet.exec.rejected,
+        fleet.exec.stale_results,
+    );
+    assert_matches_golden("fleet_event_log.txt", &out);
 }

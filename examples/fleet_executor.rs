@@ -1,0 +1,81 @@
+//! Elastic fleet execution with a worker loss, simulated in-process: three
+//! workers share a sharded sweep, one is killed mid-shard, and the
+//! coordinator retries/reassigns until the merged report is identical to
+//! the unsharded run — then prints the scheduling event log.
+//!
+//! ```text
+//! cargo run --release --example fleet_executor
+//! ```
+//!
+//! The kill here is a deterministic `FaultPlan` injection (the same layer
+//! the chaos tests drive); on a real fleet the workers would be
+//! `ProcessWorker`s spawning `bench --shard i/N --json …` on other hosts,
+//! and loss would be a dead connection. Either way the coordinator's
+//! behaviour — detect, retry with backoff, reassign to survivors — is the
+//! one pinned by `crates/fleet-exec`'s test suite.
+
+use hybridtier::mem::TierRatio;
+use hybridtier::policies::PolicyKind;
+use hybridtier::runner::remote::{sweep_coordinator, FaultKind, FaultPlan, FleetConfig};
+use hybridtier::runner::{ScenarioMatrix, SweepRunner};
+use hybridtier::sim::SimConfig;
+use hybridtier::workloads::WorkloadId;
+
+fn main() {
+    const WORKERS: usize = 3;
+    const SHARDS: usize = 6;
+    let matrix = || {
+        ScenarioMatrix::new(SimConfig::default().with_max_ops(40_000), 0xF1EE7)
+            .workloads([WorkloadId::CdnCacheLib, WorkloadId::SocialCacheLib])
+            .policies([
+                PolicyKind::HybridTier,
+                PolicyKind::Memtis,
+                PolicyKind::FirstTouch,
+            ])
+            .ratios([TierRatio::OneTo8])
+            .build()
+    };
+    println!(
+        "matrix: {} scenarios, {WORKERS} workers, {SHARDS} shards; worker w1 dies mid-shard\n",
+        matrix().len()
+    );
+
+    // The fault plan kills w1 while it is running its first shard — the
+    // coordinator sees the channel drop, requeues the shard, and a
+    // survivor picks it up.
+    let fleet = sweep_coordinator(matrix, WORKERS, FleetConfig::default())
+        .with_faults(FaultPlan::new(vec![FaultKind::KillMid.on(1)]))
+        .run_sweep(SHARDS)
+        .expect("one loss out of three workers is recoverable");
+
+    println!("scheduling log (logical timestamps):");
+    print!("{}", fleet.exec.event_log());
+    println!(
+        "\nsummary: {} retries, {} reassignments, {} worker(s) lost",
+        fleet.exec.retries, fleet.exec.reassignments, fleet.exec.workers_lost
+    );
+    for w in &fleet.exec.workers {
+        println!(
+            "  {:<4} weight {} completed {} shard(s){}",
+            w.label,
+            w.weight,
+            w.completed,
+            if w.lost { "  [lost]" } else { "" }
+        );
+    }
+
+    // The loss was invisible to the results: identical to a plain
+    // unsharded sweep in every deterministic field.
+    let reference = SweepRunner::serial().run(matrix());
+    assert!(fleet.report.same_outcomes(&reference));
+    assert!(fleet
+        .report
+        .results
+        .iter()
+        .zip(&reference.results)
+        .all(|(f, r)| f.label == r.label && f.fingerprint() == r.fingerprint()));
+    println!(
+        "\nmerged report identical to the unsharded run: yes ({} scenarios)",
+        fleet.report.results.len()
+    );
+}

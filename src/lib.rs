@@ -58,10 +58,21 @@ pub use cache_sim as cache;
 pub use hybridtier_cbf as cbf;
 pub use tiering_mem as mem;
 pub use tiering_policies as policies;
-pub use tiering_runner as runner;
 pub use tiering_sim as sim;
 pub use tiering_trace as trace;
 pub use tiering_workloads as workloads;
+
+/// `Scenario` abstraction, parallel sweep driver, and distributed
+/// execution (re-export of [`tiering_runner`], plus [`runner::remote`]).
+pub mod runner {
+    pub use tiering_runner::*;
+
+    /// Elastic fleet executor: fault-tolerant fan-out of sharded sweeps
+    /// over local and subprocess workers (re-export of [`fleet_exec`]).
+    pub mod remote {
+        pub use fleet_exec::*;
+    }
+}
 
 /// Everything needed to define and run a tiering experiment.
 pub mod prelude {
