@@ -1,0 +1,80 @@
+//! Control-plane rebalance cost vs fleet size: the incremental planner's
+//! O(k log n) dirty-slot rebalance against the full-scan oracle's O(n),
+//! plus the donor-funded churn path, at 10³ and 10⁴ tenants. The 10⁵
+//! point lives in the `bench` binary's `"controller"` section (criterion's
+//! per-iteration setup would dominate at that size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiering_policies::{ControllerMode, GlobalController, ObjectiveKind};
+
+/// SplitMix64 — deterministic demand stream.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A settled fleet in the lazy-path regime (one-page floor, bounded
+/// demand palette) — the same recipe the `"controller"` BENCH section
+/// measures.
+fn settled(n: usize, mode: ControllerMode) -> GlobalController {
+    let mut c = GlobalController::new(16 * n as u64, 0.1)
+        .with_objective_kind(ObjectiveKind::Proportional)
+        .with_mode(mode);
+    let mut state = 0xC0FF_EE00 ^ n as u64;
+    for i in 0..n {
+        c.add_tenant(&format!("t{i}"), 256);
+        let d = 1 + mix(&mut state) % 256;
+        c.update_demand(i, d);
+    }
+    c.rebalance_dirty(0);
+    c
+}
+
+fn bench_rebalance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_scaling");
+    for n in [1_000usize, 10_000] {
+        for (label, mode) in [
+            ("full", ControllerMode::FullScan),
+            ("incremental", ControllerMode::Incremental),
+        ] {
+            group.bench_function(format!("rebalance/{label}/n{n}"), |b| {
+                let mut ctl = settled(n, mode);
+                let mut state = 0xDEAD_BEEF ^ n as u64;
+                let mut at = 1u64;
+                b.iter(|| {
+                    for _ in 0..16 {
+                        let slot = (mix(&mut state) as usize) % n;
+                        ctl.update_demand(slot, 1 + mix(&mut state) % 256);
+                    }
+                    at += 1;
+                    ctl.rebalance_dirty(at)
+                })
+            });
+        }
+        group.bench_function(format!("churn/incremental/n{n}"), |b| {
+            let mut ctl = settled(n, ControllerMode::Incremental);
+            let mut state = 0x51EE_700D ^ n as u64;
+            let mut e = 0u64;
+            b.iter(|| {
+                let mut slot = (mix(&mut state) as usize) % n;
+                while !ctl.is_live(slot) {
+                    slot = (slot + 1) % ctl.num_tenants();
+                }
+                ctl.retire_tenant(slot);
+                e += 1;
+                ctl.admit_tenant(&format!("churn{e}"), 256)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_rebalance
+}
+criterion_main!(benches);

@@ -13,6 +13,10 @@
 //!   --parallel-only   skip the serial pass (no speedup reported)
 //!   --no-colocation   skip the co-location sweep
 //!   --no-fleet        skip the fleet churn sweep
+//!   --no-controller   skip the controller scaling probe (ns/rebalance and
+//!                     ns/churn-event at 10^3/10^4/10^5 tenants plus the
+//!                     large-fleet smoke run; also skipped under --shard,
+//!                     since it is a host-local micro-benchmark)
 //!   --shard <i/N>     run only round-robin shard i of N (0-based) of every
 //!                     sweep; the json gains shard identity for --merge
 //!   --exec-workers <n>
@@ -51,7 +55,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fleet_exec::{sweep_coordinator, FleetConfig, FleetExecReport};
-use hybridtier_bench::compare::{SweepDelta, SweepSnapshot};
+use hybridtier_bench::compare::{ControllerDelta, SweepDelta, SweepSnapshot};
+use hybridtier_bench::controller::controller_section;
 use hybridtier_bench::fleet::fleet_exec_json;
 use hybridtier_bench::{colocation_matrix, fleet_matrix, json, merge, policy_comparison_matrix};
 use tiering_runner::{Scenario, ShardSpec, SweepReport, SweepRunner};
@@ -65,6 +70,7 @@ struct Args {
     parallel: bool,
     colocation: bool,
     fleet: bool,
+    controller: bool,
     shard: Option<ShardSpec>,
     exec_workers: usize,
     merge: Vec<PathBuf>,
@@ -83,6 +89,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         parallel: true,
         colocation: true,
         fleet: true,
+        controller: true,
         shard: None,
         exec_workers: 0,
         merge: Vec::new(),
@@ -121,6 +128,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--parallel-only" => args.serial = false,
             "--no-colocation" => args.colocation = false,
             "--no-fleet" => args.fleet = false,
+            "--no-controller" => args.controller = false,
             "--shard" => {
                 args.shard = Some(
                     it.next()
@@ -167,8 +175,8 @@ fn parse_args() -> Result<Option<Args>, String> {
                 println!(
                     "usage: bench [--json <path>] [--ops <n>] [--sim-ms <n>] [--threads <n>] \
                      [--serial-only] [--parallel-only] [--no-colocation] [--no-fleet] \
-                     [--shard <i/N>] [--exec-workers <n>] [--merge <shard.json>...] \
-                     [--compare <prev.json>] [--regress <frac>]\n\
+                     [--no-controller] [--shard <i/N>] [--exec-workers <n>] \
+                     [--merge <shard.json>...] [--compare <prev.json>] [--regress <frac>]\n\
                      json schema and shard/merge workflow: docs/BENCH_FORMAT.md"
                 );
                 return Ok(None);
@@ -414,6 +422,19 @@ fn main() -> ExitCode {
         };
     }
 
+    // Controller scaling probe: host-local micro-timings (no serial /
+    // parallel passes to reconcile), so it is skipped on sharded runs —
+    // the merged document gets it from whichever host runs unsharded.
+    let mut controller = None;
+    if args.controller && args.shard.is_none() {
+        println!("\ncontroller scaling probe (10^3/10^4/10^5 tenants):");
+        controller = Some(controller_section(
+            &[1_000, 10_000, 100_000],
+            args.ops,
+            hybridtier_bench::SEED,
+        ));
+    }
+
     // Assemble the BENCH json around the richer of each sweep's reports.
     // Timing fields live under "single"/"colocation"/"fleet" per sweep
     // (the PR-1 format had them at top level; CHANGES.md records the
@@ -433,6 +454,9 @@ fn main() -> ExitCode {
     }
     if let Some(passes) = &fleet {
         json.push_str(&format!(",\"fleet\":{}", passes.to_json(args.shard)));
+    }
+    if let Some(section) = &controller {
+        json.push_str(&format!(",\"controller\":{}", section.render()));
     }
     // The executor's sealed account of each sweep, one member per sweep
     // section it drove (schema: docs/BENCH_FORMAT.md).
@@ -485,12 +509,20 @@ fn main() -> ExitCode {
                 ));
             }
         }
+        // The control plane's gate rides in the same compare array.
+        let controller_delta = match (prev.get("controller"), cur.get("controller")) {
+            (Some(p), Some(c)) => Some(ControllerDelta::between(p, c)),
+            _ => None,
+        };
         println!(
             "\ncompare vs {} (regression threshold {:.0}%):",
             prev_path.display(),
             args.regress * 100.0
         );
         for d in &deltas {
+            print!("{}", d.render());
+        }
+        if let Some(d) = &controller_delta {
             print!("{}", d.render());
         }
         json.pop(); // reopen the top-level object
@@ -501,8 +533,17 @@ fn main() -> ExitCode {
             }
             json.push_str(&d.to_json());
         }
+        if let Some(d) = &controller_delta {
+            if !deltas.is_empty() {
+                json.push(',');
+            }
+            json.push_str(&d.to_json());
+        }
         json.push_str("]}");
-        regressed = deltas.iter().any(|d| d.regressed(args.regress));
+        regressed = deltas.iter().any(|d| d.regressed(args.regress))
+            || controller_delta
+                .as_ref()
+                .is_some_and(|d| d.regressed(args.regress));
         if regressed {
             eprintln!(
                 "REGRESSION: serial throughput fell more than {:.0}% below {}",

@@ -222,6 +222,115 @@ impl SweepDelta {
     }
 }
 
+/// Outcome of comparing the `"controller"` scaling sections of two runs:
+/// the control plane's regression gate, mirroring [`SweepDelta`] for the
+/// data plane.
+///
+/// The gated quantity is incremental ns/rebalance at each tenant count
+/// (wall-clock, like the sweep gates); the ratio is the geometric mean of
+/// per-point speedups so one noisy point cannot dominate a 10³–10⁵ table.
+#[derive(Debug, Clone)]
+pub struct ControllerDelta {
+    /// Per-point `(tenants, prev_ns, cur_ns, speedup)` where `speedup` is
+    /// `prev / cur` (> 1 means the current run rebalances faster), for
+    /// tenant counts present in both runs.
+    pub points: Vec<(u64, f64, f64, f64)>,
+    /// Geometric mean of the per-point speedups (None when no counts
+    /// matched).
+    pub ratio: Option<f64>,
+}
+
+impl ControllerDelta {
+    /// Compares the current `"controller"` section against a previous one.
+    pub fn between(prev: &Json, cur: &Json) -> Self {
+        let rows = |doc: &Json| -> Vec<(u64, f64)> {
+            doc.get("points")
+                .and_then(Json::as_array)
+                .map(|points| {
+                    points
+                        .iter()
+                        .filter_map(|p| {
+                            Some((
+                                p.num("tenants")? as u64,
+                                p.num("incremental_ns_per_rebalance")?,
+                            ))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let prev_rows = rows(prev);
+        let mut points = Vec::new();
+        for (tenants, cur_ns) in rows(cur) {
+            if let Some(&(_, prev_ns)) = prev_rows.iter().find(|(t, _)| *t == tenants) {
+                if prev_ns > 0.0 && cur_ns > 0.0 {
+                    points.push((tenants, prev_ns, cur_ns, prev_ns / cur_ns));
+                }
+            }
+        }
+        let ratio = if points.is_empty() {
+            None
+        } else {
+            let log_sum: f64 = points.iter().map(|(_, _, _, r)| r.ln()).sum();
+            Some((log_sum / points.len() as f64).exp())
+        };
+        Self { points, ratio }
+    }
+
+    /// Whether the control plane regressed past the threshold: mean
+    /// rebalance speedup below `1 - max_regression`.
+    pub fn regressed(&self, max_regression: f64) -> bool {
+        matches!(self.ratio, Some(r) if r < 1.0 - max_regression)
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self.ratio {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    "controller: incremental rebalance {:.3}x vs previous ({})",
+                    r,
+                    if r >= 1.0 { "faster" } else { "slower" }
+                );
+            }
+            None => {
+                let _ = writeln!(out, "controller: no matching tenant counts to compare");
+            }
+        }
+        for (tenants, prev, cur, ratio) in &self.points {
+            let _ = writeln!(
+                out,
+                "  n={tenants:<8} {prev:10.0} -> {cur:10.0} ns/rebalance  ({ratio:.3}x)"
+            );
+        }
+        out
+    }
+
+    /// Machine-readable JSON fragment, shaped like the sweep deltas so it
+    /// rides in the same `"compare"` array.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"sweep\":\"controller\"");
+        if let Some(r) = self.ratio {
+            let _ = write!(s, ",\"rebalance_ratio\":{r:.6}");
+        }
+        s.push_str(",\"points\":[");
+        for (i, (tenants, prev, cur, ratio)) in self.points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"tenants\":{tenants},\"prev_ns\":{prev:.1},\"cur_ns\":{cur:.1},\
+                 \"ratio\":{ratio:.6}}}"
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +418,30 @@ mod tests {
         // The embedded fragment must stay parseable by the bench's own
         // json reader (the compare section lands inside BENCH_*.json).
         assert!(parse(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn controller_delta_gates_on_geometric_mean_of_speedups() {
+        let prev = parse(
+            r#"{"points":[{"tenants":1000,"incremental_ns_per_rebalance":1000.0},
+                          {"tenants":10000,"incremental_ns_per_rebalance":2000.0}]}"#,
+        )
+        .unwrap();
+        let cur = parse(
+            r#"{"points":[{"tenants":1000,"incremental_ns_per_rebalance":2000.0},
+                          {"tenants":10000,"incremental_ns_per_rebalance":4000.0},
+                          {"tenants":100000,"incremental_ns_per_rebalance":1.0}]}"#,
+        )
+        .unwrap();
+        let d = ControllerDelta::between(&prev, &cur);
+        // The 100000-tenant point has no baseline and must not inflate the
+        // mean; both matched points halved in speed.
+        assert_eq!(d.points.len(), 2);
+        assert!((d.ratio.unwrap() - 0.5).abs() < 1e-9);
+        assert!(d.regressed(0.15));
+        assert!(!ControllerDelta::between(&prev, &prev).regressed(0.15));
+        assert!(d.render().contains("slower"));
+        assert!(parse(&d.to_json()).is_ok());
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Control-plane scaling probe: the `"controller"` BENCH section.
+//!
+//! Times the global controller directly — no memory pipeline — so the
+//! numbers isolate apportioning cost: ns/rebalance when only `k ≪ n`
+//! demands changed (incremental vs the full-scan oracle, per objective
+//! averaged), ns/churn-event (retire + admit under the donor path), and
+//! the deterministic `apportion_ops` meter that the sub-linearity
+//! acceptance gate reads (wall-clock on shared CI boxes is too noisy to
+//! gate growth *rates* on; the ops meter is exact).
+//!
+//! The section also records one end-to-end run of the synthetic
+//! 10⁵-tenant fleet scenario (`Scenario::synthetic_fleet_spec`), proving
+//! the whole stack — engine active-set iteration, compact events,
+//! truncated rendering — completes a rebalance-heavy sweep at that scale.
+
+use std::time::Instant;
+
+use crate::json::Json;
+use tiering_policies::{ControllerMode, GlobalController, ObjectiveKind};
+use tiering_runner::{Scenario, SweepRunner};
+use tiering_sim::SimConfig;
+
+/// Demand changes applied per measured rebalance round (`k` in the
+/// O(k log n) cost model).
+pub const DIRTY_PER_ROUND: usize = 16;
+
+/// Measured rebalance rounds per (tenant count, mode, objective) cell.
+pub const ROUNDS: usize = 32;
+
+/// Churn events (retire + re-admit pairs) timed per cell.
+pub const CHURN_EVENTS: usize = 32;
+
+/// One tenant-count row of the scaling table.
+#[derive(Debug, Clone)]
+pub struct ControllerPoint {
+    /// Fleet size `n`.
+    pub tenants: usize,
+    /// Mean ns per rebalance with `DIRTY_PER_ROUND` dirty slots,
+    /// full-scan mode (averaged over objectives and rounds).
+    pub full_ns_per_rebalance: f64,
+    /// Same measurement in incremental mode.
+    pub incremental_ns_per_rebalance: f64,
+    /// Mean `apportion_ops` consumed per incremental rebalance — the
+    /// deterministic work meter (tree node visits + any fallback scans).
+    pub incremental_ops_per_rebalance: f64,
+    /// Mean ns per churn event (one retire + one admit) in incremental
+    /// mode, quotas folded through the donor path.
+    pub churn_ns_per_event: f64,
+}
+
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds an `n`-tenant controller, seeds every demand, and settles it
+/// with one full rebalance so measurement starts from steady state.
+///
+/// The regime is chosen so the incremental planner's lazy path can
+/// legitimately engage: `floor_frac` 0.1 on a 16-pages-per-tenant budget
+/// yields a one-page floor (making the min-one fixup provably inert),
+/// and the 256-value demand palette stays far below the planner's
+/// distinct-class cap. Outside this regime the controller correctly
+/// falls back to the O(n) oracle — which is what the `full` column
+/// measures anyway.
+fn settled(n: usize, kind: ObjectiveKind, mode: ControllerMode) -> GlobalController {
+    let mut c = GlobalController::new(16 * n as u64, 0.1)
+        .with_objective_kind(kind)
+        .with_mode(mode);
+    let mut state = 0xC0FF_EE00 ^ n as u64;
+    for i in 0..n {
+        c.add_tenant(&format!("t{i}"), 256);
+        let d = 1 + mix(&mut state) % 256;
+        c.update_demand(i, d);
+    }
+    c.rebalance_dirty(0);
+    c
+}
+
+/// Mean ns/rebalance over `ROUNDS` rounds of `DIRTY_PER_ROUND` random
+/// demand deltas, plus the mean `apportion_ops` per round.
+fn time_rebalances(c: &mut GlobalController, n: usize) -> (f64, f64) {
+    let mut state = 0xDEAD_BEEF ^ n as u64;
+    let ops_before = c.apportion_ops();
+    let start = Instant::now();
+    for round in 0..ROUNDS {
+        for _ in 0..DIRTY_PER_ROUND {
+            let slot = (mix(&mut state) as usize) % n;
+            if c.is_live(slot) {
+                c.update_demand(slot, 1 + mix(&mut state) % 256);
+            }
+        }
+        c.rebalance_dirty(1 + round as u64);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / ROUNDS as f64;
+    let ops = (c.apportion_ops() - ops_before) as f64 / ROUNDS as f64;
+    (ns, ops)
+}
+
+/// Mean ns per churn event: retire a live tenant, then admit a fresh one
+/// (the donor-funded O(log n) path), `CHURN_EVENTS` of each.
+fn time_churn(c: &mut GlobalController, n: usize) -> f64 {
+    let mut state = 0x51EE_700D ^ n as u64;
+    let start = Instant::now();
+    for e in 0..CHURN_EVENTS {
+        let mut slot = (mix(&mut state) as usize) % n;
+        while !c.is_live(slot) {
+            slot = (slot + 1) % c.num_tenants();
+        }
+        c.retire_tenant(slot);
+        c.admit_tenant(&format!("churn{e}"), 256);
+    }
+    start.elapsed().as_nanos() as f64 / (2 * CHURN_EVENTS) as f64
+}
+
+/// Measures one tenant count across all objectives, both modes.
+pub fn measure_point(n: usize) -> ControllerPoint {
+    let mut full_ns = 0.0;
+    let mut inc_ns = 0.0;
+    let mut inc_ops = 0.0;
+    let mut churn_ns = 0.0;
+    let kinds = ObjectiveKind::ALL;
+    for &kind in &kinds {
+        let mut full = settled(n, kind, ControllerMode::FullScan);
+        let (ns, _) = time_rebalances(&mut full, n);
+        full_ns += ns;
+
+        let mut inc = settled(n, kind, ControllerMode::Incremental);
+        let (ns, ops) = time_rebalances(&mut inc, n);
+        inc_ns += ns;
+        inc_ops += ops;
+        churn_ns += time_churn(&mut inc, n);
+    }
+    let k = kinds.len() as f64;
+    ControllerPoint {
+        tenants: n,
+        full_ns_per_rebalance: full_ns / k,
+        incremental_ns_per_rebalance: inc_ns / k,
+        incremental_ops_per_rebalance: inc_ops / k,
+        churn_ns_per_event: churn_ns / k,
+    }
+}
+
+/// Runs the synthetic large-fleet scenario end to end (serial, one
+/// scenario) and reports its vitals. `max_ops` caps each lane (the bench
+/// driver passes its `--ops` budget; the recipe's hot tenants stop at
+/// 20 k ops regardless).
+pub fn fleet_smoke(tenants: usize, max_ops: u64, seed: u64) -> Json {
+    let mut config = SimConfig::default()
+        .with_max_ops(max_ops)
+        .with_batch_ops(32);
+    // The per-lane metadata-cache model costs ~74 KiB of tag/stamp arrays
+    // per tenant (32 KiB L1 + 256 KiB LLC at 16 B/line) — ~7 GiB at 10⁵
+    // tenants, which turns this smoke into a reclaim benchmark. The smoke
+    // measures control-plane scaling, not metadata locality; drop it.
+    config.metadata_cache = false;
+    let scenario = Scenario::fleet(
+        format!("synth{tenants}/controller-smoke/fleet"),
+        Scenario::synthetic_fleet_spec(tenants),
+        &config,
+        seed,
+    );
+    let start = Instant::now();
+    let sweep = SweepRunner::serial().run(vec![scenario]);
+    let wall = start.elapsed().as_secs_f64();
+    let result = &sweep.results[0];
+    let mut out = Json::obj();
+    out.set("tenants", Json::Int(tenants as i128));
+    out.set("wall_s", Json::Num(wall));
+    out.set("ops", Json::Int(i128::from(result.report.ops)));
+    if let Some(multi) = &result.multi {
+        out.set("rebalances", Json::Int(multi.rebalances.len() as i128));
+        out.set("churn_events", Json::Int(multi.churn.len() as i128));
+        out.set(
+            "fast_budget_pages",
+            Json::Int(i128::from(multi.fast_budget_pages)),
+        );
+    }
+    out
+}
+
+/// The whole `"controller"` section: the scaling table over
+/// `tenant_counts` plus the `fleet_smoke` run at the largest count.
+pub fn controller_section(tenant_counts: &[usize], max_ops: u64, seed: u64) -> Json {
+    let mut section = Json::obj();
+    section.set("dirty_per_round", Json::Int(DIRTY_PER_ROUND as i128));
+    section.set("rounds", Json::Int(ROUNDS as i128));
+    let mut points = Vec::new();
+    for &n in tenant_counts {
+        let p = measure_point(n);
+        println!(
+            "controller n={:>7}: full {:>12.0} ns/rebalance, incremental {:>9.0} ns \
+             ({:>7.0} ops), churn {:>7.0} ns/event",
+            p.tenants,
+            p.full_ns_per_rebalance,
+            p.incremental_ns_per_rebalance,
+            p.incremental_ops_per_rebalance,
+            p.churn_ns_per_event,
+        );
+        let mut row = Json::obj();
+        row.set("tenants", Json::Int(p.tenants as i128));
+        row.set("full_ns_per_rebalance", Json::Num(p.full_ns_per_rebalance));
+        row.set(
+            "incremental_ns_per_rebalance",
+            Json::Num(p.incremental_ns_per_rebalance),
+        );
+        row.set(
+            "incremental_ops_per_rebalance",
+            Json::Num(p.incremental_ops_per_rebalance),
+        );
+        row.set("churn_ns_per_event", Json::Num(p.churn_ns_per_event));
+        points.push(row);
+    }
+    section.set("points", Json::Arr(points));
+    if let Some(&largest) = tenant_counts.iter().max() {
+        let smoke = fleet_smoke(largest, max_ops, seed);
+        println!(
+            "controller fleet smoke: {largest} tenants in {:.2}s",
+            smoke.num("wall_s").unwrap_or(0.0)
+        );
+        section.set("fleet_smoke", smoke);
+    }
+    section
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_point_is_sane_and_ops_metered() {
+        let p = measure_point(512);
+        assert_eq!(p.tenants, 512);
+        assert!(p.full_ns_per_rebalance > 0.0);
+        assert!(p.incremental_ns_per_rebalance > 0.0);
+        // The deterministic meter must show work actually happening (the
+        // growth-rate assertions live in the policies property suite).
+        assert!(p.incremental_ops_per_rebalance > 0.0);
+    }
+
+    #[test]
+    fn section_shape_matches_the_documented_schema() {
+        let section = controller_section(&[64], 2_000, 7);
+        assert_eq!(section.num("dirty_per_round"), Some(DIRTY_PER_ROUND as f64));
+        let points = section.get("points").and_then(Json::as_array).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].num("tenants"), Some(64.0));
+        assert!(points[0].num("incremental_ns_per_rebalance").is_some());
+        let smoke = section.get("fleet_smoke").unwrap();
+        assert_eq!(smoke.num("tenants"), Some(64.0));
+        assert!(smoke.num("ops").unwrap() > 0.0);
+        assert!(smoke.num("rebalances").unwrap() > 0.0);
+    }
+}

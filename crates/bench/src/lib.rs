@@ -30,6 +30,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod compare;
+pub mod controller;
 pub mod experiments;
 pub mod fleet;
 pub mod json;

@@ -37,7 +37,9 @@ fn bench_worker(dir: &Path) -> ProcessWorker {
         .out_dir(dir)
 }
 
-/// One unsharded `bench` run with the same protocol flags.
+/// One unsharded `bench` run with the same protocol flags. Sharded runs
+/// skip the controller scaling probe (it is not shardable), so the
+/// unsharded reference must skip it too for the documents to agree.
 fn unsharded_doc(dir: &Path) -> Json {
     let out = dir.join("unsharded.json");
     let status = Command::new(env!("CARGO_BIN_EXE_bench"))
@@ -47,6 +49,7 @@ fn unsharded_doc(dir: &Path) -> Json {
             "--serial-only",
             "--no-colocation",
             "--no-fleet",
+            "--no-controller",
         ])
         .arg("--json")
         .arg(&out)
@@ -92,7 +95,15 @@ fn exec_workers_flag_writes_a_fleet_exec_section() {
     let dir = scratch("flag");
     let out = dir.join("exec.json");
     let status = Command::new(env!("CARGO_BIN_EXE_bench"))
-        .args(["--ops", "1000", "--sim-ms", "2", "--exec-workers", "2"])
+        .args([
+            "--ops",
+            "1000",
+            "--sim-ms",
+            "2",
+            "--exec-workers",
+            "2",
+            "--no-controller",
+        ])
         .arg("--json")
         .arg(&out)
         .stdout(std::process::Stdio::null())

@@ -38,9 +38,14 @@
 //!   event vectors stay index-aligned across the whole run, and every
 //!   [`RebalanceEvent`] records the live mask it decided over.
 
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 use tiering_mem::{PageSize, TierConfig, TieredMemory};
+
+use crate::ostree::OsTree;
+use crate::policy::DemandCurve;
 
 /// Demands above this are clamped before apportioning (2^40 pages = 4 PiB of
 /// 4 KiB pages): keeps the exact 128-bit quota arithmetic overflow-free for
@@ -71,6 +76,31 @@ pub trait QuotaObjective: fmt::Debug + Send + Sync {
 
     /// Splits `amount` pages across `demands.len()` tenants.
     fn apportion(&self, demands: &[u64], amount: u64) -> Vec<u64>;
+
+    /// Like [`apportion`](Self::apportion), but with an optional per-tenant
+    /// requirement hint distilled from a sampled marginal-utility curve
+    /// (see [`curve_requirement`](Self::curve_requirement)). Objectives
+    /// that have no use for the richer signal ignore it — the default
+    /// delegates to `apportion`, so behavior is bit-identical unless an
+    /// objective opts in (only [`SloUtility`] does). Hinted apportioning
+    /// keeps exactness and determinism but deliberately trades the
+    /// demand-ordering guarantee for measured curvature: a tenant whose
+    /// curve says it needs few fast pages may receive less than a
+    /// nominally less hungry tenant with a steep curve.
+    fn apportion_hinted(&self, demands: &[u64], hints: &[Option<u64>], amount: u64) -> Vec<u64> {
+        let _ = hints;
+        self.apportion(demands, amount)
+    }
+
+    /// Distills a sampled marginal-utility curve into the scalar this
+    /// objective can consume (for [`SloUtility`]: the smallest sampled
+    /// allocation capturing `slo_frac` of the curve's access mass).
+    /// `None` (the default) means the objective ignores curves and the
+    /// controller keeps the point-estimate path.
+    fn curve_requirement(&self, curve: &DemandCurve) -> Option<u64> {
+        let _ = curve;
+        None
+    }
 }
 
 /// Exact weighted split: each tenant gets `amount * w_i / total` (128-bit
@@ -210,31 +240,35 @@ impl Default for SloUtility {
     }
 }
 
+/// The SLO requirement for one clamped demand at `slo_frac`:
+/// `ceil(d * slo_frac)`, kept within `[1, d]` so it is always achievable
+/// and monotone in `d`. Shared by the full-scan oracle and the incremental
+/// apportioner, so both compute bit-identical requirements.
+fn slo_requirement(demand: u64, slo_frac: f64) -> u64 {
+    ((demand as f64 * slo_frac).ceil() as u64).clamp(1, demand)
+}
+
 impl SloUtility {
     /// The SLO requirement for one clamped demand: `ceil(d * slo_frac)`,
     /// kept within `[1, d]` so it is always achievable and monotone in `d`.
     fn requirement(&self, demand: u64) -> u64 {
-        ((demand as f64 * self.slo_frac).ceil() as u64).clamp(1, demand)
-    }
-}
-
-impl QuotaObjective for SloUtility {
-    fn label(&self) -> &'static str {
-        "slo-utility"
+        slo_requirement(demand, self.slo_frac)
     }
 
-    fn apportion(&self, demands: &[u64], amount: u64) -> Vec<u64> {
-        let req: Vec<u64> = demands.iter().map(|&d| self.requirement(d)).collect();
+    /// The three-phase greedy over an explicit requirement vector (each
+    /// entry already within `[1, d]`): requirements first, then the
+    /// post-requirement segments, then surplus beyond demand.
+    fn apportion_with_requirements(&self, demands: &[u64], req: &[u64], amount: u64) -> Vec<u64> {
         let total_req: u128 = req.iter().map(|&r| u128::from(r)).sum();
         if u128::from(amount) <= total_req {
             // SLO pressure: the steep segments already exceed the budget —
             // allocate proportionally to the requirements (dust ties broken
             // by raw demand, so requirement ties cannot invert ordering).
-            return weighted_split(&req, amount, demands);
+            return weighted_split(req, amount, demands);
         }
-        let mut out = req.clone();
+        let mut out = req.to_vec();
         let mut remaining = amount - total_req as u64;
-        let post: Vec<u64> = demands.iter().zip(&req).map(|(&d, &r)| d - r).collect();
+        let post: Vec<u64> = demands.iter().zip(req).map(|(&d, &r)| d - r).collect();
         let total_post: u128 = post.iter().map(|&p| u128::from(p)).sum();
         if u128::from(remaining) <= total_post {
             for (o, p) in out
@@ -256,6 +290,35 @@ impl QuotaObjective for SloUtility {
             *o += s;
         }
         out
+    }
+}
+
+impl QuotaObjective for SloUtility {
+    fn label(&self) -> &'static str {
+        "slo-utility"
+    }
+
+    fn apportion(&self, demands: &[u64], amount: u64) -> Vec<u64> {
+        let req: Vec<u64> = demands.iter().map(|&d| self.requirement(d)).collect();
+        self.apportion_with_requirements(demands, &req, amount)
+    }
+
+    fn apportion_hinted(&self, demands: &[u64], hints: &[Option<u64>], amount: u64) -> Vec<u64> {
+        if hints.iter().all(Option::is_none) {
+            return self.apportion(demands, amount);
+        }
+        // A curve-derived requirement replaces the point-estimate one, but
+        // stays within `[1, d]` so every phase remains well-formed.
+        let req: Vec<u64> = demands
+            .iter()
+            .zip(hints)
+            .map(|(&d, h)| h.map_or_else(|| self.requirement(d), |r| r.clamp(1, d)))
+            .collect();
+        self.apportion_with_requirements(demands, &req, amount)
+    }
+
+    fn curve_requirement(&self, curve: &DemandCurve) -> Option<u64> {
+        curve.pages_for_mass_fraction(self.slo_frac)
     }
 }
 
@@ -300,6 +363,301 @@ impl ObjectiveKind {
     }
 }
 
+/// How the controller computes and records rebalances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ControllerMode {
+    /// The historical path: every rebalance rescans all slots, materializes
+    /// every quota, and records full per-slot event vectors. This is the
+    /// oracle the incremental path is pinned against, and what all existing
+    /// goldens/fingerprints were produced under.
+    #[default]
+    FullScan,
+    /// The fleet-scale path: demands arrive as deltas
+    /// ([`update_demand`](GlobalController::update_demand)), a rebalance
+    /// after `k` changes costs `O((k + v) log n)` (`v` = distinct live
+    /// demand values — `O(k)` in the idle-fleet regime where quiescent
+    /// tenants share one demand value), and quotas are represented lazily
+    /// as an apportioning *plan* evaluated per slot on read. Events are
+    /// **compact**: `live`/`demands`/`quotas` vectors are left empty so a
+    /// 10⁵-tenant trace doesn't cost `O(n)` per round to record. Quotas
+    /// themselves are bit-identical to [`FullScan`](Self::FullScan) —
+    /// property suites pin incremental ≡ full-scan for every objective.
+    /// Requires the objective to be set via
+    /// [`with_objective_kind`](GlobalController::with_objective_kind);
+    /// custom boxed objectives fall back to full scans (correct, just not
+    /// sub-linear).
+    Incremental,
+}
+
+/// Cap on the distinct-demand-value class iteration inside incremental
+/// weighted plans. Beyond this the per-class dust sum stops beating the
+/// `O(n)` oracle by enough to matter, so the planner gives up and the
+/// controller falls back to a full scan for that rebalance (identical
+/// results either way).
+const MAX_PLAN_CLASSES: usize = 1024;
+
+/// Which weight function a [`ApportionPlan::Weighted`] phase applies to a
+/// clamped demand. Every variant is monotone non-decreasing in `d`, which
+/// is what makes the plan's dust slot always the maximum `(demand, slot)`
+/// key and the minimum allocation always sit at the minimum key.
+#[derive(Debug, Clone, Copy)]
+enum WeightFn {
+    /// base 0, weight `d` — proportional share.
+    Demand,
+    /// base 0, weight `req(d)` — SLO phase 1 (under requirement pressure).
+    Requirement(f64),
+    /// base `req(d)`, weight `d - req(d)` — SLO phase 2 (post-SLO fill).
+    Post(f64),
+    /// base `d`, weight `d` — SLO phase 3 (surplus beyond total demand).
+    Luxury,
+}
+
+impl WeightFn {
+    /// `(base, weight)` for one clamped demand.
+    fn base_weight(self, d: u64) -> (u64, u64) {
+        match self {
+            WeightFn::Demand => (0, d),
+            WeightFn::Requirement(frac) => (0, slo_requirement(d, frac)),
+            WeightFn::Post(frac) => {
+                let r = slo_requirement(d, frac);
+                (r, d - r)
+            }
+            WeightFn::Luxury => (d, d),
+        }
+    }
+}
+
+/// A lazy, `O(1)`-per-slot representation of one exact apportioning
+/// decision: `quota(slot) = floor + plan_alloc(plan, slot, norm[slot])`.
+/// Constructed in `O(log n)`-ish time from the demand treap; provably
+/// equal, slot for slot, to what the full-scan objective math produces
+/// (the incremental≡full property suites enforce this bit for bit).
+#[derive(Debug, Clone)]
+enum ApportionPlan {
+    /// One exact weighted split plus a per-slot base — proportional share
+    /// and every `SloUtility` phase. `alloc(d) = base(d) +
+    /// floor(amount·w(d)/total) + dust·[slot == dust_slot]`; since `w` is
+    /// monotone in `d` with demand-then-slot tie-breaks, the oracle's
+    /// `max_by_key((w, d, i))` dust receiver *is* the maximum
+    /// `(demand, slot)` key.
+    Weighted {
+        weight: WeightFn,
+        amount: u64,
+        total: u128,
+        dust_slot: usize,
+        dust: u64,
+    },
+    /// Max-min, surplus branch (`amount ≥ total demand`):
+    /// `alloc(d) = d + base + [(d, slot) ≥ cutoff]` — the oracle hands its
+    /// remainder pages to the top `dust` keys in `(demand, slot)` order,
+    /// i.e. everything at or above the `(m - dust)`-th ascending key.
+    Surplus {
+        base: u64,
+        cutoff: Option<(u64, usize)>,
+    },
+    /// Max-min, progressive-filling branch: demands strictly below the
+    /// break demand are fully satisfied; everyone else gets the final
+    /// water `level`, plus one dust page for the top `dust` keys. The
+    /// break position is per *demand-value class* (the fill predicate is
+    /// constant within a class), so `d < d_break` decides the side exactly
+    /// as the oracle's position-based loop does.
+    Fill {
+        level: u64,
+        d_break: u64,
+        cutoff: Option<(u64, usize)>,
+    },
+}
+
+/// One dust page for keys at or above the cutoff.
+fn cutoff_bonus(cutoff: Option<(u64, usize)>, d: u64, slot: usize) -> u64 {
+    u64::from(cutoff.is_some_and(|c| (d, slot) >= c))
+}
+
+/// Evaluates a plan for one live slot with clamped demand `d` — the `O(1)`
+/// read side of the lazy quota representation.
+fn plan_alloc(plan: &ApportionPlan, slot: usize, d: u64) -> u64 {
+    match *plan {
+        ApportionPlan::Weighted {
+            weight,
+            amount,
+            total,
+            dust_slot,
+            dust,
+        } => {
+            let (base, w) = weight.base_weight(d);
+            let share = (u128::from(amount) * u128::from(w) / total) as u64;
+            base + share + if slot == dust_slot { dust } else { 0 }
+        }
+        ApportionPlan::Surplus { base, cutoff } => d + base + cutoff_bonus(cutoff, d, slot),
+        ApportionPlan::Fill {
+            level,
+            d_break,
+            cutoff,
+        } => {
+            if d < d_break {
+                d
+            } else {
+                level + cutoff_bonus(cutoff, d, slot)
+            }
+        }
+    }
+}
+
+/// Per-objective incremental apportioning state: the live demand treap
+/// (keyed `(demand, slot)`, augmented with subtree counts and demand sums)
+/// plus the incrementally-maintained requirement total for `SloUtility`.
+/// `plan` turns the current tree into an [`ApportionPlan`] without touching
+/// unchanged tenants; `None` means "this rebalance can't be planned
+/// sub-linearly" and the controller falls back to the full-scan oracle.
+#[derive(Debug)]
+struct IncrementalApportioner {
+    kind: ObjectiveKind,
+    slo_frac: f64,
+    tree: OsTree,
+    /// `Σ slo_requirement(d)` over live slots (maintained for every kind —
+    /// one multiply per update — so switching objectives stays trivial).
+    total_req: u128,
+    /// Demand-value classes: distinct clamped demand → live-slot count.
+    /// The weighted plans' dust sum iterates *classes*, not slots, and
+    /// this index makes that `O(1)` per class (jumping the treap instead
+    /// costs `O(log n)` per class, which at a few hundred classes is a
+    /// full scan in disguise).
+    classes: BTreeMap<u64, u64>,
+    /// Class-walk work performed, in classes visited — folded into
+    /// [`ops`](Self::ops) so the meter stays honest about plan cost.
+    walk_ops: u64,
+}
+
+impl IncrementalApportioner {
+    fn new(kind: ObjectiveKind) -> Self {
+        Self {
+            kind,
+            slo_frac: DEFAULT_SLO_FRAC,
+            tree: OsTree::new(),
+            total_req: 0,
+            classes: BTreeMap::new(),
+            walk_ops: 0,
+        }
+    }
+
+    fn insert(&mut self, slot: usize, d: u64) {
+        self.tree.insert((d, slot));
+        self.total_req += u128::from(slo_requirement(d, self.slo_frac));
+        *self.classes.entry(d).or_insert(0) += 1;
+    }
+
+    fn remove(&mut self, slot: usize, d: u64) {
+        let removed = self.tree.remove((d, slot));
+        debug_assert!(removed, "removing absent demand key ({d}, {slot})");
+        self.total_req -= u128::from(slo_requirement(d, self.slo_frac));
+        let count = self.classes.get_mut(&d).expect("class present");
+        *count -= 1;
+        if *count == 0 {
+            self.classes.remove(&d);
+        }
+    }
+
+    fn ops(&self) -> u64 {
+        self.tree.visits() + self.walk_ops
+    }
+
+    fn plan(&mut self, amount: u64) -> Option<ApportionPlan> {
+        match self.kind {
+            ObjectiveKind::Proportional => {
+                let total = self.tree.sum();
+                self.weighted_plan(WeightFn::Demand, amount, total)
+            }
+            ObjectiveKind::MaxMin => self.maxmin_plan(amount),
+            ObjectiveKind::SloUtility => {
+                let treq = self.total_req;
+                if u128::from(amount) <= treq {
+                    return self.weighted_plan(WeightFn::Requirement(self.slo_frac), amount, treq);
+                }
+                let rem = (u128::from(amount) - treq) as u64;
+                let tpost = self.tree.sum() - treq;
+                if u128::from(rem) <= tpost {
+                    return self.weighted_plan(WeightFn::Post(self.slo_frac), rem, tpost);
+                }
+                let rem2 = (u128::from(rem) - tpost) as u64;
+                let total = self.tree.sum();
+                self.weighted_plan(WeightFn::Luxury, rem2, total)
+            }
+        }
+    }
+
+    /// A weighted-split plan. The only super-logarithmic step is the dust
+    /// value `amount - Σ floor(amount·w_i/total)`, summed per distinct
+    /// demand-value class (`w` depends only on the demand value) through
+    /// the class index — `O(1)` per class, bounded by
+    /// [`MAX_PLAN_CLASSES`]; a more fragmented demand domain falls back to
+    /// the full scan instead of pretending to be sub-linear.
+    fn weighted_plan(
+        &mut self,
+        weight: WeightFn,
+        amount: u64,
+        total: u128,
+    ) -> Option<ApportionPlan> {
+        if total == 0 {
+            // Unreachable for live inputs (clamped demands ≥ 1 make every
+            // phase total positive), but the oracle's equal-split fallback
+            // is not worth replicating here.
+            return None;
+        }
+        if self.classes.len() > MAX_PLAN_CLASSES {
+            return None;
+        }
+        let dust_slot = self.tree.last().expect("live tenants present").1;
+        let mut assigned: u128 = 0;
+        for (&v, &count) in &self.classes {
+            let (_, w) = weight.base_weight(v);
+            assigned += u128::from(count) * (u128::from(amount) * u128::from(w) / total);
+        }
+        self.walk_ops += self.classes.len() as u64;
+        Some(ApportionPlan::Weighted {
+            weight,
+            amount,
+            total,
+            dust_slot,
+            dust: amount - assigned as u64,
+        })
+    }
+
+    fn maxmin_plan(&mut self, amount: u64) -> Option<ApportionPlan> {
+        let m = self.tree.len() as u64;
+        let total = self.tree.sum();
+        if u128::from(amount) >= total {
+            let surplus = amount - total as u64;
+            let base = surplus / m;
+            let dust = surplus % m;
+            let cutoff = (dust > 0).then(|| self.tree.select((m - dust) as usize));
+            return Some(ApportionPlan::Surplus { base, cutoff });
+        }
+        let (p, pref, d_break) = self
+            .tree
+            .fill_break(u128::from(amount))
+            .expect("amount below total demand always breaks");
+        let active = m - p as u64;
+        let remaining = (u128::from(amount) - pref) as u64;
+        let level = remaining / active;
+        let dust = remaining % active;
+        let cutoff = (dust > 0).then(|| self.tree.select((m - dust) as usize));
+        Some(ApportionPlan::Fill {
+            level,
+            d_break,
+            cutoff,
+        })
+    }
+
+    /// The smallest allocation any live slot would receive under `plan` —
+    /// every plan's `alloc` is monotone in demand with slot tie-breaks, so
+    /// the minimum sits at the minimum `(demand, slot)` key. The controller
+    /// uses this to prove the min-one fixup is a no-op before going lazy.
+    fn min_alloc(&self, plan: &ApportionPlan) -> u64 {
+        let (d, slot) = self.tree.first().expect("live tenants present");
+        plan_alloc(plan, slot, d)
+    }
+}
+
 /// One quota re-partition, as a typed event.
 ///
 /// The controller records every [`rebalance`](GlobalController::rebalance)
@@ -307,6 +665,13 @@ impl ObjectiveKind {
 /// (stable slots — a departed tenant keeps its index with `live = false`
 /// and zeroed entries). `PartialEq`/`Eq` make event traces directly
 /// comparable in determinism tests.
+///
+/// Under [`ControllerMode::Incremental`] the controller records **compact**
+/// events: `at_ns`, `objective`, and `floor_pages` are filled in but the
+/// three per-slot vectors are left empty, so event recording stays `O(1)`
+/// per rebalance at fleet scale. Query the controller
+/// ([`quota`](GlobalController::quota)/[`quotas`](GlobalController::quotas))
+/// for the decision itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RebalanceEvent {
     /// Simulated time the rebalance ran at.
@@ -327,7 +692,9 @@ pub struct RebalanceEvent {
 }
 
 impl RebalanceEvent {
-    /// Fast pages assigned in total (always the controller's full budget).
+    /// Fast pages assigned in total (the controller's full budget for
+    /// full-detail events; 0 for the empty-vector compact events recorded
+    /// under [`ControllerMode::Incremental`]).
     pub fn assigned(&self) -> u64 {
         self.quotas.iter().sum()
     }
@@ -344,6 +711,16 @@ struct TenantSlot {
     live: bool,
 }
 
+/// A rebalance whose quotas exist only as `floor + plan` — the lazy state
+/// [`ControllerMode::Incremental`] leaves behind instead of materialized
+/// per-slot quotas. Folded into the slots (`materialize`) the moment any
+/// operation needs mutable per-slot quotas (churn).
+#[derive(Debug, Clone)]
+struct LazyPlan {
+    floor: u64,
+    plan: ApportionPlan,
+}
+
 /// Central coordinator that splits one physical fast tier across tenants.
 ///
 /// Quotas are re-derived on [`rebalance`](GlobalController::rebalance):
@@ -352,13 +729,53 @@ struct TenantSlot {
 /// a configurable per-tenant floor so an idle tenant can always warm back
 /// up. The arithmetic is exact (128-bit integer), so equal inputs always
 /// produce identical quotas — the property tests pin this.
+///
+/// At fleet scale, [`ControllerMode::Incremental`] plus the delta API
+/// ([`update_demand`](Self::update_demand) →
+/// [`rebalance_dirty`](Self::rebalance_dirty)) makes a rebalance after `k`
+/// demand changes cost `O(k log n)` instead of `O(n)`, bit-identical to
+/// the full-scan arithmetic (pinned by `tests/global_incremental.rs`).
 #[derive(Debug)]
 pub struct GlobalController {
     fast_budget_pages: u64,
     /// Minimum share of the budget any tenant keeps (fraction).
     floor_frac: f64,
     objective: Box<dyn QuotaObjective>,
+    /// Set when the objective came from [`ObjectiveKind`] — the incremental
+    /// apportioner dispatches on it; `None` (custom boxed objective) pins
+    /// the controller to full scans.
+    objective_kind: Option<ObjectiveKind>,
+    mode: ControllerMode,
     tenants: Vec<TenantSlot>,
+    /// Applied clamped demand per slot (`[1, 2^40]` live, 0 dead) — the
+    /// controller's persistent demand model, updated only for dirty slots.
+    norm: Vec<u64>,
+    /// Staged clamped demand per slot (meaningful while `dirty[slot]`).
+    staged: Vec<u64>,
+    dirty: Vec<bool>,
+    dirty_slots: Vec<usize>,
+    /// Curve-derived requirement hint per slot (see
+    /// [`update_demand_curve`](Self::update_demand_curve)); `hints_live`
+    /// counts the `Some` entries so the default path pays nothing.
+    hints: Vec<Option<u64>>,
+    hints_live: usize,
+    live_count: usize,
+    incr: Option<IncrementalApportioner>,
+    lazy: Option<LazyPlan>,
+    /// Set while quotas are (lazily) the equal seed split of the budget —
+    /// [`add_tenant`](Self::add_tenant) resets every live tenant anyway,
+    /// so registering an `n`-tenant fleet stays `O(n)` total instead of
+    /// `O(n²)`. Only ever set when every slot is live (rank = index);
+    /// folded by [`materialize`](Self::materialize). Mutually exclusive
+    /// with `lazy`.
+    equal_share: bool,
+    /// Lazily rebuilt max-heap of `(quota, Reverse(slot))` over live slots,
+    /// making admission bursts `O(log n)` amortized; invalidated whenever
+    /// quotas change outside `admit_tenant` itself.
+    donor_heap: Option<BinaryHeap<(u64, Reverse<usize>)>>,
+    /// Slots touched by full-scan rebalances — with the treap's visit
+    /// counter, the work meter behind [`apportion_ops`](Self::apportion_ops).
+    full_scan_ops: u64,
     events: Vec<RebalanceEvent>,
 }
 
@@ -380,16 +797,79 @@ impl GlobalController {
             fast_budget_pages,
             floor_frac,
             objective: Box::new(ProportionalShare),
+            objective_kind: Some(ObjectiveKind::Proportional),
+            mode: ControllerMode::FullScan,
             tenants: Vec::new(),
+            norm: Vec::new(),
+            staged: Vec::new(),
+            dirty: Vec::new(),
+            dirty_slots: Vec::new(),
+            hints: Vec::new(),
+            hints_live: 0,
+            live_count: 0,
+            incr: None,
+            lazy: None,
+            equal_share: false,
+            donor_heap: None,
+            full_scan_ops: 0,
             events: Vec::new(),
         }
     }
 
-    /// Swaps the quota objective (see [`ObjectiveKind::build`]).
+    /// Swaps in a **custom** quota objective. This disables the incremental
+    /// apportioner (the controller can't see inside a boxed objective), so
+    /// [`ControllerMode::Incremental`] degrades to full scans with compact
+    /// events; built-in objectives should go through
+    /// [`with_objective_kind`](Self::with_objective_kind) instead.
     #[must_use]
     pub fn with_objective(mut self, objective: Box<dyn QuotaObjective>) -> Self {
         self.objective = objective;
+        self.objective_kind = None;
+        self.refresh_incremental();
         self
+    }
+
+    /// Selects a built-in objective by kind — the form that keeps
+    /// [`ControllerMode::Incremental`] genuinely sub-linear, because the
+    /// controller can maintain per-kind incremental apportioning state.
+    #[must_use]
+    pub fn with_objective_kind(mut self, kind: ObjectiveKind) -> Self {
+        self.objective = kind.build();
+        self.objective_kind = Some(kind);
+        self.refresh_incremental();
+        self
+    }
+
+    /// Selects the rebalance mode (default [`ControllerMode::FullScan`]).
+    #[must_use]
+    pub fn with_mode(mut self, mode: ControllerMode) -> Self {
+        self.mode = mode;
+        self.refresh_incremental();
+        self
+    }
+
+    /// The active rebalance mode.
+    pub fn mode(&self) -> ControllerMode {
+        self.mode
+    }
+
+    /// (Re)builds the incremental apportioner to match mode + objective,
+    /// reseeding it from the current live demand model so the builders can
+    /// be called in any order (even, defensively, mid-run).
+    fn refresh_incremental(&mut self) {
+        self.materialize();
+        self.incr = match (self.mode, self.objective_kind) {
+            (ControllerMode::Incremental, Some(kind)) => {
+                let mut inc = IncrementalApportioner::new(kind);
+                for (slot, &d) in self.norm.iter().enumerate() {
+                    if d > 0 {
+                        inc.insert(slot, d);
+                    }
+                }
+                Some(inc)
+            }
+            _ => None,
+        };
     }
 
     /// Label of the active objective.
@@ -416,23 +896,51 @@ impl GlobalController {
             self.fast_budget_pages,
             self.num_live() + 1,
         );
+        let slot = self.register_slot(name, footprint_pages, 0);
+        // The reset discards every prior quota, so nothing needs
+        // materializing first — registering an n-tenant fleet is O(n)
+        // total. With retired slots in the table the live ranks are no
+        // longer the indices, so fall back to the eager loop.
+        self.lazy = None;
+        self.donor_heap = None;
+        if self.live_count == self.tenants.len() {
+            self.equal_share = true;
+        } else {
+            self.equal_share = false;
+            let n = self.live_count as u64;
+            let base = self.fast_budget_pages / n;
+            let rem = self.fast_budget_pages % n;
+            let mut live_idx = 0u64;
+            for t in self.tenants.iter_mut() {
+                if t.live {
+                    t.quota = base + u64::from(live_idx < rem);
+                    live_idx += 1;
+                }
+            }
+        }
+        slot
+    }
+
+    /// Pushes one live slot with the shared side-table bookkeeping: the
+    /// demand model starts at 1 (the clamp of "no demand reported yet"),
+    /// mirrored into the incremental apportioner.
+    fn register_slot(&mut self, name: &str, footprint_pages: u64, quota: u64) -> usize {
         self.tenants.push(TenantSlot {
             name: name.to_string(),
             footprint_pages,
-            quota: 0,
+            quota,
             live: true,
         });
-        let n = self.num_live() as u64;
-        let base = self.fast_budget_pages / n;
-        let rem = self.fast_budget_pages % n;
-        let mut live_idx = 0u64;
-        for t in self.tenants.iter_mut() {
-            if t.live {
-                t.quota = base + u64::from(live_idx < rem);
-                live_idx += 1;
-            }
+        self.norm.push(1);
+        self.staged.push(1);
+        self.dirty.push(false);
+        self.hints.push(None);
+        self.live_count += 1;
+        let slot = self.tenants.len() - 1;
+        if let Some(inc) = &mut self.incr {
+            inc.insert(slot, 1);
         }
-        self.tenants.len() - 1
+        slot
     }
 
     /// Admits a tenant **mid-run** under the min-one guarantee: the
@@ -453,30 +961,48 @@ impl GlobalController {
             self.fast_budget_pages,
             self.num_live(),
         );
-        let quota = if self.num_live() == 0 {
+        self.materialize();
+        let quota = if self.live_count == 0 {
             self.fast_budget_pages
         } else {
-            let donor = self
-                .tenants
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.live)
-                .max_by_key(|&(j, t)| (t.quota, std::cmp::Reverse(j)))
-                .map(|(j, _)| j)
-                .expect("a live tenant exists");
+            // The donor is the largest live quota, lowest slot on ties —
+            // found through a lazily-built max-heap so admission bursts at
+            // fleet scale cost O(log n) amortized instead of a full scan
+            // each (the heap survives across consecutive admits and is
+            // invalidated by anything else that moves quotas).
+            if self.donor_heap.is_none() {
+                self.donor_heap = Some(
+                    self.tenants
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.live)
+                        .map(|(j, t)| (t.quota, Reverse(j)))
+                        .collect(),
+                );
+            }
+            let heap = self.donor_heap.as_mut().expect("just built");
+            let donor = loop {
+                let (q, Reverse(j)) = heap.pop().expect("a live tenant exists");
+                // Entries go stale when a popped slot's quota was since
+                // re-pushed lower; every live slot's current pair is always
+                // present, so the first matching pop is the true maximum.
+                if self.tenants[j].live && self.tenants[j].quota == q {
+                    break j;
+                }
+            };
             // Pigeonhole: budget > live count and every live quota ≥ 1, so
             // the largest live quota is ≥ 2 and stays enforceable.
             debug_assert!(self.tenants[donor].quota >= 2, "pigeonhole violated");
             self.tenants[donor].quota -= 1;
+            let updated = (self.tenants[donor].quota, Reverse(donor));
+            self.donor_heap.as_mut().expect("just built").push(updated);
             1
         };
-        self.tenants.push(TenantSlot {
-            name: name.to_string(),
-            footprint_pages,
-            quota,
-            live: true,
-        });
-        self.tenants.len() - 1
+        let slot = self.register_slot(name, footprint_pages, quota);
+        if let Some(heap) = &mut self.donor_heap {
+            heap.push((quota, Reverse(slot)));
+        }
+        slot
     }
 
     /// Retires a tenant: its slot goes dead (index preserved, quota zero)
@@ -491,10 +1017,20 @@ impl GlobalController {
     /// Panics if the slot is already retired.
     pub fn retire_tenant(&mut self, idx: usize) {
         assert!(self.tenants[idx].live, "tenant {idx} retired twice");
+        self.materialize();
         let reclaimed = self.tenants[idx].quota;
         self.tenants[idx].quota = 0;
         self.tenants[idx].live = false;
-        let m = self.num_live() as u64;
+        if let Some(inc) = &mut self.incr {
+            inc.remove(idx, self.norm[idx]);
+        }
+        self.norm[idx] = 0;
+        if self.hints[idx].take().is_some() {
+            self.hints_live -= 1;
+        }
+        self.live_count -= 1;
+        self.donor_heap = None;
+        let m = self.live_count as u64;
         if m == 0 {
             return;
         }
@@ -514,9 +1050,11 @@ impl GlobalController {
         self.tenants.len()
     }
 
-    /// Number of live tenants.
+    /// Number of live tenants (an `O(1)` counter — `floor_pages` and the
+    /// admission asserts hit this on every churn event, so it must not be
+    /// a scan at fleet scale).
     pub fn num_live(&self) -> usize {
-        self.tenants.iter().filter(|t| t.live).count()
+        self.live_count
     }
 
     /// Whether the slot is live (registered and not retired).
@@ -539,14 +1077,59 @@ impl GlobalController {
         self.tenants[idx].footprint_pages
     }
 
-    /// The tenant's current fast-tier quota in pages.
+    /// The tenant's current fast-tier quota in pages. Under a lazy
+    /// incremental rebalance this evaluates the plan for the slot in
+    /// `O(1)`; the result is identical to the materialized quota.
     pub fn quota(&self, idx: usize) -> u64 {
-        self.tenants[idx].quota
+        let t = &self.tenants[idx];
+        if !t.live {
+            return 0;
+        }
+        if self.equal_share {
+            // All slots are live while this flag holds, so rank = index.
+            let n = self.live_count as u64;
+            return self.fast_budget_pages / n
+                + u64::from((idx as u64) < self.fast_budget_pages % n);
+        }
+        match &self.lazy {
+            Some(lz) => lz.floor + plan_alloc(&lz.plan, idx, self.norm[idx]),
+            None => t.quota,
+        }
     }
 
     /// Current quotas in tenant order.
     pub fn quotas(&self) -> Vec<u64> {
-        self.tenants.iter().map(|t| t.quota).collect()
+        (0..self.tenants.len()).map(|i| self.quota(i)).collect()
+    }
+
+    /// Folds an outstanding lazy plan into materialized per-slot quotas —
+    /// the `O(n)` step churn pays so admit/retire keep their exact
+    /// historical donor/spread semantics. A no-op when quotas are already
+    /// materialized (always, under [`ControllerMode::FullScan`]).
+    fn materialize(&mut self) {
+        if self.equal_share {
+            self.equal_share = false;
+            let n = self.live_count as u64;
+            let base = self.fast_budget_pages / n;
+            let rem = self.fast_budget_pages % n;
+            for (i, t) in self.tenants.iter_mut().enumerate() {
+                t.quota = base + u64::from((i as u64) < rem);
+            }
+            self.donor_heap = None;
+            return;
+        }
+        let Some(lz) = self.lazy.take() else {
+            return;
+        };
+        for i in 0..self.tenants.len() {
+            let q = if self.tenants[i].live {
+                lz.floor + plan_alloc(&lz.plan, i, self.norm[i])
+            } else {
+                0
+            };
+            self.tenants[i].quota = q;
+        }
+        self.donor_heap = None;
     }
 
     /// The physical fast budget being partitioned.
@@ -572,7 +1155,7 @@ impl GlobalController {
     pub fn tier_config(&self, idx: usize, page_size: PageSize) -> TierConfig {
         let t = &self.tenants[idx];
         TierConfig {
-            fast_capacity_pages: t.quota,
+            fast_capacity_pages: self.quota(idx),
             slow_capacity_pages: t.footprint_pages,
             page_size,
             address_space_pages: t.footprint_pages,
@@ -586,7 +1169,7 @@ impl GlobalController {
     /// ≥ 1 (the min-one guarantee), so the recorded quota is the capacity
     /// actually enforced.
     pub fn apply(&self, idx: usize, mem: &mut TieredMemory) {
-        mem.set_fast_capacity(self.tenants[idx].quota);
+        mem.set_fast_capacity(self.quota(idx));
     }
 
     /// Re-partitions the fast budget across **live** tenants according to
@@ -608,28 +1191,179 @@ impl GlobalController {
     /// Panics if `demands.len()` differs from the registered slot count or
     /// no tenant is live.
     pub fn rebalance(&mut self, at_ns: u64, demands: &[u64]) -> RebalanceEvent {
-        let n = self.tenants.len();
-        assert_eq!(demands.len(), n, "one demand per tenant");
-        let live: Vec<bool> = self.live_mask();
-        let m = live.iter().filter(|&&l| l).count();
+        assert_eq!(demands.len(), self.tenants.len(), "one demand per tenant");
+        for (slot, &d) in demands.iter().enumerate() {
+            if self.tenants[slot].live {
+                self.update_demand(slot, d);
+            }
+        }
+        self.rebalance_dirty(at_ns)
+    }
+
+    /// Stages one tenant's demand signal for the next
+    /// [`rebalance_dirty`](Self::rebalance_dirty), clamping it exactly as
+    /// [`rebalance`](Self::rebalance) always has. Only *changed* demands
+    /// mark the slot dirty — re-reporting an unchanged demand is free — so
+    /// callers can push every active tenant's signal each round and still
+    /// get `O(k)` dirty slots. Demands for retired slots are ignored
+    /// (matching `rebalance`, which has always ignored dead entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was never registered.
+    pub fn update_demand(&mut self, slot: usize, demand: u64) {
+        if !self.tenants[slot].live {
+            return;
+        }
+        let clamped = demand.clamp(1, DEMAND_CLAMP);
+        if self.dirty[slot] {
+            self.staged[slot] = clamped;
+        } else if self.norm[slot] != clamped {
+            self.dirty[slot] = true;
+            self.staged[slot] = clamped;
+            self.dirty_slots.push(slot);
+        }
+    }
+
+    /// Feeds one tenant's sampled marginal-utility curve (see
+    /// [`TieringPolicy::demand_curve`](crate::TieringPolicy::demand_curve))
+    /// to the objective. If the objective consumes curves
+    /// ([`QuotaObjective::curve_requirement`] — only [`SloUtility`] does),
+    /// the distilled requirement overrides the point-estimate one at the
+    /// next rebalance and persists until re-fed or the tenant retires;
+    /// otherwise this is a no-op, which is what keeps default behavior
+    /// (and every golden) unchanged. Hinted rebalances always run the
+    /// full-scan path — the incremental planner models unhinted math only.
+    pub fn update_demand_curve(&mut self, slot: usize, curve: &DemandCurve) {
+        if !self.tenants[slot].live {
+            return;
+        }
+        let hint = self.objective.curve_requirement(curve);
+        let before = self.hints[slot].is_some();
+        if hint.is_some() != before {
+            if hint.is_some() {
+                self.hints_live += 1;
+            } else {
+                self.hints_live -= 1;
+            }
+        }
+        self.hints[slot] = hint;
+    }
+
+    /// Re-partitions the budget from the staged demand deltas — the
+    /// fleet-scale half of the split API. Applies every dirty slot to the
+    /// demand model (and the incremental apportioner), then either
+    ///
+    /// * plans the apportionment lazily in `O((k + v) log n)` and records a
+    ///   compact event ([`ControllerMode::Incremental`], when the plan is
+    ///   provably fixup-free), or
+    /// * runs the full-scan oracle over the same demand model (always
+    ///   under [`ControllerMode::FullScan`]; as the incremental fallback
+    ///   when the plan can't be built or the min-one fixup might fire).
+    ///
+    /// Both paths produce bit-identical quotas; `FullScan` additionally
+    /// records the historical full event vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tenant is live.
+    pub fn rebalance_dirty(&mut self, at_ns: u64) -> RebalanceEvent {
+        let m = self.live_count;
         assert!(m > 0, "rebalance with no live tenants");
 
-        let norm: Vec<u64> = demands
-            .iter()
-            .zip(&live)
-            .map(|(&d, &l)| if l { d.clamp(1, DEMAND_CLAMP) } else { 0 })
-            .collect();
+        while let Some(slot) = self.dirty_slots.pop() {
+            self.dirty[slot] = false;
+            if !self.tenants[slot].live {
+                continue;
+            }
+            let (old, new) = (self.norm[slot], self.staged[slot]);
+            if old == new {
+                continue;
+            }
+            if let Some(inc) = &mut self.incr {
+                inc.remove(slot, old);
+                inc.insert(slot, new);
+            }
+            self.norm[slot] = new;
+        }
+
         let floor = self.floor_pages();
         let distributable = self.fast_budget_pages.saturating_sub(floor * m as u64);
+        self.donor_heap = None;
+        self.equal_share = false;
 
+        if self.mode == ControllerMode::Incremental && self.hints_live == 0 {
+            if let Some(inc) = &mut self.incr {
+                if let Some(plan) = inc.plan(distributable) {
+                    // Lazy quotas are exactly `floor + alloc`; that equals
+                    // the oracle iff the min-one fixup would not fire, i.e.
+                    // the smallest resulting quota is already ≥ 1.
+                    if floor + inc.min_alloc(&plan) >= 1 {
+                        self.lazy = Some(LazyPlan { floor, plan });
+                        let event = self.compact_event(at_ns, floor);
+                        self.events.push(event.clone());
+                        return event;
+                    }
+                }
+            }
+        }
+
+        self.lazy = None;
+        self.full_scan_ops += self.tenants.len() as u64;
+        let quotas = self.full_scan_quotas(floor, distributable);
+        for (tenant, &quota) in self.tenants.iter_mut().zip(&quotas) {
+            tenant.quota = quota;
+        }
+        let event = match self.mode {
+            ControllerMode::FullScan => RebalanceEvent {
+                at_ns,
+                objective: self.objective.label().to_string(),
+                floor_pages: floor,
+                live: self.live_mask(),
+                demands: self.norm.clone(),
+                quotas,
+            },
+            // Event shape is decided by the mode, not by which internal
+            // path ran — fingerprints must not depend on planner
+            // heuristics like the class-walk cap.
+            ControllerMode::Incremental => self.compact_event(at_ns, floor),
+        };
+        self.events.push(event.clone());
+        event
+    }
+
+    /// An `O(1)` event record for [`ControllerMode::Incremental`].
+    fn compact_event(&self, at_ns: u64, floor: u64) -> RebalanceEvent {
+        RebalanceEvent {
+            at_ns,
+            objective: self.objective.label().to_string(),
+            floor_pages: floor,
+            live: Vec::new(),
+            demands: Vec::new(),
+            quotas: Vec::new(),
+        }
+    }
+
+    /// The full-scan oracle: apportions over the *applied* demand model
+    /// (`norm`) exactly as the historical `rebalance` body did, including
+    /// the min-one fixup. Returns the materialized quota vector.
+    fn full_scan_quotas(&self, floor: u64, distributable: u64) -> Vec<u64> {
+        let n = self.tenants.len();
         // The objective sees only the live tenants, in slot order.
-        let live_demands: Vec<u64> = norm
-            .iter()
-            .zip(&live)
-            .filter(|&(_, &l)| l)
-            .map(|(&d, _)| d)
-            .collect();
-        let alloc = self.objective.apportion(&live_demands, distributable);
+        let mut live_demands = Vec::with_capacity(self.live_count);
+        let mut live_hints = Vec::with_capacity(self.live_count);
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.live {
+                live_demands.push(self.norm[i]);
+                live_hints.push(self.hints[i]);
+            }
+        }
+        let alloc = if self.hints_live > 0 {
+            self.objective
+                .apportion_hinted(&live_demands, &live_hints, distributable)
+        } else {
+            self.objective.apportion(&live_demands, distributable)
+        };
         debug_assert_eq!(
             alloc.iter().sum::<u64>(),
             distributable,
@@ -638,8 +1372,8 @@ impl GlobalController {
         );
         let mut quotas = vec![0u64; n];
         let mut cursor = alloc.into_iter();
-        for (q, &l) in quotas.iter_mut().zip(&live) {
-            if l {
+        for (q, t) in quotas.iter_mut().zip(&self.tenants) {
+            if t.live {
                 *q = floor + cursor.next().expect("one allocation per live tenant");
             }
         }
@@ -650,34 +1384,49 @@ impl GlobalController {
         // on ties — the tie-break that keeps quota ordering aligned with
         // demand ordering). Admission guarantees budget ≥ live tenants, so
         // while a live zero exists some live quota is ≥ 2 by pigeonhole.
+        //
+        // The donor key (q, Reverse(norm[j]), Reverse(j)) is injective in j,
+        // so each donor is the unique maximum and a lazily-deleted max-heap
+        // pops the same donor sequence a per-zero rescan would — in
+        // O((n + zeros) log n) instead of O(zeros · n). A donor's quota only
+        // decreases (and a topped-up zero jumps 0 → 1 exactly once), so a
+        // stale entry can never collide with a slot's current quota; the
+        // `quotas[j] == q` freshness check is exact.
+        type DonorKey = (u64, Reverse<u64>, Reverse<usize>);
+        let mut donors: Option<BinaryHeap<DonorKey>> = None;
         for i in 0..n {
-            if live[i] && quotas[i] == 0 {
-                let donor = quotas
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, _)| live[j])
-                    .max_by_key(|&(j, &q)| (q, std::cmp::Reverse(norm[j]), std::cmp::Reverse(j)))
-                    .map(|(j, _)| j)
-                    .expect("m > 0");
+            if self.tenants[i].live && quotas[i] == 0 {
+                let heap = donors.get_or_insert_with(|| {
+                    (0..n)
+                        .filter(|&j| self.tenants[j].live)
+                        .map(|j| (quotas[j], Reverse(self.norm[j]), Reverse(j)))
+                        .collect()
+                });
+                let donor = loop {
+                    let &(q, _, Reverse(j)) = heap.peek().expect("a live tenant exists");
+                    if quotas[j] == q {
+                        break j;
+                    }
+                    heap.pop(); // stale: j's quota changed since this entry
+                };
                 debug_assert!(quotas[donor] >= 2, "pigeonhole violated");
+                heap.pop();
                 quotas[donor] -= 1;
+                heap.push((quotas[donor], Reverse(self.norm[donor]), Reverse(donor)));
                 quotas[i] = 1;
+                heap.push((1, Reverse(self.norm[i]), Reverse(i)));
             }
         }
+        quotas
+    }
 
-        for (tenant, &quota) in self.tenants.iter_mut().zip(&quotas) {
-            tenant.quota = quota;
-        }
-        let event = RebalanceEvent {
-            at_ns,
-            objective: self.objective.label().to_string(),
-            floor_pages: floor,
-            live,
-            demands: norm,
-            quotas,
-        };
-        self.events.push(event.clone());
-        event
+    /// Work meter for the sub-linearity tests: tree-node visits performed
+    /// by the incremental apportioner plus slots touched by full-scan
+    /// rebalances. Counted (not timed) so CI can assert that a dirty-slot
+    /// rebalance at 10⁴ tenants does sub-linear work without wall-clock
+    /// flakiness.
+    pub fn apportion_ops(&self) -> u64 {
+        self.full_scan_ops + self.incr.as_ref().map_or(0, IncrementalApportioner::ops)
     }
 
     /// The full rebalance trace, in call order.
@@ -983,5 +1732,273 @@ mod tests {
         g.add_tenant("a", 10);
         g.retire_tenant(0);
         g.retire_tenant(0);
+    }
+
+    /// SplitMix64 — deterministic demand scripts without external crates.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn paired(
+        kind: ObjectiveKind,
+        budget: u64,
+        floor: f64,
+        n: usize,
+    ) -> (GlobalController, GlobalController) {
+        let mut full = GlobalController::new(budget, floor).with_objective_kind(kind);
+        let mut inc = GlobalController::new(budget, floor)
+            .with_objective_kind(kind)
+            .with_mode(ControllerMode::Incremental);
+        for i in 0..n {
+            full.add_tenant(&format!("t{i}"), 512);
+            inc.add_tenant(&format!("t{i}"), 512);
+        }
+        (full, inc)
+    }
+
+    #[test]
+    fn incremental_matches_full_scan_for_every_objective() {
+        for kind in ObjectiveKind::ALL {
+            let (mut full, mut inc) = paired(kind, 10_000, 0.02, 24);
+            let mut state = 0xA5F0_5EED ^ kind as u64;
+            let mut demands = vec![1u64; 24];
+            for round in 0..40 {
+                // A few slots change per round, with occasional extremes.
+                for _ in 0..3 {
+                    let slot = (mix(&mut state) % 24) as usize;
+                    demands[slot] = match mix(&mut state) % 5 {
+                        0 => 0,
+                        1 => u64::MAX,
+                        _ => mix(&mut state) % 5_000,
+                    };
+                }
+                let ev_full = full.rebalance(round, &demands);
+                let ev_inc = inc.rebalance(round, &demands);
+                assert_eq!(
+                    full.quotas(),
+                    inc.quotas(),
+                    "{kind:?} round {round} diverged"
+                );
+                assert_eq!(ev_full.floor_pages, ev_inc.floor_pages);
+                // Compact events intentionally carry no vectors; the
+                // controllers themselves must still agree exactly.
+                assert_eq!(ev_inc.assigned(), 0);
+                assert_eq!(ev_full.assigned(), inc.quotas().iter().sum::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full_scan_under_churn() {
+        for kind in ObjectiveKind::ALL {
+            let (mut full, mut inc) = paired(kind, 4_096, 0.01, 8);
+            let mut state = 0xC0FF_EE00 ^ kind as u64;
+            let mut live: Vec<usize> = (0..8).collect();
+            let mut demands = vec![1u64; 8];
+            for round in 0..60 {
+                match mix(&mut state) % 4 {
+                    0 if live.len() > 2 => {
+                        let victim =
+                            live.swap_remove((mix(&mut state) % live.len() as u64) as usize);
+                        full.retire_tenant(victim);
+                        inc.retire_tenant(victim);
+                        demands[victim] = 0;
+                    }
+                    1 => {
+                        let name = format!("n{round}");
+                        let a = full.admit_tenant(&name, 256);
+                        let b = inc.admit_tenant(&name, 256);
+                        assert_eq!(a, b);
+                        live.push(a);
+                        demands.push(1);
+                    }
+                    _ => {
+                        let slot = live[(mix(&mut state) % live.len() as u64) as usize];
+                        demands[slot] = mix(&mut state) % 3_000;
+                    }
+                }
+                assert_eq!(full.quotas(), inc.quotas(), "{kind:?} churn {round}");
+                full.rebalance(round, &demands);
+                inc.rebalance(round, &demands);
+                assert_eq!(full.quotas(), inc.quotas(), "{kind:?} round {round}");
+                assert_eq!(full.num_live(), inc.num_live());
+            }
+        }
+    }
+
+    #[test]
+    fn delta_api_matches_bulk_rebalance() {
+        for kind in ObjectiveKind::ALL {
+            let (mut bulk, mut delta) = paired(kind, 8_192, 0.05, 16);
+            let mut state = 7u64;
+            let mut demands = vec![1u64; 16];
+            for round in 0..25 {
+                let slot = (mix(&mut state) % 16) as usize;
+                let d = mix(&mut state) % 2_000;
+                demands[slot] = d;
+                bulk.rebalance(round, &demands);
+                delta.update_demand(slot, d);
+                delta.rebalance_dirty(round);
+                assert_eq!(bulk.quotas(), delta.quotas(), "{kind:?} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_events_are_compact() {
+        let (_, mut inc) = paired(ObjectiveKind::Proportional, 1_000, 0.1, 4);
+        let ev = inc.rebalance(5, &[10, 20, 30, 40]);
+        assert!(ev.live.is_empty() && ev.demands.is_empty() && ev.quotas.is_empty());
+        assert_eq!(ev.assigned(), 0, "compact events report no assignment");
+        assert_eq!(ev.floor_pages, inc.floor_pages());
+        // The controller itself still answers exact quotas.
+        assert_eq!(inc.quotas().iter().sum::<u64>(), 1_000);
+    }
+
+    #[test]
+    fn full_scan_mode_keeps_historical_event_shape() {
+        let (mut full, _) = paired(ObjectiveKind::Proportional, 1_000, 0.1, 4);
+        let ev = full.rebalance(5, &[10, 20, 30, 40]);
+        assert_eq!(ev.quotas, full.quotas());
+        assert_eq!(ev.demands.len(), 4);
+        assert_eq!(ev.live, vec![true; 4]);
+    }
+
+    #[test]
+    fn apportion_ops_stay_sublinear_for_sparse_updates() {
+        let n = 4_096;
+        let mut inc = GlobalController::new(16 * n as u64, 0.0)
+            .with_objective_kind(ObjectiveKind::MaxMin)
+            .with_mode(ControllerMode::Incremental);
+        for i in 0..n {
+            inc.add_tenant(&format!("t{i}"), 64);
+        }
+        inc.rebalance_dirty(0); // settle the idle fleet
+        let baseline = inc.apportion_ops();
+        let rounds = 32u64;
+        for round in 0..rounds {
+            for j in 0..8u64 {
+                inc.update_demand(((round * 131 + j * 17) as usize) % n, 100 + round * j);
+            }
+            inc.rebalance_dirty(round + 1);
+        }
+        let per_round = (inc.apportion_ops() - baseline) / rounds;
+        // Full scans would cost ≥ n = 4096 ops per round; the incremental
+        // path does k·O(log n) tree visits. Leave generous slack.
+        assert!(
+            per_round < n as u64 / 4,
+            "expected sub-linear work, got {per_round} ops/round"
+        );
+    }
+
+    #[test]
+    fn hinted_apportion_defaults_to_plain_apportion() {
+        let demands = [5u64, 100, 17, 64];
+        let hints = [None, None, None, None];
+        for kind in ObjectiveKind::ALL {
+            let obj = kind.build();
+            assert_eq!(
+                obj.apportion_hinted(&demands, &hints, 500),
+                obj.apportion(&demands, 500),
+                "{kind:?} with no hints must match the plain path"
+            );
+        }
+    }
+
+    #[test]
+    fn slo_hints_shift_the_requirement_split() {
+        let obj = SloUtility { slo_frac: 0.5 };
+        let demands = [100u64, 100];
+        // Tenant 0's curve says it really needs 90 of its 100 pages to
+        // capture half its access mass (flat curve); tenant 1 keeps the
+        // default point-estimate requirement of 50.
+        let hinted = obj.apportion_hinted(&demands, &[Some(90), None], 140);
+        let plain = obj.apportion(&demands, 140);
+        assert_eq!(hinted.iter().sum::<u64>(), 140);
+        assert!(
+            hinted[0] > plain[0],
+            "a steeper requirement must pull pages toward tenant 0: {hinted:?} vs {plain:?}"
+        );
+    }
+
+    #[test]
+    fn curve_hints_only_engage_for_slo() {
+        let curve = DemandCurve::from_points(vec![(10, 50), (100, 100)]);
+        let mut g =
+            GlobalController::new(1_000, 0.0).with_objective_kind(ObjectiveKind::Proportional);
+        g.add_tenant("a", 128);
+        g.add_tenant("b", 128);
+        g.update_demand_curve(0, &curve);
+        let ev = g.rebalance(1, &[100, 100]);
+        assert_eq!(ev.quotas, vec![500, 500], "proportional ignores curves");
+
+        // A scarce budget (below total demand) so the requirement split
+        // actually decides the outcome — with abundance every SLO phase
+        // saturates and hints are invisible by construction.
+        let mut s = GlobalController::new(120, 0.0).with_objective_kind(ObjectiveKind::SloUtility);
+        s.add_tenant("a", 128);
+        s.add_tenant("b", 128);
+        let baseline = s.rebalance(0, &[100, 100]).quotas.clone();
+        assert_eq!(baseline, vec![60, 60]);
+        // Half the mass sits in the first 10 pages: the distilled
+        // requirement (10) is far below the point estimate (50).
+        s.update_demand_curve(0, &curve);
+        let hinted = s.rebalance(1, &[100, 100]).quotas.clone();
+        assert_ne!(hinted, baseline, "SLO consumes the curve hint");
+        assert_eq!(hinted.iter().sum::<u64>(), 120);
+    }
+
+    #[test]
+    fn retiring_a_hinted_tenant_clears_its_hint() {
+        let mut s = GlobalController::new(1_000, 0.0)
+            .with_objective_kind(ObjectiveKind::SloUtility)
+            .with_mode(ControllerMode::Incremental);
+        s.add_tenant("a", 128);
+        s.add_tenant("b", 128);
+        s.add_tenant("c", 128);
+        s.update_demand_curve(0, &DemandCurve::from_points(vec![(10, 50), (100, 100)]));
+        s.rebalance(0, &[100, 100, 100]);
+        s.retire_tenant(0);
+        // With the hint gone the incremental planner is allowed again;
+        // quotas must match a hint-free full-scan controller.
+        let mut oracle =
+            GlobalController::new(1_000, 0.0).with_objective_kind(ObjectiveKind::SloUtility);
+        oracle.add_tenant("a", 128);
+        oracle.add_tenant("b", 128);
+        oracle.add_tenant("c", 128);
+        oracle.retire_tenant(0);
+        oracle.rebalance(1, &[0, 250, 750]);
+        s.rebalance(1, &[0, 250, 750]);
+        assert_eq!(s.quotas(), oracle.quotas());
+    }
+
+    #[test]
+    fn admission_burst_matches_scan_donor_semantics() {
+        // The donor heap must pick the same donor as the historical
+        // max-by-(quota, lowest-index) scan, across a burst of admissions
+        // with no rebalance in between.
+        for mode in [ControllerMode::FullScan, ControllerMode::Incremental] {
+            let mut g = GlobalController::new(997, 0.0).with_mode(mode);
+            for i in 0..5 {
+                g.add_tenant(&format!("t{i}"), 64);
+            }
+            g.rebalance(0, &[400, 30, 30, 30, 7]);
+            let mut reference: Vec<u64> = g.quotas();
+            for i in 0..40 {
+                g.admit_tenant(&format!("late{i}"), 64);
+                // Reference model: donor = max quota, lowest slot on ties.
+                let donor = (0..reference.len())
+                    .max_by_key(|&j| (reference[j], Reverse(j)))
+                    .unwrap();
+                reference[donor] -= 1;
+                reference.push(1);
+                assert_eq!(g.quotas(), reference, "mode {mode:?} admission {i}");
+            }
+            assert_eq!(g.quotas().iter().sum::<u64>(), 997);
+        }
     }
 }

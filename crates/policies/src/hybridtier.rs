@@ -20,7 +20,7 @@ use tiering_trace::Sample;
 
 use crate::flat_table::FlatPageMap;
 use crate::histogram::HotnessHistogram;
-use crate::policy::{PolicyCtx, TieringPolicy};
+use crate::policy::{DemandCurve, PolicyCtx, TieringPolicy};
 
 /// Simulated base addresses for metadata regions (cache-miss attribution).
 const FREQ_BASE: u64 = 0x7100_0000_0000;
@@ -266,10 +266,19 @@ impl HybridTierPolicy {
         }
         .with_base_addr(FREQ_BASE);
         // Momentum tracker: `momentum_divisor`× smaller, same floor logic.
+        // When the tracker is disabled every write and decision path is
+        // gated off, so it stays empty and only its allocation remains
+        // observable (via `metadata_bytes`) — size it minimally instead of
+        // carrying a dead divisor-scaled filter per tenant, which at fleet
+        // scale (10⁵ lean tenants) is gigabytes.
         let n_mom = (n_freq / config.momentum_divisor).max(16_384);
-        let mom_params = CbfParams::for_capacity(n_mom, config.k, config.error_rate, width)
-            .with_base_addr(MOM_BASE)
-            .with_seed(0x4D4F_4D45_4E54_554D); // distinct seed for the momentum tracker
+        let mom_params = if config.momentum_enabled {
+            CbfParams::for_capacity(n_mom, config.k, config.error_rate, width)
+        } else {
+            CbfParams::for_budget_bytes(64, config.k, width)
+        }
+        .with_base_addr(MOM_BASE)
+        .with_seed(0x4D4F_4D45_4E54_554D); // distinct seed for the momentum tracker
         let counter_cap = width.max_count();
         Self {
             freq: build_tracker(freq_params, config.layout),
@@ -500,6 +509,16 @@ impl TieringPolicy for HybridTierPolicy {
 
     fn fast_demand_pages(&self, _mem: &TieredMemory) -> u64 {
         self.hot_set_estimate()
+    }
+
+    fn demand_curve(&self, mem: &TieredMemory) -> DemandCurve {
+        // Suffix sums of the hotness histogram above the frequency
+        // threshold: how much access mass each marginal fast page captures.
+        let points = self.hist.marginal_curve(self.config.min_freq_threshold, 8);
+        if points.is_empty() {
+            return DemandCurve::point(self.fast_demand_pages(mem));
+        }
+        DemandCurve::from_points(points)
     }
 
     fn on_sample(&mut self, sample: Sample, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {

@@ -53,6 +53,7 @@ mod histogram;
 mod hybridtier;
 mod list_set;
 mod memtis;
+mod ostree;
 mod policy;
 mod tpp;
 mod twoq;
@@ -63,13 +64,15 @@ pub use baseline::{AllFastPolicy, FirstTouchPolicy};
 pub use ema::{ema_lag_series, EmaScore};
 pub use flat_table::FlatPageMap;
 pub use global::{
-    GlobalController, MaxMinFairness, ObjectiveKind, ProportionalShare, QuotaObjective,
-    RebalanceEvent, SloUtility, DEFAULT_SLO_FRAC,
+    ControllerMode, GlobalController, MaxMinFairness, ObjectiveKind, ProportionalShare,
+    QuotaObjective, RebalanceEvent, SloUtility, DEFAULT_SLO_FRAC,
 };
 pub use histogram::HotnessHistogram;
 pub use hybridtier::{HybridTierConfig, HybridTierPolicy, MigrationDecision, TrackerLayout};
 pub use list_set::ListSet;
 pub use memtis::{MemtisConfig, MemtisPolicy};
-pub use policy::{build_policy, visit_policy, PolicyCtx, PolicyKind, PolicyVisitor, TieringPolicy};
+pub use policy::{
+    build_policy, visit_policy, DemandCurve, PolicyCtx, PolicyKind, PolicyVisitor, TieringPolicy,
+};
 pub use tpp::{TppConfig, TppPolicy};
 pub use twoq::TwoQPolicy;

@@ -9,7 +9,7 @@
 //! controller's incremental updates cannot hide in a matching bug here.
 
 use proptest::prelude::*;
-use tiering_policies::{GlobalController, ObjectiveKind};
+use tiering_policies::{ControllerMode, GlobalController, ObjectiveKind};
 
 /// The brute-force reference: just the slot table, re-checked wholesale.
 #[derive(Debug)]
@@ -105,9 +105,14 @@ proptest! {
         script in ops(),
     ) {
         for kind in ObjectiveKind::ALL {
+          // Both controller modes obey the same slot-table invariants; the
+          // incremental mode additionally exercises the lazy-plan fold on
+          // every churn event (materialize-then-mutate).
+          for mode in [ControllerMode::FullScan, ControllerMode::Incremental] {
             let floor_frac = floor_pct as f64 / 100.0;
             let mut real = GlobalController::new(budget, floor_frac)
-                .with_objective(kind.build());
+                .with_objective_kind(kind)
+                .with_mode(mode);
             let mut model = ReferenceController::new(budget, floor_frac);
 
             // Seed fleet: two initial tenants (the common case).
@@ -157,11 +162,15 @@ proptest! {
                                 .collect();
                             at += 1;
                             let event = real.rebalance(at, &demands);
-                            prop_assert_eq!(
-                                event.live,
-                                model.slots.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
-                                "event live mask"
-                            );
+                            if mode == ControllerMode::FullScan {
+                                prop_assert_eq!(
+                                    event.live,
+                                    model.slots.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+                                    "event live mask"
+                                );
+                            } else {
+                                prop_assert!(event.live.is_empty(), "compact event");
+                            }
                             model.check(&real, true, &format!("{what}: rebalance"));
                         }
                     }
@@ -186,6 +195,7 @@ proptest! {
             model.slots.push(("last".to_string(), true));
             model.check(&real, false, &format!("{kind:?} re-admit"));
             prop_assert_eq!(real.quota(last), budget, "sole tenant takes the parked budget");
+          }
         }
     }
 }

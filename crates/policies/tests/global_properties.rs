@@ -10,7 +10,7 @@
 //! or overcommit fast memory.
 
 use proptest::prelude::*;
-use tiering_policies::{GlobalController, ObjectiveKind};
+use tiering_policies::{ControllerMode, GlobalController, ObjectiveKind};
 
 /// Budget, floor percent, and a 1–8 tenant demand vector (demands span
 /// idle to far-beyond-footprint).
@@ -251,6 +251,39 @@ proptest! {
             let e = g.rebalance(1, &post);
             prop_assert_eq!(e.assigned(), budget, "{:?}: post-churn leak", kind);
             prop_assert_eq!(e.quotas[victim], 0);
+        }
+    }
+
+    /// [`ControllerMode::Incremental`] is bit-identical to the full-scan
+    /// path on arbitrary inputs: every contract above therefore transfers
+    /// to the incremental controller by equality (the fleet-scale churn
+    /// scripts live in `global_incremental.rs`).
+    #[test]
+    fn incremental_mode_is_bit_identical(input in inputs(), second in inputs()) {
+        let (budget, floor_pct, demands) = input;
+        let (_, _, demands2) = second;
+        for kind in ObjectiveKind::ALL {
+            let mut full = controller(budget, floor_pct, demands.len(), kind);
+            let mut inc = GlobalController::new(budget, floor_pct as f64 / 100.0)
+                .with_objective_kind(kind)
+                .with_mode(ControllerMode::Incremental);
+            for i in 0..demands.len() {
+                inc.add_tenant(&format!("t{i}"), 1 << 20);
+            }
+            full.rebalance(0, &demands);
+            inc.rebalance(0, &demands);
+            prop_assert_eq!(full.quotas(), inc.quotas(), "{:?} first rebalance", kind);
+            // A second, partially-overlapping demand vector exercises the
+            // dirty-slot delta path rather than a from-scratch plan.
+            let mut next = demands.clone();
+            for (slot, &d) in demands2.iter().enumerate() {
+                if slot < next.len() && slot % 2 == 0 {
+                    next[slot] = d;
+                }
+            }
+            full.rebalance(1, &next);
+            inc.rebalance(1, &next);
+            prop_assert_eq!(full.quotas(), inc.quotas(), "{:?} delta rebalance", kind);
         }
     }
 }

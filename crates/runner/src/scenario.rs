@@ -31,7 +31,8 @@ use std::time::{Duration, Instant};
 
 use tiering_mem::{TierConfig, TierRatio};
 use tiering_policies::{
-    build_policy, visit_policy, ObjectiveKind, PolicyKind, PolicyVisitor, TieringPolicy,
+    build_policy, visit_policy, ControllerMode, HybridTierConfig, HybridTierPolicy, ObjectiveKind,
+    PolicyKind, PolicyVisitor, TieringPolicy,
 };
 use tiering_sim::{
     merge_captured, CapturedRun, ChurnSchedule, Engine, MultiTenantConfig, MultiTenantEngine,
@@ -361,6 +362,11 @@ pub struct FleetSpec {
     pub floor_frac: f64,
     /// Simulated time between controller rebalances.
     pub rebalance_interval_ns: u64,
+    /// How the controller recomputes quotas on each rebalance.
+    /// `FullScan` (the default) keeps the historical event shape the
+    /// goldens fingerprint; `Incremental` records compact events and does
+    /// O(k log n) work per rebalance — the setting for large fleets.
+    pub controller_mode: ControllerMode,
 }
 
 impl FleetSpec {
@@ -374,6 +380,7 @@ impl FleetSpec {
             budget: CoLocationSpec::DEFAULT_BUDGET,
             floor_frac: tiering_sim::DEFAULT_FLOOR_FRAC,
             rebalance_interval_ns: tiering_sim::DEFAULT_REBALANCE_INTERVAL_NS,
+            controller_mode: ControllerMode::FullScan,
         }
     }
 
@@ -409,6 +416,13 @@ impl FleetSpec {
     #[must_use]
     pub fn with_rebalance_interval_ns(mut self, ns: u64) -> Self {
         self.rebalance_interval_ns = ns;
+        self
+    }
+
+    /// Overrides the controller's apportioning mode.
+    #[must_use]
+    pub fn with_controller_mode(mut self, mode: ControllerMode) -> Self {
+        self.controller_mode = mode;
         self
     }
 
@@ -648,6 +662,76 @@ impl Scenario {
         )
     }
 
+    /// The fleet recipe behind the sweep's tenant-count axis
+    /// ([`FleetMatrix::tenant_counts`](crate::FleetMatrix::tenant_counts)):
+    /// `n` tenants where a small head of `hot` tenants does real paging
+    /// work (Zipf over 256 pages, 20 k ops each) and the long tail of
+    /// `tiny` tenants registers, touches a handful of pages, and finishes
+    /// within the first round — the fleet shape that stresses the
+    /// controller's admit/retire and sparse-rebalance paths rather than
+    /// the memory pipeline. The controller runs in
+    /// [`ControllerMode::Incremental`] on a tight 200 µs cadence with a
+    /// 4-pages-per-tenant budget, and one hot tenant departs then a
+    /// replacement arrives mid-run so the schedule exercises churn at
+    /// scale.
+    pub fn synthetic_fleet_spec(n: usize) -> FleetSpec {
+        let hot_workload = || {
+            WorkloadSpec::custom("zipf-hot-small", |seed| {
+                Box::new(ZipfPageWorkload::new(256, 0.9, 20_000, seed))
+            })
+        };
+        let hot = n.min(16);
+        let mut tenants = Vec::with_capacity(n);
+        for i in 0..hot {
+            tenants.push(TenantSpec::new(
+                format!("hot{i}"),
+                hot_workload(),
+                PolicySpec::Kind(PolicyKind::HybridTier),
+            ));
+        }
+        // Tail tenants get a byte-budgeted HybridTier without the momentum
+        // tracker: the default config's 16 Ki-key CBF floors cost ~100 KiB
+        // per tenant — negligible at demo scale, ~10 GiB at 10⁵ tenants.
+        let lean_policy = || {
+            PolicySpec::custom("hybridtier-lean", |tier_cfg| {
+                let config = HybridTierConfig::scaled(tier_cfg)
+                    .without_momentum()
+                    .with_cbf_budget(4096);
+                Box::new(HybridTierPolicy::new(config, tier_cfg))
+            })
+        };
+        for i in hot..n {
+            tenants.push(TenantSpec::new(
+                format!("tiny{i}"),
+                WorkloadSpec::custom("zipf-tiny", |seed| {
+                    Box::new(ZipfPageWorkload::new(64, 0.9, 40, seed))
+                }),
+                lean_policy(),
+            ));
+        }
+        let churn = vec![
+            ChurnSpec::depart(20_000, "hot0"),
+            ChurnSpec::arrive(
+                60_000,
+                TenantSpec::new(
+                    "hot0",
+                    hot_workload(),
+                    PolicySpec::Kind(PolicyKind::HybridTier),
+                ),
+            ),
+        ];
+        // floor_frac 0.25 on a 4-pages-per-tenant budget yields a one-page
+        // floor, which keeps the incremental controller on its lazy
+        // O(k log n) path (the min-one fixup is provably inert) instead of
+        // legitimately falling back to the O(n) oracle every round.
+        FleetSpec::new(tenants)
+            .with_churn(churn)
+            .with_budget(BudgetSpec::Pages(4 * n as u64))
+            .with_floor_frac(0.25)
+            .with_rebalance_interval_ns(200_000)
+            .with_controller_mode(ControllerMode::Incremental)
+    }
+
     /// Resolves the tier configuration for a workload of `pages` pages.
     fn tier_config(tier: &TierSpec, config: &SimConfig, pages: u64) -> TierConfig {
         match tier {
@@ -761,7 +845,8 @@ impl Scenario {
                 let mt_cfg = MultiTenantConfig::new(budget)
                     .with_floor_frac(spec.floor_frac)
                     .with_rebalance_interval_ns(spec.rebalance_interval_ns)
-                    .with_objective(spec.objective);
+                    .with_objective(spec.objective)
+                    .with_controller_mode(spec.controller_mode);
                 let multi = MultiTenantEngine::new(self.config.clone(), mt_cfg)
                     .run_with_churn(runs, schedule);
                 ScenarioResult {

@@ -247,6 +247,7 @@ pub struct FleetMatrix {
     fleets: Vec<(String, Vec<TenantSpec>, Vec<ChurnSpec>)>,
     objectives: Vec<ObjectiveKind>,
     budgets: Vec<BudgetSpec>,
+    tenant_counts: Vec<usize>,
     floor_frac: f64,
     rebalance_interval_ns: u64,
     config: SimConfig,
@@ -263,6 +264,7 @@ impl FleetMatrix {
             fleets: Vec::new(),
             objectives: ObjectiveKind::ALL.to_vec(),
             budgets: vec![defaults.budget],
+            tenant_counts: Vec::new(),
             floor_frac: defaults.floor_frac,
             rebalance_interval_ns: defaults.rebalance_interval_ns,
             config,
@@ -293,6 +295,18 @@ impl FleetMatrix {
     #[must_use]
     pub fn budgets(mut self, budgets: impl IntoIterator<Item = BudgetSpec>) -> Self {
         self.budgets = budgets.into_iter().collect();
+        self
+    }
+
+    /// Adds a tenant-count axis: for each count `n` (and each objective),
+    /// the matrix appends the synthetic large-fleet scenario
+    /// [`Scenario::synthetic_fleet_spec`] at `n` tenants. The axis is
+    /// appended **after** the named-fleet cross product, so adding counts
+    /// never disturbs the derived seeds (and hence the fingerprints) of
+    /// the existing scenarios.
+    #[must_use]
+    pub fn tenant_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.tenant_counts = counts.into_iter().collect();
         self
     }
 
@@ -332,6 +346,21 @@ impl FleetMatrix {
                         seed,
                     ));
                 }
+            }
+        }
+        // The tenant-count axis rides strictly after the named-fleet cross
+        // product: seeds derive from `out.len()`, so existing scenarios
+        // keep their identity whether or not counts are configured.
+        for &n in &self.tenant_counts {
+            for &objective in &self.objectives {
+                let spec = Scenario::synthetic_fleet_spec(n).with_objective(objective);
+                let seed = derive_seed(self.seed, out.len() as u64);
+                out.push(Scenario::fleet(
+                    format!("synth{n}/{}/fleet", objective.label()),
+                    spec,
+                    &self.config,
+                    seed,
+                ));
             }
         }
         out
@@ -556,7 +585,12 @@ impl SweepReport {
                     multi.churn.len(),
                     multi.fast_budget_pages,
                 );
-                for (j, t) in multi.tenants.iter().enumerate() {
+                // Large synthetic fleets would dominate the file with
+                // per-tenant rows nobody reads; keep the head and record
+                // how many rows were dropped.
+                const MAX_TENANT_ROWS: usize = 32;
+                let shown = multi.tenants.len().min(MAX_TENANT_ROWS);
+                for (j, t) in multi.tenants.iter().take(shown).enumerate() {
                     if j > 0 {
                         s.push(',');
                     }
@@ -576,6 +610,9 @@ impl SweepReport {
                     );
                 }
                 s.push(']');
+                if multi.tenants.len() > shown {
+                    let _ = write!(s, ",\"tenants_elided\":{}", multi.tenants.len() - shown);
+                }
             }
             s.push('}');
         }
@@ -661,5 +698,48 @@ mod tests {
         let sweep = SweepRunner::new(64).run(small_matrix());
         assert_eq!(sweep.results.len(), 4);
         assert!(sweep.threads <= 4);
+    }
+
+    #[test]
+    fn tenant_count_axis_appends_without_disturbing_seeds() {
+        let (tenants, churn) = Scenario::fleet_churn_demo_tenants();
+        let base = FleetMatrix::new(SimConfig::default().with_max_ops(500), 0xF1EE7)
+            .fleet("demo", tenants, churn)
+            .objectives([ObjectiveKind::Proportional]);
+        let plain = base.clone().build();
+        let extended = base.tenant_counts([48]).build();
+        assert_eq!(extended.len(), plain.len() + 1);
+        for (a, b) in plain.iter().zip(&extended) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.seed, b.seed);
+        }
+        assert_eq!(extended.last().unwrap().label, "synth48/proportional/fleet");
+    }
+
+    #[test]
+    fn synthetic_fleet_runs_and_json_truncates_the_tenant_array() {
+        // Small head-count run of the large-fleet recipe: enough per-lane
+        // ops that both churn events fire, small enough for a debug test.
+        let scenarios = FleetMatrix::new(SimConfig::default().with_max_ops(5_000), 99)
+            .objectives([ObjectiveKind::MaxMin])
+            .tenant_counts([48])
+            .build();
+        assert_eq!(scenarios.len(), 1);
+        let sweep = SweepRunner::serial().run(scenarios);
+        let result = &sweep.results[0];
+        let multi = result.multi.as_ref().expect("fleet scenario");
+        // 48 initial tenants plus the churn arrival's fresh slot.
+        assert_eq!(multi.tenants.len(), 49);
+        assert!(
+            multi.churn.len() >= 2,
+            "depart + arrive should both fire, saw {}",
+            multi.churn.len()
+        );
+        // Incremental mode records compact rebalance events.
+        assert!(!multi.rebalances.is_empty());
+        assert!(multi.rebalances.iter().all(|e| e.quotas.is_empty()));
+        let json = sweep.to_json();
+        assert_eq!(json.matches("\"name\":").count(), 32);
+        assert!(json.contains("\"tenants_elided\":17"));
     }
 }

@@ -68,7 +68,7 @@ pub use multi_tenant::{
 pub use prefetch::StreamPrefetcher;
 pub use report::{
     CacheTimelinePoint, ChurnKind, ChurnRecord, LatencySummary, MultiTenantReport, SimReport,
-    TenantReport, TimelinePoint,
+    TenantReport, TimelinePoint, SUMMARY_MAX_TENANTS,
 };
 
 /// Convenience: run `policy_kind` over `workload_id` at `ratio` with default

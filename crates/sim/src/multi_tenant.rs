@@ -49,7 +49,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use tiering_mem::TierConfig;
-use tiering_policies::{GlobalController, ObjectiveKind, TieringPolicy};
+use tiering_policies::{ControllerMode, GlobalController, ObjectiveKind, TieringPolicy};
 use tiering_trace::{AccessBatch, Workload};
 
 use crate::pipeline::Pipeline;
@@ -178,6 +178,18 @@ pub struct MultiTenantConfig {
     pub rebalance_interval_ns: u64,
     /// How the controller follows demand (see [`ObjectiveKind`]).
     pub objective: ObjectiveKind,
+    /// Controller execution mode. [`ControllerMode::FullScan`] (the
+    /// default) records the historical full-vector rebalance events;
+    /// [`ControllerMode::Incremental`] records compact events and costs
+    /// `O(k log n)` per rebalance — the setting for synthetic large
+    /// fleets. Quotas are bit-identical either way.
+    pub controller_mode: ControllerMode,
+    /// When set, each active tenant's sampled marginal-utility curve
+    /// ([`TieringPolicy::demand_curve`]) is fed to the controller every
+    /// round alongside the point demand. Only curve-consuming objectives
+    /// ([`ObjectiveKind::SloUtility`]) react; off by default so existing
+    /// runs (and goldens) are unchanged.
+    pub use_demand_curves: bool,
 }
 
 impl MultiTenantConfig {
@@ -189,7 +201,25 @@ impl MultiTenantConfig {
             floor_frac: DEFAULT_FLOOR_FRAC,
             rebalance_interval_ns: DEFAULT_REBALANCE_INTERVAL_NS,
             objective: ObjectiveKind::Proportional,
+            controller_mode: ControllerMode::FullScan,
+            use_demand_curves: false,
         }
+    }
+
+    /// Overrides the controller execution mode (see
+    /// [`MultiTenantConfig::controller_mode`]).
+    #[must_use]
+    pub fn with_controller_mode(mut self, mode: ControllerMode) -> Self {
+        self.controller_mode = mode;
+        self
+    }
+
+    /// Feeds sampled demand curves to the controller each round (see
+    /// [`MultiTenantConfig::use_demand_curves`]).
+    #[must_use]
+    pub fn with_demand_curves(mut self, on: bool) -> Self {
+        self.use_demand_curves = on;
+        self
     }
 
     /// Overrides the quota objective.
@@ -237,6 +267,10 @@ struct Lane<'c> {
     start_ns: u64,
     /// Fleet time the lane departed at, once a churn event removed it.
     departed_at_ns: Option<u64>,
+    /// Ops already folded into the engine's running fleet total, so the
+    /// per-round fleet op count is an `O(active)` delta accumulation
+    /// instead of an `O(tenants)` re-sum.
+    counted_ops: u64,
 }
 
 impl Lane<'_> {
@@ -323,7 +357,8 @@ impl MultiTenantEngine {
     ) -> MultiTenantReport {
         assert!(!tenants.is_empty(), "co-location needs at least one tenant");
         let mut controller = GlobalController::new(self.cfg.fast_budget_pages, self.cfg.floor_frac)
-            .with_objective(self.cfg.objective.build());
+            .with_objective_kind(self.cfg.objective)
+            .with_mode(self.cfg.controller_mode);
         for t in &tenants {
             controller.add_tenant(&t.name, t.workload.footprint_pages(self.sim.page_size));
         }
@@ -337,12 +372,22 @@ impl MultiTenantEngine {
         let mut pending: VecDeque<(u64, TenantEvent)> = churn.events.into();
         let mut churn_records: Vec<ChurnRecord> = Vec::new();
 
+        // Active-set iteration: only lanes that can still make progress
+        // are visited per round, so a fleet where most tenants finished
+        // early (the synthetic large-fleet shape) costs O(active) per
+        // round, not O(tenants). Registration order is preserved —
+        // `retain` keeps relative order — so stepping order, and with it
+        // every report bit, is unchanged.
+        let mut active: Vec<usize> = (0..lanes.len()).collect();
+        let mut fleet_ops = 0u64;
+
         let mut round_end = self.cfg.rebalance_interval_ns;
         loop {
-            for lane in &mut lanes {
-                if lane.departed_at_ns.is_none() {
-                    lane.run_until(round_end, batch_ops);
-                }
+            for &i in &active {
+                let lane = &mut lanes[i];
+                lane.run_until(round_end, batch_ops);
+                fleet_ops += lane.pipeline.ops() - lane.counted_ops;
+                lane.counted_ops = lane.pipeline.ops();
             }
 
             // Apply due churn events. Each event fires independently of
@@ -354,7 +399,6 @@ impl MultiTenantEngine {
             // completed ops, which are identical at round boundaries for
             // every batch size — so churn timing is batch-size invariant
             // too.
-            let fleet_ops: u64 = lanes.iter().map(|l| l.pipeline.ops()).sum();
             let mut scan = 0;
             while scan < pending.len() {
                 if pending[scan].0 > fleet_ops {
@@ -381,12 +425,16 @@ impl MultiTenantEngine {
                         let lane = self.lane(&controller, slot, run, round_end, batch_ops);
                         debug_assert_eq!(slot, lanes.len(), "slots track lanes");
                         lanes.push(lane);
+                        active.push(slot);
                         (ChurnKind::Arrived, name)
                     }
                 };
                 // Reclaimed/carved pages are enforced immediately, not at
                 // the next rebalance — live quotas always sum to budget.
-                for (i, lane) in lanes.iter_mut().enumerate() {
+                // Finished lanes never run again, so re-capping them is
+                // unobservable: active lanes suffice.
+                for &i in &active {
+                    let lane = &mut lanes[i];
                     if lane.departed_at_ns.is_none() {
                         lane.pipeline.set_fast_capacity(controller.quota(i));
                     }
@@ -400,30 +448,37 @@ impl MultiTenantEngine {
                 });
             }
 
-            if lanes.iter().all(Lane::finished) {
-                break;
-            }
             // A finished tenant's application is gone: its policy state
             // (and hot-set estimate) is frozen at peak, so letting it keep
             // reporting demand would squeeze still-running tenants forever.
-            // It reports zero instead — the controller floors that to the
-            // idle share, freeing the rest for live tenants. (Departed
-            // tenants have no quota at all — their slots are dead.)
-            let demands: Vec<u64> = lanes
-                .iter()
-                .map(|l| {
-                    if l.finished() {
-                        0
-                    } else {
-                        l.policy.fast_demand_pages(l.pipeline.mem())
-                    }
-                })
-                .collect();
-            let event = controller.rebalance(round_end, &demands);
-            for (lane, &quota) in lanes.iter_mut().zip(&event.quotas) {
-                if lane.departed_at_ns.is_none() {
-                    lane.pipeline.set_fast_capacity(quota);
+            // It reports zero exactly once, at the transition off the
+            // active set — the controller floors that to the idle share
+            // and the applied demand model never changes again, which is
+            // why dropping it from the per-round loop is bit-identical.
+            // (Departed tenants have no quota at all — their slots are
+            // dead; `update_demand` ignores them.)
+            active.retain(|&i| {
+                if lanes[i].finished() {
+                    controller.update_demand(i, 0);
+                    false
+                } else {
+                    true
                 }
+            });
+            if active.is_empty() {
+                break;
+            }
+            for &i in &active {
+                let lane = &lanes[i];
+                controller.update_demand(i, lane.policy.fast_demand_pages(lane.pipeline.mem()));
+                if self.cfg.use_demand_curves {
+                    let curve = lane.policy.demand_curve(lane.pipeline.mem());
+                    controller.update_demand_curve(i, &curve);
+                }
+            }
+            controller.rebalance_dirty(round_end);
+            for &i in &active {
+                lanes[i].pipeline.set_fast_capacity(controller.quota(i));
             }
             round_end += self.cfg.rebalance_interval_ns;
         }
@@ -453,6 +508,7 @@ impl MultiTenantEngine {
             initial_quota: tier_cfg.fast_capacity_pages,
             start_ns,
             departed_at_ns: None,
+            counted_ops: 0,
         }
     }
 

@@ -269,6 +269,11 @@ pub struct ChurnRecord {
     pub live_after: Vec<bool>,
 }
 
+/// Tenant-count threshold beyond which [`MultiTenantReport::summary`]
+/// (and the runner's golden renderer) switch from per-tenant tables to
+/// aggregate form, keeping fleet-scale renders `O(threshold)`.
+pub const SUMMARY_MAX_TENANTS: usize = 12;
+
 /// The complete result of one multi-tenant (co-located) run: per-tenant
 /// [`SimReport`]s, the controller's full quota trajectory, and fairness
 /// summaries (paper §7).
@@ -303,7 +308,9 @@ impl MultiTenantReport {
     /// The quota trajectory of one tenant: `(rebalance time ns, quota)` per
     /// rebalance event, prefixed by the tenant's admission assignment at
     /// its arrival time. Rebalances before a churn arrival's slot existed
-    /// report quota 0 (the tenant was not in the fleet yet).
+    /// report quota 0 (the tenant was not in the fleet yet). Compact
+    /// events (incremental-mode rebalances carry no per-slot vectors) are
+    /// skipped rather than misread as zeros.
     pub fn quota_trajectory(&self, tenant: usize) -> Vec<(u64, u64)> {
         let mut out = Vec::with_capacity(self.rebalances.len() + 1);
         out.push((
@@ -313,7 +320,7 @@ impl MultiTenantReport {
         out.extend(
             self.rebalances
                 .iter()
-                .filter(|e| e.at_ns >= self.tenants[tenant].arrived_at_ns)
+                .filter(|e| !e.quotas.is_empty() && e.at_ns >= self.tenants[tenant].arrived_at_ns)
                 .map(|e| (e.at_ns, e.quotas.get(tenant).copied().unwrap_or(0))),
         );
         out
@@ -390,45 +397,81 @@ impl MultiTenantReport {
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = write!(out, "{:>6}", "t_ms");
-        for t in &self.tenants {
-            let _ = write!(out, " {:>13}", format!("{} demand", t.name));
-        }
-        for t in &self.tenants {
-            let _ = write!(out, " {:>12}", format!("{} quota", t.name));
-        }
-        out.push('\n');
-        for e in &self.rebalances {
-            let _ = write!(out, "{:>6.0}", e.at_ns as f64 / 1e6);
-            // Slots admitted after this event print `-` (not in the fleet
-            // yet); departed slots print their recorded zeros.
-            for i in 0..self.tenants.len() {
-                match e.demands.get(i) {
-                    Some(d) => {
-                        let _ = write!(out, " {d:>13}");
-                    }
-                    None => {
-                        let _ = write!(out, " {:>13}", "-");
-                    }
-                }
+        // Beyond the threshold (or when every event is compact) the
+        // per-tenant trajectory table degenerates into noise; summarize in
+        // aggregate instead so a 10⁵-tenant fleet renders in O(threshold).
+        let compact_events =
+            !self.rebalances.is_empty() && self.rebalances.iter().all(|e| e.quotas.is_empty());
+        let wide = self.tenants.len() > SUMMARY_MAX_TENANTS;
+        if compact_events {
+            let _ = writeln!(
+                out,
+                "{} rebalances recorded in compact (incremental) form; trajectory table elided",
+                self.rebalances.len()
+            );
+        } else if wide {
+            let _ = writeln!(
+                out,
+                "trajectory table elided ({} tenants > {SUMMARY_MAX_TENANTS} threshold, {} rebalances)",
+                self.tenants.len(),
+                self.rebalances.len()
+            );
+        } else {
+            let _ = write!(out, "{:>6}", "t_ms");
+            for t in &self.tenants {
+                let _ = write!(out, " {:>13}", format!("{} demand", t.name));
             }
-            for i in 0..self.tenants.len() {
-                match e.quotas.get(i) {
-                    Some(q) => {
-                        let _ = write!(out, " {q:>12}");
-                    }
-                    None => {
-                        let _ = write!(out, " {:>12}", "-");
-                    }
-                }
+            for t in &self.tenants {
+                let _ = write!(out, " {:>12}", format!("{} quota", t.name));
             }
             out.push('\n');
+            for e in &self.rebalances {
+                let _ = write!(out, "{:>6.0}", e.at_ns as f64 / 1e6);
+                // Slots admitted after this event print `-` (not in the
+                // fleet yet); departed slots print their recorded zeros.
+                for i in 0..self.tenants.len() {
+                    match e.demands.get(i) {
+                        Some(d) => {
+                            let _ = write!(out, " {d:>13}");
+                        }
+                        None => {
+                            let _ = write!(out, " {:>13}", "-");
+                        }
+                    }
+                }
+                for i in 0..self.tenants.len() {
+                    match e.quotas.get(i) {
+                        Some(q) => {
+                            let _ = write!(out, " {q:>12}");
+                        }
+                        None => {
+                            let _ = write!(out, " {:>12}", "-");
+                        }
+                    }
+                }
+                out.push('\n');
+            }
         }
         out.push('\n');
         for c in &self.churn {
+            let live = c.live_after.iter().filter(|&&l| l).count();
+            let fleet = if live > SUMMARY_MAX_TENANTS {
+                format!("{live} live")
+            } else {
+                format!(
+                    "[{}]",
+                    c.live_after
+                        .iter()
+                        .zip(&self.tenants)
+                        .filter(|(&l, _)| l)
+                        .map(|(_, t)| t.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join("+")
+                )
+            };
             let _ = writeln!(
                 out,
-                "churn @{:>4.0} ms ({:>8} fleet ops): {} {:>7}, fleet now [{}]",
+                "churn @{:>4.0} ms ({:>8} fleet ops): {} {:>7}, fleet now {fleet}",
                 c.at_ns as f64 / 1e6,
                 c.at_fleet_ops,
                 match c.kind {
@@ -436,19 +479,17 @@ impl MultiTenantReport {
                     ChurnKind::Departed => "depart",
                 },
                 c.tenant,
-                c.live_after
-                    .iter()
-                    .zip(&self.tenants)
-                    .filter(|(&l, _)| l)
-                    .map(|(_, t)| t.name.as_str())
-                    .collect::<Vec<_>>()
-                    .join("+"),
             );
         }
         if !self.churn.is_empty() {
             out.push('\n');
         }
-        for t in &self.tenants {
+        let shown = if wide {
+            SUMMARY_MAX_TENANTS
+        } else {
+            self.tenants.len()
+        };
+        for t in &self.tenants[..shown] {
             let _ = writeln!(
                 out,
                 "tenant {:>6}: {:>8} ops, fast-hit {:.3}, quota {} -> {} pages ({} resident)",
@@ -458,6 +499,16 @@ impl MultiTenantReport {
                 t.initial_quota_pages,
                 t.final_quota_pages,
                 t.final_fast_used,
+            );
+        }
+        if wide {
+            let elided = &self.tenants[shown..];
+            let _ = writeln!(
+                out,
+                "... {} more tenants elided ({} ops, {} pages held at finish)",
+                elided.len(),
+                elided.iter().map(|t| t.report.ops).sum::<u64>(),
+                elided.iter().map(|t| t.final_quota_pages).sum::<u64>(),
             );
         }
         let _ = writeln!(
