@@ -36,14 +36,18 @@
 //! The JSON records wall-clock seconds for each mode, the speedup, the
 //! thread count, whether parallel results were byte-identical to serial,
 //! and the full per-scenario result/timing breakdown of the last pass run —
-//! for the single-tenant policy-comparison sweep, the multi-tenant
-//! co-location sweep (`"colocation"` section, with per-tenant detail), and
-//! the dynamic-fleet churn sweep (`"fleet"` section: objectives × budgets
-//! over the canonical 3-tenant arrive/depart/arrive-again fleet).
+//! for the single-tenant policy-comparison sweep, the N-tier ladder sweep
+//! (`"tiers"` section: 3- and 4-tier presets across the compared systems
+//! plus NeoMem), the multi-tenant co-location sweep (`"colocation"`
+//! section, with per-tenant detail), and the dynamic-fleet churn sweep
+//! (`"fleet"` section: objectives × budgets over the canonical 3-tenant
+//! arrive/depart/arrive-again fleet).
 //!
 //! With `--compare`, a `"compare"` section (aggregate throughput ratio plus
 //! per-scenario ratios, matched by label) is appended to the written JSON —
-//! the machine-readable perf trajectory every perf PR is measured by.
+//! the machine-readable perf trajectory every perf PR is measured by. Its
+//! first entry records section-presence drift: sweeps that exist on only
+//! one side cannot be gated and are called out instead of silently skipped.
 //!
 //! The distributed workflow (`--shard` on every host, `--merge` anywhere)
 //! reassembles a result identical to the unsharded run in every
@@ -55,10 +59,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fleet_exec::{sweep_coordinator, FleetConfig, FleetExecReport};
-use hybridtier_bench::compare::{ControllerDelta, SweepDelta, SweepSnapshot};
+use hybridtier_bench::compare::{ControllerDelta, SectionDrift, SweepDelta, SweepSnapshot};
 use hybridtier_bench::controller::controller_section;
 use hybridtier_bench::fleet::fleet_exec_json;
-use hybridtier_bench::{colocation_matrix, fleet_matrix, json, merge, policy_comparison_matrix};
+use hybridtier_bench::{
+    colocation_matrix, fleet_matrix, json, merge, policy_comparison_matrix, tier_ladder_matrix,
+};
 use tiering_runner::{Scenario, ShardSpec, SweepReport, SweepRunner};
 
 struct Args {
@@ -68,6 +74,7 @@ struct Args {
     threads: usize,
     serial: bool,
     parallel: bool,
+    tiers: bool,
     colocation: bool,
     fleet: bool,
     controller: bool,
@@ -87,6 +94,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         threads: 0,
         serial: true,
         parallel: true,
+        tiers: true,
         colocation: true,
         fleet: true,
         controller: true,
@@ -126,6 +134,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--serial-only" => args.parallel = false,
             "--parallel-only" => args.serial = false,
+            "--no-tiers" => args.tiers = false,
             "--no-colocation" => args.colocation = false,
             "--no-fleet" => args.fleet = false,
             "--no-controller" => args.controller = false,
@@ -174,8 +183,8 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--json <path>] [--ops <n>] [--sim-ms <n>] [--threads <n>] \
-                     [--serial-only] [--parallel-only] [--no-colocation] [--no-fleet] \
-                     [--no-controller] [--shard <i/N>] [--exec-workers <n>] \
+                     [--serial-only] [--parallel-only] [--no-tiers] [--no-colocation] \
+                     [--no-fleet] [--no-controller] [--shard <i/N>] [--exec-workers <n>] \
                      [--merge <shard.json>...] [--compare <prev.json>] [--regress <frac>]\n\
                      json schema and shard/merge workflow: docs/BENCH_FORMAT.md"
                 );
@@ -422,6 +431,28 @@ fn main() -> ExitCode {
         };
     }
 
+    // The tier-ladder sweep runs *after* the legacy sections even though it
+    // is emitted right after "single" in the JSON: wall clocks drift with a
+    // process's position in a long run (thermal/steal effects on shared
+    // hosts), so new sections must append at the end of the run order to
+    // keep the pre-existing sections comparable against old baselines —
+    // the timing analogue of the ScenarioMatrix seed-preservation rule.
+    let mut tiers = None;
+    if args.tiers {
+        println!();
+        tiers = match run_sweep(
+            &format!("tier-ladder sweep ({ops} ops/scenario, 3- and 4-tier presets)"),
+            &args,
+            move || tier_ladder_matrix(ops),
+        ) {
+            Ok(passes) => Some(passes),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+
     // Controller scaling probe: host-local micro-timings (no serial /
     // parallel passes to reconcile), so it is skipped on sharded runs —
     // the merged document gets it from whichever host runs unsharded.
@@ -449,6 +480,9 @@ fn main() -> ExitCode {
         ));
     }
     json.push_str(&format!(",\"single\":{}", single.to_json(args.shard)));
+    if let Some(passes) = &tiers {
+        json.push_str(&format!(",\"tiers\":{}", passes.to_json(args.shard)));
+    }
     if let Some(passes) = &colo {
         json.push_str(&format!(",\"colocation\":{}", passes.to_json(args.shard)));
     }
@@ -465,6 +499,7 @@ fn main() -> ExitCode {
         section.set("workers", json::Json::Int(args.exec_workers as i128));
         for (name, passes) in [
             ("single", Some(&single)),
+            ("tiers", tiers.as_ref()),
             ("colocation", colo.as_ref()),
             ("fleet", fleet.as_ref()),
         ] {
@@ -477,6 +512,7 @@ fn main() -> ExitCode {
     json.push('}');
 
     let identical = single.identical;
+    let tiers_identical = tiers.as_ref().and_then(|p| p.identical);
     let colo_identical = colo.as_ref().and_then(|p| p.identical);
     let fleet_identical = fleet.as_ref().and_then(|p| p.identical);
 
@@ -514,11 +550,20 @@ fn main() -> ExitCode {
             (Some(p), Some(c)) => Some(ControllerDelta::between(p, c)),
             _ => None,
         };
+        // Sections present on only one side produce no delta above, so a
+        // baseline missing a whole sweep would otherwise pass unremarked —
+        // the gate would silently cover less than it appears to.
+        let drift = SectionDrift::between(
+            &prev,
+            &cur,
+            merge::SECTIONS.into_iter().chain(["controller"]),
+        );
         println!(
             "\ncompare vs {} (regression threshold {:.0}%):",
             prev_path.display(),
             args.regress * 100.0
         );
+        print!("{}", drift.render());
         for d in &deltas {
             print!("{}", d.render());
         }
@@ -527,16 +572,13 @@ fn main() -> ExitCode {
         }
         json.pop(); // reopen the top-level object
         json.push_str(",\"compare\":[");
-        for (i, d) in deltas.iter().enumerate() {
-            if i > 0 {
-                json.push(',');
-            }
+        json.push_str(&drift.to_json());
+        for d in &deltas {
+            json.push(',');
             json.push_str(&d.to_json());
         }
         if let Some(d) = &controller_delta {
-            if !deltas.is_empty() {
-                json.push(',');
-            }
+            json.push(',');
             json.push_str(&d.to_json());
         }
         json.push_str("]}");
@@ -559,6 +601,7 @@ fn main() -> ExitCode {
     }
 
     if identical == Some(false)
+        || tiers_identical == Some(false)
         || colo_identical == Some(false)
         || fleet_identical == Some(false)
         || regressed

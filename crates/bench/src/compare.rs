@@ -222,6 +222,89 @@ impl SweepDelta {
     }
 }
 
+/// Presence drift between the two BENCH documents being compared: sections
+/// of the comparable vocabulary that exist on only one side.
+///
+/// The per-section loop can only diff sections present in *both* documents,
+/// so without this record a baseline whose whole `"fleet"` (or `"tiers"`,
+/// or `"controller"`) section is missing — an older schema, or a run with
+/// `--no-fleet` — would silently shrink the compared surface and the gate
+/// would pass on a fraction of the workload it appears to cover. Drift is
+/// reported loudly and embedded in the `"compare"` array, but is not by
+/// itself a regression: skipping a sweep on one side is a legitimate
+/// protocol choice (`--no-controller` on shards, schema growth across PRs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionDrift {
+    /// Sections present in the current run but absent from the baseline.
+    pub added: Vec<String>,
+    /// Sections present in the baseline but absent from the current run.
+    pub missing: Vec<String>,
+}
+
+impl SectionDrift {
+    /// Compares section presence across `sections` (the sweep vocabulary
+    /// plus `"controller"`).
+    pub fn between<'a>(
+        prev: &Json,
+        cur: &Json,
+        sections: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
+        let mut added = Vec::new();
+        let mut missing = Vec::new();
+        for name in sections {
+            match (prev.get(name).is_some(), cur.get(name).is_some()) {
+                (false, true) => added.push(name.to_string()),
+                (true, false) => missing.push(name.to_string()),
+                _ => {}
+            }
+        }
+        Self { added, missing }
+    }
+
+    /// No one-sided sections: both documents cover the same surface.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.missing.is_empty()
+    }
+
+    /// Human-readable report (empty string when nothing drifted).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "section coverage changed since baseline (one-sided sections are \
+             NOT gated):"
+        );
+        for name in &self.added {
+            let _ = writeln!(out, "  + {name} (not in baseline)");
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "  - {name} (baseline only; unverified this run)");
+        }
+        out
+    }
+
+    /// Machine-readable JSON fragment, shaped like the sweep deltas so it
+    /// rides in the same `"compare"` array.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"sweep\":\"sections\"");
+        for (key, names) in [("added", &self.added), ("missing", &self.missing)] {
+            let _ = write!(s, ",\"{key}\":[");
+            for (i, name) in names.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{name}\"");
+            }
+            s.push(']');
+        }
+        s.push('}');
+        s
+    }
+}
+
 /// Outcome of comparing the `"controller"` scaling sections of two runs:
 /// the control plane's regression gate, mirroring [`SweepDelta`] for the
 /// data plane.
@@ -442,6 +525,50 @@ mod tests {
         assert!(!ControllerDelta::between(&prev, &prev).regressed(0.15));
         assert!(d.render().contains("slower"));
         assert!(parse(&d.to_json()).is_ok());
+    }
+
+    #[test]
+    fn one_sided_sections_are_reported_not_silently_skipped() {
+        // The baseline carries a fleet sweep and a controller probe that the
+        // current run lacks; the current run grew a tiers sweep. None of
+        // these pairs can produce a SweepDelta — presence drift is the only
+        // witness that the compared surface shrank.
+        let prev = parse(r#"{"single":{"serial_s":1.0},"fleet":{"serial_s":2.0},"controller":{}}"#)
+            .unwrap();
+        let cur = parse(r#"{"single":{"serial_s":1.0},"tiers":{"serial_s":0.5}}"#).unwrap();
+        let sections = ["single", "tiers", "colocation", "fleet", "controller"];
+        let d = SectionDrift::between(&prev, &cur, sections);
+        assert_eq!(d.added, vec!["tiers".to_string()]);
+        assert_eq!(
+            d.missing,
+            vec!["fleet".to_string(), "controller".to_string()]
+        );
+        assert!(!d.is_empty());
+        let rendered = d.render();
+        assert!(rendered.contains("+ tiers (not in baseline)"), "{rendered}");
+        assert!(
+            rendered.contains("- fleet (baseline only; unverified this run)"),
+            "{rendered}"
+        );
+        let json = d.to_json();
+        assert!(json.contains("\"sweep\":\"sections\""), "{json}");
+        assert!(
+            json.contains("\"missing\":[\"fleet\",\"controller\"]"),
+            "{json}"
+        );
+        assert!(parse(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn matched_sections_produce_no_drift() {
+        let doc = parse(r#"{"single":{"serial_s":1.0},"colocation":{"serial_s":1.0}}"#).unwrap();
+        let d = SectionDrift::between(&doc, &doc, ["single", "colocation", "fleet"]);
+        assert!(d.is_empty());
+        assert_eq!(d.render(), "");
+        assert_eq!(
+            d.to_json(),
+            "{\"sweep\":\"sections\",\"added\":[],\"missing\":[]}"
+        );
     }
 
     #[test]

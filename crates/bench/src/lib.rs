@@ -131,3 +131,23 @@ pub fn policy_comparison_matrix(ops: u64) -> Vec<tiering_runner::Scenario> {
         .fixed_seed()
         .build()
 }
+
+/// The N-tier ladder sweep (`"tiers"` section): both CacheLib workloads on
+/// every [`LadderKind`] preset (3-tier DRAM→CXL→NVMe, 4-tier archive) × the
+/// six compared systems plus the NeoMem device-counter design — the extra
+/// comparison axis the two-tier matrices cannot express. 28 scenarios.
+///
+/// [`LadderKind`]: tiering_mem::LadderKind
+pub fn tier_ladder_matrix(ops: u64) -> Vec<tiering_runner::Scenario> {
+    use tiering_mem::LadderKind;
+    use tiering_policies::PolicyKind;
+    use tiering_workloads::WorkloadId;
+
+    tiering_runner::ScenarioMatrix::new(SimConfig::default().with_max_ops(ops), SEED)
+        .workloads([WorkloadId::CdnCacheLib, WorkloadId::SocialCacheLib])
+        .ratios([])
+        .ladders(LadderKind::ALL)
+        .policies(PolicyKind::COMPARED.into_iter().chain([PolicyKind::NeoMem]))
+        .fixed_seed()
+        .build()
+}

@@ -31,7 +31,7 @@ use tiering_runner::{ShardSpec, SweepReport};
 use crate::json::Json;
 
 /// The sweep sections a BENCH document may carry, in canonical order.
-pub const SECTIONS: [&str; 3] = ["single", "colocation", "fleet"];
+pub const SECTIONS: [&str; 4] = ["single", "tiers", "colocation", "fleet"];
 
 /// Serializes one sweep's timing section (the `"single"` /
 /// `"colocation"` / `"fleet"` objects of a BENCH document). With `shard`

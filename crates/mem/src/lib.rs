@@ -35,7 +35,9 @@
 mod latency;
 mod page;
 mod tiered;
+mod topology;
 
-pub use latency::LatencyModel;
+pub use latency::{LatencyModel, TierLatency};
 pub use page::{PageId, PageSize, Tier};
-pub use tiered::{MigrationError, MigrationStats, TierConfig, TierRatio, TieredMemory};
+pub use tiered::{frac_lt, MigrationError, MigrationStats, TierConfig, TierRatio, TieredMemory};
+pub use topology::{LadderKind, TierParams, TierTopology, MAX_TIERS};

@@ -3,7 +3,9 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::latency::LatencyModel;
 use crate::page::{PageId, PageSize, Tier};
+use crate::topology::TierTopology;
 
 /// Fast:slow capacity ratios evaluated in the paper (§6.1: "the x-axis
 /// indicates the ratio between fast and slow-tier memory capacity").
@@ -114,17 +116,76 @@ impl Error for MigrationError {}
 /// Running migration/allocation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MigrationStats {
-    /// Pages moved slow → fast.
+    /// Page hops moved toward the fast end of the ladder (slow → fast in
+    /// the 2-tier testbed).
     pub promotions: u64,
-    /// Pages moved fast → slow.
+    /// Page hops moved toward the cold end (fast → slow in 2-tier).
     pub demotions: u64,
-    /// First-touch allocations landing in the fast tier.
+    /// First-touch allocations landing in the fast tier (tier 0).
     pub allocated_fast: u64,
-    /// First-touch allocations landing in the slow tier.
+    /// First-touch allocations landing below the fast tier.
     pub allocated_slow: u64,
-    /// Promotions rejected because the fast tier was full.
+    /// Promotions rejected because the destination tier was full.
     pub failed_promotions: u64,
 }
+
+/// Exactly compares the rational `num / den` against an `f64` threshold —
+/// `num / den < threshold` — without a floating-point division.
+///
+/// The threshold decomposes exactly into `m · 2^e` (every finite `f64`
+/// does), so the comparison reduces to integer arithmetic in `u128` with
+/// shift-overflow guards. `fast_free_frac() < w` computed through `f64`
+/// division agrees everywhere except ratios within one rounding error of
+/// the threshold, where the division's round-to-nearest can flip the
+/// verdict; this form is the exact one. NaN thresholds compare `false`
+/// (matching `<` on `f64`); a zero denominator compares `false`.
+pub fn frac_lt(num: u64, den: u64, threshold: f64) -> bool {
+    if den == 0 || threshold.is_nan() || threshold <= 0.0 {
+        // num/den >= 0, so it is only below a strictly positive threshold.
+        return false;
+    }
+    if threshold == f64::INFINITY {
+        return true;
+    }
+    // threshold = m * 2^e exactly.
+    let bits = threshold.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i64;
+    let raw_man = bits & ((1u64 << 52) - 1);
+    let (mut m, mut e) = if raw_exp == 0 {
+        (raw_man, -1074i64)
+    } else {
+        (raw_man | (1u64 << 52), raw_exp - 1075)
+    };
+    let tz = m.trailing_zeros();
+    m >>= tz;
+    e += i64::from(tz);
+    if e >= 0 {
+        // num/den < m·2^e  ⟺  num < den·m·2^e. Overflow means the right
+        // side exceeds u128 (and so any u64 numerator).
+        if e >= 128 {
+            return true;
+        }
+        let prod = (den as u128) * (m as u128); // den·m < 2^64 · 2^53, fits.
+        if prod.leading_zeros() < e as u32 {
+            // den·m·2^e ≥ 2^128: above any u64 numerator.
+            return true;
+        }
+        (num as u128) < (prod << e)
+    } else {
+        // num/den < m·2^e  ⟺  num·2^s < den·m with s = -e. den·m < 2^117
+        // always fits; a left-shift overflow means the left side ≥ 2^128.
+        let s = (-e) as u32;
+        if num == 0 {
+            return true;
+        }
+        if s >= 128 || (num as u128).leading_zeros() < s {
+            return false;
+        }
+        ((num as u128) << s) < (den as u128) * (m as u128)
+    }
+}
+
+const UNMAPPED: u8 = u8::MAX;
 
 /// The tiered page table.
 ///
@@ -136,154 +197,305 @@ pub struct MigrationStats {
 /// [`tier_of`](TieredMemory::tier_of) (the stand-in for
 /// `/proc/PID/pagemap` scans, which is how HybridTier's demotion scan walks
 /// the address space, §4.3).
+///
+/// Internally the table is an N-tier ladder ([`TierTopology`]): the classic
+/// constructor [`new`](TieredMemory::new) builds the 2-tier testbed, while
+/// [`with_topology`](TieredMemory::with_topology) runs deeper hierarchies.
+/// The binary [`Tier`] API is a facade over the ladder — tier 0 reads as
+/// [`Tier::Fast`], every rung below it as [`Tier::Slow`] — so policies
+/// written for two tiers keep working; ladder-aware callers use
+/// [`tier_index_of`](TieredMemory::tier_index_of) and the
+/// [`promote_toward`](TieredMemory::promote_toward) /
+/// [`demote_toward`](TieredMemory::demote_toward) adjacent-hop moves.
 #[derive(Debug, Clone)]
 pub struct TieredMemory {
     config: TierConfig,
-    /// Placement per page: `None` = untouched, `Some(tier)` = resident.
-    table: Vec<Option<Tier>>,
-    fast_used: u64,
-    slow_used: u64,
+    topology: TierTopology,
+    /// Placement per page: tier index, or [`UNMAPPED`].
+    table: Vec<u8>,
+    /// Pages resident per rung.
+    used: Vec<u64>,
     stats: MigrationStats,
+    /// Accumulated per-hop migration cost (each hop charged at the slower
+    /// rung's rate), drained by [`take_migration_ns`](Self::take_migration_ns).
+    migration_ns: u64,
 }
 
 impl TieredMemory {
-    /// Creates an empty tiered memory with the given configuration.
+    /// Creates an empty 2-tier memory with the given configuration (the
+    /// classic emulated-CXL testbed shape).
     pub fn new(config: TierConfig) -> Self {
+        Self::with_topology(TierTopology::two_tier(config, &LatencyModel::default()))
+    }
+
+    /// Creates an empty memory over an arbitrary N-tier ladder.
+    pub fn with_topology(topology: TierTopology) -> Self {
         Self {
-            table: vec![None; config.address_space_pages as usize],
-            config,
-            fast_used: 0,
-            slow_used: 0,
+            config: topology.as_tier_config(),
+            table: vec![UNMAPPED; topology.address_space_pages() as usize],
+            used: vec![0; topology.n_tiers()],
+            topology,
             stats: MigrationStats::default(),
+            migration_ns: 0,
         }
     }
 
-    /// The configuration this memory was built with.
+    /// The 2-tier facade of this memory's configuration: `fast` is tier 0,
+    /// `slow` pools every rung below it. Exactly the constructor argument
+    /// for memories built with [`new`](Self::new).
     pub fn config(&self) -> TierConfig {
         self.config
     }
 
-    /// Current tier of `page`, or `None` if never touched.
+    /// The ladder this memory runs on.
+    pub fn topology(&self) -> &TierTopology {
+        &self.topology
+    }
+
+    /// Number of rungs in the ladder (2 for the classic testbed).
+    #[inline]
+    pub fn n_tiers(&self) -> usize {
+        self.used.len()
+    }
+
+    #[inline]
+    fn facade(idx: u8) -> Tier {
+        if idx == 0 {
+            Tier::Fast
+        } else {
+            Tier::Slow
+        }
+    }
+
+    /// Current tier of `page` through the binary facade (`Fast` = tier 0,
+    /// `Slow` = any rung below), or `None` if never touched.
     #[inline]
     pub fn tier_of(&self, page: PageId) -> Option<Tier> {
-        self.table.get(page.0 as usize).copied().flatten()
+        match self.table.get(page.0 as usize) {
+            Some(&idx) if idx != UNMAPPED => Some(Self::facade(idx)),
+            _ => None,
+        }
+    }
+
+    /// Current ladder index of `page` (0 = fastest), or `None` if never
+    /// touched.
+    #[inline]
+    pub fn tier_index_of(&self, page: PageId) -> Option<usize> {
+        match self.table.get(page.0 as usize) {
+            Some(&idx) if idx != UNMAPPED => Some(idx as usize),
+            _ => None,
+        }
     }
 
     /// Ensures `page` is mapped, allocating it on first touch.
     ///
-    /// Allocation tries `preferred` first and falls back to the other tier
-    /// if full (Linux first-touch with fallback). Returns the tier the page
-    /// resides in after the call.
+    /// Allocation tries `preferred` first and falls back to the nearest
+    /// rung with room — colder rungs in ladder order, then warmer rungs
+    /// nearest-first (Linux first-touch with fallback; in the 2-tier shape
+    /// this is exactly "preferred, then the other tier"). Returns the tier
+    /// the page resides in after the call.
     ///
     /// # Panics
     ///
-    /// Panics if `page` is outside the configured address space, or if both
-    /// tiers are full (the configuration guarantees the slow tier can hold
-    /// the footprint, so this indicates a harness bug).
+    /// Panics if `page` is outside the configured address space, or if every
+    /// tier is full (the topology guarantees the bottom tier can hold the
+    /// footprint, so this indicates a harness bug).
     #[inline]
     pub fn ensure_mapped(&mut self, page: PageId, preferred: Tier) -> Tier {
+        Self::facade(self.ensure_mapped_indexed(page, preferred) as u8)
+    }
+
+    /// [`ensure_mapped`](Self::ensure_mapped), returning the page's ladder
+    /// index instead of the binary facade — the form ladder-aware access
+    /// accounting uses.
+    #[inline]
+    pub fn ensure_mapped_indexed(&mut self, page: PageId, preferred: Tier) -> usize {
         let idx = page.0 as usize;
         assert!(
             idx < self.table.len(),
             "{page} outside address space of {} pages",
             self.table.len()
         );
-        if let Some(t) = self.table[idx] {
-            return t;
+        if self.table[idx] != UNMAPPED {
+            return self.table[idx] as usize;
         }
-        let tier = if self.has_free(preferred) {
-            preferred
-        } else if self.has_free(preferred.other()) {
-            preferred.other()
-        } else {
-            panic!("both tiers full; slow tier must be sized to the footprint");
+        let preferred = match preferred {
+            Tier::Fast => 0,
+            Tier::Slow => 1,
         };
-        self.table[idx] = Some(tier);
-        match tier {
-            Tier::Fast => {
-                self.fast_used += 1;
-                self.stats.allocated_fast += 1;
-            }
-            Tier::Slow => {
-                self.slow_used += 1;
-                self.stats.allocated_slow += 1;
+        let dst = self.alloc_tier(preferred);
+        self.table[idx] = dst as u8;
+        self.used[dst] += 1;
+        if dst == 0 {
+            self.stats.allocated_fast += 1;
+        } else {
+            self.stats.allocated_slow += 1;
+        }
+        dst
+    }
+
+    /// First-touch placement order: `preferred`, then each colder rung down
+    /// the ladder, then warmer rungs nearest-first.
+    fn alloc_tier(&self, preferred: usize) -> usize {
+        if self.has_free(preferred) {
+            return preferred;
+        }
+        for t in preferred + 1..self.n_tiers() {
+            if self.has_free(t) {
+                return t;
             }
         }
-        tier
+        for t in (0..preferred).rev() {
+            if self.has_free(t) {
+                return t;
+            }
+        }
+        if self.n_tiers() == 2 {
+            panic!("both tiers full; slow tier must be sized to the footprint");
+        }
+        panic!("all tiers full; the bottom tier must be sized to the footprint");
     }
 
     #[inline]
-    fn has_free(&self, tier: Tier) -> bool {
-        match tier {
-            Tier::Fast => self.fast_used < self.config.fast_capacity_pages,
-            Tier::Slow => self.slow_used < self.config.slow_capacity_pages,
-        }
+    fn has_free(&self, tier: usize) -> bool {
+        self.used[tier] < self.topology.tier(tier).capacity_pages
     }
 
-    /// Moves `page` slow → fast.
+    /// Moves a mapped page one adjacent hop, `from` → `to`, charging the
+    /// hop at the slower rung's migration rate.
+    fn hop(&mut self, page: PageId, from: usize, to: usize) -> Result<usize, MigrationError> {
+        debug_assert!(from.abs_diff(to) == 1, "hops move one rung");
+        if !self.has_free(to) {
+            if to < from {
+                self.stats.failed_promotions += 1;
+            }
+            return Err(MigrationError::TierFull(Self::facade(to as u8)));
+        }
+        self.table[page.0 as usize] = to as u8;
+        self.used[from] -= 1;
+        self.used[to] += 1;
+        if to < from {
+            self.stats.promotions += 1;
+        } else {
+            self.stats.demotions += 1;
+        }
+        let slower = from.max(to);
+        self.migration_ns = self.migration_ns.saturating_add(
+            self.topology.tier(slower).migrate_base_page_ns
+                * self.topology.page_size().base_pages(),
+        );
+        Ok(to)
+    }
+
+    /// Moves `page` one rung toward the fast end (slow → fast in 2-tier).
     ///
     /// # Errors
     ///
     /// [`MigrationError::NotMapped`] if the page was never touched,
-    /// [`MigrationError::AlreadyThere`] if it is already fast, or
-    /// [`MigrationError::TierFull`] if the fast tier has no free page (the
-    /// caller must demote first; failed promotions are counted).
+    /// [`MigrationError::AlreadyThere`] if it is already in tier 0, or
+    /// [`MigrationError::TierFull`] if the destination rung has no free
+    /// page (the caller must demote first; failed promotions are counted).
     pub fn promote(&mut self, page: PageId) -> Result<(), MigrationError> {
-        match self.tier_of(page) {
+        match self.tier_index_of(page) {
             None => Err(MigrationError::NotMapped(page)),
-            Some(Tier::Fast) => Err(MigrationError::AlreadyThere(page, Tier::Fast)),
-            Some(Tier::Slow) => {
-                if !self.has_free(Tier::Fast) {
-                    self.stats.failed_promotions += 1;
-                    return Err(MigrationError::TierFull(Tier::Fast));
-                }
-                self.table[page.0 as usize] = Some(Tier::Fast);
-                self.slow_used -= 1;
-                self.fast_used += 1;
-                self.stats.promotions += 1;
-                Ok(())
-            }
+            Some(0) => Err(MigrationError::AlreadyThere(page, Tier::Fast)),
+            Some(idx) => self.hop(page, idx, idx - 1).map(|_| ()),
         }
     }
 
-    /// Moves `page` fast → slow.
+    /// Moves `page` one rung toward the cold end (fast → slow in 2-tier).
     ///
     /// # Errors
     ///
-    /// Mirror image of [`promote`](TieredMemory::promote).
+    /// Mirror image of [`promote`](TieredMemory::promote), except failed
+    /// demotions are not counted.
     pub fn demote(&mut self, page: PageId) -> Result<(), MigrationError> {
-        match self.tier_of(page) {
+        match self.tier_index_of(page) {
             None => Err(MigrationError::NotMapped(page)),
-            Some(Tier::Slow) => Err(MigrationError::AlreadyThere(page, Tier::Slow)),
-            Some(Tier::Fast) => {
-                if !self.has_free(Tier::Slow) {
-                    return Err(MigrationError::TierFull(Tier::Slow));
-                }
-                self.table[page.0 as usize] = Some(Tier::Slow);
-                self.fast_used -= 1;
-                self.slow_used += 1;
-                self.stats.demotions += 1;
-                Ok(())
+            Some(idx) if idx == self.topology.bottom() => {
+                Err(MigrationError::AlreadyThere(page, Tier::Slow))
             }
+            Some(idx) => self.hop(page, idx, idx + 1).map(|_| ()),
         }
     }
 
-    /// Pages currently resident in the fast tier.
-    pub fn fast_used(&self) -> u64 {
-        self.fast_used
+    /// One adjacent hop up-ladder toward the `target` rung; returns the
+    /// page's index after the hop. Calling in a loop walks the page all the
+    /// way to `target` (each hop is a separate `move_pages`-equivalent and
+    /// is counted/charged individually).
+    ///
+    /// # Errors
+    ///
+    /// [`MigrationError::AlreadyThere`] when the page is already at or
+    /// above `target`; otherwise as [`promote`](Self::promote).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a rung of the ladder.
+    pub fn promote_toward(&mut self, page: PageId, target: usize) -> Result<usize, MigrationError> {
+        assert!(target < self.n_tiers(), "tier {target} outside the ladder");
+        match self.tier_index_of(page) {
+            None => Err(MigrationError::NotMapped(page)),
+            Some(idx) if idx <= target => {
+                Err(MigrationError::AlreadyThere(page, Self::facade(idx as u8)))
+            }
+            Some(idx) => self.hop(page, idx, idx - 1),
+        }
     }
 
-    /// Pages currently resident in the slow tier.
+    /// One adjacent hop down-ladder toward the `target` rung; returns the
+    /// page's index after the hop — the demotion-chain primitive (cascading
+    /// excess fast → slow → cold instead of stopping at "slow").
+    ///
+    /// # Errors
+    ///
+    /// [`MigrationError::AlreadyThere`] when the page is already at or
+    /// below `target`; otherwise as [`demote`](Self::demote).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a rung of the ladder.
+    pub fn demote_toward(&mut self, page: PageId, target: usize) -> Result<usize, MigrationError> {
+        assert!(target < self.n_tiers(), "tier {target} outside the ladder");
+        match self.tier_index_of(page) {
+            None => Err(MigrationError::NotMapped(page)),
+            Some(idx) if idx >= target => {
+                Err(MigrationError::AlreadyThere(page, Self::facade(idx as u8)))
+            }
+            Some(idx) => self.hop(page, idx, idx + 1),
+        }
+    }
+
+    /// Pages currently resident in the fast tier (tier 0).
+    pub fn fast_used(&self) -> u64 {
+        self.used[0]
+    }
+
+    /// Pages currently resident below the fast tier.
     pub fn slow_used(&self) -> u64 {
-        self.slow_used
+        self.used[1..].iter().sum()
+    }
+
+    /// Pages currently resident in one rung.
+    pub fn tier_used(&self, tier: usize) -> u64 {
+        self.used[tier]
+    }
+
+    /// One rung's current capacity.
+    pub fn tier_capacity(&self, tier: usize) -> u64 {
+        self.topology.tier(tier).capacity_pages
+    }
+
+    /// Free pages remaining in one rung (zero when over quota after a
+    /// capacity shrink).
+    pub fn tier_free(&self, tier: usize) -> u64 {
+        self.tier_capacity(tier).saturating_sub(self.used[tier])
     }
 
     /// Free pages remaining in the fast tier (zero when over quota after a
     /// capacity shrink).
     pub fn fast_free(&self) -> u64 {
-        self.config
-            .fast_capacity_pages
-            .saturating_sub(self.fast_used)
+        self.config.fast_capacity_pages.saturating_sub(self.used[0])
     }
 
     /// Re-sizes the fast tier (the global-tiering controller of paper §7
@@ -297,12 +509,36 @@ impl TieredMemory {
     pub fn set_fast_capacity(&mut self, pages: u64) {
         assert!(pages > 0, "fast capacity must be positive");
         self.config.fast_capacity_pages = pages;
+        self.topology.set_tier_capacity(0, pages);
     }
 
-    /// Free fast-tier fraction in `[0, 1]` (watermark checks compare against
-    /// this).
+    /// Free fast-tier fraction in `[0, 1]`.
+    ///
+    /// This is the *display* form; watermark checks should use the exact
+    /// [`fast_free_below`](Self::fast_free_below) instead of comparing this
+    /// rounded quotient.
     pub fn fast_free_frac(&self) -> f64 {
         self.fast_free() as f64 / self.config.fast_capacity_pages as f64
+    }
+
+    /// Exact watermark test: `fast_free() / fast_capacity < frac`, computed
+    /// in integer arithmetic ([`frac_lt`]) rather than through a rounded
+    /// `f64` division. `!fast_free_below(w)` is the exact form of
+    /// `fast_free_frac() >= w` (for the non-NaN thresholds policies use).
+    #[inline]
+    pub fn fast_free_below(&self, frac: f64) -> bool {
+        frac_lt(self.fast_free(), self.config.fast_capacity_pages, frac)
+    }
+
+    /// Exact watermark test for one rung: `tier_free(tier) / capacity <
+    /// frac` — the per-rung form demotion chains cascade on.
+    #[inline]
+    pub fn tier_free_below(&self, tier: usize, frac: f64) -> bool {
+        frac_lt(
+            self.tier_free(tier),
+            self.topology.tier(tier).capacity_pages,
+            frac,
+        )
     }
 
     /// Number of pages in the address space (mapped or not).
@@ -312,7 +548,7 @@ impl TieredMemory {
 
     /// Number of currently mapped pages.
     pub fn mapped_pages(&self) -> u64 {
-        self.fast_used + self.slow_used
+        self.used.iter().sum()
     }
 
     /// Migration statistics so far.
@@ -320,13 +556,32 @@ impl TieredMemory {
         self.stats
     }
 
-    /// Iterates over all mapped pages and their tiers in address order —
-    /// the simulator analogue of a linear `/proc/PID/pagemap` scan.
+    /// Drains the accumulated per-hop migration cost (each hop charged at
+    /// the slower rung's `migrate_base_page_ns` × page span). The 2-tier
+    /// pipeline charges `moves × LatencyModel::migrate_page_ns` directly —
+    /// identical by construction — so only ladder-aware accounting reads
+    /// this.
+    pub fn take_migration_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.migration_ns)
+    }
+
+    /// Iterates over all mapped pages and their facade tiers in address
+    /// order — the simulator analogue of a linear `/proc/PID/pagemap` scan.
     pub fn iter_mapped(&self) -> impl Iterator<Item = (PageId, Tier)> + '_ {
         self.table
             .iter()
             .enumerate()
-            .filter_map(|(i, t)| t.map(|t| (PageId(i as u64), t)))
+            .filter(|&(_, &t)| t != UNMAPPED)
+            .map(|(i, &t)| (PageId(i as u64), Self::facade(t)))
+    }
+
+    /// [`iter_mapped`](Self::iter_mapped) with ladder indices instead of
+    /// the binary facade.
+    pub fn iter_mapped_indexed(&self) -> impl Iterator<Item = (PageId, usize)> + '_ {
+        self.table
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| (t != UNMAPPED).then_some((PageId(i as u64), t as usize)))
     }
 }
 
@@ -341,6 +596,10 @@ mod tests {
             page_size: PageSize::Base4K,
             address_space_pages: 100,
         })
+    }
+
+    fn three_tier() -> TieredMemory {
+        TieredMemory::with_topology(TierTopology::three_tier_dram_cxl_nvme(80, PageSize::Base4K))
     }
 
     #[test]
@@ -448,5 +707,181 @@ mod tests {
     fn out_of_range_page_panics() {
         let mut m = small();
         m.ensure_mapped(PageId(1000), Tier::Fast);
+    }
+
+    #[test]
+    fn three_tier_slow_facade_spans_lower_rungs() {
+        let mut m = three_tier();
+        assert_eq!(m.n_tiers(), 3);
+        // Slow-preferred first touch lands in tier 1 (cxl), not the bottom.
+        assert_eq!(m.ensure_mapped(PageId(5), Tier::Slow), Tier::Slow);
+        assert_eq!(m.tier_index_of(PageId(5)), Some(1));
+        // The facade pools every lower rung into "slow".
+        m.demote(PageId(5)).unwrap();
+        assert_eq!(m.tier_index_of(PageId(5)), Some(2));
+        assert_eq!(m.tier_of(PageId(5)), Some(Tier::Slow));
+        assert_eq!(m.slow_used(), 1);
+        // config() is the facade view: slow = cxl + nvme capacity.
+        assert_eq!(m.config().slow_capacity_pages, 40 + 80);
+    }
+
+    #[test]
+    fn toward_moves_are_single_hops() {
+        let mut m = three_tier();
+        m.ensure_mapped(PageId(3), Tier::Slow);
+        m.demote_toward(PageId(3), 2).unwrap();
+        assert_eq!(m.tier_index_of(PageId(3)), Some(2));
+        assert_eq!(
+            m.demote_toward(PageId(3), 2),
+            Err(MigrationError::AlreadyThere(PageId(3), Tier::Slow))
+        );
+        // Two hops back to the top, one call per rung.
+        assert_eq!(m.promote_toward(PageId(3), 0), Ok(1));
+        assert_eq!(m.promote_toward(PageId(3), 0), Ok(0));
+        assert_eq!(
+            m.promote_toward(PageId(3), 0),
+            Err(MigrationError::AlreadyThere(PageId(3), Tier::Fast))
+        );
+        let s = m.stats();
+        assert_eq!((s.promotions, s.demotions), (2, 1));
+    }
+
+    #[test]
+    fn hop_costs_charge_the_slower_rung() {
+        let mut m = three_tier();
+        m.ensure_mapped(PageId(0), Tier::Slow); // tier 1
+        m.demote(PageId(0)).unwrap(); // 1 -> 2: nvme rate
+        m.promote(PageId(0)).unwrap(); // 2 -> 1: nvme rate
+        m.promote(PageId(0)).unwrap(); // 1 -> 0: cxl rate
+        assert_eq!(m.take_migration_ns(), 20_000 + 20_000 + 2_000);
+        assert_eq!(m.take_migration_ns(), 0, "drained");
+    }
+
+    #[test]
+    fn two_tier_hop_cost_matches_latency_model() {
+        let mut m = small();
+        m.ensure_mapped(PageId(1), Tier::Slow);
+        m.promote(PageId(1)).unwrap();
+        m.demote(PageId(1)).unwrap();
+        let per_hop = LatencyModel::default().migrate_page_ns(PageSize::Base4K);
+        assert_eq!(m.take_migration_ns(), 2 * per_hop);
+    }
+
+    #[test]
+    fn ensure_mapped_cascades_down_a_full_ladder() {
+        let mut m = three_tier(); // dram 10, cxl 40, nvme 80
+        for i in 0..10 {
+            assert_eq!(m.ensure_mapped(PageId(i), Tier::Fast), Tier::Fast);
+        }
+        // Fast full: spills to cxl (nearest colder rung with room).
+        assert_eq!(m.ensure_mapped(PageId(10), Tier::Fast), Tier::Slow);
+        assert_eq!(m.tier_index_of(PageId(10)), Some(1));
+        for i in 11..50 {
+            m.ensure_mapped(PageId(i), Tier::Slow);
+        }
+        // cxl now full too: the next slow-preferred touch lands on nvme.
+        assert_eq!(m.tier_used(1), 40);
+        m.ensure_mapped(PageId(50), Tier::Slow);
+        assert_eq!(m.tier_index_of(PageId(50)), Some(2));
+    }
+
+    #[test]
+    fn frac_lt_matches_exact_rationals() {
+        // Dyadic thresholds are exactly representable: the predicate must
+        // equal the integer comparison num·2^j < den·k for frac = k/2^j.
+        for (k, j) in [(1u64, 1u32), (3, 2), (5, 6), (1, 10), (13, 4)] {
+            let frac = k as f64 / (1u64 << j) as f64;
+            for num in 0..100u64 {
+                for den in 1..40u64 {
+                    let exact = (num as u128) << j < (den as u128) * (k as u128);
+                    assert_eq!(
+                        frac_lt(num, den, frac),
+                        exact,
+                        "num={num} den={den} frac={frac}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frac_lt_edge_cases() {
+        assert!(!frac_lt(1, 10, f64::NAN));
+        assert!(!frac_lt(0, 10, f64::NAN));
+        assert!(!frac_lt(1, 10, -0.5));
+        assert!(!frac_lt(0, 10, 0.0));
+        assert!(!frac_lt(1, 0, 0.5), "zero denominator compares false");
+        assert!(frac_lt(0, 10, f64::MIN_POSITIVE), "0 < any positive");
+        assert!(frac_lt(u64::MAX, 1, f64::INFINITY));
+        assert!(
+            frac_lt(u64::MAX, 1, 1e300),
+            "huge thresholds exceed any u64 ratio"
+        );
+        assert!(
+            !frac_lt(u64::MAX, 1, 1e-300),
+            "tiny thresholds below any positive ratio"
+        );
+        // Threshold 2^80: the shifted product den·m·2^e overflows u128's
+        // value range (shift count itself is in range) — must still report
+        // "below" for any u64 ratio.
+        let big = (1u128 << 80) as f64;
+        assert!(frac_lt(u64::MAX, u64::MAX, big));
+        assert!(frac_lt(u64::MAX, 1, big));
+        // Exactly-at-threshold is not below (strict <).
+        assert!(!frac_lt(1, 2, 0.5));
+        assert!(frac_lt(1, 2, 0.5000000000000001));
+        // 0.1 as f64 is slightly above 1/10, so 1/10 IS below it.
+        assert!(frac_lt(1, 10, 0.1));
+        // 0.3 as f64 is slightly below 3/10, so 3/10 is NOT below it.
+        assert!(!frac_lt(3, 10, 0.3));
+    }
+
+    #[test]
+    fn frac_lt_agrees_with_f64_division_at_policy_watermarks() {
+        // Deterministic sweep over the watermark constants the policies
+        // use: away from one-ulp boundaries (which realistic free/capacity
+        // ratios never hit) the exact form and the f64 division agree —
+        // the empirical footing of the goldens-stay-identical claim.
+        for w in [0.02f64, 0.03, 0.06, 0.08] {
+            let mut state = 0x9E37_79B9u64;
+            for _ in 0..50_000 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let den = (state >> 33) % 1_000_000 + 1;
+                let num = (state >> 11) % (den + 1);
+                assert_eq!(
+                    frac_lt(num, den, w),
+                    (num as f64 / den as f64) < w,
+                    "num={num} den={den} w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_watermark_methods_track_occupancy() {
+        let mut m = three_tier();
+        for i in 0..80 {
+            m.ensure_mapped(PageId(i), Tier::Slow);
+        }
+        // cxl (tier 1) holds 40/40: zero free => below any positive mark.
+        assert!(m.tier_free_below(1, 0.06));
+        assert!(!m.tier_free_below(2, 0.06), "nvme is half free");
+        assert!(m.fast_free_below(1.1), "fully free is still below 1.1");
+        assert!(!m.fast_free_below(0.5), "fast tier is empty: frac 1.0");
+    }
+
+    #[test]
+    fn shrink_below_occupancy_reports_zero_free() {
+        let mut m = small();
+        for i in 0..4 {
+            m.ensure_mapped(PageId(i), Tier::Fast);
+        }
+        m.set_fast_capacity(2);
+        assert_eq!(m.fast_free(), 0);
+        assert_eq!(m.tier_capacity(0), 2);
+        assert!(m.fast_free_below(0.08));
+        assert_eq!(m.config().fast_capacity_pages, 2);
     }
 }

@@ -14,6 +14,7 @@
 use tiering_mem::{PageId, Tier, TierConfig, TieredMemory};
 use tiering_trace::Sample;
 
+use crate::chain::DemotionChain;
 use crate::list_set::ListSet;
 use crate::policy::{PolicyCtx, TieringPolicy};
 
@@ -24,6 +25,13 @@ const B2: u8 = 3;
 
 const LRU_NODE_NS: u64 = 8;
 const META_BASE: u64 = 0x7800_0000_0000;
+/// Free-fraction target the cascade maintains on middle rungs of deep
+/// ladders, and its per-rung move budget per tick. ARC itself has no
+/// watermark machinery — the cache *is* the fast tier — but on an N-tier
+/// ladder its REPLACE demotions land on the next rung down, which must in
+/// turn drain somewhere or REPLACE wedges against a full rung.
+const CHAIN_WMARK: f64 = 0.06;
+const CHAIN_BUDGET: u64 = 4_096;
 
 /// The ARC tiering policy.
 #[derive(Debug)]
@@ -33,6 +41,7 @@ pub struct ArcPolicy {
     p: usize,
     /// Cache capacity = fast-tier pages.
     c: usize,
+    chain: DemotionChain,
 }
 
 impl ArcPolicy {
@@ -42,6 +51,7 @@ impl ArcPolicy {
             lists: ListSet::new(tier_cfg.address_space_pages as usize, 4),
             p: 0,
             c: tier_cfg.fast_capacity_pages as usize,
+            chain: DemotionChain::new(),
         }
     }
 
@@ -159,6 +169,12 @@ impl TieringPolicy for ArcPolicy {
         for &sample in samples {
             self.ingest_sample(sample, mem, ctx);
         }
+    }
+
+    fn on_tick(&mut self, _now_ns: u64, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        // Keep the rung below the cache drained on deep ladders so REPLACE
+        // has somewhere to demote to (no-op on the 2-tier testbed).
+        self.chain.cascade(mem, CHAIN_WMARK, CHAIN_BUDGET, ctx);
     }
 
     fn metadata_bytes(&self) -> usize {

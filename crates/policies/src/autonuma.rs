@@ -14,6 +14,7 @@
 
 use tiering_mem::{PageId, Tier, TierConfig, TieredMemory};
 
+use crate::chain::DemotionChain;
 use crate::policy::{PolicyCtx, TieringPolicy};
 
 const SCAN_PAGE_NS: u64 = 10;
@@ -63,6 +64,7 @@ pub struct AutoNumaPolicy {
     scan_cursor: u64,
     next_scan_ns: u64,
     demote_cursor: u64,
+    chain: DemotionChain,
 }
 
 impl AutoNumaPolicy {
@@ -78,6 +80,7 @@ impl AutoNumaPolicy {
             scan_cursor: 0,
             next_scan_ns: 0,
             demote_cursor: 0,
+            chain: DemotionChain::new(),
         }
     }
 
@@ -108,7 +111,7 @@ impl AutoNumaPolicy {
         let stale_cutoff = now_ns.saturating_sub(2 * self.config.scan_interval_ns);
         for pass in 0..2 {
             let mut scanned = 0u64;
-            while mem.fast_free_frac() < self.config.demote_wmark
+            while mem.fast_free_below(self.config.demote_wmark)
                 && scanned < self.config.max_demote_per_call.min(n)
             {
                 let page = PageId(self.demote_cursor);
@@ -123,7 +126,7 @@ impl AutoNumaPolicy {
                     let _ = mem.demote(page);
                 }
             }
-            if mem.fast_free_frac() >= self.config.demote_wmark {
+            if !mem.fast_free_below(self.config.demote_wmark) {
                 break;
             }
         }
@@ -189,9 +192,17 @@ impl TieringPolicy for AutoNumaPolicy {
             self.scan_window(now_ns, ctx);
             self.next_scan_ns = now_ns + self.config.scan_interval_ns;
         }
-        if mem.fast_free_frac() < self.config.promo_wmark {
+        if mem.fast_free_below(self.config.promo_wmark) {
             self.demote_pressure(now_ns, mem, ctx);
         }
+        // Cascade watermark pressure down any middle rungs (no-op on the
+        // 2-tier testbed).
+        self.chain.cascade(
+            mem,
+            self.config.demote_wmark,
+            self.config.max_demote_per_call,
+            ctx,
+        );
     }
 
     fn metadata_bytes(&self) -> usize {

@@ -1,0 +1,162 @@
+//! Demotion chains: cascading watermark pressure down an N-tier ladder.
+//!
+//! On two tiers, watermark demotion ends at "slow" — there is nowhere
+//! colder. On a ladder (DRAM → CXL → NVMe → …) the same pressure must
+//! *cascade*: demoting fast-tier excess fills the next rung, whose own
+//! watermark then pushes its coldest residents another hop down, and so on
+//! to the bottom (TPP's multi-NUMA-node demotion targets work exactly this
+//! way). [`DemotionChain`] packages that cascade so every watermark policy
+//! can bolt it onto its existing 2-tier demotion logic: on a 2-tier memory
+//! there are no middle rungs and [`cascade`](DemotionChain::cascade) is a
+//! structural no-op — zero scans, zero charge, zero state change — which is
+//! what keeps the 2-tier golden trajectories byte-identical.
+
+use tiering_mem::TieredMemory;
+
+use crate::policy::PolicyCtx;
+
+/// Cost charged per page-table entry scanned by a cascade sweep, matching
+/// the clock-scan cost the 2-tier demotion paths charge.
+const SCAN_PAGE_NS: u64 = 10;
+
+/// Per-rung clock cursors driving watermark cascades down a tier ladder.
+///
+/// One instance lives inside each watermark policy; cursors persist across
+/// ticks so successive sweeps resume where the last one stopped (the same
+/// clock discipline the 2-tier demotion scans use).
+#[derive(Debug, Clone, Default)]
+pub struct DemotionChain {
+    /// Clock cursor per ladder rung (grown on first use).
+    cursors: Vec<u64>,
+}
+
+impl DemotionChain {
+    /// Creates a chain with no per-rung state yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cascades watermark pressure down every *middle* rung of the ladder:
+    /// for each tier `t` in `1..bottom`, while `t`'s free fraction is
+    /// (exactly) below `wmark`, clock-scan the address space demoting
+    /// residents of `t` one hop toward `t + 1`, up to `max_per_tier` page
+    /// moves per rung per call. The fast tier (rung 0) is *not* touched —
+    /// that is the policy's own demotion logic — and on a 2-tier memory
+    /// the middle range is empty, making this a no-op.
+    ///
+    /// Returns the number of pages moved; scan work is charged to `ctx` at
+    /// the same per-entry rate the 2-tier demotion scans use.
+    pub fn cascade(
+        &mut self,
+        mem: &mut TieredMemory,
+        wmark: f64,
+        max_per_tier: u64,
+        ctx: &mut PolicyCtx,
+    ) -> u64 {
+        let bottom = mem.n_tiers() - 1;
+        if bottom < 2 {
+            return 0;
+        }
+        if self.cursors.len() < bottom {
+            self.cursors.resize(bottom, 0);
+        }
+        let n = mem.address_space_pages();
+        if n == 0 {
+            return 0;
+        }
+        let mut moved_total = 0u64;
+        for t in 1..bottom {
+            let mut moved = 0u64;
+            let mut scanned = 0u64;
+            // Bound the sweep by one full revolution: if a rung is over
+            // watermark but holds nothing demotable (everything already
+            // moved this call), stop rather than spin.
+            while mem.tier_free_below(t, wmark) && moved < max_per_tier && scanned < n {
+                let page = tiering_mem::PageId(self.cursors[t]);
+                self.cursors[t] = (self.cursors[t] + 1) % n;
+                scanned += 1;
+                ctx.tiering_work_ns += SCAN_PAGE_NS;
+                if mem.tier_index_of(page) == Some(t) && mem.demote_toward(page, t + 1).is_ok() {
+                    moved += 1;
+                }
+            }
+            moved_total += moved;
+        }
+        moved_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiering_mem::{PageId, PageSize, Tier, TierConfig, TierTopology, TieredMemory};
+
+    #[test]
+    fn two_tier_cascade_is_a_structural_noop() {
+        let cfg = TierConfig::for_footprint(512, tiering_mem::TierRatio::OneTo8, PageSize::Base4K);
+        let mut mem = TieredMemory::new(cfg);
+        for i in 0..512 {
+            mem.ensure_mapped(PageId(i), Tier::Fast);
+        }
+        let mut chain = DemotionChain::new();
+        let mut ctx = PolicyCtx::new();
+        let before = mem.stats();
+        assert_eq!(chain.cascade(&mut mem, 0.9, 4_096, &mut ctx), 0);
+        assert_eq!(mem.stats(), before, "no migrations");
+        assert_eq!(ctx.tiering_work_ns, 0, "no scan work charged");
+        assert!(chain.cursors.is_empty(), "no per-rung state allocated");
+    }
+
+    #[test]
+    fn cascade_drains_a_pressured_middle_rung() {
+        // dram 10 / cxl 40 / nvme 80.
+        let topo = TierTopology::three_tier_dram_cxl_nvme(80, PageSize::Base4K);
+        let mut mem = TieredMemory::with_topology(topo);
+        for i in 0..40 {
+            mem.ensure_mapped(PageId(i), Tier::Slow); // fills cxl (tier 1)
+        }
+        assert_eq!(mem.tier_free(1), 0);
+        let mut chain = DemotionChain::new();
+        let mut ctx = PolicyCtx::new();
+        let moved = chain.cascade(&mut mem, 0.1, 4_096, &mut ctx);
+        assert!(moved > 0);
+        assert!(
+            !mem.tier_free_below(1, 0.1),
+            "cxl pressure relieved: free frac {} of capacity",
+            mem.tier_free(1)
+        );
+        assert_eq!(mem.tier_used(2), moved, "excess landed one rung down");
+        assert!(ctx.tiering_work_ns > 0, "scan work charged");
+    }
+
+    #[test]
+    fn cascade_respects_the_per_tier_move_budget() {
+        let topo = TierTopology::three_tier_dram_cxl_nvme(80, PageSize::Base4K);
+        let mut mem = TieredMemory::with_topology(topo);
+        for i in 0..40 {
+            mem.ensure_mapped(PageId(i), Tier::Slow);
+        }
+        let mut chain = DemotionChain::new();
+        let mut ctx = PolicyCtx::new();
+        assert_eq!(chain.cascade(&mut mem, 0.5, 3, &mut ctx), 3);
+        assert_eq!(mem.tier_used(2), 3);
+    }
+
+    #[test]
+    fn cascade_terminates_when_nothing_is_demotable() {
+        // Four rungs; overfill cxl while nvme (tier 2) is sized so the
+        // cascade keeps pressure below — one revolution per rung, no spin.
+        let topo = TierTopology::four_tier_archive(256, PageSize::Base4K);
+        let mut mem = TieredMemory::with_topology(topo);
+        for i in 0..mem.address_space_pages() {
+            mem.ensure_mapped(PageId(i), Tier::Slow);
+        }
+        let mut chain = DemotionChain::new();
+        let mut ctx = PolicyCtx::new();
+        // Absurd watermark: every rung always "pressured". Must still
+        // return (bounded by one revolution + budget per rung).
+        let moved = chain.cascade(&mut mem, 1.0, u64::MAX, &mut ctx);
+        let again = chain.cascade(&mut mem, 1.0, u64::MAX, &mut ctx);
+        assert!(moved >= again, "progress is monotone, not oscillating");
+    }
+}

@@ -18,6 +18,7 @@ use hybridtier_cbf::{AccessCounter, BlockedCbf, CbfParams, CounterWidth, Standar
 use tiering_mem::{PageId, PageSize, Tier, TierConfig, TieredMemory};
 use tiering_trace::Sample;
 
+use crate::chain::DemotionChain;
 use crate::flat_table::FlatPageMap;
 use crate::histogram::HotnessHistogram;
 use crate::policy::{DemandCurve, PolicyCtx, TieringPolicy};
@@ -222,6 +223,7 @@ pub struct HybridTierPolicy {
     /// `std::collections::HashMap`'s hashed heap buckets.
     second_chance: FlatPageMap<(u32, u64, u32)>,
     scan_cursor: u64,
+    chain: DemotionChain,
 }
 
 impl std::fmt::Debug for HybridTierPolicy {
@@ -293,6 +295,7 @@ impl HybridTierPolicy {
             cooling_epoch: 0,
             second_chance: FlatPageMap::new(),
             scan_cursor: 0,
+            chain: DemotionChain::new(),
             config,
         }
     }
@@ -430,7 +433,7 @@ impl HybridTierPolicy {
             return;
         }
         let mut scanned = 0u64;
-        while mem.fast_free_frac() < self.config.demote_wmark
+        while mem.fast_free_below(self.config.demote_wmark)
             && scanned < self.config.max_scan_per_call.min(n)
         {
             let page = PageId(self.scan_cursor);
@@ -539,9 +542,17 @@ impl TieringPolicy for HybridTierPolicy {
         if !self.promo_queue.is_empty() {
             self.flush_promotions(now_ns, mem, ctx);
         }
-        if mem.fast_free_frac() < self.config.promo_wmark {
+        if mem.fast_free_below(self.config.promo_wmark) {
             self.demote_scan(now_ns, mem, ctx);
         }
+        // Cascade watermark pressure down any middle rungs (no-op on the
+        // 2-tier testbed).
+        self.chain.cascade(
+            mem,
+            self.config.demote_wmark,
+            self.config.max_scan_per_call,
+            ctx,
+        );
     }
 
     fn metadata_bytes(&self) -> usize {

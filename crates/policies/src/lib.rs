@@ -18,6 +18,10 @@
 //! * [`ArcPolicy`] / [`TwoQPolicy`] — classic caching algorithms adapted to
 //!   tiering, with slow-tier initial allocation as in the paper.
 //! * [`AllFastPolicy`] — the all-fast-tier upper bound of Figure 11.
+//! * [`NeoMemPolicy`] — a NeoMem-style device-side counter design: the CXL
+//!   device counts accesses to its own pages in hardware and the host only
+//!   pays for periodic readouts, a third observation mode (exact device
+//!   counters) alongside host PEBS sampling and CBF compression.
 //!
 //! Policies communicate with the simulation engine through
 //! [`TieringPolicy`]: they receive PEBS-like [`Sample`]s and/or per-access
@@ -46,6 +50,7 @@
 mod arc;
 mod autonuma;
 mod baseline;
+mod chain;
 mod ema;
 mod flat_table;
 mod global;
@@ -53,6 +58,7 @@ mod histogram;
 mod hybridtier;
 mod list_set;
 mod memtis;
+mod neomem;
 mod ostree;
 mod policy;
 mod tpp;
@@ -61,6 +67,7 @@ mod twoq;
 pub use arc::ArcPolicy;
 pub use autonuma::{AutoNumaConfig, AutoNumaPolicy};
 pub use baseline::{AllFastPolicy, FirstTouchPolicy};
+pub use chain::DemotionChain;
 pub use ema::{ema_lag_series, EmaScore};
 pub use flat_table::FlatPageMap;
 pub use global::{
@@ -71,6 +78,7 @@ pub use histogram::HotnessHistogram;
 pub use hybridtier::{HybridTierConfig, HybridTierPolicy, MigrationDecision, TrackerLayout};
 pub use list_set::ListSet;
 pub use memtis::{MemtisConfig, MemtisPolicy};
+pub use neomem::{NeoMemConfig, NeoMemPolicy};
 pub use policy::{
     build_policy, visit_policy, DemandCurve, PolicyCtx, PolicyKind, PolicyVisitor, TieringPolicy,
 };

@@ -20,6 +20,7 @@
 use tiering_mem::{PageId, Tier, TierConfig, TieredMemory};
 use tiering_trace::Sample;
 
+use crate::chain::DemotionChain;
 use crate::histogram::HotnessHistogram;
 use crate::policy::{PolicyCtx, TieringPolicy};
 
@@ -85,6 +86,7 @@ pub struct MemtisPolicy {
     /// division).
     cool_in: u64,
     scan_cursor: u64,
+    chain: DemotionChain,
     /// Physical pages across both tiers (struct-page metadata is per
     /// physical page, not per mapped page).
     physical_pages: u64,
@@ -109,6 +111,7 @@ impl MemtisPolicy {
             samples_seen: 0,
             cool_in: config.cool_samples,
             scan_cursor: 0,
+            chain: DemotionChain::new(),
             physical_pages: tier_cfg.fast_capacity_pages + tier_cfg.slow_capacity_pages,
             config,
         }
@@ -184,7 +187,7 @@ impl MemtisPolicy {
             return;
         }
         let mut scanned = 0u64;
-        while mem.fast_free_frac() < self.config.demote_wmark
+        while mem.fast_free_below(self.config.demote_wmark)
             && scanned < self.config.max_scan_per_call.min(n)
         {
             let page = PageId(self.scan_cursor);
@@ -224,9 +227,17 @@ impl TieringPolicy for MemtisPolicy {
     }
 
     fn on_tick(&mut self, _now_ns: u64, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
-        if mem.fast_free_frac() < self.config.promo_wmark {
+        if mem.fast_free_below(self.config.promo_wmark) {
             self.demote_scan(mem, ctx);
         }
+        // Cascade watermark pressure down any middle rungs (no-op on the
+        // 2-tier testbed).
+        self.chain.cascade(
+            mem,
+            self.config.demote_wmark,
+            self.config.max_scan_per_call,
+            ctx,
+        );
         // Background page-size determination / kptscand-style activity that
         // grows with the managed fast tier (paper §6.1 observation).
         ctx.tiering_work_ns +=

@@ -245,6 +245,12 @@ pub enum PolicyKind {
     Arc,
     /// TwoQ adapted to tiering.
     TwoQ,
+    /// NeoMem-style device-side counter sampling: the CXL device counts
+    /// accesses to its own pages in hardware; the host pays only for
+    /// periodic readouts. A third observation mode (exact device counters)
+    /// alongside host PEBS sampling and CBF compression — an additional
+    /// comparison axis, not part of the paper's six-way figure set.
+    NeoMem,
     /// All-fast-tier upper bound.
     AllFast,
     /// First-touch placement with no migration (lower bound).
@@ -273,6 +279,7 @@ impl PolicyKind {
             PolicyKind::Tpp => "TPP",
             PolicyKind::Arc => "ARC",
             PolicyKind::TwoQ => "TwoQ",
+            PolicyKind::NeoMem => "NeoMem",
             PolicyKind::AllFast => "AllFast",
             PolicyKind::FirstTouch => "FirstTouch",
         }
@@ -297,7 +304,7 @@ pub trait PolicyVisitor {
 pub fn visit_policy<V: PolicyVisitor>(kind: PolicyKind, cfg: &TierConfig, visitor: V) -> V::Out {
     use crate::{
         AllFastPolicy, ArcPolicy, AutoNumaPolicy, FirstTouchPolicy, HybridTierConfig,
-        HybridTierPolicy, MemtisPolicy, TppPolicy, TwoQPolicy,
+        HybridTierPolicy, MemtisPolicy, NeoMemPolicy, TppPolicy, TwoQPolicy,
     };
     match kind {
         PolicyKind::HybridTier => {
@@ -316,6 +323,7 @@ pub fn visit_policy<V: PolicyVisitor>(kind: PolicyKind, cfg: &TierConfig, visito
         PolicyKind::Tpp => visitor.visit(TppPolicy::new(Default::default(), cfg)),
         PolicyKind::Arc => visitor.visit(ArcPolicy::new(cfg)),
         PolicyKind::TwoQ => visitor.visit(TwoQPolicy::new(cfg)),
+        PolicyKind::NeoMem => visitor.visit(NeoMemPolicy::new(Default::default(), cfg)),
         PolicyKind::AllFast => visitor.visit(AllFastPolicy::new()),
         PolicyKind::FirstTouch => visitor.visit(FirstTouchPolicy::new()),
     }
@@ -352,6 +360,7 @@ mod tests {
             PolicyKind::Tpp,
             PolicyKind::Arc,
             PolicyKind::TwoQ,
+            PolicyKind::NeoMem,
             PolicyKind::AllFast,
             PolicyKind::FirstTouch,
         ] {

@@ -15,6 +15,7 @@
 
 use tiering_mem::{PageId, Tier, TierConfig, TieredMemory};
 
+use crate::chain::DemotionChain;
 use crate::policy::{PolicyCtx, TieringPolicy};
 
 const SCAN_PAGE_NS: u64 = 10;
@@ -61,6 +62,7 @@ pub struct TppPolicy {
     scan_cursor: u64,
     next_scan_ns: u64,
     demote_cursor: u64,
+    chain: DemotionChain,
 }
 
 impl TppPolicy {
@@ -77,6 +79,7 @@ impl TppPolicy {
             scan_cursor: 0,
             next_scan_ns: 0,
             demote_cursor: 0,
+            chain: DemotionChain::new(),
         }
     }
 
@@ -101,7 +104,7 @@ impl TppPolicy {
         let stale_cutoff = now_ns.saturating_sub(2 * self.config.scan_interval_ns);
         for pass in 0..2 {
             let mut scanned = 0u64;
-            while mem.fast_free_frac() < self.config.demote_wmark
+            while mem.fast_free_below(self.config.demote_wmark)
                 && scanned < self.config.max_demote_per_call.min(n)
             {
                 let page = PageId(self.demote_cursor);
@@ -115,7 +118,7 @@ impl TppPolicy {
                     let _ = mem.demote(page);
                 }
             }
-            if mem.fast_free_frac() >= self.config.demote_wmark {
+            if !mem.fast_free_below(self.config.demote_wmark) {
                 break;
             }
         }
@@ -192,9 +195,17 @@ impl TieringPolicy for TppPolicy {
         }
         // Proactive reclaim keeps headroom even before pressure (TPP's
         // signature behaviour).
-        if mem.fast_free_frac() < self.config.demote_wmark {
+        if mem.fast_free_below(self.config.demote_wmark) {
             self.reclaim(now_ns, mem, ctx);
         }
+        // Cascade the same headroom target down any middle rungs (no-op on
+        // the 2-tier testbed).
+        self.chain.cascade(
+            mem,
+            self.config.demote_wmark,
+            self.config.max_demote_per_call,
+            ctx,
+        );
     }
 
     fn metadata_bytes(&self) -> usize {

@@ -11,6 +11,7 @@
 use tiering_mem::{PageId, Tier, TierConfig, TieredMemory};
 use tiering_trace::Sample;
 
+use crate::chain::DemotionChain;
 use crate::list_set::ListSet;
 use crate::policy::{PolicyCtx, TieringPolicy};
 
@@ -20,6 +21,11 @@ const A1OUT: u8 = 2;
 
 const LRU_NODE_NS: u64 = 8;
 const META_BASE: u64 = 0x7900_0000_0000;
+/// Middle-rung free-fraction target and per-rung move budget for the
+/// ladder cascade: 2Q's reclaim demotes to the rung below the cache, which
+/// must itself drain on deep ladders or reclaim wedges against a full rung.
+const CHAIN_WMARK: f64 = 0.06;
+const CHAIN_BUDGET: u64 = 4_096;
 
 /// The 2Q tiering policy.
 #[derive(Debug)]
@@ -31,6 +37,7 @@ pub struct TwoQPolicy {
     k_in: usize,
     /// Ghost-queue capacity (`maxSize / 2`).
     k_out: usize,
+    chain: DemotionChain,
 }
 
 impl TwoQPolicy {
@@ -42,6 +49,7 @@ impl TwoQPolicy {
             c,
             k_in: (c / 4).max(1),
             k_out: (c / 2).max(1),
+            chain: DemotionChain::new(),
         }
     }
 
@@ -134,6 +142,12 @@ impl TieringPolicy for TwoQPolicy {
         for &sample in samples {
             self.ingest_sample(sample, mem, ctx);
         }
+    }
+
+    fn on_tick(&mut self, _now_ns: u64, mem: &mut TieredMemory, ctx: &mut PolicyCtx) {
+        // Keep the rung below the cache drained on deep ladders so reclaim
+        // has somewhere to demote to (no-op on the 2-tier testbed).
+        self.chain.cascade(mem, CHAIN_WMARK, CHAIN_BUDGET, ctx);
     }
 
     fn metadata_bytes(&self) -> usize {

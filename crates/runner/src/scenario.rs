@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use tiering_mem::{TierConfig, TierRatio};
+use tiering_mem::{LadderKind, TierConfig, TierRatio, TierTopology};
 use tiering_policies::{
     build_policy, visit_policy, ControllerMode, HybridTierConfig, HybridTierPolicy, ObjectiveKind,
     PolicyKind, PolicyVisitor, TieringPolicy,
@@ -165,6 +165,11 @@ pub enum TierSpec {
     /// An explicit configuration (footprint-independent; sensitivity
     /// studies).
     Explicit(TierConfig),
+    /// An N-tier ladder preset sized for the workload footprint
+    /// ([`LadderKind::topology`]): the run executes on the full ladder —
+    /// per-rung latencies, adjacent-hop migrations, demotion cascades —
+    /// instead of the binary fast/slow testbed.
+    Ladder(LadderKind),
 }
 
 impl TierSpec {
@@ -174,6 +179,7 @@ impl TierSpec {
             TierSpec::Ratio(r) => r.to_string(),
             TierSpec::AllFast => "all-fast".to_string(),
             TierSpec::Explicit(_) => "explicit".to_string(),
+            TierSpec::Ladder(kind) => kind.label().to_string(),
         }
     }
 }
@@ -511,6 +517,29 @@ impl Scenario {
         }
     }
 
+    /// A scenario over standard suite components on an N-tier ladder
+    /// preset: the workload footprint sizes the ladder via
+    /// [`LadderKind::topology`] and the run executes on every rung
+    /// (per-rung latencies, adjacent-hop migrations, demotion cascades).
+    pub fn suite_ladder(
+        id: WorkloadId,
+        kind: PolicyKind,
+        ladder: LadderKind,
+        config: &SimConfig,
+        seed: u64,
+    ) -> Self {
+        Self {
+            label: format!("{}/{}/{}", id.label(), ladder.label(), kind.label()),
+            kind: ScenarioKind::Single {
+                workload: WorkloadSpec::Suite(id),
+                policy: PolicySpec::Kind(kind),
+                tier: TierSpec::Ladder(ladder),
+            },
+            config: config.clone(),
+            seed,
+        }
+    }
+
     /// A fully custom single-application scenario.
     pub fn new(
         label: impl Into<String>,
@@ -738,6 +767,9 @@ impl Scenario {
             TierSpec::Ratio(ratio) => TierConfig::for_footprint(pages, *ratio, config.page_size),
             TierSpec::AllFast => TierConfig::all_fast(pages, config.page_size),
             TierSpec::Explicit(cfg) => *cfg,
+            // Binary facade over the ladder (fast = tier 0, slow = the
+            // rest); the run paths below use the full topology instead.
+            TierSpec::Ladder(kind) => kind.topology(pages, config.page_size).as_tier_config(),
         }
     }
 
@@ -995,9 +1027,19 @@ fn run_single_captured(
         _ => {
             let mut w = workload.build(seed);
             let pages = w.footprint_pages(config.page_size);
-            let tier_cfg = Scenario::tier_config(tier, config, pages);
-            let mut p = policy.build(&tier_cfg);
-            Engine::new(config.clone()).run_captured(w.as_mut(), p.as_mut(), tier_cfg)
+            if let TierSpec::Ladder(kind) = tier {
+                let topology = kind.topology(pages, config.page_size);
+                let mut p = policy.build(&topology.as_tier_config());
+                Engine::new(config.clone()).run_typed_ladder_captured(
+                    w.as_mut(),
+                    p.as_mut(),
+                    topology,
+                )
+            } else {
+                let tier_cfg = Scenario::tier_config(tier, config, pages);
+                let mut p = policy.build(&tier_cfg);
+                Engine::new(config.clone()).run_captured(w.as_mut(), p.as_mut(), tier_cfg)
+            }
         }
     }
 }
@@ -1019,13 +1061,21 @@ impl WorkloadVisitor for TypedSingle<'_> {
     type Out = CapturedRun;
     fn visit<W: Workload + 'static>(self, mut workload: W) -> CapturedRun {
         let pages = workload.footprint_pages(self.config.page_size);
-        let tier_cfg = Scenario::tier_config(self.tier, self.config, pages);
+        let topology = match self.tier {
+            TierSpec::Ladder(kind) => Some(kind.topology(pages, self.config.page_size)),
+            _ => None,
+        };
+        let tier_cfg = match &topology {
+            Some(t) => t.as_tier_config(),
+            None => Scenario::tier_config(self.tier, self.config, pages),
+        };
         visit_policy(
             self.kind,
             &tier_cfg,
             TypedSingleWithWorkload {
                 config: self.config,
                 tier_cfg,
+                topology,
                 workload: &mut workload,
             },
         )
@@ -1035,17 +1085,26 @@ impl WorkloadVisitor for TypedSingle<'_> {
 struct TypedSingleWithWorkload<'a, W: Workload> {
     config: &'a SimConfig,
     tier_cfg: TierConfig,
+    /// `Some` routes the run through the N-tier ladder pipeline.
+    topology: Option<TierTopology>,
     workload: &'a mut W,
 }
 
 impl<W: Workload> PolicyVisitor for TypedSingleWithWorkload<'_, W> {
     type Out = CapturedRun;
     fn visit<P: TieringPolicy + 'static>(self, mut policy: P) -> CapturedRun {
-        Engine::new(self.config.clone()).run_typed_captured(
-            self.workload,
-            &mut policy,
-            self.tier_cfg,
-        )
+        match self.topology {
+            Some(topology) => Engine::new(self.config.clone()).run_typed_ladder_captured(
+                self.workload,
+                &mut policy,
+                topology,
+            ),
+            None => Engine::new(self.config.clone()).run_typed_captured(
+                self.workload,
+                &mut policy,
+                self.tier_cfg,
+            ),
+        }
     }
 }
 

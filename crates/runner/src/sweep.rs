@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use tiering_mem::TierRatio;
+use tiering_mem::{LadderKind, TierRatio};
 use tiering_policies::{ObjectiveKind, PolicyKind};
 use tiering_sim::SimConfig;
 use tiering_workloads::WorkloadId;
@@ -44,6 +44,7 @@ pub struct ScenarioMatrix {
     workloads: Vec<WorkloadId>,
     policies: Vec<PolicyKind>,
     ratios: Vec<TierRatio>,
+    ladders: Vec<LadderKind>,
     config: SimConfig,
     seed: u64,
     seed_mode: SeedMode,
@@ -70,6 +71,7 @@ impl ScenarioMatrix {
             workloads: Vec::new(),
             policies: Vec::new(),
             ratios: vec![TierRatio::OneTo8],
+            ladders: Vec::new(),
             config,
             seed,
             seed_mode: SeedMode::PerCell,
@@ -97,6 +99,17 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Adds N-tier ladder presets as an extra tier axis. Ladder cells are
+    /// appended *after* the ratio cross product in the canonical order (the
+    /// same trick [`FleetMatrix::tenant_counts`] uses), so turning the axis
+    /// on never disturbs the seeds — and therefore the results — of the
+    /// existing two-tier scenarios.
+    #[must_use]
+    pub fn ladders(mut self, ladders: impl IntoIterator<Item = LadderKind>) -> Self {
+        self.ladders = ladders.into_iter().collect();
+        self
+    }
+
     /// Gives every scenario its own derived seed instead of sharing one
     /// access stream per (workload, ratio) cell.
     #[must_use]
@@ -115,8 +128,8 @@ impl ScenarioMatrix {
 
     /// Materializes the scenario list.
     pub fn build(&self) -> Vec<Scenario> {
-        let mut out =
-            Vec::with_capacity(self.workloads.len() * self.ratios.len() * self.policies.len());
+        let planes = self.ratios.len() + self.ladders.len();
+        let mut out = Vec::with_capacity(self.workloads.len() * planes * self.policies.len());
         let mut cell = 0u64;
         for &id in &self.workloads {
             for &ratio in &self.ratios {
@@ -129,6 +142,22 @@ impl ScenarioMatrix {
                         SeedMode::Fixed => self.seed,
                     };
                     out.push(Scenario::suite(id, kind, ratio, &self.config, seed));
+                }
+            }
+        }
+        // Ladder planes come after the whole ratio cross product so that
+        // enabling them leaves every existing cell's seed untouched.
+        for &id in &self.workloads {
+            for &ladder in &self.ladders {
+                let cell_seed = derive_seed(self.seed, cell);
+                cell += 1;
+                for &kind in &self.policies {
+                    let seed = match self.seed_mode {
+                        SeedMode::PerCell => cell_seed,
+                        SeedMode::PerScenario => derive_seed(self.seed, out.len() as u64),
+                        SeedMode::Fixed => self.seed,
+                    };
+                    out.push(Scenario::suite_ladder(id, kind, ladder, &self.config, seed));
                 }
             }
         }
@@ -698,6 +727,44 @@ mod tests {
         let sweep = SweepRunner::new(64).run(small_matrix());
         assert_eq!(sweep.results.len(), 4);
         assert!(sweep.threads <= 4);
+    }
+
+    #[test]
+    fn ladder_axis_appends_without_disturbing_seeds() {
+        let base = ScenarioMatrix::new(SimConfig::default().with_max_ops(2_000), 0xA5F0_5EED)
+            .workloads([WorkloadId::CdnCacheLib, WorkloadId::Silo])
+            .policies([PolicyKind::HybridTier, PolicyKind::FirstTouch])
+            .ratios([TierRatio::OneTo8]);
+        let plain = base.clone().build();
+        let extended = base.ladders([LadderKind::DramCxlNvme]).build();
+        // The two-tier prefix is untouched; ladder cells come after.
+        assert_eq!(extended.len(), plain.len() + 4);
+        for (a, b) in plain.iter().zip(&extended) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.seed, b.seed);
+        }
+        let cdn = &extended[plain.len()];
+        assert_eq!(cdn.label, "CDN/dram-cxl-nvme/HybridTier");
+        // Policies within one ladder cell share the access stream.
+        assert_eq!(extended[plain.len()].seed, extended[plain.len() + 1].seed);
+    }
+
+    #[test]
+    fn ladder_scenarios_run_deterministically_on_three_tiers() {
+        let scenarios = ScenarioMatrix::new(SimConfig::default().with_max_ops(2_000), 7)
+            .workloads([WorkloadId::CdnCacheLib])
+            .policies([PolicyKind::HybridTier, PolicyKind::NeoMem])
+            .ratios([])
+            .ladders([LadderKind::DramCxlNvme])
+            .build();
+        assert_eq!(scenarios.len(), 2);
+        let a = SweepRunner::serial().run(scenarios.clone());
+        let b = SweepRunner::new(2).run(scenarios);
+        assert!(a.same_outcomes(&b), "ladder sweep must be deterministic");
+        for r in &a.results {
+            assert_eq!(r.tier, "dram-cxl-nvme");
+            assert!(r.report.accesses > 0);
+        }
     }
 
     #[test]

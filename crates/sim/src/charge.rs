@@ -1,0 +1,153 @@
+//! Exact interference-charge scaling.
+//!
+//! The account stage charges the application a configurable *fraction* of
+//! asynchronous tiering work: `charged += (work_ns as f64 * charge) as u64`.
+//! That round-trip has two sharp edges:
+//!
+//! 1. **Precision loss past 2⁵³ ns**: `work_ns as f64` rounds once the
+//!    accumulated nanoseconds exceed 53 bits (~104 days of simulated time —
+//!    unreachable per op today, but reachable by a fleet-aggregated charge
+//!    or a corrupted config, and PR 5 already met seeds corrupted by exactly
+//!    this f64 round-trip).
+//! 2. **Silent truncation on non-finite/negative charge configs**: the
+//!    `as u64` cast saturates NaN and negative products to 0 and infinite
+//!    products to `u64::MAX` without any indication the config was bogus.
+//!
+//! [`charge_scaled`] keeps the fast path bit-identical to the historical
+//! expression below 2⁵³ (so every golden trajectory is unchanged) and
+//! switches to exact u128 fixed-point arithmetic above it; the cast's
+//! saturation semantics on NaN/negative/infinite fractions are preserved
+//! but now explicit and documented, with regression tests pinning them.
+
+/// Scales `ns` by `frac`, rounding toward zero, saturating at `u64::MAX`.
+///
+/// Semantics (a superset of `(ns as f64 * frac) as u64`):
+///
+/// * `frac` NaN, zero, or negative → `0` (a charge cannot be negative).
+/// * `frac = +∞` with `ns > 0` → `u64::MAX`.
+/// * `ns < 2⁵³` (every op-level charge in practice) → **bit-identical** to
+///   the f64 expression.
+/// * `ns ≥ 2⁵³` with finite `frac` → exact `⌊ns · frac⌋` computed in u128
+///   (the f64 expression would first round `ns` itself).
+pub fn charge_scaled(ns: u64, frac: f64) -> u64 {
+    if frac.is_nan() || frac <= 0.0 {
+        // NaN and negative fractions charge nothing — same result the
+        // saturating cast produced, now on purpose.
+        return 0;
+    }
+    if ns < (1u64 << 53) || !frac.is_finite() {
+        return (ns as f64 * frac) as u64;
+    }
+    // Exact path: frac = m · 2^e with m odd (every finite f64 decomposes
+    // this way), so ns·frac = (ns·m) · 2^e with ns·m < 2^64 · 2^53 < u128.
+    let bits = frac.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i64;
+    let raw_man = bits & ((1u64 << 52) - 1);
+    let (mut m, mut e) = if raw_exp == 0 {
+        (raw_man, -1074i64)
+    } else {
+        (raw_man | (1u64 << 52), raw_exp - 1075)
+    };
+    let tz = m.trailing_zeros();
+    m >>= tz;
+    e += i64::from(tz);
+    let product = (ns as u128) * (m as u128);
+    let scaled = if e >= 0 {
+        // A shift that would push bits off the top means ns·frac ≥ 2^128.
+        if e >= 128 || product.leading_zeros() < e as u32 {
+            return u64::MAX;
+        }
+        product << e
+    } else {
+        let s = -e;
+        if s >= 128 {
+            0
+        } else {
+            product >> s
+        }
+    };
+    u64::try_from(scaled).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The historical expression, verbatim.
+    fn legacy(ns: u64, frac: f64) -> u64 {
+        (ns as f64 * frac) as u64
+    }
+
+    #[test]
+    fn bit_identical_to_legacy_below_2_53() {
+        // Every charge fraction shipped in a config, plus awkward ones.
+        let fracs = [0.35, 0.25, 1.0, 0.1, 0.9999999, 1.5, 123.456];
+        let nss = [
+            0u64,
+            1,
+            999,
+            2_000,
+            123_456_789,
+            (1 << 53) - 1,
+            (1 << 52) + 12_345,
+        ];
+        for &f in &fracs {
+            for &ns in &nss {
+                assert_eq!(charge_scaled(ns, f), legacy(ns, f), "ns={ns} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_and_negative_fractions_charge_zero() {
+        assert_eq!(charge_scaled(1_000_000, f64::NAN), 0);
+        assert_eq!(charge_scaled(1_000_000, -0.35), 0);
+        assert_eq!(charge_scaled(1_000_000, f64::NEG_INFINITY), 0);
+        assert_eq!(charge_scaled(1_000_000, 0.0), 0);
+        assert_eq!(charge_scaled(1_000_000, -0.0), 0);
+        // Matches the saturating-cast semantics the old code had.
+        assert_eq!(legacy(1_000_000, f64::NAN), 0);
+        assert_eq!(legacy(1_000_000, -0.35), 0);
+    }
+
+    #[test]
+    fn infinite_and_overflowing_fractions_saturate() {
+        assert_eq!(charge_scaled(1, f64::INFINITY), u64::MAX);
+        assert_eq!(charge_scaled(u64::MAX, 1e300), u64::MAX);
+        assert_eq!(charge_scaled(1 << 60, 1e30), u64::MAX);
+        // Positive-exponent shift whose bits would fall off the top of u128.
+        assert_eq!(charge_scaled(1 << 60, (1u128 << 80) as f64), u64::MAX);
+        assert_eq!(charge_scaled(0, f64::INFINITY), 0, "0 * inf casts NaN -> 0");
+        assert_eq!(legacy(0, f64::INFINITY), 0);
+    }
+
+    #[test]
+    fn exact_past_2_53() {
+        // frac = 3/4 is dyadic: the exact answer is floor(ns * 3 / 4),
+        // computable independently in u128.
+        let ns = u64::MAX - 5;
+        let exact = ((ns as u128) * 3 / 4) as u64;
+        assert_eq!(charge_scaled(ns, 0.75), exact);
+        // The legacy expression first rounds ns to 2^64, landing elsewhere —
+        // this is the precision-loss bug being fixed.
+        assert_ne!(legacy(ns, 0.75), exact);
+
+        // Non-dyadic fraction: verify against the decomposition identity
+        // floor(ns·m·2^e) for frac = m·2^e.
+        let frac = 0.35f64;
+        let bits = frac.to_bits();
+        let m = (bits & ((1u64 << 52) - 1)) | (1 << 52);
+        let e = ((bits >> 52) & 0x7ff) as i64 - 1075;
+        let want = (((ns as u128) * (m as u128)) >> (-e) as u32) as u64;
+        assert_eq!(charge_scaled(ns, frac), want);
+    }
+
+    #[test]
+    fn monotone_in_ns_across_the_2_53_seam() {
+        let f = 0.35;
+        let below = charge_scaled((1 << 53) - 1, f);
+        let at = charge_scaled(1 << 53, f);
+        let above = charge_scaled((1 << 53) + 1, f);
+        assert!(below <= at && at <= above);
+    }
+}

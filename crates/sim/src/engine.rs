@@ -1,7 +1,7 @@
 //! The simulation engine core loop.
 
 use cache_sim::CacheConfig;
-use tiering_mem::{LatencyModel, PageSize, TierConfig};
+use tiering_mem::{LatencyModel, PageSize, TierConfig, TierTopology};
 use tiering_policies::TieringPolicy;
 use tiering_trace::{AccessBatch, Workload};
 
@@ -268,6 +268,55 @@ impl Engine {
         self.run_with_batch(workload, policy, tier_cfg, 1).report
     }
 
+    /// Runs over an explicit N-tier ladder ([`TierTopology`]) instead of
+    /// the classic 2-tier [`TierConfig`]. The 2-tier ladder built by
+    /// [`TierTopology::two_tier`] from this config's latency model
+    /// reproduces [`run`](Engine::run) byte-identically; deeper ladders
+    /// switch access and migration accounting to the topology's per-rung
+    /// tables and let ladder-aware policies cascade demotions down it.
+    pub fn run_ladder(
+        &self,
+        workload: &mut dyn Workload,
+        policy: &mut dyn TieringPolicy,
+        topology: TierTopology,
+    ) -> SimReport {
+        self.run_typed_ladder(workload, policy, topology)
+    }
+
+    /// [`run_ladder`](Engine::run_ladder), monomorphized for the concrete
+    /// workload and policy types (see [`run_typed`](Engine::run_typed)).
+    pub fn run_typed_ladder<W, P>(
+        &self,
+        workload: &mut W,
+        policy: &mut P,
+        topology: TierTopology,
+    ) -> SimReport
+    where
+        W: Workload + ?Sized,
+        P: TieringPolicy + ?Sized,
+    {
+        self.run_typed_ladder_captured(workload, policy, topology)
+            .report
+    }
+
+    /// [`run_typed_ladder`](Engine::run_typed_ladder), also yielding the
+    /// raw aggregates chunked reduction needs (see
+    /// [`run_captured`](Engine::run_captured)).
+    pub fn run_typed_ladder_captured<W, P>(
+        &self,
+        workload: &mut W,
+        policy: &mut P,
+        topology: TierTopology,
+    ) -> CapturedRun
+    where
+        W: Workload + ?Sized,
+        P: TieringPolicy + ?Sized,
+    {
+        let batch_ops = self.config.batch_ops.max(1);
+        let pipeline = Pipeline::with_topology(&self.config, topology, policy);
+        Self::drive(pipeline, workload, policy, batch_ops)
+    }
+
     fn run_with_batch<W, P>(
         &self,
         workload: &mut W,
@@ -279,7 +328,20 @@ impl Engine {
         W: Workload + ?Sized,
         P: TieringPolicy + ?Sized,
     {
-        let mut pipeline = Pipeline::new(&self.config, tier_cfg, policy);
+        let pipeline = Pipeline::new(&self.config, tier_cfg, policy);
+        Self::drive(pipeline, workload, policy, batch_ops)
+    }
+
+    fn drive<W, P>(
+        mut pipeline: Pipeline<'_>,
+        workload: &mut W,
+        policy: &mut P,
+        batch_ops: usize,
+    ) -> CapturedRun
+    where
+        W: Workload + ?Sized,
+        P: TieringPolicy + ?Sized,
+    {
         let mut batch = AccessBatch::with_capacity(batch_ops, batch_ops * 4);
         'run: while !pipeline.done() {
             if !pipeline.stage_pull(workload, &mut batch, batch_ops) {
@@ -407,6 +469,51 @@ mod tests {
         let d = r.count_distribution.expect("probe enabled");
         assert_eq!(d.total(), pages);
         assert!(d.buckets[6] > 0, "hottest zipf pages should saturate");
+    }
+
+    #[test]
+    fn two_tier_ladder_matches_classic_run() {
+        // The ladder entry point over the 2-tier topology must be
+        // byte-identical to the classic TierConfig path — the same claim
+        // the golden suite makes end-to-end.
+        let cfg = SimConfig::default();
+        let mk = || ZipfPageWorkload::new(2_000, 0.99, 120_000, 7);
+        let mut w = mk();
+        let pages = tiering_trace::Workload::footprint_pages(&w, PageSize::Base4K);
+        let tier_cfg = TierConfig::for_footprint(pages, TierRatio::OneTo8, PageSize::Base4K);
+        let mut policy = build_policy(PolicyKind::HybridTier, &tier_cfg);
+        let classic = Engine::new(cfg.clone()).run(&mut w, policy.as_mut(), tier_cfg);
+
+        let mut w = mk();
+        let mut policy = build_policy(PolicyKind::HybridTier, &tier_cfg);
+        let ladder = Engine::new(cfg.clone()).run_ladder(
+            &mut w,
+            policy.as_mut(),
+            TierTopology::two_tier(tier_cfg, &cfg.latency),
+        );
+        assert_eq!(classic, ladder);
+        assert_eq!(classic.fingerprint(), ladder.fingerprint());
+    }
+
+    #[test]
+    fn three_tier_ladder_is_deterministic_and_populates_lower_rungs() {
+        let run = || {
+            let mut w = ZipfPageWorkload::new(2_000, 0.99, 150_000, 7);
+            let pages = tiering_trace::Workload::footprint_pages(&w, PageSize::Base4K);
+            let topo = TierTopology::three_tier_dram_cxl_nvme(pages, PageSize::Base4K);
+            let tier_cfg = topo.as_tier_config();
+            let mut policy = build_policy(PolicyKind::HybridTier, &tier_cfg);
+            Engine::new(SimConfig::default()).run_ladder(&mut w, policy.as_mut(), topo)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.ops, 150_000);
+        assert!(a.migrations.promotions > 0, "hot pages climb the ladder");
+        assert!(
+            a.fast_hit_frac > 0.0 && a.fast_hit_frac < 1.0,
+            "fast hits are tier-0 residency, not the slow pool"
+        );
     }
 
     #[test]

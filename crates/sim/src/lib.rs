@@ -47,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 mod adaptation;
+mod charge;
 mod chunk;
 mod engine;
 mod histo;
@@ -57,6 +58,7 @@ mod prefetch;
 mod report;
 
 pub use adaptation::{adaptation_time_ns, steady_state_p50};
+pub use charge::charge_scaled;
 pub use chunk::{merge_captured, CapturedRun};
 pub use engine::{CacheSimOptions, Engine, SimConfig};
 pub use histo::LogHistogram;

@@ -42,10 +42,13 @@
 //! the touching instruction retires, not between two loads of one request).
 
 use cache_sim::{CacheConfig, CacheHierarchy, HierarchyStats, HitLevel, Source};
-use tiering_mem::{LatencyModel, MigrationStats, PageId, Tier, TierConfig, TieredMemory};
+use tiering_mem::{
+    LatencyModel, MigrationStats, PageId, Tier, TierConfig, TierTopology, TieredMemory,
+};
 use tiering_policies::{PolicyCtx, TieringPolicy};
 use tiering_trace::{AccessBatch, Sample, Sampler, Workload};
 
+use crate::charge::charge_scaled;
 use crate::histo::LogHistogram;
 use crate::hotness::{CountDistribution, RetentionProbe};
 use crate::prefetch::StreamPrefetcher;
@@ -62,6 +65,10 @@ pub(crate) struct Pipeline<'c> {
     hier: Option<CacheHierarchy>,
     meta_hier: Option<CacheHierarchy>,
     latency: LatencyModel,
+    /// Per-rung `[access_ns, stream_ns]` rows, indexed by ladder index —
+    /// the N-tier generalization of the hoisted 2×2 `mem_ns` table (which
+    /// the 2-tier hot loops keep using verbatim).
+    tier_ns: Vec<[u64; 2]>,
 
     global_hist: LogHistogram,
     window_hist: LogHistogram,
@@ -99,6 +106,24 @@ impl<'c> Pipeline<'c> {
         tier_cfg: TierConfig,
         policy: &P,
     ) -> Self {
+        Self::with_topology(cfg, TierTopology::two_tier(tier_cfg, &cfg.latency), policy)
+    }
+
+    /// [`new`](Pipeline::new) over an explicit tier ladder. The 2-tier
+    /// ladder built from `cfg.latency` reproduces `new` exactly; deeper
+    /// ladders switch the access and migration accounting to the per-rung
+    /// tables.
+    pub(crate) fn with_topology<P: TieringPolicy + ?Sized>(
+        cfg: &'c SimConfig,
+        topology: TierTopology,
+        policy: &P,
+    ) -> Self {
+        let tier_cfg = topology.as_tier_config();
+        let tier_ns = topology
+            .latency_table()
+            .iter()
+            .map(|t| [t.access_ns, t.stream_ns])
+            .collect();
         let hier = cfg.cache.map(|c| CacheHierarchy::new(c.l1, c.llc));
         // Dedicated metadata cache: the tiering thread's 32 KiB L1 plus a
         // 256 KiB LLC slice (its fair share of a contended LLC).
@@ -119,12 +144,13 @@ impl<'c> Pipeline<'c> {
             None
         };
         Self {
-            mem: TieredMemory::new(tier_cfg),
+            mem: TieredMemory::with_topology(topology),
             sampler: Sampler::new(cfg.sample_period),
             ctx: PolicyCtx::new(),
             hier,
             meta_hier,
             latency: cfg.latency,
+            tier_ns,
             global_hist: LogHistogram::new(),
             window_hist: LogHistogram::new(),
             timeline: Vec::new(),
@@ -281,7 +307,34 @@ impl<'c> Pipeline<'c> {
         let mut burst_ns = 0u64;
         let mut fast_hits = 0u64;
 
-        if self.hier.is_none() && !sampling && !wants_hook {
+        if self.mem.n_tiers() > 2 {
+            // Ladder loop: per-rung access costs indexed by the page's
+            // ladder position; the fast-hit statistic remains "resident in
+            // tier 0". Runs on its own branch so the 2-tier hot paths below
+            // stay byte-for-byte what the goldens were recorded against.
+            for i in 0..addrs.len() {
+                let page = PageId(pages[i]);
+                let idx = self.mem.ensure_mapped_indexed(page, prefer);
+                fast_hits += (idx == 0) as u64;
+                let streamed = self.prefetcher.observe(addrs[i]) as usize;
+                let memory_ns = self.tier_ns[idx][streamed];
+                burst_ns += match &mut self.hier {
+                    Some(h) => match h.access(addrs[i], Source::App) {
+                        HitLevel::L1 => self.latency.l1_hit_ns,
+                        HitLevel::Llc => self.latency.llc_hit_ns,
+                        HitLevel::Memory => memory_ns,
+                    },
+                    None => memory_ns,
+                };
+                if wants_hook {
+                    self.fault_buf.push(page);
+                }
+                if sampling && self.sampler.tick() {
+                    let tier = if idx == 0 { Tier::Fast } else { Tier::Slow };
+                    self.collect_sample(addrs[i], writes[i], page, tier);
+                }
+            }
+        } else if self.hier.is_none() && !sampling && !wants_hook {
             // The dominant burst shape in sweep runs: no cache simulation,
             // no sample due, no fault hook — pure map → stream → latency.
             for i in 0..addrs.len() {
@@ -396,11 +449,18 @@ impl<'c> Pipeline<'c> {
             + (mig_now.demotions - self.mig_before.demotions);
         self.mig_before = mig_now;
         if moved > 0 {
-            let mig_ns = moved * self.latency.migrate_page_ns(cfg.page_size);
-            charged += (mig_ns as f64 * cfg.migration_charge) as u64;
+            // 2-tier keeps the flat per-move rate the goldens were recorded
+            // with; deeper ladders drain the per-hop accumulator (each hop
+            // charged at its slower rung's rate).
+            let mig_ns = if self.mem.n_tiers() > 2 {
+                self.mem.take_migration_ns()
+            } else {
+                moved * self.latency.migrate_page_ns(cfg.page_size)
+            };
+            charged += charge_scaled(mig_ns, cfg.migration_charge);
         }
         if self.ctx.tiering_work_ns > 0 {
-            charged += (self.ctx.tiering_work_ns as f64 * cfg.tiering_work_charge) as u64;
+            charged += charge_scaled(self.ctx.tiering_work_ns, cfg.tiering_work_charge);
         }
         // Replay metadata traffic through the cache, attributed to the
         // tiering runtime.
@@ -417,7 +477,7 @@ impl<'c> Pipeline<'c> {
                     HitLevel::Memory => 60,
                 };
             }
-            charged += (interference as f64 * cfg.tiering_work_charge) as u64;
+            charged += charge_scaled(interference, cfg.tiering_work_charge);
         }
         self.ctx.drain();
         charged

@@ -1,0 +1,63 @@
+//! N-tier memory ladders: the same workload on deeper hierarchies.
+//!
+//! Runs the CacheLib CDN workload on the emulated-CXL two-tier testbed
+//! (1:8), the 3-tier DRAM→CXL→NVMe ladder, and the 4-tier archive ladder,
+//! for three policy families — the watermark design (HybridTier), the
+//! frequency design (Memtis), and the device-counter design (NeoMem). The
+//! fixed seed means every cell sees identical traffic, so the latency
+//! spread is entirely placement quality: deeper ladders punish a policy
+//! that lets the hot set slip below the top rung, and the demotion chains
+//! keep middle rungs drained so promotions never wedge against a full rung.
+//!
+//! Usage: `cargo run --release --example tier_ladder`
+
+use hybridtier::prelude::*;
+
+fn main() {
+    let config = SimConfig::default().with_max_ops(400_000);
+    let policies = [
+        PolicyKind::HybridTier,
+        PolicyKind::Memtis,
+        PolicyKind::NeoMem,
+    ];
+
+    // The two-tier plane comes first, then the ladder planes — the same
+    // canonical order the bench harness's "tiers" section uses.
+    let scenarios = ScenarioMatrix::new(config, 7)
+        .workloads([WorkloadId::CdnCacheLib])
+        .ratios([TierRatio::OneTo8])
+        .ladders(LadderKind::ALL)
+        .policies(policies)
+        .fixed_seed()
+        .build();
+    let sweep = SweepRunner::new(0).run(scenarios);
+
+    println!(
+        "CacheLib CDN, 400k ops per cell, identical traffic everywhere \
+         ({} runs in {:.2}s on {} threads)",
+        sweep.results.len(),
+        sweep.wall.as_secs_f64(),
+        sweep.threads
+    );
+    println!(
+        "{:<16} {:<12} {:>9} {:>10} {:>9} {:>11} {:>11}",
+        "tiers", "policy", "p50 (ns)", "mean (ns)", "top-hit", "promotions", "demotions"
+    );
+    for r in &sweep.results {
+        let m = &r.report;
+        println!(
+            "{:<16} {:<12} {:>9} {:>10.1} {:>8.1}% {:>11} {:>11}",
+            r.tier,
+            r.policy,
+            m.latency.p50_ns,
+            m.latency.mean_ns,
+            m.fast_hit_frac * 100.0,
+            m.migrations.promotions,
+            m.migrations.demotions,
+        );
+    }
+    println!("\ntopologies: 1:8 = two-tier emulated CXL");
+    for kind in LadderKind::ALL {
+        println!("            {} = {} tiers", kind.label(), kind.n_tiers());
+    }
+}

@@ -36,10 +36,10 @@
 //! |---|---|
 //! | [`cbf`] | counting Bloom filters (standard + blocked), sizing formulas |
 //! | [`cache`] | set-associative L1/LLC simulator with per-source attribution |
-//! | [`mem`] | tiers, page table, latency model, migration accounting |
+//! | [`mem`] | tiers and N-tier ladder topologies, page table, latency model, migration accounting |
 //! | [`trace`] | access/op abstractions, op/access batches, PEBS-like sampler |
 //! | [`workloads`] | the 12 evaluation workloads (Table 2) |
-//! | [`policies`] | HybridTier + Memtis, AutoNUMA, TPP, ARC, TwoQ — all with batched ingestion hooks |
+//! | [`policies`] | HybridTier + Memtis, AutoNUMA, TPP, ARC, TwoQ, NeoMem — all with batched ingestion hooks and N-tier demotion chains |
 //! | [`sim`] | the batched-pipeline simulation engine, reports, adaptation measurement |
 //! | [`runner`] | `Scenario` abstraction + parallel sweep driver (many simulations per run) |
 //!
@@ -81,12 +81,13 @@ pub mod prelude {
         AccessCounter, BlockedCbf, CbfParams, CounterWidth, GroundTruthCounter, StandardCbf,
     };
     pub use crate::mem::{
-        LatencyModel, MigrationError, PageId, PageSize, Tier, TierConfig, TierRatio, TieredMemory,
+        LadderKind, LatencyModel, MigrationError, PageId, PageSize, Tier, TierConfig, TierRatio,
+        TierTopology, TieredMemory,
     };
     pub use crate::policies::{
         build_policy, ArcPolicy, AutoNumaPolicy, GlobalController, HybridTierConfig,
-        HybridTierPolicy, MemtisPolicy, MigrationDecision, PolicyCtx, PolicyKind, RebalanceEvent,
-        TieringPolicy, TppPolicy, TwoQPolicy,
+        HybridTierPolicy, MemtisPolicy, MigrationDecision, NeoMemPolicy, PolicyCtx, PolicyKind,
+        RebalanceEvent, TieringPolicy, TppPolicy, TwoQPolicy,
     };
     pub use crate::runner::{
         BudgetSpec, ChurnSpec, CoLocationMatrix, CoLocationSpec, FleetMatrix, FleetSpec,
