@@ -13,6 +13,8 @@
 //!   --parallel-only   skip the serial pass (no speedup reported)
 //!   --no-colocation   skip the co-location sweep
 //!   --no-fleet        skip the fleet churn sweep
+//!   --no-trace        skip the trace-replay sweep (recorded CacheLib
+//!                     traces streamed back through the batch pipeline)
 //!   --no-controller   skip the controller scaling probe (ns/rebalance and
 //!                     ns/churn-event at 10^3/10^4/10^5 tenants plus the
 //!                     large-fleet smoke run; also skipped under --shard,
@@ -39,9 +41,12 @@
 //! for the single-tenant policy-comparison sweep, the N-tier ladder sweep
 //! (`"tiers"` section: 3- and 4-tier presets across the compared systems
 //! plus NeoMem), the multi-tenant co-location sweep (`"colocation"`
-//! section, with per-tenant detail), and the dynamic-fleet churn sweep
+//! section, with per-tenant detail), the dynamic-fleet churn sweep
 //! (`"fleet"` section: objectives × budgets over the canonical 3-tenant
-//! arrive/depart/arrive-again fleet).
+//! arrive/depart/arrive-again fleet), and the trace-replay sweep
+//! (`"trace"` section: both CacheLib workloads recorded to on-disk traces
+//! and streamed back through the chunked zero-copy replay path across the
+//! compared systems).
 //!
 //! With `--compare`, a `"compare"` section (aggregate throughput ratio plus
 //! per-scenario ratios, matched by label) is appended to the written JSON —
@@ -77,6 +82,7 @@ struct Args {
     tiers: bool,
     colocation: bool,
     fleet: bool,
+    trace: bool,
     controller: bool,
     shard: Option<ShardSpec>,
     exec_workers: usize,
@@ -97,6 +103,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         tiers: true,
         colocation: true,
         fleet: true,
+        trace: true,
         controller: true,
         shard: None,
         exec_workers: 0,
@@ -137,6 +144,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--no-tiers" => args.tiers = false,
             "--no-colocation" => args.colocation = false,
             "--no-fleet" => args.fleet = false,
+            "--no-trace" => args.trace = false,
             "--no-controller" => args.controller = false,
             "--shard" => {
                 args.shard = Some(
@@ -184,7 +192,8 @@ fn parse_args() -> Result<Option<Args>, String> {
                 println!(
                     "usage: bench [--json <path>] [--ops <n>] [--sim-ms <n>] [--threads <n>] \
                      [--serial-only] [--parallel-only] [--no-tiers] [--no-colocation] \
-                     [--no-fleet] [--no-controller] [--shard <i/N>] [--exec-workers <n>] \
+                     [--no-fleet] [--no-trace] [--no-controller] [--shard <i/N>] \
+                     [--exec-workers <n>] \
                      [--merge <shard.json>...] [--compare <prev.json>] [--regress <frac>]\n\
                      json schema and shard/merge workflow: docs/BENCH_FORMAT.md"
                 );
@@ -466,6 +475,35 @@ fn main() -> ExitCode {
         ));
     }
 
+    // Trace-replay sweep: newest axis, so it runs last (the same
+    // append-at-end timing rule the tier-ladder comment above explains).
+    // The inputs are recorded fresh (untimed) into the temp dir with
+    // ops-independent names, so scenario labels — the compare gate's join
+    // keys — are stable across --ops protocols.
+    let mut trace = None;
+    if args.trace {
+        let trace_dir = std::env::temp_dir().join("hybridtier-bench-traces");
+        let traces = match hybridtier_bench::record_trace_inputs(ops, &trace_dir) {
+            Ok(paths) => paths,
+            Err(e) => {
+                eprintln!("cannot record trace inputs: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!();
+        trace = match run_sweep(
+            &format!("trace-replay sweep ({ops} ops/scenario, recorded CacheLib traces)"),
+            &args,
+            move || hybridtier_bench::trace_replay_matrix(ops, &traces),
+        ) {
+            Ok(passes) => Some(passes),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+
     // Assemble the BENCH json around the richer of each sweep's reports.
     // Timing fields live under "single"/"colocation"/"fleet" per sweep
     // (the PR-1 format had them at top level; CHANGES.md records the
@@ -489,6 +527,9 @@ fn main() -> ExitCode {
     if let Some(passes) = &fleet {
         json.push_str(&format!(",\"fleet\":{}", passes.to_json(args.shard)));
     }
+    if let Some(passes) = &trace {
+        json.push_str(&format!(",\"trace\":{}", passes.to_json(args.shard)));
+    }
     if let Some(section) = &controller {
         json.push_str(&format!(",\"controller\":{}", section.render()));
     }
@@ -502,6 +543,7 @@ fn main() -> ExitCode {
             ("tiers", tiers.as_ref()),
             ("colocation", colo.as_ref()),
             ("fleet", fleet.as_ref()),
+            ("trace", trace.as_ref()),
         ] {
             if let Some(exec) = passes.and_then(|p| p.exec.as_ref()) {
                 section.set(name, fleet_exec_json(exec));
@@ -515,6 +557,7 @@ fn main() -> ExitCode {
     let tiers_identical = tiers.as_ref().and_then(|p| p.identical);
     let colo_identical = colo.as_ref().and_then(|p| p.identical);
     let fleet_identical = fleet.as_ref().and_then(|p| p.identical);
+    let trace_identical = trace.as_ref().and_then(|p| p.identical);
 
     // Perf-trajectory comparison against a previous BENCH json: print
     // deltas, embed them machine-readably, and flag regressions.
@@ -604,6 +647,7 @@ fn main() -> ExitCode {
         || tiers_identical == Some(false)
         || colo_identical == Some(false)
         || fleet_identical == Some(false)
+        || trace_identical == Some(false)
         || regressed
     {
         return ExitCode::FAILURE;

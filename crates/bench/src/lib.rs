@@ -132,6 +132,69 @@ pub fn policy_comparison_matrix(ops: u64) -> Vec<tiering_runner::Scenario> {
         .build()
 }
 
+/// Records the two CacheLib suite workloads (built with [`SEED`], exactly
+/// as the `"single"` sweep builds them) to on-disk trace files under `dir`
+/// for the `"trace"` bench section. Filenames are ops-independent
+/// (`trace-CDN.trace`, `trace-social.trace`) and deterministically
+/// overwritten, so scenario labels — the compare gate's join keys — stay
+/// stable across `--ops` protocols.
+pub fn record_trace_inputs(
+    ops: u64,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use tiering_workloads::{build_workload, record_workload, WorkloadId};
+
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for (id, stem) in [
+        (WorkloadId::CdnCacheLib, "trace-CDN"),
+        (WorkloadId::SocialCacheLib, "trace-social"),
+    ] {
+        let path = dir.join(format!("{stem}.trace"));
+        let mut workload = build_workload(id, SEED);
+        record_workload(workload.as_mut(), ops, &path, 4096)
+            .map_err(|e| std::io::Error::other(format!("recording {stem}: {e}")))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// The trace-replay sweep (`"trace"` section): every recorded trace file ×
+/// the six compared systems at 1:8 (12 scenarios for the two CacheLib
+/// traces). Replay is bit-identical to the generators (the runner's
+/// replay-equivalence suite locks it), so this sweep times the *streaming
+/// ingestion* path — chunked reads, checksum verification, and the
+/// zero-copy batch fill — against the in-memory generators timed by
+/// `"single"`.
+pub fn trace_replay_matrix(
+    ops: u64,
+    traces: &[std::path::PathBuf],
+) -> Vec<tiering_runner::Scenario> {
+    use tiering_mem::TierRatio;
+    use tiering_policies::PolicyKind;
+    use tiering_runner::{PolicySpec, Scenario, TierSpec, WorkloadSpec};
+
+    let config = SimConfig::default().with_max_ops(ops);
+    let mut scenarios = Vec::new();
+    for path in traces {
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+        for kind in PolicyKind::COMPARED {
+            scenarios.push(Scenario::new(
+                format!("{stem}/1:8/{}", kind.label()),
+                WorkloadSpec::Trace(path.clone()),
+                PolicySpec::Kind(kind),
+                TierSpec::Ratio(TierRatio::OneTo8),
+                &config,
+                SEED,
+            ));
+        }
+    }
+    scenarios
+}
+
 /// The N-tier ladder sweep (`"tiers"` section): both CacheLib workloads on
 /// every [`LadderKind`] preset (3-tier DRAM→CXL→NVMe, 4-tier archive) × the
 /// six compared systems plus the NeoMem device-counter design — the extra

@@ -31,7 +31,9 @@ use tiering_runner::{ShardSpec, SweepReport};
 use crate::json::Json;
 
 /// The sweep sections a BENCH document may carry, in canonical order.
-pub const SECTIONS: [&str; 4] = ["single", "tiers", "colocation", "fleet"];
+/// `"trace"` is appended last (the PR-9 rule: new sections join at the end
+/// so pre-existing sections stay comparable against old baselines).
+pub const SECTIONS: [&str; 5] = ["single", "tiers", "colocation", "fleet", "trace"];
 
 /// Serializes one sweep's timing section (the `"single"` /
 /// `"colocation"` / `"fleet"` objects of a BENCH document). With `shard`

@@ -40,7 +40,8 @@ use tiering_sim::{
 };
 use tiering_trace::Workload;
 use tiering_workloads::{
-    build_workload, visit_workload, WorkloadId, WorkloadVisitor, ZipfPageWorkload,
+    build_workload, visit_workload, TraceReplayWorkload, WorkloadId, WorkloadVisitor,
+    ZipfPageWorkload,
 };
 
 use crate::derive_seed;
@@ -64,6 +65,11 @@ pub enum WorkloadSpec {
         /// The generator factory.
         build: WorkloadFactory,
     },
+    /// Replay of a recorded on-disk trace (`docs/TRACE_FORMAT.md`). The
+    /// file is opened (and fully verified) in the executing thread; the
+    /// scenario seed is ignored — a trace is the same stream for every
+    /// seed. Labelled by the file stem.
+    Trace(std::path::PathBuf),
 }
 
 impl WorkloadSpec {
@@ -83,6 +89,10 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Suite(id) => id.label().to_string(),
             WorkloadSpec::Custom { label, .. } => label.clone(),
+            WorkloadSpec::Trace(path) => path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "trace".to_string()),
         }
     }
 
@@ -90,6 +100,10 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Suite(id) => build_workload(*id, seed),
             WorkloadSpec::Custom { build, .. } => build(seed),
+            WorkloadSpec::Trace(path) => Box::new(
+                TraceReplayWorkload::open(path)
+                    .unwrap_or_else(|e| panic!("cannot open trace {}: {e}", path.display())),
+            ),
         }
     }
 }
@@ -99,6 +113,7 @@ impl fmt::Debug for WorkloadSpec {
         match self {
             WorkloadSpec::Suite(id) => write!(f, "Suite({id:?})"),
             WorkloadSpec::Custom { label, .. } => write!(f, "Custom({label})"),
+            WorkloadSpec::Trace(path) => write!(f, "Trace({})", path.display()),
         }
     }
 }

@@ -1,0 +1,177 @@
+//! The replay-equivalence contract, in the style of `batch_equivalence` /
+//! `chunk_equivalence`: recording a synthetic workload to an on-disk trace
+//! and replaying the file yields **bit-identical** `SimReport` fingerprints
+//! to running the generator directly — across every policy in
+//! `PolicyKind::COMPARED`, across engine batch sizes, and across recorder
+//! chunk sizes (chunked ≡ whole). Plus the two guarantees that make replay
+//! safe at scale: memory stays O(chunk) (measured, not assumed), and
+//! damaged files fail typed at open, never mid-simulation.
+
+use std::path::{Path, PathBuf};
+
+use fleet_exec::FaultKind;
+use tiering_mem::TierRatio;
+use tiering_policies::PolicyKind;
+use tiering_runner::{PolicySpec, Scenario, TierSpec, WorkloadSpec};
+use tiering_sim::SimConfig;
+use tiering_trace::{AccessBatch, TraceError, Workload};
+use tiering_workloads::{build_workload, record_workload, TraceReplayWorkload, WorkloadId};
+
+const SEED: u64 = 0xA5F0_5EED;
+const OPS: u64 = 6_000;
+
+fn tmp(tag: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("replay-eq-{tag}.trace"))
+}
+
+/// Records `id` (built with the scenario seed, as a direct run would build
+/// it) to a fresh trace file.
+fn record(id: WorkloadId, chunk_ops: usize, tag: &str) -> PathBuf {
+    let path = tmp(tag);
+    let mut w = build_workload(id, SEED);
+    record_workload(w.as_mut(), OPS, &path, chunk_ops).expect("record");
+    path
+}
+
+fn config(batch_ops: usize) -> SimConfig {
+    SimConfig::default()
+        .with_max_ops(OPS)
+        .with_batch_ops(batch_ops)
+}
+
+fn direct_run(id: WorkloadId, kind: PolicyKind, batch_ops: usize) -> u64 {
+    Scenario::suite(id, kind, TierRatio::OneTo8, &config(batch_ops), SEED)
+        .run()
+        .report
+        .fingerprint()
+}
+
+fn replay_run(path: &Path, kind: PolicyKind, batch_ops: usize) -> u64 {
+    Scenario::new(
+        format!("replay/{}", kind.label()),
+        WorkloadSpec::Trace(path.to_path_buf()),
+        PolicySpec::Kind(kind),
+        TierSpec::Ratio(TierRatio::OneTo8),
+        &config(batch_ops),
+        SEED,
+    )
+    .run()
+    .report
+    .fingerprint()
+}
+
+/// The headline guarantee: record→replay is bit-identical to the direct
+/// generator run for every compared policy.
+#[test]
+fn replay_matches_direct_run_for_every_compared_policy() {
+    let path = record(WorkloadId::CdnCacheLib, 1024, "policies");
+    for kind in PolicyKind::COMPARED {
+        assert_eq!(
+            direct_run(WorkloadId::CdnCacheLib, kind, 64),
+            replay_run(&path, kind, 64),
+            "replay diverged from direct run under {}",
+            kind.label()
+        );
+    }
+}
+
+/// Equivalence holds at every engine batch size (including degenerate
+/// one-op batches and batches larger than a reader chunk).
+#[test]
+fn replay_matches_direct_run_across_batch_sizes() {
+    let path = record(WorkloadId::CdnCacheLib, 256, "batch-sizes");
+    for batch_ops in [1, 7, 64, 512] {
+        assert_eq!(
+            direct_run(WorkloadId::CdnCacheLib, PolicyKind::HybridTier, batch_ops),
+            replay_run(&path, PolicyKind::HybridTier, batch_ops),
+            "replay diverged at batch_ops={batch_ops}"
+        );
+    }
+}
+
+/// Chunked ≡ whole: the recorder's chunk size is invisible to the outcome.
+/// Every chunking replays to the same fingerprint, which also equals the
+/// direct run.
+#[test]
+fn reader_chunk_size_is_invisible() {
+    let direct = direct_run(WorkloadId::SocialCacheLib, PolicyKind::Memtis, 64);
+    for chunk_ops in [16, 64, 1024, OPS as usize] {
+        let path = record(
+            WorkloadId::SocialCacheLib,
+            chunk_ops,
+            &format!("chunk-{chunk_ops}"),
+        );
+        assert_eq!(
+            direct,
+            replay_run(&path, PolicyKind::Memtis, 64),
+            "replay diverged at chunk_ops={chunk_ops}"
+        );
+    }
+}
+
+/// Replay memory is O(chunk), not O(trace): stream the whole file in
+/// engine-sized batches and check the reader's resident high-water mark
+/// against the file size.
+#[test]
+fn replay_memory_stays_per_chunk() {
+    let path = record(WorkloadId::CdnCacheLib, 128, "resident");
+    let file_len = std::fs::metadata(&path).expect("metadata").len() as usize;
+
+    let mut replay = TraceReplayWorkload::open(&path).expect("open");
+    let mut batch = AccessBatch::with_capacity(64, 256);
+    let mut ops = 0u64;
+    loop {
+        batch.clear();
+        let n = replay.fill_batch(0, 64, &mut batch);
+        if n == 0 {
+            break;
+        }
+        ops += n as u64;
+    }
+    assert_eq!(ops, OPS, "full trace replayed");
+    let resident = replay.max_resident_bytes();
+    assert!(resident > 0);
+    assert!(
+        resident < file_len / 8,
+        "resident {resident} B vs file {file_len} B — replay is not O(chunk)"
+    );
+}
+
+/// Applies one of the PR-7 fleet-executor fault shapes to a trace file:
+/// `Corrupt` flips a byte mid-file, `Truncate` cuts the tail off. (The
+/// byte-exact corruption matrix lives in `tiering_trace`'s own suite; this
+/// level checks the same damage vocabulary through the replay entry point.)
+fn damage(path: &PathBuf, kind: &FaultKind) {
+    let mut bytes = std::fs::read(path).expect("read trace");
+    match kind {
+        FaultKind::Corrupt => {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+        }
+        FaultKind::Truncate => bytes.truncate(bytes.len() * 2 / 3),
+        other => panic!("not a file-damage fault: {other:?}"),
+    }
+    std::fs::write(path, bytes).expect("rewrite trace");
+}
+
+/// Damaged traces fail **typed at open** — replay never starts, nothing
+/// panics, and no short stream is silently accepted.
+#[test]
+fn damaged_traces_fail_typed_at_open() {
+    for (kind, tag) in [
+        (FaultKind::Corrupt, "corrupt"),
+        (FaultKind::Truncate, "truncate"),
+    ] {
+        let path = record(WorkloadId::CdnCacheLib, 64, &format!("fault-{tag}"));
+        damage(&path, &kind);
+        match TraceReplayWorkload::open(&path) {
+            Err(
+                TraceError::ChecksumMismatch { .. }
+                | TraceError::Truncated { .. }
+                | TraceError::CountMismatch { .. },
+            ) => {}
+            Ok(_) => panic!("{tag}: damaged trace was accepted"),
+            Err(other) => panic!("{tag}: unexpected error {other:?}"),
+        }
+    }
+}

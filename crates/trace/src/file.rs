@@ -1,0 +1,900 @@
+//! Versioned, chunked on-disk access-trace format.
+//!
+//! A trace file is a fixed little-endian header followed by a sequence of
+//! self-verifying chunk frames. Each frame stores its operations
+//! **columnar** — per-op `kind`/`cpu_ns`/`access-count` columns, per-access
+//! `addrs`/`writes` columns — mirroring the structure-of-arrays layout of
+//! [`AccessBatch`](crate::AccessBatch), so a decoded chunk feeds the batch
+//! pipeline through the `open_op`/`push_access`/`commit_open_op`
+//! direct-fill path without ever materializing per-op `Access` vectors.
+//!
+//! Layout (byte offsets; all integers little-endian; full specification in
+//! `docs/TRACE_FORMAT.md`):
+//!
+//! ```text
+//! header   0  magic            [u8; 8] = b"HTIERTRC"
+//!          8  version          u32     = 1
+//!         12  name_len         u32     (≤ 4096)
+//!         16  footprint_bytes  u64
+//!         24  total_ops        u64
+//!         32  total_accesses   u64
+//!         40  chunk_count      u64
+//!         48  name             [u8; name_len]  (UTF-8 workload name)
+//! chunk    0  ops              u32     \
+//!          4  accesses         u32      | prologue (16 B)
+//!          8  payload_len      u32      |
+//!         12  reserved         u32 = 0 /
+//!         16  kinds            [u8;  ops]       0=Read 1=Write 2=Compute
+//!             cpu_ns           [u64; ops]
+//!             acc_len          [u32; ops]       accesses per op
+//!             addrs            [u64; accesses]
+//!             writes           [u8;  accesses]  0=load 1=store
+//!             checksum         u64              FNV-1a over prologue+payload
+//! ```
+//!
+//! `payload_len` must equal `13·ops + 9·accesses` and is capped
+//! ([`MAX_CHUNK_PAYLOAD_BYTES`]) so a corrupted count field can never make
+//! the reader allocate unbounded memory. [`TraceWriter`] streams frames out
+//! as ops arrive and back-patches the header totals on
+//! [`finish`](TraceWriter::finish); [`TraceReader`] holds **one decoded
+//! chunk at a time** (replay memory is O(chunk), never O(trace) — the
+//! [`max_resident_bytes`](TraceReader::max_resident_bytes) meter is
+//! asserted on by the replay-equivalence suite). Every structural defect —
+//! foreign magic, unknown version, truncation, checksum mismatch,
+//! over-length chunk, total drift — surfaces as a typed [`TraceError`],
+//! never a panic and never a silent short read.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::access::{Access, Op, OpKind};
+
+/// Magic bytes opening every trace file.
+pub const TRACE_MAGIC: [u8; 8] = *b"HTIERTRC";
+
+/// Current format version (the only one this reader accepts).
+pub const TRACE_VERSION: u32 = 1;
+
+/// Default operations per chunk for [`TraceWriter`].
+pub const DEFAULT_CHUNK_OPS: usize = 4096;
+
+/// Hard cap on one chunk's payload (64 MiB): a corrupted count field is
+/// rejected as [`TraceError::OverlengthChunk`] instead of driving an
+/// unbounded allocation.
+pub const MAX_CHUNK_PAYLOAD_BYTES: u64 = 1 << 26;
+
+/// Hard cap on the header's workload-name length.
+const MAX_NAME_BYTES: u32 = 4096;
+
+/// Bytes one operation contributes to a payload (kind + cpu_ns + acc_len).
+const OP_BYTES: u64 = 1 + 8 + 4;
+/// Bytes one access contributes to a payload (addr + write flag).
+const ACCESS_BYTES: u64 = 8 + 1;
+/// Fixed header bytes before the name block.
+const HEADER_FIXED_BYTES: usize = 48;
+/// Chunk prologue bytes (ops, accesses, payload_len, reserved).
+const PROLOGUE_BYTES: usize = 16;
+
+/// Why a trace file could not be written or read.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure (disk full, permission, …).
+    Io(io::Error),
+    /// The file does not start with [`TRACE_MAGIC`].
+    BadMagic {
+        /// The bytes found where the magic was expected.
+        found: [u8; 8],
+    },
+    /// The header declares a version this reader does not support.
+    BadVersion {
+        /// The declared version.
+        found: u32,
+    },
+    /// The stream ended before the named structure was complete.
+    Truncated {
+        /// Which structure was cut short.
+        what: &'static str,
+    },
+    /// A chunk's stored checksum disagrees with its contents.
+    ChecksumMismatch {
+        /// Zero-based index of the offending chunk.
+        chunk: u64,
+    },
+    /// A chunk (or the header name block) declares a size that exceeds its
+    /// cap or disagrees with its own count fields.
+    OverlengthChunk {
+        /// Zero-based index of the offending chunk (`u64::MAX` for the
+        /// header name block).
+        chunk: u64,
+        /// The declared byte length.
+        declared: u64,
+        /// The byte length the counts (or the cap) admit.
+        limit: u64,
+    },
+    /// A count in the file disagrees with what was actually read (header
+    /// totals vs. chunk contents, per-chunk access totals, …).
+    CountMismatch {
+        /// Which count drifted.
+        what: &'static str,
+        /// The declared value.
+        declared: u64,
+        /// The value reconstructed from the data.
+        found: u64,
+    },
+    /// A field holds a value outside its vocabulary (an op-kind byte that
+    /// is not 0/1/2, a non-UTF-8 name, …).
+    Malformed {
+        /// Which field is out of vocabulary.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic { found } => {
+                write!(f, "not a trace file (magic {found:02x?})")
+            }
+            TraceError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported trace version {found} (expected {TRACE_VERSION})"
+                )
+            }
+            TraceError::Truncated { what } => write!(f, "trace truncated in {what}"),
+            TraceError::ChecksumMismatch { chunk } => {
+                write!(f, "checksum mismatch in chunk {chunk}")
+            }
+            TraceError::OverlengthChunk {
+                chunk,
+                declared,
+                limit,
+            } => {
+                if *chunk == u64::MAX {
+                    write!(
+                        f,
+                        "over-length header name: {declared} bytes (limit {limit})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "over-length chunk {chunk}: declares {declared} payload bytes (limit {limit})"
+                    )
+                }
+            }
+            TraceError::CountMismatch {
+                what,
+                declared,
+                found,
+            } => write!(f, "{what}: file declares {declared}, data holds {found}"),
+            TraceError::Malformed { what } => write!(f, "malformed trace field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Maps `read_exact`'s EOF onto the typed truncation error, so a cut-short
+/// file is reported as *truncated in \<structure\>*, never as a bare I/O
+/// failure or a silent short read.
+fn read_exact_or_truncated<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), TraceError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated { what }
+        } else {
+            TraceError::Io(e)
+        }
+    })
+}
+
+/// The FNV-1a accumulator sealing each chunk — the same fixed, documented
+/// algorithm the report fingerprints use, so checksums are identical across
+/// hosts and rustc versions.
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0100_0000_01b3;
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a offset basis (the checksum's initial state).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The decoded trace header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version (currently always [`TRACE_VERSION`]).
+    pub version: u32,
+    /// Footprint of the recorded workload — replay sizes tiers from this,
+    /// so a replayed scenario resolves the same tier configuration as the
+    /// generator it was recorded from.
+    pub footprint_bytes: u64,
+    /// Total operations across all chunks.
+    pub total_ops: u64,
+    /// Total accesses across all chunks.
+    pub total_accesses: u64,
+    /// Number of chunk frames.
+    pub chunk_count: u64,
+    /// Recorded workload name — replay reports under this name, so a
+    /// replayed run's `SimReport` fingerprint matches the direct run's.
+    pub name: String,
+}
+
+impl TraceHeader {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_FIXED_BYTES + self.name.len());
+        out.extend_from_slice(&TRACE_MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&(self.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.footprint_bytes.to_le_bytes());
+        out.extend_from_slice(&self.total_ops.to_le_bytes());
+        out.extend_from_slice(&self.total_accesses.to_le_bytes());
+        out.extend_from_slice(&self.chunk_count.to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        out
+    }
+
+    fn read<R: Read>(r: &mut R) -> Result<Self, TraceError> {
+        let mut fixed = [0u8; HEADER_FIXED_BYTES];
+        read_exact_or_truncated(r, &mut fixed, "header")?;
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&fixed[0..8]);
+        if magic != TRACE_MAGIC {
+            return Err(TraceError::BadMagic { found: magic });
+        }
+        let le32 = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4-byte slice"));
+        let le64 = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("8-byte slice"));
+        let version = le32(&fixed[8..12]);
+        if version != TRACE_VERSION {
+            return Err(TraceError::BadVersion { found: version });
+        }
+        let name_len = le32(&fixed[12..16]);
+        if name_len > MAX_NAME_BYTES {
+            return Err(TraceError::OverlengthChunk {
+                chunk: u64::MAX,
+                declared: u64::from(name_len),
+                limit: u64::from(MAX_NAME_BYTES),
+            });
+        }
+        let mut name_bytes = vec![0u8; name_len as usize];
+        read_exact_or_truncated(r, &mut name_bytes, "header name")?;
+        let name = String::from_utf8(name_bytes).map_err(|_| TraceError::Malformed {
+            what: "header name (not UTF-8)",
+        })?;
+        Ok(Self {
+            version,
+            footprint_bytes: le64(&fixed[16..24]),
+            total_ops: le64(&fixed[24..32]),
+            total_accesses: le64(&fixed[32..40]),
+            chunk_count: le64(&fixed[40..48]),
+            name,
+        })
+    }
+}
+
+/// Totals of a completed write or a full verification scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Operations in the trace.
+    pub ops: u64,
+    /// Accesses in the trace.
+    pub accesses: u64,
+    /// Chunk frames in the trace.
+    pub chunks: u64,
+}
+
+/// Streaming trace writer: buffer one chunk's columns, seal it with its
+/// checksum when full, back-patch the header totals on
+/// [`finish`](TraceWriter::finish).
+///
+/// The writer holds at most one chunk's worth of columns — recording is
+/// O(chunk) memory just like replay.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write + Seek> {
+    out: W,
+    chunk_ops: usize,
+    // Current chunk, columnar (mirrors the on-disk frame layout).
+    kinds: Vec<u8>,
+    cpu_ns: Vec<u64>,
+    acc_len: Vec<u32>,
+    addrs: Vec<u64>,
+    writes: Vec<u8>,
+    header: TraceHeader,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates `path` (truncating any existing file) and writes the
+    /// provisional header for a workload called `name` with the given
+    /// footprint.
+    pub fn create(
+        path: impl AsRef<Path>,
+        name: &str,
+        footprint_bytes: u64,
+    ) -> Result<Self, TraceError> {
+        Self::new(BufWriter::new(File::create(path)?), name, footprint_bytes)
+    }
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Wraps any seekable sink (a file, an in-memory `Cursor`) and writes
+    /// the provisional header; totals are back-patched by
+    /// [`finish`](TraceWriter::finish).
+    pub fn new(mut out: W, name: &str, footprint_bytes: u64) -> Result<Self, TraceError> {
+        if name.len() > MAX_NAME_BYTES as usize {
+            return Err(TraceError::OverlengthChunk {
+                chunk: u64::MAX,
+                declared: name.len() as u64,
+                limit: u64::from(MAX_NAME_BYTES),
+            });
+        }
+        let header = TraceHeader {
+            version: TRACE_VERSION,
+            footprint_bytes,
+            total_ops: 0,
+            total_accesses: 0,
+            chunk_count: 0,
+            name: name.to_string(),
+        };
+        out.write_all(&header.to_bytes())?;
+        Ok(Self {
+            out,
+            chunk_ops: DEFAULT_CHUNK_OPS,
+            kinds: Vec::new(),
+            cpu_ns: Vec::new(),
+            acc_len: Vec::new(),
+            addrs: Vec::new(),
+            writes: Vec::new(),
+            header,
+        })
+    }
+
+    /// Overrides the operations-per-chunk target (default
+    /// [`DEFAULT_CHUNK_OPS`]). Smaller chunks mean lower replay memory and
+    /// more checksums; the decoded stream is identical for any value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_ops` is zero.
+    #[must_use]
+    pub fn with_chunk_ops(mut self, chunk_ops: usize) -> Self {
+        assert!(chunk_ops > 0, "a chunk must hold at least one op");
+        self.chunk_ops = chunk_ops;
+        self
+    }
+
+    /// Appends one operation with its accesses to the current chunk,
+    /// sealing and writing the chunk once it reaches the op target.
+    pub fn push_op(&mut self, op: Op, accesses: &[Access]) -> Result<(), TraceError> {
+        self.kinds.push(match op.kind {
+            OpKind::Read => 0,
+            OpKind::Write => 1,
+            OpKind::Compute => 2,
+        });
+        self.cpu_ns.push(op.cpu_ns);
+        self.acc_len.push(accesses.len() as u32);
+        for a in accesses {
+            self.addrs.push(a.addr);
+            self.writes.push(u8::from(a.is_write));
+        }
+        self.header.total_ops += 1;
+        self.header.total_accesses += accesses.len() as u64;
+        if self.kinds.len() >= self.chunk_ops {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Seals and writes the buffered chunk (no-op when empty).
+    fn flush_chunk(&mut self) -> Result<(), TraceError> {
+        if self.kinds.is_empty() {
+            return Ok(());
+        }
+        let ops = self.kinds.len();
+        let accesses = self.addrs.len();
+        let payload_len = ops as u64 * OP_BYTES + accesses as u64 * ACCESS_BYTES;
+
+        let mut prologue = [0u8; PROLOGUE_BYTES];
+        prologue[0..4].copy_from_slice(&(ops as u32).to_le_bytes());
+        prologue[4..8].copy_from_slice(&(accesses as u32).to_le_bytes());
+        prologue[8..12].copy_from_slice(&(payload_len as u32).to_le_bytes());
+
+        let mut payload = Vec::with_capacity(payload_len as usize);
+        payload.extend_from_slice(&self.kinds);
+        for &v in &self.cpu_ns {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.acc_len {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.addrs {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        payload.extend_from_slice(&self.writes);
+        debug_assert_eq!(payload.len() as u64, payload_len);
+
+        let checksum = fnv1a(fnv1a(FNV_OFFSET, &prologue), &payload);
+        self.out.write_all(&prologue)?;
+        self.out.write_all(&payload)?;
+        self.out.write_all(&checksum.to_le_bytes())?;
+
+        self.header.chunk_count += 1;
+        self.kinds.clear();
+        self.cpu_ns.clear();
+        self.acc_len.clear();
+        self.addrs.clear();
+        self.writes.clear();
+        Ok(())
+    }
+
+    /// Seals any partial chunk, back-patches the header totals, flushes,
+    /// and returns the totals plus the underlying sink. A trace that was
+    /// not finished has zeroed totals and is rejected by the reader's
+    /// count checks.
+    pub fn finish(mut self) -> Result<(TraceSummary, W), TraceError> {
+        self.flush_chunk()?;
+        self.out.seek(SeekFrom::Start(0))?;
+        self.out.write_all(&self.header.to_bytes())?;
+        self.out.flush()?;
+        Ok((
+            TraceSummary {
+                ops: self.header.total_ops,
+                accesses: self.header.total_accesses,
+                chunks: self.header.chunk_count,
+            },
+            self.out,
+        ))
+    }
+}
+
+/// One decoded chunk: the columnar frame, ready to feed
+/// [`AccessBatch`](crate::AccessBatch) column-for-column. Buffers are
+/// reused across [`TraceReader::advance`] calls.
+#[derive(Debug, Default)]
+pub struct TraceChunk {
+    kinds: Vec<OpKind>,
+    cpu_ns: Vec<u64>,
+    /// Exclusive prefix sums of per-op access counts (`len() + 1` entries),
+    /// so an op's access range is two lookups, mirroring
+    /// [`AccessBatch::op_bounds`](crate::AccessBatch::op_bounds).
+    acc_start: Vec<u32>,
+    addrs: Vec<u64>,
+    writes: Vec<bool>,
+}
+
+impl TraceChunk {
+    /// Operations in this chunk.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the chunk holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Total accesses in this chunk.
+    pub fn total_accesses(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The `idx`-th operation's metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn op(&self, idx: usize) -> Op {
+        Op {
+            kind: self.kinds[idx],
+            cpu_ns: self.cpu_ns[idx],
+        }
+    }
+
+    /// The `[start, end)` range of the `idx`-th operation's accesses within
+    /// the flat columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn op_access_range(&self, idx: usize) -> (usize, usize) {
+        (
+            self.acc_start[idx] as usize,
+            self.acc_start[idx + 1] as usize,
+        )
+    }
+
+    /// The flat byte-address column.
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// The flat is-write column (parallel to [`addrs`](Self::addrs)).
+    pub fn writes(&self) -> &[bool] {
+        &self.writes
+    }
+
+    /// Reconstructs the `i`-th access of the chunk from the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= total_accesses()`.
+    pub fn access(&self, i: usize) -> Access {
+        Access {
+            addr: self.addrs[i],
+            is_write: self.writes[i],
+        }
+    }
+
+    /// Bytes currently held by the decoded columns (capacity, not length —
+    /// the honest measure of what stays resident across chunk reuse).
+    fn resident_bytes(&self) -> usize {
+        self.kinds.capacity()
+            + self.cpu_ns.capacity() * 8
+            + self.acc_start.capacity() * 4
+            + self.addrs.capacity() * 8
+            + self.writes.capacity()
+    }
+}
+
+/// Streaming trace reader: validates the header on construction, then
+/// decodes one chunk frame per [`advance`](TraceReader::advance) into a
+/// reused [`TraceChunk`] — at no point is more than one chunk resident
+/// ([`max_resident_bytes`](TraceReader::max_resident_bytes) meters it).
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    inner: R,
+    header: TraceHeader,
+    chunk: TraceChunk,
+    payload_buf: Vec<u8>,
+    chunks_read: u64,
+    ops_seen: u64,
+    accesses_seen: u64,
+    max_resident: usize,
+    done: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens `path` and validates its header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+
+    /// Streams through every chunk of `path`, verifying checksums, layout,
+    /// and totals, holding one chunk at a time. The cheap way to reject a
+    /// damaged file *before* handing it to a replay that has no error
+    /// channel.
+    pub fn verify_file(path: impl AsRef<Path>) -> Result<TraceSummary, TraceError> {
+        Self::open(path)?.verify()
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps any byte source and validates the header.
+    pub fn new(mut inner: R) -> Result<Self, TraceError> {
+        let header = TraceHeader::read(&mut inner)?;
+        Ok(Self {
+            inner,
+            header,
+            chunk: TraceChunk::default(),
+            payload_buf: Vec::new(),
+            chunks_read: 0,
+            ops_seen: 0,
+            accesses_seen: 0,
+            max_resident: 0,
+            done: false,
+        })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// The most recently decoded chunk (empty before the first
+    /// [`advance`](Self::advance) and after the last).
+    pub fn chunk(&self) -> &TraceChunk {
+        &self.chunk
+    }
+
+    /// High-water mark of resident chunk bytes (raw payload buffer plus
+    /// decoded columns): the O(chunk)-not-O(trace) guarantee, measured.
+    pub fn max_resident_bytes(&self) -> usize {
+        self.max_resident
+    }
+
+    /// Decodes the next chunk into [`chunk`](Self::chunk). Returns
+    /// `Ok(false)` once every chunk has been read and the header totals
+    /// have been cross-checked against the data.
+    pub fn advance(&mut self) -> Result<bool, TraceError> {
+        if self.done {
+            return Ok(false);
+        }
+        if self.chunks_read == self.header.chunk_count {
+            self.done = true;
+            self.chunk = TraceChunk::default();
+            if self.ops_seen != self.header.total_ops {
+                return Err(TraceError::CountMismatch {
+                    what: "total ops",
+                    declared: self.header.total_ops,
+                    found: self.ops_seen,
+                });
+            }
+            if self.accesses_seen != self.header.total_accesses {
+                return Err(TraceError::CountMismatch {
+                    what: "total accesses",
+                    declared: self.header.total_accesses,
+                    found: self.accesses_seen,
+                });
+            }
+            return Ok(false);
+        }
+        let idx = self.chunks_read;
+
+        let mut prologue = [0u8; PROLOGUE_BYTES];
+        read_exact_or_truncated(&mut self.inner, &mut prologue, "chunk prologue")?;
+        let le32 = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4-byte slice"));
+        let ops = u64::from(le32(&prologue[0..4]));
+        let accesses = u64::from(le32(&prologue[4..8]));
+        let payload_len = u64::from(le32(&prologue[8..12]));
+        let expected = ops * OP_BYTES + accesses * ACCESS_BYTES;
+        if expected > MAX_CHUNK_PAYLOAD_BYTES || payload_len != expected {
+            return Err(TraceError::OverlengthChunk {
+                chunk: idx,
+                declared: payload_len,
+                limit: expected.min(MAX_CHUNK_PAYLOAD_BYTES),
+            });
+        }
+
+        self.payload_buf.resize(payload_len as usize, 0);
+        read_exact_or_truncated(&mut self.inner, &mut self.payload_buf, "chunk payload")?;
+        let mut stored = [0u8; 8];
+        read_exact_or_truncated(&mut self.inner, &mut stored, "chunk checksum")?;
+        let computed = fnv1a(fnv1a(FNV_OFFSET, &prologue), &self.payload_buf);
+        if u64::from_le_bytes(stored) != computed {
+            return Err(TraceError::ChecksumMismatch { chunk: idx });
+        }
+
+        self.decode_payload(idx, ops as usize, accesses as usize)?;
+        self.chunks_read += 1;
+        self.ops_seen += ops;
+        self.accesses_seen += accesses;
+        self.max_resident = self
+            .max_resident
+            .max(self.payload_buf.capacity() + self.chunk.resident_bytes());
+        Ok(true)
+    }
+
+    /// Splits the verified payload into the reused column vectors.
+    fn decode_payload(&mut self, idx: u64, ops: usize, accesses: usize) -> Result<(), TraceError> {
+        let c = &mut self.chunk;
+        c.kinds.clear();
+        c.cpu_ns.clear();
+        c.acc_start.clear();
+        c.addrs.clear();
+        c.writes.clear();
+
+        let buf = &self.payload_buf;
+        let (kind_bytes, rest) = buf.split_at(ops);
+        let (cpu_bytes, rest) = rest.split_at(ops * 8);
+        let (len_bytes, rest) = rest.split_at(ops * 4);
+        let (addr_bytes, write_bytes) = rest.split_at(accesses * 8);
+
+        for &k in kind_bytes {
+            c.kinds.push(match k {
+                0 => OpKind::Read,
+                1 => OpKind::Write,
+                2 => OpKind::Compute,
+                _ => return Err(TraceError::Malformed { what: "op kind" }),
+            });
+        }
+        c.cpu_ns.extend(
+            cpu_bytes
+                .chunks_exact(8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk"))),
+        );
+        let mut cursor: u64 = 0;
+        c.acc_start.push(0);
+        for b in len_bytes.chunks_exact(4) {
+            cursor += u64::from(u32::from_le_bytes(b.try_into().expect("4-byte chunk")));
+            if cursor > accesses as u64 {
+                return Err(TraceError::CountMismatch {
+                    what: "chunk access total",
+                    declared: accesses as u64,
+                    found: cursor,
+                });
+            }
+            c.acc_start.push(cursor as u32);
+        }
+        if cursor != accesses as u64 {
+            return Err(TraceError::CountMismatch {
+                what: "chunk access total",
+                declared: accesses as u64,
+                found: cursor,
+            });
+        }
+        c.addrs.extend(
+            addr_bytes
+                .chunks_exact(8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk"))),
+        );
+        for &w in write_bytes {
+            c.writes.push(match w {
+                0 => false,
+                1 => true,
+                _ => return Err(TraceError::Malformed { what: "write flag" }),
+            });
+        }
+        let _ = idx;
+        Ok(())
+    }
+
+    /// Streams through every remaining chunk, verifying as it goes, and
+    /// returns the totals. Memory stays O(chunk).
+    pub fn verify(mut self) -> Result<TraceSummary, TraceError> {
+        while self.advance()? {}
+        Ok(TraceSummary {
+            ops: self.ops_seen,
+            accesses: self.accesses_seen,
+            chunks: self.chunks_read,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn write_ops(ops: &[(Op, Vec<Access>)], chunk_ops: usize) -> Vec<u8> {
+        let mut w = TraceWriter::new(Cursor::new(Vec::new()), "test", 1 << 20)
+            .expect("writer")
+            .with_chunk_ops(chunk_ops);
+        for (op, accs) in ops {
+            w.push_op(*op, accs).expect("push");
+        }
+        let (_, cursor) = w.finish().expect("finish");
+        cursor.into_inner()
+    }
+
+    fn read_ops(bytes: &[u8]) -> Vec<(Op, Vec<Access>)> {
+        let mut r = TraceReader::new(Cursor::new(bytes)).expect("reader");
+        let mut out = Vec::new();
+        while r.advance().expect("advance") {
+            let c = r.chunk();
+            for i in 0..c.len() {
+                let (s, e) = c.op_access_range(i);
+                out.push((c.op(i), (s..e).map(|j| c.access(j)).collect()));
+            }
+        }
+        out
+    }
+
+    fn sample_ops() -> Vec<(Op, Vec<Access>)> {
+        vec![
+            (
+                Op::read(50),
+                vec![Access::read(0x1000), Access::read(0x2000)],
+            ),
+            (Op::write(70), vec![Access::write(0x3000)]),
+            (Op::compute(10), vec![]),
+            (
+                Op::read(90),
+                vec![
+                    Access::read(0xFFFF_FFFF_FFFF_0000),
+                    Access::write(0),
+                    Access::read(0x5000),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_across_chunk_sizes() {
+        let ops = sample_ops();
+        for chunk_ops in [1, 2, 3, 4, 100] {
+            let bytes = write_ops(&ops, chunk_ops);
+            assert_eq!(read_ops(&bytes), ops, "chunk_ops={chunk_ops}");
+        }
+    }
+
+    #[test]
+    fn header_carries_identity() {
+        let mut w =
+            TraceWriter::new(Cursor::new(Vec::new()), "cachelib-cdn", 42_000).expect("writer");
+        w.push_op(Op::read(1), &[Access::read(0)]).expect("push");
+        let (summary, cursor) = w.finish().expect("finish");
+        assert_eq!(summary.ops, 1);
+        assert_eq!(summary.accesses, 1);
+        assert_eq!(summary.chunks, 1);
+        let r = TraceReader::new(Cursor::new(cursor.into_inner())).expect("reader");
+        assert_eq!(r.header().name, "cachelib-cdn");
+        assert_eq!(r.header().footprint_bytes, 42_000);
+        assert_eq!(r.header().total_ops, 1);
+        assert_eq!(r.header().version, TRACE_VERSION);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let bytes = write_ops(&[], 8);
+        assert_eq!(read_ops(&bytes), Vec::new());
+        let mut r = TraceReader::new(Cursor::new(bytes)).expect("reader");
+        assert_eq!(r.header().chunk_count, 0);
+        assert!(!r.advance().expect("advance"));
+        assert!(!r.advance().expect("advance twice"));
+    }
+
+    #[test]
+    fn chunk_boundaries_follow_chunk_ops() {
+        let ops: Vec<(Op, Vec<Access>)> = (0..10)
+            .map(|i| (Op::read(i), vec![Access::read(i)]))
+            .collect();
+        let bytes = write_ops(&ops, 4);
+        let r = TraceReader::new(Cursor::new(bytes)).expect("reader");
+        assert_eq!(r.header().chunk_count, 3, "10 ops at 4/chunk = 4+4+2");
+    }
+
+    #[test]
+    fn resident_bytes_stay_per_chunk() {
+        let ops: Vec<(Op, Vec<Access>)> = (0..4096u64)
+            .map(|i| (Op::read(10), vec![Access::read(i * 64)]))
+            .collect();
+        let bytes = write_ops(&ops, 64);
+        let total = bytes.len();
+        let mut r = TraceReader::new(Cursor::new(bytes)).expect("reader");
+        while r.advance().expect("advance") {}
+        let resident = r.max_resident_bytes();
+        assert!(resident > 0);
+        assert!(
+            resident < total / 8,
+            "resident {resident} B vs file {total} B — reader is holding more than one chunk"
+        );
+    }
+
+    #[test]
+    fn verify_reports_totals() {
+        let ops = sample_ops();
+        let bytes = write_ops(&ops, 2);
+        let summary = TraceReader::new(Cursor::new(bytes))
+            .expect("reader")
+            .verify()
+            .expect("verify");
+        assert_eq!(summary.ops, 4);
+        assert_eq!(summary.accesses, 6);
+        assert_eq!(summary.chunks, 2);
+    }
+
+    #[test]
+    fn overlong_name_is_rejected() {
+        let long = "x".repeat(MAX_NAME_BYTES as usize + 1);
+        let err = TraceWriter::new(Cursor::new(Vec::new()), &long, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::OverlengthChunk {
+                chunk: u64::MAX,
+                ..
+            }
+        ));
+    }
+}

@@ -17,6 +17,11 @@
 //!   a bounded buffer that the tiering runtime drains (paper Algorithm 1).
 //!   [`Sampler::due_in`]/[`Sampler::skip`] let batch consumers step over
 //!   whole unsampled bursts in one operation.
+//! * [`TraceWriter`] / [`TraceReader`] — a versioned, chunked, checksummed
+//!   on-disk trace format (`docs/TRACE_FORMAT.md`) whose columnar chunk
+//!   frames mirror the [`AccessBatch`] layout, so recorded access streams
+//!   bigger than RAM replay through the same zero-copy direct-fill path
+//!   with O(chunk) resident memory.
 //!
 //! # Example
 //!
@@ -35,8 +40,13 @@
 
 mod access;
 mod batch;
+mod file;
 mod sampler;
 
 pub use access::{fill_batch_via_next_op, Access, Op, OpKind, Workload};
 pub use batch::{AccessBatch, OpRecord};
+pub use file::{
+    TraceChunk, TraceError, TraceHeader, TraceReader, TraceSummary, TraceWriter, DEFAULT_CHUNK_OPS,
+    MAX_CHUNK_PAYLOAD_BYTES, TRACE_MAGIC, TRACE_VERSION,
+};
 pub use sampler::{Sample, SampleBuffer, Sampler};

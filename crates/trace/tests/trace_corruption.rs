@@ -1,0 +1,232 @@
+//! Corruption tests: every way a trace file can be damaged — truncation at
+//! any byte, foreign magic, unknown version, flipped payload bytes,
+//! over-length chunk declarations, drifted totals — must surface as a typed
+//! [`TraceError`], never a panic and never a silent short read.
+//!
+//! The damage shapes mirror the PR-7 fleet-executor fault vocabulary
+//! (`FaultKind::Corrupt` / `FaultKind::Truncate`); the runner-level suite
+//! drives those same shapes through `FaultPlan` against real files, while
+//! this suite exercises the byte-exact cases in memory.
+
+use std::io::Cursor;
+
+use tiering_trace::{
+    Access, Op, TraceError, TraceReader, TraceWriter, MAX_CHUNK_PAYLOAD_BYTES, TRACE_VERSION,
+};
+
+/// A small but multi-chunk valid trace (9 ops, chunked 4+4+1).
+fn valid_trace() -> Vec<u8> {
+    let mut w = TraceWriter::new(Cursor::new(Vec::new()), "corruption-victim", 1 << 20)
+        .expect("writer")
+        .with_chunk_ops(4);
+    for i in 0..9u64 {
+        let accs = [Access::read(i * 4096), Access::write(i * 4096 + 64)];
+        w.push_op(Op::read(100 + i), &accs).expect("push");
+    }
+    let (_, cursor) = w.finish().expect("finish");
+    cursor.into_inner()
+}
+
+/// Fixed header bytes before the name block (see `docs/TRACE_FORMAT.md`).
+const HEADER_FIXED: usize = 48;
+/// `"corruption-victim"` is 17 bytes.
+const NAME_LEN: usize = 17;
+/// Offset of the first chunk prologue.
+const FIRST_CHUNK: usize = HEADER_FIXED + NAME_LEN;
+
+/// Fully consumes `bytes` as a trace, returning the first error.
+fn scan(bytes: &[u8]) -> Result<(), TraceError> {
+    let mut r = TraceReader::new(Cursor::new(bytes))?;
+    while r.advance()? {}
+    Ok(())
+}
+
+#[test]
+fn pristine_trace_scans_clean() {
+    assert!(scan(&valid_trace()).is_ok());
+}
+
+/// Truncation sweep: EVERY proper prefix of the file must fail typed.
+/// The header records exact totals and every chunk declares its length, so
+/// no cut point can be mistaken for a shorter valid trace.
+#[test]
+fn every_proper_prefix_is_rejected() {
+    let bytes = valid_trace();
+    for cut in 0..bytes.len() {
+        let err = scan(&bytes[..cut]).expect_err(&format!("prefix of {cut} bytes accepted"));
+        assert!(
+            matches!(
+                err,
+                TraceError::Truncated { .. }
+                    | TraceError::BadMagic { .. }
+                    | TraceError::CountMismatch { .. }
+            ),
+            "prefix of {cut} bytes gave unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = valid_trace();
+    bytes[0] ^= 0xFF;
+    match scan(&bytes) {
+        Err(TraceError::BadMagic { found }) => assert_ne!(found, *b"HTIERTRC"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let mut bytes = valid_trace();
+    bytes[8..12].copy_from_slice(&(TRACE_VERSION + 1).to_le_bytes());
+    match scan(&bytes) {
+        Err(TraceError::BadVersion { found }) => assert_eq!(found, TRACE_VERSION + 1),
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+}
+
+/// A single flipped bit anywhere in a chunk payload must trip that chunk's
+/// checksum.
+#[test]
+fn flipped_payload_byte_is_rejected() {
+    let bytes = valid_trace();
+    // Flip one byte in the middle of the first chunk's payload.
+    let mut damaged = bytes.clone();
+    let target = FIRST_CHUNK + 16 + 10;
+    damaged[target] ^= 0x01;
+    match scan(&damaged) {
+        Err(TraceError::ChecksumMismatch { chunk }) => assert_eq!(chunk, 0),
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    // And one in the last chunk — earlier chunks must still decode.
+    let mut damaged = bytes;
+    let last = damaged.len() - 9; // inside the final chunk's payload
+    damaged[last] ^= 0x80;
+    match scan(&damaged) {
+        Err(TraceError::ChecksumMismatch { chunk }) => assert_eq!(chunk, 2),
+        other => panic!("expected ChecksumMismatch in last chunk, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_stored_checksum_is_rejected() {
+    let mut bytes = valid_trace();
+    let last = bytes.len() - 1; // high byte of the final chunk's checksum
+    bytes[last] ^= 0xFF;
+    assert!(matches!(
+        scan(&bytes),
+        Err(TraceError::ChecksumMismatch { chunk: 2 })
+    ));
+}
+
+/// A chunk prologue declaring counts beyond the payload cap must be
+/// rejected *before* any allocation sized from those counts.
+#[test]
+fn overlength_chunk_is_rejected_without_allocating() {
+    let mut bytes = valid_trace();
+    // Declare u32::MAX ops in the first chunk prologue: the implied payload
+    // far exceeds MAX_CHUNK_PAYLOAD_BYTES.
+    bytes[FIRST_CHUNK..FIRST_CHUNK + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    match scan(&bytes) {
+        Err(TraceError::OverlengthChunk {
+            chunk, declared, ..
+        }) => {
+            assert_eq!(chunk, 0);
+            // The implied size, not the stored payload_len, is what tripped.
+            assert!(u64::from(u32::MAX) * 13 > MAX_CHUNK_PAYLOAD_BYTES || declared > 0);
+        }
+        other => panic!("expected OverlengthChunk, got {other:?}"),
+    }
+}
+
+/// `payload_len` disagreeing with the count fields is also an over-length
+/// (malformed-frame) rejection, even when both fit the cap.
+#[test]
+fn inconsistent_payload_len_is_rejected() {
+    let mut bytes = valid_trace();
+    let off = FIRST_CHUNK + 8; // payload_len field
+    let declared = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+    bytes[off..off + 4].copy_from_slice(&(declared + 1).to_le_bytes());
+    assert!(matches!(
+        scan(&bytes),
+        Err(TraceError::OverlengthChunk { chunk: 0, .. })
+    ));
+}
+
+/// Header totals drifting from the data (here: one op shaved off) are
+/// caught by the end-of-stream cross-check, not silently accepted.
+#[test]
+fn drifted_header_totals_are_rejected() {
+    let mut bytes = valid_trace();
+    bytes[24..32].copy_from_slice(&8u64.to_le_bytes()); // total_ops: 9 → 8
+    match scan(&bytes) {
+        Err(TraceError::CountMismatch {
+            what,
+            declared,
+            found,
+        }) => {
+            assert_eq!(what, "total ops");
+            assert_eq!(declared, 8);
+            assert_eq!(found, 9);
+        }
+        other => panic!("expected CountMismatch, got {other:?}"),
+    }
+}
+
+/// An unfinished writer (totals never back-patched) leaves zeroed counts;
+/// the reader sees chunk_count = 0 and stops at the header — it must not
+/// silently replay a partial stream as if complete.
+#[test]
+fn unfinished_trace_yields_no_ops() {
+    let mut w = TraceWriter::new(Cursor::new(Vec::new()), "unfinished", 0)
+        .expect("writer")
+        .with_chunk_ops(1);
+    w.push_op(Op::read(1), &[Access::read(0)]).expect("push");
+    // Drop without finish(): the chunk was flushed but the header still
+    // says zero chunks.
+    let bytes = {
+        // Writer has no public sink accessor without finish; rebuild the
+        // same situation by finishing and then zeroing the totals.
+        let (_, cursor) = w.finish().expect("finish");
+        let mut b = cursor.into_inner();
+        b[24..48].fill(0); // total_ops, total_accesses, chunk_count
+        b
+    };
+    let mut r = TraceReader::new(Cursor::new(&bytes[..])).expect("reader");
+    assert!(
+        !r.advance().expect("advance"),
+        "zero-chunk header must stop"
+    );
+    assert_eq!(r.chunk().len(), 0);
+}
+
+#[test]
+fn garbage_op_kind_is_rejected() {
+    let mut bytes = valid_trace();
+    // First payload byte of chunk 0 is the first op's kind.
+    let kind_off = FIRST_CHUNK + 16;
+    bytes[kind_off] = 7;
+    // The checksum seals the payload, so a naive flip trips the checksum
+    // first; recompute it so the kind check itself is exercised.
+    let ops = 4usize;
+    let accesses = 8usize;
+    let payload_len = 13 * ops + 9 * accesses;
+    let frame_start = FIRST_CHUNK;
+    let payload_start = frame_start + 16;
+    let checksum = {
+        const PRIME: u64 = 0x0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &bytes[frame_start..payload_start + payload_len] {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    };
+    let ck_off = payload_start + payload_len;
+    bytes[ck_off..ck_off + 8].copy_from_slice(&checksum.to_le_bytes());
+    assert!(matches!(
+        scan(&bytes),
+        Err(TraceError::Malformed { what: "op kind" })
+    ));
+}

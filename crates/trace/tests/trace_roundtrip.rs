@@ -1,0 +1,133 @@
+//! Property test: trace write→read round-trip is identity on random op
+//! streams — random lengths, chunk sizes, read/write mixes, and cpu_ns
+//! values, including the degenerate empty and single-op traces.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use tiering_trace::{Access, Op, OpKind, TraceReader, TraceWriter};
+
+/// Writes `ops` through a [`TraceWriter`] at the given chunking and returns
+/// the raw bytes.
+fn encode(ops: &[(Op, Vec<Access>)], chunk_ops: usize, name: &str) -> Vec<u8> {
+    let mut w = TraceWriter::new(Cursor::new(Vec::new()), name, 1 << 24)
+        .expect("writer")
+        .with_chunk_ops(chunk_ops);
+    for (op, accs) in ops {
+        w.push_op(*op, accs).expect("push_op");
+    }
+    let (summary, cursor) = w.finish().expect("finish");
+    assert_eq!(summary.ops, ops.len() as u64);
+    assert_eq!(
+        summary.accesses,
+        ops.iter().map(|(_, a)| a.len() as u64).sum::<u64>()
+    );
+    cursor.into_inner()
+}
+
+/// Streams every op back out of `bytes` chunk by chunk.
+fn decode(bytes: &[u8]) -> Vec<(Op, Vec<Access>)> {
+    let mut r = TraceReader::new(Cursor::new(bytes)).expect("reader");
+    let mut out = Vec::new();
+    while r.advance().expect("advance") {
+        let c = r.chunk();
+        for i in 0..c.len() {
+            let (s, e) = c.op_access_range(i);
+            out.push((c.op(i), (s..e).map(|j| c.access(j)).collect()));
+        }
+    }
+    out
+}
+
+/// Raw op tuple: (kind selector, cpu_ns, accesses as (addr, is_write)).
+/// The vendored proptest shim has no `prop_map`, so strategies yield plain
+/// tuples and [`build_ops`] lifts them into `Op`/`Access` values.
+type RawOp = (u8, u64, Vec<(u64, bool)>);
+
+fn op_strategy() -> impl Strategy<Value = RawOp> {
+    (
+        0u8..3,
+        0u64..10_000_000,
+        prop::collection::vec((0u64..u64::MAX, any::<bool>()), 0..24),
+    )
+}
+
+fn build_ops(raw: Vec<RawOp>) -> Vec<(Op, Vec<Access>)> {
+    raw.into_iter()
+        .map(|(kind, cpu_ns, accs)| {
+            let kind = match kind {
+                0 => OpKind::Read,
+                1 => OpKind::Write,
+                _ => OpKind::Compute,
+            };
+            let accs = accs
+                .into_iter()
+                .map(|(addr, is_write)| Access { addr, is_write })
+                .collect();
+            (Op { kind, cpu_ns }, accs)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn write_read_roundtrip_is_identity(
+        raw in prop::collection::vec(op_strategy(), 0..120),
+        chunk_ops in 1usize..128,
+    ) {
+        let ops = build_ops(raw);
+        let bytes = encode(&ops, chunk_ops, "prop-trace");
+        prop_assert_eq!(decode(&bytes), ops);
+    }
+
+    #[test]
+    fn chunking_never_changes_the_stream(
+        raw in prop::collection::vec(op_strategy(), 1..80),
+        small in 1usize..8,
+        large in 64usize..256,
+    ) {
+        let ops = build_ops(raw);
+        let fine = encode(&ops, small, "prop-trace");
+        let coarse = encode(&ops, large, "prop-trace");
+        prop_assert_eq!(decode(&fine), decode(&coarse));
+    }
+
+    #[test]
+    fn header_totals_match_stream(
+        raw in prop::collection::vec(op_strategy(), 0..60),
+        chunk_ops in 1usize..64,
+    ) {
+        let ops = build_ops(raw);
+        let bytes = encode(&ops, chunk_ops, "prop-trace");
+        let r = TraceReader::new(Cursor::new(&bytes[..])).expect("reader");
+        prop_assert_eq!(r.header().total_ops, ops.len() as u64);
+        prop_assert_eq!(
+            r.header().total_accesses,
+            ops.iter().map(|(_, a)| a.len() as u64).sum::<u64>()
+        );
+        let expected_chunks = ops.len().div_ceil(chunk_ops) as u64;
+        prop_assert_eq!(r.header().chunk_count, expected_chunks);
+    }
+}
+
+#[test]
+fn empty_trace_roundtrips() {
+    let bytes = encode(&[], 16, "empty");
+    assert_eq!(decode(&bytes), Vec::new());
+}
+
+#[test]
+fn single_op_trace_roundtrips() {
+    let ops = vec![(Op::write(123), vec![Access::write(0xDEAD_BEEF)])];
+    let bytes = encode(&ops, 16, "single");
+    assert_eq!(decode(&bytes), ops);
+}
+
+#[test]
+fn single_op_no_access_trace_roundtrips() {
+    let ops = vec![(Op::compute(7), Vec::new())];
+    let bytes = encode(&ops, 1, "single-compute");
+    assert_eq!(decode(&bytes), ops);
+}

@@ -18,7 +18,12 @@
 //! | XGBoost (Criteo) | [`XgboostWorkload`] |
 //!
 //! Plus synthetic building blocks ([`ZipfPageWorkload`], [`PulseWorkload`],
-//! [`SequentialScanWorkload`]) used by the motivation figures and unit tests.
+//! [`SequentialScanWorkload`]) used by the motivation figures and unit tests,
+//! and two composition layers: [`PhasedWorkload`] (generators switching at
+//! op thresholds, for diurnal long-horizon scenarios) and
+//! [`TraceReplayWorkload`] + [`record_workload`] (capture any generator to
+//! an on-disk trace and replay it chunk-streamed through the batch
+//! pipeline — format in `docs/TRACE_FORMAT.md`).
 //!
 //! All generators are deterministic given their seed.
 
@@ -28,6 +33,8 @@
 mod cachelib;
 mod gap;
 mod layout;
+mod phased;
+mod replay;
 mod silo;
 mod spec;
 mod suite;
@@ -38,6 +45,8 @@ mod zipf;
 pub use cachelib::{CacheLibConfig, CacheLibWorkload, ShiftEvent};
 pub use gap::{BfsWorkload, CcWorkload, Graph, GraphKind, PrWorkload};
 pub use layout::{LayoutBuilder, Region};
+pub use phased::PhasedWorkload;
+pub use replay::{record_workload, TraceReplayWorkload};
 pub use silo::{SiloConfig, SiloWorkload};
 pub use spec::{BwavesWorkload, RomsWorkload};
 pub use suite::{build_workload, visit_workload, WorkloadId, WorkloadVisitor};

@@ -1,0 +1,293 @@
+//! Trace replay: on-disk access traces as ordinary [`Workload`]s, plus the
+//! recording adapter that captures any generator to a trace file.
+//!
+//! [`TraceReplayWorkload`] streams a file written by
+//! [`TraceWriter`](tiering_trace::TraceWriter) (format:
+//! `docs/TRACE_FORMAT.md`) back into the engine. The trace's chunk frames
+//! are columnar in exactly the [`AccessBatch`] structure-of-arrays layout,
+//! so [`fill_batch`](Workload::fill_batch) copies decoded columns straight
+//! into the batch through the `open_op`/`push_access`/`commit_open_op`
+//! direct-fill path — one chunk resident at a time, so traces bigger than
+//! RAM replay in O(chunk) memory
+//! ([`max_resident_bytes`](TraceReplayWorkload::max_resident_bytes) meters
+//! it).
+//!
+//! Replay reports the *recorded* workload's name (stored in the trace
+//! header) and footprint, so a replayed scenario resolves the same tier
+//! sizing and produces the same `SimReport` fingerprint as running the
+//! generator directly — the replay-equivalence suite locks this.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+use tiering_trace::{
+    Access, AccessBatch, Op, TraceError, TraceReader, TraceSummary, TraceWriter, Workload,
+};
+
+/// Records up to `max_ops` operations of `workload` into a trace file at
+/// `path`, chunked every `chunk_ops` operations.
+///
+/// Operations are pulled through [`Workload::next_op`] at simulated time
+/// zero, so clock-driven behaviour (e.g. a scheduled hot-set shift) is
+/// captured as of t=0. For op-counter-driven workloads — every suite
+/// workload in its default configuration — the recorded stream is exactly
+/// the stream an engine run would pull, which is what makes record→replay
+/// bit-identical.
+///
+/// Returns the totals actually written (fewer ops than `max_ops` if the
+/// workload ran out first).
+pub fn record_workload<W: Workload + ?Sized>(
+    workload: &mut W,
+    max_ops: u64,
+    path: impl AsRef<Path>,
+    chunk_ops: usize,
+) -> Result<TraceSummary, TraceError> {
+    let mut writer = TraceWriter::create(path, workload.name(), workload.footprint_bytes())?
+        .with_chunk_ops(chunk_ops);
+    let mut accesses = Vec::new();
+    for _ in 0..max_ops {
+        accesses.clear();
+        match workload.next_op(0, &mut accesses) {
+            Some(op) => writer.push_op(op, &accesses)?,
+            None => break,
+        }
+    }
+    let (summary, _) = writer.finish()?;
+    Ok(summary)
+}
+
+/// A [`Workload`] that replays a recorded trace file chunk by chunk.
+///
+/// Construction ([`open`](Self::open)) verifies the whole file first —
+/// checksums, counts, layout — so corruption surfaces as a typed
+/// [`TraceError`] up front rather than mid-simulation, then reopens the
+/// file for streaming. Replay itself holds one decoded chunk at a time.
+#[derive(Debug)]
+pub struct TraceReplayWorkload {
+    reader: TraceReader<BufReader<File>>,
+    /// Index of the next unserved op within the current chunk.
+    cursor: usize,
+    /// Set once the final chunk has been fully served.
+    exhausted: bool,
+}
+
+impl TraceReplayWorkload {
+    /// Opens and fully verifies the trace at `path`, then positions a
+    /// streaming reader at its first chunk.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let path = path.as_ref();
+        TraceReader::verify_file(path)?;
+        let reader = TraceReader::open(path)?;
+        let mut w = Self {
+            reader,
+            cursor: 0,
+            exhausted: false,
+        };
+        w.exhausted = !w.advance_chunk();
+        Ok(w)
+    }
+
+    /// Total operations the trace holds.
+    pub fn total_ops(&self) -> u64 {
+        self.reader.header().total_ops
+    }
+
+    /// High-water mark of resident chunk bytes in the underlying reader:
+    /// the measured O(chunk)-not-O(trace) replay-memory guarantee.
+    pub fn max_resident_bytes(&self) -> usize {
+        self.reader.max_resident_bytes()
+    }
+
+    /// Loads the next non-empty chunk; `false` at end of trace. The file
+    /// was verified at open, so a failure here means it changed or the
+    /// device failed underneath us — conditions with no recovery path
+    /// mid-simulation.
+    fn advance_chunk(&mut self) -> bool {
+        self.cursor = 0;
+        loop {
+            let more = self
+                .reader
+                .advance()
+                .expect("verified trace became unreadable during replay");
+            if !more {
+                return false;
+            }
+            if !self.reader.chunk().is_empty() {
+                return true;
+            }
+        }
+    }
+
+    /// Ensures the cursor points at an unserved op; `false` once the trace
+    /// is exhausted.
+    fn ensure_op(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if self.cursor >= self.reader.chunk().len() && !self.advance_chunk() {
+            self.exhausted = true;
+            return false;
+        }
+        true
+    }
+}
+
+impl Workload for TraceReplayWorkload {
+    fn next_op(&mut self, _now_ns: u64, out: &mut Vec<Access>) -> Option<Op> {
+        if !self.ensure_op() {
+            return None;
+        }
+        let chunk = self.reader.chunk();
+        let (start, end) = chunk.op_access_range(self.cursor);
+        out.extend((start..end).map(|i| chunk.access(i)));
+        let op = chunk.op(self.cursor);
+        self.cursor += 1;
+        Some(op)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.reader.header().footprint_bytes
+    }
+
+    /// The *recorded* workload's name: replay must report under the same
+    /// identity for its `SimReport` fingerprint to match the direct run.
+    fn name(&self) -> &str {
+        &self.reader.header().name
+    }
+
+    /// A trace is a fixed stream — nothing is clock-driven, so replay is
+    /// always safe to batch.
+    fn batchable_now(&self) -> bool {
+        true
+    }
+
+    fn fill_batch(&mut self, _now_ns: u64, max_ops: usize, batch: &mut AccessBatch) -> usize {
+        // Zero-copy SoA fill: chunk columns feed the batch columns through
+        // the direct-fill path, no per-op `Vec<Access>` staging.
+        let mut filled = 0;
+        while filled < max_ops {
+            if !self.ensure_op() {
+                break;
+            }
+            let chunk = self.reader.chunk();
+            let n = (max_ops - filled).min(chunk.len() - self.cursor);
+            for idx in self.cursor..self.cursor + n {
+                let start = batch.open_op();
+                let (s, e) = chunk.op_access_range(idx);
+                for i in s..e {
+                    batch.push_access(chunk.access(i));
+                }
+                batch.commit_open_op(chunk.op(idx), start);
+            }
+            self.cursor += n;
+            filled += n;
+        }
+        filled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZipfPageWorkload;
+    use tiering_trace::fill_batch_via_next_op;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "hybridtier-replay-test-{}-{tag}.trace",
+            std::process::id()
+        ))
+    }
+
+    fn zipf() -> ZipfPageWorkload {
+        ZipfPageWorkload::new(512, 0.99, 400, 42)
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_stream() {
+        let path = temp_path("stream");
+        let summary = record_workload(&mut zipf(), 1_000, &path, 64).expect("record");
+        assert_eq!(summary.ops, 400, "zipf generator ends at its op budget");
+
+        let mut replay = TraceReplayWorkload::open(&path).expect("open");
+        assert_eq!(replay.name(), zipf().name());
+        assert_eq!(replay.footprint_bytes(), zipf().footprint_bytes());
+
+        let mut original = zipf();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        loop {
+            a.clear();
+            b.clear();
+            let op_a = original.next_op(0, &mut a);
+            let op_b = replay.next_op(0, &mut b);
+            assert_eq!(op_a, op_b);
+            assert_eq!(a, b);
+            if op_a.is_none() {
+                break;
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fill_batch_equals_next_op_for_replay() {
+        let path = temp_path("batch");
+        record_workload(&mut zipf(), 1_000, &path, 16).expect("record");
+
+        let mut via_next = TraceReplayWorkload::open(&path).expect("open A");
+        let mut via_fill = TraceReplayWorkload::open(&path).expect("open B");
+        // Odd batch size so batches straddle the 16-op chunk boundary.
+        for round in 0..40 {
+            let mut a = AccessBatch::with_capacity(13, 13);
+            let mut b = AccessBatch::with_capacity(13, 13);
+            let na = fill_batch_via_next_op(&mut via_next, 0, 13, &mut a);
+            let nb = via_fill.fill_batch(0, 13, &mut b);
+            assert_eq!(na, nb, "round {round}");
+            assert_eq!(a.len(), b.len());
+            for i in 0..a.len() {
+                assert_eq!(a.op_bounds(i), b.op_bounds(i), "round {round} op {i}");
+            }
+            for i in 0..a.total_accesses() {
+                assert_eq!(a.access(i), b.access(i), "round {round} access {i}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_memory_is_per_chunk() {
+        let path = temp_path("resident");
+        record_workload(
+            &mut ZipfPageWorkload::new(2048, 0.8, 8_000, 7),
+            8_000,
+            &path,
+            128,
+        )
+        .expect("record");
+        let file_len = std::fs::metadata(&path).expect("metadata").len() as usize;
+
+        let mut replay = TraceReplayWorkload::open(&path).expect("open");
+        let mut sink = Vec::new();
+        while replay.next_op(0, &mut sink).is_some() {
+            sink.clear();
+        }
+        let resident = replay.max_resident_bytes();
+        assert!(resident > 0);
+        assert!(
+            resident < file_len / 8,
+            "resident {resident} B vs file {file_len} B — replay is not O(chunk)"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recording_stops_at_max_ops() {
+        let path = temp_path("cap");
+        let summary = record_workload(&mut zipf(), 100, &path, 32).expect("record");
+        assert_eq!(summary.ops, 100);
+        let replay = TraceReplayWorkload::open(&path).expect("open");
+        assert_eq!(replay.total_ops(), 100);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -98,9 +98,12 @@ pub mod prelude {
         adaptation_time_ns, run_suite_experiment, Engine, MultiTenantConfig, MultiTenantEngine,
         MultiTenantReport, SimConfig, SimReport, TenantReport, TenantRun,
     };
-    pub use crate::trace::{Access, AccessBatch, Op, Sample, Sampler, Workload};
+    pub use crate::trace::{
+        Access, AccessBatch, Op, Sample, Sampler, TraceError, TraceReader, TraceWriter, Workload,
+    };
     pub use crate::workloads::{
-        build_workload, BfsWorkload, CacheLibConfig, CacheLibWorkload, Graph, GraphKind,
-        PulseWorkload, SequentialScanWorkload, WorkloadId, ZipfDistribution, ZipfPageWorkload,
+        build_workload, record_workload, BfsWorkload, CacheLibConfig, CacheLibWorkload, Graph,
+        GraphKind, PhasedWorkload, PulseWorkload, SequentialScanWorkload, TraceReplayWorkload,
+        WorkloadId, ZipfDistribution, ZipfPageWorkload,
     };
 }
